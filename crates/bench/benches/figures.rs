@@ -1,0 +1,112 @@
+//! Criterion benches: the per-figure experiment kernels at smoke scale,
+//! plus raw simulator and shaper micro-benchmarks.
+//!
+//! These are *performance* benches (how fast the reproduction runs);
+//! regenerating the paper's numbers is the job of the `run_all` /
+//! per-figure binaries (`MITTS_SCALE=quick cargo run --release --bin
+//! run_all -p mitts-bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mitts_bench::exp::{
+    bins_sensitivity, fig02_interarrival, fig11_static_gain, fig16_isolation, multiprog_compare,
+    perf_per_cost, threaded_sharing,
+};
+use mitts_bench::runner::Scale;
+use mitts_cloud::CostModel;
+use mitts_core::{BinConfig, BinSpec, MittsShaper};
+use mitts_sim::config::SystemConfig;
+use mitts_sim::shaper::SourceShaper;
+use mitts_sim::system::SystemBuilder;
+use mitts_tuner::Objective;
+use mitts_workloads::{Benchmark, WorkloadId};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("single_core_20k_cycles", |b| {
+        b.iter(|| {
+            let mut sys = SystemBuilder::new(SystemConfig::single_program())
+                .trace(0, Box::new(Benchmark::Mcf.profile().trace(0, 1)))
+                .build();
+            sys.run_cycles(20_000);
+            black_box(sys.core_stats(0).counters.instructions)
+        })
+    });
+    g.bench_function("eight_core_20k_cycles", |b| {
+        b.iter(|| {
+            let programs = WorkloadId::new(4).programs();
+            let mut builder = SystemBuilder::new(SystemConfig::multi_program(8));
+            for (i, p) in programs.iter().enumerate() {
+                builder = builder.trace(i, Box::new(p.profile().trace((i as u64) << 36, 1)));
+            }
+            let mut sys = builder.build();
+            sys.run_cycles(20_000);
+            black_box(sys.now())
+        })
+    });
+    g.finish();
+}
+
+fn shaper_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shaper");
+    g.bench_function("try_issue_grant_deny_cycle", |b| {
+        let cfg =
+            BinConfig::new(BinSpec::paper_default(), vec![8; 10], 10_000).expect("valid");
+        let mut shaper = MittsShaper::new(cfg);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 7;
+            shaper.tick(now);
+            black_box(shaper.try_issue(now))
+        })
+    });
+    g.finish();
+}
+
+fn figure_kernels(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let model = CostModel::default();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig02_distributions", |b| {
+        b.iter(|| black_box(fig02_interarrival::distributions(&scale)))
+    });
+    g.bench_function("fig11_one_bench", |b| {
+        b.iter(|| black_box(fig11_static_gain::measure_bench(Benchmark::Omnetpp, &scale)))
+    });
+    g.bench_function("fig12_workload1_offline", |b| {
+        b.iter(|| {
+            black_box(multiprog_compare::compare_workload(
+                WorkloadId::new(1),
+                1 << 20,
+                multiprog_compare::MittsVariants::offline_only(),
+                &scale,
+            ))
+        })
+    });
+    g.bench_function("fig16_isolation_throughput", |b| {
+        b.iter(|| {
+            black_box(fig16_isolation::measure(
+                WorkloadId::new(1),
+                Objective::Throughput,
+                &scale,
+            ))
+        })
+    });
+    g.bench_function("fig17_18_one_bench", |b| {
+        b.iter(|| black_box(perf_per_cost::optimise_bench(Benchmark::Sjeng, &model, &scale)))
+    });
+    g.bench_function("bins_sensitivity_sweep", |b| {
+        b.iter(|| black_box(bins_sensitivity::sweep(WorkloadId::new(1), &scale)))
+    });
+    g.bench_function("threaded_sharing_x264", |b| {
+        b.iter(|| black_box(threaded_sharing::measure(Benchmark::X264, &scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput, shaper_micro, figure_kernels);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Runs the design-choice ablations (§III-C/§III-D tradeoffs and the
+//! congestion-feedback extension). Scale via `MITTS_SCALE`.
+
+use mitts_bench::exp::ablations;
+use mitts_bench::Scale;
+
+fn main() {
+    for table in ablations::run(&Scale::from_env()) {
+        table.print();
+        println!();
+    }
+}

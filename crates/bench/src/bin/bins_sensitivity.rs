@@ -1,0 +1,9 @@
+//! Regenerates the §IV-I bin-count sensitivity study.
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::bins_sensitivity;
+use mitts_bench::Scale;
+
+fn main() {
+    bins_sensitivity::run(&Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 2 (intrinsic inter-arrival distributions).
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::fig02_interarrival;
+use mitts_bench::Scale;
+
+fn main() {
+    fig02_interarrival::run(&Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 11 (MITTS vs static 1 GB/s provisioning).
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::fig11_static_gain;
+use mitts_bench::Scale;
+
+fn main() {
+    fig11_static_gain::run(&Scale::from_env()).print();
+}

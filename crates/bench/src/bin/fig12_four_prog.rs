@@ -1,0 +1,9 @@
+//! Regenerates Fig. 12 (four-program scheduler comparison).
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::fig12_13_scheds;
+use mitts_bench::Scale;
+
+fn main() {
+    fig12_13_scheds::run_fig12(&Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 14 (MISE vs MITTS vs MISE+MITTS).
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::fig14_hybrid;
+use mitts_bench::Scale;
+
+fn main() {
+    fig14_hybrid::run(&Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 15 (8 MB LLC comparison).
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::fig15_large_llc;
+use mitts_bench::Scale;
+
+fn main() {
+    fig15_large_llc::run(&Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 16 (bandwidth isolation: static splits vs MITTS).
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::fig16_isolation;
+use mitts_bench::Scale;
+
+fn main() {
+    fig16_isolation::run(&Scale::from_env()).print();
+}

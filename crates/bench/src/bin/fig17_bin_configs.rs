@@ -1,0 +1,9 @@
+//! Regenerates Fig. 17 (optimal bin configurations per application for
+//! performance/cost). Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::perf_per_cost;
+use mitts_bench::Scale;
+
+fn main() {
+    perf_per_cost::run_fig17(&Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 18 (performance/cost vs optimal static
+//! provisioning). Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::perf_per_cost;
+use mitts_bench::Scale;
+
+fn main() {
+    perf_per_cost::run_fig18(&Scale::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Runs the §III-A manycore-scaling study (4 to 25 cores, 1-2 memory
+//! channels). Scale via `MITTS_SCALE`.
+
+use mitts_bench::exp::manycore_scaling;
+use mitts_bench::Scale;
+
+fn main() {
+    manycore_scaling::run(&Scale::from_env()).print();
+}

@@ -1,0 +1,8 @@
+//! Runs the §IV-B multi-phase offline GA study. Scale via `MITTS_SCALE`.
+
+use mitts_bench::exp::phase_offline;
+use mitts_bench::Scale;
+
+fn main() {
+    phase_offline::run(&Scale::from_env()).print();
+}

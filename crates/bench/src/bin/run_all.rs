@@ -1,0 +1,97 @@
+//! Regenerates every table and figure of the evaluation section in one
+//! run. Scale via `MITTS_SCALE=smoke|quick|full` (default `quick`).
+//!
+//! The §III-E area inventory is printed first (it needs no simulation),
+//! followed by the simulated experiments in paper order. Set
+//! `MITTS_CSV_DIR=<dir>` to additionally write every table as CSV.
+
+use std::time::Instant;
+
+use mitts_bench::exp::{
+    ablations, bins_sensitivity, fig02_interarrival, fig11_static_gain, fig12_13_scheds,
+    fig14_hybrid, fig15_large_llc, fig16_isolation, manycore_scaling, perf_per_cost,
+    phase_offline, threaded_sharing,
+};
+use mitts_bench::{Scale, Table};
+use mitts_core::AreaModel;
+
+/// A lazily-run experiment entry.
+type Experiment = (&'static str, Box<dyn Fn() -> Table>);
+
+fn area_table() -> Table {
+    let mut t = Table::new(
+        "§III-E — MITTS hardware structure inventory (area model)",
+        &["bins", "storage bits", "est. area mm^2", "core fraction"],
+    );
+    for bins in [4usize, 6, 8, 10, 16] {
+        let m = AreaModel::with_bins(bins);
+        t.row(vec![
+            bins.to_string(),
+            m.storage_bits().to_string(),
+            format!("{:.5}", m.estimated_area_mm2()),
+            format!("{:.2}%", m.core_fraction() * 100.0),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "MITTS reproduction — running all experiments (warmup={} cycles, work={} instr/core)\n",
+        scale.warmup, scale.work
+    );
+
+    let experiments: Vec<Experiment> = vec![
+        ("area", Box::new(area_table)),
+        ("fig02", Box::new(move || fig02_interarrival::run(&scale))),
+        ("fig11", Box::new(move || fig11_static_gain::run(&scale))),
+        ("fig12", Box::new(move || fig12_13_scheds::run_fig12(&scale))),
+        ("fig13", Box::new(move || fig12_13_scheds::run_fig13(&scale))),
+        ("fig14", Box::new(move || fig14_hybrid::run(&scale))),
+        ("fig15", Box::new(move || fig15_large_llc::run(&scale))),
+        ("fig16", Box::new(move || fig16_isolation::run(&scale))),
+        ("fig17", Box::new(move || perf_per_cost::run_fig17(&scale))),
+        ("fig18", Box::new(move || perf_per_cost::run_fig18(&scale))),
+        ("bins", Box::new(move || bins_sensitivity::run(&scale))),
+        ("threaded", Box::new(move || threaded_sharing::run(&scale))),
+        ("scaling", Box::new(move || manycore_scaling::run(&scale))),
+        ("phase", Box::new(move || phase_offline::run(&scale))),
+    ];
+
+    // Ablations produce several tables; handled after the main list.
+
+    let csv_dir = std::env::var_os("MITTS_CSV_DIR").map(std::path::PathBuf::from);
+    let dump = |name: &str, table: &Table| {
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create MITTS_CSV_DIR");
+            table
+                .write_csv(&dir.join(format!("{name}.csv")))
+                .expect("write CSV table");
+        }
+    };
+
+    let only: Option<String> = std::env::args().nth(1);
+    for (name, run) in experiments {
+        if let Some(ref filter) = only {
+            if !name.contains(filter.as_str()) {
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let table = run();
+        table.print();
+        dump(name, &table);
+        println!("[{name} took {:.1?}]\n", t0.elapsed());
+    }
+
+    if only.as_deref().is_none_or(|f| "ablations".contains(f)) {
+        let t0 = Instant::now();
+        for (i, table) in ablations::run(&scale).iter().enumerate() {
+            table.print();
+            dump(&format!("ablation_{i}"), table);
+            println!();
+        }
+        println!("[ablations took {:.1?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the §IV-H shared-vs-per-thread MITTS study.
+//! Scale via `MITTS_SCALE=smoke|quick|full`.
+
+use mitts_bench::exp::threaded_sharing;
+use mitts_bench::Scale;
+
+fn main() {
+    threaded_sharing::run(&Scale::from_env()).print();
+}

@@ -1,0 +1,16 @@
+//! Experiment modules, one per paper figure/table (see DESIGN.md's
+//! experiment index).
+
+pub mod ablations;
+pub mod bins_sensitivity;
+pub mod fig02_interarrival;
+pub mod fig11_static_gain;
+pub mod fig12_13_scheds;
+pub mod fig14_hybrid;
+pub mod fig15_large_llc;
+pub mod fig16_isolation;
+pub mod manycore_scaling;
+pub mod multiprog_compare;
+pub mod perf_per_cost;
+pub mod phase_offline;
+pub mod threaded_sharing;

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! # mitts-bench — experiment harness
+//!
+//! One module per figure/table of the paper's evaluation section; each
+//! exposes `run(&Scale) -> Table` (printed by its binary and exercised at
+//! reduced scale by the Criterion bench and the integration tests).
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured numbers.
+
+pub mod exp;
+pub mod runner;
+pub mod table;
+
+pub use runner::{Scale, ShaperSpec};
+pub use table::Table;

@@ -1,0 +1,175 @@
+//! Minimal fixed-width table formatting for experiment output.
+
+/// A printable experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Looks up a cell by row label (first column) and column header.
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        let row = self.rows.iter().find(|r| r[0] == row_label)?;
+        row.get(col).map(String::as_str)
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Renders the table as CSV (header row first, RFC 4180 quoting for
+    /// cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with 3 decimal places (the house style for tables).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new("demo", &["bench", "gain"]);
+        t.row(vec!["mcf".into(), "1.64x".into()]);
+        assert_eq!(t.cell("mcf", "gain"), Some("1.64x"));
+        assert_eq!(t.cell("mcf", "missing"), None);
+        assert_eq!(t.cell("nope", "gain"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(ratio(1.6789), "1.68x");
+    }
+
+    #[test]
+    fn csv_round_trips_simple_cells() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into(), "1".into()]);
+        assert_eq!(t.to_csv(), "a,b\nx,1\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["hello, \"world\"".into()]);
+        assert_eq!(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+    }
+}

@@ -1,0 +1,217 @@
+//! Market-based bandwidth allocation (§II-B).
+//!
+//! "In order to gain the highest economic efficiency, resources can be
+//! allocated to the application or user that values them most. [...] a
+//! Cloud system could allow users to decide exactly the amount of
+//! bandwidth and inter-arrival time of that bandwidth to purchase, and
+//! provision memory bandwidth based on market supply and demand."
+//!
+//! [`clear_market`] implements that provisioning step: customers submit
+//! [`Bid`]s for MITTS credit bundles (a whole [`BinConfig`] — amount
+//! *and* distribution); the provider admits bids in order of value
+//! density (willingness-to-pay per unit of admitted bandwidth), never
+//! below the [`CostModel`] list price (the reserve), and never beyond the
+//! channel's capacity. Winners pay their bid (first-price, which keeps
+//! the accounting transparent for the performance-per-cost studies).
+
+use mitts_core::BinConfig;
+
+use crate::pricing::CostModel;
+
+/// A customer's request for a bandwidth bundle.
+#[derive(Debug, Clone)]
+pub struct Bid {
+    /// Customer label (for reports).
+    pub customer: String,
+    /// The credit bundle requested (amount and distribution).
+    pub config: BinConfig,
+    /// What the customer will pay for the bundle (same currency as
+    /// [`CostModel`]: GB/s-equivalents of the billing period).
+    pub willingness: f64,
+}
+
+impl Bid {
+    /// Creates a bid.
+    pub fn new(customer: &str, config: BinConfig, willingness: f64) -> Self {
+        Bid { customer: customer.to_owned(), config, willingness }
+    }
+
+    /// Admitted average bandwidth of the requested bundle
+    /// (requests/cycle).
+    pub fn bandwidth_rpc(&self) -> f64 {
+        self.config.requests_per_cycle()
+    }
+}
+
+/// One admitted bid in a cleared market.
+#[derive(Debug, Clone)]
+pub struct Award {
+    /// Index into the submitted bid list.
+    pub bid: usize,
+    /// Price paid (the bid's willingness; first-price).
+    pub price: f64,
+}
+
+/// Result of clearing the market.
+#[derive(Debug, Clone, Default)]
+pub struct MarketOutcome {
+    /// Winning bids in admission order.
+    pub awards: Vec<Award>,
+    /// Provider revenue.
+    pub revenue: f64,
+    /// Total admitted average bandwidth (requests/cycle).
+    pub bandwidth_sold_rpc: f64,
+}
+
+impl MarketOutcome {
+    /// Whether the bid at `index` won.
+    pub fn won(&self, index: usize) -> bool {
+        self.awards.iter().any(|a| a.bid == index)
+    }
+}
+
+/// Clears the market: admits bids greedily by value density
+/// (willingness per request/cycle), subject to
+///
+/// * the reserve price — a bid below the [`CostModel`] list price of its
+///   bundle is never admitted ("bins should be priced at least
+///   commensurate with the amount of bandwidth they provide", §III-B);
+/// * capacity — total admitted average bandwidth never exceeds
+///   `capacity_rpc`.
+///
+/// Zero-bandwidth bundles are rejected (nothing to sell).
+///
+/// # Examples
+///
+/// ```
+/// use mitts_cloud::{clear_market, Bid, CostModel};
+/// use mitts_core::{BinConfig, BinSpec};
+///
+/// let model = CostModel::default();
+/// let bundle = |n: u32| {
+///     BinConfig::new(BinSpec::paper_default(),
+///         vec![0, 0, 0, 0, 0, 0, 0, 0, 0, n], 10_000).unwrap()
+/// };
+/// let bids = vec![
+///     Bid::new("alice", bundle(100), 5.0), // values it highly
+///     Bid::new("bob", bundle(100), 2.0),
+/// ];
+/// // Capacity for only one bundle: alice wins.
+/// let outcome = clear_market(&bids, 0.011, &model);
+/// assert!(outcome.won(0));
+/// assert!(!outcome.won(1));
+/// ```
+pub fn clear_market(bids: &[Bid], capacity_rpc: f64, model: &CostModel) -> MarketOutcome {
+    let mut order: Vec<usize> = (0..bids.len())
+        .filter(|&i| {
+            let b = &bids[i];
+            let rpc = b.bandwidth_rpc();
+            rpc > 0.0 && b.willingness >= model.config_price(&b.config)
+        })
+        .collect();
+    // Highest value density first; ties broken by submission order.
+    order.sort_by(|&a, &b| {
+        let da = bids[a].willingness / bids[a].bandwidth_rpc();
+        let db = bids[b].willingness / bids[b].bandwidth_rpc();
+        db.partial_cmp(&da).expect("bids are finite").then(a.cmp(&b))
+    });
+
+    let mut outcome = MarketOutcome::default();
+    for i in order {
+        let rpc = bids[i].bandwidth_rpc();
+        if outcome.bandwidth_sold_rpc + rpc <= capacity_rpc + 1e-12 {
+            outcome.bandwidth_sold_rpc += rpc;
+            outcome.revenue += bids[i].willingness;
+            outcome.awards.push(Award { bid: i, price: bids[i].willingness });
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitts_core::BinSpec;
+
+    fn bundle(bin: usize, n: u32) -> BinConfig {
+        let mut credits = vec![0u32; 10];
+        credits[bin] = n;
+        BinConfig::new(BinSpec::paper_default(), credits, 10_000).unwrap()
+    }
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let bids: Vec<Bid> = (0..10)
+            .map(|i| Bid::new(&format!("c{i}"), bundle(9, 100), 3.0 + i as f64))
+            .collect();
+        let capacity = 0.035; // room for 3.5 bundles of 0.01 rpc
+        let outcome = clear_market(&bids, capacity, &model());
+        assert_eq!(outcome.awards.len(), 3);
+        assert!(outcome.bandwidth_sold_rpc <= capacity + 1e-12);
+    }
+
+    #[test]
+    fn highest_value_density_wins() {
+        let bids = vec![
+            Bid::new("cheap", bundle(9, 100), 2.0),
+            Bid::new("rich", bundle(9, 100), 9.0),
+        ];
+        let outcome = clear_market(&bids, 0.011, &model());
+        assert!(outcome.won(1));
+        assert!(!outcome.won(0));
+        assert!((outcome.revenue - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserve_price_filters_lowballs() {
+        let b = bundle(0, 100); // bursty bundle, list price ~0.3
+        let list = model().config_price(&b);
+        let bids = vec![
+            Bid::new("lowball", b.clone(), list * 0.5),
+            Bid::new("fair", b, list * 1.1),
+        ];
+        let outcome = clear_market(&bids, 1.0, &model());
+        assert!(!outcome.won(0), "below-reserve bid must be rejected");
+        assert!(outcome.won(1));
+    }
+
+    #[test]
+    fn zero_bandwidth_bundles_are_rejected() {
+        let empty = BinConfig::new(BinSpec::paper_default(), vec![0; 10], 10_000).unwrap();
+        let bids = vec![Bid::new("nothing", empty, 100.0)];
+        let outcome = clear_market(&bids, 1.0, &model());
+        assert!(outcome.awards.is_empty());
+    }
+
+    #[test]
+    fn smaller_bundles_fill_remaining_capacity() {
+        // One big bundle and two small ones; capacity fits big + one
+        // small. Greedy by density admits in density order but skips
+        // bundles that no longer fit.
+        let bids = vec![
+            Bid::new("big", bundle(9, 200), 10.0),    // 0.02 rpc, density 500
+            Bid::new("small1", bundle(9, 50), 2.0),   // 0.005 rpc, density 400
+            Bid::new("small2", bundle(9, 50), 1.5),   // density 300
+        ];
+        let outcome = clear_market(&bids, 0.0255, &model());
+        assert!(outcome.won(0) && outcome.won(1));
+        assert!(!outcome.won(2), "no room left for small2");
+        assert!((outcome.revenue - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revenue_matches_award_prices() {
+        let bids = vec![
+            Bid::new("a", bundle(9, 30), 1.0),
+            Bid::new("b", bundle(5, 30), 2.0),
+        ];
+        let outcome = clear_market(&bids, 1.0, &model());
+        let sum: f64 = outcome.awards.iter().map(|a| a.price).sum();
+        assert!((sum - outcome.revenue).abs() < 1e-12);
+        assert_eq!(outcome.awards.len(), 2);
+    }
+}

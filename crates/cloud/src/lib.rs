@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # mitts-cloud — IaaS economics for MITTS
+//!
+//! The paper's Cloud story (§II-B, §IV-G): MITTS lets IaaS providers
+//! price memory bandwidth at fine grain — customers buy *distributions*
+//! of bandwidth, with bursty (low inter-arrival) credits priced above
+//! bulk credits, and pay commensurately with what their application
+//! actually needs.
+//!
+//! * [`pricing::CostModel`] — credit prices proportional to bandwidth
+//!   with the `2 − t_i/t_N` burst penalty, core time at 1.6 GB/s parity,
+//!   and the performance-per-cost metric of Fig. 18;
+//! * [`market`] — the static provisioning baselines: the exhaustive
+//!   single-bin search (Fig. 18's "optimal static"), even splits and
+//!   weighted splits (Fig. 16);
+//! * [`auction`] — §II-B's supply-and-demand provisioning: customers bid
+//!   for credit bundles, the provider admits by value density above the
+//!   list-price reserve, within channel capacity.
+//!
+//! # Example
+//!
+//! ```
+//! use mitts_cloud::CostModel;
+//! use mitts_core::{BinConfig, BinSpec};
+//!
+//! let model = CostModel::default();
+//! // 50 bursty credits cost almost twice as much as 50 bulk credits
+//! // that admit the same average bandwidth.
+//! let bursty = BinConfig::new(BinSpec::paper_default(),
+//!     vec![50, 0, 0, 0, 0, 0, 0, 0, 0, 0], 10_000)?;
+//! let bulk = BinConfig::new(BinSpec::paper_default(),
+//!     vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 50], 10_000)?;
+//! assert!(model.config_price(&bursty) > 1.8 * model.config_price(&bulk));
+//! # Ok::<(), mitts_core::BinConfigError>(())
+//! ```
+
+pub mod auction;
+pub mod market;
+pub mod pricing;
+
+pub use auction::{clear_market, Award, Bid, MarketOutcome};
+pub use market::{best_single_bin, even_split, weighted_split, StaticChoice};
+pub use pricing::CostModel;

@@ -1,0 +1,167 @@
+//! Bin-based credit pricing (§IV-G1, Fig. 17 caption).
+//!
+//! Every credit admits the same *average* bandwidth (one 64 B request per
+//! replenishment period), but credits in low-inter-arrival bins admit
+//! higher *instantaneous* bandwidth and receive preferential treatment,
+//! so they cost more: the paper prices a credit proportionally to the
+//! bandwidth it stands for, penalised by the linear burst factor
+//! `2 − t_i / t_N` (bin 0 costs nearly 2× bin N−1). Core time is priced
+//! at parity with 1.6 GB/s of memory bandwidth (§IV-G).
+
+use mitts_core::bins::{BinConfig, BinSpec};
+
+/// Price model tying cores and memory bandwidth to one currency.
+/// All prices are in abstract "dollars"; one dollar buys 1 GB/s of
+/// plain (slowest-bin) bandwidth for the billing period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Core clock, used to convert credits/period to GB/s.
+    pub freq_hz: f64,
+    /// Price of one core for the billing period, in GB/s-equivalents
+    /// (the paper assumes a core costs the same as 1.6 GB/s).
+    pub core_price: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { freq_hz: 2.4e9, core_price: 1.6 }
+    }
+}
+
+impl CostModel {
+    /// The burst-penalty factor for `bin_i`: `2 − t_i / t_N` where `t_N`
+    /// is the last bin's representative inter-arrival time. Ranges from
+    /// just under 2 (bin 0) down to exactly 1 (last bin).
+    pub fn burst_penalty(&self, spec: BinSpec, bin: usize) -> f64 {
+        let t_last = spec.t_i(spec.bins() - 1);
+        2.0 - spec.t_i(bin) / t_last
+    }
+
+    /// Average bandwidth one credit admits, in GB/s: 64 bytes per
+    /// replenishment period.
+    pub fn per_credit_gbs(&self, replenish_period: u64) -> f64 {
+        64.0 * self.freq_hz / replenish_period as f64 / 1e9
+    }
+
+    /// Price of a single credit in `bin_i` of a configuration with the
+    /// given geometry and period.
+    pub fn credit_price(&self, spec: BinSpec, replenish_period: u64, bin: usize) -> f64 {
+        self.per_credit_gbs(replenish_period) * self.burst_penalty(spec, bin)
+    }
+
+    /// Total price of a bin configuration (memory bandwidth only).
+    pub fn config_price(&self, config: &BinConfig) -> f64 {
+        let spec = config.spec();
+        let period = config.replenish_period();
+        config
+            .credits()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n as f64 * self.credit_price(spec, period, i))
+            .sum()
+    }
+
+    /// Total price of running one program: one core plus its bandwidth
+    /// configuration.
+    pub fn total_price(&self, config: &BinConfig) -> f64 {
+        self.core_price + self.config_price(config)
+    }
+
+    /// Performance-per-cost (the paper's economic-efficiency metric):
+    /// `performance / total_price`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computed price is non-positive (impossible with a
+    /// positive core price).
+    pub fn perf_per_cost(&self, performance: f64, config: &BinConfig) -> f64 {
+        let price = self.total_price(config);
+        assert!(price > 0.0, "price must be positive");
+        performance / price
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitts_core::BinConfig;
+
+    fn spec() -> BinSpec {
+        BinSpec::paper_default()
+    }
+
+    #[test]
+    fn burst_penalty_range() {
+        let m = CostModel::default();
+        let p0 = m.burst_penalty(spec(), 0);
+        let p9 = m.burst_penalty(spec(), 9);
+        assert!((p9 - 1.0).abs() < 1e-12, "last bin penalty is exactly 1");
+        assert!((p0 - (2.0 - 5.0 / 95.0)).abs() < 1e-12);
+        // Monotone decreasing.
+        for i in 0..9 {
+            assert!(m.burst_penalty(spec(), i) > m.burst_penalty(spec(), i + 1));
+        }
+    }
+
+    #[test]
+    fn per_credit_bandwidth_math() {
+        let m = CostModel::default();
+        // 64 B every 10 000 cycles at 2.4 GHz = 15.36 MB/s.
+        let gbs = m.per_credit_gbs(10_000);
+        assert!((gbs - 0.01536).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_credits_cost_more_for_same_average_bandwidth() {
+        let m = CostModel::default();
+        let fast = m.credit_price(spec(), 10_000, 0);
+        let slow = m.credit_price(spec(), 10_000, 9);
+        assert!(fast > slow * 1.8 && fast < slow * 2.0);
+    }
+
+    #[test]
+    fn config_price_sums_credits() {
+        let m = CostModel::default();
+        let mut credits = vec![0u32; 10];
+        credits[9] = 100;
+        let cfg = BinConfig::new(spec(), credits, 10_000).unwrap();
+        // 100 slow credits at penalty 1.0.
+        let expected = 100.0 * m.per_credit_gbs(10_000);
+        assert!((m.config_price(&cfg) - expected).abs() < 1e-9);
+        assert!((m.total_price(&cfg) - (expected + 1.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_bandwidth_in_fast_bin_costs_more() {
+        let m = CostModel::default();
+        let mut fast = vec![0u32; 10];
+        fast[0] = 50;
+        let mut slow = vec![0u32; 10];
+        slow[9] = 50;
+        let fast_cfg = BinConfig::new(spec(), fast, 10_000).unwrap();
+        let slow_cfg = BinConfig::new(spec(), slow, 10_000).unwrap();
+        // Identical average bandwidth...
+        assert_eq!(fast_cfg.requests_per_cycle(), slow_cfg.requests_per_cycle());
+        // ...but the bursty configuration costs more.
+        assert!(m.config_price(&fast_cfg) > m.config_price(&slow_cfg) * 1.5);
+    }
+
+    #[test]
+    fn perf_per_cost_prefers_cheap_configs_at_equal_perf() {
+        let m = CostModel::default();
+        let mut fast = vec![0u32; 10];
+        fast[0] = 50;
+        let mut slow = vec![0u32; 10];
+        slow[9] = 50;
+        let fast_cfg = BinConfig::new(spec(), fast, 10_000).unwrap();
+        let slow_cfg = BinConfig::new(spec(), slow, 10_000).unwrap();
+        assert!(m.perf_per_cost(1.0, &slow_cfg) > m.perf_per_cost(1.0, &fast_cfg));
+    }
+
+    #[test]
+    fn empty_config_costs_just_the_core() {
+        let m = CostModel::default();
+        let cfg = BinConfig::new(spec(), vec![0; 10], 10_000).unwrap();
+        assert!((m.total_price(&cfg) - 1.6).abs() < 1e-12);
+    }
+}

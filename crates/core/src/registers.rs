@@ -1,0 +1,141 @@
+//! The software-visible MITTS register file (§III-A, §IV-H).
+//!
+//! The OS or hypervisor programs a core's shaper through memory-mapped
+//! control registers: one replenish-credit register per bin (`K` table),
+//! the replenishment period `T_r`, and read-only views of the live
+//! counters. Because the whole configuration is architectural state, a
+//! context switch simply saves and restores it — §IV-H notes that "MITTS
+//! bin configurations are exposed in a set of configuration registers
+//! \[that\] can be swapped as part of the thread state".
+
+use mitts_sim::types::Cycle;
+
+use crate::bins::{BinConfig, BinConfigError, BinSpec, K_MAX};
+use crate::shaper::MittsShaper;
+
+/// A saved register image: everything needed to restore a thread's MITTS
+/// configuration on context switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterImage {
+    spec: BinSpec,
+    k_table: Vec<u32>,
+    replenish_period: Cycle,
+}
+
+impl RegisterImage {
+    /// Captures the image of a shaper's current configuration.
+    pub fn save(shaper: &MittsShaper) -> Self {
+        let cfg = shaper.config();
+        RegisterImage {
+            spec: cfg.spec(),
+            k_table: cfg.credits().to_vec(),
+            replenish_period: cfg.replenish_period(),
+        }
+    }
+
+    /// Builds an image directly from a configuration.
+    pub fn from_config(config: &BinConfig) -> Self {
+        RegisterImage {
+            spec: config.spec(),
+            k_table: config.credits().to_vec(),
+            replenish_period: config.replenish_period(),
+        }
+    }
+
+    /// Restores this image into `shaper` at cycle `now` (models the OS
+    /// writing the control registers on context-switch-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's bin count does not match the shaper's
+    /// hardware bin count.
+    pub fn restore(&self, now: Cycle, shaper: &mut MittsShaper) {
+        let cfg = BinConfig::new(self.spec, self.k_table.clone(), self.replenish_period)
+            .expect("a saved image is always a valid configuration");
+        shaper.reconfigure(now, cfg);
+    }
+
+    /// The per-bin replenish credits.
+    pub fn k_table(&self) -> &[u32] {
+        &self.k_table
+    }
+
+    /// The replenishment period.
+    pub fn replenish_period(&self) -> Cycle {
+        self.replenish_period
+    }
+
+    /// Converts back into a [`BinConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image was hand-built with invalid values.
+    pub fn to_config(&self) -> Result<BinConfig, BinConfigError> {
+        BinConfig::new(self.spec, self.k_table.clone(), self.replenish_period)
+    }
+
+    /// Number of architectural bits this image occupies in hardware: per
+    /// bin one credit register and one replenish register (each wide
+    /// enough for [`K_MAX`]), plus the `T_r` register and `T_c` counter.
+    pub fn architectural_bits(&self) -> u32 {
+        let credit_bits = u32::BITS - (K_MAX - 1).leading_zeros(); // 10 bits
+        let per_bin = 2 * credit_bits;
+        let t_r_bits = 32;
+        let t_c_bits = 32;
+        self.k_table.len() as u32 * per_bin + t_r_bits + t_c_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitts_sim::shaper::SourceShaper;
+
+    fn cfg(bin: usize, n: u32) -> BinConfig {
+        let mut c = vec![0u32; 10];
+        c[bin] = n;
+        BinConfig::new(BinSpec::paper_default(), c, 500).unwrap()
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut shaper = MittsShaper::new(cfg(2, 9));
+        let image = RegisterImage::save(&shaper);
+        // Thread B runs with a different configuration...
+        shaper.reconfigure(100, cfg(7, 3));
+        assert_eq!(shaper.config().credit(7), 3);
+        // ...then thread A is switched back in.
+        image.restore(200, &mut shaper);
+        assert_eq!(shaper.config().credit(2), 9);
+        assert_eq!(shaper.config().credit(7), 0);
+        assert_eq!(shaper.config().replenish_period(), 500);
+    }
+
+    #[test]
+    fn restored_shaper_is_functional() {
+        let mut shaper = MittsShaper::new(cfg(0, 1));
+        assert!(shaper.try_issue(0).is_grant());
+        assert!(!shaper.try_issue(1).is_grant());
+        let image = RegisterImage::from_config(&cfg(0, 2));
+        image.restore(10, &mut shaper);
+        assert!(shaper.try_issue(10).is_grant());
+        assert!(shaper.try_issue(11).is_grant());
+        assert!(!shaper.try_issue(12).is_grant());
+    }
+
+    #[test]
+    fn image_round_trips_through_config() {
+        let c = cfg(4, 77);
+        let image = RegisterImage::from_config(&c);
+        assert_eq!(image.to_config().unwrap(), c);
+        assert_eq!(image.k_table()[4], 77);
+        assert_eq!(image.replenish_period(), 500);
+    }
+
+    #[test]
+    fn architectural_bits_match_paper_structures() {
+        let image = RegisterImage::from_config(&cfg(0, 1));
+        // 10 bins x 2 registers x 10 bits + two 32-bit registers.
+        assert_eq!(image.architectural_bits(), 10 * 2 * 10 + 64);
+    }
+}

@@ -1,0 +1,463 @@
+//! The MITTS bin-based traffic shaper (§III-B, §III-D, Fig. 5/6/8).
+//!
+//! The shaper sits on a core's L1-miss path. For each candidate request it
+//! measures the inter-arrival time `t` since the last granted request,
+//! finds the request's bin, and grants the request iff some bin with
+//! representative inter-arrival ≤ `t` still holds a credit. A denied
+//! request simply retries later — by then `t` has grown, so it "ages"
+//! into farther-out (cheaper) bins exactly as the paper describes.
+//!
+//! Both hybrid-placement feedback schemes of §III-D are implemented:
+//!
+//! * **Method 2** (default; used in the 25-core tape-out): deduct a credit
+//!   at L1-miss issue, refund it if the LLC later reports a hit.
+//! * **Method 1**: check credits at issue but deduct only when the LLC
+//!   confirms a miss (slightly aggressive — credits can lag by the number
+//!   of in-flight requests).
+
+use mitts_sim::shaper::{ShapeDecision, ShapeToken, SourceShaper};
+use mitts_sim::types::Cycle;
+
+use crate::bins::{BinConfig, K_MAX};
+
+/// Which §III-D feedback scheme the shaper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeedbackMethod {
+    /// Speculate miss, deduct at issue, refund on LLC hit (the tape-out's
+    /// choice; conservative).
+    #[default]
+    DeductThenRefund,
+    /// Speculate miss, deduct only on confirmed LLC miss (aggressive:
+    /// issue checks may see stale credit counts).
+    DeductOnConfirm,
+    /// No LLC feedback at all: every L1 miss permanently consumes a
+    /// credit. This is Fig. 7's *left* placement (shaper purely after
+    /// the L1), which the paper notes is "inaccurate because shared LLC
+    /// hits will be treated as memory requests" — kept for the placement
+    /// ablation.
+    PureL1,
+}
+
+/// How a grant chooses among the eligible bins (all bins `j` with
+/// `t_j <= t` that hold credits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CreditPolicy {
+    /// Spend the cheapest eligible credit (largest eligible index),
+    /// preserving expensive low-inter-arrival credits for real bursts.
+    #[default]
+    CheapestEligible,
+    /// Spend the most expensive eligible credit (smallest eligible index).
+    /// Included as an ablation; generally wasteful.
+    MostExpensiveEligible,
+}
+
+/// Grant/deny/refund counters exposed for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShaperCounters {
+    /// Requests granted.
+    pub grants: u64,
+    /// Deny decisions (one per stalled attempt).
+    pub denies: u64,
+    /// Credits refunded after LLC hits (method 2).
+    pub refunds: u64,
+    /// Credits deducted on confirmed LLC misses (method 1).
+    pub confirm_deductions: u64,
+    /// Replenishment events.
+    pub replenishments: u64,
+}
+
+/// The MITTS hardware shaper model.
+///
+/// # Examples
+///
+/// ```
+/// use mitts_core::{BinConfig, BinSpec, MittsShaper};
+/// use mitts_sim::shaper::SourceShaper;
+///
+/// // Only bin 0 (inter-arrival < 10 cycles) has credits: a strictly
+/// // back-to-back budget of 4 requests per 100-cycle period.
+/// let mut credits = vec![0u32; 10];
+/// credits[0] = 4;
+/// let cfg = BinConfig::new(BinSpec::paper_default(), credits, 100).unwrap();
+/// let mut shaper = MittsShaper::new(cfg);
+///
+/// assert!(shaper.try_issue(0).is_grant());
+/// assert!(shaper.try_issue(1).is_grant());
+/// // A request arriving 50 cycles later falls in bin 5, which is empty —
+/// // and bins 1..=4 are also empty, but bin 0 still has credits, which a
+/// // *larger* inter-arrival may use (lower-or-equal rule).
+/// assert!(shaper.try_issue(51).is_grant());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MittsShaper {
+    config: BinConfig,
+    /// Live credit counters `n_i`.
+    credits: Vec<u32>,
+    next_replenish: Cycle,
+    last_issue: Option<Cycle>,
+    method: FeedbackMethod,
+    policy: CreditPolicy,
+    counters: ShaperCounters,
+    /// Grants per bin (the shaped traffic distribution actually emitted).
+    grants_per_bin: Vec<u64>,
+    stalls: u64,
+}
+
+impl MittsShaper {
+    /// Creates a shaper with method 2 (deduct-then-refund) and the
+    /// cheapest-eligible credit policy — the tape-out defaults.
+    pub fn new(config: BinConfig) -> Self {
+        let n = config.spec().bins();
+        let credits = config.credits().to_vec();
+        let next_replenish = config.replenish_period();
+        MittsShaper {
+            config,
+            credits,
+            next_replenish,
+            last_issue: None,
+            method: FeedbackMethod::default(),
+            policy: CreditPolicy::default(),
+            counters: ShaperCounters::default(),
+            grants_per_bin: vec![0; n],
+            stalls: 0,
+        }
+    }
+
+    /// Selects the feedback method.
+    pub fn with_method(mut self, method: FeedbackMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Selects the credit-spend policy.
+    pub fn with_policy(mut self, policy: CreditPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BinConfig {
+        &self.config
+    }
+
+    /// The feedback method in use.
+    pub fn method(&self) -> FeedbackMethod {
+        self.method
+    }
+
+    /// Live credit counters `n_i`.
+    pub fn live_credits(&self) -> &[u32] {
+        &self.credits
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> ShaperCounters {
+        self.counters
+    }
+
+    /// Grants per bin — the emitted (shaped) traffic distribution.
+    pub fn grants_per_bin(&self) -> &[u64] {
+        &self.grants_per_bin
+    }
+
+    /// Installs a new configuration at runtime (the OS/hypervisor writing
+    /// the control registers, §III-A). Live credits are reset to the new
+    /// `K_i` and the replenishment counter restarts at `now`.
+    pub fn reconfigure(&mut self, now: Cycle, config: BinConfig) {
+        assert_eq!(
+            config.spec().bins(),
+            self.config.spec().bins(),
+            "bin count is a hardware parameter and cannot change at runtime"
+        );
+        self.credits.copy_from_slice(config.credits());
+        self.next_replenish = now + config.replenish_period();
+        self.config = config;
+    }
+
+    /// The bin a request arriving `gap` cycles after the previous grant
+    /// falls into.
+    pub fn bin_for_gap(&self, gap: Cycle) -> usize {
+        self.config.spec().bin_for_gap(gap)
+    }
+
+    fn eligible_bin(&self, request_bin: usize) -> Option<usize> {
+        let range = 0..=request_bin;
+        match self.policy {
+            CreditPolicy::CheapestEligible => {
+                range.rev().find(|&j| self.credits[j] > 0)
+            }
+            CreditPolicy::MostExpensiveEligible => {
+                range.into_iter().find(|&j| self.credits[j] > 0)
+            }
+        }
+    }
+
+    fn gap_at(&self, now: Cycle) -> Cycle {
+        match self.last_issue {
+            // First request ever: no inter-arrival constraint; treat as
+            // maximally spaced (eligible for every bin).
+            None => Cycle::MAX,
+            Some(last) => now.saturating_sub(last),
+        }
+    }
+}
+
+impl SourceShaper for MittsShaper {
+    fn name(&self) -> &str {
+        "MITTS"
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // Algorithm 1: reset every bin to K_i once per period.
+        if now >= self.next_replenish {
+            self.credits.copy_from_slice(self.config.credits());
+            self.next_replenish = now + self.config.replenish_period();
+            self.counters.replenishments += 1;
+        }
+    }
+
+    fn try_issue(&mut self, now: Cycle) -> ShapeDecision {
+        let gap = self.gap_at(now);
+        let request_bin = self.config.spec().bin_for_gap(gap);
+        let Some(bin) = self.eligible_bin(request_bin) else {
+            self.counters.denies += 1;
+            return ShapeDecision::Deny;
+        };
+        match self.method {
+            FeedbackMethod::DeductThenRefund | FeedbackMethod::PureL1 => {
+                self.credits[bin] -= 1;
+            }
+            FeedbackMethod::DeductOnConfirm => {
+                // No deduction yet; the LLC-miss confirmation does it.
+            }
+        }
+        self.last_issue = Some(now);
+        self.counters.grants += 1;
+        self.grants_per_bin[bin] += 1;
+        ShapeDecision::Grant(bin as ShapeToken)
+    }
+
+    fn on_llc_response(&mut self, _now: Cycle, token: ShapeToken, hit: bool) {
+        let bin = token as usize;
+        if bin >= self.credits.len() {
+            return; // stale token from before a reconfiguration; ignore
+        }
+        match self.method {
+            FeedbackMethod::DeductThenRefund => {
+                if hit {
+                    // Refund, clamped to the architectural register width.
+                    let cap = self.config.credit(bin).clamp(1, K_MAX);
+                    if self.credits[bin] < cap {
+                        self.credits[bin] += 1;
+                    }
+                    self.counters.refunds += 1;
+                }
+            }
+            FeedbackMethod::DeductOnConfirm => {
+                if !hit {
+                    // Confirmed memory request: deduct (may find the bin
+                    // already drained — this is the documented staleness).
+                    self.credits[bin] = self.credits[bin].saturating_sub(1);
+                    self.counters.confirm_deductions += 1;
+                }
+            }
+            FeedbackMethod::PureL1 => {
+                // No feedback path exists in this placement.
+            }
+        }
+    }
+
+    fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    fn note_stall_cycle(&mut self) {
+        self.stalls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::BinSpec;
+
+    fn cfg(credits: Vec<u32>, period: Cycle) -> BinConfig {
+        BinConfig::new(BinSpec::paper_default(), credits, period).unwrap()
+    }
+
+    fn only_bin(bin: usize, n: u32, period: Cycle) -> BinConfig {
+        let mut c = vec![0u32; 10];
+        c[bin] = n;
+        cfg(c, period)
+    }
+
+    #[test]
+    fn first_request_is_always_eligible_if_any_credit() {
+        let mut s = MittsShaper::new(only_bin(9, 1, 1000));
+        assert!(s.try_issue(0).is_grant());
+    }
+
+    #[test]
+    fn empty_config_denies_everything() {
+        let mut s = MittsShaper::new(cfg(vec![0; 10], 1000));
+        assert!(!s.try_issue(0).is_grant());
+        assert!(!s.try_issue(500).is_grant());
+        assert_eq!(s.counters().denies, 2);
+    }
+
+    #[test]
+    fn fast_request_cannot_use_slow_bin() {
+        // Credits only in bin 5 (inter-arrival ~55): a request arriving 3
+        // cycles after the previous grant (bin 0) must stall.
+        let mut s = MittsShaper::new(only_bin(5, 10, 10_000));
+        assert!(s.try_issue(0).is_grant());
+        assert!(!s.try_issue(3).is_grant(), "bin 0 request, only bin 5 credits");
+        // After aging to 50 cycles the request reaches bin 5 and issues.
+        assert!(!s.try_issue(30).is_grant(), "bin 3 < bin 5 still stalls");
+        assert!(s.try_issue(50).is_grant());
+    }
+
+    #[test]
+    fn slow_request_may_use_fast_bin() {
+        // "no credits available in a bin with lower or equal inter-arrival"
+        // — a slow request may consume a fast (expensive) credit.
+        let mut s = MittsShaper::new(only_bin(0, 5, 10_000));
+        assert!(s.try_issue(0).is_grant());
+        assert!(s.try_issue(500).is_grant(), "bin 9 request uses bin 0 credit");
+    }
+
+    #[test]
+    fn cheapest_eligible_policy_preserves_fast_credits() {
+        let mut credits = vec![0u32; 10];
+        credits[0] = 1;
+        credits[4] = 1;
+        let mut s = MittsShaper::new(cfg(credits, 10_000));
+        assert!(s.try_issue(0).is_grant()); // first: cheapest eligible = bin 4
+        assert_eq!(s.live_credits()[4], 0, "cheapest eligible spent first");
+        assert_eq!(s.live_credits()[0], 1);
+    }
+
+    #[test]
+    fn most_expensive_policy_spends_fast_credits_first() {
+        let mut credits = vec![0u32; 10];
+        credits[0] = 1;
+        credits[4] = 1;
+        let mut s = MittsShaper::new(cfg(credits, 10_000))
+            .with_policy(CreditPolicy::MostExpensiveEligible);
+        assert!(s.try_issue(0).is_grant());
+        assert_eq!(s.live_credits()[0], 0);
+        assert_eq!(s.live_credits()[4], 1);
+    }
+
+    #[test]
+    fn replenishment_resets_to_k() {
+        let mut s = MittsShaper::new(only_bin(0, 2, 100));
+        assert!(s.try_issue(0).is_grant());
+        assert!(s.try_issue(1).is_grant());
+        assert!(!s.try_issue(2).is_grant());
+        s.tick(99);
+        assert!(!s.try_issue(99).is_grant(), "period not yet elapsed");
+        s.tick(100);
+        assert!(s.try_issue(100).is_grant(), "credits reset at T_r");
+        assert_eq!(s.counters().replenishments, 1);
+    }
+
+    #[test]
+    fn method2_refunds_on_llc_hit() {
+        let mut s = MittsShaper::new(only_bin(0, 1, 10_000));
+        let d = s.try_issue(0);
+        let ShapeDecision::Grant(token) = d else { panic!("expected grant") };
+        assert!(!s.try_issue(1).is_grant(), "budget exhausted");
+        s.on_llc_response(5, token, true);
+        assert!(s.try_issue(6).is_grant(), "refund restores the credit");
+        assert_eq!(s.counters().refunds, 1);
+    }
+
+    #[test]
+    fn method2_refund_clamps_at_k() {
+        let mut s = MittsShaper::new(only_bin(0, 1, 10_000));
+        // Refund without a matching deduction (replenish in between).
+        s.on_llc_response(5, 0, true);
+        assert_eq!(s.live_credits()[0], 1, "refund must not exceed K_i");
+    }
+
+    #[test]
+    fn method2_no_refund_on_miss() {
+        let mut s = MittsShaper::new(only_bin(0, 1, 10_000));
+        let ShapeDecision::Grant(token) = s.try_issue(0) else { panic!() };
+        s.on_llc_response(5, token, false);
+        assert!(!s.try_issue(6).is_grant());
+    }
+
+    #[test]
+    fn method1_deducts_only_on_confirm() {
+        let mut s = MittsShaper::new(only_bin(0, 1, 10_000))
+            .with_method(FeedbackMethod::DeductOnConfirm);
+        let ShapeDecision::Grant(t0) = s.try_issue(0) else { panic!() };
+        // Credit not yet deducted: a second request may (aggressively)
+        // issue before the first resolves.
+        assert!(s.try_issue(1).is_grant(), "method 1 is slightly aggressive");
+        s.on_llc_response(5, t0, false);
+        assert_eq!(s.live_credits()[0], 0);
+        assert!(!s.try_issue(6).is_grant(), "after confirm the bin is empty");
+        assert_eq!(s.counters().confirm_deductions, 1);
+    }
+
+    #[test]
+    fn method1_hit_costs_nothing() {
+        let mut s = MittsShaper::new(only_bin(0, 1, 10_000))
+            .with_method(FeedbackMethod::DeductOnConfirm);
+        let ShapeDecision::Grant(t0) = s.try_issue(0) else { panic!() };
+        s.on_llc_response(5, t0, true);
+        assert_eq!(s.live_credits()[0], 1);
+    }
+
+    #[test]
+    fn pure_l1_ignores_llc_feedback() {
+        let mut s = MittsShaper::new(only_bin(0, 1, 10_000))
+            .with_method(FeedbackMethod::PureL1);
+        let ShapeDecision::Grant(token) = s.try_issue(0) else { panic!() };
+        // Even an LLC *hit* does not refund: the pure-L1 placement has no
+        // feedback path, which is exactly its documented inaccuracy.
+        s.on_llc_response(5, token, true);
+        assert!(!s.try_issue(6).is_grant(), "pure-L1 must not refund on hit");
+        assert_eq!(s.counters().refunds, 0);
+    }
+
+    #[test]
+    fn reconfigure_installs_new_credits() {
+        let mut s = MittsShaper::new(only_bin(0, 1, 100));
+        assert!(s.try_issue(0).is_grant());
+        s.reconfigure(50, only_bin(3, 7, 200));
+        assert_eq!(s.live_credits()[3], 7);
+        assert_eq!(s.live_credits()[0], 0);
+        assert_eq!(s.config().replenish_period(), 200);
+        // Replenish now happens at 50 + 200.
+        s.tick(249);
+        let before = s.counters().replenishments;
+        s.tick(250);
+        assert_eq!(s.counters().replenishments, before + 1);
+    }
+
+    #[test]
+    fn grants_per_bin_tracks_emitted_distribution() {
+        let mut credits = vec![0u32; 10];
+        credits[0] = 2;
+        credits[9] = 2;
+        let mut s = MittsShaper::new(cfg(credits, 100_000));
+        assert!(s.try_issue(0).is_grant()); // gap MAX -> bin 9 credit
+        assert!(s.try_issue(2).is_grant()); // gap 2 -> bin 0 credit
+        assert!(s.try_issue(100).is_grant()); // gap 98 -> bin 9 credit
+        let g = s.grants_per_bin();
+        assert_eq!(g[9], 2);
+        assert_eq!(g[0], 1);
+    }
+
+    #[test]
+    fn stale_token_after_reconfigure_is_ignored() {
+        let spec = BinSpec::new(10, 10);
+        let mut s = MittsShaper::new(BinConfig::new(spec, vec![1; 10], 100).unwrap());
+        // A token equal to bins() (out of range) must not panic.
+        s.on_llc_response(0, 10, true);
+    }
+}

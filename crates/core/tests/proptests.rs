@@ -1,0 +1,156 @@
+//! Property-based tests for the MITTS shaper's credit invariants.
+
+use proptest::prelude::*;
+
+use mitts_core::{BinConfig, BinSpec, CreditPolicy, FeedbackMethod, MittsShaper};
+use mitts_sim::shaper::{ShapeDecision, SourceShaper};
+
+fn arb_config() -> impl Strategy<Value = BinConfig> {
+    proptest::collection::vec(0u32..64, 10).prop_map(|credits| {
+        BinConfig::new(BinSpec::paper_default(), credits, 1_000).expect("valid by construction")
+    })
+}
+
+proptest! {
+    /// Live credits never exceed the configured K_i under any interleaving
+    /// of grants, refunds, and replenishments (method 2).
+    #[test]
+    fn credits_bounded_by_k(
+        config in arb_config(),
+        events in proptest::collection::vec((0u64..40, any::<bool>()), 1..300),
+    ) {
+        let mut s = MittsShaper::new(config.clone());
+        let mut now = 0;
+        let mut outstanding: Vec<u32> = Vec::new();
+        for &(step, hit) in &events {
+            now += step;
+            s.tick(now);
+            if let ShapeDecision::Grant(token) = s.try_issue(now) {
+                outstanding.push(token);
+            }
+            // Randomly resolve an outstanding request.
+            if hit {
+                if let Some(tok) = outstanding.pop() {
+                    s.on_llc_response(now, tok, true);
+                }
+            }
+            for (i, &live) in s.live_credits().iter().enumerate() {
+                prop_assert!(
+                    live <= config.credit(i).max(1),
+                    "bin {i}: live {live} exceeds K {}",
+                    config.credit(i)
+                );
+            }
+        }
+    }
+
+    /// Between replenishments, grants minus refunds can never exceed the
+    /// configured total credits (method 2): the budget is hard.
+    #[test]
+    fn per_period_budget_is_hard(
+        config in arb_config(),
+        steps in proptest::collection::vec(0u64..8, 1..400),
+    ) {
+        let total = config.total_credits();
+        let mut s = MittsShaper::new(config);
+        let mut now = 0;
+        let mut grants_this_period = 0u64;
+        for &step in &steps {
+            now += step;
+            let before = s.counters().replenishments;
+            s.tick(now);
+            if s.counters().replenishments != before {
+                grants_this_period = 0;
+            }
+            if s.try_issue(now).is_grant() {
+                grants_this_period += 1;
+                prop_assert!(
+                    grants_this_period <= total,
+                    "granted {grants_this_period} against {total} credits"
+                );
+            }
+        }
+    }
+
+    /// A granted request's token always names a bin whose representative
+    /// inter-arrival is <= the request's gap (the eligibility rule),
+    /// for both credit policies.
+    #[test]
+    fn grants_respect_eligibility(
+        config in arb_config(),
+        steps in proptest::collection::vec(0u64..300, 1..150),
+        cheapest in any::<bool>(),
+    ) {
+        let policy = if cheapest {
+            CreditPolicy::CheapestEligible
+        } else {
+            CreditPolicy::MostExpensiveEligible
+        };
+        let spec = BinSpec::paper_default();
+        let mut s = MittsShaper::new(config).with_policy(policy);
+        let mut now = 0u64;
+        let mut last_grant: Option<u64> = None;
+        for &step in &steps {
+            now += step;
+            s.tick(now);
+            if let ShapeDecision::Grant(token) = s.try_issue(now) {
+                if let Some(prev) = last_grant {
+                    let gap = now - prev;
+                    let request_bin = spec.bin_for_gap(gap);
+                    prop_assert!(
+                        (token as usize) <= request_bin,
+                        "gap {gap} (bin {request_bin}) used bin {token}"
+                    );
+                }
+                last_grant = Some(now);
+            }
+        }
+    }
+
+    /// Method 1 (deduct on confirm) grants at least as often as method 2
+    /// for the same request/response sequence — it is documented as
+    /// "slightly aggressive".
+    #[test]
+    fn method1_at_least_as_permissive(
+        config in arb_config(),
+        steps in proptest::collection::vec(0u64..20, 1..200),
+    ) {
+        let run = |method: FeedbackMethod| {
+            let mut s = MittsShaper::new(config.clone()).with_method(method);
+            let mut now = 0;
+            let mut grants = 0u64;
+            for &step in &steps {
+                now += step;
+                s.tick(now);
+                if let ShapeDecision::Grant(tok) = s.try_issue(now) {
+                    grants += 1;
+                    // Every request turns out to be a miss.
+                    s.on_llc_response(now, tok, false);
+                }
+            }
+            grants
+        };
+        let m2 = run(FeedbackMethod::DeductThenRefund);
+        let m1 = run(FeedbackMethod::DeductOnConfirm);
+        prop_assert!(m1 >= m2, "method 1 ({m1}) < method 2 ({m2})");
+    }
+
+    /// Reconfiguration installs exactly the new credits and the shaper
+    /// keeps functioning (replenishing to the new values).
+    #[test]
+    fn reconfigure_is_clean(
+        a in arb_config(),
+        b in arb_config(),
+        when in 0u64..5_000,
+    ) {
+        let mut s = MittsShaper::new(a);
+        s.tick(when);
+        let _ = s.try_issue(when);
+        s.reconfigure(when, b.clone());
+        prop_assert_eq!(s.live_credits(), b.credits());
+        // After one full period the credits are K again.
+        let later = when + b.replenish_period();
+        s.tick(later);
+        prop_assert_eq!(s.live_credits(), b.credits());
+    }
+}

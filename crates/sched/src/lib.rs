@@ -1,0 +1,98 @@
+#![warn(missing_docs)]
+
+//! # mitts-sched — baseline memory schedulers
+//!
+//! Reimplementations (from the published algorithm descriptions, on this
+//! repository's simulator substrate) of the memory-scheduling baselines
+//! MITTS is compared against in §IV-D of the paper:
+//!
+//! | Policy | Idea |
+//! |---|---|
+//! | [`FrFcfs`] | row-buffer hits first, then oldest |
+//! | [`FairQueue`] | per-thread virtual finish times |
+//! | [`Tcm`] | latency/bandwidth thread clustering + shuffled ranks |
+//! | [`Fst`] | slowdown-driven source throttling |
+//! | [`MemGuard`] | per-core guaranteed bandwidth budgets |
+//! | [`Mise`] | highest-priority sampling slowdown estimation |
+//! | [`CongestionGuard`] | §III-C future-work extension: source throttling on controller congestion, wrapping any policy |
+//!
+//! All implement [`mitts_sim::mc::Scheduler`]; pass one to
+//! [`mitts_sim::system::SystemBuilder::scheduler`]. The paper's MITTS
+//! runs use FR-FCFS at the controller with shaping at the source, and the
+//! hybrid study (Fig. 14) pairs source-side MITTS with [`Mise`].
+//!
+//! # Example
+//!
+//! ```
+//! use mitts_sched::{baseline_names, make_baseline};
+//! use mitts_sim::config::SystemConfig;
+//! use mitts_sim::system::SystemBuilder;
+//!
+//! for name in baseline_names() {
+//!     let sched = make_baseline(name, 4).expect("known baseline");
+//!     let mut sys = SystemBuilder::new(SystemConfig::multi_program(4))
+//!         .scheduler(sched)
+//!         .build();
+//!     sys.run_cycles(1_000);
+//! }
+//! ```
+
+pub mod common;
+pub mod congestion;
+pub mod fairqueue;
+pub mod frfcfs;
+pub mod fst;
+pub mod memguard;
+pub mod mise;
+pub mod tcm;
+
+pub use congestion::CongestionGuard;
+pub use fairqueue::FairQueue;
+pub use frfcfs::FrFcfs;
+pub use fst::Fst;
+pub use memguard::MemGuard;
+pub use mise::Mise;
+pub use tcm::Tcm;
+
+use mitts_sim::mc::{FcfsScheduler, Scheduler};
+
+/// Names of every baseline, in the order the paper's figures list them.
+pub fn baseline_names() -> &'static [&'static str] {
+    &["FR-FCFS", "FairQueue", "TCM", "FST", "MemGuard", "MISE"]
+}
+
+/// Constructs a baseline scheduler by name for a `cores`-core system,
+/// using reproduction-scaled parameters. Returns `None` for unknown
+/// names. `"FCFS"` is also accepted.
+pub fn make_baseline(name: &str, cores: usize) -> Option<Box<dyn Scheduler>> {
+    Some(match name {
+        "FCFS" => Box::new(FcfsScheduler::new()),
+        "FR-FCFS" => Box::new(FrFcfs::new()),
+        "FairQueue" => Box::new(FairQueue::new(cores)),
+        "TCM" => Box::new(Tcm::new(cores)),
+        "FST" => Box::new(Fst::new(cores)),
+        "MemGuard" => Box::new(MemGuard::default_for(cores, 10_000)),
+        "MISE" => Box::new(Mise::new(cores)),
+        "FR-FCFS+CG" => Box::new(CongestionGuard::with_defaults(FrFcfs::new())),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_baseline() {
+        for name in baseline_names() {
+            let s = make_baseline(name, 4).expect("factory must know every listed name");
+            assert_eq!(&s.name(), name);
+        }
+    }
+
+    #[test]
+    fn factory_accepts_fcfs_and_rejects_unknown() {
+        assert!(make_baseline("FCFS", 2).is_some());
+        assert!(make_baseline("nonsense", 2).is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! Thread Cluster Memory scheduling (after Kim et al., MICRO 2010).
+//!
+//! Every quantum, threads are split by memory intensity (MPKI) into a
+//! **latency-sensitive cluster** (low intensity, strict high priority)
+//! and a **bandwidth-sensitive cluster** (everyone else, periodically
+//! shuffled ranking for fairness among heavy threads). The paper uses
+//! `ClusterThresh = 2/N` of total bandwidth usage and a one-million-cycle
+//! quantum; both are configurable here because reproduction runs are much
+//! shorter than 200 M cycles.
+//!
+//! MITTS's criticism of TCM (§II-A) — that clustering can misplace a
+//! high-intensity thread into the latency cluster and be very unfair —
+//! emerges naturally from this implementation: clustering keys on a
+//! *fraction of total* intensity, so a heavy thread among heavier ones
+//! can land in the favoured cluster.
+
+use mitts_sim::mc::{CoreSignals, DramView, Scheduler, SourceControl, Transaction};
+use mitts_sim::rng::Rng;
+use mitts_sim::types::Cycle;
+
+use crate::common::ranked_pick;
+
+/// The TCM policy.
+#[derive(Debug, Clone)]
+pub struct Tcm {
+    cores: usize,
+    quantum: Cycle,
+    shuffle_interval: Cycle,
+    cluster_thresh: f64,
+    next_quantum: Cycle,
+    next_shuffle: Cycle,
+    /// rank[core] — smaller is higher priority.
+    rank: Vec<usize>,
+    /// Cores in the bandwidth cluster (shuffled periodically).
+    bandwidth_cluster: Vec<usize>,
+    prev_llc_misses: Vec<u64>,
+    prev_instructions: Vec<u64>,
+    rng: Rng,
+}
+
+impl Tcm {
+    /// Creates TCM for `cores` sharers with the paper's parameters scaled
+    /// for short runs (50 k-cycle quantum, 2 k-cycle shuffle,
+    /// `ClusterThresh = 2/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize) -> Self {
+        Tcm::with_params(cores, 50_000, 2_000)
+    }
+
+    /// Creates TCM with the original paper's quantum (1 M cycles) and an
+    /// 800-cycle shuffle interval.
+    pub fn paper_params(cores: usize) -> Self {
+        Tcm::with_params(cores, 1_000_000, 800)
+    }
+
+    /// Creates TCM with explicit quantum and shuffle interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or either interval is zero.
+    pub fn with_params(cores: usize, quantum: Cycle, shuffle_interval: Cycle) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(quantum > 0 && shuffle_interval > 0, "intervals must be positive");
+        Tcm {
+            cores,
+            quantum,
+            shuffle_interval,
+            cluster_thresh: 2.0 / cores as f64,
+            next_quantum: quantum,
+            next_shuffle: shuffle_interval,
+            rank: (0..cores).collect(),
+            bandwidth_cluster: Vec::new(),
+            prev_llc_misses: vec![0; cores],
+            prev_instructions: vec![0; cores],
+            rng: Rng::seeded(0x7C11_5EED),
+        }
+    }
+
+    fn recluster(&mut self, signals: &[CoreSignals]) {
+        // Per-quantum MPKI.
+        let mut mpki: Vec<(usize, f64)> = (0..self.cores)
+            .map(|i| {
+                let d_miss = signals[i].llc_misses.saturating_sub(self.prev_llc_misses[i]);
+                let d_inst =
+                    signals[i].instructions.saturating_sub(self.prev_instructions[i]).max(1);
+                self.prev_llc_misses[i] = signals[i].llc_misses;
+                self.prev_instructions[i] = signals[i].instructions;
+                (i, d_miss as f64 * 1000.0 / d_inst as f64)
+            })
+            .collect();
+        let total: f64 = mpki.iter().map(|&(_, m)| m).sum::<f64>();
+        if total < 1e-6 {
+            // A quantum with no memory traffic carries no clustering
+            // information; keep the previous clustering.
+            return;
+        }
+        // Sort by intensity ascending; fill the latency cluster until the
+        // cumulative intensity share exceeds ClusterThresh.
+        mpki.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("MPKI is finite"));
+        let mut latency = Vec::new();
+        let mut bandwidth = Vec::new();
+        let mut used = 0.0;
+        for &(core, m) in &mpki {
+            if used + m <= self.cluster_thresh * total {
+                used += m;
+                latency.push(core);
+            } else {
+                bandwidth.push(core);
+            }
+        }
+        // Ranks: latency cluster first (lowest MPKI = best rank), then the
+        // bandwidth cluster in (to-be-shuffled) order.
+        self.rank = vec![0; self.cores];
+        let mut r = 0;
+        for &c in &latency {
+            self.rank[c] = r;
+            r += 1;
+        }
+        for &c in &bandwidth {
+            self.rank[c] = r;
+            r += 1;
+        }
+        self.bandwidth_cluster = bandwidth;
+    }
+
+    fn shuffle(&mut self) {
+        // Fisher-Yates over the bandwidth cluster's rank slots.
+        let n = self.bandwidth_cluster.len();
+        if n < 2 {
+            return;
+        }
+        let base = self.cores - n;
+        for i in (1..n).rev() {
+            let j = self.rng.below(i as u64 + 1) as usize;
+            self.bandwidth_cluster.swap(i, j);
+        }
+        for (offset, &core) in self.bandwidth_cluster.iter().enumerate() {
+            self.rank[core] = base + offset;
+        }
+    }
+
+    /// Current rank of each core (smaller = higher priority). Exposed for
+    /// tests and experiments.
+    pub fn ranks(&self) -> &[usize] {
+        &self.rank
+    }
+}
+
+impl Scheduler for Tcm {
+    fn name(&self) -> &str {
+        "TCM"
+    }
+
+    fn pick(&mut self, _now: Cycle, pending: &[Transaction], view: &DramView<'_>)
+        -> Option<usize> {
+        let rank = &self.rank;
+        ranked_pick(pending, view, |core| rank[core.index()])
+    }
+
+    fn tick(&mut self, now: Cycle, signals: &[CoreSignals], _ctl: &mut SourceControl) {
+        if now >= self.next_quantum {
+            self.recluster(signals);
+            self.next_quantum = now + self.quantum;
+        }
+        if now >= self.next_shuffle {
+            self.shuffle();
+            self.next_shuffle = now + self.shuffle_interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signals(mpki_pairs: &[(u64, u64)]) -> Vec<CoreSignals> {
+        mpki_pairs
+            .iter()
+            .map(|&(misses, insts)| CoreSignals {
+                llc_misses: misses,
+                instructions: insts,
+                ..CoreSignals::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn light_threads_enter_latency_cluster() {
+        let mut tcm = Tcm::new(4);
+        let mut ctl = SourceControl::new(4);
+        // Core 0/1 light (1 MPKI), core 2/3 heavy (50 MPKI).
+        let s = signals(&[(100, 100_000), (120, 100_000), (5_000, 100_000), (6_000, 100_000)]);
+        tcm.tick(50_000, &s, &mut ctl);
+        let r = tcm.ranks();
+        assert!(r[0] < r[2] && r[0] < r[3], "light core 0 outranks heavy: {r:?}");
+        assert!(r[1] < r[2] && r[1] < r[3], "light core 1 outranks heavy: {r:?}");
+    }
+
+    #[test]
+    fn shuffle_permutes_only_bandwidth_cluster() {
+        let mut tcm = Tcm::with_params(4, 1_000, 10);
+        let mut ctl = SourceControl::new(4);
+        let s = signals(&[(10, 100_000), (20, 100_000), (5_000, 100_000), (6_000, 100_000)]);
+        tcm.tick(1_000, &s, &mut ctl);
+        let light_ranks: Vec<usize> = vec![tcm.ranks()[0], tcm.ranks()[1]];
+        // Many shuffles later the light cores' ranks must be unchanged.
+        for k in 1..50 {
+            tcm.tick(1_000 + k * 10, &s, &mut ctl);
+        }
+        assert_eq!(vec![tcm.ranks()[0], tcm.ranks()[1]], light_ranks);
+        // Heavy cores stay in the bottom two rank slots.
+        assert!(tcm.ranks()[2] >= 2 && tcm.ranks()[3] >= 2);
+    }
+
+    #[test]
+    fn shuffle_eventually_swaps_heavy_ranks() {
+        let mut tcm = Tcm::with_params(4, 1_000, 10);
+        let mut ctl = SourceControl::new(4);
+        // One light core and three equally heavy ones: the cumulative
+        // 2/N-of-total fill rule admits the light core plus the first
+        // heavy core into the latency cluster and leaves two heavies in
+        // the bandwidth cluster, where shuffling can permute them.
+        let s = signals(&[
+            (10, 100_000),
+            (100_000, 100_000),
+            (100_000, 100_000),
+            (100_000, 100_000),
+        ]);
+        tcm.tick(1_000, &s, &mut ctl);
+        let heavy_pair: Vec<usize> =
+            (0..4).filter(|&i| tcm.ranks()[i] >= 2).collect();
+        assert_eq!(heavy_pair.len(), 2, "two cores in the bandwidth cluster");
+        let initial = tcm.ranks()[heavy_pair[0]];
+        let mut changed = false;
+        for k in 1..100 {
+            tcm.tick(1_000 + k * 10, &s, &mut ctl);
+            if tcm.ranks()[heavy_pair[0]] != initial {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "bandwidth-cluster ranks must rotate under shuffling");
+    }
+
+    #[test]
+    fn quantum_gates_reclustering() {
+        let mut tcm = Tcm::with_params(2, 10_000, 1_000_000);
+        let mut ctl = SourceControl::new(2);
+        let s = signals(&[(1, 1000), (1000, 1000)]);
+        tcm.tick(1, &s, &mut ctl);
+        // Before the first quantum boundary the initial identity ranking
+        // holds.
+        assert_eq!(tcm.ranks(), &[0, 1]);
+    }
+}

@@ -1,0 +1,467 @@
+//! DDR3 DRAM timing model (the DRAMSim2 substitute).
+//!
+//! Models one channel with one rank of `B` banks, each with an open-row
+//! (row-buffer) state machine, plus a shared data bus. The first-order
+//! effects that memory schedulers exploit are reproduced:
+//!
+//! * **row hit** — column command only: `tCL + burst`;
+//! * **row miss** (bank closed) — `tRCD + tCL + burst`;
+//! * **row conflict** (other row open) — `tRP + tRCD + tCL + burst`;
+//! * bank-level parallelism across the 8 banks;
+//! * serialisation of bursts on the shared data bus;
+//! * `tRAS` / `tRTP` / `tWR` restrictions on early precharge and `tRRD`
+//!   between activations.
+//!
+//! Transactions are scheduled at transaction granularity: once the
+//! controller dispatches a transaction to a bank, the model computes the
+//! legal timestamps for the implicit PRE/ACT/column commands and reserves
+//! the data bus.
+
+use crate::config::{DramConfig, DramTimingCycles};
+use crate::types::{Addr, Cycle, MemCmd};
+
+/// Decoded DRAM coordinates of a line address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+/// Address mapping: row:bank:column with 64 B columns.
+///
+/// Consecutive lines walk the columns of a row in one bank, so streaming
+/// access patterns produce row hits; the bank index comes from the bits
+/// just above the column so different 8 KB regions spread across banks.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMap {
+    banks: usize,
+    columns_per_row: u64,
+}
+
+impl AddressMap {
+    /// Builds the mapping for the given organisation.
+    pub fn new(config: &DramConfig) -> Self {
+        AddressMap {
+            banks: config.banks,
+            columns_per_row: (config.row_bytes / 64) as u64,
+        }
+    }
+
+    /// Maps a byte address to its bank and row.
+    pub fn coord(&self, addr: Addr) -> DramCoord {
+        let line = addr / 64;
+        let within = line / self.columns_per_row;
+        DramCoord {
+            bank: (within % self.banks as u64) as usize,
+            row: within / self.banks as u64,
+        }
+    }
+}
+
+/// Visible status of a single bank, exposed to schedulers so row-hit-aware
+/// policies (FR-FCFS, TCM, ...) can make decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankStatus {
+    /// Currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Earliest cycle a new transaction may start on this bank.
+    pub ready_at: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest cycle the bank can accept the next transaction's first
+    /// command.
+    ready_at: Cycle,
+    /// Earliest cycle a precharge may be issued (tRAS/tRTP/tWR fences).
+    precharge_ok_at: Cycle,
+}
+
+/// One service completed by the DRAM: data for reads, write-done for
+/// writes, tagged with the token the controller handed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCompletion<T> {
+    /// Opaque controller token (transaction id).
+    pub token: T,
+    /// Cycle the last data beat left the device.
+    pub done_at: Cycle,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+}
+
+/// The DRAM channel model.
+///
+/// The controller calls [`Dram::can_start`] / [`Dram::start`] to dispatch
+/// one transaction per cycle, and [`Dram::drain_completions`] to collect
+/// finished transactions.
+#[derive(Debug, Clone)]
+pub struct Dram<T> {
+    timing: DramTimingCycles,
+    map: AddressMap,
+    banks: Vec<Bank>,
+    /// Earliest cycle the shared data bus is free.
+    bus_free_at: Cycle,
+    /// Earliest next ACT anywhere in the rank (tRRD).
+    next_act_at: Cycle,
+    /// Next scheduled all-bank refresh (u64::MAX when disabled).
+    next_refresh: Cycle,
+    /// Refreshes performed.
+    refreshes: u64,
+    /// Cycle after which a read burst may start following the last write
+    /// (write-to-read turnaround).
+    wtr_fence: Cycle,
+    inflight: Vec<DramCompletion<T>>,
+    // Statistics
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+    bytes_transferred: u64,
+    busy_bus_cycles: u64,
+}
+
+impl<T: Copy> Dram<T> {
+    /// Creates a channel from the configuration, with timing converted to
+    /// CPU cycles at `freq_hz`.
+    pub fn new(config: &DramConfig, freq_hz: f64) -> Self {
+        Dram {
+            timing: config.timing_cycles(freq_hz),
+            map: AddressMap::new(config),
+            banks: vec![
+                Bank { open_row: None, ready_at: 0, precharge_ok_at: 0 };
+                config.banks
+            ],
+            bus_free_at: 0,
+            next_act_at: 0,
+            next_refresh: {
+                let t = config.timing_cycles(freq_hz);
+                if t.t_refi == 0 { Cycle::MAX } else { t.t_refi }
+            },
+            refreshes: 0,
+            wtr_fence: 0,
+            inflight: Vec::new(),
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+            bytes_transferred: 0,
+            busy_bus_cycles: 0,
+        }
+    }
+
+    /// The address mapping in use.
+    pub fn address_map(&self) -> AddressMap {
+        self.map
+    }
+
+    /// Timing parameters in CPU cycles.
+    pub fn timing(&self) -> DramTimingCycles {
+        self.timing
+    }
+
+    /// Status snapshot of every bank (for schedulers).
+    pub fn bank_status(&self) -> Vec<BankStatus> {
+        self.banks
+            .iter()
+            .map(|b| BankStatus { open_row: b.open_row, ready_at: b.ready_at })
+            .collect()
+    }
+
+    /// Whether `addr` would hit the open row of its bank *right now*.
+    pub fn is_row_hit(&self, addr: Addr) -> bool {
+        let c = self.map.coord(addr);
+        self.banks[c.bank].open_row == Some(c.row)
+    }
+
+    /// Whether the bank owning `addr` can accept a new transaction at
+    /// `now` (accounting for a pending refresh fence).
+    pub fn can_start(&self, now: Cycle, addr: Addr) -> bool {
+        let c = self.map.coord(addr);
+        if now >= self.next_refresh {
+            // A refresh is due: the bank is unavailable until the fence
+            // (applied for real on the next `start`).
+            return now >= self.next_refresh + self.timing.t_rfc
+                && self.banks[c.bank].ready_at <= now;
+        }
+        self.banks[c.bank].ready_at <= now
+    }
+
+    /// Applies any due all-bank refreshes: every bank closes its row and
+    /// is fenced for `tRFC` from the refresh point.
+    fn apply_refresh(&mut self, now: Cycle) {
+        while now >= self.next_refresh {
+            let fence = self.next_refresh + self.timing.t_rfc;
+            for bank in &mut self.banks {
+                bank.open_row = None;
+                bank.ready_at = bank.ready_at.max(fence);
+                bank.precharge_ok_at = bank.precharge_ok_at.max(fence);
+            }
+            self.refreshes += 1;
+            self.next_refresh += self.timing.t_refi.max(1);
+        }
+    }
+
+    /// All-bank refreshes performed so far.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Dispatches a transaction to its bank, computing when each implicit
+    /// command may legally issue. Returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if called while the bank is still busy;
+    /// guard with [`Dram::can_start`].
+    pub fn start(&mut self, now: Cycle, addr: Addr, cmd: MemCmd, token: T) -> Cycle {
+        self.apply_refresh(now);
+        let coord = self.map.coord(addr);
+        let t = self.timing;
+        let bank = &mut self.banks[coord.bank];
+        debug_assert!(bank.ready_at <= now, "bank busy until {}", bank.ready_at);
+
+        let row_hit = bank.open_row == Some(coord.row);
+        let row_closed = bank.open_row.is_none();
+
+        // When may the column command issue on this bank?
+        let col_ready = if row_hit {
+            self.row_hits += 1;
+            now
+        } else if row_closed {
+            self.row_misses += 1;
+            let act_at = now.max(self.next_act_at);
+            self.next_act_at = act_at + t.t_rrd;
+            act_at + t.t_rcd
+        } else {
+            self.row_conflicts += 1;
+            let pre_at = now.max(bank.precharge_ok_at);
+            let act_at = (pre_at + t.t_rp).max(self.next_act_at);
+            self.next_act_at = act_at + t.t_rrd;
+            act_at + t.t_rcd
+        };
+
+        // Data burst: after CAS latency, when the shared bus is free.
+        let cas = if cmd.is_read() { t.t_cl } else { t.t_cwl };
+        let mut data_start = (col_ready + cas).max(self.bus_free_at);
+        if cmd.is_read() {
+            data_start = data_start.max(self.wtr_fence);
+        }
+        let data_end = data_start + t.burst;
+        self.bus_free_at = data_end;
+        if !cmd.is_read() {
+            self.wtr_fence = data_end + t.t_wtr;
+        }
+        self.bytes_transferred += 64;
+        self.busy_bus_cycles += t.burst;
+
+        // Bank bookkeeping: the row stays open (open-page policy).
+        let act_time = if row_hit { None } else { Some(col_ready - t.t_rcd) };
+        bank.open_row = Some(coord.row);
+        let ras_fence = act_time.map(|a| a + t.t_ras).unwrap_or(bank.precharge_ok_at);
+        let col_fence = if cmd.is_read() {
+            col_ready + t.t_rtp
+        } else {
+            data_end + t.t_wr
+        };
+        bank.precharge_ok_at = ras_fence.max(col_fence);
+        // The bank can take its next transaction once the column command
+        // has issued; a follow-up row hit can pipeline behind this one,
+        // while a conflict will be fenced by `precharge_ok_at`.
+        bank.ready_at = col_ready + t.burst.max(4);
+
+        self.inflight.push(DramCompletion { token, done_at: data_end, row_hit });
+        data_end
+    }
+
+    /// Removes and returns every transaction whose data finished by `now`.
+    pub fn drain_completions(&mut self, now: Cycle) -> Vec<DramCompletion<T>> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].done_at <= now {
+                done.push(self.inflight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done.sort_by_key(|c| c.done_at);
+        done
+    }
+
+    /// Number of dispatched-but-unfinished transactions.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// (row hits, row misses, row conflicts) since construction.
+    pub fn row_stats(&self) -> (u64, u64, u64) {
+        (self.row_hits, self.row_misses, self.row_conflicts)
+    }
+
+    /// Total bytes moved over the data bus.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Cycles the data bus spent transferring (utilisation numerator).
+    pub fn busy_bus_cycles(&self) -> u64 {
+        self.busy_bus_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram<u32> {
+        Dram::new(&DramConfig::default(), 2.4e9)
+    }
+
+    #[test]
+    fn address_map_walks_columns_then_banks() {
+        let m = AddressMap::new(&DramConfig::default());
+        // 8 KB row = 128 columns of 64 B.
+        let a0 = m.coord(0);
+        let a1 = m.coord(64);
+        assert_eq!(a0, a1, "adjacent lines share a row");
+        let next_row_region = m.coord(8 * 1024);
+        assert_eq!(next_row_region.bank, 1, "next 8 KB region maps to next bank");
+        assert_eq!(next_row_region.row, 0);
+        let wrap = m.coord(8 * 1024 * 8);
+        assert_eq!(wrap.bank, 0);
+        assert_eq!(wrap.row, 1);
+    }
+
+    #[test]
+    fn closed_bank_access_takes_rcd_cl_burst() {
+        let mut d = dram();
+        let t = d.timing();
+        let done = d.start(0, 0x0, MemCmd::Read, 1);
+        assert_eq!(done, t.t_rcd + t.t_cl + t.burst);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        let mut d = dram();
+        let t = d.timing();
+        let first = d.start(0, 0x0, MemCmd::Read, 1);
+        // Same row again, after bank free: row hit.
+        let now = first + 200;
+        assert!(d.can_start(now, 64));
+        let hit_done = d.start(now, 64, MemCmd::Read, 2);
+        assert_eq!(hit_done - now, t.t_cl + t.burst, "row hit pays CL+burst only");
+        // Different row, same bank: conflict, pays tRP + tRCD too.
+        let now2 = hit_done + 200;
+        let conflict_addr = 8 * 1024 * 8; // bank 0, row 1
+        let conf_done = d.start(now2, conflict_addr, MemCmd::Read, 3);
+        assert!(conf_done - now2 >= t.t_rp + t.t_rcd + t.t_cl + t.burst);
+        let (h, m, c) = d.row_stats();
+        assert_eq!((h, m, c), (1, 1, 1));
+    }
+
+    #[test]
+    fn data_bus_serialises_parallel_banks() {
+        let mut d = dram();
+        let t = d.timing();
+        // Two reads to different banks at the same cycle: both activate in
+        // parallel (minus tRRD) but bursts are back-to-back on the bus.
+        let done0 = d.start(0, 0, MemCmd::Read, 1);
+        assert!(d.can_start(0, 8 * 1024), "different bank should be free");
+        let done1 = d.start(0, 8 * 1024, MemCmd::Read, 2);
+        assert!(done1 >= done0 + t.burst, "bursts must not overlap on the bus");
+        assert!(
+            done1 < done0 + t.t_rcd + t.t_cl,
+            "bank parallelism should overlap activation latency"
+        );
+    }
+
+    #[test]
+    fn same_bank_back_to_back_requires_ready() {
+        let mut d = dram();
+        d.start(0, 0, MemCmd::Read, 1);
+        assert!(!d.can_start(1, 64), "bank busy immediately after dispatch");
+    }
+
+    #[test]
+    fn completions_drain_in_time_order() {
+        let mut d = dram();
+        let done0 = d.start(0, 0, MemCmd::Read, 10);
+        let done1 = d.start(0, 8 * 1024, MemCmd::Read, 11);
+        assert!(d.drain_completions(done0 - 1).is_empty());
+        let first = d.drain_completions(done0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].token, 10);
+        let second = d.drain_completions(done1);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].token, 11);
+        assert_eq!(d.inflight_len(), 0);
+    }
+
+    #[test]
+    fn writes_use_cwl_and_fence_reads() {
+        let mut d = dram();
+        let t = d.timing();
+        let wdone = d.start(0, 0, MemCmd::Write, 1);
+        assert_eq!(wdone, t.t_rcd + t.t_cwl + t.burst);
+        // A read on another bank right after must respect tWTR.
+        let rdone = d.start(wdone, 8 * 1024, MemCmd::Read, 2);
+        assert!(rdone >= wdone + t.t_wtr + t.burst);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut d = dram();
+        d.start(0, 0, MemCmd::Read, 1);
+        d.start(0, 8 * 1024, MemCmd::Write, 2);
+        assert_eq!(d.bytes_transferred(), 128);
+    }
+
+    #[test]
+    fn refresh_closes_rows_and_fences_banks() {
+        let mut d = dram();
+        let t = d.timing();
+        assert!(t.t_refi > 0, "refresh enabled by default");
+        d.start(0, 0, MemCmd::Read, 1);
+        assert!(d.is_row_hit(64));
+        // Jump past the first refresh interval: the bank must be fenced
+        // for tRFC after the refresh point and its row closed.
+        let after = t.t_refi + 1;
+        assert!(!d.can_start(after, 64), "bank busy during tRFC");
+        let clear = t.t_refi + t.t_rfc;
+        assert!(d.can_start(clear, 64));
+        let done = d.start(clear, 64, MemCmd::Read, 2);
+        assert_eq!(d.refreshes(), 1);
+        // Row was closed by the refresh: the access pays tRCD again.
+        assert!(done - clear >= t.t_rcd + t.t_cl, "refresh must close the row");
+    }
+
+    #[test]
+    fn refreshes_accumulate_with_time() {
+        let mut d = dram();
+        let t = d.timing();
+        // Two intervals elapse before the next access.
+        let late = 2 * t.t_refi + t.t_rfc + 10;
+        d.start(late, 0, MemCmd::Read, 1);
+        assert_eq!(d.refreshes(), 2);
+    }
+
+    #[test]
+    fn refresh_can_be_disabled() {
+        let mut cfg = DramConfig::default();
+        cfg.t_refi_ns = 0.0;
+        let mut d: Dram<u32> = Dram::new(&cfg, 2.4e9);
+        d.start(0, 0, MemCmd::Read, 1);
+        assert!(d.can_start(1_000_000, 64));
+        assert_eq!(d.refreshes(), 0);
+    }
+
+    #[test]
+    fn is_row_hit_tracks_open_rows() {
+        let mut d = dram();
+        assert!(!d.is_row_hit(0));
+        d.start(0, 0, MemCmd::Read, 1);
+        assert!(d.is_row_hit(64));
+        assert!(!d.is_row_hit(8 * 1024 * 8));
+    }
+}

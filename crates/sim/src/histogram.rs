@@ -1,0 +1,402 @@
+//! Fixed-bin histograms for inter-arrival time distributions.
+//!
+//! The paper's key abstraction (§II-C, Fig. 1/2) is the *memory request
+//! inter-arrival time distribution*: how many requests arrive with each
+//! inter-arrival time. [`InterArrivalHistogram`] records exactly that, with
+//! the same quantisation the MITTS hardware uses (`N` bins of `L` cycles,
+//! plus an implicit overflow bin for very large gaps).
+
+use crate::types::Cycle;
+
+/// Histogram of request inter-arrival times quantised into `N` bins of
+/// width `L` cycles, with one extra overflow bin for gaps `>= N * L`.
+///
+/// Bin `i` counts inter-arrival times `t` with `i*L <= t < (i+1)*L`, which
+/// matches the hardware quantisation of Table I (requests with
+/// inter-arrival time in `[t_i - L/2, t_i + L/2)` fall into `bin_i` when
+/// `t_i = (i + 1/2) * L`).
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::histogram::InterArrivalHistogram;
+/// let mut h = InterArrivalHistogram::new(10, 10);
+/// h.record_arrival(100);
+/// h.record_arrival(105); // gap 5  -> bin 0
+/// h.record_arrival(130); // gap 25 -> bin 2
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(2), 1);
+/// assert_eq!(h.total(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterArrivalHistogram {
+    bin_width: Cycle,
+    counts: Vec<u64>,
+    overflow: u64,
+    last_arrival: Option<Cycle>,
+}
+
+impl InterArrivalHistogram {
+    /// Creates a histogram with `bins` bins of `bin_width` cycles each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `bin_width == 0`.
+    pub fn new(bins: usize, bin_width: Cycle) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(bin_width > 0, "bin width must be positive");
+        InterArrivalHistogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            last_arrival: None,
+        }
+    }
+
+    /// Number of regular (non-overflow) bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin in cycles.
+    pub fn bin_width(&self) -> Cycle {
+        self.bin_width
+    }
+
+    /// Records that a request arrived at cycle `now`; the gap to the
+    /// previous recorded arrival is added to the histogram. The first
+    /// arrival only establishes the reference point.
+    pub fn record_arrival(&mut self, now: Cycle) {
+        if let Some(prev) = self.last_arrival {
+            let gap = now.saturating_sub(prev);
+            self.record_gap(gap);
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// Records a pre-computed inter-arrival gap directly.
+    pub fn record_gap(&mut self, gap: Cycle) {
+        let idx = (gap / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Count of gaps too large for any regular bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded gaps, including overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// The regular-bin counts as a slice (excludes overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fraction of gaps falling in bin `i` (0 if nothing recorded).
+    pub fn fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+
+    /// Mean inter-arrival gap in cycles, using bin centres for regular bins
+    /// and `bins * width` for overflow gaps. Returns `None` if empty.
+    pub fn mean_gap(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let mut sum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let centre = (i as f64 + 0.5) * self.bin_width as f64;
+            sum += centre * c as f64;
+        }
+        sum += (self.counts.len() as f64 * self.bin_width as f64) * self.overflow as f64;
+        Some(sum / total as f64)
+    }
+
+    /// Clears all counts and the arrival reference point.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.overflow = 0;
+        self.last_arrival = None;
+    }
+
+    /// Merges another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different geometry.
+    pub fn merge(&mut self, other: &InterArrivalHistogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+/// Logarithmic-bucket latency histogram: bucket `k` counts values in
+/// `[2^k, 2^(k+1))` (bucket 0 also catches 0). Cheap, fixed-size, and
+/// good enough for tail percentiles of memory-request latencies.
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::histogram::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in [10, 100, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.5) >= 64.0 && h.percentile(0.5) < 256.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency value (cycles).
+    pub fn record(&mut self, value: Cycle) {
+        let bucket = (64 - value.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean recorded latency (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> Cycle {
+        self.max
+    }
+
+    /// Approximate `p`-th percentile (`p` in `[0, 1]`), resolved to the
+    /// geometric centre of the containing bucket. Returns 0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric centre of [2^k, 2^(k+1)).
+                return (1u64 << k) as f64 * std::f64::consts::SQRT_2;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Clears all recorded values.
+    pub fn reset(&mut self) {
+        *self = LatencyHistogram::default();
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_arrival_sets_reference_only() {
+        let mut h = InterArrivalHistogram::new(4, 10);
+        h.record_arrival(50);
+        assert_eq!(h.total(), 0);
+        h.record_arrival(55);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.count(0), 1);
+    }
+
+    #[test]
+    fn gaps_land_in_expected_bins() {
+        let mut h = InterArrivalHistogram::new(4, 10);
+        for gap in [0, 9, 10, 19, 20, 39] {
+            h.record_gap(gap);
+        }
+        assert_eq!(h.count(0), 2); // 0, 9
+        assert_eq!(h.count(1), 2); // 10, 19
+        assert_eq!(h.count(2), 1); // 20
+        assert_eq!(h.count(3), 1); // 39
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_catches_large_gaps() {
+        let mut h = InterArrivalHistogram::new(4, 10);
+        h.record_gap(40);
+        h.record_gap(1_000_000);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn fractions_sum_to_at_most_one() {
+        let mut h = InterArrivalHistogram::new(3, 10);
+        for g in [1, 5, 12, 25, 99] {
+            h.record_gap(g);
+        }
+        let s: f64 = (0..3).map(|i| h.fraction(i)).sum();
+        assert!(s <= 1.0 + 1e-12);
+        assert!((s + h.overflow() as f64 / h.total() as f64 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_gap_uses_bin_centres() {
+        let mut h = InterArrivalHistogram::new(10, 10);
+        h.record_gap(3); // bin 0, centre 5
+        h.record_gap(17); // bin 1, centre 15
+        let mean = h.mean_gap().unwrap();
+        assert!((mean - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_gap_empty_is_none() {
+        let h = InterArrivalHistogram::new(2, 5);
+        assert!(h.mean_gap().is_none());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = InterArrivalHistogram::new(2, 5);
+        h.record_arrival(1);
+        h.record_arrival(3);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        // After reset the next arrival is again just a reference point.
+        h.record_arrival(100);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = InterArrivalHistogram::new(2, 5);
+        let mut b = InterArrivalHistogram::new(2, 5);
+        a.record_gap(1);
+        b.record_gap(1);
+        b.record_gap(7);
+        b.record_gap(100);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = InterArrivalHistogram::new(2, 5);
+        let b = InterArrivalHistogram::new(2, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_log2() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // bucket 0
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - 206.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 < p99, "p50 {p50} must be below p99 {p99}");
+        assert!(p50 > 256.0 && p50 < 1024.0, "p50 {p50} of 1..1000");
+        assert!(p99 >= 512.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn latency_percentile_of_empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn latency_merge_and_reset() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+        a.reset();
+        assert_eq!(a.count(), 0);
+    }
+}

@@ -1,0 +1,531 @@
+//! Memory controller: global smoothing FIFO, transaction queue, and the
+//! pluggable [`Scheduler`] interface that baseline policies (FR-FCFS, TCM,
+//! MISE, ...) implement.
+//!
+//! §III-C of the paper uses a small (32-entry) FIFO at the memory
+//! controller to absorb global burstiness when many cores spend
+//! low-inter-arrival credits simultaneously; requests back up to the cores
+//! when it fills. That FIFO sits in front of the scheduler's 32-entry
+//! transaction queue (Table II).
+
+use std::collections::VecDeque;
+
+use crate::config::McConfig;
+use crate::dram::{BankStatus, Dram};
+use crate::types::{Addr, CoreId, Cycle, MemCmd};
+
+/// Unique identifier of a memory transaction at the controller.
+pub type TxnId = u64;
+
+/// One memory transaction (an LLC miss or a writeback) as seen by the
+/// controller and its scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transaction {
+    /// Controller-assigned id, also used as the DRAM token.
+    pub id: TxnId,
+    /// Core/program on whose behalf the transaction was generated.
+    pub core: CoreId,
+    /// Byte address (line-aligned).
+    pub addr: Addr,
+    /// Read (demand miss) or write (writeback).
+    pub cmd: MemCmd,
+    /// Cycle the transaction entered the global FIFO.
+    pub enqueued_at: Cycle,
+}
+
+/// Read-only view of DRAM state offered to schedulers at pick time.
+#[derive(Debug)]
+pub struct DramView<'a> {
+    dram: &'a Dram<TxnId>,
+    now: Cycle,
+}
+
+impl<'a> DramView<'a> {
+    /// Whether the bank owning `addr` can accept a transaction this cycle.
+    pub fn can_start(&self, addr: Addr) -> bool {
+        self.dram.can_start(self.now, addr)
+    }
+
+    /// Whether `addr` currently hits its bank's open row.
+    pub fn is_row_hit(&self, addr: Addr) -> bool {
+        self.dram.is_row_hit(addr)
+    }
+
+    /// Per-bank status snapshot.
+    pub fn bank_status(&self) -> Vec<BankStatus> {
+        self.dram.bank_status()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+}
+
+/// Per-core memory-behaviour signals sampled by the system and handed to
+/// schedulers, enabling application-aware policies (TCM clustering, FST
+/// slowdown estimation, MISE service rates).
+#[derive(Debug, Clone, Default)]
+pub struct CoreSignals {
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// Cycles the core's ROB head was blocked on memory so far.
+    pub mem_stall_cycles: u64,
+    /// L1 misses so far (shaper-visible requests).
+    pub l1_misses: u64,
+    /// LLC misses attributed to this core so far (memory requests).
+    pub llc_misses: u64,
+    /// Memory transactions completed for this core so far.
+    pub mem_completed: u64,
+    /// Total queueing+service latency summed over completed transactions.
+    pub mem_latency_sum: u64,
+}
+
+impl CoreSignals {
+    /// Misses per kilo-instruction at the LLC (memory intensity metric used
+    /// by TCM).
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Source-side throttle commands a scheduler may impose on cores
+/// (the feedback path used by FST and MemGuard).
+///
+/// The system enforces these at the L1-miss issue point each cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreThrottle {
+    /// Cap on outstanding shaper-issued requests (None = MSHR-limited).
+    pub max_inflight: Option<u32>,
+    /// Minimum cycles between consecutive request issues (None = free).
+    pub min_issue_gap: Option<u32>,
+}
+
+/// The set of per-core throttles (indexed by core).
+#[derive(Debug, Clone, Default)]
+pub struct SourceControl {
+    throttles: Vec<CoreThrottle>,
+}
+
+impl SourceControl {
+    /// Creates neutral (no-throttle) controls for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        SourceControl { throttles: vec![CoreThrottle::default(); cores] }
+    }
+
+    /// Throttle for `core`.
+    pub fn throttle(&self, core: CoreId) -> CoreThrottle {
+        self.throttles[core.index()]
+    }
+
+    /// Mutable throttle for `core`.
+    pub fn throttle_mut(&mut self, core: CoreId) -> &mut CoreThrottle {
+        &mut self.throttles[core.index()]
+    }
+
+    /// Resets every core to unthrottled.
+    pub fn clear(&mut self) {
+        self.throttles.iter_mut().for_each(|t| *t = CoreThrottle::default());
+    }
+
+    /// Number of cores covered.
+    pub fn cores(&self) -> usize {
+        self.throttles.len()
+    }
+}
+
+/// A memory-request scheduling policy.
+///
+/// Implementations receive the pending transaction queue and pick which
+/// startable transaction the controller should dispatch next. Epoch-based
+/// policies use [`Scheduler::tick`] to observe per-core signals and
+/// optionally steer source throttles.
+pub trait Scheduler {
+    /// Human-readable policy name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Notification that `txn` entered the transaction queue.
+    fn on_enqueue(&mut self, _now: Cycle, _txn: &Transaction) {}
+
+    /// Chooses the index (into `pending`) of the transaction to dispatch,
+    /// or `None` to idle. Only indices for which
+    /// `view.can_start(pending[i].addr)` holds may be returned; the
+    /// controller debug-asserts this.
+    fn pick(&mut self, now: Cycle, pending: &[Transaction], view: &DramView<'_>)
+        -> Option<usize>;
+
+    /// Notification that `txn` finished (data transferred).
+    fn on_complete(&mut self, _now: Cycle, _txn: &Transaction, _row_hit: bool) {}
+
+    /// Periodic hook (called once per cycle) with fresh per-core signals;
+    /// source-throttling policies write `ctl`.
+    fn tick(&mut self, _now: Cycle, _signals: &[CoreSignals], _ctl: &mut SourceControl) {}
+}
+
+/// First-come-first-served: always the oldest startable transaction.
+///
+/// The simplest correct policy; also the fallback inside the controller's
+/// priority override. Richer baselines live in the `mitts-sched` crate.
+#[derive(Debug, Clone, Default)]
+pub struct FcfsScheduler;
+
+impl FcfsScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FcfsScheduler
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+
+    fn pick(&mut self, _now: Cycle, pending: &[Transaction], view: &DramView<'_>)
+        -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| view.can_start(t.addr))
+            .min_by_key(|(_, t)| (t.enqueued_at, t.id))
+            .map(|(i, _)| i)
+    }
+}
+
+/// A completed read transaction handed back to the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McResponse {
+    /// The original transaction.
+    pub txn: Transaction,
+    /// Completion cycle.
+    pub done_at: Cycle,
+}
+
+/// The memory controller.
+pub struct MemoryController {
+    fifo: VecDeque<Transaction>,
+    fifo_depth: usize,
+    queue: Vec<Transaction>,
+    queue_depth: usize,
+    next_id: TxnId,
+    /// When set, transactions from this core are dispatched first
+    /// (FR-FCFS among them) regardless of the scheduler — the mechanism
+    /// behind MISE-style highest-priority sampling (§IV-B).
+    priority_core: Option<CoreId>,
+    /// Transactions dispatched to DRAM, awaiting completion.
+    inflight: Vec<Transaction>,
+    // Statistics.
+    dispatched: u64,
+    completed_reads: u64,
+    completed_writes: u64,
+    queue_occupancy_sum: u64,
+    ticks: u64,
+    fifo_rejections: u64,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("fifo_len", &self.fifo.len())
+            .field("queue_len", &self.queue.len())
+            .field("dispatched", &self.dispatched)
+            .finish()
+    }
+}
+
+impl MemoryController {
+    /// Creates a controller with the given structure sizes.
+    pub fn new(config: &McConfig) -> Self {
+        MemoryController {
+            fifo: VecDeque::with_capacity(config.global_fifo_depth),
+            fifo_depth: config.global_fifo_depth,
+            queue: Vec::with_capacity(config.txn_queue_depth),
+            queue_depth: config.txn_queue_depth,
+            next_id: 0,
+            priority_core: None,
+            inflight: Vec::new(),
+            dispatched: 0,
+            completed_reads: 0,
+            completed_writes: 0,
+            queue_occupancy_sum: 0,
+            ticks: 0,
+            fifo_rejections: 0,
+        }
+    }
+
+    /// Attempts to accept a new transaction into the global FIFO. Returns
+    /// the assigned id, or `None` if the FIFO is full (backpressure to the
+    /// LLC/cores, §III-C).
+    pub fn try_enqueue(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        addr: Addr,
+        cmd: MemCmd,
+    ) -> Option<TxnId> {
+        if self.fifo.len() >= self.fifo_depth {
+            self.fifo_rejections += 1;
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.fifo.push_back(Transaction { id, core, addr, cmd, enqueued_at: now });
+        Some(id)
+    }
+
+    /// Sets (or clears) the highest-priority core override.
+    pub fn set_priority_core(&mut self, core: Option<CoreId>) {
+        self.priority_core = core;
+    }
+
+    /// The current highest-priority core, if any.
+    pub fn priority_core(&self) -> Option<CoreId> {
+        self.priority_core
+    }
+
+    /// One controller cycle: refill the transaction queue from the FIFO,
+    /// then dispatch at most one transaction (command-bus limit) chosen by
+    /// the scheduler (or the priority override).
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        scheduler: &mut dyn Scheduler,
+        dram: &mut Dram<TxnId>,
+    ) {
+        self.ticks += 1;
+        self.queue_occupancy_sum += self.queue.len() as u64;
+
+        while self.queue.len() < self.queue_depth {
+            match self.fifo.pop_front() {
+                Some(txn) => {
+                    scheduler.on_enqueue(now, &txn);
+                    self.queue.push(txn);
+                }
+                None => break,
+            }
+        }
+
+        if self.queue.is_empty() {
+            return;
+        }
+
+        let view = DramView { dram, now };
+        let choice = self.priority_pick(&view).or_else(|| {
+            scheduler.pick(now, &self.queue, &view)
+        });
+
+        if let Some(idx) = choice {
+            let txn = self.queue[idx];
+            debug_assert!(
+                dram.can_start(now, txn.addr),
+                "scheduler picked a non-startable transaction"
+            );
+            if !dram.can_start(now, txn.addr) {
+                return; // tolerate buggy external schedulers in release
+            }
+            self.queue.swap_remove(idx);
+            dram.start(now, txn.addr, txn.cmd, txn.id);
+            self.dispatched += 1;
+            self.inflight_push(txn);
+        }
+    }
+
+    fn priority_pick(&self, view: &DramView<'_>) -> Option<usize> {
+        let prio = self.priority_core?;
+        // FR-FCFS among the priority core's startable transactions:
+        // row hits first, oldest first among equals.
+        self.queue
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.core == prio && view.can_start(t.addr))
+            .min_by_key(|(_, t)| (!view.is_row_hit(t.addr), t.enqueued_at, t.id))
+            .map(|(i, _)| i)
+    }
+
+    // In-flight transactions, so completions can be matched back.
+    fn inflight_push(&mut self, txn: Transaction) {
+        self.inflight.push(txn);
+    }
+
+    /// Collects finished transactions from DRAM; returns completed *reads*
+    /// (writebacks finish silently) and informs the scheduler of both.
+    pub fn drain_completions(
+        &mut self,
+        now: Cycle,
+        scheduler: &mut dyn Scheduler,
+        dram: &mut Dram<TxnId>,
+    ) -> Vec<McResponse> {
+        let mut out = Vec::new();
+        for done in dram.drain_completions(now) {
+            let idx = self
+                .inflight
+                .iter()
+                .position(|t| t.id == done.token)
+                .expect("completion for unknown transaction");
+            let txn = self.inflight.swap_remove(idx);
+            scheduler.on_complete(now, &txn, done.row_hit);
+            match txn.cmd {
+                MemCmd::Read => {
+                    self.completed_reads += 1;
+                    out.push(McResponse { txn, done_at: done.done_at });
+                }
+                MemCmd::Write => self.completed_writes += 1,
+            }
+        }
+        out
+    }
+
+    /// Pending (not yet dispatched) transactions in the scheduling queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Occupancy of the global smoothing FIFO.
+    pub fn fifo_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the FIFO has room for another transaction.
+    pub fn fifo_has_room(&self) -> bool {
+        self.fifo.len() < self.fifo_depth
+    }
+
+    /// Transactions dispatched to DRAM so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// (reads, writes) completed so far.
+    pub fn completed(&self) -> (u64, u64) {
+        (self.completed_reads, self.completed_writes)
+    }
+
+    /// Mean transaction-queue occupancy over all ticks.
+    pub fn mean_queue_occupancy(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.queue_occupancy_sum as f64 / self.ticks as f64
+        }
+    }
+
+    /// Number of enqueue attempts rejected by a full FIFO.
+    pub fn fifo_rejections(&self) -> u64 {
+        self.fifo_rejections
+    }
+}
+
+// `inflight` is declared here (after the impl that uses helpers) to keep
+// the public surface at the top of the struct; Rust requires it in the
+// struct definition, so re-open it:
+impl MemoryController {
+    /// Number of transactions dispatched to DRAM and not yet completed.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn setup() -> (MemoryController, Dram<TxnId>, FcfsScheduler) {
+        (
+            MemoryController::new(&McConfig::default()),
+            Dram::new(&DramConfig::default(), 2.4e9),
+            FcfsScheduler::new(),
+        )
+    }
+
+    fn run_until_done(
+        mc: &mut MemoryController,
+        dram: &mut Dram<TxnId>,
+        sched: &mut dyn Scheduler,
+        limit: Cycle,
+    ) -> Vec<McResponse> {
+        let mut responses = Vec::new();
+        for now in 0..limit {
+            responses.extend(mc.drain_completions(now, sched, dram));
+            mc.tick(now, sched, dram);
+        }
+        responses
+    }
+
+    #[test]
+    fn single_read_completes() {
+        let (mut mc, mut dram, mut sched) = setup();
+        let id = mc.try_enqueue(0, CoreId::new(0), 0x1000, MemCmd::Read, ).unwrap();
+        let resp = run_until_done(&mut mc, &mut dram, &mut sched, 500);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].txn.id, id);
+        assert_eq!(mc.completed(), (1, 0));
+        assert_eq!(mc.inflight_len(), 0);
+    }
+
+    #[test]
+    fn writes_complete_silently() {
+        let (mut mc, mut dram, mut sched) = setup();
+        mc.try_enqueue(0, CoreId::new(0), 0x1000, MemCmd::Write).unwrap();
+        let resp = run_until_done(&mut mc, &mut dram, &mut sched, 500);
+        assert!(resp.is_empty());
+        assert_eq!(mc.completed(), (0, 1));
+    }
+
+    #[test]
+    fn fifo_backpressure() {
+        let (mut mc, _dram, _sched) = setup();
+        let mut accepted = 0;
+        for i in 0..100 {
+            if mc.try_enqueue(0, CoreId::new(0), i * 64, MemCmd::Read).is_some() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 32, "FIFO depth is 32");
+        assert!(!mc.fifo_has_room());
+        assert_eq!(mc.fifo_rejections(), 68);
+    }
+
+    #[test]
+    fn fcfs_services_in_arrival_order_same_bank() {
+        let (mut mc, mut dram, mut sched) = setup();
+        // Same bank, same row: strictly ordered by arrival under FCFS.
+        let a = mc.try_enqueue(0, CoreId::new(0), 0, MemCmd::Read).unwrap();
+        let b = mc.try_enqueue(1, CoreId::new(1), 64, MemCmd::Read).unwrap();
+        let resp = run_until_done(&mut mc, &mut dram, &mut sched, 1000);
+        assert_eq!(resp.len(), 2);
+        assert_eq!(resp[0].txn.id, a);
+        assert_eq!(resp[1].txn.id, b);
+        assert!(resp[0].done_at < resp[1].done_at);
+    }
+
+    #[test]
+    fn priority_core_jumps_the_queue() {
+        let (mut mc, mut dram, mut sched) = setup();
+        // Fill with core 0 traffic, then one core 1 request; prioritise 1.
+        for i in 0..8 {
+            mc.try_enqueue(0, CoreId::new(0), i * 64, MemCmd::Read).unwrap();
+        }
+        let vip = mc.try_enqueue(0, CoreId::new(1), 8 * 1024 * 3, MemCmd::Read).unwrap();
+        mc.set_priority_core(Some(CoreId::new(1)));
+        let resp = run_until_done(&mut mc, &mut dram, &mut sched, 2000);
+        // The VIP transaction must be dispatched first.
+        assert_eq!(resp.iter().min_by_key(|r| r.done_at).unwrap().txn.id, vip);
+    }
+
+    #[test]
+    fn queue_drains_fifo() {
+        let (mut mc, mut dram, mut sched) = setup();
+        for i in 0..32 {
+            mc.try_enqueue(0, CoreId::new(0), i * 64, MemCmd::Read).unwrap();
+        }
+        assert_eq!(mc.fifo_len(), 32);
+        mc.tick(0, &mut sched, &mut dram);
+        assert_eq!(mc.fifo_len(), 0);
+        assert!(mc.queue_len() >= 31, "one may have been dispatched");
+    }
+}

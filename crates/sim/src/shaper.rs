@@ -1,0 +1,295 @@
+//! Source-side traffic shaping interface.
+//!
+//! A [`SourceShaper`] sits on a core's L1-miss path (the hybrid placement
+//! of §III-D) and decides, each time an L1 miss wants to leave the core,
+//! whether it may issue *now*. The MITTS shaper in `mitts-core` is the
+//! interesting implementation; this module provides the trait plus the two
+//! trivial policies the paper compares against:
+//!
+//! * [`UnlimitedShaper`] — no shaping (baseline memory system);
+//! * [`StaticRateShaper`] — the "static bandwidth allocation" of §IV-C: a
+//!   constant request rate with no notion of inter-arrival distribution.
+
+use crate::types::Cycle;
+
+/// Token identifying an issued request within its shaper, so the delayed
+/// LLC hit/miss feedback (§III-D) can be matched back. The meaning of the
+/// value is shaper-private (MITTS method 2 stores the bin index here).
+pub type ShapeToken = u32;
+
+/// Decision returned by [`SourceShaper::try_issue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeDecision {
+    /// The request may issue; the token travels with it and comes back in
+    /// [`SourceShaper::on_llc_response`].
+    Grant(ShapeToken),
+    /// The request must stall at the core.
+    Deny,
+}
+
+impl ShapeDecision {
+    /// Whether the decision is a grant.
+    pub fn is_grant(self) -> bool {
+        matches!(self, ShapeDecision::Grant(_))
+    }
+}
+
+/// A source-side bandwidth shaper attached to one core's L1-miss path.
+///
+/// Implementations measure the inter-arrival time between *granted* issues
+/// themselves (the grant time is the request's departure from the core),
+/// so callers only report time.
+pub trait SourceShaper {
+    /// Policy name for experiment tables.
+    fn name(&self) -> &str;
+
+    /// Called once per cycle for housekeeping (credit replenishment).
+    fn tick(&mut self, now: Cycle);
+
+    /// Asks whether the L1 miss at the head of the core's miss queue may
+    /// issue at `now`. A grant consumes whatever budget the policy tracks.
+    fn try_issue(&mut self, now: Cycle) -> ShapeDecision;
+
+    /// Reports the LLC lookup outcome for a previously granted request
+    /// (hybrid placement feedback, §III-D). `hit == true` means the
+    /// request was *not* a memory request after all.
+    fn on_llc_response(&mut self, now: Cycle, token: ShapeToken, hit: bool);
+
+    /// Number of cycles requests have spent stalled by this shaper
+    /// (maintained by the caller via [`SourceShaper::note_stall_cycle`];
+    /// default implementations keep a counter).
+    fn stall_cycles(&self) -> u64;
+
+    /// Records that the head request spent this cycle stalled.
+    fn note_stall_cycle(&mut self);
+}
+
+/// Pass-through shaper: every request issues immediately.
+#[derive(Debug, Clone, Default)]
+pub struct UnlimitedShaper {
+    stalls: u64,
+}
+
+impl UnlimitedShaper {
+    /// Creates the pass-through shaper.
+    pub fn new() -> Self {
+        UnlimitedShaper::default()
+    }
+}
+
+impl SourceShaper for UnlimitedShaper {
+    fn name(&self) -> &str {
+        "unlimited"
+    }
+
+    fn tick(&mut self, _now: Cycle) {}
+
+    fn try_issue(&mut self, _now: Cycle) -> ShapeDecision {
+        ShapeDecision::Grant(0)
+    }
+
+    fn on_llc_response(&mut self, _now: Cycle, _token: ShapeToken, _hit: bool) {}
+
+    fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    fn note_stall_cycle(&mut self) {
+        self.stalls += 1;
+    }
+}
+
+/// Constant-rate limiter: at most one request every `interval` cycles,
+/// with an optional per-period request budget.
+///
+/// This models the paper's *static bandwidth allocation* baseline, which
+/// "can limit a program's memory requests at or below a constant rate but
+/// cannot take into account inter-arrival times" (§IV-C). It is exactly
+/// equivalent to a MITTS configuration with all credits in a single bin.
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::shaper::{SourceShaper, StaticRateShaper};
+/// let mut s = StaticRateShaper::new(10);
+/// assert!(s.try_issue(0).is_grant());
+/// assert!(!s.try_issue(5).is_grant()); // too soon
+/// assert!(s.try_issue(10).is_grant());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticRateShaper {
+    interval: Cycle,
+    last_issue: Option<Cycle>,
+    budget_per_period: Option<u64>,
+    period: Cycle,
+    period_start: Cycle,
+    used_this_period: u64,
+    refunds: u64,
+    stalls: u64,
+}
+
+impl StaticRateShaper {
+    /// A limiter with a minimum inter-request `interval` (cycles) and no
+    /// per-period cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0` (use [`UnlimitedShaper`] for no shaping).
+    pub fn new(interval: Cycle) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        StaticRateShaper {
+            interval,
+            last_issue: None,
+            budget_per_period: None,
+            period: 0,
+            period_start: 0,
+            used_this_period: 0,
+            refunds: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Adds a per-period budget: at most `budget` requests every `period`
+    /// cycles (net of refunds for LLC hits, mirroring MITTS method 2 so
+    /// comparisons are apples-to-apples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn with_budget(mut self, budget: u64, period: Cycle) -> Self {
+        assert!(period > 0, "period must be positive");
+        self.budget_per_period = Some(budget);
+        self.period = period;
+        self
+    }
+
+    /// The configured minimum inter-request interval.
+    pub fn interval(&self) -> Cycle {
+        self.interval
+    }
+
+    /// Average bandwidth this limiter admits, in requests per cycle.
+    pub fn requests_per_cycle(&self) -> f64 {
+        let rate_bound = 1.0 / self.interval as f64;
+        match self.budget_per_period {
+            Some(b) if self.period > 0 => rate_bound.min(b as f64 / self.period as f64),
+            _ => rate_bound,
+        }
+    }
+}
+
+impl SourceShaper for StaticRateShaper {
+    fn name(&self) -> &str {
+        "static-rate"
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        if self.budget_per_period.is_some() && now >= self.period_start + self.period {
+            self.period_start = now;
+            self.used_this_period = 0;
+            self.refunds = 0;
+        }
+    }
+
+    fn try_issue(&mut self, now: Cycle) -> ShapeDecision {
+        if let Some(last) = self.last_issue {
+            if now < last + self.interval {
+                return ShapeDecision::Deny;
+            }
+        }
+        if let Some(budget) = self.budget_per_period {
+            if self.used_this_period >= budget + self.refunds {
+                return ShapeDecision::Deny;
+            }
+        }
+        self.last_issue = Some(now);
+        self.used_this_period += 1;
+        ShapeDecision::Grant(0)
+    }
+
+    fn on_llc_response(&mut self, _now: Cycle, _token: ShapeToken, hit: bool) {
+        if hit {
+            // The request turned out not to consume memory bandwidth;
+            // refund it against the period budget.
+            self.refunds += 1;
+        }
+    }
+
+    fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    fn note_stall_cycle(&mut self) {
+        self.stalls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_grants() {
+        let mut s = UnlimitedShaper::new();
+        for now in 0..100 {
+            assert!(s.try_issue(now).is_grant());
+        }
+    }
+
+    #[test]
+    fn static_rate_enforces_min_interval() {
+        let mut s = StaticRateShaper::new(10);
+        assert!(s.try_issue(0).is_grant());
+        for now in 1..10 {
+            assert!(!s.try_issue(now).is_grant(), "cycle {now} should deny");
+        }
+        assert!(s.try_issue(10).is_grant());
+        assert!(!s.try_issue(15).is_grant());
+        assert!(s.try_issue(25).is_grant());
+    }
+
+    #[test]
+    fn static_rate_budget_caps_requests() {
+        let mut s = StaticRateShaper::new(1).with_budget(3, 100);
+        let mut granted = 0;
+        for now in 0..100 {
+            s.tick(now);
+            if s.try_issue(now).is_grant() {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 3);
+        // Next period replenishes.
+        s.tick(100);
+        assert!(s.try_issue(100).is_grant());
+    }
+
+    #[test]
+    fn llc_hit_refund_extends_budget() {
+        let mut s = StaticRateShaper::new(1).with_budget(2, 1000);
+        assert!(s.try_issue(0).is_grant());
+        assert!(s.try_issue(1).is_grant());
+        assert!(!s.try_issue(2).is_grant());
+        s.on_llc_response(3, 0, true);
+        assert!(s.try_issue(3).is_grant(), "refund should allow one more");
+        s.on_llc_response(4, 0, false);
+        assert!(!s.try_issue(4).is_grant(), "miss response must not refund");
+    }
+
+    #[test]
+    fn requests_per_cycle_math() {
+        let s = StaticRateShaper::new(10);
+        assert!((s.requests_per_cycle() - 0.1).abs() < 1e-12);
+        let s = StaticRateShaper::new(1).with_budget(5, 100);
+        assert!((s.requests_per_cycle() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_counter_increments() {
+        let mut s = StaticRateShaper::new(10);
+        assert_eq!(s.stall_cycles(), 0);
+        s.note_stall_cycle();
+        s.note_stall_cycle();
+        assert_eq!(s.stall_cycles(), 2);
+    }
+}

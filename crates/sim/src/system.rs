@@ -1,0 +1,1137 @@
+//! Full-system wiring: cores + private L1s + source shapers + shared LLC
+//! + memory controller + DRAM, ticked in lockstep.
+//!
+//! The topology mirrors Fig. 3/4 of the paper: each core has a private L1
+//! and a [`SourceShaper`] on its L1-miss path (the hybrid placement of
+//! §III-D); all cores share a distributed LLC (modelled as one cache with
+//! a port limit) and a single memory channel behind a smoothing FIFO.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::cache::{AccessResult, Cache, MshrFile, MshrOutcome};
+use crate::config::SystemConfig;
+use crate::core::{Core, CoreCounters, MemIssue, MemPort};
+use crate::dram::Dram;
+use crate::mc::{CoreSignals, FcfsScheduler, MemoryController, Scheduler, SourceControl, TxnId};
+use crate::shaper::{ShapeDecision, ShapeToken, SourceShaper, UnlimitedShaper};
+use crate::stats::{CoreSnapshot, CoreStats};
+use crate::trace::{ComputeTrace, TraceSource};
+use crate::types::{Addr, CoreId, Cycle, MemCmd, OpId};
+
+/// Shared handle to a shaper, so the tuner (and shared-credit-pool setups,
+/// §IV-H) can reconfigure shapers while the system runs.
+pub type ShaperHandle = Rc<RefCell<dyn SourceShaper>>;
+
+/// Number of histogram bins kept for inter-arrival statistics.
+const STAT_BINS: usize = 10;
+/// Width of each statistics histogram bin in cycles (the paper's L).
+const STAT_BIN_WIDTH: Cycle = 10;
+
+/// An L1 MSHR waiter: the op to wake (loads) or a store marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L1Waiter {
+    Load(OpId),
+    Store,
+}
+
+/// An L1 miss waiting to pass the shaper and an LLC port.
+#[derive(Debug, Clone, Copy)]
+struct PendingMiss {
+    line_addr: Addr,
+    created_at: Cycle,
+}
+
+/// One core plus its private memory-side structures.
+struct CoreUnit {
+    id: CoreId,
+    core: Core,
+    l1: Cache,
+    l1_mshrs: MshrFile<L1Waiter>,
+    miss_queue: VecDeque<PendingMiss>,
+    wb_queue: VecDeque<Addr>,
+    /// (ready_at, op) pairs for L1 hits completing after hit latency.
+    hit_pipe: VecDeque<(Cycle, OpId)>,
+    shaper: ShaperHandle,
+    /// Shaper-granted requests whose L1 fill has not yet arrived.
+    inflight: u32,
+    last_issue: Option<Cycle>,
+    stats: CoreStats,
+    fills: u64,
+    l1_hit_latency: Cycle,
+}
+
+/// Port adapter giving the core access to its own L1 front end while the
+/// core itself is mutably borrowed.
+struct L1Front<'a> {
+    l1: &'a mut Cache,
+    mshrs: &'a mut MshrFile<L1Waiter>,
+    miss_queue: &'a mut VecDeque<PendingMiss>,
+    hit_pipe: &'a mut VecDeque<(Cycle, OpId)>,
+    stats: &'a mut CoreStats,
+    hit_latency: Cycle,
+}
+
+impl MemPort for L1Front<'_> {
+    fn issue(&mut self, now: Cycle, issue: MemIssue) -> bool {
+        let line = self.l1.geometry().line_of(issue.addr);
+        match self.l1.access(issue.addr, issue.write) {
+            AccessResult::Hit => {
+                self.stats.l1_hits += 1;
+                if !issue.write {
+                    self.hit_pipe.push_back((now + self.hit_latency, issue.op));
+                }
+                true
+            }
+            AccessResult::Miss => {
+                let waiter =
+                    if issue.write { L1Waiter::Store } else { L1Waiter::Load(issue.op) };
+                match self.mshrs.allocate(line, now, issue.write, waiter) {
+                    MshrOutcome::Allocated => {
+                        self.stats.l1_misses += 1;
+                        self.stats.l1_miss_interarrival.record_arrival(now);
+                        self.miss_queue.push_back(PendingMiss { line_addr: line, created_at: now });
+                        true
+                    }
+                    MshrOutcome::Merged => {
+                        self.stats.l1_misses += 1;
+                        true
+                    }
+                    MshrOutcome::Full => false,
+                }
+            }
+        }
+    }
+}
+
+impl CoreUnit {
+    /// Delivers a refilled line from the LLC into the L1; wakes waiters.
+    fn on_fill(&mut self, now: Cycle, line_addr: Addr) -> Option<Addr> {
+        self.inflight = self.inflight.saturating_sub(1);
+        self.fills += 1;
+        let entry = self.l1_mshrs.complete(line_addr)?;
+        let latency = now.saturating_sub(entry.allocated_at);
+        self.stats.mem_latency_sum += latency;
+        self.stats.mem_latency_count += 1;
+        self.stats.mem_latency.record(latency);
+        for w in &entry.waiters {
+            if let L1Waiter::Load(op) = w {
+                self.core.complete(*op);
+            }
+        }
+        let evicted = self.l1.fill(line_addr, entry.any_write);
+        match evicted {
+            Some(ev) if ev.dirty => {
+                self.stats.writebacks += 1;
+                self.wb_queue.push_back(ev.line_addr);
+                Some(ev.line_addr)
+            }
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> CoreSnapshot {
+        let c: &CoreCounters = self.core.counters();
+        CoreSnapshot {
+            cycles: c.cycles,
+            instructions: c.instructions,
+            mem_stall_cycles: c.mem_stall_cycles,
+            l1_misses: self.stats.l1_misses,
+            llc_misses: self.stats.llc_misses,
+            fills: self.fills,
+        }
+    }
+}
+
+/// What kind of request an LLC lookup is.
+#[derive(Debug, Clone, Copy)]
+enum LlcKind {
+    /// A demand fill request from a core; carries the shaper token and
+    /// whether the shaper has already been notified of hit/miss.
+    Demand { token: ShapeToken, notified: bool },
+    /// A dirty writeback from an L1.
+    Writeback,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LlcLookup {
+    ready_at: Cycle,
+    core: CoreId,
+    line_addr: Addr,
+    kind: LlcKind,
+}
+
+/// A transaction waiting for room in the memory controller's FIFO.
+#[derive(Debug, Clone, Copy)]
+struct McBacklogEntry {
+    core: CoreId,
+    line_addr: Addr,
+    cmd: MemCmd,
+}
+
+/// The shared last-level cache.
+struct LlcUnit {
+    cache: Cache,
+    mshrs: MshrFile<CoreId>,
+    lookups: VecDeque<LlcLookup>,
+    mc_backlog: VecDeque<McBacklogEntry>,
+    hit_latency: Cycle,
+    /// Optional per-core shapers at the LLC-miss→controller boundary —
+    /// the paper's Fig. 7 *middle* placement, which sees exactly the true
+    /// memory-request stream (feasible here because the model's LLC is
+    /// monolithic; the paper notes it is hard in a distributed LLC).
+    shapers: Vec<Option<ShaperHandle>>,
+    /// Per-core LLC misses awaiting an after-LLC shaper grant.
+    deferred: Vec<VecDeque<Addr>>,
+}
+
+/// A fill that must be delivered to a core this cycle.
+#[derive(Debug, Clone, Copy)]
+struct CoreFill {
+    core: CoreId,
+    line_addr: Addr,
+}
+
+/// A shaper notification (LLC hit/miss feedback).
+#[derive(Debug, Clone, Copy)]
+struct ShaperNote {
+    core: CoreId,
+    token: ShapeToken,
+    hit: bool,
+}
+
+/// Builder for [`System`]. Cores default to a compute-bound trace, an
+/// [`UnlimitedShaper`], and the FCFS scheduler; override what you need.
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::system::SystemBuilder;
+/// use mitts_sim::config::SystemConfig;
+/// use mitts_sim::trace::StrideTrace;
+///
+/// let mut sys = SystemBuilder::new(SystemConfig::single_program())
+///     .trace(0, Box::new(StrideTrace::new(20, 64, 1 << 20)))
+///     .build();
+/// sys.run_cycles(10_000);
+/// assert!(sys.core_stats(0).counters.instructions > 0);
+/// ```
+pub struct SystemBuilder {
+    config: SystemConfig,
+    traces: Vec<Option<Box<dyn TraceSource>>>,
+    shapers: Vec<Option<ShaperHandle>>,
+    schedulers: Vec<Option<Box<dyn Scheduler>>>,
+}
+
+impl SystemBuilder {
+    /// Starts a builder for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]).
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate();
+        let cores = config.cores;
+        let channels = config.mc.channels;
+        SystemBuilder {
+            config,
+            traces: (0..cores).map(|_| None).collect(),
+            shapers: (0..cores).map(|_| None).collect(),
+            schedulers: (0..channels).map(|_| None).collect(),
+        }
+    }
+
+    /// Sets the trace source feeding core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn trace(mut self, core: usize, trace: Box<dyn TraceSource>) -> Self {
+        self.traces[core] = Some(trace);
+        self
+    }
+
+    /// Sets the source shaper for core `core`. Pass the same handle for
+    /// several cores to share one credit pool (§IV-H).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn shaper(mut self, core: usize, shaper: ShaperHandle) -> Self {
+        self.shapers[core] = Some(shaper);
+        self
+    }
+
+    /// Sets the memory-controller scheduling policy for channel 0 (the
+    /// common single-channel case). Channels without a policy default to
+    /// FCFS.
+    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.schedulers[0] = Some(scheduler);
+        self
+    }
+
+    /// Sets the scheduling policy of a specific memory channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_scheduler(mut self, channel: usize, scheduler: Box<dyn Scheduler>) -> Self {
+        self.schedulers[channel] = Some(scheduler);
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> System {
+        let config = self.config;
+        let cores = self
+            .traces
+            .into_iter()
+            .zip(self.shapers)
+            .enumerate()
+            .map(|(i, (trace, shaper))| {
+                let trace = trace.unwrap_or_else(|| Box::new(ComputeTrace::new(16)));
+                let shaper = shaper
+                    .unwrap_or_else(|| Rc::new(RefCell::new(UnlimitedShaper::new())));
+                CoreUnit {
+                    id: CoreId::new(i),
+                    core: Core::new(&config.core, trace),
+                    l1: Cache::new(&config.l1),
+                    l1_mshrs: MshrFile::new(config.l1.mshrs),
+                    miss_queue: VecDeque::new(),
+                    wb_queue: VecDeque::new(),
+                    hit_pipe: VecDeque::new(),
+                    shaper,
+                    inflight: 0,
+                    last_issue: None,
+                    stats: CoreStats::new(STAT_BINS, STAT_BIN_WIDTH),
+                    fills: 0,
+                    l1_hit_latency: config.l1.hit_latency,
+                }
+            })
+            .collect();
+        let llc = LlcUnit {
+            cache: Cache::new(&config.llc),
+            mshrs: MshrFile::new(config.llc.mshrs),
+            lookups: VecDeque::new(),
+            mc_backlog: VecDeque::new(),
+            hit_latency: config.llc.hit_latency,
+            shapers: (0..config.cores).map(|_| None).collect(),
+            deferred: (0..config.cores).map(|_| VecDeque::new()).collect(),
+        };
+        let channels: Vec<Channel> = self
+            .schedulers
+            .into_iter()
+            .map(|sched| Channel {
+                mc: MemoryController::new(&config.mc),
+                dram: Dram::new(&config.dram, config.core.freq_hz),
+                scheduler: sched.unwrap_or_else(|| Box::new(FcfsScheduler::new())),
+            })
+            .collect();
+        let n = config.cores;
+        System {
+            now: 0,
+            cores,
+            llc,
+            channels,
+            channel_row_bytes: config.dram.row_bytes as u64,
+            source_ctl: SourceControl::new(n),
+            signals: vec![CoreSignals::default(); n],
+            rr_offset: 0,
+            llc_ports: config.llc_ports,
+            config,
+        }
+    }
+}
+
+/// The simulated system. Construct with [`SystemBuilder`]; advance with
+/// [`System::run_cycles`]; read results with [`System::core_stats`] and
+/// friends.
+/// One memory channel: a controller, its DRAM devices, and the channel's
+/// scheduling policy.
+struct Channel {
+    mc: MemoryController,
+    dram: Dram<TxnId>,
+    scheduler: Box<dyn Scheduler>,
+}
+
+/// The simulated system. Construct with [`SystemBuilder`]; advance with
+/// [`System::run_cycles`]; read results with [`System::core_stats`] and
+/// friends.
+pub struct System {
+    now: Cycle,
+    cores: Vec<CoreUnit>,
+    llc: LlcUnit,
+    channels: Vec<Channel>,
+    /// Row-granularity channel interleave stride.
+    channel_row_bytes: u64,
+    source_ctl: SourceControl,
+    signals: Vec<CoreSignals>,
+    rr_offset: usize,
+    llc_ports: usize,
+    config: SystemConfig,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics for core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_stats(&self, core: usize) -> CoreStats {
+        let unit = &self.cores[core];
+        let mut stats = unit.stats.clone();
+        stats.counters = unit.core.counters().clone();
+        stats.shaper_stall_cycles = unit.shaper.borrow().stall_cycles();
+        stats
+    }
+
+    /// Cheap numeric snapshot of core `core` (for windowed measurement).
+    pub fn core_snapshot(&self, core: usize) -> CoreSnapshot {
+        self.cores[core].snapshot()
+    }
+
+    /// Snapshot of every core.
+    pub fn snapshots(&self) -> Vec<CoreSnapshot> {
+        self.cores.iter().map(CoreUnit::snapshot).collect()
+    }
+
+    /// The shaper handle for core `core` (reconfigure it at runtime by
+    /// borrowing it mutably).
+    pub fn shaper_handle(&self, core: usize) -> ShaperHandle {
+        Rc::clone(&self.cores[core].shaper)
+    }
+
+    /// Replaces the shaper on core `core`.
+    pub fn set_shaper(&mut self, core: usize, shaper: ShaperHandle) {
+        self.cores[core].shaper = shaper;
+    }
+
+    /// Installs (or clears) an *after-LLC* shaper for core `core` — the
+    /// Fig. 7 middle placement, gating exactly the true memory-request
+    /// stream at the LLC-miss→controller boundary. Independent of the
+    /// per-core L1-path shaper; normally only one of the two is used.
+    pub fn set_llc_shaper(&mut self, core: usize, shaper: Option<ShaperHandle>) {
+        self.llc.shapers[core] = shaper;
+    }
+
+    /// Sets or clears every memory controller's highest-priority core
+    /// (the MISE sampling mechanism).
+    pub fn set_priority_core(&mut self, core: Option<CoreId>) {
+        for channel in &mut self.channels {
+            channel.mc.set_priority_core(core);
+        }
+    }
+
+    /// Freezes core `core` for `cycles` cycles from now (models runtime
+    /// software overhead of the online tuner).
+    pub fn freeze_core(&mut self, core: usize, cycles: Cycle) {
+        let until = self.now + cycles;
+        self.cores[core].core.freeze_until(until);
+    }
+
+    /// Current program phase reported by core `core`'s trace.
+    pub fn core_phase(&self, core: usize) -> usize {
+        self.cores[core].core.phase()
+    }
+
+    /// DRAM row-buffer statistics summed across channels:
+    /// (hits, misses, conflicts).
+    pub fn dram_row_stats(&self) -> (u64, u64, u64) {
+        self.channels.iter().fold((0, 0, 0), |(h, m, c), ch| {
+            let (a, b, d) = ch.dram.row_stats();
+            (h + a, m + b, c + d)
+        })
+    }
+
+    /// Total bytes moved on the DRAM data buses of all channels.
+    pub fn dram_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.dram.bytes_transferred()).sum()
+    }
+
+    /// Number of memory channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Achieved DRAM bandwidth in bytes/cycle so far.
+    pub fn dram_bandwidth(&self) -> f64 {
+        if self.now == 0 {
+            0.0
+        } else {
+            self.dram_bytes() as f64 / self.now as f64
+        }
+    }
+
+    /// Mean memory-controller queue occupancy (averaged over channels).
+    pub fn mc_queue_occupancy(&self) -> f64 {
+        let sum: f64 = self.channels.iter().map(|c| c.mc.mean_queue_occupancy()).sum();
+        sum / self.channels.len() as f64
+    }
+
+    /// Runs the system for `cycles` cycles.
+    pub fn run_cycles(&mut self, cycles: Cycle) {
+        let end = self.now + cycles;
+        while self.now < end {
+            self.tick();
+        }
+    }
+
+    /// Runs until every core has retired at least `instructions`
+    /// instructions, or `max_cycles` elapse. Returns `true` if the
+    /// instruction target was met.
+    pub fn run_until_instructions(&mut self, instructions: u64, max_cycles: Cycle) -> bool {
+        let end = self.now + max_cycles;
+        while self.now < end {
+            if self
+                .cores
+                .iter()
+                .all(|c| c.core.counters().instructions >= instructions)
+            {
+                return true;
+            }
+            self.tick();
+        }
+        self.cores.iter().all(|c| c.core.counters().instructions >= instructions)
+    }
+
+    fn tick(&mut self, ) {
+        let now = self.now;
+        let mut fills: Vec<CoreFill> = Vec::new();
+        let mut notes: Vec<ShaperNote> = Vec::new();
+
+        // 1. DRAM completions -> LLC fills (per channel).
+        let row_bytes = self.channel_row_bytes;
+        let nchan = self.channels.len();
+        for ch in 0..nchan {
+            let responses = {
+                let channel = &mut self.channels[ch];
+                channel.mc.drain_completions(now, channel.scheduler.as_mut(), &mut channel.dram)
+            };
+            for resp in responses {
+                Self::llc_on_mem_response(
+                    &mut self.llc,
+                    &mut self.channels,
+                    row_bytes,
+                    now,
+                    resp.txn.addr,
+                    &mut fills,
+                );
+            }
+        }
+
+        // 2. LLC: retry MC backlog, then resolve due lookups.
+        Self::llc_tick(
+            &mut self.llc,
+            &mut self.channels,
+            row_bytes,
+            &mut self.cores,
+            now,
+            &mut fills,
+            &mut notes,
+        );
+
+        // 3. Deliver fills and shaper notes to cores.
+        for note in notes {
+            let unit = &mut self.cores[note.core.index()];
+            unit.shaper.borrow_mut().on_llc_response(now, note.token, note.hit);
+        }
+        for fill in fills {
+            let unit = &mut self.cores[fill.core.index()];
+            unit.on_fill(now, fill.line_addr);
+        }
+
+        // 4. Per-core: hit-pipe completions, shaper tick, issue demands and
+        //    writebacks through the LLC ports, then tick the core itself.
+        let mut ports_left = self.llc_ports;
+        let n = self.cores.len();
+        for i in 0..n {
+            let idx = (self.rr_offset + i) % n;
+            let throttle = self.source_ctl.throttle(CoreId::new(idx));
+            let unit = &mut self.cores[idx];
+
+            while let Some(&(ready, op)) = unit.hit_pipe.front() {
+                if ready > now {
+                    break;
+                }
+                unit.hit_pipe.pop_front();
+                unit.core.complete(op);
+            }
+
+            unit.shaper.borrow_mut().tick(now);
+
+            // Demand issue (head of miss queue) through the shaper.
+            if ports_left > 0 {
+                if let Some(&head) = unit.miss_queue.front() {
+                    let inflight_ok =
+                        throttle.max_inflight.is_none_or(|cap| unit.inflight < cap);
+                    let gap_ok = throttle.min_issue_gap.is_none_or(|gap| {
+                        unit.last_issue.is_none_or(|last| now >= last + gap as Cycle)
+                    });
+                    if inflight_ok && gap_ok {
+                        let decision = unit.shaper.borrow_mut().try_issue(now);
+                        match decision {
+                            ShapeDecision::Grant(token) => {
+                                unit.miss_queue.pop_front();
+                                unit.inflight += 1;
+                                unit.last_issue = Some(now);
+                                ports_left -= 1;
+                                let _ = head.created_at; // latency counted at L1 MSHR
+                                self.llc.lookups.push_back(LlcLookup {
+                                    ready_at: now + self.llc.hit_latency,
+                                    core: unit.id,
+                                    line_addr: head.line_addr,
+                                    kind: LlcKind::Demand { token, notified: false },
+                                });
+                            }
+                            ShapeDecision::Deny => {
+                                unit.shaper.borrow_mut().note_stall_cycle();
+                            }
+                        }
+                    } else {
+                        unit.shaper.borrow_mut().note_stall_cycle();
+                    }
+                }
+            }
+
+            // Writebacks use leftover port bandwidth.
+            if ports_left > 0 {
+                if let Some(wb) = unit.wb_queue.pop_front() {
+                    ports_left -= 1;
+                    self.llc.lookups.push_back(LlcLookup {
+                        ready_at: now + self.llc.hit_latency,
+                        core: unit.id,
+                        line_addr: wb,
+                        kind: LlcKind::Writeback,
+                    });
+                }
+            }
+
+            // Core pipeline.
+            let CoreUnit {
+                core, l1, l1_mshrs, miss_queue, hit_pipe, stats, l1_hit_latency, ..
+            } = unit;
+            let mut port = L1Front {
+                l1,
+                mshrs: l1_mshrs,
+                miss_queue,
+                hit_pipe,
+                stats,
+                hit_latency: *l1_hit_latency,
+            };
+            core.tick(now, &mut port);
+        }
+        self.rr_offset = (self.rr_offset + 1) % n.max(1);
+
+        // 5. Memory controller dispatch (per channel).
+        for channel in &mut self.channels {
+            channel.mc.tick(now, channel.scheduler.as_mut(), &mut channel.dram);
+        }
+
+        // 6. Refresh per-core signals and run the scheduler's epoch hook.
+        for (i, unit) in self.cores.iter().enumerate() {
+            let c = unit.core.counters();
+            let s = &mut self.signals[i];
+            s.instructions = c.instructions;
+            s.mem_stall_cycles = c.mem_stall_cycles;
+            s.l1_misses = unit.stats.l1_misses;
+            s.llc_misses = unit.stats.llc_misses;
+            s.mem_completed = unit.fills;
+            s.mem_latency_sum = unit.stats.mem_latency_sum;
+        }
+        for channel in &mut self.channels {
+            channel.scheduler.tick(now, &self.signals, &mut self.source_ctl);
+        }
+
+        self.now += 1;
+    }
+
+    /// Memory channel owning `addr` (row-granularity interleave).
+    fn channel_of(row_bytes: u64, channels: usize, addr: Addr) -> usize {
+        ((addr / row_bytes) % channels as u64) as usize
+    }
+
+    /// Handles a DRAM read completion: fill the LLC, wake LLC MSHR
+    /// waiters, and queue evicted-dirty writebacks back to the controller.
+    fn llc_on_mem_response(
+        llc: &mut LlcUnit,
+        channels: &mut [Channel],
+        row_bytes: u64,
+        now: Cycle,
+        line_addr: Addr,
+        fills: &mut Vec<CoreFill>,
+    ) {
+        if let Some(entry) = llc.mshrs.complete(line_addr) {
+            for core in entry.waiters {
+                fills.push(CoreFill { core, line_addr });
+            }
+            if let Some(ev) = llc.cache.fill(line_addr, entry.any_write) {
+                if ev.dirty {
+                    // Evicted dirty LLC line: write back to memory.
+                    let ch = Self::channel_of(row_bytes, channels.len(), ev.line_addr);
+                    if channels[ch]
+                        .mc
+                        .try_enqueue(now, CoreId::new(0), ev.line_addr, MemCmd::Write)
+                        .is_none()
+                    {
+                        llc.mc_backlog.push_back(McBacklogEntry {
+                            core: CoreId::new(0),
+                            line_addr: ev.line_addr,
+                            cmd: MemCmd::Write,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn llc_tick(
+        llc: &mut LlcUnit,
+        channels: &mut [Channel],
+        row_bytes: u64,
+        cores: &mut [CoreUnit],
+        now: Cycle,
+        fills: &mut Vec<CoreFill>,
+        notes: &mut Vec<ShaperNote>,
+    ) {
+        let nchan = channels.len();
+        let mut enqueue = |now: Cycle, core: CoreId, line: Addr, cmd: MemCmd| -> bool {
+            let ch = Self::channel_of(row_bytes, nchan, line);
+            channels[ch].mc.try_enqueue(now, core, line, cmd).is_some()
+        };
+
+        // Retry transactions that met a full controller FIFO.
+        while let Some(&entry) = llc.mc_backlog.front() {
+            if enqueue(now, entry.core, entry.line_addr, entry.cmd) {
+                llc.mc_backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // After-LLC shapers: housekeeping, then retry deferred misses
+        // (head-of-line per core). A core whose gate was removed flushes
+        // its backlog unconditionally.
+        for core_idx in 0..llc.deferred.len() {
+            let grant_one = match &llc.shapers[core_idx] {
+                Some(shaper) => {
+                    shaper.borrow_mut().tick(now);
+                    if llc.deferred[core_idx].is_empty() {
+                        false
+                    } else {
+                        let decision = shaper.borrow_mut().try_issue(now);
+                        match decision {
+                            ShapeDecision::Grant(_) => true,
+                            ShapeDecision::Deny => {
+                                shaper.borrow_mut().note_stall_cycle();
+                                false
+                            }
+                        }
+                    }
+                }
+                None => !llc.deferred[core_idx].is_empty(),
+            };
+            if grant_one {
+                let line = llc.deferred[core_idx].pop_front().expect("checked non-empty");
+                let core = CoreId::new(core_idx);
+                if !enqueue(now, core, line, MemCmd::Read) {
+                    llc.mc_backlog.push_back(McBacklogEntry {
+                        core,
+                        line_addr: line,
+                        cmd: MemCmd::Read,
+                    });
+                }
+            }
+        }
+
+        // Resolve due lookups. Entries that cannot make progress (MSHR
+        // full) are re-queued for the next cycle.
+        let mut requeue: Vec<LlcLookup> = Vec::new();
+        let due: Vec<LlcLookup> = {
+            let mut v = Vec::new();
+            let mut rest = VecDeque::new();
+            while let Some(lk) = llc.lookups.pop_front() {
+                if lk.ready_at <= now {
+                    v.push(lk);
+                } else {
+                    rest.push_back(lk);
+                }
+            }
+            llc.lookups = rest;
+            v
+        };
+
+        for mut lk in due {
+            match lk.kind {
+                LlcKind::Writeback => {
+                    match llc.cache.access(lk.line_addr, true) {
+                        AccessResult::Hit => {}
+                        AccessResult::Miss => {
+                            // Write-no-allocate for writebacks: forward to
+                            // memory.
+                            if !enqueue(now, lk.core, lk.line_addr, MemCmd::Write) {
+                                llc.mc_backlog.push_back(McBacklogEntry {
+                                    core: lk.core,
+                                    line_addr: lk.line_addr,
+                                    cmd: MemCmd::Write,
+                                });
+                            }
+                        }
+                    }
+                }
+                LlcKind::Demand { token, ref mut notified } => {
+                    let stats = &mut cores[lk.core.index()].stats;
+                    let hit = if *notified {
+                        // Retried after MSHR stall: probe quietly.
+                        llc.cache.probe(lk.line_addr)
+                    } else {
+                        let r = llc.cache.access(lk.line_addr, false) == AccessResult::Hit;
+                        if r {
+                            stats.llc_hits += 1;
+                        } else {
+                            stats.llc_misses += 1;
+                            stats.mem_interarrival.record_arrival(now);
+                        }
+                        notes.push(ShaperNote { core: lk.core, token, hit: r });
+                        *notified = true;
+                        r
+                    };
+                    if hit {
+                        fills.push(CoreFill { core: lk.core, line_addr: lk.line_addr });
+                    } else {
+                        match llc.mshrs.allocate(lk.line_addr, now, false, lk.core) {
+                            MshrOutcome::Allocated => {
+                                // An after-LLC shaper (Fig. 7 middle
+                                // placement) gates true memory requests
+                                // here; denied requests wait in the
+                                // per-core deferred queue.
+                                let gated = match &llc.shapers[lk.core.index()] {
+                                    Some(shaper) => {
+                                        let decision = shaper.borrow_mut().try_issue(now);
+                                        match decision {
+                                            ShapeDecision::Grant(_) => false,
+                                            ShapeDecision::Deny => {
+                                                shaper.borrow_mut().note_stall_cycle();
+                                                true
+                                            }
+                                        }
+                                    }
+                                    None => false,
+                                };
+                                if gated {
+                                    llc.deferred[lk.core.index()].push_back(lk.line_addr);
+                                } else if !enqueue(now, lk.core, lk.line_addr, MemCmd::Read) {
+                                    llc.mc_backlog.push_back(McBacklogEntry {
+                                        core: lk.core,
+                                        line_addr: lk.line_addr,
+                                        cmd: MemCmd::Read,
+                                    });
+                                }
+                            }
+                            MshrOutcome::Merged => {}
+                            MshrOutcome::Full => {
+                                lk.ready_at = now + 1;
+                                requeue.push(lk);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for lk in requeue {
+            llc.lookups.push_back(lk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shaper::StaticRateShaper;
+    use crate::trace::StrideTrace;
+
+    fn streaming_system(cores: usize, gap: u32) -> System {
+        let mut b = SystemBuilder::new(SystemConfig::multi_program(cores.max(2)));
+        for i in 0..cores.max(2) {
+            b = b.trace(
+                i,
+                Box::new(
+                    StrideTrace::new(gap, 64, 16 << 20).with_base((i as u64) << 32),
+                ),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_core_makes_progress() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(0, Box::new(StrideTrace::new(10, 64, 16 << 20)))
+            .build();
+        sys.run_cycles(20_000);
+        let s = sys.core_stats(0);
+        assert!(s.counters.instructions > 1000, "IPC stuck: {:?}", s.counters);
+        assert!(s.l1_misses > 0);
+        assert!(s.llc_misses > 0, "streaming must miss the 64 KB LLC");
+        assert!(sys.dram_bytes() > 0);
+    }
+
+    #[test]
+    fn compute_bound_core_hits_l1() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program()).build();
+        sys.run_cycles(10_000);
+        let s = sys.core_stats(0);
+        assert!(s.counters.ipc() > 3.0, "compute-bound IPC was {}", s.counters.ipc());
+        // One cold miss brings the single reused line in; nothing after.
+        assert!(s.llc_misses <= 1, "compute-bound core missed {} times", s.llc_misses);
+    }
+
+    #[test]
+    fn memory_latency_is_sane() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(0, Box::new(StrideTrace::new(200, 64, 16 << 20)))
+            .build();
+        sys.run_cycles(50_000);
+        let s = sys.core_stats(0);
+        let lat = s.mean_mem_latency();
+        // LLC (20) + DRAM row ops (~50-120) + queues: expect 60..400.
+        assert!(lat > 40.0 && lat < 500.0, "mean memory latency {lat} out of range");
+    }
+
+    #[test]
+    fn two_cores_share_bandwidth() {
+        let mut sys = streaming_system(2, 2);
+        sys.run_cycles(50_000);
+        let s0 = sys.core_stats(0);
+        let s1 = sys.core_stats(1);
+        assert!(s0.counters.instructions > 0 && s1.counters.instructions > 0);
+        // Symmetric workloads should see similar progress (within 2x).
+        let r = s0.counters.instructions as f64 / s1.counters.instructions as f64;
+        assert!(r > 0.5 && r < 2.0, "asymmetric progress ratio {r}");
+    }
+
+    #[test]
+    fn contention_slows_cores_down() {
+        // Core 0 streams; core 1 stays compute-bound (default trace).
+        let mut solo = SystemBuilder::new(SystemConfig::multi_program(2))
+            .trace(0, Box::new(StrideTrace::new(2, 64, 16 << 20)))
+            .build();
+        solo.run_cycles(50_000);
+        let alone_ipc = solo.core_stats(0).counters.ipc();
+
+        let mut shared = streaming_system(2, 2);
+        shared.run_cycles(50_000);
+        let shared_ipc = shared.core_stats(0).counters.ipc();
+        assert!(
+            shared_ipc < alone_ipc,
+            "sharing memory must cost performance ({shared_ipc} !< {alone_ipc})"
+        );
+    }
+
+    #[test]
+    fn static_shaper_throttles_throughput() {
+        let mk = |interval: Option<Cycle>| {
+            let mut b = SystemBuilder::new(SystemConfig::single_program())
+                .trace(0, Box::new(StrideTrace::new(5, 64, 16 << 20)));
+            if let Some(i) = interval {
+                b = b.shaper(0, Rc::new(RefCell::new(StaticRateShaper::new(i))));
+            }
+            b.build()
+        };
+        let mut free = mk(None);
+        free.run_cycles(30_000);
+        let mut limited = mk(Some(300));
+        limited.run_cycles(30_000);
+        let free_ipc = free.core_stats(0).counters.ipc();
+        let lim_ipc = limited.core_stats(0).counters.ipc();
+        assert!(
+            lim_ipc < free_ipc * 0.7,
+            "a 300-cycle interval must hurt a streaming app ({lim_ipc} vs {free_ipc})"
+        );
+        assert!(limited.core_stats(0).shaper_stall_cycles > 0);
+    }
+
+    #[test]
+    fn run_until_instructions_stops_early() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program()).build();
+        assert!(sys.run_until_instructions(1000, 100_000));
+        assert!(sys.now() < 100_000);
+    }
+
+    #[test]
+    fn snapshots_diff_between_windows() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(0, Box::new(StrideTrace::new(50, 64, 16 << 20)))
+            .build();
+        sys.run_cycles(5_000);
+        let a = sys.core_snapshot(0);
+        sys.run_cycles(5_000);
+        let b = sys.core_snapshot(0);
+        let d = b.delta(&a);
+        assert_eq!(d.cycles, 5_000);
+        assert!(d.instructions > 0);
+    }
+
+    #[test]
+    fn interarrival_histograms_populate() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(0, Box::new(StrideTrace::new(8, 64, 16 << 20)))
+            .build();
+        sys.run_cycles(30_000);
+        let s = sys.core_stats(0);
+        assert!(s.l1_miss_interarrival.total() > 0);
+        assert!(s.mem_interarrival.total() > 0);
+    }
+
+    #[test]
+    fn priority_core_speeds_up_its_owner() {
+        let run = |prio: Option<usize>| {
+            let mut sys = streaming_system(4, 1);
+            if let Some(p) = prio {
+                sys.set_priority_core(Some(CoreId::new(p)));
+            }
+            sys.run_cycles(40_000);
+            sys.core_stats(0).counters.ipc()
+        };
+        let base = run(None);
+        let boosted = run(Some(0));
+        assert!(
+            boosted > base * 1.05,
+            "priority must help under contention ({boosted} vs {base})"
+        );
+    }
+
+    #[test]
+    fn writebacks_flow_to_memory() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(
+                0,
+                Box::new(
+                    StrideTrace::new(5, 64, 16 << 20).with_write_every(2),
+                ),
+            )
+            .build();
+        sys.run_cycles(60_000);
+        let s = sys.core_stats(0);
+        assert!(s.writebacks > 0, "dirty evictions must produce writebacks");
+    }
+
+    #[test]
+    fn after_llc_shaper_gates_true_memory_requests() {
+        // A tight after-LLC static-rate shaper must cap LLC misses
+        // without touching LLC hits (which never reach it).
+        let build = |interval: Option<Cycle>| {
+            let mut sys = SystemBuilder::new(SystemConfig::single_program())
+                .trace(0, Box::new(StrideTrace::new(5, 64, 16 << 20)))
+                .build();
+            if let Some(i) = interval {
+                sys.set_llc_shaper(0, Some(Rc::new(RefCell::new(StaticRateShaper::new(i)))));
+            }
+            sys.run_cycles(60_000);
+            sys.core_stats(0)
+        };
+        let free = build(None);
+        let gated = build(Some(400));
+        assert!(
+            gated.llc_misses < free.llc_misses / 2,
+            "after-LLC shaper must throttle memory requests ({} vs {})",
+            gated.llc_misses,
+            free.llc_misses
+        );
+        assert!(
+            gated.counters.instructions < free.counters.instructions,
+            "throttling memory must slow a streaming app"
+        );
+    }
+
+    #[test]
+    fn after_llc_shaper_can_be_cleared() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(0, Box::new(StrideTrace::new(5, 64, 16 << 20)))
+            .build();
+        sys.set_llc_shaper(0, Some(Rc::new(RefCell::new(StaticRateShaper::new(500)))));
+        sys.run_cycles(30_000);
+        let slow = sys.core_snapshot(0).instructions;
+        sys.set_llc_shaper(0, None);
+        sys.run_cycles(30_000);
+        let fast = sys.core_snapshot(0).instructions - slow;
+        assert!(fast > slow, "clearing the gate must restore throughput");
+    }
+
+    #[test]
+    fn second_memory_channel_raises_bandwidth_under_load() {
+        let build = |channels: usize| {
+            let mut cfg = SystemConfig::multi_program(4);
+            cfg.mc.channels = channels;
+            let mut b = SystemBuilder::new(cfg);
+            for i in 0..4 {
+                // Stagger bases by a few rows so the four streams do not
+                // walk the banks (and channels) in lockstep.
+                let base = ((i as u64) << 32) + (i as u64) * 3 * 8192;
+                b = b.trace(i, Box::new(StrideTrace::new(1, 64, 16 << 20).with_base(base)));
+            }
+            let mut sys = b.build();
+            sys.run_cycles(80_000);
+            (sys.dram_bytes(), sys.num_channels())
+        };
+        let (one, n1) = build(1);
+        let (two, n2) = build(2);
+        assert_eq!((n1, n2), (1, 2));
+        assert!(
+            two as f64 > one as f64 * 1.3,
+            "a second channel must add bandwidth under saturation ({one} -> {two})"
+        );
+    }
+
+    #[test]
+    fn per_channel_schedulers_are_independent() {
+        let mut cfg = SystemConfig::multi_program(2);
+        cfg.mc.channels = 2;
+        let mut sys = SystemBuilder::new(cfg)
+            .trace(0, Box::new(StrideTrace::new(2, 64, 16 << 20)))
+            .trace(1, Box::new(StrideTrace::new(2, 64, 16 << 20).with_base(1 << 32)))
+            .scheduler(Box::new(FcfsScheduler::new()))
+            .channel_scheduler(1, Box::new(FcfsScheduler::new()))
+            .build();
+        sys.run_cycles(30_000);
+        // Both channels see traffic (row-granularity interleave of a
+        // 16 MB stream spans both).
+        assert!(sys.dram_bytes() > 0);
+        let (h, m, c) = sys.dram_row_stats();
+        assert!(h + m + c > 0);
+    }
+
+    #[test]
+    fn freeze_core_injects_overhead() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program()).build();
+        sys.freeze_core(0, 1000);
+        sys.run_cycles(1000);
+        assert_eq!(sys.core_stats(0).counters.instructions, 0);
+        assert_eq!(sys.core_stats(0).counters.frozen_cycles, 1000);
+    }
+}

@@ -1,0 +1,172 @@
+//! Trace interfaces between workload generators and the core model.
+//!
+//! A [`TraceSource`] produces an infinite instruction stream in compressed
+//! form: each [`TraceOp`] is "`gap` non-memory instructions, then one
+//! memory access". The `mitts-workloads` crate provides rich synthetic
+//! sources; this module only defines the contract plus two trivial sources
+//! used by tests.
+
+use crate::types::Addr;
+
+/// One compressed trace record: `gap` non-memory instructions followed by
+/// a single memory access to `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Non-memory instructions preceding the access.
+    pub gap: u32,
+    /// Byte address of the access.
+    pub addr: Addr,
+    /// Whether the access is a store.
+    pub write: bool,
+}
+
+impl TraceOp {
+    /// A read after `gap` compute instructions.
+    pub fn read(gap: u32, addr: Addr) -> Self {
+        TraceOp { gap, addr, write: false }
+    }
+
+    /// A write after `gap` compute instructions.
+    pub fn write(gap: u32, addr: Addr) -> Self {
+        TraceOp { gap, addr, write: true }
+    }
+}
+
+/// An infinite instruction stream feeding one core.
+///
+/// Sources must be deterministic for a given construction seed so whole
+/// experiments are reproducible.
+pub trait TraceSource {
+    /// Produces the next record. Sources never end; generators wrap or
+    /// re-seed internally.
+    fn next_op(&mut self) -> TraceOp;
+
+    /// Optional program-phase label for the current position (used by the
+    /// phase-based tuner, §IV-D). Defaults to a single phase `0`.
+    fn phase(&self) -> usize {
+        0
+    }
+}
+
+/// A source that strides through memory with a fixed compute gap —
+/// useful for tests and for approximating perfectly regular traffic
+/// (Fig. 1 top: "constant memory traffic").
+#[derive(Debug, Clone)]
+pub struct StrideTrace {
+    gap: u32,
+    stride: u64,
+    next_addr: Addr,
+    wrap_at: Addr,
+    base: Addr,
+    write_every: Option<u32>,
+    count: u32,
+}
+
+impl StrideTrace {
+    /// Creates a striding source: every op has `gap` compute instructions
+    /// and addresses advance by `stride` bytes, wrapping after
+    /// `footprint` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or `footprint < stride`.
+    pub fn new(gap: u32, stride: u64, footprint: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(footprint >= stride, "footprint must cover at least one stride");
+        StrideTrace {
+            gap,
+            stride,
+            next_addr: 0,
+            wrap_at: footprint,
+            base: 0,
+            write_every: None,
+            count: 0,
+        }
+    }
+
+    /// Starts addresses at `base` (so multiple cores touch disjoint
+    /// regions).
+    pub fn with_base(mut self, base: Addr) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Makes every `n`-th access a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_write_every(mut self, n: u32) -> Self {
+        assert!(n > 0);
+        self.write_every = Some(n);
+        self
+    }
+}
+
+impl TraceSource for StrideTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let addr = self.base + self.next_addr;
+        self.next_addr += self.stride;
+        if self.next_addr >= self.wrap_at {
+            self.next_addr = 0;
+        }
+        self.count = self.count.wrapping_add(1);
+        let write = self.write_every.is_some_and(|n| self.count.is_multiple_of(n));
+        TraceOp { gap: self.gap, addr, write }
+    }
+}
+
+/// A source that never misses: it re-touches one line forever. Useful to
+/// model a compute-bound program (every access L1-hits after warmup).
+#[derive(Debug, Clone)]
+pub struct ComputeTrace {
+    gap: u32,
+}
+
+impl ComputeTrace {
+    /// Creates a compute-bound source with `gap` compute instructions
+    /// between (always-hitting) accesses.
+    pub fn new(gap: u32) -> Self {
+        ComputeTrace { gap }
+    }
+}
+
+impl TraceSource for ComputeTrace {
+    fn next_op(&mut self) -> TraceOp {
+        TraceOp::read(self.gap, 0x40)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_trace_walks_and_wraps() {
+        let mut t = StrideTrace::new(3, 64, 192);
+        let addrs: Vec<_> = (0..5).map(|_| t.next_op().addr).collect();
+        assert_eq!(addrs, vec![0, 64, 128, 0, 64]);
+        assert_eq!(t.next_op().gap, 3);
+    }
+
+    #[test]
+    fn stride_trace_base_offsets_addresses() {
+        let mut t = StrideTrace::new(0, 64, 128).with_base(0x10000);
+        assert_eq!(t.next_op().addr, 0x10000);
+        assert_eq!(t.next_op().addr, 0x10040);
+    }
+
+    #[test]
+    fn write_every_marks_stores() {
+        let mut t = StrideTrace::new(0, 64, 1 << 20).with_write_every(3);
+        let writes: Vec<bool> = (0..6).map(|_| t.next_op().write).collect();
+        assert_eq!(writes, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn compute_trace_reuses_one_line() {
+        let mut t = ComputeTrace::new(10);
+        assert_eq!(t.next_op().addr, t.next_op().addr);
+        assert_eq!(t.phase(), 0);
+    }
+}

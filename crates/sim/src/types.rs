@@ -1,0 +1,195 @@
+//! Fundamental value types shared across the simulator.
+//!
+//! Everything in the simulator is expressed in **CPU cycles** (the paper's
+//! core runs at 2.4 GHz; DRAM timing parameters are converted into CPU
+//! cycles once, at configuration time). Newtypes are used where mixing two
+//! integer meanings would be an easy bug ([`CoreId`], [`OpId`]).
+
+use std::fmt;
+
+/// A point in simulated time, measured in CPU cycles since reset.
+pub type Cycle = u64;
+
+/// A physical byte address.
+pub type Addr = u64;
+
+/// Identifier of a hardware core (and, in the single-threaded-per-core
+/// model used throughout the paper's evaluation, of the program running
+/// on it).
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::CoreId;
+/// let c = CoreId::new(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(format!("{c}"), "core3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 16 bits (the simulator supports up
+    /// to 65 536 cores, far beyond the paper's 25-core chip).
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "core index {index} out of range");
+        CoreId(index as u16)
+    }
+
+    /// Returns the zero-based index of this core.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Unique identifier of one dynamic memory operation issued by a core.
+///
+/// `OpId`s are allocated by each core's front end and never reused within a
+/// run, so completion messages can be matched to reorder-buffer entries
+/// without any pointer plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(u64);
+
+impl OpId {
+    /// Creates an operation identifier from a raw counter value.
+    pub fn new(raw: u64) -> Self {
+        OpId(raw)
+    }
+
+    /// Returns the raw counter value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemCmd {
+    /// A load (or instruction fetch); the requester waits for data.
+    Read,
+    /// A store or a dirty writeback; fire-and-forget from the core's view.
+    Write,
+}
+
+impl MemCmd {
+    /// Returns `true` for [`MemCmd::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, MemCmd::Read)
+    }
+}
+
+impl fmt::Display for MemCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemCmd::Read => f.write_str("read"),
+            MemCmd::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Cache-line geometry helpers.
+///
+/// The whole simulated system uses a single line size (64 B in every
+/// configuration in the paper, Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineGeometry {
+    line_bytes_log2: u32,
+}
+
+impl LineGeometry {
+    /// Creates a geometry for lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two or is zero.
+    pub fn new(line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        LineGeometry { line_bytes_log2: line_bytes.trailing_zeros() }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(self) -> usize {
+        1usize << self.line_bytes_log2
+    }
+
+    /// Maps a byte address to its line address (address with the offset
+    /// bits stripped, *not* shifted).
+    pub fn line_of(self, addr: Addr) -> Addr {
+        addr >> self.line_bytes_log2 << self.line_bytes_log2
+    }
+
+    /// Maps a byte address to a compact line number.
+    pub fn line_number(self, addr: Addr) -> u64 {
+        addr >> self.line_bytes_log2
+    }
+}
+
+impl Default for LineGeometry {
+    fn default() -> Self {
+        LineGeometry::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip() {
+        for i in [0usize, 1, 7, 24, 65535] {
+            assert_eq!(CoreId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_id_rejects_huge_index() {
+        let _ = CoreId::new(70_000);
+    }
+
+    #[test]
+    fn op_id_is_ordered_by_allocation() {
+        assert!(OpId::new(1) < OpId::new(2));
+        assert_eq!(OpId::new(9).raw(), 9);
+    }
+
+    #[test]
+    fn mem_cmd_display_and_kind() {
+        assert!(MemCmd::Read.is_read());
+        assert!(!MemCmd::Write.is_read());
+        assert_eq!(MemCmd::Read.to_string(), "read");
+        assert_eq!(MemCmd::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn line_geometry_masks_offsets() {
+        let g = LineGeometry::new(64);
+        assert_eq!(g.line_bytes(), 64);
+        assert_eq!(g.line_of(0x1234), 0x1200);
+        assert_eq!(g.line_number(0x1234), 0x48);
+        assert_eq!(g.line_of(63), 0);
+        assert_eq!(g.line_of(64), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_geometry_rejects_non_power_of_two() {
+        let _ = LineGeometry::new(48);
+    }
+}

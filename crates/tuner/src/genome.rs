@@ -1,0 +1,351 @@
+//! Genome representation for bin-configuration search.
+//!
+//! A genome is one candidate MITTS configuration per core: `credits[c][i]`
+//! is bin `i`'s replenish count for core `c`. The §IV-C experiments
+//! constrain the search to configurations with the *same* average
+//! inter-arrival time and average bandwidth as the static baseline;
+//! [`Constraint::repair`] projects arbitrary genomes back onto that
+//! constraint surface so crossover/mutation never leave it.
+
+use mitts_core::bins::{BinConfig, BinSpec, K_MAX};
+use mitts_sim::rng::Rng;
+use mitts_sim::types::Cycle;
+
+/// A candidate configuration for every core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Genome {
+    spec: BinSpec,
+    period: Cycle,
+    /// `credits[core][bin]`.
+    credits: Vec<Vec<u32>>,
+}
+
+impl Genome {
+    /// Creates a genome from explicit per-core credit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any credit vector has the wrong length or exceeds
+    /// [`K_MAX`].
+    pub fn new(spec: BinSpec, period: Cycle, credits: Vec<Vec<u32>>) -> Self {
+        assert!(!credits.is_empty(), "need at least one core");
+        for (c, v) in credits.iter().enumerate() {
+            assert_eq!(v.len(), spec.bins(), "core {c} has wrong bin count");
+            assert!(v.iter().all(|&x| x <= K_MAX), "core {c} exceeds K_MAX");
+        }
+        Genome { spec, period, credits }
+    }
+
+    /// A uniformly random genome with per-bin credits in `[0, max_credit]`.
+    pub fn random(
+        spec: BinSpec,
+        period: Cycle,
+        cores: usize,
+        max_credit: u32,
+        rng: &mut Rng,
+    ) -> Self {
+        let max = max_credit.min(K_MAX);
+        let credits = (0..cores)
+            .map(|_| (0..spec.bins()).map(|_| rng.below(max as u64 + 1) as u32).collect())
+            .collect();
+        Genome { spec, period, credits }
+    }
+
+    /// Number of cores this genome configures.
+    pub fn cores(&self) -> usize {
+        self.credits.len()
+    }
+
+    /// The bin geometry.
+    pub fn spec(&self) -> BinSpec {
+        self.spec
+    }
+
+    /// The replenishment period.
+    pub fn period(&self) -> Cycle {
+        self.period
+    }
+
+    /// Credit matrix (`[core][bin]`).
+    pub fn credits(&self) -> &[Vec<u32>] {
+        &self.credits
+    }
+
+    /// Converts the genome into one [`BinConfig`] per core.
+    pub fn to_configs(&self) -> Vec<BinConfig> {
+        self.credits
+            .iter()
+            .map(|v| {
+                BinConfig::new(self.spec, v.clone(), self.period)
+                    .expect("genomes maintain validity by construction")
+            })
+            .collect()
+    }
+
+    /// Uniform crossover: each (core, bin) gene comes from either parent
+    /// with equal probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parents have different shapes.
+    pub fn crossover(&self, other: &Genome, rng: &mut Rng) -> Genome {
+        assert_eq!(self.cores(), other.cores(), "parent shapes differ");
+        assert_eq!(self.spec, other.spec, "parent specs differ");
+        let credits = self
+            .credits
+            .iter()
+            .zip(&other.credits)
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| if rng.chance(0.5) { x } else { y })
+                    .collect()
+            })
+            .collect();
+        Genome { spec: self.spec, period: self.period, credits }
+    }
+
+    /// Mutates each gene with probability `rate`, perturbing it by up to
+    /// ±`step` (clamped to `[0, K_MAX]`).
+    pub fn mutate(&mut self, rate: f64, step: u32, rng: &mut Rng) {
+        for core in &mut self.credits {
+            for gene in core.iter_mut() {
+                if rng.chance(rate) {
+                    let delta = rng.range(0, 2 * step as u64) as i64 - step as i64;
+                    let v = (*gene as i64 + delta).clamp(0, K_MAX as i64);
+                    *gene = v as u32;
+                }
+            }
+        }
+    }
+}
+
+/// Equality constraints on each core's configuration (§IV-C): match a
+/// static allocation's average inter-arrival time and average bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint {
+    /// Target average inter-arrival time `I_avg` in cycles (None = free).
+    pub target_interval: Option<f64>,
+    /// Target average bandwidth in requests/cycle (None = free).
+    pub target_rpc: Option<f64>,
+}
+
+impl Constraint {
+    /// No constraints (the multiprogram studies search freely).
+    pub fn free() -> Self {
+        Constraint { target_interval: None, target_rpc: None }
+    }
+
+    /// Match a static allocation with one request every `interval`
+    /// cycles: both `I_avg = interval` and `B_avg = 1/interval`.
+    pub fn match_static(interval: f64) -> Self {
+        Constraint { target_interval: Some(interval), target_rpc: Some(1.0 / interval) }
+    }
+
+    /// Projects every core of `genome` onto the constraint surface.
+    ///
+    /// Bandwidth first: credits are scaled so `Σ n_i = rpc × T_r`.
+    /// Then the interval: single credits are moved between bins (which
+    /// preserves `Σ n_i`) until `I_avg` is within half a bin width of the
+    /// target.
+    pub fn repair(&self, genome: &mut Genome, rng: &mut Rng) {
+        let spec = genome.spec;
+        let period = genome.period;
+        for core in 0..genome.cores() {
+            if let Some(rpc) = self.target_rpc {
+                let target_total = (rpc * period as f64).round().max(1.0) as u64;
+                Self::scale_to_total(&mut genome.credits[core], target_total, rng);
+            }
+            if let Some(interval) = self.target_interval {
+                Self::shift_to_interval(&mut genome.credits[core], spec, interval);
+            }
+        }
+    }
+
+    /// Checks whether every core of `genome` satisfies the constraints
+    /// within tolerance (`tol_interval` cycles, `tol_rpc` relative).
+    pub fn is_satisfied(&self, genome: &Genome, tol_interval: f64, tol_rpc: f64) -> bool {
+        genome.to_configs().iter().all(|cfg| {
+            let interval_ok = match self.target_interval {
+                None => true,
+                Some(t) => cfg
+                    .average_interval()
+                    .is_some_and(|i| (i - t).abs() <= tol_interval),
+            };
+            let rpc_ok = match self.target_rpc {
+                None => true,
+                Some(t) => (cfg.requests_per_cycle() - t).abs() <= tol_rpc * t,
+            };
+            interval_ok && rpc_ok
+        })
+    }
+
+    fn scale_to_total(credits: &mut [u32], target: u64, rng: &mut Rng) {
+        let mut total: u64 = credits.iter().map(|&c| c as u64).sum();
+        if total == 0 {
+            // Degenerate genome: seed one bin at random.
+            let bin = rng.below(credits.len() as u64) as usize;
+            credits[bin] = 1;
+            total = 1;
+        }
+        let scale = target as f64 / total as f64;
+        for c in credits.iter_mut() {
+            *c = ((*c as f64 * scale).round() as u64).min(K_MAX as u64) as u32;
+        }
+        // Fix rounding drift one credit at a time.
+        let mut total: i64 = credits.iter().map(|&c| c as i64).sum();
+        while total != target as i64 {
+            let bin = rng.below(credits.len() as u64) as usize;
+            if total < target as i64 {
+                if credits[bin] < K_MAX {
+                    credits[bin] += 1;
+                    total += 1;
+                }
+            } else if credits[bin] > 0 {
+                credits[bin] -= 1;
+                total -= 1;
+            }
+        }
+    }
+
+    fn shift_to_interval(credits: &mut [u32], spec: BinSpec, target: f64) {
+        let tol = spec.interval() as f64 / 2.0;
+        // Moving one credit from bin a to bin b changes the weighted sum
+        // by t_b - t_a while keeping the total fixed.
+        for _ in 0..10_000 {
+            let total: u64 = credits.iter().map(|&c| c as u64).sum();
+            if total == 0 {
+                return;
+            }
+            let weighted: f64 = credits
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| n as f64 * spec.t_i(i))
+                .sum();
+            let current = weighted / total as f64;
+            if (current - target).abs() <= tol {
+                return;
+            }
+            if current < target {
+                // Need a larger mean: move a credit upward.
+                let Some(from) = (0..spec.bins() - 1).find(|&i| credits[i] > 0) else {
+                    return;
+                };
+                let to = spec.bins() - 1;
+                credits[from] -= 1;
+                credits[to] = (credits[to] + 1).min(K_MAX);
+            } else {
+                // Need a smaller mean: move a credit downward.
+                let Some(from) = (1..spec.bins()).rev().find(|&i| credits[i] > 0) else {
+                    return;
+                };
+                credits[from] -= 1;
+                credits[0] = (credits[0] + 1).min(K_MAX);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BinSpec {
+        BinSpec::paper_default()
+    }
+
+    #[test]
+    fn random_genomes_are_valid() {
+        let mut rng = Rng::seeded(1);
+        let g = Genome::random(spec(), 1000, 4, 50, &mut rng);
+        assert_eq!(g.cores(), 4);
+        let configs = g.to_configs();
+        assert_eq!(configs.len(), 4);
+        for c in configs {
+            assert!(c.credits().iter().all(|&x| x <= 50));
+        }
+    }
+
+    #[test]
+    fn crossover_takes_genes_from_parents() {
+        let mut rng = Rng::seeded(2);
+        let a = Genome::new(spec(), 1000, vec![vec![0; 10]]);
+        let b = Genome::new(spec(), 1000, vec![vec![9; 10]]);
+        let child = a.crossover(&b, &mut rng);
+        for &g in &child.credits()[0] {
+            assert!(g == 0 || g == 9, "child gene {g} must come from a parent");
+        }
+        // Extremely unlikely to be all-one-parent with seed 2.
+        let zeros = child.credits()[0].iter().filter(|&&g| g == 0).count();
+        assert!(zeros > 0 && zeros < 10);
+    }
+
+    #[test]
+    fn mutation_respects_bounds() {
+        let mut rng = Rng::seeded(3);
+        let mut g = Genome::new(spec(), 1000, vec![vec![K_MAX; 10]]);
+        g.mutate(1.0, 50, &mut rng);
+        assert!(g.credits()[0].iter().all(|&x| x <= K_MAX));
+        let mut g = Genome::new(spec(), 1000, vec![vec![0; 10]]);
+        g.mutate(1.0, 50, &mut rng);
+        // All values still valid (>= 0 by type), some changed.
+        assert!(g.credits()[0].iter().any(|&x| x > 0));
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let mut rng = Rng::seeded(4);
+        let mut g = Genome::new(spec(), 1000, vec![vec![5; 10]]);
+        let before = g.clone();
+        g.mutate(0.0, 50, &mut rng);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn repair_meets_bandwidth_constraint() {
+        let mut rng = Rng::seeded(5);
+        let c = Constraint { target_interval: None, target_rpc: Some(0.05) };
+        let mut g = Genome::random(spec(), 1000, 2, 100, &mut rng);
+        c.repair(&mut g, &mut rng);
+        for cfg in g.to_configs() {
+            assert_eq!(cfg.total_credits(), 50, "0.05 rpc x 1000 cycles = 50 credits");
+        }
+        assert!(c.is_satisfied(&g, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn repair_meets_both_constraints() {
+        let mut rng = Rng::seeded(6);
+        let c = Constraint::match_static(38.0);
+        for seed in 0..20 {
+            let mut r = Rng::seeded(seed);
+            let mut g = Genome::random(spec(), 10_000, 1, 200, &mut r);
+            c.repair(&mut g, &mut rng);
+            assert!(
+                c.is_satisfied(&g, 5.0, 0.02),
+                "seed {seed}: interval {:?}, rpc {}",
+                g.to_configs()[0].average_interval(),
+                g.to_configs()[0].requests_per_cycle()
+            );
+        }
+    }
+
+    #[test]
+    fn repair_handles_all_zero_genome() {
+        let mut rng = Rng::seeded(7);
+        let c = Constraint { target_interval: None, target_rpc: Some(0.01) };
+        let mut g = Genome::new(spec(), 1000, vec![vec![0; 10]]);
+        c.repair(&mut g, &mut rng);
+        assert_eq!(g.to_configs()[0].total_credits(), 10);
+    }
+
+    #[test]
+    fn free_constraint_changes_nothing() {
+        let mut rng = Rng::seeded(8);
+        let mut g = Genome::random(spec(), 1000, 2, 30, &mut rng);
+        let before = g.clone();
+        Constraint::free().repair(&mut g, &mut rng);
+        assert_eq!(g, before);
+        assert!(Constraint::free().is_satisfied(&g, 0.0, 0.0));
+    }
+}

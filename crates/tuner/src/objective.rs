@@ -1,0 +1,127 @@
+//! Objective functions for the configuration search (§IV-B, §IV-D).
+//!
+//! All objectives are *maximised*. For multiprogram runs they are built
+//! on slowdowns (`S_i = IPC_alone / IPC_shared` offline, or the paper's
+//! blended online estimate); for single-program runs on raw IPC.
+
+/// What the tuner optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Maximise system throughput = minimise average slowdown `S_avg`.
+    Throughput,
+    /// Maximise fairness = minimise maximum slowdown `S_max`.
+    Fairness,
+    /// Maximise the (single or mean) program IPC.
+    Performance,
+}
+
+impl Objective {
+    /// Scores a measurement window (higher is better).
+    ///
+    /// `slowdowns` and `ipcs` are per-core; objectives that do not use a
+    /// vector ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the required vector is empty.
+    pub fn score(self, slowdowns: &[f64], ipcs: &[f64]) -> f64 {
+        match self {
+            Objective::Throughput => {
+                assert!(!slowdowns.is_empty(), "need slowdowns");
+                let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+                -avg
+            }
+            Objective::Fairness => {
+                assert!(!slowdowns.is_empty(), "need slowdowns");
+                -slowdowns.iter().cloned().fold(f64::MIN, f64::max)
+            }
+            Objective::Performance => {
+                assert!(!ipcs.is_empty(), "need IPCs");
+                ipcs.iter().sum::<f64>() / ipcs.len() as f64
+            }
+        }
+    }
+
+    /// The paper's online slowdown estimate (§IV-B), blending the MISE
+    /// rate ratio with the memory stall fraction:
+    ///
+    /// `S = (1-α)·(alone_rate / shared_rate) + α·stall_fraction`-adjusted,
+    /// clamped to `>= 1`. `α = 0.5` weights both signals equally; a core
+    /// with no measured traffic is assumed unslowed.
+    pub fn online_slowdown(alone_rate: f64, shared_rate: f64, stall_fraction: f64) -> f64 {
+        const ALPHA: f64 = 0.5;
+        if alone_rate <= 0.0 {
+            return 1.0;
+        }
+        let rate_ratio = if shared_rate > 0.0 {
+            (alone_rate / shared_rate).max(1.0)
+        } else {
+            // No requests serviced at all while stalled: heavily slowed.
+            if stall_fraction > 0.0 { 10.0 } else { 1.0 }
+        };
+        let stall_term = 1.0 / (1.0 - stall_fraction.clamp(0.0, 0.9));
+        ((1.0 - ALPHA) * rate_ratio + ALPHA * stall_term).max(1.0)
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Objective::Throughput => "throughput",
+            Objective::Fairness => "fairness",
+            Objective::Performance => "performance",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_prefers_lower_average_slowdown() {
+        let good = Objective::Throughput.score(&[1.1, 1.2], &[]);
+        let bad = Objective::Throughput.score(&[2.0, 2.5], &[]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn fairness_keys_on_the_worst_core() {
+        // Same average, different max.
+        let balanced = Objective::Fairness.score(&[1.5, 1.5], &[]);
+        let skewed = Objective::Fairness.score(&[1.0, 2.0], &[]);
+        assert!(balanced > skewed);
+    }
+
+    #[test]
+    fn performance_is_mean_ipc() {
+        let s = Objective::Performance.score(&[], &[2.0, 4.0]);
+        assert!((s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_slowdown_is_at_least_one() {
+        assert_eq!(Objective::online_slowdown(0.0, 0.1, 0.5), 1.0);
+        assert!(Objective::online_slowdown(0.1, 0.2, 0.0) >= 1.0);
+    }
+
+    #[test]
+    fn online_slowdown_grows_with_interference() {
+        let light = Objective::online_slowdown(0.1, 0.09, 0.1);
+        let heavy = Objective::online_slowdown(0.1, 0.02, 0.7);
+        assert!(heavy > light * 1.5, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn online_slowdown_handles_zero_shared_rate() {
+        assert!(Objective::online_slowdown(0.1, 0.0, 0.5) > 3.0);
+        assert_eq!(Objective::online_slowdown(0.1, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Objective::Throughput.to_string(), "throughput");
+        assert_eq!(Objective::Fairness.to_string(), "fairness");
+        assert_eq!(Objective::Performance.to_string(), "performance");
+    }
+}

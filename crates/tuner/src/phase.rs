@@ -1,0 +1,151 @@
+//! Phase-based configuration schedules (§IV-B's multi-phase offline GA
+//! and the §IV-D phase-based rows of Figs. 12/13).
+//!
+//! A [`PhaseSchedule`] holds one bin configuration per program phase; a
+//! runtime (here: [`PhaseSchedule::run_on`]) polls the running program's
+//! phase and swaps the shaper's configuration at phase boundaries — the
+//! OS-level mechanism §IV-H describes ("bin configurations are exposed in
+//! a set of configuration registers \[that\] can be swapped").
+//!
+//! To *find* the per-phase configurations offline, run one
+//! [`crate::GeneticTuner`] per phase with a fitness function that
+//! measures the candidate inside that phase (the `mitts-bench` crate's
+//! phase experiment does exactly this).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mitts_core::{BinConfig, MittsShaper};
+use mitts_sim::system::System;
+use mitts_sim::types::Cycle;
+
+/// One configuration per program phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    configs: Vec<BinConfig>,
+}
+
+impl PhaseSchedule {
+    /// Creates a schedule; `configs[p]` is used while the program reports
+    /// phase `p` (wrapping if the program has more phases than entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<BinConfig>) -> Self {
+        assert!(!configs.is_empty(), "need at least one phase configuration");
+        PhaseSchedule { configs }
+    }
+
+    /// Number of phases covered.
+    pub fn phases(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// The configuration for phase `p` (wrapping).
+    pub fn config_for(&self, phase: usize) -> &BinConfig {
+        &self.configs[phase % self.configs.len()]
+    }
+
+    /// Runs `sys` for `duration` cycles, polling core `core`'s phase
+    /// every `poll` cycles and reconfiguring `shaper` whenever the phase
+    /// changes. Returns the number of reconfigurations performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poll == 0`.
+    pub fn run_on(
+        &self,
+        sys: &mut System,
+        core: usize,
+        shaper: &Rc<RefCell<MittsShaper>>,
+        duration: Cycle,
+        poll: Cycle,
+    ) -> usize {
+        assert!(poll > 0, "poll interval must be positive");
+        let end = sys.now() + duration;
+        let mut current = sys.core_phase(core);
+        shaper
+            .borrow_mut()
+            .reconfigure(sys.now(), self.config_for(current).clone());
+        let mut switches = 0;
+        while sys.now() < end {
+            let step = poll.min(end - sys.now());
+            sys.run_cycles(step);
+            let phase = sys.core_phase(core);
+            if phase != current {
+                current = phase;
+                shaper
+                    .borrow_mut()
+                    .reconfigure(sys.now(), self.config_for(phase).clone());
+                switches += 1;
+            }
+        }
+        switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitts_core::BinSpec;
+    use mitts_sim::config::SystemConfig;
+    use mitts_sim::system::SystemBuilder;
+    use mitts_sim::trace::{TraceOp, TraceSource};
+
+    /// A trace that flips phase every `period` ops.
+    struct FlipTrace {
+        ops: u64,
+        period: u64,
+    }
+
+    impl TraceSource for FlipTrace {
+        fn next_op(&mut self) -> TraceOp {
+            self.ops += 1;
+            // Tiny L1-resident footprint: ops flow at pipeline speed, so
+            // phases flip quickly regardless of the shaper.
+            TraceOp::read(3, (self.ops % 64) * 64)
+        }
+
+        fn phase(&self) -> usize {
+            ((self.ops / self.period) % 2) as usize
+        }
+    }
+
+    fn cfg(bin: usize, n: u32) -> BinConfig {
+        let mut credits = vec![0u32; 10];
+        credits[bin] = n;
+        BinConfig::new(BinSpec::paper_default(), credits, 1_000).expect("valid")
+    }
+
+    #[test]
+    fn schedule_wraps_phase_indices() {
+        let s = PhaseSchedule::new(vec![cfg(0, 1), cfg(9, 2)]);
+        assert_eq!(s.phases(), 2);
+        assert_eq!(s.config_for(0).credit(0), 1);
+        assert_eq!(s.config_for(1).credit(9), 2);
+        assert_eq!(s.config_for(2).credit(0), 1, "wraps");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_rejected() {
+        let _ = PhaseSchedule::new(Vec::new());
+    }
+
+    #[test]
+    fn run_on_switches_configs_at_phase_boundaries() {
+        let shaper = Rc::new(RefCell::new(MittsShaper::new(cfg(5, 5))));
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(0, Box::new(FlipTrace { ops: 0, period: 2_000 }))
+            .shaper(0, shaper.clone())
+            .build();
+        let schedule = PhaseSchedule::new(vec![cfg(0, 200), cfg(9, 200)]);
+        let switches = schedule.run_on(&mut sys, 0, &shaper, 30_000, 200);
+        assert!(switches >= 2, "phases must have flipped a few times: {switches}");
+        // The installed config matches the current phase.
+        let phase = sys.core_phase(0);
+        let expected = schedule.config_for(phase).credits().to_vec();
+        assert_eq!(shaper.borrow().config().credits(), &expected[..]);
+    }
+}

@@ -1,0 +1,432 @@
+//! Named benchmark profiles standing in for the paper's suites.
+//!
+//! Each profile encodes the published first-order memory behaviour of the
+//! benchmark (memory intensity, burstiness, row locality, working-set
+//! size) — the axes MITTS and the baseline schedulers are sensitive to.
+//! Absolute IPCs are not claimed to match the real programs; the *shape*
+//! of each inter-arrival distribution and the intensity ordering between
+//! benchmarks are what the experiments need.
+
+use crate::profile::{AppProfile, Burstiness, Locality, Phase};
+
+/// The benchmarks the paper evaluates (Tables III, Figs. 11/17/18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    // SPECint 2006
+    /// gcc — moderate intensity, phase-y, mixed locality.
+    Gcc,
+    /// libquantum — streaming, memory intensive, uniform.
+    Libquantum,
+    /// bzip2 — moderate, mildly bursty.
+    Bzip,
+    /// mcf — very memory intensive pointer chasing.
+    Mcf,
+    /// astar — pointer chasing, moderate intensity.
+    Astar,
+    /// sjeng — compute bound.
+    Sjeng,
+    /// gobmk — compute bound with occasional bursts.
+    Gobmk,
+    /// omnetpp — memory intensive and very bursty.
+    Omnetpp,
+    /// h264ref — streaming-ish, low-moderate intensity.
+    H264ref,
+    /// hmmer — compute bound, regular.
+    Hmmer,
+    // PARSEC
+    /// blackscholes — compute bound.
+    Blackscholes,
+    /// x264 — moderate, bursty pipeline stages.
+    X264,
+    /// ferret — moderate, pipeline-parallel.
+    Ferret,
+    /// streamcluster — streaming with bursts.
+    Streamcluster,
+    // Server
+    /// Apache httpd serving 3000 requests at concurrency 10 — strongly
+    /// bursty request-driven traffic.
+    Apache,
+    /// bhm mail server — bursty, I/O-driven.
+    BhmMail,
+}
+
+impl Benchmark {
+    /// Every modelled benchmark.
+    pub const ALL: [Benchmark; 16] = [
+        Benchmark::Gcc,
+        Benchmark::Libquantum,
+        Benchmark::Bzip,
+        Benchmark::Mcf,
+        Benchmark::Astar,
+        Benchmark::Sjeng,
+        Benchmark::Gobmk,
+        Benchmark::Omnetpp,
+        Benchmark::H264ref,
+        Benchmark::Hmmer,
+        Benchmark::Blackscholes,
+        Benchmark::X264,
+        Benchmark::Ferret,
+        Benchmark::Streamcluster,
+        Benchmark::Apache,
+        Benchmark::BhmMail,
+    ];
+
+    /// The benchmarks used in the single-program studies (Fig. 11/17/18).
+    pub const SINGLE_PROGRAM_SET: [Benchmark; 10] = [
+        Benchmark::Gcc,
+        Benchmark::Libquantum,
+        Benchmark::Bzip,
+        Benchmark::Mcf,
+        Benchmark::Astar,
+        Benchmark::Sjeng,
+        Benchmark::Gobmk,
+        Benchmark::Omnetpp,
+        Benchmark::H264ref,
+        Benchmark::Hmmer,
+    ];
+
+    /// Table name of the benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Gcc => "gcc",
+            Benchmark::Libquantum => "libquantum",
+            Benchmark::Bzip => "bzip",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Astar => "astar",
+            Benchmark::Sjeng => "sjeng",
+            Benchmark::Gobmk => "gobmk",
+            Benchmark::Omnetpp => "omnetpp",
+            Benchmark::H264ref => "h264ref",
+            Benchmark::Hmmer => "hmmer",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::X264 => "x264",
+            Benchmark::Ferret => "ferret",
+            Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Apache => "apache",
+            Benchmark::BhmMail => "bhm-mail",
+        }
+    }
+
+    /// Parses a benchmark from its table name (the inverse of
+    /// [`Benchmark::name`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mitts_workloads::Benchmark;
+    /// assert_eq!(Benchmark::from_name("mcf"), Some(Benchmark::Mcf));
+    /// assert_eq!(Benchmark::from_name("nope"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Builds the benchmark's profile.
+    pub fn profile(self) -> AppProfile {
+        let (burstiness, locality, write_fraction, phases): (
+            Burstiness,
+            Locality,
+            f64,
+            Vec<Phase>,
+        ) = match self {
+            Benchmark::Mcf => (
+                // Very memory intensive: short gaps, long bursts, huge
+                // random working set, poor row locality.
+                Burstiness::bursty(64.0, 3.0, 8.0, 60.0),
+                Locality {
+                    hot_fraction: 0.35,
+                    hot_bytes: 16 << 10,
+                    warm_fraction: 0.25,
+                    warm_bytes: 512 << 10,
+                    working_set_bytes: 512 << 20,
+                    seq_fraction: 0.05,
+                },
+                0.2,
+                Vec::new(),
+            ),
+            Benchmark::Libquantum => (
+                // Streaming and uniform: the classic bandwidth hog.
+                Burstiness::uniform(6.0),
+                Locality {
+                    hot_fraction: 0.3,
+                    hot_bytes: 8 << 10,
+                    warm_fraction: 0.02,
+                    warm_bytes: 64 << 10,
+                    working_set_bytes: 128 << 20,
+                    seq_fraction: 0.97,
+                },
+                0.25,
+                Vec::new(),
+            ),
+            Benchmark::Omnetpp => (
+                // Memory intensive and the most bursty SPEC workload here
+                // (discrete-event simulator: event cascades).
+                Burstiness::bursty(96.0, 2.0, 10.0, 220.0),
+                Locality {
+                    hot_fraction: 0.4,
+                    hot_bytes: 16 << 10,
+                    warm_fraction: 0.35,
+                    warm_bytes: 768 << 10,
+                    working_set_bytes: 256 << 20,
+                    seq_fraction: 0.1,
+                },
+                0.3,
+                Vec::new(),
+            ),
+            Benchmark::Gcc => (
+                Burstiness::bursty(24.0, 8.0, 12.0, 120.0),
+                Locality {
+                    hot_fraction: 0.75,
+                    hot_bytes: 24 << 10,
+                    warm_fraction: 0.5,
+                    warm_bytes: 512 << 10,
+                    working_set_bytes: 64 << 20,
+                    seq_fraction: 0.25,
+                },
+                0.3,
+                vec![
+                    Phase { ops: 4_000, gap_scale: 1.0, burst_scale: 1.0 },
+                    Phase { ops: 2_000, gap_scale: 0.5, burst_scale: 2.0 },
+                    Phase { ops: 3_000, gap_scale: 2.0, burst_scale: 0.8 },
+                ],
+            ),
+            Benchmark::Bzip => (
+                Burstiness::bursty(16.0, 15.0, 10.0, 90.0),
+                Locality {
+                    hot_fraction: 0.8,
+                    hot_bytes: 24 << 10,
+                    warm_fraction: 0.55,
+                    warm_bytes: 640 << 10,
+                    working_set_bytes: 32 << 20,
+                    seq_fraction: 0.5,
+                },
+                0.3,
+                Vec::new(),
+            ),
+            Benchmark::Astar => (
+                Burstiness::bursty(32.0, 8.0, 10.0, 100.0),
+                Locality {
+                    hot_fraction: 0.6,
+                    hot_bytes: 16 << 10,
+                    warm_fraction: 0.4,
+                    warm_bytes: 384 << 10,
+                    working_set_bytes: 128 << 20,
+                    seq_fraction: 0.08,
+                },
+                0.2,
+                Vec::new(),
+            ),
+            Benchmark::Sjeng => (
+                Burstiness::uniform(220.0),
+                Locality {
+                    hot_fraction: 0.92,
+                    hot_bytes: 24 << 10,
+                    warm_fraction: 0.7,
+                    warm_bytes: 256 << 10,
+                    working_set_bytes: 16 << 20,
+                    seq_fraction: 0.1,
+                },
+                0.25,
+                Vec::new(),
+            ),
+            Benchmark::Gobmk => (
+                Burstiness::bursty(8.0, 60.0, 6.0, 420.0),
+                Locality {
+                    hot_fraction: 0.9,
+                    hot_bytes: 24 << 10,
+                    warm_fraction: 0.6,
+                    warm_bytes: 256 << 10,
+                    working_set_bytes: 24 << 20,
+                    seq_fraction: 0.15,
+                },
+                0.25,
+                Vec::new(),
+            ),
+            Benchmark::H264ref => (
+                Burstiness::bursty(20.0, 35.0, 8.0, 160.0),
+                Locality {
+                    hot_fraction: 0.85,
+                    hot_bytes: 24 << 10,
+                    warm_fraction: 0.4,
+                    warm_bytes: 384 << 10,
+                    working_set_bytes: 48 << 20,
+                    seq_fraction: 0.7,
+                },
+                0.35,
+                Vec::new(),
+            ),
+            Benchmark::Hmmer => (
+                Burstiness::uniform(140.0),
+                Locality {
+                    hot_fraction: 0.9,
+                    hot_bytes: 28 << 10,
+                    warm_fraction: 0.75,
+                    warm_bytes: 320 << 10,
+                    working_set_bytes: 8 << 20,
+                    seq_fraction: 0.6,
+                },
+                0.2,
+                Vec::new(),
+            ),
+            Benchmark::Blackscholes => (
+                Burstiness::uniform(260.0),
+                Locality {
+                    hot_fraction: 0.93,
+                    hot_bytes: 24 << 10,
+                    warm_fraction: 0.7,
+                    warm_bytes: 192 << 10,
+                    working_set_bytes: 8 << 20,
+                    seq_fraction: 0.8,
+                },
+                0.2,
+                Vec::new(),
+            ),
+            Benchmark::X264 => (
+                // Pipeline stages: motion-estimation bursts between
+                // compute-heavy encode stretches.
+                Burstiness::bursty(48.0, 6.0, 16.0, 240.0),
+                Locality {
+                    hot_fraction: 0.75,
+                    hot_bytes: 24 << 10,
+                    warm_fraction: 0.35,
+                    warm_bytes: 512 << 10,
+                    working_set_bytes: 96 << 20,
+                    seq_fraction: 0.65,
+                },
+                0.35,
+                vec![
+                    Phase { ops: 3_000, gap_scale: 1.0, burst_scale: 1.0 },
+                    Phase { ops: 3_000, gap_scale: 3.0, burst_scale: 0.5 },
+                ],
+            ),
+            Benchmark::Ferret => (
+                Burstiness::bursty(40.0, 10.0, 14.0, 200.0),
+                Locality {
+                    hot_fraction: 0.7,
+                    hot_bytes: 20 << 10,
+                    warm_fraction: 0.45,
+                    warm_bytes: 448 << 10,
+                    working_set_bytes: 128 << 20,
+                    seq_fraction: 0.3,
+                },
+                0.25,
+                vec![
+                    Phase { ops: 2_500, gap_scale: 1.0, burst_scale: 1.0 },
+                    Phase { ops: 2_500, gap_scale: 2.5, burst_scale: 0.7 },
+                ],
+            ),
+            Benchmark::Streamcluster => (
+                Burstiness::bursty(80.0, 5.0, 10.0, 150.0),
+                Locality::streaming(64 << 20),
+                0.15,
+                Vec::new(),
+            ),
+            Benchmark::Apache => (
+                // Request-driven: a request triggers a burst of memory
+                // work, then the worker waits. Concurrency 10 keeps the
+                // idle stretches modest.
+                Burstiness::bursty(56.0, 4.0, 20.0, 320.0),
+                Locality {
+                    hot_fraction: 0.65,
+                    hot_bytes: 20 << 10,
+                    warm_fraction: 0.5,
+                    warm_bytes: 768 << 10,
+                    working_set_bytes: 192 << 20,
+                    seq_fraction: 0.35,
+                },
+                0.35,
+                Vec::new(),
+            ),
+            Benchmark::BhmMail => (
+                Burstiness::bursty(72.0, 3.0, 24.0, 400.0),
+                Locality {
+                    hot_fraction: 0.6,
+                    hot_bytes: 16 << 10,
+                    warm_fraction: 0.45,
+                    warm_bytes: 640 << 10,
+                    working_set_bytes: 256 << 20,
+                    seq_fraction: 0.25,
+                },
+                0.4,
+                Vec::new(),
+            ),
+        };
+        AppProfile {
+            name: self.name().to_owned(),
+            burstiness,
+            locality,
+            write_fraction,
+            phases,
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_valid_profiles() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert_eq!(p.name, b.name());
+            assert!(p.mean_gap() > 0.0);
+            assert!(p.write_fraction >= 0.0 && p.write_fraction <= 1.0);
+            assert!(p.locality.working_set_bytes > p.locality.warm_bytes);
+            assert!((0.0..=1.0).contains(&p.locality.hot_fraction));
+            assert!((0.0..=1.0).contains(&p.locality.seq_fraction));
+        }
+    }
+
+    #[test]
+    fn intensity_ordering_matches_the_literature() {
+        let mpki = |b: Benchmark| b.profile().approx_l1_mpki();
+        // Memory hogs clearly above the compute-bound set.
+        assert!(mpki(Benchmark::Mcf) > mpki(Benchmark::Gcc));
+        assert!(mpki(Benchmark::Libquantum) > mpki(Benchmark::Bzip));
+        assert!(mpki(Benchmark::Omnetpp) > mpki(Benchmark::Sjeng) * 4.0);
+        assert!(mpki(Benchmark::Sjeng) < 2.0, "sjeng is compute bound");
+        assert!(mpki(Benchmark::Blackscholes) < 2.0);
+    }
+
+    #[test]
+    fn bursty_apps_have_wide_gap_spread() {
+        let spread = |b: Benchmark| {
+            let p = b.profile();
+            p.burstiness.idle_gap / p.burstiness.burst_gap
+        };
+        assert!(spread(Benchmark::Omnetpp) > 50.0);
+        assert!(spread(Benchmark::Apache) > 50.0);
+        assert!(spread(Benchmark::Libquantum) < 1.5, "libquantum is uniform");
+    }
+
+    #[test]
+    fn libquantum_streams_mcf_chases() {
+        assert!(Benchmark::Libquantum.profile().locality.seq_fraction > 0.9);
+        assert!(Benchmark::Mcf.profile().locality.seq_fraction < 0.1);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Mcf.to_string(), "mcf");
+        assert_eq!(Benchmark::BhmMail.to_string(), "bhm-mail");
+    }
+
+    #[test]
+    fn traces_build_for_all() {
+        for (i, b) in Benchmark::ALL.iter().enumerate() {
+            let mut t = b.profile().trace((i as u64) << 36, 42);
+            use mitts_sim::trace::TraceSource;
+            for _ in 0..100 {
+                let op = t.next_op();
+                assert!(op.addr >= (i as u64) << 36);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # mitts-workloads — synthetic workloads for the MITTS reproduction
+//!
+//! Parameterised stand-ins for the paper's application suites (SPECint
+//! 2006, PARSEC, Apache, bhm mail server). Real GEM5 traces are not
+//! available, so each benchmark is an [`profile::AppProfile`] whose
+//! burstiness, memory intensity, row-buffer locality, and working-set
+//! size reproduce the benchmark's published first-order memory behaviour
+//! — the axes that the MITTS shaper and the baseline memory schedulers
+//! respond to (see DESIGN.md for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use mitts_workloads::{Benchmark, WorkloadId};
+//! use mitts_sim::trace::TraceSource;
+//!
+//! // Table III, workload 1: gcc, libquantum, bzip, mcf.
+//! let programs = WorkloadId::new(1).programs();
+//! assert_eq!(programs.len(), 4);
+//! let mut trace = programs[3].profile().trace(0, 42);
+//! let op = trace.next_op();
+//! assert!(op.gap < 10_000);
+//! ```
+
+pub mod benchmarks;
+pub mod multiprog;
+pub mod profile;
+pub mod threaded;
+
+pub use benchmarks::Benchmark;
+pub use multiprog::WorkloadId;
+pub use profile::{AppProfile, Burstiness, Locality, Phase, SyntheticTrace};
+pub use threaded::ThreadedTrace;

@@ -1,0 +1,112 @@
+//! The paper's multiprogram workloads (Table III).
+
+use crate::benchmarks::Benchmark;
+
+/// One of the six multiprogram mixes of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadId(u8);
+
+impl WorkloadId {
+    /// Creates a workload id (1–6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `1..=6`.
+    pub fn new(n: u8) -> Self {
+        assert!((1..=6).contains(&n), "workloads are numbered 1..=6");
+        WorkloadId(n)
+    }
+
+    /// All six workloads.
+    pub const ALL: [WorkloadId; 6] = [
+        WorkloadId(1),
+        WorkloadId(2),
+        WorkloadId(3),
+        WorkloadId(4),
+        WorkloadId(5),
+        WorkloadId(6),
+    ];
+
+    /// The four-program workloads (1–3).
+    pub const FOUR_PROGRAM: [WorkloadId; 3] = [WorkloadId(1), WorkloadId(2), WorkloadId(3)];
+
+    /// The eight-program workloads (4–6).
+    pub const EIGHT_PROGRAM: [WorkloadId; 3] = [WorkloadId(4), WorkloadId(5), WorkloadId(6)];
+
+    /// The workload number (1–6).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The programs of this workload, exactly as listed in Table III.
+    pub fn programs(self) -> Vec<Benchmark> {
+        use Benchmark::*;
+        match self.0 {
+            1 => vec![Gcc, Libquantum, Bzip, Mcf],
+            2 => vec![Apache, Libquantum, BhmMail, Hmmer],
+            3 => vec![Astar, BhmMail, Libquantum, Bzip],
+            4 => vec![Gcc, Gobmk, Libquantum, Sjeng, Bzip, Mcf, Omnetpp, H264ref],
+            5 => vec![BhmMail, Astar, Libquantum, Sjeng, Bzip, Mcf, Omnetpp, H264ref],
+            6 => vec![Apache, Astar, Gobmk, Sjeng, Bzip, Mcf, Omnetpp, H264ref],
+            _ => unreachable!("validated in constructor"),
+        }
+    }
+
+    /// Number of programs (4 or 8).
+    pub fn size(self) -> usize {
+        if self.0 <= 3 {
+            4
+        } else {
+            8
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_shapes() {
+        for w in WorkloadId::FOUR_PROGRAM {
+            assert_eq!(w.programs().len(), 4);
+            assert_eq!(w.size(), 4);
+        }
+        for w in WorkloadId::EIGHT_PROGRAM {
+            assert_eq!(w.programs().len(), 8);
+            assert_eq!(w.size(), 8);
+        }
+    }
+
+    #[test]
+    fn workload_1_matches_table() {
+        use Benchmark::*;
+        assert_eq!(WorkloadId::new(1).programs(), vec![Gcc, Libquantum, Bzip, Mcf]);
+    }
+
+    #[test]
+    fn workload_6_matches_table() {
+        use Benchmark::*;
+        assert_eq!(
+            WorkloadId::new(6).programs(),
+            vec![Apache, Astar, Gobmk, Sjeng, Bzip, Mcf, Omnetpp, H264ref]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1..=6")]
+    fn rejects_workload_zero() {
+        let _ = WorkloadId::new(0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(WorkloadId::new(3).to_string(), "workload3");
+    }
+}

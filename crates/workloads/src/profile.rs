@@ -1,0 +1,437 @@
+//! Parameterised application profiles and the synthetic trace generator.
+//!
+//! Real traces (GEM5 Alpha runs of SPEC/PARSEC/Apache/bhm) are not
+//! available, so each benchmark is modelled by an [`AppProfile`] capturing
+//! the axes that matter to memory scheduling and to MITTS:
+//!
+//! * **memory intensity** — mean compute gap between memory accesses;
+//! * **burstiness** — a two-state (burst/idle) Markov modulation of the
+//!   gap, which directly shapes the inter-arrival time distribution
+//!   (Fig. 1/2);
+//! * **locality** — a hot set (L1-resident), a warm set (LLC-sensitive)
+//!   and a full working set, plus a sequential-stream fraction that
+//!   controls DRAM row-buffer locality;
+//! * **writes** — fraction of accesses that are stores;
+//! * **phases** — optional piecewise changes in intensity/burstiness.
+
+use mitts_sim::rng::Rng;
+use mitts_sim::trace::{TraceOp, TraceSource};
+use mitts_sim::types::Addr;
+
+/// Burst/idle modulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burstiness {
+    /// Mean number of accesses in a burst.
+    pub burst_len: f64,
+    /// Mean compute gap (instructions) between accesses inside a burst.
+    pub burst_gap: f64,
+    /// Mean number of accesses in an idle stretch.
+    pub idle_len: f64,
+    /// Mean compute gap between accesses while idle.
+    pub idle_gap: f64,
+}
+
+impl Burstiness {
+    /// Uniform traffic: no distinction between burst and idle.
+    pub fn uniform(gap: f64) -> Self {
+        Burstiness { burst_len: 1.0, burst_gap: gap, idle_len: 1.0, idle_gap: gap }
+    }
+
+    /// Strongly bursty traffic: `burst_len` fast accesses (gap
+    /// `burst_gap`), then `idle_len` slow accesses (gap `idle_gap`).
+    pub fn bursty(burst_len: f64, burst_gap: f64, idle_len: f64, idle_gap: f64) -> Self {
+        Burstiness { burst_len, burst_gap, idle_len, idle_gap }
+    }
+
+    /// Mean gap over the stationary distribution of the burst/idle chain.
+    pub fn mean_gap(&self) -> f64 {
+        let total_ops = self.burst_len + self.idle_len;
+        (self.burst_len * self.burst_gap + self.idle_len * self.idle_gap) / total_ops
+    }
+}
+
+/// Memory-locality parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Locality {
+    /// Fraction of accesses to the hot set (sized to fit the L1).
+    pub hot_fraction: f64,
+    /// Hot-set size in bytes.
+    pub hot_bytes: u64,
+    /// Of non-hot accesses, the fraction served by the warm set.
+    pub warm_fraction: f64,
+    /// Warm-set size in bytes (the LLC-sensitivity knob).
+    pub warm_bytes: u64,
+    /// Full working-set size in bytes.
+    pub working_set_bytes: u64,
+    /// Fraction of non-hot accesses that stream sequentially (row-buffer
+    /// friendly) rather than jumping randomly.
+    pub seq_fraction: f64,
+}
+
+impl Locality {
+    /// A pointer-chasing profile: no streaming, modest warm set, huge
+    /// working set.
+    pub fn pointer_chasing(working_set: u64) -> Self {
+        Locality {
+            hot_fraction: 0.55,
+            hot_bytes: 16 << 10,
+            warm_fraction: 0.3,
+            warm_bytes: 256 << 10,
+            working_set_bytes: working_set,
+            seq_fraction: 0.05,
+        }
+    }
+
+    /// A streaming profile: highly sequential, cache-defeating.
+    pub fn streaming(working_set: u64) -> Self {
+        Locality {
+            hot_fraction: 0.5,
+            hot_bytes: 8 << 10,
+            warm_fraction: 0.05,
+            warm_bytes: 64 << 10,
+            working_set_bytes: working_set,
+            seq_fraction: 0.95,
+        }
+    }
+}
+
+/// A program phase: after `ops` memory operations the generator advances
+/// to the next phase (wrapping), scaling the base burstiness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Memory operations in this phase.
+    pub ops: u64,
+    /// Multiplier on both burst and idle gaps (>1 = less intense).
+    pub gap_scale: f64,
+    /// Multiplier on burst length (>1 = burstier).
+    pub burst_scale: f64,
+}
+
+/// A complete application model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Benchmark name (for tables).
+    pub name: String,
+    /// Traffic modulation.
+    pub burstiness: Burstiness,
+    /// Address behaviour.
+    pub locality: Locality,
+    /// Store fraction.
+    pub write_fraction: f64,
+    /// Optional phase program (empty = single phase).
+    pub phases: Vec<Phase>,
+}
+
+impl AppProfile {
+    /// A uniform, moderately intense profile — a neutral default for
+    /// tests.
+    pub fn neutral(name: &str) -> Self {
+        AppProfile {
+            name: name.to_owned(),
+            burstiness: Burstiness::uniform(30.0),
+            locality: Locality::pointer_chasing(64 << 20),
+            write_fraction: 0.25,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Mean compute gap between memory accesses.
+    pub fn mean_gap(&self) -> f64 {
+        self.burstiness.mean_gap()
+    }
+
+    /// Approximate L1 misses per kilo-instruction implied by the profile
+    /// (assuming the hot set always hits and everything else misses L1).
+    pub fn approx_l1_mpki(&self) -> f64 {
+        let accesses_per_inst = 1.0 / (1.0 + self.mean_gap());
+        1000.0 * accesses_per_inst * (1.0 - self.locality.hot_fraction)
+    }
+
+    /// Builds a deterministic trace generator for this profile.
+    ///
+    /// `base` offsets all addresses (give each core a disjoint region);
+    /// `seed` fixes the stochastic stream.
+    pub fn trace(&self, base: Addr, seed: u64) -> SyntheticTrace {
+        SyntheticTrace::new(self.clone(), base, seed)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BurstState {
+    Burst,
+    Idle,
+}
+
+/// Deterministic synthetic trace generator implementing
+/// [`TraceSource`].
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    profile: AppProfile,
+    base: Addr,
+    rng: Rng,
+    state: BurstState,
+    remaining_in_state: u64,
+    seq_ptr: u64,
+    ops_emitted: u64,
+    phase_idx: usize,
+    phase_ops_left: u64,
+}
+
+impl SyntheticTrace {
+    /// Creates a generator (see [`AppProfile::trace`]).
+    pub fn new(profile: AppProfile, base: Addr, seed: u64) -> Self {
+        let mut rng = Rng::seeded(seed ^ 0xD1F7_5EED);
+        let burst_len = profile.burstiness.burst_len.max(1.0);
+        let first = rng.geometric(burst_len);
+        let (phase_idx, phase_ops_left) = match profile.phases.first() {
+            Some(p) => (0, p.ops),
+            None => (0, u64::MAX),
+        };
+        SyntheticTrace {
+            profile,
+            base,
+            rng,
+            state: BurstState::Burst,
+            remaining_in_state: first,
+            seq_ptr: 0,
+            ops_emitted: 0,
+            phase_idx,
+            phase_ops_left,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Memory operations emitted so far.
+    pub fn ops_emitted(&self) -> u64 {
+        self.ops_emitted
+    }
+
+    fn current_scales(&self) -> (f64, f64) {
+        match self.profile.phases.get(self.phase_idx) {
+            Some(p) => (p.gap_scale, p.burst_scale),
+            None => (1.0, 1.0),
+        }
+    }
+
+    fn advance_phase(&mut self) {
+        if self.profile.phases.is_empty() {
+            return;
+        }
+        if self.phase_ops_left == 0 {
+            self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
+            self.phase_ops_left = self.profile.phases[self.phase_idx].ops;
+        }
+        self.phase_ops_left -= 1;
+    }
+
+    fn pick_address(&mut self) -> Addr {
+        let loc = self.profile.locality;
+        let r = self.rng.unit_f64();
+        let addr = if r < loc.hot_fraction {
+            // Hot set: always L1-resident after warmup.
+            let lines = (loc.hot_bytes / 64).max(1);
+            self.rng.below(lines) * 64
+        } else {
+            let offset = loc.hot_bytes; // keep regions disjoint
+            if self.rng.chance(loc.seq_fraction) {
+                // Sequential stream through the working set.
+                let lines = (loc.working_set_bytes / 64).max(1);
+                let a = offset + (self.seq_ptr % lines) * 64;
+                self.seq_ptr += 1;
+                a
+            } else if self.rng.chance(loc.warm_fraction) {
+                // Log-uniform over the warm set: reuse mass concentrates
+                // on low indices, so a larger LLC captures more "decades"
+                // of the warm set. This keeps cache-size sensitivity
+                // visible in scaled-down simulation windows (real traces
+                // get this from their reuse-distance distribution).
+                let lines = (loc.warm_bytes / 64).max(2);
+                let u = self.rng.unit_f64();
+                let idx = ((lines as f64).powf(u) - 1.0) as u64;
+                offset + idx.min(lines - 1) * 64
+            } else {
+                let lines = (loc.working_set_bytes / 64).max(1);
+                offset + loc.warm_bytes + self.rng.below(lines) * 64
+            }
+        };
+        self.base + addr
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_op(&mut self) -> TraceOp {
+        self.advance_phase();
+        let (gap_scale, burst_scale) = self.current_scales();
+        let b = self.profile.burstiness;
+
+        if self.remaining_in_state == 0 {
+            self.state = match self.state {
+                BurstState::Burst => BurstState::Idle,
+                BurstState::Idle => BurstState::Burst,
+            };
+            self.remaining_in_state = match self.state {
+                BurstState::Burst => self.rng.geometric(b.burst_len * burst_scale),
+                BurstState::Idle => self.rng.geometric(b.idle_len),
+            };
+        }
+        self.remaining_in_state -= 1;
+
+        let mean_gap = match self.state {
+            BurstState::Burst => b.burst_gap * gap_scale,
+            BurstState::Idle => b.idle_gap * gap_scale,
+        };
+        // Geometric gap with the requested mean (>= 0).
+        let gap = if mean_gap <= 0.5 {
+            0
+        } else {
+            (self.rng.geometric(mean_gap + 1.0) - 1).min(u32::MAX as u64) as u32
+        };
+
+        let addr = self.pick_address();
+        let write = self.rng.chance(self.profile.write_fraction);
+        self.ops_emitted += 1;
+        TraceOp { gap, addr, write }
+    }
+
+    fn phase(&self) -> usize {
+        self.phase_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_gaps(trace: &mut SyntheticTrace, n: usize) -> Vec<u32> {
+        (0..n).map(|_| trace.next_op().gap).collect()
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = AppProfile::neutral("t");
+        let a: Vec<_> = {
+            let mut t = p.trace(0, 7);
+            (0..100).map(|_| t.next_op()).collect()
+        };
+        let b: Vec<_> = {
+            let mut t = p.trace(0, 7);
+            (0..100).map(|_| t.next_op()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = AppProfile::neutral("t");
+        let mut t1 = p.trace(0, 1);
+        let mut t2 = p.trace(0, 2);
+        let same = (0..50).filter(|_| t1.next_op() == t2.next_op()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn mean_gap_tracks_burstiness() {
+        let mut p = AppProfile::neutral("t");
+        p.burstiness = Burstiness::uniform(50.0);
+        let mut t = p.trace(0, 3);
+        let gaps = sample_gaps(&mut t, 20_000);
+        let mean = gaps.iter().map(|&g| g as f64).sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 50.0).abs() < 5.0, "mean gap {mean} should be ~50");
+    }
+
+    #[test]
+    fn bursty_profile_has_bimodal_gaps() {
+        let mut p = AppProfile::neutral("t");
+        p.burstiness = Burstiness::bursty(32.0, 2.0, 4.0, 400.0);
+        let mut t = p.trace(0, 4);
+        let gaps = sample_gaps(&mut t, 20_000);
+        let small = gaps.iter().filter(|&&g| g < 20).count();
+        let large = gaps.iter().filter(|&&g| g > 100).count();
+        assert!(small > gaps.len() / 2, "most gaps should be burst gaps");
+        assert!(large > gaps.len() / 50, "idle gaps must appear");
+    }
+
+    #[test]
+    fn base_offsets_every_address() {
+        let p = AppProfile::neutral("t");
+        let base = 1u64 << 40;
+        let mut t = p.trace(base, 5);
+        for _ in 0..200 {
+            assert!(t.next_op().addr >= base);
+        }
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let mut p = AppProfile::neutral("t");
+        p.write_fraction = 0.5;
+        let mut t = p.trace(0, 6);
+        let writes = (0..20_000).filter(|_| t.next_op().write).count();
+        let frac = writes as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "write fraction {frac}");
+    }
+
+    #[test]
+    fn phases_cycle_and_are_visible() {
+        let mut p = AppProfile::neutral("t");
+        p.phases = vec![
+            Phase { ops: 100, gap_scale: 1.0, burst_scale: 1.0 },
+            Phase { ops: 100, gap_scale: 10.0, burst_scale: 1.0 },
+        ];
+        let mut t = p.trace(0, 7);
+        let mut seen = Vec::new();
+        for _ in 0..400 {
+            t.next_op();
+            seen.push(t.phase());
+        }
+        assert!(seen.contains(&0) && seen.contains(&1));
+        // Phase 1 gaps are ~10x phase 0 gaps.
+        let mut t = p.trace(0, 8);
+        let mut sums = [0f64; 2];
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            let op = t.next_op();
+            let ph = t.phase();
+            sums[ph] += op.gap as f64;
+            counts[ph] += 1;
+        }
+        let m0 = sums[0] / counts[0] as f64;
+        let m1 = sums[1] / counts[1] as f64;
+        assert!(m1 > m0 * 3.0, "phase 1 mean gap {m1} !>> phase 0 {m0}");
+    }
+
+    #[test]
+    fn hot_set_addresses_stay_within_hot_bytes() {
+        let mut p = AppProfile::neutral("t");
+        p.locality.hot_fraction = 1.0;
+        let mut t = p.trace(0, 9);
+        for _ in 0..500 {
+            assert!(t.next_op().addr < p.locality.hot_bytes);
+        }
+    }
+
+    #[test]
+    fn streaming_locality_is_mostly_sequential() {
+        let mut p = AppProfile::neutral("t");
+        p.locality = Locality::streaming(64 << 20);
+        p.locality.hot_fraction = 0.0;
+        p.locality.seq_fraction = 1.0;
+        let mut t = p.trace(0, 10);
+        let a0 = t.next_op().addr;
+        let a1 = t.next_op().addr;
+        assert_eq!(a1, a0 + 64, "pure streaming advances by one line");
+    }
+
+    #[test]
+    fn approx_mpki_is_monotone_in_intensity() {
+        let mut hi = AppProfile::neutral("hi");
+        hi.burstiness = Burstiness::uniform(5.0);
+        let mut lo = AppProfile::neutral("lo");
+        lo.burstiness = Burstiness::uniform(500.0);
+        assert!(hi.approx_l1_mpki() > lo.approx_l1_mpki());
+    }
+}

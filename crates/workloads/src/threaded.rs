@@ -1,0 +1,205 @@
+//! Multi-threaded application models for the §IV-H study.
+//!
+//! The paper runs x264 and ferret as threaded programs and finds that a
+//! *shared* MITTS (one credit pool for all threads) beats a per-thread
+//! MITTS by over 2×: threads work in staggered pipeline stages, so a
+//! thread that is idle during a window wastes its private credits while a
+//! shared pool lets the currently active thread use them.
+//!
+//! The model: a gang of threads advances through pipeline **windows** of
+//! `window_ops` memory operations each; exactly one thread is active per
+//! window (round-robin), and the rotation is driven by a *shared* work
+//! counter — the gang's overall progress — exactly like a work queue
+//! being drained stage by stage. Inactive threads spin on an L1-resident
+//! flag (no shaper-visible traffic, no useful work). Gang progress is
+//! therefore measured by [`GangWork::completed_ops`], not by raw retired
+//! instructions.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use mitts_sim::trace::{TraceOp, TraceSource};
+use mitts_sim::types::Addr;
+
+use crate::benchmarks::Benchmark;
+use crate::profile::SyntheticTrace;
+
+/// Shared gang-progress counter: total memory operations completed by
+/// whichever thread held the active window.
+#[derive(Debug, Clone, Default)]
+pub struct GangWork {
+    ops: Rc<Cell<u64>>,
+}
+
+impl GangWork {
+    /// Creates a fresh counter.
+    pub fn new() -> Self {
+        GangWork::default()
+    }
+
+    /// Total active-window memory operations the gang has completed —
+    /// the gang's work metric.
+    pub fn completed_ops(&self) -> u64 {
+        self.ops.get()
+    }
+}
+
+/// One thread of a staggered threaded application.
+#[derive(Debug, Clone)]
+pub struct ThreadedTrace {
+    inner: SyntheticTrace,
+    work: GangWork,
+    window_ops: u64,
+    threads: usize,
+    slot: usize,
+    /// L1-resident flag line the thread polls while idle.
+    spin_addr: Addr,
+    /// Compute gap of one poll iteration.
+    spin_gap: u32,
+}
+
+impl ThreadedTrace {
+    /// Creates thread `slot` of a `threads`-thread gang running
+    /// `benchmark`. All threads of one gang must share the same
+    /// [`GangWork`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, `slot >= threads`, or `window_ops == 0`.
+    pub fn new(
+        benchmark: Benchmark,
+        work: GangWork,
+        threads: usize,
+        slot: usize,
+        window_ops: u64,
+        base: Addr,
+        seed: u64,
+    ) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        assert!(slot < threads, "slot {slot} out of range for {threads} threads");
+        assert!(window_ops > 0, "windows must contain work");
+        let inner =
+            benchmark.profile().trace(base, seed ^ (slot as u64).wrapping_mul(0x9E37));
+        ThreadedTrace {
+            inner,
+            work,
+            window_ops,
+            threads,
+            slot,
+            spin_addr: base + 0x40,
+            spin_gap: 20,
+        }
+    }
+
+    /// Builds a whole gang sharing one [`GangWork`], with disjoint
+    /// address regions derived from `base`. Returns the traces and the
+    /// work counter for progress measurement.
+    pub fn gang(
+        benchmark: Benchmark,
+        threads: usize,
+        window_ops: u64,
+        base: Addr,
+        seed: u64,
+    ) -> (Vec<ThreadedTrace>, GangWork) {
+        let work = GangWork::new();
+        let traces = (0..threads)
+            .map(|slot| {
+                ThreadedTrace::new(
+                    benchmark,
+                    work.clone(),
+                    threads,
+                    slot,
+                    window_ops,
+                    base + ((slot as u64) << 36),
+                    seed,
+                )
+            })
+            .collect();
+        (traces, work)
+    }
+
+    /// Whether this thread holds the current active window.
+    pub fn is_active(&self) -> bool {
+        let window = self.work.completed_ops() / self.window_ops;
+        (window as usize) % self.threads == self.slot
+    }
+}
+
+impl TraceSource for ThreadedTrace {
+    fn next_op(&mut self) -> TraceOp {
+        if self.is_active() {
+            self.work.ops.set(self.work.ops.get() + 1);
+            self.inner.next_op()
+        } else {
+            // Poll an L1-resident flag: no progress, no memory traffic.
+            TraceOp::read(self.spin_gap, self.spin_addr)
+        }
+    }
+
+    fn phase(&self) -> usize {
+        usize::from(!self.is_active())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_thread_active_at_a_time() {
+        let (gang, _work) = ThreadedTrace::gang(Benchmark::X264, 4, 100, 0, 1);
+        let active = gang.iter().filter(|t| t.is_active()).count();
+        assert_eq!(active, 1);
+        assert!(gang[0].is_active(), "slot 0 starts active");
+    }
+
+    #[test]
+    fn activity_rotates_with_gang_progress() {
+        let (mut gang, work) = ThreadedTrace::gang(Benchmark::Ferret, 2, 10, 0, 2);
+        assert!(gang[0].is_active());
+        assert!(!gang[1].is_active());
+        // Thread 0 completes its window; thread 1's polls don't count.
+        for _ in 0..5 {
+            gang[1].next_op();
+        }
+        assert_eq!(work.completed_ops(), 0, "idle polls are not work");
+        for _ in 0..10 {
+            gang[0].next_op();
+        }
+        assert_eq!(work.completed_ops(), 10);
+        assert!(!gang[0].is_active(), "window passed to the next thread");
+        assert!(gang[1].is_active());
+    }
+
+    #[test]
+    fn idle_threads_touch_only_their_flag_line() {
+        let (mut gang, _work) = ThreadedTrace::gang(Benchmark::X264, 2, 1_000, 1 << 40, 3);
+        let flag = gang[1].spin_addr;
+        for _ in 0..50 {
+            let op = gang[1].next_op();
+            assert_eq!(op.addr, flag);
+            assert!(!op.write);
+        }
+    }
+
+    #[test]
+    fn gang_regions_are_disjoint() {
+        let (mut gang, _work) = ThreadedTrace::gang(Benchmark::Ferret, 3, 50, 1 << 40, 4);
+        let mut bases = Vec::new();
+        for t in &mut gang {
+            // Force each thread active in turn is awkward; check the
+            // configured spin addresses instead (one per region).
+            bases.push(t.spin_addr >> 36);
+            let _ = t.next_op();
+        }
+        bases.dedup();
+        assert_eq!(bases.len(), 3, "each thread gets its own region");
+    }
+
+    #[test]
+    fn phase_reflects_activity() {
+        let (gang, _work) = ThreadedTrace::gang(Benchmark::X264, 2, 10, 0, 5);
+        assert_eq!(gang[0].phase(), 0);
+        assert_eq!(gang[1].phase(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the synthetic workload generators.
+
+use proptest::prelude::*;
+
+use mitts_sim::trace::TraceSource;
+use mitts_workloads::{AppProfile, Benchmark, Burstiness, Locality};
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    /// Every generated address stays within `base + hot + warm + working
+    /// set` for every modelled benchmark, so per-core regions can never
+    /// collide.
+    #[test]
+    fn addresses_stay_in_region(
+        bench in arb_benchmark(),
+        base_shift in 0u64..20,
+        seed in any::<u64>(),
+    ) {
+        let base = base_shift << 36;
+        let p = bench.profile();
+        let bound = base
+            + p.locality.hot_bytes
+            + p.locality.warm_bytes
+            + p.locality.working_set_bytes
+            + p.locality.working_set_bytes; // seq + random regions overlap-safe bound
+        let mut t = p.trace(base, seed);
+        for _ in 0..500 {
+            let op = t.next_op();
+            prop_assert!(op.addr >= base, "address below base");
+            prop_assert!(op.addr < bound, "address {:#x} beyond region bound {:#x}", op.addr, bound);
+        }
+    }
+
+    /// Traces are fully determined by (profile, base, seed).
+    #[test]
+    fn traces_replay_exactly(bench in arb_benchmark(), seed in any::<u64>()) {
+        let p = bench.profile();
+        let mut a = p.trace(0, seed);
+        let mut b = p.trace(0, seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    /// The long-run mean gap tracks the configured burstiness within a
+    /// loose statistical tolerance.
+    #[test]
+    fn mean_gap_tracks_configuration(
+        burst_gap in 1.0f64..20.0,
+        idle_gap in 50.0f64..400.0,
+        seed in 0u64..50,
+    ) {
+        let mut p = AppProfile::neutral("prop");
+        p.burstiness = Burstiness::bursty(32.0, burst_gap, 8.0, idle_gap);
+        p.phases.clear();
+        let expected = p.mean_gap();
+        let mut t = p.trace(0, seed);
+        let n = 30_000;
+        let mean = (0..n).map(|_| t.next_op().gap as f64).sum::<f64>() / n as f64;
+        prop_assert!(
+            (mean - expected).abs() < expected * 0.35 + 2.0,
+            "measured {mean:.1} vs configured {expected:.1}"
+        );
+    }
+
+    /// Write fraction is honoured statistically.
+    #[test]
+    fn write_fraction_tracks_configuration(frac in 0.0f64..0.9, seed in 0u64..50) {
+        let mut p = AppProfile::neutral("prop");
+        p.write_fraction = frac;
+        let mut t = p.trace(0, seed);
+        let n = 20_000;
+        let writes = (0..n).filter(|_| t.next_op().write).count();
+        let measured = writes as f64 / n as f64;
+        prop_assert!((measured - frac).abs() < 0.05);
+    }
+
+    /// Fully-sequential locality always advances addresses by one line
+    /// within the streaming region.
+    #[test]
+    fn pure_streaming_is_sequential(seed in any::<u64>()) {
+        let mut p = AppProfile::neutral("prop");
+        p.locality = Locality::streaming(1 << 20);
+        p.locality.hot_fraction = 0.0;
+        p.locality.seq_fraction = 1.0;
+        let mut t = p.trace(0, seed);
+        let mut prev = t.next_op().addr;
+        for _ in 0..100 {
+            let a = t.next_op().addr;
+            // Wraps at the working-set boundary; otherwise strictly +64.
+            prop_assert!(a == prev + 64 || a < prev, "non-sequential step {prev:#x}->{a:#x}");
+            prev = a;
+        }
+    }
+}
