@@ -33,6 +33,9 @@ pub struct Distribution {
     pub total: u64,
     /// Mean inter-arrival gap (cycles).
     pub mean_gap: f64,
+    /// How the run ended (`ok`, `cap(..)`, or `stall@..`), so a stalled
+    /// or capped row is diagnosable rather than silently short.
+    pub outcome: String,
 }
 
 /// Measures the intrinsic (unshaped) memory-request inter-arrival
@@ -47,7 +50,7 @@ pub fn distributions(scale: &Scale) -> Vec<Distribution> {
             // Fig. 2 counts requests over a fixed amount of *work*, so
             // run to an instruction budget (the faster configuration
             // simply finishes sooner), bounded by a generous cycle cap.
-            sys.run_until_instructions(scale.work, scale.cap);
+            let outcome = sys.run_until_instructions(scale.work, scale.cap);
             let stats = sys.core_stats(0);
             let h = &stats.mem_interarrival;
             out.push(Distribution {
@@ -57,6 +60,7 @@ pub fn distributions(scale: &Scale) -> Vec<Distribution> {
                 overflow: h.overflow(),
                 total: h.total(),
                 mean_gap: h.mean_gap().unwrap_or(0.0),
+                outcome: outcome.label(),
             });
         }
     }
@@ -66,7 +70,8 @@ pub fn distributions(scale: &Scale) -> Vec<Distribution> {
 /// Runs the experiment and formats the paper-figure table.
 pub fn run(scale: &Scale) -> Table {
     let dists = distributions(scale);
-    let mut headers: Vec<String> = vec!["bench".into(), "LLC".into(), "total".into(), "mean".into()];
+    let mut headers: Vec<String> =
+        vec!["bench".into(), "LLC".into(), "run".into(), "total".into(), "mean".into()];
     for i in 0..10 {
         headers.push(format!("[{},{})", i * 10, (i + 1) * 10));
     }
@@ -80,6 +85,7 @@ pub fn run(scale: &Scale) -> Table {
         let mut row = vec![
             d.bench.to_owned(),
             format!("{}KB", d.llc_bytes >> 10),
+            d.outcome.clone(),
             d.total.to_string(),
             format!("{:.1}", d.mean_gap),
         ];

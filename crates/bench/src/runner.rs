@@ -29,6 +29,7 @@ use mitts_sim::config::{CacheConfig, SystemConfig};
 use mitts_sim::shaper::StaticRateShaper;
 use mitts_sim::system::{System, SystemBuilder};
 use mitts_sim::types::Cycle;
+use mitts_sim::StallReport;
 use mitts_tuner::{GaParams, Genome, Objective, OnlineParams};
 use mitts_workloads::Benchmark;
 
@@ -311,12 +312,31 @@ pub struct WorkMeasurement {
     pub finished: Vec<bool>,
     /// Instructions measured per core.
     pub work: u64,
+    /// Forward-progress watchdog report, if the run stalled before the
+    /// cap. Stalled cores are charged as if they ran to the cap, so the
+    /// numeric columns stay comparable; this field makes the stall
+    /// diagnosable instead of looking like an ordinary cap hit.
+    pub stall: Option<Box<StallReport>>,
 }
 
 impl WorkMeasurement {
     /// Per-core IPC over the timed region.
     pub fn ipcs(&self) -> Vec<f64> {
         self.cycles.iter().map(|&c| self.work as f64 / c).collect()
+    }
+
+    /// Short status label for experiment tables: `ok`, `cap(k)` with the
+    /// number of unfinished cores, or `stall@<cycle>`.
+    pub fn status_label(&self) -> String {
+        if let Some(report) = &self.stall {
+            return format!("stall@{}", report.stalled_since);
+        }
+        let lagging = self.finished.iter().filter(|&&f| !f).count();
+        if lagging == 0 {
+            "ok".to_owned()
+        } else {
+            format!("cap({lagging})")
+        }
     }
 }
 
@@ -331,6 +351,7 @@ pub fn measure_work(sys: &mut System, settle_work: u64, work: u64, cap: Cycle) -
     let mut end_cycle: Vec<Option<Cycle>> = vec![None; n];
     let deadline = sys.now() + cap;
 
+    let mut stall: Option<Box<StallReport>> = None;
     while sys.now() < deadline && end_cycle.iter().any(Option::is_none) {
         sys.run_cycles(500);
         let now = sys.now();
@@ -343,9 +364,18 @@ pub fn measure_work(sys: &mut System, settle_work: u64, work: u64, cap: Cycle) -
                 end_cycle[i] = Some(now);
             }
         }
+        if let Some(report) = sys.stall_report() {
+            // Livelock/deadlock: no core will make further progress, so
+            // running out the remaining budget would only burn time.
+            stall = Some(Box::new(report.clone()));
+            break;
+        }
     }
 
-    let now = sys.now();
+    // A stalled run is charged as if it ran to the cap: the cores would
+    // not have retired anything more, and fitness/slowdown accounting
+    // must stay comparable with capped runs.
+    let now = if stall.is_some() { deadline } else { sys.now() };
     let mut cycles = Vec::with_capacity(n);
     let mut finished = Vec::with_capacity(n);
     for i in 0..n {
@@ -370,7 +400,7 @@ pub fn measure_work(sys: &mut System, settle_work: u64, work: u64, cap: Cycle) -
             }
         }
     }
-    WorkMeasurement { start_instr: start_target, cycles, finished, work }
+    WorkMeasurement { start_instr: start_target, cycles, finished, work, stall }
 }
 
 /// Slowdowns of a work measurement against alone profiles:

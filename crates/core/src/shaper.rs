@@ -15,6 +15,7 @@
 //!   confirms a miss (slightly aggressive — credits can lag by the number
 //!   of in-flight requests).
 
+use mitts_sim::audit::{CreditAudit, CreditBin};
 use mitts_sim::shaper::{ShapeDecision, ShapeToken, SourceShaper};
 use mitts_sim::types::Cycle;
 
@@ -274,6 +275,23 @@ impl SourceShaper for MittsShaper {
     fn note_stall_cycle(&mut self) {
         self.stalls += 1;
     }
+
+    fn credit_audit(&self) -> CreditAudit {
+        CreditAudit {
+            bins: self
+                .credits
+                .iter()
+                .enumerate()
+                .map(|(bin, &live)| CreditBin {
+                    live,
+                    // The architectural bound: replenishment restores the
+                    // configured count, and the refund path is clamped to
+                    // this same cap (see on_llc_response).
+                    max: self.config.credit(bin).clamp(1, K_MAX),
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +307,20 @@ mod tests {
         let mut c = vec![0u32; 10];
         c[bin] = n;
         cfg(c, period)
+    }
+
+    #[test]
+    fn credit_audit_tracks_live_credits_within_bounds() {
+        let mut s = MittsShaper::new(cfg(vec![2; 10], 10_000));
+        let before = s.credit_audit();
+        assert_eq!(before.bins.len(), 10);
+        assert!(before.reported());
+        assert!(before.bins.iter().all(|b| b.live <= b.max));
+        assert!(s.try_issue(100).is_grant());
+        let after = s.credit_audit();
+        assert!(after.bins.iter().all(|b| b.live <= b.max));
+        let live = |a: &CreditAudit| a.bins.iter().map(|b| b.live).sum::<u32>();
+        assert_eq!(live(&after), live(&before) - 1, "a grant consumes one credit");
     }
 
     #[test]

@@ -1,0 +1,1001 @@
+//! Hardening layer: runtime invariant auditing, forward-progress
+//! watchdog, structured errors, and fault injection.
+//!
+//! The simulator models a throttling mechanism whose entire purpose is to
+//! *stall* traffic, which makes the difference between "shaped" and
+//! "wedged" easy to miss: a shaper that never replenishes, a leaked MSHR,
+//! or a lost DRAM completion all look like a slow workload until
+//! `max_cycles` silently expires. This module makes those states
+//! first-class:
+//!
+//! * [`InvariantAuditor`] — hooked into `System::tick`, it checks
+//!   conservation laws every [`AuditConfig::interval`] cycles (every
+//!   shaper grant is eventually matched by an L1 fill, MSHR files never
+//!   leak, per-bin credits stay within `[0, max]`, DRAM bank timing is
+//!   ordered, counters are monotone) and records [`AuditViolation`]s
+//!   instead of panicking.
+//! * The **forward-progress watchdog** — detects livelock/deadlock (no
+//!   core retires and no fill completes for
+//!   [`WatchdogConfig::global_stall_cycles`]) and produces a structured
+//!   [`StallReport`]; `System::run_until_instructions` surfaces it through
+//!   [`RunOutcome`] instead of burning cycles to the cap.
+//! * [`FaultPlan`] — a fault-injection harness used by tests to prove the
+//!   auditor and watchdog detect each fault class (mutation testing for
+//!   the checkers themselves).
+//!
+//! Auditing is on by default when `debug_assertions` are enabled (the
+//! workspace turns them on in release too) and can be forced either way
+//! through [`HardeningConfig`] in `SystemConfig`.
+
+use std::collections::VecDeque;
+
+use crate::config::ConfigError;
+use crate::types::{Addr, Cycle};
+
+// ---------------------------------------------------------------------------
+// Structured errors
+// ---------------------------------------------------------------------------
+
+/// Top-level structured error for simulator APIs that can fail without it
+/// being a programming bug at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The system configuration is internally inconsistent.
+    Config(ConfigError),
+    /// A replay trace was empty (trace sources are infinite by contract).
+    EmptyTrace,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::EmptyTrace => {
+                write!(f, "cannot replay an empty trace (trace sources are infinite)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hardening configuration
+// ---------------------------------------------------------------------------
+
+/// Invariant-auditor settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Whether the auditor runs. Defaults to `cfg!(debug_assertions)`;
+    /// set explicitly to force it on (or off) in any build.
+    pub enabled: bool,
+    /// Cycles between audit passes (the K of "every K cycles").
+    pub interval: Cycle,
+    /// A shaper grant unmatched by an L1 fill for longer than this is
+    /// reported (covers lost fills and wedged downstream queues).
+    pub max_grant_age: Cycle,
+    /// An LLC MSHR entry outstanding longer than this is reported as a
+    /// leak. Entries whose line is parked in an after-LLC shaper's
+    /// deferred queue are exempt (being gated is not a leak).
+    pub max_llc_mshr_age: Cycle,
+    /// A transaction dispatched to DRAM but not completed within this many
+    /// cycles is reported (covers lost DRAM completions).
+    pub max_mc_inflight_age: Cycle,
+    /// Cap on retained [`AuditViolation`]s; further reports only bump
+    /// [`InvariantAuditor::dropped_violations`].
+    pub max_reports: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            enabled: cfg!(debug_assertions),
+            interval: 64,
+            max_grant_age: 500_000,
+            max_llc_mshr_age: 200_000,
+            max_mc_inflight_age: 20_000,
+            max_reports: 64,
+        }
+    }
+}
+
+/// Forward-progress watchdog settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Whether the watchdog runs (cheap; on by default in every build).
+    pub enabled: bool,
+    /// No core retiring and no fill completing for this many consecutive
+    /// cycles is declared a global stall and produces a [`StallReport`].
+    /// Cycles in which every core is frozen (online-tuner overhead
+    /// injection) do not count.
+    pub global_stall_cycles: Cycle,
+    /// A single unfrozen core retiring nothing for this many cycles is
+    /// recorded as a starvation [`AuditViolation`] (diagnostic only — a
+    /// zero-credit shaper legitimately starves its core, so this does not
+    /// abort the run).
+    pub core_starve_cycles: Cycle,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { enabled: true, global_stall_cycles: 20_000, core_starve_cycles: 200_000 }
+    }
+}
+
+/// All hardening knobs, embedded in `SystemConfig`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HardeningConfig {
+    /// Invariant-auditor settings.
+    pub audit: AuditConfig,
+    /// Forward-progress watchdog settings.
+    pub watchdog: WatchdogConfig,
+}
+
+// ---------------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------------
+
+/// The conservation law or liveness property an [`AuditViolation`] refers
+/// to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// Per core: grants == fills + inflight (every shaper grant is
+    /// eventually matched by exactly one L1 fill).
+    GrantFillConservation,
+    /// A shaper grant has waited longer than [`AuditConfig::max_grant_age`]
+    /// for its fill.
+    GrantAge,
+    /// An MSHR file's occupancy disagrees with the requests that should be
+    /// populating it, or an entry has outlived
+    /// [`AuditConfig::max_llc_mshr_age`].
+    MshrLeak,
+    /// A shaper reported a per-bin credit outside `[0, max]`.
+    CreditBounds,
+    /// DRAM command timestamps violated tRCD/tRP/tRAS/tRRD ordering.
+    DramTiming,
+    /// DRAM byte/burst accounting no longer matches services performed.
+    DramConservation,
+    /// A transaction dispatched to DRAM exceeded
+    /// [`AuditConfig::max_mc_inflight_age`] without completing.
+    McInflightAge,
+    /// A cycle or instruction counter moved backwards.
+    MonotoneCounters,
+    /// Watchdog finding: the whole system (or one core) stopped making
+    /// forward progress.
+    ForwardProgress,
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Invariant::GrantFillConservation => "grant/fill conservation",
+            Invariant::GrantAge => "grant age",
+            Invariant::MshrLeak => "MSHR leak",
+            Invariant::CreditBounds => "credit bounds",
+            Invariant::DramTiming => "DRAM timing order",
+            Invariant::DramConservation => "DRAM conservation",
+            Invariant::McInflightAge => "MC inflight age",
+            Invariant::MonotoneCounters => "monotone counters",
+            Invariant::ForwardProgress => "forward progress",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation observed by the auditor or watchdog.
+#[derive(Debug, Clone)]
+pub struct AuditViolation {
+    /// Cycle at which the violation was detected.
+    pub cycle: Cycle,
+    /// The property that failed.
+    pub invariant: Invariant,
+    /// Core the violation is attributed to, if any.
+    pub core: Option<usize>,
+    /// Human-readable specifics (observed vs expected values).
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[cycle {}] {}", self.cycle, self.invariant)?;
+        if let Some(core) = self.core {
+            write!(f, " (core {core})")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shaper credit snapshots
+// ---------------------------------------------------------------------------
+
+/// One credit bin as observed by the auditor: live credits vs the
+/// configured maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditBin {
+    /// Credits currently live in the bin.
+    pub live: u32,
+    /// Configured maximum for the bin.
+    pub max: u32,
+}
+
+/// Snapshot of a shaper's credit state for auditing. Shapers without
+/// auditable credits (e.g. the unlimited pass-through) return an empty
+/// snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CreditAudit {
+    /// Per-bin live/max pairs; empty when the shaper has no credit state
+    /// to audit.
+    pub bins: Vec<CreditBin>,
+}
+
+impl CreditAudit {
+    /// Whether the shaper actually reported credit state.
+    pub fn reported(&self) -> bool {
+        !self.bins.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stall reports and run outcomes
+// ---------------------------------------------------------------------------
+
+/// Shaper state attached to a [`CoreStallState`].
+#[derive(Debug, Clone)]
+pub struct ShaperStallState {
+    /// Policy name.
+    pub name: String,
+    /// Cycles the shaper has stalled the core so far.
+    pub stall_cycles: u64,
+    /// Credit snapshot (empty when the shaper has no credit state).
+    pub credits: Vec<CreditBin>,
+}
+
+/// Per-core state captured when a stall is detected.
+#[derive(Debug, Clone)]
+pub struct CoreStallState {
+    /// Core index.
+    pub core: usize,
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// L1 misses waiting to pass the shaper.
+    pub miss_queue_depth: usize,
+    /// Shaper-granted requests whose fill has not arrived.
+    pub inflight: u32,
+    /// Occupied L1 MSHR entries.
+    pub l1_mshr_occupancy: usize,
+    /// Whether the core is currently frozen (tuner overhead injection).
+    pub frozen: bool,
+    /// The core's shaper state.
+    pub shaper: ShaperStallState,
+}
+
+/// Shared-LLC state captured when a stall is detected.
+#[derive(Debug, Clone)]
+pub struct LlcStallState {
+    /// Occupied LLC MSHR entries.
+    pub mshr_occupancy: usize,
+    /// LLC MSHR capacity.
+    pub mshr_capacity: usize,
+    /// Lookups queued at the LLC (due or pipelined).
+    pub pending_lookups: usize,
+    /// Transactions waiting for room in a controller FIFO.
+    pub mc_backlog: usize,
+    /// Per-core lines parked behind an after-LLC shaper gate.
+    pub deferred: Vec<usize>,
+}
+
+/// Per-channel memory-controller/DRAM state captured when a stall is
+/// detected.
+#[derive(Debug, Clone)]
+pub struct ChannelStallState {
+    /// Channel index.
+    pub channel: usize,
+    /// Global smoothing FIFO occupancy.
+    pub fifo_len: usize,
+    /// Transaction (scheduling) queue occupancy.
+    pub queue_len: usize,
+    /// Transactions dispatched to DRAM awaiting completion.
+    pub mc_inflight: usize,
+    /// Services outstanding inside the DRAM model.
+    pub dram_inflight: usize,
+}
+
+/// Structured diagnosis of a livelocked/deadlocked system, produced by the
+/// forward-progress watchdog instead of letting the run silently time out.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Cycle the watchdog fired.
+    pub detected_at: Cycle,
+    /// Last cycle at which any core retired or any fill completed.
+    pub stalled_since: Cycle,
+    /// Per-core state at detection.
+    pub cores: Vec<CoreStallState>,
+    /// Shared LLC state at detection.
+    pub llc: LlcStallState,
+    /// Per-channel controller/DRAM state at detection.
+    pub channels: Vec<ChannelStallState>,
+}
+
+impl StallReport {
+    /// Cycles of zero progress before the watchdog fired.
+    pub fn stall_length(&self) -> Cycle {
+        self.detected_at - self.stalled_since
+    }
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "stall detected at cycle {} (no progress since cycle {}):",
+            self.detected_at, self.stalled_since
+        )?;
+        for c in &self.cores {
+            writeln!(
+                f,
+                "  core {}: {} instr, miss-queue {}, inflight {}, L1 MSHRs {}{}",
+                c.core,
+                c.instructions,
+                c.miss_queue_depth,
+                c.inflight,
+                c.l1_mshr_occupancy,
+                if c.frozen { ", frozen" } else { "" }
+            )?;
+            write!(
+                f,
+                "    shaper '{}': {} stall cycles",
+                c.shaper.name, c.shaper.stall_cycles
+            )?;
+            if c.shaper.credits.is_empty() {
+                writeln!(f)?;
+            } else {
+                let bins: Vec<String> =
+                    c.shaper.credits.iter().map(|b| format!("{}/{}", b.live, b.max)).collect();
+                writeln!(f, ", credits [{}]", bins.join(" "))?;
+            }
+        }
+        writeln!(
+            f,
+            "  LLC: MSHRs {}/{}, lookups {}, mc-backlog {}, deferred {:?}",
+            self.llc.mshr_occupancy,
+            self.llc.mshr_capacity,
+            self.llc.pending_lookups,
+            self.llc.mc_backlog,
+            self.llc.deferred
+        )?;
+        for ch in &self.channels {
+            writeln!(
+                f,
+                "  channel {}: fifo {}, queue {}, mc-inflight {}, dram-inflight {}",
+                ch.channel, ch.fifo_len, ch.queue_len, ch.mc_inflight, ch.dram_inflight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// How a bounded run ended. Returned by `System::run_until_instructions`
+/// so callers can distinguish "finished", "slow", and "wedged" instead of
+/// collapsing all three into a bool.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// Every core reached the instruction target.
+    Completed {
+        /// Cycle at which the last core crossed the target.
+        cycles: Cycle,
+    },
+    /// The cycle cap expired with the system still making progress.
+    CycleLimit {
+        /// Cycle at which the run stopped (the cap).
+        cycles: Cycle,
+        /// Cores that had not reached the target.
+        lagging: Vec<usize>,
+    },
+    /// The watchdog declared the system stalled.
+    Stalled(Box<StallReport>),
+}
+
+impl RunOutcome {
+    /// Whether every core met the instruction target.
+    pub fn met_target(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+
+    /// Whether the watchdog fired.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, RunOutcome::Stalled(_))
+    }
+
+    /// The stall report, if the run stalled.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        match self {
+            RunOutcome::Stalled(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Compact label for experiment tables: `ok`, `cap(n lagging)`, or
+    /// `stall@cycle`.
+    pub fn label(&self) -> String {
+        match self {
+            RunOutcome::Completed { .. } => "ok".into(),
+            RunOutcome::CycleLimit { lagging, .. } => format!("cap({} lagging)", lagging.len()),
+            RunOutcome::Stalled(r) => format!("stall@{}", r.detected_at),
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Completed { cycles } => write!(f, "completed at cycle {cycles}"),
+            RunOutcome::CycleLimit { cycles, lagging } => {
+                write!(f, "cycle limit {cycles} reached; lagging cores {lagging:?}")
+            }
+            RunOutcome::Stalled(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// One injectable fault. Each variant exercises a different checker: the
+/// tests in `crates/sim/tests/hardening.rs` prove every class is caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Silently discard the next `count` DRAM read responses from cycle
+    /// `from` on (models a lost completion; leaks LLC MSHRs and grants).
+    DropDramResponses {
+        /// First cycle the fault is active.
+        from: Cycle,
+        /// Number of responses to discard.
+        count: u32,
+    },
+    /// Hold every DRAM read response for `delay` extra cycles from cycle
+    /// `from` on (models a wedged response path).
+    DelayDramResponses {
+        /// First cycle the fault is active.
+        from: Cycle,
+        /// Extra cycles each response is held.
+        delay: Cycle,
+    },
+    /// From cycle `from`, force core `core`'s shaper to deny every issue
+    /// (models a credit state zeroed by a bug or a never-replenishing
+    /// configuration).
+    ZeroShaperCredits {
+        /// First cycle the fault is active.
+        from: Cycle,
+        /// Core whose shaper is suppressed.
+        core: usize,
+    },
+    /// From cycle `from`, corrupt the credit snapshot core `core`'s shaper
+    /// reports to the auditor so a bin reads above its maximum (mutation
+    /// test for the credit-bounds checker).
+    CorruptShaperCredits {
+        /// First cycle the fault is active.
+        from: Cycle,
+        /// Core whose snapshot is corrupted.
+        core: usize,
+    },
+    /// From cycle `from`, report zero free LLC ports every cycle (models a
+    /// hung LLC arbiter).
+    StallLlcPorts {
+        /// First cycle the fault is active.
+        from: Cycle,
+    },
+}
+
+/// A set of faults to inject into a running system (see
+/// `System::inject_faults`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults to activate.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, fault: FaultKind) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// What to do with a DRAM response under the active fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ResponseAction {
+    /// Deliver normally.
+    Deliver,
+    /// Discard (fault consumed one drop).
+    Drop,
+    /// Hold until the given cycle.
+    Delay(Cycle),
+}
+
+/// Runtime state of an injected [`FaultPlan`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ActiveFaults {
+    plan: FaultPlan,
+    drops_done: u32,
+    /// (release_at, line) responses being held by a delay fault.
+    delayed: Vec<(Cycle, Addr)>,
+}
+
+impl ActiveFaults {
+    pub(crate) fn inject(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.drops_done = 0;
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
+        !self.plan.faults.is_empty() || !self.delayed.is_empty()
+    }
+
+    /// Decides the fate of a DRAM read response arriving at `now`.
+    pub(crate) fn on_response(&mut self, now: Cycle, line: Addr) -> ResponseAction {
+        for fault in &self.plan.faults {
+            match *fault {
+                FaultKind::DropDramResponses { from, count }
+                    if now >= from && self.drops_done < count =>
+                {
+                    self.drops_done += 1;
+                    return ResponseAction::Drop;
+                }
+                FaultKind::DelayDramResponses { from, delay } if now >= from => {
+                    let release = now + delay;
+                    self.delayed.push((release, line));
+                    return ResponseAction::Delay(release);
+                }
+                _ => {}
+            }
+        }
+        ResponseAction::Deliver
+    }
+
+    /// Takes the delayed responses due at `now`.
+    pub(crate) fn due_delayed(&mut self, now: Cycle) -> Vec<Addr> {
+        let mut due = Vec::new();
+        self.delayed.retain(|&(release, line)| {
+            if release <= now {
+                due.push(line);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Whether core `core`'s shaper must be forced to deny at `now`.
+    pub(crate) fn deny_issue(&self, now: Cycle, core: usize) -> bool {
+        self.plan.faults.iter().any(|f| {
+            matches!(*f, FaultKind::ZeroShaperCredits { from, core: c } if now >= from && c == core)
+        })
+    }
+
+    /// Whether core `core`'s credit snapshot must be corrupted at `now`.
+    pub(crate) fn corrupt_credits(&self, now: Cycle, core: usize) -> bool {
+        self.plan.faults.iter().any(|f| {
+            matches!(
+                *f,
+                FaultKind::CorruptShaperCredits { from, core: c } if now >= from && c == core
+            )
+        })
+    }
+
+    /// Whether the LLC ports are faulted shut at `now`.
+    pub(crate) fn stall_ports(&self, now: Cycle) -> bool {
+        self.plan
+            .faults
+            .iter()
+            .any(|f| matches!(*f, FaultKind::StallLlcPorts { from } if now >= from))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The auditor
+// ---------------------------------------------------------------------------
+
+/// Per-core forward-progress bookkeeping.
+#[derive(Debug, Clone)]
+struct CoreProgress {
+    last_instructions: u64,
+    last_change_at: Cycle,
+    starve_reported: bool,
+}
+
+/// Runtime invariant auditor and forward-progress watchdog state.
+///
+/// Owned by `System`; the structural checks themselves live in
+/// `system.rs` (they need access to private simulator state) and feed
+/// findings in through [`InvariantAuditor::record`].
+#[derive(Debug, Clone)]
+pub struct InvariantAuditor {
+    audit: AuditConfig,
+    watchdog: WatchdogConfig,
+    violations: Vec<AuditViolation>,
+    dropped: u64,
+    passes: u64,
+    last_now: Option<Cycle>,
+    // Watchdog state.
+    last_progress_at: Cycle,
+    last_totals: (u64, u64),
+    cores: Vec<CoreProgress>,
+    stall: Option<Box<StallReport>>,
+}
+
+impl InvariantAuditor {
+    /// Creates auditor state for `cores` cores from the configuration.
+    pub fn new(config: &HardeningConfig, cores: usize) -> Self {
+        InvariantAuditor {
+            audit: config.audit.clone(),
+            watchdog: config.watchdog.clone(),
+            violations: Vec::new(),
+            dropped: 0,
+            passes: 0,
+            last_now: None,
+            last_progress_at: 0,
+            last_totals: (0, 0),
+            cores: vec![
+                CoreProgress { last_instructions: 0, last_change_at: 0, starve_reported: false };
+                cores
+            ],
+            stall: None,
+        }
+    }
+
+    /// The audit settings in force.
+    pub fn audit_config(&self) -> &AuditConfig {
+        &self.audit
+    }
+
+    /// The watchdog settings in force.
+    pub fn watchdog_config(&self) -> &WatchdogConfig {
+        &self.watchdog
+    }
+
+    /// Whether an audit pass is due at `now`.
+    pub(crate) fn audit_due(&self, now: Cycle) -> bool {
+        self.audit.enabled && now.is_multiple_of(self.audit.interval.max(1))
+    }
+
+    /// Starts an audit pass: bumps the pass counter and checks cycle
+    /// monotonicity.
+    pub(crate) fn begin_pass(&mut self, now: Cycle) {
+        self.passes += 1;
+        if let Some(last) = self.last_now {
+            if now < last {
+                self.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::MonotoneCounters,
+                    core: None,
+                    detail: format!("cycle counter moved backwards: {last} -> {now}"),
+                });
+            }
+        }
+        self.last_now = Some(now);
+    }
+
+    /// Records a violation (bounded by [`AuditConfig::max_reports`]).
+    pub fn record(&mut self, violation: AuditViolation) {
+        if self.violations.len() < self.audit.max_reports {
+            self.violations.push(violation);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Violations dropped after [`AuditConfig::max_reports`] was reached.
+    pub fn dropped_violations(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Audit passes completed.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// The first stall report, if the watchdog has fired.
+    pub fn stall(&self) -> Option<&StallReport> {
+        self.stall.as_deref()
+    }
+
+    pub(crate) fn set_stall(&mut self, report: StallReport) {
+        self.record(AuditViolation {
+            cycle: report.detected_at,
+            invariant: Invariant::ForwardProgress,
+            core: None,
+            detail: format!(
+                "global stall: no retire and no fill for {} cycles",
+                report.stall_length()
+            ),
+        });
+        self.stall = Some(Box::new(report));
+    }
+
+    /// Observes one cycle of global progress. Returns `true` exactly once,
+    /// at the moment a global stall crosses the threshold (the caller then
+    /// builds the [`StallReport`]).
+    ///
+    /// `any_active` is false when every core is frozen; frozen time does
+    /// not count towards a stall.
+    pub(crate) fn observe_global(
+        &mut self,
+        now: Cycle,
+        total_instructions: u64,
+        total_fills: u64,
+        any_active: bool,
+    ) -> bool {
+        let totals = (total_instructions, total_fills);
+        if totals != self.last_totals || !any_active {
+            self.last_totals = totals;
+            self.last_progress_at = now;
+            return false;
+        }
+        self.watchdog.enabled
+            && self.stall.is_none()
+            && now - self.last_progress_at >= self.watchdog.global_stall_cycles
+    }
+
+    /// Cycle of the last observed global progress.
+    pub(crate) fn last_progress_at(&self) -> Cycle {
+        self.last_progress_at
+    }
+
+    /// Observes one core's retirement progress. Returns `true` exactly
+    /// once per starvation episode when the core crosses
+    /// [`WatchdogConfig::core_starve_cycles`] without retiring (and is not
+    /// frozen); the caller records the violation with context.
+    pub(crate) fn observe_core(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        instructions: u64,
+        frozen: bool,
+    ) -> bool {
+        let p = &mut self.cores[core];
+        if instructions != p.last_instructions || frozen {
+            p.last_instructions = instructions;
+            p.last_change_at = now;
+            p.starve_reported = false;
+            return false;
+        }
+        if self.watchdog.enabled
+            && !p.starve_reported
+            && now - p.last_change_at >= self.watchdog.core_starve_cycles
+        {
+            p.starve_reported = true;
+            return true;
+        }
+        false
+    }
+}
+
+/// Bounded grant ledger for one core: grant timestamps awaiting their
+/// matching L1 fill.
+///
+/// Push on shaper grant, pop on fill; the front is always the oldest
+/// outstanding grant, so age checks are O(1).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GrantLedger {
+    times: VecDeque<Cycle>,
+    granted: u64,
+    unmatched_fills: u64,
+}
+
+impl GrantLedger {
+    pub(crate) fn on_grant(&mut self, now: Cycle) {
+        self.granted += 1;
+        self.times.push_back(now);
+    }
+
+    pub(crate) fn on_fill(&mut self) {
+        if self.times.pop_front().is_none() {
+            self.unmatched_fills += 1;
+        }
+    }
+
+    pub(crate) fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    pub(crate) fn outstanding(&self) -> usize {
+        self.times.len()
+    }
+
+    pub(crate) fn oldest(&self) -> Option<Cycle> {
+        self.times.front().copied()
+    }
+
+    pub(crate) fn unmatched_fills(&self) -> u64 {
+        self.unmatched_fills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_due_follows_interval() {
+        let mut cfg = HardeningConfig::default();
+        cfg.audit.enabled = true;
+        cfg.audit.interval = 10;
+        let a = InvariantAuditor::new(&cfg, 1);
+        assert!(a.audit_due(0));
+        assert!(!a.audit_due(5));
+        assert!(a.audit_due(20));
+        let mut off = cfg.clone();
+        off.audit.enabled = false;
+        assert!(!InvariantAuditor::new(&off, 1).audit_due(0));
+    }
+
+    #[test]
+    fn record_caps_at_max_reports() {
+        let mut cfg = HardeningConfig::default();
+        cfg.audit.max_reports = 2;
+        let mut a = InvariantAuditor::new(&cfg, 1);
+        for i in 0..5 {
+            a.record(AuditViolation {
+                cycle: i,
+                invariant: Invariant::MshrLeak,
+                core: None,
+                detail: String::new(),
+            });
+        }
+        assert_eq!(a.violations().len(), 2);
+        assert_eq!(a.dropped_violations(), 3);
+    }
+
+    #[test]
+    fn global_watchdog_fires_once_after_threshold() {
+        let mut cfg = HardeningConfig::default();
+        cfg.watchdog.global_stall_cycles = 100;
+        let mut a = InvariantAuditor::new(&cfg, 1);
+        assert!(!a.observe_global(0, 10, 0, true));
+        for now in 1..100 {
+            assert!(!a.observe_global(now, 10, 0, true), "cycle {now} too early");
+        }
+        assert!(a.observe_global(100, 10, 0, true));
+        a.set_stall(StallReport {
+            detected_at: 100,
+            stalled_since: 0,
+            cores: vec![],
+            llc: LlcStallState {
+                mshr_occupancy: 0,
+                mshr_capacity: 1,
+                pending_lookups: 0,
+                mc_backlog: 0,
+                deferred: vec![],
+            },
+            channels: vec![],
+        });
+        assert!(!a.observe_global(101, 10, 0, true), "fires only once");
+        assert!(a.stall().is_some());
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].invariant, Invariant::ForwardProgress);
+    }
+
+    #[test]
+    fn frozen_cycles_do_not_count_as_stall() {
+        let mut cfg = HardeningConfig::default();
+        cfg.watchdog.global_stall_cycles = 50;
+        let mut a = InvariantAuditor::new(&cfg, 1);
+        for now in 0..200 {
+            assert!(!a.observe_global(now, 10, 0, false), "all-frozen must never stall");
+        }
+    }
+
+    #[test]
+    fn core_starvation_reports_once_per_episode() {
+        let mut cfg = HardeningConfig::default();
+        cfg.watchdog.core_starve_cycles = 10;
+        let mut a = InvariantAuditor::new(&cfg, 1);
+        assert!(!a.observe_core(0, 0, 5, false));
+        for now in 1..10 {
+            assert!(!a.observe_core(now, 0, 5, false));
+        }
+        assert!(a.observe_core(10, 0, 5, false));
+        assert!(!a.observe_core(11, 0, 5, false), "reported once");
+        // Progress resets the episode.
+        assert!(!a.observe_core(12, 0, 6, false));
+        for now in 13..22 {
+            assert!(!a.observe_core(now, 0, 6, false));
+        }
+        assert!(a.observe_core(22, 0, 6, false), "new episode reports again");
+    }
+
+    #[test]
+    fn grant_ledger_matches_grants_to_fills() {
+        let mut g = GrantLedger::default();
+        g.on_grant(10);
+        g.on_grant(20);
+        assert_eq!(g.outstanding(), 2);
+        assert_eq!(g.oldest(), Some(10));
+        g.on_fill();
+        assert_eq!(g.oldest(), Some(20));
+        g.on_fill();
+        g.on_fill();
+        assert_eq!(g.unmatched_fills(), 1);
+        assert_eq!(g.granted(), 2);
+    }
+
+    #[test]
+    fn fault_plan_drop_budget_is_respected() {
+        let mut f = ActiveFaults::default();
+        f.inject(FaultPlan::new().with(FaultKind::DropDramResponses { from: 100, count: 2 }));
+        assert_eq!(f.on_response(50, 0x40), ResponseAction::Deliver, "not active yet");
+        assert_eq!(f.on_response(100, 0x40), ResponseAction::Drop);
+        assert_eq!(f.on_response(101, 0x80), ResponseAction::Drop);
+        assert_eq!(f.on_response(102, 0xc0), ResponseAction::Deliver, "budget spent");
+    }
+
+    #[test]
+    fn fault_plan_delay_releases_on_time() {
+        let mut f = ActiveFaults::default();
+        f.inject(FaultPlan::new().with(FaultKind::DelayDramResponses { from: 0, delay: 10 }));
+        assert_eq!(f.on_response(5, 0x40), ResponseAction::Delay(15));
+        assert!(f.due_delayed(14).is_empty());
+        assert_eq!(f.due_delayed(15), vec![0x40]);
+        assert!(f.due_delayed(16).is_empty(), "released exactly once");
+    }
+
+    #[test]
+    fn fault_predicates_respect_from_and_core() {
+        let mut f = ActiveFaults::default();
+        f.inject(
+            FaultPlan::new()
+                .with(FaultKind::ZeroShaperCredits { from: 10, core: 1 })
+                .with(FaultKind::StallLlcPorts { from: 20 }),
+        );
+        assert!(!f.deny_issue(5, 1));
+        assert!(f.deny_issue(10, 1));
+        assert!(!f.deny_issue(10, 0), "only the targeted core");
+        assert!(!f.stall_ports(19));
+        assert!(f.stall_ports(20));
+        assert!(!f.corrupt_credits(100, 0));
+    }
+
+    #[test]
+    fn run_outcome_labels() {
+        assert_eq!(RunOutcome::Completed { cycles: 5 }.label(), "ok");
+        assert!(RunOutcome::Completed { cycles: 5 }.met_target());
+        let cap = RunOutcome::CycleLimit { cycles: 9, lagging: vec![0, 2] };
+        assert_eq!(cap.label(), "cap(2 lagging)");
+        assert!(!cap.met_target());
+    }
+
+    #[test]
+    fn sim_error_display_and_source() {
+        let e = SimError::from(ConfigError::NoCores);
+        assert!(e.to_string().contains("at least one core"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(SimError::EmptyTrace.to_string().contains("empty trace"));
+    }
+}

@@ -276,6 +276,18 @@ impl<W> MshrFile<W> {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Allocation time of the oldest outstanding entry, if any. Used by
+    /// the invariant auditor to detect leaked entries (a miss whose fill
+    /// was lost never completes, so its entry ages without bound).
+    pub fn oldest_allocated_at(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.allocated_at).min()
+    }
+
+    /// Iterates over the outstanding entries (auditor introspection).
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry<W>> {
+        self.entries.iter()
+    }
 }
 
 #[cfg(test)]

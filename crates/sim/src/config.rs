@@ -5,7 +5,57 @@
 //! into CPU cycles once so the hot simulation loop never does floating
 //! point.
 
+use crate::audit::HardeningConfig;
 use crate::types::LineGeometry;
+
+/// A structural inconsistency in a [`SystemConfig`], reported by
+/// [`SystemConfig::validate`] instead of a bare assert so callers (CLIs,
+/// sweep drivers) can surface it without unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `cores == 0`.
+    NoCores,
+    /// L1 and LLC line sizes differ.
+    LineSizeMismatch {
+        /// Configured L1 line size in bytes.
+        l1: usize,
+        /// Configured LLC line size in bytes.
+        llc: usize,
+    },
+    /// `llc_ports == 0`.
+    NoLlcPorts,
+    /// `mc.channels == 0`.
+    NoChannels,
+    /// `mc.txn_queue_depth == 0`.
+    EmptyTxnQueue,
+    /// A cache's size/ways/line organisation does not form a whole
+    /// power-of-two number of sets.
+    BadCacheGeometry {
+        /// Which cache ("L1" or "LLC").
+        cache: &'static str,
+        /// What is wrong with its organisation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoCores => write!(f, "need at least one core"),
+            ConfigError::LineSizeMismatch { l1, llc } => {
+                write!(f, "L1/LLC line sizes must match (L1 {l1} B, LLC {llc} B)")
+            }
+            ConfigError::NoLlcPorts => write!(f, "LLC needs at least one port"),
+            ConfigError::NoChannels => write!(f, "need at least one memory channel"),
+            ConfigError::EmptyTxnQueue => write!(f, "transaction queue must be non-empty"),
+            ConfigError::BadCacheGeometry { cache, detail } => {
+                write!(f, "{cache} geometry invalid: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Core front-end/back-end parameters (paper: 2.4 GHz, 4-wide issue,
 /// 128-entry instruction window).
@@ -75,13 +125,36 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics if the configuration does not divide into a whole
-    /// power-of-two number of sets.
+    /// power-of-two number of sets. Use [`CacheConfig::try_sets`] for a
+    /// fallible variant.
     pub fn sets(&self) -> usize {
+        match self.try_sets() {
+            Ok(sets) => sets,
+            Err(detail) => panic!("{detail}"),
+        }
+    }
+
+    /// Number of sets implied by size, ways, and line size, or a
+    /// description of why the organisation is invalid.
+    pub fn try_sets(&self) -> Result<usize, String> {
+        if self.line_bytes == 0 || self.ways == 0 {
+            return Err(format!(
+                "line size and associativity must be non-zero (line {} B, {} ways)",
+                self.line_bytes, self.ways
+            ));
+        }
         let lines = self.size_bytes / self.line_bytes;
-        assert!(lines.is_multiple_of(self.ways), "cache size must divide into whole sets");
+        if !lines.is_multiple_of(self.ways) {
+            return Err(format!(
+                "cache size must divide into whole sets ({} lines, {} ways)",
+                lines, self.ways
+            ));
+        }
         let sets = lines / self.ways;
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
-        sets
+        if !sets.is_power_of_two() {
+            return Err(format!("set count must be a power of two (got {sets})"));
+        }
+        Ok(sets)
     }
 
     /// Line geometry for this cache.
@@ -243,6 +316,8 @@ pub struct SystemConfig {
     pub mc: McConfig,
     /// DRAM organisation and timing.
     pub dram: DramConfig,
+    /// Invariant-auditor and watchdog settings (see [`crate::audit`]).
+    pub hardening: HardeningConfig,
 }
 
 impl SystemConfig {
@@ -257,6 +332,7 @@ impl SystemConfig {
             llc_ports: 2,
             mc: McConfig::default(),
             dram: DramConfig::default(),
+            hardening: HardeningConfig::default(),
         }
     }
 
@@ -287,6 +363,7 @@ impl SystemConfig {
             llc_ports: 8,
             mc: McConfig { channels: 2, ..McConfig::default() },
             dram: DramConfig::default(),
+            hardening: HardeningConfig::default(),
         }
     }
 
@@ -301,25 +378,40 @@ impl SystemConfig {
             llc_ports: 4,
             mc: McConfig::default(),
             dram: DramConfig::default(),
+            hardening: HardeningConfig::default(),
         }
     }
 
-    /// Validates structural invariants, panicking with a clear message on
-    /// misconfiguration. Called by the system builder.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is internally inconsistent (zero cores,
-    /// mismatched line sizes, or non-power-of-two cache organisation).
-    pub fn validate(&self) {
-        assert!(self.cores > 0, "need at least one core");
-        assert_eq!(self.l1.line_bytes, self.llc.line_bytes, "L1/LLC line sizes must match");
-        assert!(self.llc_ports > 0, "LLC needs at least one port");
-        assert!(self.mc.channels > 0, "need at least one memory channel");
-        assert!(self.mc.txn_queue_depth > 0, "transaction queue must be non-empty");
-        // These panic internally when invalid:
-        let _ = self.l1.sets();
-        let _ = self.llc.sets();
+    /// Validates structural invariants, reporting the first inconsistency
+    /// found. Called by the system builder (which panics with the rendered
+    /// [`ConfigError`]); call it directly to handle misconfiguration
+    /// gracefully.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::NoCores);
+        }
+        if self.l1.line_bytes != self.llc.line_bytes {
+            return Err(ConfigError::LineSizeMismatch {
+                l1: self.l1.line_bytes,
+                llc: self.llc.line_bytes,
+            });
+        }
+        if self.llc_ports == 0 {
+            return Err(ConfigError::NoLlcPorts);
+        }
+        if self.mc.channels == 0 {
+            return Err(ConfigError::NoChannels);
+        }
+        if self.mc.txn_queue_depth == 0 {
+            return Err(ConfigError::EmptyTxnQueue);
+        }
+        self.l1
+            .try_sets()
+            .map_err(|detail| ConfigError::BadCacheGeometry { cache: "L1", detail })?;
+        self.llc
+            .try_sets()
+            .map_err(|detail| ConfigError::BadCacheGeometry { cache: "LLC", detail })?;
+        Ok(())
     }
 }
 
@@ -346,7 +438,7 @@ mod tests {
         assert_eq!(c.mc.txn_queue_depth, 32);
         assert_eq!(c.dram.banks, 8);
         assert_eq!(c.dram.row_bytes, 8 * 1024);
-        c.validate();
+        c.validate().expect("Table II defaults must validate");
     }
 
     #[test]
@@ -355,7 +447,7 @@ mod tests {
         assert_eq!(c.cores, 25);
         assert_eq!(c.l1.size_bytes, 8 * 1024, "tape-out L1D is 8 KB");
         assert_eq!(c.mc.channels, 2);
-        c.validate();
+        c.validate().expect("OpenPiton preset must validate");
     }
 
     #[test]
@@ -363,7 +455,7 @@ mod tests {
         let c = SystemConfig::single_program();
         assert_eq!(c.cores, 1);
         assert_eq!(c.llc.size_bytes, 64 * 1024);
-        c.validate();
+        c.validate().expect("single-program preset must validate");
     }
 
     #[test]
@@ -409,10 +501,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
     fn validate_rejects_zero_cores() {
         let mut c = SystemConfig::default();
         c.cores = 0;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::NoCores);
+        assert!(err.to_string().contains("at least one core"));
+    }
+
+    #[test]
+    fn validate_reports_each_inconsistency() {
+        let base = SystemConfig::default();
+
+        let mut c = base.clone();
+        c.l1.line_bytes = 32;
+        assert!(matches!(c.validate(), Err(ConfigError::LineSizeMismatch { l1: 32, llc: 64 })));
+
+        let mut c = base.clone();
+        c.llc_ports = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoLlcPorts));
+
+        let mut c = base.clone();
+        c.mc.channels = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoChannels));
+
+        let mut c = base.clone();
+        c.mc.txn_queue_depth = 0;
+        assert_eq!(c.validate(), Err(ConfigError::EmptyTxnQueue));
+
+        let mut c = base.clone();
+        c.llc.size_bytes += c.llc.line_bytes; // one stray line: not a whole set
+        match c.validate() {
+            Err(ConfigError::BadCacheGeometry { cache: "LLC", .. }) => {}
+            other => panic!("expected LLC geometry error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_sets_describes_bad_geometry() {
+        let mut c = CacheConfig::l1_default();
+        assert_eq!(c.try_sets(), Ok(128));
+        c.ways = 3;
+        let err = c.try_sets().unwrap_err();
+        assert!(err.contains("whole sets"), "got: {err}");
+        c.ways = 0;
+        assert!(c.try_sets().is_err());
     }
 }

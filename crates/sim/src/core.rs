@@ -141,6 +141,12 @@ impl Core {
         self.frozen_until = self.frozen_until.max(until);
     }
 
+    /// Whether the core is frozen (tuner overhead injection) at `now`.
+    /// Frozen cycles are exempt from the forward-progress watchdog.
+    pub fn is_frozen(&self, now: Cycle) -> bool {
+        now < self.frozen_until
+    }
+
     /// Counter snapshot.
     pub fn counters(&self) -> &CoreCounters {
         &self.counters

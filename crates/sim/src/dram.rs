@@ -113,6 +113,11 @@ pub struct Dram<T> {
     /// Cycle after which a read burst may start following the last write
     /// (write-to-read turnaround).
     wtr_fence: Cycle,
+    /// Most recent ACT time (tRRD ordering audit).
+    last_act_at: Option<Cycle>,
+    /// Bounded log of timing-order violations; the invariant auditor
+    /// drains it via [`Dram::take_timing_violations`].
+    timing_violations: Vec<String>,
     inflight: Vec<DramCompletion<T>>,
     // Statistics
     row_hits: u64,
@@ -141,6 +146,8 @@ impl<T: Copy> Dram<T> {
             },
             refreshes: 0,
             wtr_fence: 0,
+            last_act_at: None,
+            timing_violations: Vec::new(),
             inflight: Vec::new(),
             row_hits: 0,
             row_misses: 0,
@@ -218,6 +225,9 @@ impl<T: Copy> Dram<T> {
         self.apply_refresh(now);
         let coord = self.map.coord(addr);
         let t = self.timing;
+        let bus_free_before = self.bus_free_at;
+        let wtr_before = self.wtr_fence;
+        let prev_act = self.last_act_at;
         let bank = &mut self.banks[coord.bank];
         debug_assert!(bank.ready_at <= now, "bank busy until {}", bank.ready_at);
 
@@ -269,9 +279,85 @@ impl<T: Copy> Dram<T> {
         // has issued; a follow-up row hit can pipeline behind this one,
         // while a conflict will be fenced by `precharge_ok_at`.
         bank.ready_at = col_ready + t.burst.max(4);
+        let precharge_ok_at = bank.precharge_ok_at;
+
+        // Timing-order audit: re-derive the sequencing constraints from the
+        // fences captured on entry so a refactor of the arithmetic above
+        // cannot silently break tRCD/tRP/tRRD/tRAS/tWTR ordering. Findings
+        // go to a bounded log the invariant auditor drains (no panics).
+        if self.timing_violations.len() < 16 {
+            let mut violated = |msg: String| self.timing_violations.push(msg);
+            if let Some(act_at) = act_time {
+                if act_at < now {
+                    violated(format!("ACT at {act_at} before dispatch at {now}"));
+                }
+                let min_col = if row_closed { now + t.t_rcd } else { now + t.t_rp + t.t_rcd };
+                if col_ready < min_col {
+                    violated(format!(
+                        "column command at {col_ready} violates tRP/tRCD (earliest {min_col})"
+                    ));
+                }
+                if let Some(prev) = prev_act {
+                    if act_at < prev + t.t_rrd {
+                        violated(format!(
+                            "ACT at {act_at} violates tRRD after ACT at {prev}"
+                        ));
+                    }
+                }
+                if precharge_ok_at < act_at + t.t_ras {
+                    violated(format!(
+                        "precharge fence {precharge_ok_at} violates tRAS after ACT at {act_at}"
+                    ));
+                }
+            }
+            if data_start < col_ready + cas {
+                violated(format!(
+                    "data burst at {data_start} before CAS latency from column at {col_ready}"
+                ));
+            }
+            if data_start < bus_free_before {
+                violated(format!(
+                    "data burst at {data_start} overlaps bus busy until {bus_free_before}"
+                ));
+            }
+            if cmd.is_read() && data_start < wtr_before {
+                violated(format!(
+                    "read burst at {data_start} violates tWTR fence {wtr_before}"
+                ));
+            }
+        }
+        if let Some(act_at) = act_time {
+            self.last_act_at = Some(act_at);
+        }
 
         self.inflight.push(DramCompletion { token, done_at: data_end, row_hit });
         data_end
+    }
+
+    /// Drains the bounded timing-order violation log (empty in a healthy
+    /// run). Called by the invariant auditor each pass.
+    pub fn take_timing_violations(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.timing_violations)
+    }
+
+    /// Checks byte/burst accounting against services performed: every
+    /// access moves exactly one 64 B line and occupies the bus for exactly
+    /// one burst.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let services = self.row_hits + self.row_misses + self.row_conflicts;
+        if self.bytes_transferred != 64 * services {
+            return Err(format!(
+                "bytes_transferred {} != 64 * {services} services",
+                self.bytes_transferred
+            ));
+        }
+        if self.busy_bus_cycles != self.timing.burst * services {
+            return Err(format!(
+                "busy_bus_cycles {} != burst {} * {services} services",
+                self.busy_bus_cycles, self.timing.burst
+            ));
+        }
+        Ok(())
     }
 
     /// Removes and returns every transaction whose data finished by `now`.
@@ -454,6 +540,24 @@ mod tests {
         d.start(0, 0, MemCmd::Read, 1);
         assert!(d.can_start(1_000_000, 64));
         assert_eq!(d.refreshes(), 0);
+    }
+
+    #[test]
+    fn healthy_run_has_no_timing_violations_and_conserves() {
+        let mut d = dram();
+        let mut now = 0;
+        for i in 0..50u64 {
+            // Mix of banks, rows, reads and writes.
+            let addr = (i % 16) * 8 * 1024 + (i * 64) % 8192;
+            while !d.can_start(now, addr) {
+                now += 1;
+            }
+            let cmd = if i % 4 == 0 { MemCmd::Write } else { MemCmd::Read };
+            d.start(now, addr, cmd, i as u32);
+            now += 3;
+        }
+        assert!(d.take_timing_violations().is_empty(), "legal schedule must audit clean");
+        d.check_conservation().expect("byte/burst accounting must balance");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! assert!(stats.llc_misses > 0);
 //! ```
 
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod core;
@@ -48,7 +49,11 @@ pub mod trace;
 pub mod trace_io;
 pub mod types;
 
-pub use config::SystemConfig;
+pub use audit::{
+    AuditViolation, FaultKind, FaultPlan, HardeningConfig, Invariant, RunOutcome, SimError,
+    StallReport,
+};
+pub use config::{ConfigError, SystemConfig};
 pub use stats::{geomean, SlowdownReport};
 pub use system::{System, SystemBuilder};
 pub use types::{Addr, CoreId, Cycle, MemCmd, OpId};

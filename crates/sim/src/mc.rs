@@ -216,8 +216,9 @@ pub struct MemoryController {
     /// (FR-FCFS among them) regardless of the scheduler — the mechanism
     /// behind MISE-style highest-priority sampling (§IV-B).
     priority_core: Option<CoreId>,
-    /// Transactions dispatched to DRAM, awaiting completion.
-    inflight: Vec<Transaction>,
+    /// Transactions dispatched to DRAM, awaiting completion, with their
+    /// dispatch cycle (for the auditor's lost-completion check).
+    inflight: Vec<(Transaction, Cycle)>,
     // Statistics.
     dispatched: u64,
     completed_reads: u64,
@@ -330,7 +331,7 @@ impl MemoryController {
             self.queue.swap_remove(idx);
             dram.start(now, txn.addr, txn.cmd, txn.id);
             self.dispatched += 1;
-            self.inflight_push(txn);
+            self.inflight_push(txn, now);
         }
     }
 
@@ -347,8 +348,8 @@ impl MemoryController {
     }
 
     // In-flight transactions, so completions can be matched back.
-    fn inflight_push(&mut self, txn: Transaction) {
-        self.inflight.push(txn);
+    fn inflight_push(&mut self, txn: Transaction, now: Cycle) {
+        self.inflight.push((txn, now));
     }
 
     /// Collects finished transactions from DRAM; returns completed *reads*
@@ -364,9 +365,9 @@ impl MemoryController {
             let idx = self
                 .inflight
                 .iter()
-                .position(|t| t.id == done.token)
+                .position(|(t, _)| t.id == done.token)
                 .expect("completion for unknown transaction");
-            let txn = self.inflight.swap_remove(idx);
+            let (txn, _) = self.inflight.swap_remove(idx);
             scheduler.on_complete(now, &txn, done.row_hit);
             match txn.cmd {
                 MemCmd::Read => {
@@ -426,6 +427,13 @@ impl MemoryController {
     /// Number of transactions dispatched to DRAM and not yet completed.
     pub fn inflight_len(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Dispatch cycle of the oldest in-flight transaction, if any. Used by
+    /// the invariant auditor: a dispatched transaction whose completion
+    /// never returns from DRAM ages here without bound.
+    pub fn oldest_inflight_dispatch(&self) -> Option<Cycle> {
+        self.inflight.iter().map(|&(_, at)| at).min()
     }
 }
 

@@ -10,6 +10,7 @@
 //! * [`StaticRateShaper`] — the "static bandwidth allocation" of §IV-C: a
 //!   constant request rate with no notion of inter-arrival distribution.
 
+use crate::audit::CreditAudit;
 use crate::types::Cycle;
 
 /// Token identifying an issued request within its shaper, so the delayed
@@ -62,6 +63,13 @@ pub trait SourceShaper {
 
     /// Records that the head request spent this cycle stalled.
     fn note_stall_cycle(&mut self);
+
+    /// Snapshot of the shaper's credit state for the invariant auditor
+    /// (live vs maximum per bin). Policies without bounded credit state
+    /// return the default empty snapshot, which the auditor skips.
+    fn credit_audit(&self) -> CreditAudit {
+        CreditAudit::default()
+    }
 }
 
 /// Pass-through shaper: every request issues immediately.

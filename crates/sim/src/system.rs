@@ -10,8 +10,13 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::audit::{
+    ActiveFaults, AuditViolation, ChannelStallState, CoreStallState, FaultPlan, GrantLedger,
+    Invariant, InvariantAuditor, LlcStallState, ResponseAction, RunOutcome, ShaperStallState,
+    StallReport,
+};
 use crate::cache::{AccessResult, Cache, MshrFile, MshrOutcome};
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::core::{Core, CoreCounters, MemIssue, MemPort};
 use crate::dram::Dram;
 use crate::mc::{CoreSignals, FcfsScheduler, MemoryController, Scheduler, SourceControl, TxnId};
@@ -56,6 +61,8 @@ struct CoreUnit {
     shaper: ShaperHandle,
     /// Shaper-granted requests whose L1 fill has not yet arrived.
     inflight: u32,
+    /// Grant timestamps awaiting their fill (auditor conservation check).
+    grants: GrantLedger,
     last_issue: Option<Cycle>,
     stats: CoreStats,
     fills: u64,
@@ -109,6 +116,7 @@ impl CoreUnit {
     /// Delivers a refilled line from the LLC into the L1; wakes waiters.
     fn on_fill(&mut self, now: Cycle, line_addr: Addr) -> Option<Addr> {
         self.inflight = self.inflight.saturating_sub(1);
+        self.grants.on_fill();
         self.fills += 1;
         let entry = self.l1_mshrs.complete(line_addr)?;
         let latency = now.saturating_sub(entry.allocated_at);
@@ -230,17 +238,27 @@ impl SystemBuilder {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
-    /// [`SystemConfig::validate`]).
+    /// [`SystemConfig::validate`]). Use [`SystemBuilder::try_new`] to
+    /// handle misconfiguration gracefully.
     pub fn new(config: SystemConfig) -> Self {
-        config.validate();
+        match SystemBuilder::try_new(config) {
+            Ok(b) => b,
+            Err(e) => panic!("invalid SystemConfig: {e}"),
+        }
+    }
+
+    /// Starts a builder for `config`, reporting configuration errors
+    /// instead of panicking.
+    pub fn try_new(config: SystemConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let cores = config.cores;
         let channels = config.mc.channels;
-        SystemBuilder {
+        Ok(SystemBuilder {
             config,
             traces: (0..cores).map(|_| None).collect(),
             shapers: (0..cores).map(|_| None).collect(),
             schedulers: (0..channels).map(|_| None).collect(),
-        }
+        })
     }
 
     /// Sets the trace source feeding core `core`.
@@ -304,6 +322,7 @@ impl SystemBuilder {
                     hit_pipe: VecDeque::new(),
                     shaper,
                     inflight: 0,
+                    grants: GrantLedger::default(),
                     last_issue: None,
                     stats: CoreStats::new(STAT_BINS, STAT_BIN_WIDTH),
                     fills: 0,
@@ -340,6 +359,9 @@ impl SystemBuilder {
             signals: vec![CoreSignals::default(); n],
             rr_offset: 0,
             llc_ports: config.llc_ports,
+            auditor: InvariantAuditor::new(&config.hardening, n),
+            audit_last_instr: vec![0; n],
+            faults: ActiveFaults::default(),
             config,
         }
     }
@@ -370,6 +392,12 @@ pub struct System {
     signals: Vec<CoreSignals>,
     rr_offset: usize,
     llc_ports: usize,
+    /// Invariant auditor + forward-progress watchdog (see [`crate::audit`]).
+    auditor: InvariantAuditor,
+    /// Per-core instruction counts at the last audit pass (monotonicity).
+    audit_last_instr: Vec<u64>,
+    /// Injected faults, if any (testing the checkers).
+    faults: ActiveFaults,
     config: SystemConfig,
 }
 
@@ -494,6 +522,29 @@ impl System {
         sum / self.channels.len() as f64
     }
 
+    /// The invariant auditor (pass counts, violation log, stall state).
+    pub fn auditor(&self) -> &InvariantAuditor {
+        &self.auditor
+    }
+
+    /// Violations recorded by the auditor and watchdog so far (empty in a
+    /// healthy run).
+    pub fn audit_log(&self) -> &[AuditViolation] {
+        self.auditor.violations()
+    }
+
+    /// The watchdog's diagnosis, if the system has been declared stalled.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        self.auditor.stall()
+    }
+
+    /// Installs a fault plan, replacing any previous one. Used by tests to
+    /// prove the auditor and watchdog detect each fault class; see
+    /// [`FaultPlan`].
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults.inject(plan);
+    }
+
     /// Runs the system for `cycles` cycles.
     pub fn run_cycles(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
@@ -503,21 +554,38 @@ impl System {
     }
 
     /// Runs until every core has retired at least `instructions`
-    /// instructions, or `max_cycles` elapse. Returns `true` if the
-    /// instruction target was met.
-    pub fn run_until_instructions(&mut self, instructions: u64, max_cycles: Cycle) -> bool {
+    /// instructions, `max_cycles` elapse, or the watchdog declares the
+    /// system stalled — whichever comes first. The returned [`RunOutcome`]
+    /// distinguishes the three (use [`RunOutcome::met_target`] for the old
+    /// boolean behaviour).
+    pub fn run_until_instructions(&mut self, instructions: u64, max_cycles: Cycle) -> RunOutcome {
         let end = self.now + max_cycles;
+        let done = |c: &CoreUnit| c.core.counters().instructions >= instructions;
         while self.now < end {
-            if self
-                .cores
-                .iter()
-                .all(|c| c.core.counters().instructions >= instructions)
-            {
-                return true;
+            if self.cores.iter().all(done) {
+                return RunOutcome::Completed { cycles: self.now };
+            }
+            if let Some(report) = self.auditor.stall() {
+                return RunOutcome::Stalled(Box::new(report.clone()));
             }
             self.tick();
         }
-        self.cores.iter().all(|c| c.core.counters().instructions >= instructions)
+        if self.cores.iter().all(done) {
+            RunOutcome::Completed { cycles: self.now }
+        } else if let Some(report) = self.auditor.stall() {
+            RunOutcome::Stalled(Box::new(report.clone()))
+        } else {
+            RunOutcome::CycleLimit {
+                cycles: self.now,
+                lagging: self
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !done(c))
+                    .map(|(i, _)| i)
+                    .collect(),
+            }
+        }
     }
 
     fn tick(&mut self, ) {
@@ -534,12 +602,29 @@ impl System {
                 channel.mc.drain_completions(now, channel.scheduler.as_mut(), &mut channel.dram)
             };
             for resp in responses {
+                // Fault injection: a response may be discarded or held.
+                match self.faults.on_response(now, resp.txn.addr) {
+                    ResponseAction::Drop | ResponseAction::Delay(_) => continue,
+                    ResponseAction::Deliver => {}
+                }
                 Self::llc_on_mem_response(
                     &mut self.llc,
                     &mut self.channels,
                     row_bytes,
                     now,
                     resp.txn.addr,
+                    &mut fills,
+                );
+            }
+        }
+        if self.faults.is_active() {
+            for line in self.faults.due_delayed(now) {
+                Self::llc_on_mem_response(
+                    &mut self.llc,
+                    &mut self.channels,
+                    row_bytes,
+                    now,
+                    line,
                     &mut fills,
                 );
             }
@@ -568,7 +653,7 @@ impl System {
 
         // 4. Per-core: hit-pipe completions, shaper tick, issue demands and
         //    writebacks through the LLC ports, then tick the core itself.
-        let mut ports_left = self.llc_ports;
+        let mut ports_left = if self.faults.stall_ports(now) { 0 } else { self.llc_ports };
         let n = self.cores.len();
         for i in 0..n {
             let idx = (self.rr_offset + i) % n;
@@ -594,11 +679,18 @@ impl System {
                         unit.last_issue.is_none_or(|last| now >= last + gap as Cycle)
                     });
                     if inflight_ok && gap_ok {
-                        let decision = unit.shaper.borrow_mut().try_issue(now);
+                        // Fault injection: a zeroed-credit shaper denies
+                        // everything.
+                        let decision = if self.faults.deny_issue(now, idx) {
+                            ShapeDecision::Deny
+                        } else {
+                            unit.shaper.borrow_mut().try_issue(now)
+                        };
                         match decision {
                             ShapeDecision::Grant(token) => {
                                 unit.miss_queue.pop_front();
                                 unit.inflight += 1;
+                                unit.grants.on_grant(now);
                                 unit.last_issue = Some(now);
                                 ports_left -= 1;
                                 let _ = head.created_at; // latency counted at L1 MSHR
@@ -668,7 +760,265 @@ impl System {
             channel.scheduler.tick(now, &self.signals, &mut self.source_ctl);
         }
 
+        // 7. Hardening: invariant audit pass, then the forward-progress
+        //    watchdog (both read the settled end-of-cycle state).
+        if self.auditor.audit_due(now) {
+            self.audit_pass(now);
+        }
+        self.watchdog_tick(now);
+
         self.now += 1;
+    }
+
+    /// One invariant-audit pass: conservation laws across cores, LLC,
+    /// controllers, and DRAM. Findings go to the auditor's violation log;
+    /// nothing panics.
+    fn audit_pass(&mut self, now: Cycle) {
+        self.auditor.begin_pass(now);
+        let cfg = self.auditor.audit_config().clone();
+
+        for (i, unit) in self.cores.iter().enumerate() {
+            // Conservation: every grant increments `inflight` and pushes a
+            // ledger entry; every fill reverses both. A lost fill shows up
+            // as ledger age; a spurious fill as unmatched/imbalance.
+            let grants = unit.grants.granted();
+            let accounted = unit.fills + unit.inflight as u64;
+            if grants != accounted
+                || unit.grants.outstanding() != unit.inflight as usize
+                || unit.grants.unmatched_fills() > 0
+            {
+                self.auditor.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::GrantFillConservation,
+                    core: Some(i),
+                    detail: format!(
+                        "grants {} != fills {} + inflight {} (ledger {}, unmatched fills {})",
+                        grants,
+                        unit.fills,
+                        unit.inflight,
+                        unit.grants.outstanding(),
+                        unit.grants.unmatched_fills()
+                    ),
+                });
+            }
+            if let Some(t0) = unit.grants.oldest() {
+                let age = now.saturating_sub(t0);
+                if age > cfg.max_grant_age {
+                    self.auditor.record(AuditViolation {
+                        cycle: now,
+                        invariant: Invariant::GrantAge,
+                        core: Some(i),
+                        detail: format!(
+                            "oldest grant (cycle {t0}) unfilled for {age} cycles \
+                             (limit {})",
+                            cfg.max_grant_age
+                        ),
+                    });
+                }
+            }
+            // L1 MSHR occupancy: one entry per miss still queued or
+            // granted-and-outstanding; anything else is a leak.
+            let expected = unit.miss_queue.len() + unit.inflight as usize;
+            if unit.l1_mshrs.len() != expected {
+                self.auditor.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::MshrLeak,
+                    core: Some(i),
+                    detail: format!(
+                        "L1 MSHR occupancy {} != miss-queue {} + inflight {}",
+                        unit.l1_mshrs.len(),
+                        unit.miss_queue.len(),
+                        unit.inflight
+                    ),
+                });
+            }
+            // Per-bin credit bounds, via the shaper's own snapshot.
+            let mut credits = unit.shaper.borrow().credit_audit();
+            if self.faults.corrupt_credits(now, i) {
+                // Fault injection: corrupt the observed snapshot so the
+                // checker below must flag it (mutation test).
+                match credits.bins.first_mut() {
+                    Some(bin) => bin.live = bin.max.saturating_add(1),
+                    None => credits.bins.push(crate::audit::CreditBin { live: 1, max: 0 }),
+                }
+            }
+            for (b, bin) in credits.bins.iter().enumerate() {
+                if bin.live > bin.max {
+                    self.auditor.record(AuditViolation {
+                        cycle: now,
+                        invariant: Invariant::CreditBounds,
+                        core: Some(i),
+                        detail: format!(
+                            "bin {b} holds {} credits, above its maximum {}",
+                            bin.live, bin.max
+                        ),
+                    });
+                }
+            }
+            // Instruction counters must be monotone between passes.
+            let instr = unit.core.counters().instructions;
+            if instr < self.audit_last_instr[i] {
+                self.auditor.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::MonotoneCounters,
+                    core: Some(i),
+                    detail: format!(
+                        "instruction counter moved backwards: {} -> {instr}",
+                        self.audit_last_instr[i]
+                    ),
+                });
+            }
+            self.audit_last_instr[i] = instr;
+        }
+
+        // LLC MSHRs: entries age without bound when a memory response is
+        // lost. Lines parked behind an after-LLC shaper gate are being
+        // throttled on purpose and are exempt.
+        for entry in self.llc.mshrs.iter() {
+            let gated = self.llc.deferred.iter().any(|q| q.contains(&entry.line_addr));
+            if gated {
+                continue;
+            }
+            let age = now.saturating_sub(entry.allocated_at);
+            if age > cfg.max_llc_mshr_age {
+                self.auditor.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::MshrLeak,
+                    core: None,
+                    detail: format!(
+                        "LLC MSHR for line {:#x} outstanding {age} cycles (limit {})",
+                        entry.line_addr, cfg.max_llc_mshr_age
+                    ),
+                });
+            }
+        }
+
+        for (ci, channel) in self.channels.iter_mut().enumerate() {
+            if let Some(at) = channel.mc.oldest_inflight_dispatch() {
+                let age = now.saturating_sub(at);
+                if age > cfg.max_mc_inflight_age {
+                    self.auditor.record(AuditViolation {
+                        cycle: now,
+                        invariant: Invariant::McInflightAge,
+                        core: None,
+                        detail: format!(
+                            "channel {ci}: transaction dispatched at {at} uncompleted \
+                             for {age} cycles (limit {})",
+                            cfg.max_mc_inflight_age
+                        ),
+                    });
+                }
+            }
+            for v in channel.dram.take_timing_violations() {
+                self.auditor.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::DramTiming,
+                    core: None,
+                    detail: format!("channel {ci}: {v}"),
+                });
+            }
+            if let Err(e) = channel.dram.check_conservation() {
+                self.auditor.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::DramConservation,
+                    core: None,
+                    detail: format!("channel {ci}: {e}"),
+                });
+            }
+        }
+    }
+
+    /// One watchdog step: global livelock detection plus per-core
+    /// starvation reporting.
+    fn watchdog_tick(&mut self, now: Cycle) {
+        if !self.auditor.watchdog_config().enabled {
+            return;
+        }
+        let mut total_instr = 0u64;
+        let mut total_fills = 0u64;
+        let mut any_active = false;
+        for unit in &self.cores {
+            total_instr += unit.core.counters().instructions;
+            total_fills += unit.fills;
+            if !unit.core.is_frozen(now) {
+                any_active = true;
+            }
+        }
+        if self.auditor.observe_global(now, total_instr, total_fills, any_active) {
+            let report = self.build_stall_report(now);
+            self.auditor.set_stall(report);
+        }
+        let starve_limit = self.auditor.watchdog_config().core_starve_cycles;
+        for i in 0..self.cores.len() {
+            let unit = &self.cores[i];
+            let instr = unit.core.counters().instructions;
+            let frozen = unit.core.is_frozen(now);
+            if self.auditor.observe_core(now, i, instr, frozen) {
+                let unit = &self.cores[i];
+                let detail = format!(
+                    "no retirement for {starve_limit} cycles (miss-queue {}, inflight {}, \
+                     shaper '{}' stalled {} cycles)",
+                    unit.miss_queue.len(),
+                    unit.inflight,
+                    unit.shaper.borrow().name(),
+                    unit.shaper.borrow().stall_cycles()
+                );
+                self.auditor.record(AuditViolation {
+                    cycle: now,
+                    invariant: Invariant::ForwardProgress,
+                    core: Some(i),
+                    detail,
+                });
+            }
+        }
+    }
+
+    /// Snapshots every layer's queue state for a [`StallReport`].
+    fn build_stall_report(&self, now: Cycle) -> StallReport {
+        StallReport {
+            detected_at: now,
+            stalled_since: self.auditor.last_progress_at(),
+            cores: self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, u)| {
+                    let sh = u.shaper.borrow();
+                    CoreStallState {
+                        core: i,
+                        instructions: u.core.counters().instructions,
+                        miss_queue_depth: u.miss_queue.len(),
+                        inflight: u.inflight,
+                        l1_mshr_occupancy: u.l1_mshrs.len(),
+                        frozen: u.core.is_frozen(now),
+                        shaper: ShaperStallState {
+                            name: sh.name().to_string(),
+                            stall_cycles: sh.stall_cycles(),
+                            credits: sh.credit_audit().bins,
+                        },
+                    }
+                })
+                .collect(),
+            llc: LlcStallState {
+                mshr_occupancy: self.llc.mshrs.len(),
+                mshr_capacity: self.llc.mshrs.capacity(),
+                pending_lookups: self.llc.lookups.len(),
+                mc_backlog: self.llc.mc_backlog.len(),
+                deferred: self.llc.deferred.iter().map(|q| q.len()).collect(),
+            },
+            channels: self
+                .channels
+                .iter()
+                .enumerate()
+                .map(|(ci, ch)| ChannelStallState {
+                    channel: ci,
+                    fifo_len: ch.mc.fifo_len(),
+                    queue_len: ch.mc.queue_len(),
+                    mc_inflight: ch.mc.inflight_len(),
+                    dram_inflight: ch.dram.inflight_len(),
+                })
+                .collect(),
+        }
     }
 
     /// Memory channel owning `addr` (row-granularity interleave).
@@ -979,8 +1329,42 @@ mod tests {
     #[test]
     fn run_until_instructions_stops_early() {
         let mut sys = SystemBuilder::new(SystemConfig::single_program()).build();
-        assert!(sys.run_until_instructions(1000, 100_000));
+        let outcome = sys.run_until_instructions(1000, 100_000);
+        assert!(outcome.met_target(), "got {outcome:?}");
+        assert!(matches!(outcome, RunOutcome::Completed { .. }));
         assert!(sys.now() < 100_000);
+    }
+
+    #[test]
+    fn run_until_instructions_reports_lagging_cores() {
+        let mut sys = SystemBuilder::new(SystemConfig::single_program())
+            .trace(0, Box::new(StrideTrace::new(2, 64, 16 << 20)))
+            .build();
+        // A target far beyond what 100 cycles allow.
+        let outcome = sys.run_until_instructions(1_000_000, 100);
+        match outcome {
+            RunOutcome::CycleLimit { cycles, lagging } => {
+                assert_eq!(cycles, 100);
+                assert_eq!(lagging, vec![0]);
+            }
+            other => panic!("expected CycleLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn builder_panics_on_invalid_config() {
+        let mut c = SystemConfig::default();
+        c.cores = 0;
+        let _ = SystemBuilder::new(c);
+    }
+
+    #[test]
+    fn builder_try_new_reports_config_errors() {
+        let mut c = SystemConfig::default();
+        c.llc_ports = 0;
+        assert_eq!(SystemBuilder::try_new(c).err(), Some(ConfigError::NoLlcPorts));
+        assert!(SystemBuilder::try_new(SystemConfig::default()).is_ok());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::io::{self, BufRead, Write};
 
+use crate::audit::SimError;
 use crate::trace::{TraceOp, TraceSource};
 use crate::types::Addr;
 
@@ -89,8 +90,19 @@ impl VecTrace {
     ///
     /// Panics if `ops` is empty (an empty trace cannot be infinite).
     pub fn new(ops: Vec<TraceOp>) -> Self {
-        assert!(!ops.is_empty(), "cannot replay an empty trace");
-        VecTrace { ops, pos: 0, loops: 0 }
+        match VecTrace::try_new(ops) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a replaying source, reporting an empty trace as a
+    /// [`SimError`] instead of panicking (for traces read from files).
+    pub fn try_new(ops: Vec<TraceOp>) -> Result<Self, SimError> {
+        if ops.is_empty() {
+            return Err(SimError::EmptyTrace);
+        }
+        Ok(VecTrace { ops, pos: 0, loops: 0 })
     }
 
     /// How many times the trace has wrapped.
@@ -146,7 +158,8 @@ pub fn write_trace<W: Write>(mut w: W, ops: &[TraceOp]) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on malformed lines, or propagates I/O errors.
+/// Returns `InvalidData` on malformed lines, naming the line number and
+/// the offending token, or propagates I/O errors.
 pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<TraceOp>> {
     let mut ops = Vec::new();
     for (lineno, line) in r.lines().enumerate() {
@@ -155,23 +168,28 @@ pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<TraceOp>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let bad = || {
+        let bad = |reason: String| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("malformed trace line {}: {line:?}", lineno + 1),
+                format!("malformed trace line {}: {reason} (line was {line:?})", lineno + 1),
             )
         };
+        let missing = |field: &str| bad(format!("missing {field} field (expected `gap addr R|W`)"));
         let mut parts = line.split_whitespace();
-        let gap: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-        let addr = Addr::from_str_radix(parts.next().ok_or_else(bad)?, 16)
-            .map_err(|_| bad())?;
-        let write = match parts.next().ok_or_else(bad)? {
+        let gap_tok = parts.next().ok_or_else(|| missing("gap"))?;
+        let gap: u32 = gap_tok
+            .parse()
+            .map_err(|_| bad(format!("gap {gap_tok:?} is not a non-negative integer")))?;
+        let addr_tok = parts.next().ok_or_else(|| missing("addr"))?;
+        let addr = Addr::from_str_radix(addr_tok, 16)
+            .map_err(|_| bad(format!("addr {addr_tok:?} is not a hex address")))?;
+        let write = match parts.next().ok_or_else(|| missing("R|W"))? {
             "R" | "r" => false,
             "W" | "w" => true,
-            _ => return Err(bad()),
+            other => return Err(bad(format!("op {other:?} is neither R nor W"))),
         };
-        if parts.next().is_some() {
-            return Err(bad());
+        if let Some(extra) = parts.next() {
+            return Err(bad(format!("unexpected trailing token {extra:?}")));
         }
         ops.push(TraceOp { gap, addr, write });
     }
@@ -229,10 +247,33 @@ mod tests {
 
     #[test]
     fn reader_rejects_malformed_lines() {
-        for bad in ["x 40 R", "3 zz R", "3 40 Q", "3 40", "3 40 R extra"] {
+        // (input, token the error must name)
+        for (bad, token) in [
+            ("x 40 R", "\"x\""),
+            ("3 zz R", "\"zz\""),
+            ("3 40 Q", "\"Q\""),
+            ("3 40", "R|W"),
+            ("3 40 R extra", "\"extra\""),
+        ] {
             let err = read_trace(bad.as_bytes()).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad:?}");
+            let msg = err.to_string();
+            assert!(msg.contains("line 1"), "{bad:?} -> {msg}");
+            assert!(msg.contains(token), "{bad:?} error must name {token}: {msg}");
         }
+    }
+
+    #[test]
+    fn reader_reports_the_failing_line_number() {
+        let text = "3 40 R\n# ok\n5 80 W\nbogus line here\n";
+        let msg = read_trace(text.as_bytes()).unwrap_err().to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+    }
+
+    #[test]
+    fn vec_trace_try_new_reports_empty() {
+        assert_eq!(VecTrace::try_new(Vec::new()).unwrap_err(), SimError::EmptyTrace);
+        assert!(VecTrace::try_new(vec![TraceOp::read(1, 0x40)]).is_ok());
     }
 
     #[test]

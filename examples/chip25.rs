@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let net = s.counters().grants - s.counters().refunds;
         let gbs = net as f64 * 64.0 / sys.now() as f64 * cfg.core.freq_hz / 1e9;
         total_gbs += gbs;
-        if i < 8 || i >= 23 {
+        if !(8..23).contains(&i) {
             println!(
                 "{:<6} {:<14} {:>7.3} {:>9} {:>9} {:>8.3}",
                 i,

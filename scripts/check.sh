@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local gate: everything CI runs, in tier order. Fails fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

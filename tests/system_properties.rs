@@ -9,7 +9,6 @@ use proptest::prelude::*;
 
 use mitts::core::{BinConfig, BinSpec, MittsShaper};
 use mitts::sim::config::SystemConfig;
-use mitts::sim::shaper::SourceShaper;
 use mitts::sim::system::SystemBuilder;
 use mitts::workloads::Benchmark;
 

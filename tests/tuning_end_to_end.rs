@@ -119,7 +119,7 @@ fn hillclimber_works_on_the_same_simulated_fitness() {
     let mut hc = HillClimber::new(BinSpec::paper_default(), 10_000, 1)
         .with_seed(3)
         .with_rounds(2);
-    let result = hc.optimize(&fitness);
+    let result = hc.optimize(fitness);
     assert!(result.best_fitness > 0.0);
     assert!(result.evaluations > 1);
 }
