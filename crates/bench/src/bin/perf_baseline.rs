@@ -1,0 +1,238 @@
+//! Wall-clock baseline of the simulator itself: naive cycle-by-cycle
+//! execution vs quiescence fast-forward (`System::advance`), on three
+//! representative workloads plus one offline GA `quick()` tune.
+//!
+//! Emits `BENCH_sim.json` in the current directory — one record per
+//! (scenario, mode): `{"bench": ..., "cycles_per_sec": ..., "wall_ms": ...}`
+//! — and prints a speedup table. Exits non-zero if fast-forward is more
+//! than 2x slower than naive anywhere (the `scripts/check.sh` gate).
+//!
+//! `--smoke` shrinks the work so the whole run fits in CI seconds.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+use mitts_bench::runner::REPLENISH_PERIOD;
+use mitts_core::{BinConfig, BinSpec, MittsShaper};
+use mitts_sched::make_baseline;
+use mitts_sim::config::{CacheConfig, SystemConfig};
+use mitts_sim::system::{System, SystemBuilder};
+use mitts_sim::types::Cycle;
+use mitts_tuner::{GaParams, GeneticTuner};
+use mitts_workloads::profile::{AppProfile, Burstiness, Locality};
+use mitts_workloads::Benchmark;
+
+/// One timed scenario: per-core instruction budget and a cycle cap.
+struct Scenario {
+    name: &'static str,
+    instructions: u64,
+    cap: Cycle,
+    build: fn(fast_forward: bool) -> System,
+}
+
+fn base_for(core: usize) -> u64 {
+    (core as u64) << 36
+}
+
+/// Shared scenario config: small LLC (so traces reach DRAM) and a long
+/// audit interval. The default 64-cycle interval is a debugging cadence;
+/// it bounds every skip to 64 cycles and its full conservation scan
+/// dominates the wall clock of *both* modes. Long experiment runs audit
+/// sparsely, which is what this benchmark models — the same config is
+/// applied to the naive and fast arms, so the ratio stays honest.
+fn scenario_config(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::multi_program(cores);
+    cfg.llc = CacheConfig::llc_with_size(256 << 10);
+    cfg.hardening.audit.interval = 4096;
+    cfg
+}
+
+/// Low MLP: one pointer-chasing core alone on the channel, restricted to
+/// a single L1 MSHR — one outstanding miss at a time, the definition of
+/// MLP = 1 (the `lat_mem_rd` shape). Almost every cycle is a
+/// memory-latency bubble the fast path can skip.
+fn pointer_chase() -> AppProfile {
+    AppProfile {
+        name: "pointer_chase".to_owned(),
+        // One compute instruction between dependent loads.
+        burstiness: Burstiness::uniform(1.0),
+        locality: Locality {
+            hot_fraction: 0.0,
+            hot_bytes: 4 << 10,
+            warm_fraction: 0.0,
+            warm_bytes: 64 << 10,
+            // Random pointers over 1 GiB: misses every cache level.
+            working_set_bytes: 1 << 30,
+            seq_fraction: 0.0,
+        },
+        write_fraction: 0.0,
+        phases: Vec::new(),
+    }
+}
+
+fn build_low_mlp(fast_forward: bool) -> System {
+    let mut cfg = scenario_config(1);
+    cfg.l1.mshrs = 1;
+    SystemBuilder::new(cfg)
+        .trace(0, Box::new(pointer_chase().trace(base_for(0), 0xBE11)))
+        .scheduler(make_baseline("FR-FCFS", 1).expect("known"))
+        .fast_forward(fast_forward)
+        .build()
+}
+
+/// Bandwidth-saturated: four streaming cores hammering one channel. The
+/// controller has work almost every cycle, so gains here come from the
+/// de-allocated hot path and short skips between dispatch opportunities.
+fn build_bw_saturated(fast_forward: bool) -> System {
+    let mut b = SystemBuilder::new(scenario_config(4))
+        .scheduler(make_baseline("FR-FCFS", 4).expect("known"))
+        .fast_forward(fast_forward);
+    for i in 0..4 {
+        b = b.trace(
+            i,
+            Box::new(Benchmark::Libquantum.profile().trace(base_for(i), 0x5A7 + i as u64)),
+        );
+    }
+    b.build()
+}
+
+/// Mixed shaped workload: a four-program mix with a MITTS shaper on the
+/// hog — the shape of a real experiment run (deny phases + contention).
+fn build_mixed_shaped(fast_forward: bool) -> System {
+    let benches =
+        [Benchmark::Libquantum, Benchmark::Mcf, Benchmark::Gcc, Benchmark::Omnetpp];
+    let mut b = SystemBuilder::new(scenario_config(4))
+        .scheduler(make_baseline("FR-FCFS", 4).expect("known"))
+        .fast_forward(fast_forward);
+    for (i, bench) in benches.iter().enumerate() {
+        b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0x3117 + i as u64)));
+    }
+    let mut credits = vec![0u32; BinSpec::paper_default().bins()];
+    credits[3] = 12;
+    credits[7] = 8;
+    let shaper_cfg =
+        BinConfig::new(BinSpec::paper_default(), credits, REPLENISH_PERIOD).unwrap();
+    b.shaper(0, Rc::new(RefCell::new(MittsShaper::new(shaper_cfg))) as _).build()
+}
+
+/// A finished measurement row.
+struct Record {
+    bench: String,
+    cycles_per_sec: f64,
+    wall_ms: f64,
+}
+
+fn time_scenario(s: &Scenario, fast_forward: bool) -> Record {
+    let mut sys = (s.build)(fast_forward);
+    let start = Instant::now();
+    let _ = sys.run_until_instructions(s.instructions, s.cap);
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    Record {
+        bench: format!("{}_{}", s.name, if fast_forward { "fast" } else { "naive" }),
+        cycles_per_sec: sys.now() as f64 / secs,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 1 } else { 5 };
+
+    let scenarios = [
+        Scenario {
+            name: "low_mlp_chase",
+            instructions: 20_000 * scale,
+            cap: 4_000_000 * scale,
+            build: build_low_mlp,
+        },
+        Scenario {
+            name: "bw_saturated_libquantum_x4",
+            instructions: 10_000 * scale,
+            cap: 2_000_000 * scale,
+            build: build_bw_saturated,
+        },
+        Scenario {
+            name: "mixed_shaped_4prog",
+            instructions: 8_000 * scale,
+            cap: 2_000_000 * scale,
+            build: build_mixed_shaped,
+        },
+    ];
+
+    let mut records = Vec::new();
+    let mut regression = false;
+    println!("{:<34} {:>12} {:>12} {:>8}", "scenario", "naive ms", "fast ms", "speedup");
+    for s in &scenarios {
+        let naive = time_scenario(s, false);
+        let fast = time_scenario(s, true);
+        let speedup = naive.wall_ms / fast.wall_ms.max(1e-9);
+        println!("{:<34} {:>12.1} {:>12.1} {:>7.2}x", s.name, naive.wall_ms, fast.wall_ms, speedup);
+        if fast.wall_ms > 2.0 * naive.wall_ms {
+            eprintln!("REGRESSION: {} fast-forward is {speedup:.2}x of naive wall-clock", s.name);
+            regression = true;
+        }
+        records.push(naive);
+        records.push(fast);
+    }
+
+    // One offline GA quick() tune, timed end-to-end: the consumer the
+    // fast path exists for. Fitness evaluations build their own systems
+    // (fast-forward on by default), so this measures the shipped config.
+    let ga_params = if smoke {
+        GaParams { population: 4, generations: 2, ..GaParams::quick() }
+    } else {
+        GaParams::quick()
+    };
+    let ga_scale =
+        if smoke { mitts_bench::Scale::smoke() } else { mitts_bench::Scale::quick() };
+    let start = Instant::now();
+    let mut ga = GeneticTuner::new(BinSpec::paper_default(), REPLENISH_PERIOD, 1, ga_params);
+    let result = ga.optimize(|genome| {
+        mitts_bench::runner::single_program_ipc(
+            Benchmark::Gcc,
+            1 << 20,
+            &genome.to_configs()[0],
+            9,
+            &ga_scale,
+        )
+    });
+    let wall = start.elapsed();
+    println!(
+        "{:<34} {:>12} {:>12.1}   (best IPC {:.3}, {} evals)",
+        "ga_quick_tune", "-", wall.as_secs_f64() * 1e3, result.best_fitness, result.evaluations
+    );
+    records.push(Record {
+        bench: "ga_quick_tune".to_owned(),
+        // Simulated cycles are not aggregated across fitness runs; the
+        // record carries wall time only.
+        cycles_per_sec: 0.0,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    });
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  {{\"bench\": \"{}\", \"cycles_per_sec\": {:.1}, \"wall_ms\": {:.3}}}{}\n",
+            json_escape(&r.bench),
+            r.cycles_per_sec,
+            r.wall_ms,
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    json.push(']');
+    json.push('\n');
+    std::fs::write("BENCH_sim.json", json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json ({} records)", records.len());
+
+    if regression {
+        std::process::exit(1);
+    }
+}

@@ -94,6 +94,11 @@ pub struct MittsShaper {
     config: BinConfig,
     /// Live credit counters `n_i`.
     credits: Vec<u32>,
+    /// Precomputed eligibility table: bit `j` set iff `credits[j] > 0`.
+    /// Maintained incrementally on every credit mutation so `try_issue`
+    /// resolves the eligible bin with one mask-and-count instead of a
+    /// per-issue scan (bins beyond 64 fall back to scanning).
+    nonzero_mask: u64,
     next_replenish: Cycle,
     last_issue: Option<Cycle>,
     method: FeedbackMethod,
@@ -111,9 +116,10 @@ impl MittsShaper {
         let n = config.spec().bins();
         let credits = config.credits().to_vec();
         let next_replenish = config.replenish_period();
-        MittsShaper {
+        let mut shaper = MittsShaper {
             config,
             credits,
+            nonzero_mask: 0,
             next_replenish,
             last_issue: None,
             method: FeedbackMethod::default(),
@@ -121,7 +127,9 @@ impl MittsShaper {
             counters: ShaperCounters::default(),
             grants_per_bin: vec![0; n],
             stalls: 0,
-        }
+        };
+        shaper.rebuild_mask();
+        shaper
     }
 
     /// Selects the feedback method.
@@ -173,6 +181,7 @@ impl MittsShaper {
         self.credits.copy_from_slice(config.credits());
         self.next_replenish = now + config.replenish_period();
         self.config = config;
+        self.rebuild_mask();
     }
 
     /// The bin a request arriving `gap` cycles after the previous grant
@@ -181,7 +190,48 @@ impl MittsShaper {
         self.config.spec().bin_for_gap(gap)
     }
 
+    fn rebuild_mask(&mut self) {
+        self.nonzero_mask = self
+            .credits
+            .iter()
+            .take(64)
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .fold(0u64, |m, (j, _)| m | (1 << j));
+    }
+
+    fn deduct_credit(&mut self, bin: usize) {
+        self.credits[bin] -= 1;
+        if self.credits[bin] == 0 && bin < 64 {
+            self.nonzero_mask &= !(1u64 << bin);
+        }
+    }
+
+    fn restore_credit(&mut self, bin: usize) {
+        if self.credits[bin] == 0 && bin < 64 {
+            self.nonzero_mask |= 1u64 << bin;
+        }
+        self.credits[bin] += 1;
+    }
+
     fn eligible_bin(&self, request_bin: usize) -> Option<usize> {
+        if self.credits.len() <= 64 {
+            // O(1) via the eligibility mask: bits 0..=request_bin of the
+            // non-empty-bin set, picked from the top or bottom.
+            let below = if request_bin >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << (request_bin + 1)) - 1
+            };
+            let eligible = self.nonzero_mask & below;
+            if eligible == 0 {
+                return None;
+            }
+            return Some(match self.policy {
+                CreditPolicy::CheapestEligible => 63 - eligible.leading_zeros() as usize,
+                CreditPolicy::MostExpensiveEligible => eligible.trailing_zeros() as usize,
+            });
+        }
         let range = 0..=request_bin;
         match self.policy {
             CreditPolicy::CheapestEligible => {
@@ -190,6 +240,21 @@ impl MittsShaper {
             CreditPolicy::MostExpensiveEligible => {
                 range.into_iter().find(|&j| self.credits[j] > 0)
             }
+        }
+    }
+
+    /// The cheapest bin that still holds a live credit, if any. A denied
+    /// request becomes grantable exactly when its aging gap reaches this
+    /// bin's representative inter-arrival.
+    fn lowest_nonzero_bin(&self) -> Option<usize> {
+        if self.credits.len() <= 64 {
+            if self.nonzero_mask == 0 {
+                None
+            } else {
+                Some(self.nonzero_mask.trailing_zeros() as usize)
+            }
+        } else {
+            self.credits.iter().position(|&c| c > 0)
         }
     }
 
@@ -209,11 +274,19 @@ impl SourceShaper for MittsShaper {
     }
 
     fn tick(&mut self, now: Cycle) {
-        // Algorithm 1: reset every bin to K_i once per period.
-        if now >= self.next_replenish {
+        // Algorithm 1: reset every bin to K_i once per period. The while
+        // loop catches up over fast-forwarded windows; driven once per
+        // cycle it fires at most once, exactly at the boundary (where
+        // `next_replenish == now`, so `+=` and `= now + period` coincide).
+        let mut replenished = false;
+        while now >= self.next_replenish {
             self.credits.copy_from_slice(self.config.credits());
-            self.next_replenish = now + self.config.replenish_period();
+            self.next_replenish += self.config.replenish_period();
             self.counters.replenishments += 1;
+            replenished = true;
+        }
+        if replenished {
+            self.rebuild_mask();
         }
     }
 
@@ -226,7 +299,7 @@ impl SourceShaper for MittsShaper {
         };
         match self.method {
             FeedbackMethod::DeductThenRefund | FeedbackMethod::PureL1 => {
-                self.credits[bin] -= 1;
+                self.deduct_credit(bin);
             }
             FeedbackMethod::DeductOnConfirm => {
                 // No deduction yet; the LLC-miss confirmation does it.
@@ -249,7 +322,7 @@ impl SourceShaper for MittsShaper {
                     // Refund, clamped to the architectural register width.
                     let cap = self.config.credit(bin).clamp(1, K_MAX);
                     if self.credits[bin] < cap {
-                        self.credits[bin] += 1;
+                        self.restore_credit(bin);
                     }
                     self.counters.refunds += 1;
                 }
@@ -258,7 +331,9 @@ impl SourceShaper for MittsShaper {
                 if !hit {
                     // Confirmed memory request: deduct (may find the bin
                     // already drained — this is the documented staleness).
-                    self.credits[bin] = self.credits[bin].saturating_sub(1);
+                    if self.credits[bin] > 0 {
+                        self.deduct_credit(bin);
+                    }
                     self.counters.confirm_deductions += 1;
                 }
             }
@@ -274,6 +349,39 @@ impl SourceShaper for MittsShaper {
 
     fn note_stall_cycle(&mut self) {
         self.stalls += 1;
+    }
+
+    fn note_stall_cycles(&mut self, cycles: u64) {
+        self.stalls += cycles;
+    }
+
+    fn note_denied_cycles(&mut self, cycles: u64) {
+        // Each skipped cycle would have called `try_issue`, been denied
+        // (bumping the deny counter), and then recorded a stall.
+        self.counters.denies += cycles;
+        self.stalls += cycles;
+    }
+
+    fn next_grant_event(&self, now: Cycle) -> Option<Cycle> {
+        // Two ways waiting can flip a denial: the request ages into the
+        // cheapest live bin, or a replenishment refills the bins.
+        let aging = self.lowest_nonzero_bin().map(|j| match self.last_issue {
+            // No prior grant: the gap is already maximal, so any live
+            // credit makes the very next cycle grantable.
+            None => now + 1,
+            Some(last) => last + j as Cycle * self.config.spec().interval(),
+        });
+        let replenish = if self.config.credits().iter().any(|&c| c > 0) {
+            Some(self.next_replenish)
+        } else {
+            None
+        };
+        match (aging, replenish) {
+            (Some(a), Some(r)) => Some(a.min(r).max(now + 1)),
+            (Some(a), None) => Some(a.max(now + 1)),
+            (None, Some(r)) => Some(r.max(now + 1)),
+            (None, None) => None,
+        }
     }
 
     fn credit_audit(&self) -> CreditAudit {
@@ -491,5 +599,134 @@ mod tests {
         let mut s = MittsShaper::new(BinConfig::new(spec, vec![1; 10], 100).unwrap());
         // A token equal to bins() (out of range) must not panic.
         s.on_llc_response(0, 10, true);
+    }
+
+    /// Oracle reimplementation of the pre-mask `eligible_bin` scan.
+    fn scan_eligible(credits: &[u32], policy: CreditPolicy, request_bin: usize)
+        -> Option<usize> {
+        let range = 0..=request_bin;
+        match policy {
+            CreditPolicy::CheapestEligible => range.rev().find(|&j| credits[j] > 0),
+            CreditPolicy::MostExpensiveEligible => {
+                range.into_iter().find(|&j| credits[j] > 0)
+            }
+        }
+    }
+
+    #[test]
+    fn mask_eligibility_matches_linear_scan() {
+        // Drive a shaper through grants, refunds, confirms, replenishes,
+        // and reconfigures; after every mutation the mask-based pick must
+        // agree with a linear scan over the live credits, for every
+        // request bin and both policies.
+        for policy in [CreditPolicy::CheapestEligible, CreditPolicy::MostExpensiveEligible] {
+            let mut credits = vec![0u32; 10];
+            credits[1] = 2;
+            credits[4] = 1;
+            credits[7] = 3;
+            let mut s = MittsShaper::new(cfg(credits, 300)).with_policy(policy);
+            let check = |s: &MittsShaper| {
+                for rb in 0..10 {
+                    assert_eq!(
+                        s.eligible_bin(rb),
+                        scan_eligible(s.live_credits(), policy, rb),
+                        "policy {policy:?}, request bin {rb}, credits {:?}",
+                        s.live_credits()
+                    );
+                }
+            };
+            check(&s);
+            let mut tokens = Vec::new();
+            for now in (0..900).step_by(17) {
+                s.tick(now);
+                check(&s);
+                if let ShapeDecision::Grant(t) = s.try_issue(now) {
+                    tokens.push(t);
+                }
+                check(&s);
+                if now % 51 == 0 {
+                    if let Some(t) = tokens.pop() {
+                        s.on_llc_response(now, t, now % 2 == 0);
+                        check(&s);
+                    }
+                }
+            }
+            s.reconfigure(900, only_bin(6, 2, 500));
+            check(&s);
+        }
+    }
+
+    #[test]
+    fn catch_up_tick_matches_per_cycle_ticks() {
+        // Ticking once at cycle N must replay every replenishment that
+        // per-cycle ticking would have performed in between.
+        let mut naive = MittsShaper::new(only_bin(0, 2, 100));
+        let mut fast = MittsShaper::new(only_bin(0, 2, 100));
+        assert!(naive.try_issue(0).is_grant() && fast.try_issue(0).is_grant());
+        for now in 1..=550 {
+            naive.tick(now);
+        }
+        fast.tick(550);
+        assert_eq!(naive.counters(), fast.counters());
+        assert_eq!(naive.live_credits(), fast.live_credits());
+        assert_eq!(naive.try_issue(550).is_grant(), fast.try_issue(550).is_grant());
+    }
+
+    #[test]
+    fn next_grant_event_never_overshoots_a_grant() {
+        // For a denied request, repeatedly jumping to the predicted event
+        // must find the grant no later than per-cycle retrying would.
+        let mut credits = vec![0u32; 10];
+        credits[5] = 1;
+        let mut naive = MittsShaper::new(cfg(credits.clone(), 1_000));
+        let mut fast = MittsShaper::new(cfg(credits, 1_000));
+        assert!(naive.try_issue(0).is_grant() && fast.try_issue(0).is_grant());
+
+        // Naive: retry every cycle until granted.
+        let mut naive_grant = None;
+        for now in 1..=2_000 {
+            naive.tick(now);
+            if naive.try_issue(now).is_grant() {
+                naive_grant = Some(now);
+                break;
+            }
+        }
+
+        // Fast: only retry at predicted grant events.
+        let mut fast_grant = None;
+        let mut now = 1;
+        fast.tick(now);
+        if fast.try_issue(now).is_grant() {
+            fast_grant = Some(now);
+        }
+        while fast_grant.is_none() && now <= 2_000 {
+            let wake = fast.next_grant_event(now).expect("grant must stay possible");
+            assert!(wake > now, "events must move forward");
+            now = wake;
+            fast.tick(now);
+            if fast.try_issue(now).is_grant() {
+                fast_grant = Some(now);
+            }
+        }
+        assert_eq!(naive_grant, fast_grant, "event-driven retry must not miss the grant");
+    }
+
+    #[test]
+    fn no_credits_configured_has_no_grant_event() {
+        let s = MittsShaper::new(cfg(vec![0; 10], 1_000));
+        assert_eq!(s.next_grant_event(0), None, "waiting can never help");
+    }
+
+    #[test]
+    fn batch_deny_notes_match_singles() {
+        let mut a = MittsShaper::new(cfg(vec![0; 10], 1_000));
+        let mut b = MittsShaper::new(cfg(vec![0; 10], 1_000));
+        for now in 0..7 {
+            assert!(!a.try_issue(now).is_grant());
+            a.note_stall_cycle();
+        }
+        b.note_denied_cycles(7);
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.stall_cycles(), b.stall_cycles());
     }
 }

@@ -27,8 +27,8 @@ pub struct CongestionGuard<S> {
     interval: Cycle,
     next_eval: Cycle,
     /// Cycles of congestion observed in the current interval.
-    congested_samples: u32,
-    samples: u32,
+    congested_samples: u64,
+    samples: u64,
     /// Current uniform issue gap imposed on every core (0 = none).
     gap: u32,
     /// The gap value most recently written into the source controls, so
@@ -138,6 +138,29 @@ impl<S: Scheduler> Scheduler for CongestionGuard<S> {
         }
         self.applied = self.gap;
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Per-cycle sampling between evaluations is replayed by
+        // `note_idle_cycles`; the next behavioural change is the earlier
+        // of our evaluation boundary and the inner policy's own event.
+        let mine = self.next_eval.max(now + 1);
+        match self.inner.next_event(now) {
+            Some(inner) => Some(mine.min(inner)),
+            None => Some(mine),
+        }
+    }
+
+    fn note_idle_cycles(&mut self, cycles: Cycle) {
+        // Occupancy only changes on enqueue/complete, so every skipped
+        // cycle would have sampled the same congestion verdict. The gap
+        // re-application those ticks would also perform is idempotent and
+        // is redone by the first real tick after the skip.
+        self.samples += cycles;
+        if self.occupancy > self.threshold {
+            self.congested_samples += cycles;
+        }
+        self.inner.note_idle_cycles(cycles);
+    }
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for CongestionGuard<S> {
@@ -216,6 +239,41 @@ mod tests {
             g.tick(now, &[], &mut ctl);
         }
         assert!(g.current_gap() <= 64, "gap must saturate at max: {}", g.current_gap());
+    }
+
+    #[test]
+    fn idle_replay_matches_per_cycle_ticks() {
+        // A guard whose dead cycles are replayed in one batch must reach
+        // the same gap decisions as one ticked cycle by cycle.
+        let mut naive = CongestionGuard::new(FrFcfs::new(), 4, 100);
+        let mut fast = CongestionGuard::new(FrFcfs::new(), 4, 100);
+        let mut ctl_n = SourceControl::new(1);
+        let mut ctl_f = SourceControl::new(1);
+        for i in 0..8 {
+            naive.on_enqueue(0, &txn(i));
+            fast.on_enqueue(0, &txn(i));
+        }
+        let mut now = 1;
+        while now <= 400 {
+            naive.tick(now, &[], &mut ctl_n);
+            now += 1;
+        }
+        // Fast path: tick only at each wake-up event, replay the gaps.
+        let mut fnow = 1;
+        fast.tick(fnow, &[], &mut ctl_f);
+        while fnow < 400 {
+            let wake = fast.next_event(fnow).unwrap().min(400);
+            if wake > fnow + 1 {
+                fast.note_idle_cycles(wake - fnow - 1);
+            }
+            fast.tick(wake, &[], &mut ctl_f);
+            fnow = wake;
+        }
+        assert_eq!(naive.current_gap(), fast.current_gap());
+        assert_eq!(
+            ctl_n.throttle(CoreId::new(0)).min_issue_gap,
+            ctl_f.throttle(CoreId::new(0)).min_issue_gap
+        );
     }
 
     #[test]

@@ -78,6 +78,10 @@ impl Scheduler for FairQueue {
     fn on_complete(&mut self, _now: Cycle, txn: &Transaction, _row_hit: bool) {
         self.finish.remove(&txn.id);
     }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None // purely event-driven: state changes only on enqueue/complete
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,10 @@ impl Scheduler for FrFcfs {
         -> Option<usize> {
         frfcfs_pick(pending, view, |_| true)
     }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None // stateless: pick is pure and tick is empty
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,10 @@ impl Scheduler for Fst {
         }
         self.apply_levels(ctl);
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(self.next_eval.max(now + 1))
+    }
 }
 
 #[cfg(test)]

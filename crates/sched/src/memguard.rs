@@ -97,6 +97,10 @@ impl Scheduler for MemGuard {
             self.next_reset = now + self.period;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(self.next_reset.max(now + 1))
+    }
 }
 
 #[cfg(test)]

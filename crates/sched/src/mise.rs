@@ -183,6 +183,10 @@ impl Scheduler for Mise {
             self.next_interval = now + self.interval;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(self.next_epoch.min(self.next_interval).max(now + 1))
+    }
 }
 
 #[cfg(test)]

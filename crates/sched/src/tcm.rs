@@ -170,6 +170,11 @@ impl Scheduler for Tcm {
             self.next_shuffle = now + self.shuffle_interval;
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Ticks between boundaries are no-ops; wake at the next one.
+        Some(self.next_quantum.min(self.next_shuffle).max(now + 1))
+    }
 }
 
 #[cfg(test)]

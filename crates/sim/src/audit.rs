@@ -611,6 +611,33 @@ impl ActiveFaults {
             .iter()
             .any(|f| matches!(*f, FaultKind::StallLlcPorts { from } if now >= from))
     }
+
+    /// Earliest cycle strictly after `now` at which the fault plan changes
+    /// behaviour: a held response releases, or a not-yet-active fault's
+    /// `from` cycle arrives. Already-active faults are pure predicates the
+    /// engine re-evaluates at every real tick, so they need no event.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            if c > now {
+                next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            }
+        };
+        for &(release, _) in &self.delayed {
+            consider(release);
+        }
+        for f in &self.plan.faults {
+            let from = match *f {
+                FaultKind::DropDramResponses { from, .. }
+                | FaultKind::DelayDramResponses { from, .. }
+                | FaultKind::ZeroShaperCredits { from, .. }
+                | FaultKind::CorruptShaperCredits { from, .. }
+                | FaultKind::StallLlcPorts { from } => from,
+            };
+            consider(from);
+        }
+        next
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -766,6 +793,68 @@ impl InvariantAuditor {
     /// Cycle of the last observed global progress.
     pub(crate) fn last_progress_at(&self) -> Cycle {
         self.last_progress_at
+    }
+
+    /// The next audit-interval boundary strictly after `now`, if auditing
+    /// is enabled. The fast-forward engine never skips past this cycle, so
+    /// audit passes land exactly where per-cycle ticking would put them
+    /// (and skips are bounded to at most one interval).
+    pub(crate) fn next_audit_boundary(&self, now: Cycle) -> Option<Cycle> {
+        if !self.audit.enabled {
+            return None;
+        }
+        let k = self.audit.interval.max(1);
+        Some((now / k + 1) * k)
+    }
+
+    /// Earliest cycle strictly after `now` at which the watchdog could
+    /// fire if the system stays quiescent: the global-stall deadline plus
+    /// every live core-starvation deadline. Deadlines at or before `now`
+    /// have already been evaluated by the per-tick observers and are
+    /// ignored.
+    pub(crate) fn next_watchdog_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.watchdog.enabled {
+            return None;
+        }
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            if c > now {
+                next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            }
+        };
+        if self.stall.is_none() {
+            consider(self.last_progress_at + self.watchdog.global_stall_cycles);
+        }
+        for p in &self.cores {
+            if !p.starve_reported {
+                consider(p.last_change_at + self.watchdog.core_starve_cycles);
+            }
+        }
+        next
+    }
+
+    /// Batch replay of the watchdog observations for a fast-forwarded
+    /// quiescent window ending at `last_skipped` (inclusive). Quiescent
+    /// cycles change no totals, so the only per-cycle effects to replay
+    /// are the resets frozen time performs: an all-frozen window keeps
+    /// pushing the global progress marker forward, and each frozen core
+    /// keeps resetting its starvation episode.
+    pub(crate) fn replay_skipped(
+        &mut self,
+        last_skipped: Cycle,
+        all_frozen: bool,
+        core_frozen: &[bool],
+    ) {
+        if all_frozen {
+            self.last_progress_at = last_skipped;
+        }
+        for (i, &frozen) in core_frozen.iter().enumerate() {
+            if frozen {
+                let p = &mut self.cores[i];
+                p.last_change_at = last_skipped;
+                p.starve_reported = false;
+            }
+        }
     }
 
     /// Observes one core's retirement progress. Returns `true` exactly
@@ -980,6 +1069,82 @@ mod tests {
         assert!(!f.stall_ports(19));
         assert!(f.stall_ports(20));
         assert!(!f.corrupt_credits(100, 0));
+    }
+
+    #[test]
+    fn next_audit_boundary_is_the_next_multiple() {
+        let mut cfg = HardeningConfig::default();
+        cfg.audit.enabled = true;
+        cfg.audit.interval = 64;
+        let a = InvariantAuditor::new(&cfg, 1);
+        assert_eq!(a.next_audit_boundary(0), Some(64));
+        assert_eq!(a.next_audit_boundary(63), Some(64));
+        assert_eq!(a.next_audit_boundary(64), Some(128), "strictly after now");
+        let mut off = cfg.clone();
+        off.audit.enabled = false;
+        assert_eq!(InvariantAuditor::new(&off, 1).next_audit_boundary(0), None);
+    }
+
+    #[test]
+    fn next_watchdog_event_tracks_both_deadlines() {
+        let mut cfg = HardeningConfig::default();
+        cfg.watchdog.global_stall_cycles = 100;
+        cfg.watchdog.core_starve_cycles = 500;
+        let mut a = InvariantAuditor::new(&cfg, 2);
+        // Fresh state: global deadline 100 is the earliest.
+        assert_eq!(a.next_watchdog_event(0), Some(100));
+        // Global progress at 90 pushes the global deadline to 190.
+        assert!(!a.observe_global(90, 1, 0, true));
+        assert_eq!(a.next_watchdog_event(90), Some(190));
+        // Deadlines at or before now are ignored.
+        assert_eq!(a.next_watchdog_event(190), Some(500), "core starve next");
+        // A reported starvation episode stops contributing.
+        for now in 0..=500 {
+            a.observe_core(now, 0, 0, false);
+            a.observe_core(now, 1, 0, false);
+        }
+        assert_eq!(a.next_watchdog_event(501), None, "all deadlines consumed");
+        let mut off = cfg.clone();
+        off.watchdog.enabled = false;
+        assert_eq!(InvariantAuditor::new(&off, 2).next_watchdog_event(0), None);
+    }
+
+    #[test]
+    fn replay_skipped_matches_per_cycle_frozen_observations() {
+        let mut cfg = HardeningConfig::default();
+        cfg.watchdog.global_stall_cycles = 100;
+        cfg.watchdog.core_starve_cycles = 500;
+        // Naive: observe an all-frozen window cycle by cycle.
+        let mut naive = InvariantAuditor::new(&cfg, 2);
+        for now in 1..=400 {
+            assert!(!naive.observe_global(now, 7, 3, false));
+            naive.observe_core(now, 0, 7, true);
+            naive.observe_core(now, 1, 0, true);
+        }
+        // Fast: replay the same window in one call.
+        let mut fast = InvariantAuditor::new(&cfg, 2);
+        fast.replay_skipped(400, true, &[true, true]);
+        assert_eq!(fast.last_progress_at(), naive.last_progress_at());
+        assert_eq!(fast.next_watchdog_event(400), naive.next_watchdog_event(400));
+    }
+
+    #[test]
+    fn fault_next_event_covers_activation_and_release() {
+        let mut f = ActiveFaults::default();
+        f.inject(
+            FaultPlan::new()
+                .with(FaultKind::StallLlcPorts { from: 50 })
+                .with(FaultKind::ZeroShaperCredits { from: 200, core: 0 }),
+        );
+        assert_eq!(f.next_event(0), Some(50));
+        assert_eq!(f.next_event(50), Some(200), "active faults need no event");
+        assert_eq!(f.next_event(200), None);
+        // A held response contributes its release cycle.
+        f.inject(FaultPlan::new().with(FaultKind::DelayDramResponses { from: 0, delay: 10 }));
+        assert_eq!(f.on_response(5, 0x40), ResponseAction::Delay(15));
+        assert_eq!(f.next_event(5), Some(15));
+        assert_eq!(f.due_delayed(15), vec![0x40]);
+        assert_eq!(f.next_event(15), None);
     }
 
     #[test]

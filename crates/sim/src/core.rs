@@ -82,6 +82,54 @@ impl CoreCounters {
     }
 }
 
+/// How a core would spend a cycle if no external event (a fill, an
+/// unfreeze) reaches it — the classification the fast-forward engine uses
+/// to decide whether a cycle can be skipped and which counters a skipped
+/// cycle must still bump (see [`Core::note_idle_cycles`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreIdleClass {
+    /// The tick would change state (retire, fetch, or issue): not
+    /// skippable.
+    Busy,
+    /// Frozen (tuner-overhead injection): the tick only counts the cycle.
+    Frozen,
+    /// ROB head blocked on a pending load **and** the window is full: the
+    /// tick only accrues stall statistics. (A head-blocked core whose
+    /// window still has room is `Busy` — it would fetch or issue.)
+    MemBlocked,
+    /// ROB head blocked on a pending load, nothing left to fetch, and the
+    /// fetch stage re-offering a memory op the port keeps rejecting
+    /// (structural stall: L1 MSHRs full). The core itself cannot detect
+    /// this class — it requires knowing the port would reject — so
+    /// [`Core::idle_class`] never returns it; the system promotes `Busy`
+    /// to `PortBlocked` when [`Core::stalled_on_pending_issue`] holds and
+    /// the L1 front end would deterministically reject the pending op.
+    PortBlocked,
+}
+
+/// Pass-through hasher for `OpId` keys. Op ids are per-core sequential
+/// counters, so they are already uniformly distributed over the table's
+/// low bits; the default SipHash shows up in profiles of the per-cycle
+/// retire path for no collision-resistance benefit.
+#[derive(Default)]
+struct OpIdHasher(u64);
+
+impl std::hash::Hasher for OpIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("OpId hashes through write_u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type OpIdSet = HashSet<OpId, std::hash::BuildHasherDefault<OpIdHasher>>;
+
 /// The core model. Drive it with [`Core::tick`] once per cycle; complete
 /// outstanding loads with [`Core::complete`] as fills return.
 pub struct Core {
@@ -95,7 +143,7 @@ pub struct Core {
     fetch_gap_left: u32,
     fetch_mem: Option<TraceOp>,
     next_op_id: u64,
-    completed: HashSet<OpId>,
+    completed: OpIdSet,
     frozen_until: Cycle,
     counters: CoreCounters,
 }
@@ -123,7 +171,7 @@ impl Core {
             fetch_gap_left: 0,
             fetch_mem: None,
             next_op_id: 0,
-            completed: HashSet::new(),
+            completed: OpIdSet::default(),
             frozen_until: 0,
             counters: CoreCounters::default(),
         }
@@ -150,6 +198,84 @@ impl Core {
     /// Counter snapshot.
     pub fn counters(&self) -> &CoreCounters {
         &self.counters
+    }
+
+    /// The cycle the current freeze window ends (0 when never frozen).
+    pub fn frozen_until(&self) -> Cycle {
+        self.frozen_until
+    }
+
+    /// Classifies what a [`Core::tick`] at cycle `at` would do, assuming
+    /// no completion arrives first. Anything other than
+    /// [`CoreIdleClass::Busy`] is a pure-bookkeeping cycle that
+    /// [`Core::note_idle_cycles`] can replay in batch.
+    pub fn idle_class(&self, at: Cycle) -> CoreIdleClass {
+        if at < self.frozen_until {
+            return CoreIdleClass::Frozen;
+        }
+        match self.rob.front() {
+            Some(RobEntry::Mem { op, complete: false }) if !self.completed.contains(op) => {
+                if self.rob_occupancy >= self.window_size {
+                    CoreIdleClass::MemBlocked
+                } else {
+                    CoreIdleClass::Busy // dispatch would fetch or issue
+                }
+            }
+            _ => CoreIdleClass::Busy,
+        }
+    }
+
+    /// Replays `cycles` skipped ticks of the given idle class, bumping
+    /// exactly the counters the per-cycle loop would have bumped.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `class` is not [`CoreIdleClass::Busy`] (busy
+    /// cycles cannot be replayed — they change state).
+    pub fn note_idle_cycles(&mut self, class: CoreIdleClass, cycles: u64) {
+        debug_assert!(class != CoreIdleClass::Busy, "busy cycles are not skippable");
+        self.counters.cycles += cycles;
+        match class {
+            CoreIdleClass::Frozen => self.counters.frozen_cycles += cycles,
+            CoreIdleClass::MemBlocked => {
+                self.counters.mem_stall_cycles += cycles;
+                self.counters.window_full_cycles += cycles;
+            }
+            // A port-blocked tick stalls retirement (head load pending)
+            // but dispatch breaks on the rejected issue *before* the
+            // window-full check, so only the memory stall accrues.
+            CoreIdleClass::PortBlocked => self.counters.mem_stall_cycles += cycles,
+            CoreIdleClass::Busy => {}
+        }
+    }
+
+    /// Whether a tick at `at` would do nothing but re-offer the fetch
+    /// stage's memory op to the port: the ROB head is a pending load (so
+    /// retirement stalls), the window still has room (so this is not
+    /// [`CoreIdleClass::MemBlocked`]), and all compute preceding the
+    /// pending access has been dispatched. If the port would also reject
+    /// the op — which only the owner of the L1 front end can know — such
+    /// a tick is a pure structural stall, replayable as
+    /// [`CoreIdleClass::PortBlocked`].
+    pub fn stalled_on_pending_issue(&self, at: Cycle) -> bool {
+        at >= self.frozen_until
+            && self.fetch_gap_left == 0
+            && self.fetch_mem.is_some()
+            && self.rob_occupancy < self.window_size
+            && matches!(
+                self.rob.front(),
+                Some(RobEntry::Mem { op, complete: false }) if !self.completed.contains(op)
+            )
+    }
+
+    /// The memory access the fetch stage would offer to the port next
+    /// cycle, if it is already at the front of dispatch: `(addr, write)`.
+    pub fn pending_issue(&self) -> Option<(Addr, bool)> {
+        if self.fetch_gap_left == 0 {
+            self.fetch_mem.map(|op| (op.addr, op.write))
+        } else {
+            None
+        }
     }
 
     /// Current program phase as reported by the trace source.
@@ -403,6 +529,55 @@ mod tests {
             core.tick(now, &mut port);
         }
         assert!(core.counters().instructions > 0);
+    }
+
+    #[test]
+    fn idle_replay_matches_naive_ticks() {
+        // Fill two identical cores until the window is full of pending
+        // loads, then advance one naively and the other by batch replay.
+        let mk = || core_with(0);
+        let (mut naive, mut fast) = (mk(), mk());
+        let mut port = TestPort::new();
+        let mut now = 0;
+        while naive.idle_class(now) == CoreIdleClass::Busy {
+            naive.tick(now, &mut port);
+            fast.tick(now, &mut port);
+            now += 1;
+        }
+        assert_eq!(fast.idle_class(now), CoreIdleClass::MemBlocked);
+        for t in now..now + 500 {
+            naive.tick(t, &mut port);
+        }
+        fast.note_idle_cycles(CoreIdleClass::MemBlocked, 500);
+        assert_eq!(naive.counters(), fast.counters());
+    }
+
+    #[test]
+    fn frozen_replay_matches_naive_ticks() {
+        let (mut naive, mut fast) = (core_with(1), core_with(1));
+        let mut port = TestPort::new();
+        naive.freeze_until(300);
+        fast.freeze_until(300);
+        assert_eq!(fast.idle_class(0), CoreIdleClass::Frozen);
+        assert_eq!(fast.frozen_until(), 300);
+        for t in 0..300 {
+            naive.tick(t, &mut port);
+        }
+        fast.note_idle_cycles(CoreIdleClass::Frozen, 300);
+        assert_eq!(naive.counters(), fast.counters());
+        assert_eq!(fast.idle_class(300), CoreIdleClass::Busy);
+    }
+
+    #[test]
+    fn head_blocked_with_window_room_is_busy() {
+        // A core whose head load is pending but whose window has room
+        // would still fetch/issue: it must not be classified skippable.
+        let mut core = core_with(0);
+        let mut port = TestPort::new();
+        core.tick(0, &mut port);
+        assert!(core.outstanding_loads() > 0);
+        assert!(core.outstanding_loads() < 128, "window not yet full");
+        assert_eq!(core.idle_class(1), CoreIdleClass::Busy);
     }
 
     #[test]

@@ -181,6 +181,30 @@ impl<T: Copy> Dram<T> {
         self.banks[c.bank].open_row == Some(c.row)
     }
 
+    /// Earliest cycle `t >= now` at which [`Dram::can_start`] would accept
+    /// `addr`, assuming no intervening `start` calls mutate bank state.
+    ///
+    /// This is the per-bank timing deadline the fast-forward engine feeds
+    /// into its `min(next events)` computation: within the window
+    /// `[now, earliest_start)` the bank is guaranteed busy, so a pending
+    /// transaction on it cannot dispatch and the cycles may be skipped.
+    pub fn earliest_start(&self, now: Cycle, addr: Addr) -> Cycle {
+        let c = self.map.coord(addr);
+        let ready = now.max(self.banks[c.bank].ready_at);
+        if ready < self.next_refresh {
+            ready
+        } else {
+            // The bank only frees up inside (or past) a refresh window, so
+            // it must additionally wait out the tRFC fence.
+            ready.max(self.next_refresh + self.timing.t_rfc)
+        }
+    }
+
+    /// Earliest `done_at` among dispatched-but-unfinished transactions.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.inflight.iter().map(|c| c.done_at).min()
+    }
+
     /// Whether the bank owning `addr` can accept a new transaction at
     /// `now` (accounting for a pending refresh fence).
     pub fn can_start(&self, now: Cycle, addr: Addr) -> bool {
@@ -363,6 +387,15 @@ impl<T: Copy> Dram<T> {
     /// Removes and returns every transaction whose data finished by `now`.
     pub fn drain_completions(&mut self, now: Cycle) -> Vec<DramCompletion<T>> {
         let mut done = Vec::new();
+        self.drain_completions_into(now, &mut done);
+        done
+    }
+
+    /// Allocation-free form of [`Dram::drain_completions`]: clears `done`
+    /// and fills it with every transaction finished by `now`, ordered by
+    /// completion cycle. The per-tick hot path reuses one buffer.
+    pub fn drain_completions_into(&mut self, now: Cycle, done: &mut Vec<DramCompletion<T>>) {
+        done.clear();
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].done_at <= now {
@@ -372,7 +405,6 @@ impl<T: Copy> Dram<T> {
             }
         }
         done.sort_by_key(|c| c.done_at);
-        done
     }
 
     /// Number of dispatched-but-unfinished transactions.
@@ -558,6 +590,46 @@ mod tests {
         }
         assert!(d.take_timing_violations().is_empty(), "legal schedule must audit clean");
         d.check_conservation().expect("byte/burst accounting must balance");
+    }
+
+    #[test]
+    fn earliest_start_agrees_with_can_start() {
+        let mut d = dram();
+        let t = d.timing();
+        d.start(0, 0, MemCmd::Read, 1);
+        d.start(0, 8 * 1024, MemCmd::Write, 2);
+        // Probe a spread of observation points, including across the first
+        // refresh boundary, and check the oracle at every cycle in a window.
+        let probes = [0, 1, t.t_rcd, t.t_refi - 1, t.t_refi, t.t_refi + t.t_rfc];
+        for addr in [0u64, 64, 8 * 1024, 8 * 1024 * 8] {
+            for &now in &probes {
+                let est = d.earliest_start(now, addr);
+                assert!(est >= now);
+                for probe in now..est {
+                    assert!(
+                        !d.can_start(probe, addr),
+                        "addr {addr:#x}: can_start true at {probe} < estimate {est}"
+                    );
+                }
+                assert!(
+                    d.can_start(est, addr),
+                    "addr {addr:#x}: can_start false at estimate {est} (now {now})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_completion_tracks_inflight() {
+        let mut d = dram();
+        assert_eq!(d.next_completion(), None);
+        let done0 = d.start(0, 0, MemCmd::Read, 1);
+        let done1 = d.start(0, 8 * 1024, MemCmd::Read, 2);
+        assert_eq!(d.next_completion(), Some(done0.min(done1)));
+        d.drain_completions(done0);
+        assert_eq!(d.next_completion(), Some(done1));
+        d.drain_completions(done1);
+        assert_eq!(d.next_completion(), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 
 use crate::config::McConfig;
-use crate::dram::{BankStatus, Dram};
+use crate::dram::{BankStatus, Dram, DramCompletion};
 use crate::types::{Addr, CoreId, Cycle, MemCmd};
 
 /// Unique identifier of a memory transaction at the controller.
@@ -136,6 +136,13 @@ impl SourceControl {
     pub fn cores(&self) -> usize {
         self.throttles.len()
     }
+
+    /// Whether any core currently has a throttle configured. Lets the
+    /// issue path skip per-core throttle checks entirely when no policy
+    /// has imposed limits.
+    pub fn any_limits(&self) -> bool {
+        self.throttles.iter().any(|t| *t != CoreThrottle::default())
+    }
 }
 
 /// A memory-request scheduling policy.
@@ -164,6 +171,30 @@ pub trait Scheduler {
     /// Periodic hook (called once per cycle) with fresh per-core signals;
     /// source-throttling policies write `ctl`.
     fn tick(&mut self, _now: Cycle, _signals: &[CoreSignals], _ctl: &mut SourceControl) {}
+
+    /// Earliest cycle strictly after `now` at which this policy's
+    /// per-cycle behaviour ([`Scheduler::tick`] or a stateful
+    /// [`Scheduler::pick`]) does something that an idle-cycle replay via
+    /// [`Scheduler::note_idle_cycles`] cannot reproduce. `None` means the
+    /// policy is purely event-driven (it only reacts to
+    /// enqueue/pick/complete) and imposes no wake-up of its own.
+    ///
+    /// The default is the conservative `Some(now + 1)`: a policy that has
+    /// not been audited for skip-safety never lets the fast-forward engine
+    /// jump over its ticks. Overriding this is a contract: between `now`
+    /// (exclusive) and the returned cycle (exclusive), running `tick` once
+    /// per cycle on a quiescent system must be equivalent to a single
+    /// `note_idle_cycles` call, and `pick` must be side-effect-free when
+    /// it would return `None`.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
+
+    /// Batch replay of `cycles` quiescent cycles that the fast-forward
+    /// engine skipped instead of calling [`Scheduler::tick`] per cycle.
+    /// Policies that sample per-cycle state (occupancy counters, epoch
+    /// accumulators) reproduce those updates here.
+    fn note_idle_cycles(&mut self, _cycles: Cycle) {}
 }
 
 /// First-come-first-served: always the oldest startable transaction.
@@ -183,6 +214,10 @@ impl FcfsScheduler {
 impl Scheduler for FcfsScheduler {
     fn name(&self) -> &str {
         "FCFS"
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None // stateless: pick is pure, tick is empty
     }
 
     fn pick(&mut self, _now: Cycle, pending: &[Transaction], view: &DramView<'_>)
@@ -226,6 +261,9 @@ pub struct MemoryController {
     queue_occupancy_sum: u64,
     ticks: u64,
     fifo_rejections: u64,
+    /// Reused by [`MemoryController::drain_completions_into`] so the
+    /// per-tick completion drain does not allocate.
+    completion_scratch: Vec<DramCompletion<TxnId>>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -255,6 +293,7 @@ impl MemoryController {
             queue_occupancy_sum: 0,
             ticks: 0,
             fifo_rejections: 0,
+            completion_scratch: Vec::new(),
         }
     }
 
@@ -335,6 +374,35 @@ impl MemoryController {
         }
     }
 
+    /// Batch bookkeeping for `cycles` skipped quiescent cycles: replays
+    /// exactly what per-cycle [`MemoryController::tick`] would have done on
+    /// a controller with no FIFO movement and no startable transaction —
+    /// the tick/occupancy statistics bump and nothing else.
+    pub fn note_skipped_cycles(&mut self, cycles: u64) {
+        self.ticks += cycles;
+        self.queue_occupancy_sum += cycles * self.queue.len() as u64;
+    }
+
+    /// Whether a [`MemoryController::tick`] at this instant would move
+    /// transactions from the global FIFO into the scheduling queue (work
+    /// the fast-forward engine must not skip).
+    pub fn would_refill_queue(&self) -> bool {
+        !self.fifo.is_empty() && self.queue.len() < self.queue_depth
+    }
+
+    /// Earliest cycle `>= now` at which any queued transaction becomes
+    /// startable on `dram` (per-bank timing expiry), or `None` when the
+    /// scheduling queue is empty. While every queued transaction is fenced
+    /// out, `pick` cannot legally return anything, so the window up to this
+    /// cycle is dead time for the controller.
+    pub fn next_dispatch_opportunity(
+        &self,
+        now: Cycle,
+        dram: &Dram<TxnId>,
+    ) -> Option<Cycle> {
+        self.queue.iter().map(|t| dram.earliest_start(now, t.addr)).min()
+    }
+
     fn priority_pick(&self, view: &DramView<'_>) -> Option<usize> {
         let prio = self.priority_core?;
         // FR-FCFS among the priority core's startable transactions:
@@ -361,7 +429,23 @@ impl MemoryController {
         dram: &mut Dram<TxnId>,
     ) -> Vec<McResponse> {
         let mut out = Vec::new();
-        for done in dram.drain_completions(now) {
+        self.drain_completions_into(now, scheduler, dram, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`MemoryController::drain_completions`]:
+    /// appends finished reads to `out` (which the caller clears), reusing
+    /// an internal buffer for the DRAM-side drain.
+    pub fn drain_completions_into(
+        &mut self,
+        now: Cycle,
+        scheduler: &mut dyn Scheduler,
+        dram: &mut Dram<TxnId>,
+        out: &mut Vec<McResponse>,
+    ) {
+        let mut done_buf = std::mem::take(&mut self.completion_scratch);
+        dram.drain_completions_into(now, &mut done_buf);
+        for done in done_buf.drain(..) {
             let idx = self
                 .inflight
                 .iter()
@@ -377,7 +461,7 @@ impl MemoryController {
                 MemCmd::Write => self.completed_writes += 1,
             }
         }
-        out
+        self.completion_scratch = done_buf;
     }
 
     /// Pending (not yet dispatched) transactions in the scheduling queue.
@@ -417,6 +501,17 @@ impl MemoryController {
     /// Number of enqueue attempts rejected by a full FIFO.
     pub fn fifo_rejections(&self) -> u64 {
         self.fifo_rejections
+    }
+
+    /// Ticks observed (real plus skipped), the denominator of
+    /// [`MemoryController::mean_queue_occupancy`].
+    pub fn tick_count(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Accumulated queue-occupancy samples over all ticks.
+    pub fn queue_occupancy_sum(&self) -> u64 {
+        self.queue_occupancy_sum
     }
 }
 
@@ -523,6 +618,57 @@ mod tests {
         let resp = run_until_done(&mut mc, &mut dram, &mut sched, 2000);
         // The VIP transaction must be dispatched first.
         assert_eq!(resp.iter().min_by_key(|r| r.done_at).unwrap().txn.id, vip);
+    }
+
+    #[test]
+    fn skipped_cycles_replay_tick_statistics() {
+        let (mut mc, mut dram, mut sched) = setup();
+        let mut twin = MemoryController::new(&McConfig::default());
+        // Park one non-startable transaction in each queue, so per-cycle
+        // ticks only accumulate statistics (bank 0 busy after dispatch).
+        for m in [&mut mc, &mut twin] {
+            m.try_enqueue(0, CoreId::new(0), 0, MemCmd::Read, ).unwrap();
+            m.try_enqueue(0, CoreId::new(0), 8 * 1024 * 8, MemCmd::Read).unwrap();
+        }
+        mc.tick(0, &mut sched, &mut dram);
+        let mut dram2: Dram<TxnId> = Dram::new(&DramConfig::default(), 2.4e9);
+        twin.tick(0, &mut sched, &mut dram2);
+        // Naive: tick the first controller through the dead window.
+        for now in 1..=10 {
+            mc.tick(now, &mut sched, &mut dram);
+        }
+        // Fast-forward: replay the same window in one call. Bank 0 is busy
+        // well past cycle 10, so no dispatch happens in either run.
+        twin.note_skipped_cycles(10);
+        assert_eq!(mc.dispatched(), twin.dispatched());
+        assert_eq!(mc.queue_len(), twin.queue_len());
+        assert!((mc.mean_queue_occupancy() - twin.mean_queue_occupancy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn would_refill_queue_tracks_fifo_and_room() {
+        let (mut mc, mut dram, mut sched) = setup();
+        assert!(!mc.would_refill_queue(), "empty controller has nothing to move");
+        mc.try_enqueue(0, CoreId::new(0), 0, MemCmd::Read).unwrap();
+        assert!(mc.would_refill_queue());
+        mc.tick(0, &mut sched, &mut dram);
+        assert!(!mc.would_refill_queue(), "FIFO drained into the queue");
+    }
+
+    #[test]
+    fn next_dispatch_opportunity_matches_dram_fences() {
+        let (mut mc, mut dram, mut sched) = setup();
+        assert_eq!(mc.next_dispatch_opportunity(0, &dram), None);
+        // Two same-bank transactions: the first dispatches, the second
+        // waits for the bank.
+        mc.try_enqueue(0, CoreId::new(0), 0, MemCmd::Read).unwrap();
+        mc.try_enqueue(0, CoreId::new(0), 64, MemCmd::Read).unwrap();
+        mc.tick(0, &mut sched, &mut dram);
+        assert_eq!(mc.queue_len(), 1);
+        let at = mc.next_dispatch_opportunity(1, &dram).unwrap();
+        assert!(at > 1, "bank must be fenced after the dispatch");
+        assert!(!dram.can_start(at - 1, 64));
+        assert!(dram.can_start(at, 64));
     }
 
     #[test]

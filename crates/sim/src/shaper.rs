@@ -64,6 +64,42 @@ pub trait SourceShaper {
     /// Records that the head request spent this cycle stalled.
     fn note_stall_cycle(&mut self);
 
+    /// Records `cycles` consecutive stalled cycles in one call (used by
+    /// the fast-forward engine when it skips a dead window during which
+    /// the per-cycle loop would have called
+    /// [`SourceShaper::note_stall_cycle`] each cycle *without* consulting
+    /// [`SourceShaper::try_issue`] — the throttle-blocked and
+    /// fault-denied paths).
+    fn note_stall_cycles(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.note_stall_cycle();
+        }
+    }
+
+    /// Batch replay of `cycles` skipped cycles in which the per-cycle
+    /// loop would have called [`SourceShaper::try_issue`], been denied,
+    /// and called [`SourceShaper::note_stall_cycle`]. Implementations
+    /// with deny-side counters must bump them here exactly as `cycles`
+    /// denied `try_issue` calls would have.
+    fn note_denied_cycles(&mut self, cycles: u64) {
+        self.note_stall_cycles(cycles);
+    }
+
+    /// Earliest cycle strictly after `now` at which a currently denied
+    /// request could possibly be granted by the passage of time alone
+    /// (credit replenishment, interval expiry, bin aging), or `None` when
+    /// no amount of waiting can flip the decision. Returning a cycle at
+    /// which the request is *still* denied is allowed (the engine simply
+    /// re-evaluates there); returning a cycle *later* than the first
+    /// possible grant is not.
+    ///
+    /// The default is the conservative `Some(now + 1)`: shapers that have
+    /// not been audited for skip-safety never let the fast-forward engine
+    /// jump over a pending request.
+    fn next_grant_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
+
     /// Snapshot of the shaper's credit state for the invariant auditor
     /// (live vs maximum per bin). Policies without bounded credit state
     /// return the default empty snapshot, which the auditor skips.
@@ -104,6 +140,10 @@ impl SourceShaper for UnlimitedShaper {
 
     fn note_stall_cycle(&mut self) {
         self.stalls += 1;
+    }
+
+    fn next_grant_event(&self, _now: Cycle) -> Option<Cycle> {
+        None // never denies, so there is nothing to wait for
     }
 }
 
@@ -192,10 +232,16 @@ impl SourceShaper for StaticRateShaper {
     }
 
     fn tick(&mut self, now: Cycle) {
-        if self.budget_per_period.is_some() && now >= self.period_start + self.period {
-            self.period_start = now;
-            self.used_this_period = 0;
-            self.refunds = 0;
+        // The while loop catches up over fast-forwarded windows; driven
+        // once per cycle it fires at most once, exactly at the boundary
+        // (where `period_start + period == now`, so `+=` and `= now`
+        // coincide).
+        if self.budget_per_period.is_some() {
+            while now >= self.period_start + self.period {
+                self.period_start += self.period;
+                self.used_this_period = 0;
+                self.refunds = 0;
+            }
         }
     }
 
@@ -229,6 +275,24 @@ impl SourceShaper for StaticRateShaper {
 
     fn note_stall_cycle(&mut self) {
         self.stalls += 1;
+    }
+
+    fn next_grant_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut at = now + 1;
+        if let Some(last) = self.last_issue {
+            at = at.max(last + self.interval);
+        }
+        if let Some(budget) = self.budget_per_period {
+            if self.used_this_period >= budget + self.refunds {
+                if budget == 0 {
+                    // A period reset restores a zero budget: waiting is
+                    // hopeless without an external refund.
+                    return None;
+                }
+                at = at.max(self.period_start + self.period);
+            }
+        }
+        Some(at)
     }
 }
 
@@ -290,6 +354,56 @@ mod tests {
         assert!((s.requests_per_cycle() - 0.1).abs() < 1e-12);
         let s = StaticRateShaper::new(1).with_budget(5, 100);
         assert!((s.requests_per_cycle() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn catch_up_tick_matches_per_cycle_ticks() {
+        // A shaper ticked once after a long gap must land in the same
+        // period state as one ticked every cycle.
+        let mut naive = StaticRateShaper::new(1).with_budget(3, 100);
+        let mut fast = StaticRateShaper::new(1).with_budget(3, 100);
+        for now in 0..=250 {
+            naive.tick(now);
+        }
+        fast.tick(250);
+        assert_eq!(naive.period_start, fast.period_start);
+        assert_eq!(naive.used_this_period, fast.used_this_period);
+        assert_eq!(naive.try_issue(250), fast.try_issue(250));
+    }
+
+    #[test]
+    fn next_grant_event_bounds_the_first_grant() {
+        let mut s = StaticRateShaper::new(10).with_budget(1, 100);
+        s.tick(0);
+        assert!(s.try_issue(0).is_grant());
+        // Denied by both interval and budget: the event must not be later
+        // than the first cycle a grant is possible (the period boundary).
+        assert!(!s.try_issue(5).is_grant());
+        let at = s.next_grant_event(5).unwrap();
+        assert_eq!(at, 100, "budget refill dominates the interval expiry");
+        for t in 6..at {
+            s.tick(t);
+            assert!(!s.try_issue(t).is_grant(), "no grant before the event at {t}");
+        }
+        s.tick(at);
+        assert!(s.try_issue(at).is_grant());
+    }
+
+    #[test]
+    fn zero_budget_has_no_grant_event() {
+        let mut s = StaticRateShaper::new(1).with_budget(0, 100);
+        assert!(!s.try_issue(0).is_grant());
+        assert_eq!(s.next_grant_event(0), None);
+        // Unlimited never denies, so it also reports no event.
+        assert_eq!(UnlimitedShaper::new().next_grant_event(7), None);
+    }
+
+    #[test]
+    fn batch_stall_notes_match_singles() {
+        let mut s = StaticRateShaper::new(10);
+        s.note_stall_cycles(5);
+        s.note_denied_cycles(3);
+        assert_eq!(s.stall_cycles(), 8);
     }
 
     #[test]

@@ -154,6 +154,79 @@ impl CoreSnapshot {
     }
 }
 
+/// An exhaustive, exactly-comparable digest of one core's state at the
+/// end of a run. Unlike [`CoreStats`] (which carries histograms and is
+/// only `PartialEq`-less), every field here is an integer so two runs can
+/// be asserted bit-identical — the equivalence oracle for the naive
+/// versus fast-forward execution modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSystemStats {
+    /// Core pipeline counters (cycles, instructions, stalls, ...).
+    pub counters: CoreCounters,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// LLC hits for this core's demands.
+    pub llc_hits: u64,
+    /// LLC misses for this core's demands.
+    pub llc_misses: u64,
+    /// Writebacks issued from this core's L1.
+    pub writebacks: u64,
+    /// Cycles the miss-queue head was denied or stalled at the shaper.
+    pub shaper_stall_cycles: u64,
+    /// Sum of L1-miss-to-fill latencies.
+    pub mem_latency_sum: u64,
+    /// Fills contributing to `mem_latency_sum`.
+    pub mem_latency_count: u64,
+    /// Fills delivered to this core.
+    pub fills: u64,
+    /// Requests in flight past the shaper at the end of the run.
+    pub inflight: u32,
+    /// Shaper grants recorded in the ledger.
+    pub shaper_grants: u64,
+}
+
+/// Exactly-comparable digest of one memory channel at the end of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSystemStats {
+    /// Transactions dispatched to DRAM.
+    pub dispatched: u64,
+    /// (reads, writes) completed.
+    pub completed: (u64, u64),
+    /// Enqueue attempts rejected by a full smoothing FIFO.
+    pub fifo_rejections: u64,
+    /// (row hits, row misses, row conflicts).
+    pub row_stats: (u64, u64, u64),
+    /// Bytes moved over the data bus.
+    pub bytes: u64,
+    /// All-bank refreshes applied.
+    pub refreshes: u64,
+    /// Data-bus busy cycles.
+    pub busy_bus_cycles: u64,
+    /// Controller ticks observed (real plus skipped).
+    pub ticks: u64,
+    /// Accumulated queue-occupancy samples.
+    pub queue_occupancy_sum: u64,
+}
+
+/// Whole-system digest used to assert that two execution modes (naive
+/// cycle-by-cycle versus quiescence fast-forward) produced bit-identical
+/// results. Implements `Eq` so tests can `assert_eq!` entire runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Final simulated cycle.
+    pub cycles: u64,
+    /// Per-core digests.
+    pub cores: Vec<CoreSystemStats>,
+    /// Per-channel digests.
+    pub channels: Vec<ChannelSystemStats>,
+    /// Audit passes completed.
+    pub audit_passes: u64,
+    /// Invariant violations recorded by the auditor.
+    pub audit_violations: usize,
+}
+
 /// Slowdown metrics for a multiprogram run (§IV-D).
 ///
 /// `S_i = IPC_alone,i / IPC_shared,i`; `S_avg` (lower is better) measures

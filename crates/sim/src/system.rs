@@ -17,11 +17,14 @@ use crate::audit::{
 };
 use crate::cache::{AccessResult, Cache, MshrFile, MshrOutcome};
 use crate::config::{ConfigError, SystemConfig};
-use crate::core::{Core, CoreCounters, MemIssue, MemPort};
+use crate::core::{Core, CoreCounters, CoreIdleClass, MemIssue, MemPort};
 use crate::dram::Dram;
-use crate::mc::{CoreSignals, FcfsScheduler, MemoryController, Scheduler, SourceControl, TxnId};
+use crate::mc::{
+    CoreSignals, CoreThrottle, FcfsScheduler, McResponse, MemoryController, Scheduler,
+    SourceControl, TxnId,
+};
 use crate::shaper::{ShapeDecision, ShapeToken, SourceShaper, UnlimitedShaper};
-use crate::stats::{CoreSnapshot, CoreStats};
+use crate::stats::{ChannelSystemStats, CoreSnapshot, CoreStats, CoreSystemStats, SystemStats};
 use crate::trace::{ComputeTrace, TraceSource};
 use crate::types::{Addr, CoreId, Cycle, MemCmd, OpId};
 
@@ -48,6 +51,33 @@ struct PendingMiss {
     created_at: Cycle,
 }
 
+/// What the demand-issue stage did for a core on its last real tick.
+///
+/// The fast-forward engine needs this to know *why* a miss-queue head is
+/// not moving: a denial that waiting can cure (shaper credits age in,
+/// a throttle gap expires) yields a wake-up event, while anything else
+/// forces per-cycle execution. The shaper's
+/// [`SourceShaper::next_grant_event`] contract ("the earliest cycle a
+/// *currently denied* request could be granted") is only meaningful when
+/// the last tick actually recorded a denial, so the outcome gates which
+/// estimator may be consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueOutcome {
+    /// No miss-queue head existed when the issue stage ran.
+    NoRequest,
+    /// The head was granted and sent to the LLC.
+    Granted,
+    /// The shaper denied the head (`try_issue` returned `Deny`).
+    ShaperDenied,
+    /// A source throttle (inflight cap or issue gap) blocked the head
+    /// before the shaper was consulted.
+    ThrottleBlocked,
+    /// A fault-injection plan forced the denial.
+    FaultDenied,
+    /// The LLC ports were exhausted before this core's turn.
+    NoPorts,
+}
+
 /// One core plus its private memory-side structures.
 struct CoreUnit {
     id: CoreId,
@@ -64,6 +94,8 @@ struct CoreUnit {
     /// Grant timestamps awaiting their fill (auditor conservation check).
     grants: GrantLedger,
     last_issue: Option<Cycle>,
+    /// What the issue stage did on the most recent real tick.
+    last_outcome: IssueOutcome,
     stats: CoreStats,
     fills: u64,
     l1_hit_latency: Cycle,
@@ -137,6 +169,27 @@ impl CoreUnit {
             }
             _ => None,
         }
+    }
+
+    /// [`Core::idle_class`] refined with what this unit's L1 front end
+    /// would do: a `Busy` core whose only possible action is re-offering
+    /// a memory op the port deterministically rejects (line absent from
+    /// the L1, no MSHR to merge into, MSHR file full) is promoted to
+    /// [`CoreIdleClass::PortBlocked`]. The rejection is stable across a
+    /// skip window because MSHRs only free and the L1 only changes on
+    /// fills, and every fill has a wake-up event.
+    fn effective_idle_class(&self, at: Cycle) -> CoreIdleClass {
+        let class = self.core.idle_class(at);
+        if class != CoreIdleClass::Busy || !self.core.stalled_on_pending_issue(at) {
+            return class;
+        }
+        if let Some((addr, _)) = self.core.pending_issue() {
+            let line = self.l1.geometry().line_of(addr);
+            if !self.l1.probe(addr) && !self.l1_mshrs.contains(line) && self.l1_mshrs.is_full() {
+                return CoreIdleClass::PortBlocked;
+            }
+        }
+        CoreIdleClass::Busy
     }
 
     fn snapshot(&self) -> CoreSnapshot {
@@ -230,6 +283,7 @@ pub struct SystemBuilder {
     traces: Vec<Option<Box<dyn TraceSource>>>,
     shapers: Vec<Option<ShaperHandle>>,
     schedulers: Vec<Option<Box<dyn Scheduler>>>,
+    fast_forward: bool,
 }
 
 impl SystemBuilder {
@@ -258,7 +312,16 @@ impl SystemBuilder {
             traces: (0..cores).map(|_| None).collect(),
             shapers: (0..cores).map(|_| None).collect(),
             schedulers: (0..channels).map(|_| None).collect(),
+            fast_forward: true,
         })
+    }
+
+    /// Enables or disables quiescence fast-forward (on by default). The
+    /// naive cycle-by-cycle mode exists as the reference for equivalence
+    /// testing and as an escape hatch while debugging the engine itself.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
     }
 
     /// Sets the trace source feeding core `core`.
@@ -324,6 +387,7 @@ impl SystemBuilder {
                     inflight: 0,
                     grants: GrantLedger::default(),
                     last_issue: None,
+                    last_outcome: IssueOutcome::NoRequest,
                     stats: CoreStats::new(STAT_BINS, STAT_BIN_WIDTH),
                     fills: 0,
                     l1_hit_latency: config.l1.hit_latency,
@@ -362,6 +426,13 @@ impl SystemBuilder {
             auditor: InvariantAuditor::new(&config.hardening, n),
             audit_last_instr: vec![0; n],
             faults: ActiveFaults::default(),
+            fast_forward: self.fast_forward,
+            skipped_cycles: 0,
+            fills_scratch: Vec::new(),
+            notes_scratch: Vec::new(),
+            frozen_scratch: Vec::new(),
+            resp_scratch: Vec::new(),
+            lookups_scratch: Vec::new(),
             config,
         }
     }
@@ -398,6 +469,17 @@ pub struct System {
     audit_last_instr: Vec<u64>,
     /// Injected faults, if any (testing the checkers).
     faults: ActiveFaults,
+    /// Quiescence fast-forward enabled (the naive mode is the reference
+    /// for equivalence tests).
+    fast_forward: bool,
+    /// Total cycles jumped over by the fast-forward engine.
+    skipped_cycles: u64,
+    /// Reusable per-tick buffers (the tick hot path must not allocate).
+    fills_scratch: Vec<CoreFill>,
+    notes_scratch: Vec<ShaperNote>,
+    frozen_scratch: Vec<bool>,
+    resp_scratch: Vec<McResponse>,
+    lookups_scratch: Vec<LlcLookup>,
     config: SystemConfig,
 }
 
@@ -538,6 +620,13 @@ impl System {
         self.auditor.stall()
     }
 
+    /// Mutable access to the per-core source throttles (normally steered
+    /// by the scheduler's epoch hook; exposed for tests and external
+    /// control loops).
+    pub fn source_control_mut(&mut self) -> &mut SourceControl {
+        &mut self.source_ctl
+    }
+
     /// Installs a fault plan, replacing any previous one. Used by tests to
     /// prove the auditor and watchdog detect each fault class; see
     /// [`FaultPlan`].
@@ -545,11 +634,85 @@ impl System {
         self.faults.inject(plan);
     }
 
+    /// Enables or disables quiescence fast-forward at runtime.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether quiescence fast-forward is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Total cycles the fast-forward engine has jumped over (0 in naive
+    /// mode). A diagnostic for the speedup achieved, not a statistic —
+    /// skipped cycles are fully accounted in every counter.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Exhaustive integer digest of the end-of-run state, comparable with
+    /// `==` across runs. Two runs of the same workload — one naive, one
+    /// fast-forwarded — must produce equal `SystemStats`.
+    pub fn system_stats(&self) -> SystemStats {
+        SystemStats {
+            cycles: self.now,
+            cores: self
+                .cores
+                .iter()
+                .map(|u| CoreSystemStats {
+                    counters: u.core.counters().clone(),
+                    l1_hits: u.stats.l1_hits,
+                    l1_misses: u.stats.l1_misses,
+                    llc_hits: u.stats.llc_hits,
+                    llc_misses: u.stats.llc_misses,
+                    writebacks: u.stats.writebacks,
+                    shaper_stall_cycles: u.shaper.borrow().stall_cycles(),
+                    mem_latency_sum: u.stats.mem_latency_sum,
+                    mem_latency_count: u.stats.mem_latency_count,
+                    fills: u.fills,
+                    inflight: u.inflight,
+                    shaper_grants: u.grants.granted(),
+                })
+                .collect(),
+            channels: self
+                .channels
+                .iter()
+                .map(|ch| ChannelSystemStats {
+                    dispatched: ch.mc.dispatched(),
+                    completed: ch.mc.completed(),
+                    fifo_rejections: ch.mc.fifo_rejections(),
+                    row_stats: ch.dram.row_stats(),
+                    bytes: ch.dram.bytes_transferred(),
+                    refreshes: ch.dram.refreshes(),
+                    busy_bus_cycles: ch.dram.busy_bus_cycles(),
+                    ticks: ch.mc.tick_count(),
+                    queue_occupancy_sum: ch.mc.queue_occupancy_sum(),
+                })
+                .collect(),
+            audit_passes: self.auditor.passes(),
+            audit_violations: self.auditor.violations().len(),
+        }
+    }
+
+    /// Advances the system by at least one cycle: runs one real tick, then
+    /// (in fast-forward mode) jumps `now` over any provably dead window to
+    /// the next event. Returns the new `now`.
+    pub fn advance(&mut self) -> Cycle {
+        self.advance_bounded(Cycle::MAX)
+    }
+
+    fn advance_bounded(&mut self, limit: Cycle) -> Cycle {
+        self.tick();
+        self.try_fast_forward(limit);
+        self.now
+    }
+
     /// Runs the system for `cycles` cycles.
     pub fn run_cycles(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
         while self.now < end {
-            self.tick();
+            self.advance_bounded(end);
         }
     }
 
@@ -565,10 +728,17 @@ impl System {
             if self.cores.iter().all(done) {
                 return RunOutcome::Completed { cycles: self.now };
             }
-            if let Some(report) = self.auditor.stall() {
-                return RunOutcome::Stalled(Box::new(report.clone()));
+            if self.auditor.stall().is_some() {
+                break;
             }
             self.tick();
+            // Do not skip past the tick that completed the target: the
+            // finishing core can classify as idle right after retiring its
+            // last instruction, and a jump here would inflate the reported
+            // completion cycle relative to the naive loop.
+            if !self.cores.iter().all(done) {
+                self.try_fast_forward(end);
+            }
         }
         if self.cores.iter().all(done) {
             RunOutcome::Completed { cycles: self.now }
@@ -588,20 +758,29 @@ impl System {
         }
     }
 
-    fn tick(&mut self, ) {
+    fn tick(&mut self) {
         let now = self.now;
-        let mut fills: Vec<CoreFill> = Vec::new();
-        let mut notes: Vec<ShaperNote> = Vec::new();
+        // Reusable scratch: the hot path must not allocate per tick.
+        let mut fills = std::mem::take(&mut self.fills_scratch);
+        let mut notes = std::mem::take(&mut self.notes_scratch);
+        let faults_active = self.faults.is_active();
 
         // 1. DRAM completions -> LLC fills (per channel).
         let row_bytes = self.channel_row_bytes;
         let nchan = self.channels.len();
+        let mut responses = std::mem::take(&mut self.resp_scratch);
         for ch in 0..nchan {
-            let responses = {
+            responses.clear();
+            {
                 let channel = &mut self.channels[ch];
-                channel.mc.drain_completions(now, channel.scheduler.as_mut(), &mut channel.dram)
-            };
-            for resp in responses {
+                channel.mc.drain_completions_into(
+                    now,
+                    channel.scheduler.as_mut(),
+                    &mut channel.dram,
+                    &mut responses,
+                );
+            }
+            for resp in responses.drain(..) {
                 // Fault injection: a response may be discarded or held.
                 match self.faults.on_response(now, resp.txn.addr) {
                     ResponseAction::Drop | ResponseAction::Delay(_) => continue,
@@ -617,7 +796,7 @@ impl System {
                 );
             }
         }
-        if self.faults.is_active() {
+        if faults_active {
             for line in self.faults.due_delayed(now) {
                 Self::llc_on_mem_response(
                     &mut self.llc,
@@ -639,25 +818,37 @@ impl System {
             now,
             &mut fills,
             &mut notes,
+            &mut self.lookups_scratch,
         );
 
         // 3. Deliver fills and shaper notes to cores.
-        for note in notes {
+        for note in notes.drain(..) {
             let unit = &mut self.cores[note.core.index()];
             unit.shaper.borrow_mut().on_llc_response(now, note.token, note.hit);
         }
-        for fill in fills {
+        for fill in fills.drain(..) {
             let unit = &mut self.cores[fill.core.index()];
             unit.on_fill(now, fill.line_addr);
         }
 
         // 4. Per-core: hit-pipe completions, shaper tick, issue demands and
         //    writebacks through the LLC ports, then tick the core itself.
-        let mut ports_left = if self.faults.stall_ports(now) { 0 } else { self.llc_ports };
+        let mut ports_left = if faults_active && self.faults.stall_ports(now) {
+            0
+        } else {
+            self.llc_ports
+        };
+        // When no policy has configured throttles (the common case), skip
+        // the per-core control lookup entirely.
+        let any_limits = self.source_ctl.any_limits();
         let n = self.cores.len();
         for i in 0..n {
             let idx = (self.rr_offset + i) % n;
-            let throttle = self.source_ctl.throttle(CoreId::new(idx));
+            let throttle = if any_limits {
+                self.source_ctl.throttle(CoreId::new(idx))
+            } else {
+                CoreThrottle::default()
+            };
             let unit = &mut self.cores[idx];
 
             while let Some(&(ready, op)) = unit.hit_pipe.front() {
@@ -670,46 +861,58 @@ impl System {
 
             unit.shaper.borrow_mut().tick(now);
 
-            // Demand issue (head of miss queue) through the shaper.
-            if ports_left > 0 {
-                if let Some(&head) = unit.miss_queue.front() {
-                    let inflight_ok =
-                        throttle.max_inflight.is_none_or(|cap| unit.inflight < cap);
-                    let gap_ok = throttle.min_issue_gap.is_none_or(|gap| {
-                        unit.last_issue.is_none_or(|last| now >= last + gap as Cycle)
-                    });
-                    if inflight_ok && gap_ok {
-                        // Fault injection: a zeroed-credit shaper denies
-                        // everything.
-                        let decision = if self.faults.deny_issue(now, idx) {
-                            ShapeDecision::Deny
-                        } else {
-                            unit.shaper.borrow_mut().try_issue(now)
-                        };
-                        match decision {
-                            ShapeDecision::Grant(token) => {
-                                unit.miss_queue.pop_front();
-                                unit.inflight += 1;
-                                unit.grants.on_grant(now);
-                                unit.last_issue = Some(now);
-                                ports_left -= 1;
-                                let _ = head.created_at; // latency counted at L1 MSHR
-                                self.llc.lookups.push_back(LlcLookup {
-                                    ready_at: now + self.llc.hit_latency,
-                                    core: unit.id,
-                                    line_addr: head.line_addr,
-                                    kind: LlcKind::Demand { token, notified: false },
-                                });
-                            }
-                            ShapeDecision::Deny => {
-                                unit.shaper.borrow_mut().note_stall_cycle();
+            // Demand issue (head of miss queue) through the shaper. The
+            // outcome is recorded so the fast-forward engine knows whether
+            // a stuck head is waiting on something time can cure.
+            unit.last_outcome = if ports_left == 0 {
+                IssueOutcome::NoPorts
+            } else if let Some(&head) = unit.miss_queue.front() {
+                let inflight_ok =
+                    throttle.max_inflight.is_none_or(|cap| unit.inflight < cap);
+                let gap_ok = throttle.min_issue_gap.is_none_or(|gap| {
+                    unit.last_issue.is_none_or(|last| now >= last + gap as Cycle)
+                });
+                if inflight_ok && gap_ok {
+                    // Fault injection: a zeroed-credit shaper denies
+                    // everything.
+                    let fault_denied = faults_active && self.faults.deny_issue(now, idx);
+                    let decision = if fault_denied {
+                        ShapeDecision::Deny
+                    } else {
+                        unit.shaper.borrow_mut().try_issue(now)
+                    };
+                    match decision {
+                        ShapeDecision::Grant(token) => {
+                            unit.miss_queue.pop_front();
+                            unit.inflight += 1;
+                            unit.grants.on_grant(now);
+                            unit.last_issue = Some(now);
+                            ports_left -= 1;
+                            let _ = head.created_at; // latency counted at L1 MSHR
+                            self.llc.lookups.push_back(LlcLookup {
+                                ready_at: now + self.llc.hit_latency,
+                                core: unit.id,
+                                line_addr: head.line_addr,
+                                kind: LlcKind::Demand { token, notified: false },
+                            });
+                            IssueOutcome::Granted
+                        }
+                        ShapeDecision::Deny => {
+                            unit.shaper.borrow_mut().note_stall_cycle();
+                            if fault_denied {
+                                IssueOutcome::FaultDenied
+                            } else {
+                                IssueOutcome::ShaperDenied
                             }
                         }
-                    } else {
-                        unit.shaper.borrow_mut().note_stall_cycle();
                     }
+                } else {
+                    unit.shaper.borrow_mut().note_stall_cycle();
+                    IssueOutcome::ThrottleBlocked
                 }
-            }
+            } else {
+                IssueOutcome::NoRequest
+            };
 
             // Writebacks use leftover port bandwidth.
             if ports_left > 0 {
@@ -767,7 +970,182 @@ impl System {
         }
         self.watchdog_tick(now);
 
+        self.fills_scratch = fills;
+        self.notes_scratch = notes;
+        self.resp_scratch = responses;
         self.now += 1;
+    }
+
+    /// Jumps `now` over a provably dead window, if one exists. `limit`
+    /// bounds the jump (a `run_cycles` end, or the instruction-run cycle
+    /// cap). No-op when fast-forward is off or the watchdog has already
+    /// declared a stall (a stalled system is inspected per cycle).
+    fn try_fast_forward(&mut self, limit: Cycle) {
+        if !self.fast_forward || self.auditor.stall().is_some() {
+            return;
+        }
+        if let Some(target) = self.quiescent_until() {
+            let target = target.min(limit);
+            if target > self.now {
+                self.skip_to(target);
+            }
+        }
+    }
+
+    /// If the system is quiescent — no component would change
+    /// architectural state before some future cycle — returns the earliest
+    /// cycle at which anything can happen (the cycle the next real tick
+    /// must run). Returns `None` when any component has same-cycle work.
+    ///
+    /// Called with the state *settled at the end of cycle `self.now - 1`*;
+    /// the candidate skip window is `[self.now, target - 1]`. Every event
+    /// estimate is clamped to at least `self.now`, so an event in the past
+    /// or present simply means "no skip". Estimates may err early (the
+    /// wake-up tick re-evaluates and may skip again) but never late — the
+    /// one-cycle-granularity invariant: a skip must be indistinguishable,
+    /// counter for counter, from executing that many no-op ticks.
+    fn quiescent_until(&self) -> Option<Cycle> {
+        let resume = self.now;
+        let now_q = self.now - 1;
+
+        // Work queued for this very cycle makes the system non-quiescent.
+        if !self.llc.mc_backlog.is_empty() {
+            return None;
+        }
+        if self.llc.deferred.iter().any(|q| !q.is_empty()) {
+            return None;
+        }
+        for ch in &self.channels {
+            if ch.mc.would_refill_queue() {
+                return None;
+            }
+        }
+
+        let mut next: Option<Cycle> = None;
+        let mut event = |c: Cycle| {
+            let c = c.max(resume);
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        };
+
+        for unit in &self.cores {
+            if !unit.wb_queue.is_empty() {
+                return None;
+            }
+            match unit.effective_idle_class(resume) {
+                CoreIdleClass::Busy => return None,
+                CoreIdleClass::Frozen => event(unit.core.frozen_until()),
+                // Both wait on a fill (ROB head / L1 MSHR), and every
+                // fill path has a downstream event.
+                CoreIdleClass::MemBlocked | CoreIdleClass::PortBlocked => {}
+            }
+            // The ROB-head load may itself be an L1 hit in flight through
+            // the hit pipe; its completion is a mandatory wake-up.
+            if let Some(&(ready, _)) = unit.hit_pipe.front() {
+                event(ready);
+            }
+            if !unit.miss_queue.is_empty() {
+                match unit.last_outcome {
+                    IssueOutcome::ShaperDenied => {
+                        // Contract: `next_grant_event` bounds when a
+                        // *currently denied* request could be granted;
+                        // `None` means waiting alone never helps (only the
+                        // watchdog can intervene, and it has an event).
+                        if let Some(c) = unit.shaper.borrow().next_grant_event(now_q) {
+                            event(c);
+                        }
+                    }
+                    IssueOutcome::ThrottleBlocked => {
+                        let t = self.source_ctl.throttle(unit.id);
+                        if let (Some(gap), Some(last)) = (t.min_issue_gap, unit.last_issue) {
+                            let expiry = last + gap as Cycle;
+                            if expiry >= resume {
+                                event(expiry);
+                            }
+                            // An expired gap means the block is the
+                            // inflight cap, cured only by a fill
+                            // (downstream events cover it).
+                        }
+                    }
+                    IssueOutcome::FaultDenied => {
+                        // Injected faults never expire; the fault-plan and
+                        // watchdog events below bound the wait.
+                    }
+                    // Granted / NoRequest / NoPorts with a pending head:
+                    // the next tick would attempt an issue whose outcome
+                    // we cannot predict without mutating the shaper.
+                    _ => return None,
+                }
+            }
+        }
+
+        for lk in &self.llc.lookups {
+            event(lk.ready_at);
+        }
+        for ch in &self.channels {
+            if let Some(c) = ch.dram.next_completion() {
+                event(c);
+            }
+            if let Some(c) = ch.mc.next_dispatch_opportunity(resume, &ch.dram) {
+                event(c);
+            }
+            if let Some(c) = ch.scheduler.next_event(now_q) {
+                event(c);
+            }
+        }
+        if self.faults.is_active() {
+            if let Some(c) = self.faults.next_event(now_q) {
+                event(c);
+            }
+        }
+        if let Some(c) = self.auditor.next_audit_boundary(now_q) {
+            event(c);
+        }
+        if let Some(c) = self.auditor.next_watchdog_event(now_q) {
+            event(c);
+        }
+        next
+    }
+
+    /// Replays the skipped window `[self.now, target - 1]` as batch
+    /// bookkeeping — exactly the counter updates `target - self.now`
+    /// no-op ticks would have made — then jumps `now` to `target`.
+    fn skip_to(&mut self, target: Cycle) {
+        let k = target - self.now;
+        let last = target - 1;
+        let mut frozen = std::mem::take(&mut self.frozen_scratch);
+        frozen.clear();
+        let mut all_frozen = true;
+        for unit in &mut self.cores {
+            let class = unit.effective_idle_class(self.now);
+            let is_frozen = class == CoreIdleClass::Frozen;
+            frozen.push(is_frozen);
+            all_frozen &= is_frozen;
+            unit.core.note_idle_cycles(class, k);
+            if !unit.miss_queue.is_empty() {
+                match unit.last_outcome {
+                    // Each skipped cycle would have retried `try_issue`
+                    // (counting a deny) and noted a stall.
+                    IssueOutcome::ShaperDenied => {
+                        unit.shaper.borrow_mut().note_denied_cycles(k);
+                    }
+                    // Blocked before the shaper: only the stall is noted.
+                    IssueOutcome::ThrottleBlocked | IssueOutcome::FaultDenied => {
+                        unit.shaper.borrow_mut().note_stall_cycles(k);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let n = self.cores.len().max(1);
+        self.rr_offset = (self.rr_offset + (k as usize % n)) % n;
+        for ch in &mut self.channels {
+            ch.mc.note_skipped_cycles(k);
+            ch.scheduler.note_idle_cycles(k);
+        }
+        self.auditor.replay_skipped(last, all_frozen, &frozen);
+        self.frozen_scratch = frozen;
+        self.skipped_cycles += k;
+        self.now = target;
     }
 
     /// One invariant-audit pass: conservation laws across cores, LLC,
@@ -1060,6 +1438,9 @@ impl System {
         }
     }
 
+    // Free function over disjoint `System` fields (split borrows); the
+    // argument list is the price of not borrowing all of `self`.
+    #[allow(clippy::too_many_arguments)]
     fn llc_tick(
         llc: &mut LlcUnit,
         channels: &mut [Channel],
@@ -1068,6 +1449,7 @@ impl System {
         now: Cycle,
         fills: &mut Vec<CoreFill>,
         notes: &mut Vec<ShaperNote>,
+        due: &mut Vec<LlcLookup>,
     ) {
         let nchan = channels.len();
         let mut enqueue = |now: Cycle, core: CoreId, line: Addr, cmd: MemCmd| -> bool {
@@ -1119,24 +1501,22 @@ impl System {
             }
         }
 
-        // Resolve due lookups. Entries that cannot make progress (MSHR
-        // full) are re-queued for the next cycle.
-        let mut requeue: Vec<LlcLookup> = Vec::new();
-        let due: Vec<LlcLookup> = {
-            let mut v = Vec::new();
-            let mut rest = VecDeque::new();
-            while let Some(lk) = llc.lookups.pop_front() {
-                if lk.ready_at <= now {
-                    v.push(lk);
-                } else {
-                    rest.push_back(lk);
-                }
+        // Resolve due lookups. Partition in place (rotate through the
+        // deque once) so the hot path does not allocate; entries that
+        // cannot make progress (MSHR full) are pushed straight back,
+        // which lands them after the not-yet-due remainder exactly as
+        // the old requeue flush did.
+        due.clear();
+        for _ in 0..llc.lookups.len() {
+            let lk = llc.lookups.pop_front().expect("length-bounded");
+            if lk.ready_at <= now {
+                due.push(lk);
+            } else {
+                llc.lookups.push_back(lk);
             }
-            llc.lookups = rest;
-            v
-        };
+        }
 
-        for mut lk in due {
+        for mut lk in due.drain(..) {
             match lk.kind {
                 LlcKind::Writeback => {
                     match llc.cache.access(lk.line_addr, true) {
@@ -1206,15 +1586,12 @@ impl System {
                             MshrOutcome::Merged => {}
                             MshrOutcome::Full => {
                                 lk.ready_at = now + 1;
-                                requeue.push(lk);
+                                llc.lookups.push_back(lk);
                             }
                         }
                     }
                 }
             }
-        }
-        for lk in requeue {
-            llc.lookups.push_back(lk);
         }
     }
 }
@@ -1517,5 +1894,79 @@ mod tests {
         sys.run_cycles(1000);
         assert_eq!(sys.core_stats(0).counters.instructions, 0);
         assert_eq!(sys.core_stats(0).counters.frozen_cycles, 1000);
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_run_cycles() {
+        // A latency-bound stream: long memory-blocked windows the engine
+        // should skip, with bit-identical statistics.
+        let run = |ff: bool| {
+            let mut sys = SystemBuilder::new(SystemConfig::single_program())
+                .trace(0, Box::new(StrideTrace::new(200, 64, 16 << 20)))
+                .fast_forward(ff)
+                .build();
+            sys.run_cycles(30_000);
+            (sys.system_stats(), sys.skipped_cycles())
+        };
+        let (naive, skipped_naive) = run(false);
+        let (fast, skipped_fast) = run(true);
+        assert_eq!(skipped_naive, 0);
+        assert!(skipped_fast > 0, "latency-bound run must skip some cycles");
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_with_throttles_and_shaper() {
+        let run = |ff: bool| {
+            let mut cfg = SystemConfig::multi_program(2);
+            cfg.cores = 2;
+            let mut sys = SystemBuilder::new(cfg)
+                .trace(0, Box::new(StrideTrace::new(60, 64, 16 << 20)))
+                .trace(1, Box::new(StrideTrace::new(60, 64, 16 << 20).with_base(1 << 32)))
+                .shaper(0, Rc::new(RefCell::new(StaticRateShaper::new(90))))
+                .fast_forward(ff)
+                .build();
+            sys.source_control_mut().throttle_mut(CoreId::new(1)).min_issue_gap = Some(50);
+            sys.run_cycles(40_000);
+            (sys.system_stats(), sys.skipped_cycles())
+        };
+        let (naive, _) = run(false);
+        let (fast, skipped) = run(true);
+        assert!(skipped > 0, "shaper-denied windows must be skipped");
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_run_until_instructions() {
+        let run = |ff: bool| {
+            let mut sys = SystemBuilder::new(SystemConfig::single_program())
+                .trace(0, Box::new(StrideTrace::new(150, 64, 16 << 20)))
+                .fast_forward(ff)
+                .build();
+            let outcome = sys.run_until_instructions(5_000, 200_000);
+            (outcome, sys.system_stats())
+        };
+        let key = |o: &RunOutcome| match o {
+            RunOutcome::Completed { cycles } => ("completed", *cycles, Vec::new()),
+            RunOutcome::CycleLimit { cycles, lagging } => ("limit", *cycles, lagging.clone()),
+            RunOutcome::Stalled(r) => ("stalled", r.detected_at, Vec::new()),
+        };
+        let (naive_outcome, naive) = run(false);
+        let (fast_outcome, fast) = run(true);
+        assert_eq!(key(&naive_outcome), key(&fast_outcome));
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_under_freeze() {
+        let run = |ff: bool| {
+            let mut sys = SystemBuilder::new(SystemConfig::single_program())
+                .fast_forward(ff)
+                .build();
+            sys.freeze_core(0, 900);
+            sys.run_cycles(2_000);
+            sys.system_stats()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

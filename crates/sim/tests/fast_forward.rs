@@ -1,0 +1,241 @@
+//! Naive vs fast-forward equivalence over the full bundled surface.
+//!
+//! The quiescence fast-forward in `System::advance` is only sound if a
+//! skip over `[now, target)` is indistinguishable, counter for counter,
+//! from executing that many no-op ticks. The unit tests in
+//! `crates/sim/src/system.rs` prove this for hand-built stride traces;
+//! this suite proves it for everything the repo actually ships:
+//!
+//! * every bundled benchmark trace (`Benchmark::ALL`, 16 workloads),
+//! * every scheduler `mitts_sched::make_baseline` knows how to build,
+//! * real `MittsShaper` instances (grant ledgers compared bin by bin),
+//! * fault plans, including delayed DRAM responses — a held response
+//!   must be released on its exact cycle, never skipped over.
+//!
+//! Every comparison is on the all-integer [`SystemStats`] digest, so a
+//! single divergent counter anywhere in the machine fails the test.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mitts_core::{BinConfig, BinSpec, MittsShaper};
+use mitts_sched::{baseline_names, make_baseline};
+use mitts_sim::audit::{FaultKind, FaultPlan, RunOutcome};
+use mitts_sim::config::{CacheConfig, SystemConfig};
+use mitts_sim::system::{System, SystemBuilder};
+use mitts_sim::types::Cycle;
+use mitts_workloads::Benchmark;
+
+/// Disjoint address-space base for core `i`.
+fn base_for(core: usize) -> u64 {
+    (core as u64) << 36
+}
+
+/// Builds one system for `benches` with a small shared LLC (so the
+/// bundled traces actually miss to DRAM) and the given scheduler.
+fn build_system(
+    benches: &[Benchmark],
+    scheduler: &str,
+    fast_forward: bool,
+) -> System {
+    let mut cfg = SystemConfig::multi_program(benches.len());
+    cfg.llc = CacheConfig::llc_with_size(256 << 10);
+    let mut b = SystemBuilder::new(cfg)
+        .scheduler(make_baseline(scheduler, benches.len()).expect("known scheduler"))
+        .fast_forward(fast_forward);
+    for (i, &bench) in benches.iter().enumerate() {
+        b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0xF0 + i as u64)));
+    }
+    b.build()
+}
+
+/// Runs naive and fast-forward twins for `cycles`, asserts identical
+/// stats, and returns (naive, fast) for further checks.
+fn assert_equivalent_run(
+    benches: &[Benchmark],
+    scheduler: &str,
+    cycles: Cycle,
+) -> (System, System) {
+    let mut naive = build_system(benches, scheduler, false);
+    let mut fast = build_system(benches, scheduler, true);
+    naive.run_cycles(cycles);
+    fast.run_cycles(cycles);
+    assert_eq!(naive.skipped_cycles(), 0, "naive mode must never skip");
+    assert_eq!(
+        naive.system_stats(),
+        fast.system_stats(),
+        "stats diverged for {benches:?} under {scheduler}"
+    );
+    assert!(naive.audit_log().is_empty(), "naive run must audit clean");
+    assert!(fast.audit_log().is_empty(), "fast run must audit clean");
+    (naive, fast)
+}
+
+/// Collapses a [`RunOutcome`] to a comparable key (`RunOutcome` is not
+/// `PartialEq` because `StallReport` isn't).
+fn outcome_key(o: &RunOutcome) -> (&'static str, Cycle, Vec<usize>) {
+    match o {
+        RunOutcome::Completed { cycles } => ("completed", *cycles, Vec::new()),
+        RunOutcome::CycleLimit { cycles, lagging } => ("limit", *cycles, lagging.clone()),
+        RunOutcome::Stalled(r) => ("stalled", r.detected_at, Vec::new()),
+    }
+}
+
+#[test]
+fn every_bundled_benchmark_matches_naive() {
+    let mut total_skipped = 0;
+    for &bench in &Benchmark::ALL {
+        let (_, fast) = assert_equivalent_run(&[bench], "FR-FCFS", 20_000);
+        total_skipped += fast.skipped_cycles();
+    }
+    // The point of the fast path: across the workload suite some runs
+    // must actually have skipped (compute phases, shaper stalls, DRAM
+    // latency bubbles).
+    assert!(
+        total_skipped > 0,
+        "fast-forward never engaged on any bundled workload"
+    );
+}
+
+#[test]
+fn every_scheduler_matches_naive() {
+    // The 6 paper baselines plus the extra names make_baseline accepts.
+    let mut names: Vec<&str> = baseline_names().to_vec();
+    names.push("FCFS");
+    names.push("FR-FCFS+CG");
+    let benches = [Benchmark::Mcf, Benchmark::Libquantum];
+    for name in names {
+        assert_equivalent_run(&benches, name, 15_000);
+    }
+}
+
+#[test]
+fn mitts_shaper_grant_ledgers_match_naive() {
+    // Sparse credits with a long replenishment period force real deny
+    // phases, so the fast path must replay denied cycles exactly.
+    let make_cfg = || {
+        let mut credits = vec![0u32; BinSpec::paper_default().bins()];
+        credits[2] = 6;
+        credits[6] = 4;
+        credits[9] = 8;
+        BinConfig::new(BinSpec::paper_default(), credits, 3_000).unwrap()
+    };
+    // Single core: the shaped hog's deny phases are then system-wide
+    // quiescence, which the fast path must skip and replay exactly.
+    let build = |fast_forward: bool| {
+        let shaper = Rc::new(RefCell::new(MittsShaper::new(make_cfg())));
+        let mut cfg = SystemConfig::multi_program(1);
+        cfg.llc = CacheConfig::llc_with_size(256 << 10);
+        let sys = SystemBuilder::new(cfg)
+            .trace(0, Box::new(Benchmark::Libquantum.profile().trace(base_for(0), 11)))
+            .shaper(0, Rc::clone(&shaper) as _)
+            .fast_forward(fast_forward)
+            .build();
+        (sys, shaper)
+    };
+    let (mut naive, naive_shaper) = build(false);
+    let (mut fast, fast_shaper) = build(true);
+    naive.run_cycles(30_000);
+    fast.run_cycles(30_000);
+    assert!(fast.skipped_cycles() > 0, "shaped run should have skippable deny spans");
+    assert_eq!(naive.system_stats(), fast.system_stats());
+    // The ledger the tuner reads must be bit-identical too: per-bin
+    // grants, live credits, and every counter including denies.
+    let (n, f) = (naive_shaper.borrow(), fast_shaper.borrow());
+    assert_eq!(n.grants_per_bin(), f.grants_per_bin(), "per-bin grant ledger diverged");
+    assert_eq!(n.live_credits(), f.live_credits(), "live credits diverged");
+    assert_eq!(n.counters(), f.counters(), "shaper counters diverged");
+}
+
+#[test]
+fn throttled_sources_match_naive() {
+    use mitts_sim::types::CoreId;
+    let run = |fast_forward: bool| {
+        let mut sys = build_system(&[Benchmark::Mcf, Benchmark::Omnetpp], "TCM", fast_forward);
+        {
+            let ctl = sys.source_control_mut();
+            ctl.throttle_mut(CoreId::new(0)).min_issue_gap = Some(80);
+            ctl.throttle_mut(CoreId::new(1)).max_inflight = Some(2);
+        }
+        sys.run_cycles(25_000);
+        sys
+    };
+    let naive = run(false);
+    let fast = run(true);
+    assert_eq!(naive.system_stats(), fast.system_stats());
+    assert!(naive.audit_log().is_empty() && fast.audit_log().is_empty());
+}
+
+#[test]
+fn fault_plans_match_naive() {
+    // Two plans, per the hardening contract: delayed responses are
+    // events the fast path must honor exactly (a skip over a release
+    // cycle would deliver the line late and shift every counter after
+    // it), and drops + port stalls change issue outcomes mid-run.
+    let plans: [FaultPlan; 2] = [
+        FaultPlan::new().with(FaultKind::DelayDramResponses { from: 2_000, delay: 13 }),
+        FaultPlan::new()
+            .with(FaultKind::DropDramResponses { from: 3_000, count: 2 })
+            .with(FaultKind::ZeroShaperCredits { from: 6_000, core: 0 }),
+    ];
+    for plan in plans {
+        let run = |fast_forward: bool| {
+            let mut sys =
+                build_system(&[Benchmark::Libquantum, Benchmark::Bzip], "FR-FCFS", fast_forward);
+            sys.inject_faults(plan.clone());
+            sys.run_cycles(20_000);
+            sys
+        };
+        let naive = run(false);
+        let fast = run(true);
+        // Fault runs may log violations (that's what the auditor is
+        // for) — but both modes must log identically many and count
+        // identical passes, which system_stats covers.
+        assert_eq!(
+            naive.system_stats(),
+            fast.system_stats(),
+            "stats diverged under fault plan {plan:?}"
+        );
+    }
+}
+
+#[test]
+fn run_until_instructions_outcomes_match_naive() {
+    // Cover both reachable outcome variants: Completed (generous cap)
+    // and CycleLimit with a lagging set (tight cap on a memory hog).
+    let cases = [
+        (Benchmark::Sjeng, 8_000u64, 200_000 as Cycle),
+        (Benchmark::Mcf, 50_000, 6_000),
+    ];
+    for (bench, work, cap) in cases {
+        let run = |fast_forward: bool| {
+            let mut sys = build_system(&[bench, Benchmark::Gcc], "FairQueue", fast_forward);
+            let outcome = sys.run_until_instructions(work, cap);
+            (outcome, sys)
+        };
+        let (naive_outcome, naive) = run(false);
+        let (fast_outcome, fast) = run(true);
+        assert_eq!(
+            outcome_key(&naive_outcome),
+            outcome_key(&fast_outcome),
+            "outcome diverged for {bench:?}"
+        );
+        assert_eq!(naive.system_stats(), fast.system_stats());
+    }
+}
+
+#[test]
+fn mid_run_mode_flip_matches_naive_tail() {
+    // Fast-forward can be toggled live; a run that flips modes halfway
+    // must land on the same state as an all-naive run.
+    let benches = [Benchmark::Streamcluster];
+    let mut naive = build_system(&benches, "FR-FCFS", false);
+    naive.run_cycles(24_000);
+    let mut mixed = build_system(&benches, "FR-FCFS", true);
+    mixed.run_cycles(12_000);
+    mixed.set_fast_forward(false);
+    mixed.run_cycles(6_000);
+    mixed.set_fast_forward(true);
+    mixed.run_cycles(6_000);
+    assert_eq!(naive.system_stats(), mixed.system_stats());
+}

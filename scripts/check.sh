@@ -6,3 +6,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Fast-forward equivalence: naive and skip-ahead execution must produce
+# bit-identical stats, grant ledgers, and run outcomes.
+cargo test -q -p mitts-sim --test fast_forward
+
+# Perf smoke: fails if fast-forward is >2x slower than naive anywhere.
+scripts/bench.sh --smoke
