@@ -1,0 +1,57 @@
+//! `mitts-trace` — summarize a JSONL trace written by the simulator's
+//! observability layer (`SystemBuilder::trace_sink` + `JsonlSink`, or
+//! the `perf_baseline` smoke artifact at `target/obs_smoke.trace.jsonl`).
+//!
+//! Prints top stall reasons per core, the shaper-grant bin histogram
+//! against the configured credits, p50/p95/p99 latency decomposition by
+//! pipeline stage, and the throttling-episode timeline — then
+//! cross-checks that the per-stage sums telescope exactly to the run's
+//! `mem_latency_sum`. Exits 1 if the cross-check fails, 2 on usage or
+//! parse errors.
+
+use std::fs::File;
+use std::io::{BufReader, Write as _};
+
+use mitts_bench::tracetool::summarize;
+
+const USAGE: &str = "usage: mitts-trace <trace.jsonl>
+
+Summarizes a mitts simulator JSONL trace: stall reasons per core,
+shaper-grant bin histogram, per-stage latency percentiles, and the
+throttling-episode timeline. Exits non-zero if the per-stage latency
+sums do not telescope to the trace's run_summary mem_latency_sum.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return;
+    }
+    let [path] = args.as_slice() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("mitts-trace: cannot open {path}: {e}");
+        std::process::exit(2);
+    });
+    let summary = summarize(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("mitts-trace: {path}: {e}");
+        std::process::exit(2);
+    });
+    // Write without panicking on a closed pipe (`mitts-trace ... | head`).
+    let mut out = std::io::stdout().lock();
+    let _ = write!(out, "{}", summary.render());
+    match summary.crosscheck() {
+        Ok(Some(())) => {
+            let _ = writeln!(out, "crosscheck: OK — stage sums telescope to mem_latency_sum");
+        }
+        Ok(None) => {
+            let _ = writeln!(out, "crosscheck: skipped (trace has no run_summary record)");
+        }
+        Err(e) => {
+            eprintln!("crosscheck FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,8 +4,17 @@
 //!
 //! Emits `BENCH_sim.json` in the current directory — one record per
 //! (scenario, mode): `{"bench": ..., "cycles_per_sec": ..., "wall_ms": ...}`
-//! — and prints a speedup table. Exits non-zero if fast-forward is more
-//! than 2x slower than naive anywhere (the `scripts/check.sh` gate).
+//! (`cycles_per_sec` is omitted for records that aggregate multiple
+//! simulations, like the GA tune) — and prints a speedup table. Exits
+//! non-zero if fast-forward is more than 2x slower than naive anywhere
+//! (the `scripts/check.sh` gate).
+//!
+//! Also gates the observability layer: the shaped 4-program mix is
+//! re-timed with lifecycle tracing + sampling enabled and must stay
+//! within 15% of the untraced wall clock, and an untimed traced run
+//! writes `target/obs_smoke.trace.jsonl` + `target/obs_smoke.chrome.json`
+//! for `mitts-trace` / Perfetto (the decomposition is cross-checked
+//! in-process too).
 //!
 //! `--smoke` shrinks the work so the whole run fits in CI seconds.
 
@@ -15,9 +24,11 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use mitts_bench::runner::REPLENISH_PERIOD;
+use mitts_bench::tracetool::summarize;
 use mitts_core::{BinConfig, BinSpec, MittsShaper};
 use mitts_sched::make_baseline;
 use mitts_sim::config::{CacheConfig, SystemConfig};
+use mitts_sim::obs::{write_chrome_trace, RingSink, TrackLayout};
 use mitts_sim::system::{System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_tuner::{GaParams, GeneticTuner};
@@ -100,7 +111,8 @@ fn build_bw_saturated(fast_forward: bool) -> System {
 
 /// Mixed shaped workload: a four-program mix with a MITTS shaper on the
 /// hog — the shape of a real experiment run (deny phases + contention).
-fn build_mixed_shaped(fast_forward: bool) -> System {
+/// Returned unbuilt so the tracing gate can add a sink to the same mix.
+fn mixed_shaped_builder(fast_forward: bool) -> SystemBuilder {
     let benches =
         [Benchmark::Libquantum, Benchmark::Mcf, Benchmark::Gcc, Benchmark::Omnetpp];
     let mut b = SystemBuilder::new(scenario_config(4))
@@ -114,13 +126,18 @@ fn build_mixed_shaped(fast_forward: bool) -> System {
     credits[7] = 8;
     let shaper_cfg =
         BinConfig::new(BinSpec::paper_default(), credits, REPLENISH_PERIOD).unwrap();
-    b.shaper(0, Rc::new(RefCell::new(MittsShaper::new(shaper_cfg))) as _).build()
+    b.shaper(0, Rc::new(RefCell::new(MittsShaper::new(shaper_cfg))) as _)
 }
 
-/// A finished measurement row.
+fn build_mixed_shaped(fast_forward: bool) -> System {
+    mixed_shaped_builder(fast_forward).build()
+}
+
+/// A finished measurement row. `cycles_per_sec` is `None` for records
+/// that aggregate multiple simulations (no single meaningful rate).
 struct Record {
     bench: String,
-    cycles_per_sec: f64,
+    cycles_per_sec: Option<f64>,
     wall_ms: f64,
 }
 
@@ -132,7 +149,7 @@ fn time_scenario(s: &Scenario, fast_forward: bool) -> Record {
     let secs = wall.as_secs_f64().max(1e-9);
     Record {
         bench: format!("{}_{}", s.name, if fast_forward { "fast" } else { "naive" }),
-        cycles_per_sec: sys.now() as f64 / secs,
+        cycles_per_sec: Some(sys.now() as f64 / secs),
         wall_ms: wall.as_secs_f64() * 1e3,
     }
 }
@@ -212,17 +229,117 @@ fn main() {
         bench: "ga_quick_tune".to_owned(),
         // Simulated cycles are not aggregated across fitness runs; the
         // record carries wall time only.
-        cycles_per_sec: 0.0,
+        cycles_per_sec: None,
         wall_ms: wall.as_secs_f64() * 1e3,
     });
 
+    // Observability gate, part 1: the shaped mix re-timed with lifecycle
+    // tracing + sampling into a flight-recorder ring (8K events ≈ 1 MB,
+    // L2-resident; a larger retained tail adds cache footprint that gets
+    // billed to "tracing") must stay within 15% of the untraced wall
+    // clock. The arms are interleaved and min-of-N so machine noise hits
+    // both floors equally.
+    let mixed = &scenarios[2];
+    let reps = 5;
+    let run_mixed = |traced: bool| -> (f64, Cycle) {
+        let mut sys = if traced {
+            mixed_shaped_builder(true)
+                .trace_sink(Box::new(RingSink::new(8192)))
+                .sample_every(4096)
+                .build()
+        } else {
+            build_mixed_shaped(true)
+        };
+        let start = Instant::now();
+        let _ = sys.run_until_instructions(mixed.instructions, mixed.cap);
+        (start.elapsed().as_secs_f64(), sys.now())
+    };
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    let mut traced_cycles = 0;
+    for _ in 0..reps {
+        off = off.min(run_mixed(false).0);
+        let (t, c) = run_mixed(true);
+        on = on.min(t);
+        traced_cycles = c;
+    }
+    let overhead = on / off.max(1e-9) - 1.0;
+    println!(
+        "{:<34} {:>12.1} {:>12.1} {:>6.1}%  (tracing overhead)",
+        "mixed_shaped_4prog_traced",
+        off * 1e3,
+        on * 1e3,
+        overhead * 100.0
+    );
+    if overhead > 0.15 {
+        eprintln!(
+            "REGRESSION: lifecycle tracing costs {:.1}% over untraced (budget 15%)",
+            overhead * 100.0
+        );
+        regression = true;
+    }
+    records.push(Record {
+        bench: "mixed_shaped_4prog_traced".to_owned(),
+        cycles_per_sec: Some(traced_cycles as f64 / on.max(1e-9)),
+        wall_ms: on * 1e3,
+    });
+
+    // Observability gate, part 2: an untimed traced run of the same mix
+    // writes the JSONL + Chrome-trace artifacts that `scripts/check.sh`
+    // feeds to `mitts-trace`, and the per-stage latency decomposition is
+    // cross-checked against the machine's own mem_latency_sum here too.
+    {
+        let sink = Rc::new(RefCell::new(RingSink::new(1 << 22)));
+        let mut sys = mixed_shaped_builder(true)
+            .trace_sink(Box::new(Rc::clone(&sink)))
+            .sample_every(2048)
+            .build();
+        let _ = sys.run_until_instructions(mixed.instructions, mixed.cap);
+        sys.flush_trace();
+        let ring = sink.borrow();
+        assert_eq!(ring.dropped(), 0, "smoke trace overflowed its ring sink");
+        let mut jsonl = String::with_capacity(ring.len() * 96);
+        for ev in ring.events() {
+            jsonl.push_str(&ev.to_json_line());
+            jsonl.push('\n');
+        }
+        std::fs::create_dir_all("target").expect("create target/");
+        std::fs::write("target/obs_smoke.trace.jsonl", &jsonl)
+            .expect("write obs_smoke.trace.jsonl");
+        let cfg = scenario_config(4);
+        let layout =
+            TrackLayout { cores: 4, channels: cfg.mc.channels, banks: cfg.dram.banks };
+        let mut chrome = Vec::new();
+        write_chrome_trace(&ring.to_vec(), &layout, &mut chrome)
+            .expect("render chrome trace");
+        std::fs::write("target/obs_smoke.chrome.json", &chrome)
+            .expect("write obs_smoke.chrome.json");
+        let summary = summarize(jsonl.as_bytes()).expect("smoke trace parses");
+        match summary.crosscheck() {
+            Ok(Some(())) => {}
+            Ok(None) => {
+                eprintln!("REGRESSION: smoke trace has no run_summary record");
+                regression = true;
+            }
+            Err(e) => {
+                eprintln!("REGRESSION: trace decomposition crosscheck failed: {e}");
+                regression = true;
+            }
+        }
+        println!(
+            "wrote target/obs_smoke.trace.jsonl ({} events) and target/obs_smoke.chrome.json",
+            ring.len()
+        );
+    }
+
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let _ = write!(json, "  {{\"bench\": \"{}\", ", json_escape(&r.bench));
+        if let Some(cps) = r.cycles_per_sec {
+            let _ = write!(json, "\"cycles_per_sec\": {cps:.1}, ");
+        }
         let _ = write!(
             json,
-            "  {{\"bench\": \"{}\", \"cycles_per_sec\": {:.1}, \"wall_ms\": {:.3}}}{}\n",
-            json_escape(&r.bench),
-            r.cycles_per_sec,
+            "\"wall_ms\": {:.3}}}{}\n",
             r.wall_ms,
             if i + 1 < records.len() { "," } else { "" }
         );

@@ -11,6 +11,7 @@
 pub mod exp;
 pub mod runner;
 pub mod table;
+pub mod tracetool;
 
 pub use runner::{Scale, ShaperSpec};
 pub use table::Table;

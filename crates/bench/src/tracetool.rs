@@ -1,0 +1,533 @@
+//! Trace-file summarizer behind the `mitts-trace` binary.
+//!
+//! Consumes the JSONL stream written by the sim's observability layer
+//! (one [`mitts_sim::obs::TraceEvent`] per line) and folds it into a
+//! run report: top stall reasons per core, the shaper-grant bin
+//! histogram against the configured credits, p50/p95/p99 per-stage
+//! latency decomposition, and the throttling-episode timeline.
+//!
+//! The summary also re-derives the end-to-end latency sum from the
+//! per-stage decompositions and cross-checks it against the stream's
+//! `run_summary` record ([`TraceSummary::crosscheck`]); the stages are
+//! monotonized in the sim so they must telescope *exactly* — a mismatch
+//! means the trace and the machine disagree and the binary exits
+//! non-zero.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+use mitts_sim::obs::json::{parse, JsonValue};
+use mitts_sim::obs::{STAGE_COUNT, STAGE_NAMES};
+
+/// Stall-reason labels in display order (matches `StallReason::label`).
+const REASONS: [&str; 4] = ["shaper", "throttle", "fault", "ports"];
+
+/// One closed (or still-open) throttling episode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// Core the episode throttled.
+    pub core: usize,
+    /// Stall reason label.
+    pub reason: String,
+    /// Cycle the episode began.
+    pub since: u64,
+    /// Cycle it ended; `None` if still open at end of trace.
+    pub until: Option<u64>,
+}
+
+impl Episode {
+    /// Episode length in cycles (open episodes count as zero).
+    pub fn len(&self) -> u64 {
+        self.until.map_or(0, |u| u.saturating_sub(self.since))
+    }
+
+    /// Whether the episode never closed (trace ended mid-episode).
+    pub fn is_empty(&self) -> bool {
+        self.until.is_none()
+    }
+}
+
+/// Per-core aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct CoreSummary {
+    /// Shaper name from the core's `shaper_config` record.
+    pub shaper: Option<String>,
+    /// Configured (live, max) credits per bin at trace start.
+    pub bins: Vec<(u64, u64)>,
+    /// Grants per inter-arrival bin.
+    pub grants: Vec<u64>,
+    /// L1 misses traced.
+    pub l1_misses: u64,
+    /// LLC lookups resolved (hits, misses).
+    pub llc: (u64, u64),
+    /// Fills delivered.
+    pub fills: u64,
+    /// Total stall cycles per reason label.
+    pub stall_cycles: BTreeMap<String, u64>,
+    /// Episode count per reason label.
+    pub stall_episodes: BTreeMap<String, u64>,
+}
+
+/// Everything `mitts-trace` reports about one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Trace lines consumed.
+    pub lines: u64,
+    /// Event count per `"ev"` tag.
+    pub kinds: BTreeMap<String, u64>,
+    /// Per-core aggregates (index = core id).
+    pub cores: Vec<CoreSummary>,
+    /// Per-stage latency samples from every `fill` record, plus totals
+    /// (index [`STAGE_COUNT`]), kept sorted lazily for percentiles.
+    pub stage_samples: Vec<Vec<u64>>,
+    /// Sum of per-stage latencies across all fills (exact, u64).
+    pub stage_sums: [u64; STAGE_COUNT],
+    /// All throttling episodes in end order (open ones appended last).
+    pub episodes: Vec<Episode>,
+    /// DRAM row-buffer outcomes (hit, miss, conflict) across channels.
+    pub row_outcomes: (u64, u64, u64),
+    /// Auditor violations seen in the stream.
+    pub violations: u64,
+    /// Watchdog stall detections seen in the stream.
+    pub stall_detections: u64,
+    /// Fault-injection records seen in the stream.
+    pub faults: u64,
+    /// Final `run_summary` record: (cycles, mem_latency_sum, count).
+    pub run_summary: Option<(u64, u64, u64)>,
+}
+
+fn u(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+impl TraceSummary {
+    fn core_mut(&mut self, core: usize) -> &mut CoreSummary {
+        if self.cores.len() <= core {
+            self.cores.resize_with(core + 1, CoreSummary::default);
+        }
+        &mut self.cores[core]
+    }
+
+    /// Folds one parsed trace record into the summary.
+    fn ingest(&mut self, v: &JsonValue) -> Result<(), String> {
+        let kind = v
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "record has no \"ev\" tag".to_owned())?
+            .to_owned();
+        *self.kinds.entry(kind.clone()).or_insert(0) += 1;
+        match kind.as_str() {
+            "shaper_config" => {
+                let core = self.core_mut(u(v, "core") as usize);
+                core.shaper = v.get("shaper").and_then(JsonValue::as_str).map(str::to_owned);
+                core.bins = v
+                    .get("bins")
+                    .and_then(JsonValue::as_arr)
+                    .map(|bins| {
+                        bins.iter()
+                            .filter_map(|b| {
+                                let pair = b.as_arr()?;
+                                Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            "l1_miss" => self.core_mut(u(v, "core") as usize).l1_misses += 1,
+            "shaper_grant" => {
+                let bin = u(v, "bin") as usize;
+                let core = self.core_mut(u(v, "core") as usize);
+                if core.grants.len() <= bin {
+                    core.grants.resize(bin + 1, 0);
+                }
+                core.grants[bin] += 1;
+            }
+            "llc_lookup" => {
+                let hit = v.get("hit").and_then(JsonValue::as_bool).unwrap_or(false);
+                let core = self.core_mut(u(v, "core") as usize);
+                if hit {
+                    core.llc.0 += 1;
+                } else {
+                    core.llc.1 += 1;
+                }
+            }
+            "dram_dispatch" => match v.get("outcome").and_then(JsonValue::as_str) {
+                Some("hit") => self.row_outcomes.0 += 1,
+                Some("miss") => self.row_outcomes.1 += 1,
+                _ => self.row_outcomes.2 += 1,
+            },
+            "fill" => {
+                if self.stage_samples.is_empty() {
+                    self.stage_samples = vec![Vec::new(); STAGE_COUNT + 1];
+                }
+                let mut total = 0u64;
+                for (i, name) in STAGE_NAMES.iter().enumerate() {
+                    let stage = u(v, name);
+                    self.stage_sums[i] += stage;
+                    self.stage_samples[i].push(stage);
+                    total += stage;
+                }
+                self.stage_samples[STAGE_COUNT].push(total);
+                self.core_mut(u(v, "core") as usize).fills += 1;
+            }
+            "stall_end" => {
+                let core_id = u(v, "core") as usize;
+                let reason = v
+                    .get("reason")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                let (since, at) = (u(v, "since"), u(v, "at"));
+                let core = self.core_mut(core_id);
+                *core.stall_cycles.entry(reason.clone()).or_insert(0) +=
+                    at.saturating_sub(since);
+                *core.stall_episodes.entry(reason.clone()).or_insert(0) += 1;
+                self.episodes.push(Episode {
+                    core: core_id,
+                    reason,
+                    since,
+                    until: Some(at),
+                });
+            }
+            "audit_violation" => self.violations += 1,
+            "stall_detected" => self.stall_detections += 1,
+            "fault_injected" => self.faults += 1,
+            "run_summary" => {
+                self.run_summary =
+                    Some((u(v, "cycles"), u(v, "mem_latency_sum"), u(v, "mem_latency_count")));
+            }
+            // stall_begin closes via stall_end; open episodes are
+            // reconstructed in `finish`. mc_enqueue / sample need no
+            // per-record state beyond the kind counter.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Reconstructs still-open episodes from unmatched `stall_begin`s.
+    fn finish(&mut self, open: Vec<(usize, String, u64)>) {
+        for (core, reason, since) in open {
+            *self
+                .core_mut(core)
+                .stall_episodes
+                .entry(reason.clone())
+                .or_insert(0) += 1;
+            self.episodes.push(Episode { core, reason, since, until: None });
+        }
+        self.episodes.sort_by_key(|e| (e.since, e.core));
+    }
+
+    /// Number of `fill` records (latency samples).
+    pub fn fills(&self) -> u64 {
+        self.stage_samples.get(STAGE_COUNT).map_or(0, |s| s.len() as u64)
+    }
+
+    /// The `p`-th percentile (0–100) of stage `i` (index [`STAGE_COUNT`]
+    /// = end-to-end total), by nearest-rank on a sorted copy.
+    pub fn percentile(&self, stage: usize, p: f64) -> u64 {
+        let Some(samples) = self.stage_samples.get(stage) else {
+            return 0;
+        };
+        if samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// Cross-checks the decomposition against the `run_summary` record:
+    /// the per-stage sums must telescope *exactly* to the machine's
+    /// `mem_latency_sum`, and the fill count to `mem_latency_count`.
+    /// Returns a human-readable error on mismatch, `Ok(None)` when the
+    /// trace carries no `run_summary` to check against.
+    pub fn crosscheck(&self) -> Result<Option<()>, String> {
+        let Some((_, want_sum, want_count)) = self.run_summary else {
+            return Ok(None);
+        };
+        let got_sum: u64 = self.stage_sums.iter().sum();
+        let got_count = self.fills();
+        if got_count != want_count {
+            return Err(format!(
+                "fill records ({got_count}) != run_summary mem_latency_count ({want_count}); \
+                 trace is truncated or the sink dropped events"
+            ));
+        }
+        if got_sum != want_sum {
+            return Err(format!(
+                "stage decomposition sum ({got_sum}) != run_summary mem_latency_sum \
+                 ({want_sum}); stage telescoping is broken"
+            ));
+        }
+        Ok(Some(()))
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace: {} records", self.lines);
+        let mut kinds: Vec<_> = self.kinds.iter().collect();
+        kinds.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (k, n) in kinds {
+            let _ = writeln!(out, "  {k:<16} {n}");
+        }
+
+        let _ = writeln!(out, "\n== stall cycles per core (top reasons) ==");
+        for (i, core) in self.cores.iter().enumerate() {
+            let mut reasons: Vec<(&str, u64, u64)> = REASONS
+                .iter()
+                .map(|&r| {
+                    (
+                        r,
+                        core.stall_cycles.get(r).copied().unwrap_or(0),
+                        core.stall_episodes.get(r).copied().unwrap_or(0),
+                    )
+                })
+                .filter(|&(_, cyc, eps)| cyc > 0 || eps > 0)
+                .collect();
+            reasons.sort_by(|a, b| b.1.cmp(&a.1));
+            let _ = write!(out, "  core {i}: ");
+            if reasons.is_empty() {
+                let _ = writeln!(out, "no throttling episodes");
+                continue;
+            }
+            let parts: Vec<String> = reasons
+                .iter()
+                .map(|(r, cyc, eps)| format!("{r} {cyc} cyc / {eps} ep"))
+                .collect();
+            let _ = writeln!(out, "{}", parts.join(", "));
+        }
+
+        let _ = writeln!(out, "\n== shaper grants per bin ==");
+        for (i, core) in self.cores.iter().enumerate() {
+            let total: u64 = core.grants.iter().sum();
+            if total == 0 && core.bins.is_empty() {
+                continue;
+            }
+            let name = core.shaper.as_deref().unwrap_or("?");
+            let _ = writeln!(out, "  core {i} [{name}] ({total} grants)");
+            let bins = core.bins.len().max(core.grants.len());
+            for b in 0..bins {
+                let grants = core.grants.get(b).copied().unwrap_or(0);
+                let max = core.bins.get(b).map_or(0, |&(_, m)| m);
+                let bar_len = if total > 0 { (grants * 40).div_ceil(total) } else { 0 };
+                let bar: String = std::iter::repeat_n('#', bar_len as usize).collect();
+                let _ = writeln!(out, "    bin {b:>2} (max {max:>4}): {grants:>8} {bar}");
+            }
+        }
+
+        let _ = writeln!(out, "\n== latency decomposition (cycles, {} fills) ==", self.fills());
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            "stage", "sum", "mean", "p50", "p95", "p99"
+        );
+        let fills = self.fills().max(1);
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            let sum = self.stage_sums[i];
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>12} {:>8.1} {:>8} {:>8} {:>8}",
+                name,
+                sum,
+                sum as f64 / fills as f64,
+                self.percentile(i, 50.0),
+                self.percentile(i, 95.0),
+                self.percentile(i, 99.0)
+            );
+        }
+        let total: u64 = self.stage_sums.iter().sum();
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>12} {:>8.1} {:>8} {:>8} {:>8}",
+            "total",
+            total,
+            total as f64 / fills as f64,
+            self.percentile(STAGE_COUNT, 50.0),
+            self.percentile(STAGE_COUNT, 95.0),
+            self.percentile(STAGE_COUNT, 99.0)
+        );
+
+        let (h, m, c) = self.row_outcomes;
+        if h + m + c > 0 {
+            let _ = writeln!(
+                out,
+                "\n== dram row buffer == hits {h}, misses {m}, conflicts {c}"
+            );
+        }
+
+        let _ = writeln!(out, "\n== throttling episodes ({}) ==", self.episodes.len());
+        const SHOWN: usize = 20;
+        let mut longest: Vec<&Episode> = self.episodes.iter().collect();
+        longest.sort_by(|a, b| b.len().cmp(&a.len()).then(a.since.cmp(&b.since)));
+        for ep in longest.iter().take(SHOWN) {
+            match ep.until {
+                Some(until) => {
+                    let _ = writeln!(
+                        out,
+                        "  [{:>8}..{:>8}] core {} {:<8} {} cyc",
+                        ep.since,
+                        until,
+                        ep.core,
+                        ep.reason,
+                        ep.len()
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  [{:>8}..     end] core {} {:<8} (open)",
+                        ep.since, ep.core, ep.reason
+                    );
+                }
+            }
+        }
+        if self.episodes.len() > SHOWN {
+            let _ = writeln!(out, "  ... {} more (showing longest)", self.episodes.len() - SHOWN);
+        }
+
+        if self.violations + self.stall_detections + self.faults > 0 {
+            let _ = writeln!(
+                out,
+                "\n== hardening == violations {}, watchdog stalls {}, faults injected {}",
+                self.violations, self.stall_detections, self.faults
+            );
+        }
+
+        if let Some((cycles, sum, count)) = self.run_summary {
+            let _ = writeln!(
+                out,
+                "\nrun summary: {cycles} cycles, mem_latency_sum {sum} over {count} misses"
+            );
+        }
+        out
+    }
+}
+
+/// Parses a JSONL trace from `reader` and folds it into a summary.
+/// Blank lines are skipped; a malformed line is a hard error (line
+/// number included) because a trace that doesn't parse shouldn't be
+/// silently half-summarized.
+pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    // Unmatched stall_begin records, closed by core on stall_end.
+    let mut open: Vec<(usize, String, u64)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", idx + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(&line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        summary.lines += 1;
+        if v.get("ev").and_then(JsonValue::as_str) == Some("stall_begin") {
+            let core = u(&v, "core") as usize;
+            let reason =
+                v.get("reason").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
+            open.push((core, reason, u(&v, "at")));
+        } else if v.get("ev").and_then(JsonValue::as_str) == Some("stall_end") {
+            let core = u(&v, "core") as usize;
+            if let Some(pos) = open.iter().rposition(|(c, _, _)| *c == core) {
+                open.remove(pos);
+            }
+        }
+        summary
+            .ingest(&v)
+            .map_err(|e| format!("line {}: {e}", idx + 1))?;
+    }
+    summary.finish(open);
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitts_sim::obs::{StageLatency, StallReason, TraceEvent};
+
+    fn feed(events: &[TraceEvent]) -> TraceSummary {
+        let jsonl: String =
+            events.iter().map(|e| e.to_json_line() + "\n").collect();
+        summarize(jsonl.as_bytes()).expect("summarize")
+    }
+
+    #[test]
+    fn summary_aggregates_and_crosschecks() {
+        let events = vec![
+            TraceEvent::ShaperConfig {
+                at: 0,
+                core: 0,
+                shaper: "mitts".to_owned(),
+                bins: vec![(3, 10), (2, 5)],
+            },
+            TraceEvent::L1Miss { at: 5, core: 0, line: 0x40 },
+            TraceEvent::StallBegin { at: 6, core: 0, reason: StallReason::Shaper },
+            TraceEvent::StallEnd { at: 16, core: 0, reason: StallReason::Shaper, since: 6 },
+            TraceEvent::ShaperGrant { at: 16, core: 0, line: 0x40, bin: 1 },
+            TraceEvent::LlcLookup { at: 20, core: 0, line: 0x40, hit: false },
+            TraceEvent::Fill {
+                at: 80,
+                core: 0,
+                line: 0x40,
+                lat: StageLatency { shaper: 11, llc: 4, mc_queue: 9, dram: 45, fill: 6 },
+            },
+            TraceEvent::StallBegin { at: 90, core: 0, reason: StallReason::Throttle },
+            TraceEvent::RunSummary { cycles: 100, mem_latency_sum: 75, mem_latency_count: 1 },
+        ];
+        let s = feed(&events);
+        assert_eq!(s.lines, events.len() as u64);
+        assert_eq!(s.fills(), 1);
+        assert_eq!(s.cores[0].grants, vec![0, 1]);
+        assert_eq!(s.cores[0].stall_cycles.get("shaper"), Some(&10));
+        assert_eq!(s.cores[0].llc, (0, 1));
+        // One closed episode + one left open by the truncated trace.
+        assert_eq!(s.episodes.len(), 2);
+        assert!(s.episodes.iter().any(|e| e.until.is_none() && e.reason == "throttle"));
+        assert_eq!(s.stage_sums, [11, 4, 9, 45, 6]);
+        assert_eq!(s.crosscheck(), Ok(Some(())));
+        let report = s.render();
+        assert!(report.contains("shaper"), "report mentions stall reason:\n{report}");
+        assert!(report.contains("run summary"), "report has summary line:\n{report}");
+    }
+
+    #[test]
+    fn crosscheck_flags_truncated_and_inconsistent_traces() {
+        let fill = TraceEvent::Fill {
+            at: 50,
+            core: 0,
+            line: 0x80,
+            lat: StageLatency { shaper: 1, llc: 2, mc_queue: 3, dram: 4, fill: 5 },
+        };
+        // Count mismatch: summary claims 2 fills, stream has 1.
+        let s = feed(&[
+            fill.clone(),
+            TraceEvent::RunSummary { cycles: 60, mem_latency_sum: 30, mem_latency_count: 2 },
+        ]);
+        assert!(s.crosscheck().unwrap_err().contains("mem_latency_count"));
+        // Sum mismatch with matching count.
+        let s = feed(&[
+            fill.clone(),
+            TraceEvent::RunSummary { cycles: 60, mem_latency_sum: 16, mem_latency_count: 1 },
+        ]);
+        assert!(s.crosscheck().unwrap_err().contains("mem_latency_sum"));
+        // No run_summary at all: nothing to check.
+        assert_eq!(feed(&[fill]).crosscheck(), Ok(None));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s = TraceSummary::default();
+        s.stage_samples = vec![Vec::new(); STAGE_COUNT + 1];
+        s.stage_samples[STAGE_COUNT] = (1..=100).collect();
+        assert_eq!(s.percentile(STAGE_COUNT, 50.0), 50);
+        assert_eq!(s.percentile(STAGE_COUNT, 95.0), 95);
+        assert_eq!(s.percentile(STAGE_COUNT, 99.0), 99);
+        assert_eq!(s.percentile(STAGE_COUNT, 100.0), 100);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_with_line_number() {
+        let err = summarize("{\"ev\":\"fill\"}\nnot json\n".as_bytes()).unwrap_err();
+        assert!(err.starts_with("line 2:"), "got: {err}");
+    }
+}

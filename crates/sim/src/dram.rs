@@ -80,6 +80,39 @@ struct Bank {
     precharge_ok_at: Cycle,
 }
 
+/// How an access interacted with its bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Column command only: the target row was already open.
+    Hit,
+    /// Bank was closed: ACT then column.
+    Miss,
+    /// Another row was open: PRE, ACT, then column.
+    Conflict,
+}
+
+/// Full derived command timing of one dispatched transaction, recorded by
+/// [`Dram::start`] for observability (the trace's `dram_dispatch` event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramServiceTiming {
+    /// Bank the access targeted.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Row-buffer outcome.
+    pub outcome: RowOutcome,
+    /// When the implicit ACT issued (`None` on a row hit).
+    pub act_at: Option<Cycle>,
+    /// When the implicit PRE issued (`Some` only on a conflict).
+    pub pre_at: Option<Cycle>,
+    /// When the column command issued.
+    pub col_at: Cycle,
+    /// First cycle of the data burst on the shared bus.
+    pub data_start: Cycle,
+    /// Cycle the last data beat left the device (completion time).
+    pub data_end: Cycle,
+}
+
 /// One service completed by the DRAM: data for reads, write-done for
 /// writes, tagged with the token the controller handed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +148,8 @@ pub struct Dram<T> {
     wtr_fence: Cycle,
     /// Most recent ACT time (tRRD ordering audit).
     last_act_at: Option<Cycle>,
+    /// Derived command timing of the most recent [`Dram::start`].
+    last_service: Option<DramServiceTiming>,
     /// Bounded log of timing-order violations; the invariant auditor
     /// drains it via [`Dram::take_timing_violations`].
     timing_violations: Vec<String>,
@@ -147,6 +182,7 @@ impl<T: Copy> Dram<T> {
             refreshes: 0,
             wtr_fence: 0,
             last_act_at: None,
+            last_service: None,
             timing_violations: Vec::new(),
             inflight: Vec::new(),
             row_hits: 0,
@@ -259,20 +295,20 @@ impl<T: Copy> Dram<T> {
         let row_closed = bank.open_row.is_none();
 
         // When may the column command issue on this bank?
-        let col_ready = if row_hit {
+        let (col_ready, outcome, pre_at) = if row_hit {
             self.row_hits += 1;
-            now
+            (now, RowOutcome::Hit, None)
         } else if row_closed {
             self.row_misses += 1;
             let act_at = now.max(self.next_act_at);
             self.next_act_at = act_at + t.t_rrd;
-            act_at + t.t_rcd
+            (act_at + t.t_rcd, RowOutcome::Miss, None)
         } else {
             self.row_conflicts += 1;
             let pre_at = now.max(bank.precharge_ok_at);
             let act_at = (pre_at + t.t_rp).max(self.next_act_at);
             self.next_act_at = act_at + t.t_rrd;
-            act_at + t.t_rcd
+            (act_at + t.t_rcd, RowOutcome::Conflict, Some(pre_at))
         };
 
         // Data burst: after CAS latency, when the shared bus is free.
@@ -353,9 +389,24 @@ impl<T: Copy> Dram<T> {
         if let Some(act_at) = act_time {
             self.last_act_at = Some(act_at);
         }
+        self.last_service = Some(DramServiceTiming {
+            bank: coord.bank,
+            row: coord.row,
+            outcome,
+            act_at: act_time,
+            pre_at,
+            col_at: col_ready,
+            data_start,
+            data_end,
+        });
 
         self.inflight.push(DramCompletion { token, done_at: data_end, row_hit });
         data_end
+    }
+
+    /// Derived command timing of the most recent dispatch (observability).
+    pub fn last_service(&self) -> Option<DramServiceTiming> {
+        self.last_service
     }
 
     /// Drains the bounded timing-order violation log (empty in a healthy

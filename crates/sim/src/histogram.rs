@@ -219,6 +219,11 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Exact sum of all recorded values (not bucket-approximated).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Approximate `p`-th percentile (`p` in `[0, 1]`), resolved to the
     /// geometric centre of the containing bucket. Returns 0 if empty.
     ///

@@ -41,6 +41,7 @@ pub mod core;
 pub mod dram;
 pub mod histogram;
 pub mod mc;
+pub mod obs;
 pub mod rng;
 pub mod shaper;
 pub mod stats;
@@ -54,6 +55,7 @@ pub use audit::{
     StallReport,
 };
 pub use config::{ConfigError, SystemConfig};
+pub use obs::{JsonlSink, NullSink, Observer, RingSink, TraceEvent, TraceSink};
 pub use stats::{geomean, SlowdownReport};
 pub use system::{System, SystemBuilder};
 pub use types::{Addr, CoreId, Cycle, MemCmd, OpId};

@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 
 use crate::config::McConfig;
-use crate::dram::{BankStatus, Dram, DramCompletion};
+use crate::dram::{BankStatus, Dram, DramCompletion, DramServiceTiming};
 use crate::types::{Addr, CoreId, Cycle, MemCmd};
 
 /// Unique identifier of a memory transaction at the controller.
@@ -231,6 +231,20 @@ impl Scheduler for FcfsScheduler {
     }
 }
 
+/// One dispatch captured by the controller's (opt-in) dispatch log: the
+/// transaction, when it left the queue, and the DRAM command timing the
+/// device derived for it. Consumed by the observer's `dram_dispatch`
+/// trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The dispatched transaction.
+    pub txn: Transaction,
+    /// Dispatch cycle.
+    pub at: Cycle,
+    /// Derived DRAM command timing for the service.
+    pub timing: DramServiceTiming,
+}
+
 /// A completed read transaction handed back to the LLC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McResponse {
@@ -264,6 +278,10 @@ pub struct MemoryController {
     /// Reused by [`MemoryController::drain_completions_into`] so the
     /// per-tick completion drain does not allocate.
     completion_scratch: Vec<DramCompletion<TxnId>>,
+    /// When true, every dispatch is appended to `dispatch_log` for the
+    /// observer to drain. Off by default (zero cost when tracing is off).
+    log_dispatches: bool,
+    dispatch_log: Vec<DispatchRecord>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -294,7 +312,25 @@ impl MemoryController {
             ticks: 0,
             fifo_rejections: 0,
             completion_scratch: Vec::new(),
+            log_dispatches: false,
+            dispatch_log: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) the dispatch log. While enabled, the observer
+    /// must drain it every tick via
+    /// [`MemoryController::drain_dispatch_log_into`].
+    pub fn set_dispatch_logging(&mut self, on: bool) {
+        self.log_dispatches = on;
+        if !on {
+            self.dispatch_log.clear();
+        }
+    }
+
+    /// Moves all logged dispatches into `out` (appending), leaving the log
+    /// empty. Allocation-free once both vectors are warm.
+    pub fn drain_dispatch_log_into(&mut self, out: &mut Vec<DispatchRecord>) {
+        out.append(&mut self.dispatch_log);
     }
 
     /// Attempts to accept a new transaction into the global FIFO. Returns
@@ -370,6 +406,11 @@ impl MemoryController {
             self.queue.swap_remove(idx);
             dram.start(now, txn.addr, txn.cmd, txn.id);
             self.dispatched += 1;
+            if self.log_dispatches {
+                if let Some(timing) = dram.last_service() {
+                    self.dispatch_log.push(DispatchRecord { txn, at: now, timing });
+                }
+            }
             self.inflight_push(txn, now);
         }
     }

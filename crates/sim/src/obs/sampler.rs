@@ -1,0 +1,263 @@
+//! Skip-aware time-series sampler: turns cumulative system counters into
+//! epoch-delta rows at fixed cycle boundaries.
+//!
+//! The sampler itself never touches the system — `System::tick` feeds it
+//! cumulative snapshots at each boundary and it produces the deltas. The
+//! boundary arithmetic mirrors the invariant auditor's
+//! (`next_boundary` is a fast-forward clamp, so sampling cycles are real
+//! ticks in both naive and fast-forward modes and the resulting rows are
+//! bit-identical).
+
+use crate::obs::event::{ChannelSampleRow, CoreSampleRow, SampleRow};
+use crate::types::Cycle;
+
+/// Cumulative per-core counters handed to the sampler at a boundary.
+#[derive(Debug, Clone)]
+pub struct CoreCum {
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// Cycles the ROB head has been blocked on memory so far.
+    pub mem_stall: u64,
+    /// Cycles the shaper has held back a ready request so far.
+    pub shaper_stall: u64,
+    /// L1 MSHR allocations so far.
+    pub l1_misses: u64,
+    /// LLC demand misses so far.
+    pub llc_misses: u64,
+    /// L1 fills delivered so far.
+    pub fills: u64,
+    /// Instantaneous (live, max) credits per shaper bin.
+    pub credits: Vec<(u32, u32)>,
+}
+
+/// Cumulative per-channel counters handed to the sampler at a boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct ChanCum {
+    /// Transactions dispatched to DRAM so far.
+    pub dispatched: u64,
+    /// Data-bus busy cycles so far.
+    pub busy_bus: u64,
+    /// Bytes transferred so far.
+    pub bytes: u64,
+    /// Row-buffer hits so far.
+    pub row_hits: u64,
+    /// Row-buffer misses (closed row) so far.
+    pub row_misses: u64,
+    /// Row-buffer conflicts (row open to another row) so far.
+    pub row_conflicts: u64,
+    /// Instantaneous scheduling-queue depth.
+    pub queue_len: usize,
+    /// Instantaneous smoothing-FIFO depth.
+    pub fifo_len: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PrevCore {
+    instructions: u64,
+    mem_stall: u64,
+    shaper_stall: u64,
+    l1_misses: u64,
+    llc_misses: u64,
+    fills: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PrevChan {
+    dispatched: u64,
+    busy_bus: u64,
+    bytes: u64,
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+}
+
+/// The sampler: boundary bookkeeping plus the retained row log.
+#[derive(Debug)]
+pub struct Sampler {
+    interval: Cycle,
+    epoch: u64,
+    rows: Vec<SampleRow>,
+    max_rows: usize,
+    dropped_rows: u64,
+    prev_cores: Vec<PrevCore>,
+    prev_chans: Vec<PrevChan>,
+}
+
+impl Sampler {
+    /// Default cap on retained rows (overflow counts, oldest rows stay).
+    pub const DEFAULT_MAX_ROWS: usize = 1 << 16;
+
+    /// A sampler firing every `interval` cycles (at least 1).
+    pub fn new(interval: Cycle) -> Self {
+        Sampler {
+            interval: interval.max(1),
+            epoch: 0,
+            rows: Vec::new(),
+            max_rows: Self::DEFAULT_MAX_ROWS,
+            dropped_rows: 0,
+            prev_cores: Vec::new(),
+            prev_chans: Vec::new(),
+        }
+    }
+
+    /// The sampling interval in cycles.
+    pub fn interval(&self) -> Cycle {
+        self.interval
+    }
+
+    /// Whether cycle `now` is a sampling boundary. Cycle 0 is skipped: a
+    /// row there would be all zeros.
+    pub fn due(&self, now: Cycle) -> bool {
+        now > 0 && now.is_multiple_of(self.interval)
+    }
+
+    /// The first boundary strictly after `now` — the fast-forward clamp
+    /// (same contract as the auditor's `next_audit_boundary`).
+    pub fn next_boundary(&self, now: Cycle) -> Cycle {
+        (now / self.interval + 1) * self.interval
+    }
+
+    /// Retained rows, oldest first.
+    pub fn rows(&self) -> &[SampleRow] {
+        &self.rows
+    }
+
+    /// Rows not retained because the cap was reached.
+    pub fn dropped_rows(&self) -> u64 {
+        self.dropped_rows
+    }
+
+    /// Ingests one boundary's cumulative snapshots, returning the
+    /// epoch-delta row (also retained, up to the cap).
+    pub fn record(
+        &mut self,
+        at: Cycle,
+        cores: &[CoreCum],
+        chans: &[ChanCum],
+    ) -> SampleRow {
+        self.prev_cores.resize(cores.len(), PrevCore::default());
+        self.prev_chans.resize(chans.len(), PrevChan::default());
+        self.epoch += 1;
+        let row = SampleRow {
+            at,
+            epoch: self.epoch,
+            cores: cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let p = &mut self.prev_cores[i];
+                    let row = CoreSampleRow {
+                        core: i,
+                        instructions: c.instructions - p.instructions,
+                        mem_stall: c.mem_stall - p.mem_stall,
+                        shaper_stall: c.shaper_stall - p.shaper_stall,
+                        l1_misses: c.l1_misses - p.l1_misses,
+                        llc_misses: c.llc_misses - p.llc_misses,
+                        fills: c.fills - p.fills,
+                        credits: c.credits.clone(),
+                    };
+                    *p = PrevCore {
+                        instructions: c.instructions,
+                        mem_stall: c.mem_stall,
+                        shaper_stall: c.shaper_stall,
+                        l1_misses: c.l1_misses,
+                        llc_misses: c.llc_misses,
+                        fills: c.fills,
+                    };
+                    row
+                })
+                .collect(),
+            channels: chans
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let p = &mut self.prev_chans[i];
+                    let row = ChannelSampleRow {
+                        channel: i,
+                        dispatched: c.dispatched - p.dispatched,
+                        busy_bus: c.busy_bus - p.busy_bus,
+                        bytes: c.bytes - p.bytes,
+                        row_hits: c.row_hits - p.row_hits,
+                        row_misses: c.row_misses - p.row_misses,
+                        row_conflicts: c.row_conflicts - p.row_conflicts,
+                        queue_len: c.queue_len,
+                        fifo_len: c.fifo_len,
+                    };
+                    *p = PrevChan {
+                        dispatched: c.dispatched,
+                        busy_bus: c.busy_bus,
+                        bytes: c.bytes,
+                        row_hits: c.row_hits,
+                        row_misses: c.row_misses,
+                        row_conflicts: c.row_conflicts,
+                    };
+                    row
+                })
+                .collect(),
+        };
+        if self.rows.len() < self.max_rows {
+            self.rows.push(row.clone());
+        } else {
+            self.dropped_rows += 1;
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(instr: u64, stall: u64) -> CoreCum {
+        CoreCum {
+            instructions: instr,
+            mem_stall: stall,
+            shaper_stall: stall / 2,
+            l1_misses: instr / 10,
+            llc_misses: instr / 20,
+            fills: instr / 20,
+            credits: vec![(2, 12)],
+        }
+    }
+
+    fn chan(disp: u64) -> ChanCum {
+        ChanCum {
+            dispatched: disp,
+            busy_bus: disp * 4,
+            bytes: disp * 64,
+            row_hits: disp / 2,
+            row_misses: disp / 4,
+            row_conflicts: disp / 4,
+            queue_len: 3,
+            fifo_len: 1,
+        }
+    }
+
+    #[test]
+    fn boundaries_mirror_the_auditor_pattern() {
+        let s = Sampler::new(128);
+        assert!(!s.due(0), "cycle 0 is not sampled");
+        assert!(s.due(128) && s.due(256));
+        assert!(!s.due(129));
+        assert_eq!(s.next_boundary(0), 128);
+        assert_eq!(s.next_boundary(127), 128);
+        assert_eq!(s.next_boundary(128), 256);
+    }
+
+    #[test]
+    fn rows_are_epoch_deltas_over_cumulative_inputs() {
+        let mut s = Sampler::new(100);
+        let r1 = s.record(100, &[core(50, 20)], &[chan(8)]);
+        assert_eq!(r1.epoch, 1);
+        assert_eq!(r1.cores[0].instructions, 50);
+        assert_eq!(r1.channels[0].dispatched, 8);
+
+        let r2 = s.record(200, &[core(80, 50)], &[chan(11)]);
+        assert_eq!(r2.epoch, 2);
+        assert_eq!(r2.cores[0].instructions, 30, "delta, not cumulative");
+        assert_eq!(r2.cores[0].mem_stall, 30);
+        assert_eq!(r2.channels[0].dispatched, 3);
+        assert_eq!(r2.channels[0].queue_len, 3, "queue depth is instantaneous");
+        assert_eq!(s.rows().len(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Trace sinks: where the observer's event stream goes.
+//!
+//! All sinks are bounded-memory by construction: the ring keeps the most
+//! recent `capacity` events, the JSONL writer streams through a buffered
+//! file, and the null sink drops everything (the zero-cost default).
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::obs::event::TraceEvent;
+
+/// Receives trace events as they are emitted. Implementations must be
+/// cheap per call — `record` sits on the simulator's per-event path.
+pub trait TraceSink {
+    /// Accepts one event.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Discards every event. The default sink when tracing is off.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in a ring; older events are
+/// overwritten. `total` counts every event ever recorded, so consumers
+/// can tell how many were dropped.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink { buf: std::collections::VecDeque::with_capacity(capacity), capacity, total: 0 }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// The retained events as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Empties the ring (counters keep running).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev.clone());
+        self.total += 1;
+    }
+}
+
+/// Streams each event as one JSON line to a writer. Write errors are
+/// sticky: the first failure stops output and is reported by
+/// [`JsonlSink::error`] rather than panicking mid-simulation.
+pub struct JsonlSink<W: Write> {
+    w: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncates) `path` and streams JSONL into it.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w, lines: 0, error: None }
+    }
+
+    /// Lines successfully written.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first write error, if any occurred.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the sink, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = ev.to_json_line();
+        line.push('\n');
+        match self.w.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.w.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Shared-handle forwarding: lets a test or exporter keep an
+/// `Rc<RefCell<RingSink>>` while the system owns the `Box<dyn TraceSink>`
+/// side of the same sink.
+impl<S: TraceSink> TraceSink for Rc<RefCell<S>> {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.borrow_mut().record(ev);
+    }
+
+    fn flush(&mut self) {
+        self.borrow_mut().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::json::{parse, JsonValue};
+    use crate::types::Cycle;
+
+    fn ev(at: Cycle) -> TraceEvent {
+        TraceEvent::L1Miss { at, core: 0, line: at * 64 }
+    }
+
+    #[test]
+    fn ring_wraps_around_keeping_the_newest_events() {
+        let mut ring = RingSink::new(4);
+        for at in 0..10 {
+            ring.record(&ev(at));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total(), 10);
+        assert_eq!(ring.dropped(), 6);
+        let kept: Vec<Cycle> = ring.events().map(TraceEvent::at).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest events must be overwritten in order");
+    }
+
+    #[test]
+    fn ring_with_zero_capacity_still_works() {
+        let mut ring = RingSink::new(0);
+        ring.record(&ev(1));
+        ring.record(&ev(2));
+        assert_eq!(ring.len(), 1, "capacity clamps to 1");
+        assert_eq!(ring.to_vec(), vec![ev(2)]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(3));
+        sink.record(&TraceEvent::FaultInjected {
+            at: 4,
+            detail: "tricky \"detail\"\nline".to_owned(),
+        });
+        sink.flush();
+        assert!(sink.error().is_none());
+        assert_eq!(sink.lines(), 2);
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = parse(line).unwrap_or_else(|e| panic!("bad JSONL line: {e}\n{line}"));
+            assert!(v.get("ev").and_then(JsonValue::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn shared_ring_is_visible_through_the_trait_object() {
+        let ring = Rc::new(RefCell::new(RingSink::new(8)));
+        let mut sink: Box<dyn TraceSink> = Box::new(Rc::clone(&ring));
+        sink.record(&ev(42));
+        assert_eq!(ring.borrow().len(), 1);
+        assert_eq!(ring.borrow().to_vec()[0].at(), 42);
+    }
+}

@@ -23,6 +23,7 @@ use crate::mc::{
     CoreSignals, CoreThrottle, FcfsScheduler, McResponse, MemoryController, Scheduler,
     SourceControl, TxnId,
 };
+use crate::obs::{ChanCum, CoreCum, Observer, SampleRow, StallReason, TraceSink};
 use crate::shaper::{ShapeDecision, ShapeToken, SourceShaper, UnlimitedShaper};
 use crate::stats::{ChannelSystemStats, CoreSnapshot, CoreStats, CoreSystemStats, SystemStats};
 use crate::trace::{ComputeTrace, TraceSource};
@@ -110,6 +111,8 @@ struct L1Front<'a> {
     hit_pipe: &'a mut VecDeque<(Cycle, OpId)>,
     stats: &'a mut CoreStats,
     hit_latency: Cycle,
+    obs: &'a mut Observer,
+    core: usize,
 }
 
 impl MemPort for L1Front<'_> {
@@ -131,6 +134,7 @@ impl MemPort for L1Front<'_> {
                         self.stats.l1_misses += 1;
                         self.stats.l1_miss_interarrival.record_arrival(now);
                         self.miss_queue.push_back(PendingMiss { line_addr: line, created_at: now });
+                        self.obs.on_l1_miss(now, self.core, line);
                         true
                     }
                     MshrOutcome::Merged => {
@@ -284,6 +288,8 @@ pub struct SystemBuilder {
     shapers: Vec<Option<ShaperHandle>>,
     schedulers: Vec<Option<Box<dyn Scheduler>>>,
     fast_forward: bool,
+    trace_sink: Option<Box<dyn TraceSink>>,
+    sample_every: Option<Cycle>,
 }
 
 impl SystemBuilder {
@@ -313,7 +319,28 @@ impl SystemBuilder {
             shapers: (0..cores).map(|_| None).collect(),
             schedulers: (0..channels).map(|_| None).collect(),
             fast_forward: true,
+            trace_sink: None,
+            sample_every: None,
         })
+    }
+
+    /// Installs a request-lifecycle trace sink, enabling observability
+    /// tracing (see [`crate::obs`]). Without a sink, tracing costs one
+    /// predicted branch per hook; with one, every lifecycle step emits a
+    /// [`crate::obs::TraceEvent`].
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Enables time-series sampling every `interval` cycles: per-core IPC
+    /// and stall deltas, shaper credit occupancy, MC queue depths, and
+    /// DRAM bus/row statistics, as epoch-delta rows (see
+    /// [`System::samples`]). Boundaries clamp fast-forward skips, so rows
+    /// are bit-identical between naive and fast-forwarded runs.
+    pub fn sample_every(mut self, interval: Cycle) -> Self {
+        self.sample_every = Some(interval.max(1));
+        self
     }
 
     /// Enables or disables quiescence fast-forward (on by default). The
@@ -366,7 +393,7 @@ impl SystemBuilder {
     /// Builds the system.
     pub fn build(self) -> System {
         let config = self.config;
-        let cores = self
+        let cores: Vec<CoreUnit> = self
             .traces
             .into_iter()
             .zip(self.shapers)
@@ -403,7 +430,7 @@ impl SystemBuilder {
             shapers: (0..config.cores).map(|_| None).collect(),
             deferred: (0..config.cores).map(|_| VecDeque::new()).collect(),
         };
-        let channels: Vec<Channel> = self
+        let mut channels: Vec<Channel> = self
             .schedulers
             .into_iter()
             .map(|sched| Channel {
@@ -412,6 +439,23 @@ impl SystemBuilder {
                 scheduler: sched.unwrap_or_else(|| Box::new(FcfsScheduler::new())),
             })
             .collect();
+        let mut obs = Observer::new(
+            config.cores,
+            config.l1.mshrs,
+            config.llc.mshrs,
+            self.trace_sink,
+            self.sample_every,
+        );
+        if obs.lifecycle_enabled() {
+            for channel in &mut channels {
+                channel.mc.set_dispatch_logging(true);
+            }
+            for (i, unit) in cores.iter().enumerate() {
+                let sh = unit.shaper.borrow();
+                let bins = sh.credit_audit().bins.iter().map(|b| (b.live, b.max)).collect();
+                obs.emit_shaper_config(0, i, sh.name(), bins);
+            }
+        }
         let n = config.cores;
         System {
             now: 0,
@@ -433,6 +477,7 @@ impl SystemBuilder {
             frozen_scratch: Vec::new(),
             resp_scratch: Vec::new(),
             lookups_scratch: Vec::new(),
+            obs,
             config,
         }
     }
@@ -480,6 +525,9 @@ pub struct System {
     frozen_scratch: Vec<bool>,
     resp_scratch: Vec<McResponse>,
     lookups_scratch: Vec<LlcLookup>,
+    /// Observability: lifecycle tracing + time-series sampling (zero-cost
+    /// when disabled; see [`crate::obs`]).
+    obs: Observer,
     config: SystemConfig,
 }
 
@@ -539,6 +587,11 @@ impl System {
 
     /// Replaces the shaper on core `core`.
     pub fn set_shaper(&mut self, core: usize, shaper: ShaperHandle) {
+        if self.obs.lifecycle_enabled() {
+            let sh = shaper.borrow();
+            let bins = sh.credit_audit().bins.iter().map(|b| (b.live, b.max)).collect();
+            self.obs.emit_shaper_config(self.now, core, sh.name(), bins);
+        }
         self.cores[core].shaper = shaper;
     }
 
@@ -620,6 +673,29 @@ impl System {
         self.auditor.stall()
     }
 
+    /// The observability subsystem (stage histograms, sample rows, event
+    /// counters). See [`crate::obs`].
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
+    /// Retained time-series sample rows, oldest first (empty unless
+    /// [`SystemBuilder::sample_every`] was configured).
+    pub fn samples(&self) -> &[SampleRow] {
+        self.obs.samples()
+    }
+
+    /// Writes the end-of-run [`crate::obs::TraceEvent::RunSummary`]
+    /// (total cycles plus the cores' summed `mem_latency_sum`/`count`, the
+    /// cross-check for latency decompositions) and flushes the trace sink.
+    /// Call once after the run; a no-op without a sink.
+    pub fn flush_trace(&mut self) {
+        let (sum, count) = self.cores.iter().fold((0u64, 0u64), |(s, c), u| {
+            (s + u.stats.mem_latency_sum, c + u.stats.mem_latency_count)
+        });
+        self.obs.emit_run_summary(self.now, sum, count);
+    }
+
     /// Mutable access to the per-core source throttles (normally steered
     /// by the scheduler's epoch hook; exposed for tests and external
     /// control loops).
@@ -631,6 +707,9 @@ impl System {
     /// prove the auditor and watchdog detect each fault class; see
     /// [`FaultPlan`].
     pub fn inject_faults(&mut self, plan: FaultPlan) {
+        if self.obs.lifecycle_enabled() {
+            self.obs.on_fault_injected(self.now, format!("{plan:?}"));
+        }
         self.faults.inject(plan);
     }
 
@@ -786,6 +865,7 @@ impl System {
                     ResponseAction::Drop | ResponseAction::Delay(_) => continue,
                     ResponseAction::Deliver => {}
                 }
+                self.obs.on_mem_response(now, resp.txn.addr);
                 Self::llc_on_mem_response(
                     &mut self.llc,
                     &mut self.channels,
@@ -793,11 +873,13 @@ impl System {
                     now,
                     resp.txn.addr,
                     &mut fills,
+                    &mut self.obs,
                 );
             }
         }
         if faults_active {
             for line in self.faults.due_delayed(now) {
+                self.obs.on_mem_response(now, line);
                 Self::llc_on_mem_response(
                     &mut self.llc,
                     &mut self.channels,
@@ -805,6 +887,7 @@ impl System {
                     now,
                     line,
                     &mut fills,
+                    &mut self.obs,
                 );
             }
         }
@@ -819,6 +902,7 @@ impl System {
             &mut fills,
             &mut notes,
             &mut self.lookups_scratch,
+            &mut self.obs,
         );
 
         // 3. Deliver fills and shaper notes to cores.
@@ -827,6 +911,7 @@ impl System {
             unit.shaper.borrow_mut().on_llc_response(now, note.token, note.hit);
         }
         for fill in fills.drain(..) {
+            self.obs.on_core_fill(now, fill.core.index(), fill.line_addr);
             let unit = &mut self.cores[fill.core.index()];
             unit.on_fill(now, fill.line_addr);
         }
@@ -889,6 +974,7 @@ impl System {
                             unit.last_issue = Some(now);
                             ports_left -= 1;
                             let _ = head.created_at; // latency counted at L1 MSHR
+                            self.obs.on_shaper_grant(now, idx, head.line_addr, token);
                             self.llc.lookups.push_back(LlcLookup {
                                 ready_at: now + self.llc.hit_latency,
                                 core: unit.id,
@@ -913,6 +999,21 @@ impl System {
             } else {
                 IssueOutcome::NoRequest
             };
+            if self.obs.lifecycle_enabled() {
+                // Throttling-episode tracking: emitted on transitions only,
+                // so skipped quiescent windows (constant outcome) and naive
+                // per-cycle re-evaluation produce the same stream.
+                let reason = match unit.last_outcome {
+                    IssueOutcome::ShaperDenied => Some(StallReason::Shaper),
+                    IssueOutcome::ThrottleBlocked => Some(StallReason::Throttle),
+                    IssueOutcome::FaultDenied => Some(StallReason::Fault),
+                    IssueOutcome::NoPorts if !unit.miss_queue.is_empty() => {
+                        Some(StallReason::Ports)
+                    }
+                    _ => None,
+                };
+                self.obs.on_issue_outcome(now, idx, reason);
+            }
 
             // Writebacks use leftover port bandwidth.
             if ports_left > 0 {
@@ -938,14 +1039,17 @@ impl System {
                 hit_pipe,
                 stats,
                 hit_latency: *l1_hit_latency,
+                obs: &mut self.obs,
+                core: idx,
             };
             core.tick(now, &mut port);
         }
         self.rr_offset = (self.rr_offset + 1) % n.max(1);
 
         // 5. Memory controller dispatch (per channel).
-        for channel in &mut self.channels {
+        for (ci, channel) in self.channels.iter_mut().enumerate() {
             channel.mc.tick(now, channel.scheduler.as_mut(), &mut channel.dram);
+            self.obs.drain_dispatches(ci, &mut channel.mc);
         }
 
         // 6. Refresh per-core signals and run the scheduler's epoch hook.
@@ -969,11 +1073,60 @@ impl System {
             self.audit_pass(now);
         }
         self.watchdog_tick(now);
+        self.obs.sync_hardening(now, &self.auditor);
+
+        // 8. Observability: sample the settled end-of-cycle state at
+        //    sampling boundaries (real ticks in both modes — boundaries
+        //    clamp fast-forward skips), then purge completed timelines.
+        if self.obs.sample_due(now) {
+            self.record_sample(now);
+        }
+        self.obs.end_tick();
 
         self.fills_scratch = fills;
         self.notes_scratch = notes;
         self.resp_scratch = responses;
         self.now += 1;
+    }
+
+    /// Feeds the sampler one boundary's cumulative counters (see
+    /// [`crate::obs::Sampler`]); only called on sampling boundaries.
+    fn record_sample(&mut self, now: Cycle) {
+        let cores: Vec<CoreCum> = self
+            .cores
+            .iter()
+            .map(|u| {
+                let c = u.core.counters();
+                let sh = u.shaper.borrow();
+                CoreCum {
+                    instructions: c.instructions,
+                    mem_stall: c.mem_stall_cycles,
+                    shaper_stall: sh.stall_cycles(),
+                    l1_misses: u.stats.l1_misses,
+                    llc_misses: u.stats.llc_misses,
+                    fills: u.fills,
+                    credits: sh.credit_audit().bins.iter().map(|b| (b.live, b.max)).collect(),
+                }
+            })
+            .collect();
+        let chans: Vec<ChanCum> = self
+            .channels
+            .iter()
+            .map(|ch| {
+                let (row_hits, row_misses, row_conflicts) = ch.dram.row_stats();
+                ChanCum {
+                    dispatched: ch.mc.dispatched(),
+                    busy_bus: ch.dram.busy_bus_cycles(),
+                    bytes: ch.dram.bytes_transferred(),
+                    row_hits,
+                    row_misses,
+                    row_conflicts,
+                    queue_len: ch.mc.queue_len(),
+                    fifo_len: ch.mc.fifo_len(),
+                }
+            })
+            .collect();
+        self.obs.record_sample(now, &cores, &chans);
     }
 
     /// Jumps `now` over a provably dead window, if one exists. `limit`
@@ -1101,6 +1254,11 @@ impl System {
             event(c);
         }
         if let Some(c) = self.auditor.next_watchdog_event(now_q) {
+            event(c);
+        }
+        // Sampling boundaries are real ticks, like audit boundaries: the
+        // sampler's rows must be bit-identical to a naive run's.
+        if let Some(c) = self.obs.next_sample_boundary(now_q) {
             event(c);
         }
         next
@@ -1404,6 +1562,26 @@ impl System {
         ((addr / row_bytes) % channels as u64) as usize
     }
 
+    /// Routes `line` to its channel and attempts the FIFO enqueue,
+    /// emitting the `mc_enqueue` trace event on success. All controller
+    /// enqueues funnel through here so the event stream is complete.
+    fn mc_enqueue(
+        channels: &mut [Channel],
+        obs: &mut Observer,
+        row_bytes: u64,
+        now: Cycle,
+        core: CoreId,
+        line: Addr,
+        cmd: MemCmd,
+    ) -> bool {
+        let ch = Self::channel_of(row_bytes, channels.len(), line);
+        let accepted = channels[ch].mc.try_enqueue(now, core, line, cmd).is_some();
+        if accepted {
+            obs.on_mc_enqueue(now, ch, core.index(), line, cmd == MemCmd::Write);
+        }
+        accepted
+    }
+
     /// Handles a DRAM read completion: fill the LLC, wake LLC MSHR
     /// waiters, and queue evicted-dirty writebacks back to the controller.
     fn llc_on_mem_response(
@@ -1413,6 +1591,7 @@ impl System {
         now: Cycle,
         line_addr: Addr,
         fills: &mut Vec<CoreFill>,
+        obs: &mut Observer,
     ) {
         if let Some(entry) = llc.mshrs.complete(line_addr) {
             for core in entry.waiters {
@@ -1421,12 +1600,15 @@ impl System {
             if let Some(ev) = llc.cache.fill(line_addr, entry.any_write) {
                 if ev.dirty {
                     // Evicted dirty LLC line: write back to memory.
-                    let ch = Self::channel_of(row_bytes, channels.len(), ev.line_addr);
-                    if channels[ch]
-                        .mc
-                        .try_enqueue(now, CoreId::new(0), ev.line_addr, MemCmd::Write)
-                        .is_none()
-                    {
+                    if !Self::mc_enqueue(
+                        channels,
+                        obs,
+                        row_bytes,
+                        now,
+                        CoreId::new(0),
+                        ev.line_addr,
+                        MemCmd::Write,
+                    ) {
                         llc.mc_backlog.push_back(McBacklogEntry {
                             core: CoreId::new(0),
                             line_addr: ev.line_addr,
@@ -1450,16 +1632,12 @@ impl System {
         fills: &mut Vec<CoreFill>,
         notes: &mut Vec<ShaperNote>,
         due: &mut Vec<LlcLookup>,
+        obs: &mut Observer,
     ) {
-        let nchan = channels.len();
-        let mut enqueue = |now: Cycle, core: CoreId, line: Addr, cmd: MemCmd| -> bool {
-            let ch = Self::channel_of(row_bytes, nchan, line);
-            channels[ch].mc.try_enqueue(now, core, line, cmd).is_some()
-        };
-
         // Retry transactions that met a full controller FIFO.
         while let Some(&entry) = llc.mc_backlog.front() {
-            if enqueue(now, entry.core, entry.line_addr, entry.cmd) {
+            if Self::mc_enqueue(channels, obs, row_bytes, now, entry.core, entry.line_addr, entry.cmd)
+            {
                 llc.mc_backlog.pop_front();
             } else {
                 break;
@@ -1491,7 +1669,7 @@ impl System {
             if grant_one {
                 let line = llc.deferred[core_idx].pop_front().expect("checked non-empty");
                 let core = CoreId::new(core_idx);
-                if !enqueue(now, core, line, MemCmd::Read) {
+                if !Self::mc_enqueue(channels, obs, row_bytes, now, core, line, MemCmd::Read) {
                     llc.mc_backlog.push_back(McBacklogEntry {
                         core,
                         line_addr: line,
@@ -1524,7 +1702,15 @@ impl System {
                         AccessResult::Miss => {
                             // Write-no-allocate for writebacks: forward to
                             // memory.
-                            if !enqueue(now, lk.core, lk.line_addr, MemCmd::Write) {
+                            if !Self::mc_enqueue(
+                                channels,
+                                obs,
+                                row_bytes,
+                                now,
+                                lk.core,
+                                lk.line_addr,
+                                MemCmd::Write,
+                            ) {
                                 llc.mc_backlog.push_back(McBacklogEntry {
                                     core: lk.core,
                                     line_addr: lk.line_addr,
@@ -1548,6 +1734,7 @@ impl System {
                             stats.mem_interarrival.record_arrival(now);
                         }
                         notes.push(ShaperNote { core: lk.core, token, hit: r });
+                        obs.on_llc_lookup(now, lk.core.index(), lk.line_addr, r);
                         *notified = true;
                         r
                     };
@@ -1556,6 +1743,7 @@ impl System {
                     } else {
                         match llc.mshrs.allocate(lk.line_addr, now, false, lk.core) {
                             MshrOutcome::Allocated => {
+                                obs.on_llc_mshr_alloc(now, lk.line_addr);
                                 // An after-LLC shaper (Fig. 7 middle
                                 // placement) gates true memory requests
                                 // here; denied requests wait in the
@@ -1575,7 +1763,15 @@ impl System {
                                 };
                                 if gated {
                                     llc.deferred[lk.core.index()].push_back(lk.line_addr);
-                                } else if !enqueue(now, lk.core, lk.line_addr, MemCmd::Read) {
+                                } else if !Self::mc_enqueue(
+                                    channels,
+                                    obs,
+                                    row_bytes,
+                                    now,
+                                    lk.core,
+                                    lk.line_addr,
+                                    MemCmd::Read,
+                                ) {
                                     llc.mc_backlog.push_back(McBacklogEntry {
                                         core: lk.core,
                                         line_addr: lk.line_addr,

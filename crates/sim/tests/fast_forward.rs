@@ -22,6 +22,7 @@ use mitts_core::{BinConfig, BinSpec, MittsShaper};
 use mitts_sched::{baseline_names, make_baseline};
 use mitts_sim::audit::{FaultKind, FaultPlan, RunOutcome};
 use mitts_sim::config::{CacheConfig, SystemConfig};
+use mitts_sim::obs::{RingSink, StallReason, TraceEvent};
 use mitts_sim::system::{System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_workloads::Benchmark;
@@ -222,6 +223,142 @@ fn run_until_instructions_outcomes_match_naive() {
         );
         assert_eq!(naive.system_stats(), fast.system_stats());
     }
+}
+
+/// Builds a traced system: shared ring sink handle + 512-cycle sampler.
+fn build_traced(
+    benches: &[Benchmark],
+    fast_forward: bool,
+    sink: Rc<RefCell<RingSink>>,
+) -> System {
+    let mut cfg = SystemConfig::multi_program(benches.len());
+    cfg.llc = CacheConfig::llc_with_size(256 << 10);
+    let mut b = SystemBuilder::new(cfg)
+        .scheduler(make_baseline("FR-FCFS", benches.len()).expect("known scheduler"))
+        .fast_forward(fast_forward)
+        .trace_sink(Box::new(sink))
+        .sample_every(512);
+    for (i, &bench) in benches.iter().enumerate() {
+        b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0xF0 + i as u64)));
+    }
+    b.build()
+}
+
+/// Runs one traced workload in one mode; returns the full event stream,
+/// the sampler rows, the skipped-cycle count, and the system.
+fn traced_run(
+    benches: &[Benchmark],
+    fast_forward: bool,
+    cycles: Cycle,
+) -> (Vec<TraceEvent>, Vec<mitts_sim::obs::SampleRow>, Cycle, System) {
+    let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+    let mut sys = build_traced(benches, fast_forward, Rc::clone(&sink));
+    sys.run_cycles(cycles);
+    sys.flush_trace();
+    let ring = sink.borrow();
+    assert_eq!(ring.dropped(), 0, "ring sink overflowed; grow the test capacity");
+    let samples = sys.samples().to_vec();
+    let skipped = sys.skipped_cycles();
+    (ring.to_vec(), samples, skipped, sys)
+}
+
+#[test]
+fn trace_event_streams_and_samples_match_naive() {
+    // The observability contract: tracing + sampling are *observers* of
+    // the machine, so the full event sequence and every sampler row must
+    // be bit-identical between naive and fast-forward runs — skips land
+    // only on cycles where no event could have fired, and sampling
+    // boundaries clamp skips exactly like audit boundaries.
+    let sets: [&[Benchmark]; 5] = [
+        &[Benchmark::Mcf],
+        &[Benchmark::Libquantum],
+        &[Benchmark::Omnetpp],
+        &[Benchmark::Streamcluster],
+        &[Benchmark::Mcf, Benchmark::Libquantum, Benchmark::Bzip, Benchmark::Gcc],
+    ];
+    let mut total_skipped = 0;
+    for benches in sets {
+        let (ne, ns, _, nsys) = traced_run(benches, false, 20_000);
+        let (fe, fs, skipped, fsys) = traced_run(benches, true, 20_000);
+        total_skipped += skipped;
+        assert!(!ne.is_empty(), "no events traced for {benches:?}");
+        assert!(!ns.is_empty(), "no samples recorded for {benches:?}");
+        if ne != fe {
+            let idx = ne
+                .iter()
+                .zip(&fe)
+                .position(|(a, b)| a != b)
+                .unwrap_or(ne.len().min(fe.len()));
+            panic!(
+                "event streams diverged for {benches:?} at index {idx} \
+                 (naive {} vs fast {} events):\n  naive: {:?}\n  fast:  {:?}",
+                ne.len(),
+                fe.len(),
+                ne.get(idx),
+                fe.get(idx)
+            );
+        }
+        assert_eq!(ns, fs, "sample rows diverged for {benches:?}");
+        assert_eq!(nsys.system_stats(), fsys.system_stats());
+        // The decomposition invariant, in both modes: per-stage latencies
+        // summed over all Fill events telescope to exactly the cores'
+        // aggregate mem_latency_sum, and fills to mem_latency_count.
+        for (sys, events) in [(&nsys, &ne), (&fsys, &fe)] {
+            let stats = sys.system_stats();
+            let (want_count, want_sum) = stats.cores.iter().fold((0u64, 0u64), |(n, s), c| {
+                (n + c.mem_latency_count, s + c.mem_latency_sum)
+            });
+            let (fills, lat_sum) = events.iter().fold((0u64, 0u64), |(n, s), ev| match ev {
+                TraceEvent::Fill { lat, .. } => (n + 1, s + lat.total()),
+                _ => (n, s),
+            });
+            assert_eq!(fills, want_count, "fill count diverged {benches:?}");
+            assert_eq!(lat_sum, want_sum, "latency sum diverged {benches:?}");
+            assert_eq!(sys.observer().requests_dropped(), 0);
+        }
+    }
+    assert!(total_skipped > 0, "fast-forward never engaged on any traced workload");
+}
+
+#[test]
+fn traced_mitts_shaper_streams_match_naive() {
+    // Shaper deny phases produce StallBegin/StallEnd episodes whose
+    // begin/end transitions sit right at quiescence edges — the exact
+    // place a fast-forward bug would eat or duplicate an event.
+    let make_cfg = || {
+        let mut credits = vec![0u32; BinSpec::paper_default().bins()];
+        credits[2] = 6;
+        credits[6] = 4;
+        credits[9] = 8;
+        BinConfig::new(BinSpec::paper_default(), credits, 3_000).unwrap()
+    };
+    let run = |fast_forward: bool| {
+        let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+        let shaper = Rc::new(RefCell::new(MittsShaper::new(make_cfg())));
+        let mut cfg = SystemConfig::multi_program(1);
+        cfg.llc = CacheConfig::llc_with_size(256 << 10);
+        let mut sys = SystemBuilder::new(cfg)
+            .trace(0, Box::new(Benchmark::Libquantum.profile().trace(base_for(0), 11)))
+            .shaper(0, shaper as _)
+            .fast_forward(fast_forward)
+            .trace_sink(Box::new(Rc::clone(&sink)))
+            .sample_every(777)
+            .build();
+        sys.run_cycles(30_000);
+        sys.flush_trace();
+        let events = sink.borrow().to_vec();
+        (events, sys)
+    };
+    let (ne, nsys) = run(false);
+    let (fe, fsys) = run(true);
+    assert!(fsys.skipped_cycles() > 0, "shaped run should have skippable deny spans");
+    let stalls = ne
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::StallBegin { reason: StallReason::Shaper, .. }))
+        .count();
+    assert!(stalls > 0, "sparse credits must produce shaper stall episodes");
+    assert_eq!(ne, fe, "shaped event streams diverged");
+    assert_eq!(nsys.samples(), fsys.samples(), "shaped sample rows diverged");
 }
 
 #[test]

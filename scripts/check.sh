@@ -11,5 +11,13 @@ cargo clippy --all-targets -- -D warnings
 # bit-identical stats, grant ledgers, and run outcomes.
 cargo test -q -p mitts-sim --test fast_forward
 
-# Perf smoke: fails if fast-forward is >2x slower than naive anywhere.
+# Perf smoke: fails if fast-forward is >2x slower than naive anywhere,
+# or if lifecycle tracing costs >15% over the untraced shaped mix. Also
+# writes the traced-run artifacts consumed below.
 scripts/bench.sh --smoke
+
+# Tracing smoke gate: summarize the shaped 4-program trace the perf
+# smoke just wrote; mitts-trace exits non-zero unless the per-stage
+# latency decomposition telescopes exactly to the run's mem_latency_sum.
+cargo build --release -p mitts-bench --bin mitts-trace
+target/release/mitts-trace target/obs_smoke.trace.jsonl | tail -n 3
