@@ -1,0 +1,147 @@
+//! Conformance checker: runs simulations under the differential oracles
+//! (§III shaper spec, DDR3 timing legality, FR-FCFS pick legality) plus
+//! the runtime invariant auditor, and verifies the oracles themselves by
+//! seeded mutation.
+//!
+//! ```text
+//! mitts-conform [--smoke] [--seed N] [--fuzz N]
+//! ```
+//!
+//! * `--smoke` — quick gate for CI: all mutation checks, a short fuzz
+//!   campaign, and a subset of the workload suite.
+//! * default (full) — all mutation checks, >=120 fuzzed configurations,
+//!   and the complete 16-workload suite.
+//! * `--seed N` — override the fuzz campaign seed (default 1).
+//! * `--fuzz N` — override the number of fuzzed cases.
+//!
+//! Exits non-zero on any oracle violation or any undetected mutation and
+//! prints a minimal (shrunk) reproduction.
+
+use std::process::ExitCode;
+
+use mitts_bench::conform::{mutation_checks, run_fuzz, workload_checks};
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    fuzz_cases: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { smoke: false, seed: 1, fuzz_cases: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+            }
+            "--fuzz" => {
+                let v = it.next().ok_or("--fuzz needs a value")?;
+                args.fuzz_cases =
+                    Some(v.parse().map_err(|e| format!("bad --fuzz {v:?}: {e}"))?);
+            }
+            "--help" | "-h" => {
+                println!("usage: mitts-conform [--smoke] [--seed N] [--fuzz N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mitts-conform: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+
+    // 1. Mutation checks: every seeded perturbation must be detected.
+    println!("== mutation checks (oracle sensitivity) ==");
+    for r in mutation_checks() {
+        let status = if r.detected { "detected" } else { "MISSED" };
+        println!("  [{:>6}] {:<48} {} ({} violations)", r.oracle, r.name, status, r.violations);
+        if !r.detected {
+            failed = true;
+        }
+    }
+
+    // 2. Fuzz campaign.
+    let cases = args.fuzz_cases.unwrap_or(if args.smoke { 25 } else { 120 });
+    println!("\n== fuzz campaign (seed {}, {} cases) ==", args.seed, cases);
+    match run_fuzz(args.seed, cases, |i, stats| {
+        if (i + 1) % 25 == 0 || i + 1 == cases {
+            println!(
+                "  {}/{} cases clean ({} grants, {} denied cycles, {} dispatches, {} picks checked)",
+                i + 1,
+                cases,
+                stats.grants_checked,
+                stats.denied_cycles_checked,
+                stats.dispatches_checked,
+                stats.picks_checked
+            );
+        }
+    }) {
+        Ok(stats) => {
+            println!(
+                "  all {} cases clean; totals: {} grants, {} denied cycles, {} dispatches, {} picks",
+                stats.cases,
+                stats.grants_checked,
+                stats.denied_cycles_checked,
+                stats.dispatches_checked,
+                stats.picks_checked
+            );
+        }
+        Err(f) => {
+            failed = true;
+            eprintln!("  FUZZ FAILURE at case {} (seed {}):", f.index, f.seed);
+            eprintln!("  original case:\n{}", indent(&f.original.to_string()));
+            eprintln!("  shrunk reproduction:\n{}", indent(&f.shrunk.to_string()));
+            for v in &f.violations {
+                eprintln!("    violation @{} [{:?}] core {:?}: {}", v.at, v.oracle, v.core, v.detail);
+            }
+        }
+    }
+
+    // 3. Workload suite.
+    let (cycles, label) = if args.smoke { (20_000, "subset") } else { (60_000, "full") };
+    println!("\n== workload suite ({label}) ==");
+    let checks = workload_checks(cycles);
+    let checks = if args.smoke { &checks[..4] } else { &checks[..] };
+    for c in checks {
+        let ok = c.report.clean();
+        println!(
+            "  {:<12} {} ({} grants, {} dispatches, {} picks checked, {} audit)",
+            c.name,
+            if ok { "clean" } else { "VIOLATIONS" },
+            c.report.grants_checked,
+            c.report.dispatches_checked,
+            c.report.picks_checked,
+            c.report.audit_violations
+        );
+        if !ok {
+            failed = true;
+            for v in &c.report.violations {
+                eprintln!("    violation @{} [{:?}] core {:?}: {}", v.at, v.oracle, v.core, v.detail);
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("\nmitts-conform: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("\nmitts-conform: all checks passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+}

@@ -37,6 +37,16 @@ fn area_table() -> Table {
 
 fn main() {
     let scale = Scale::from_env();
+    // Validate the CSV sink *before* any simulation runs: a bad
+    // MITTS_CSV_DIR is a configuration error up front, not a panic after
+    // the first (possibly long) experiment finishes.
+    let csv_dir = match mitts_bench::table::prepare_csv_dir(std::env::var_os("MITTS_CSV_DIR")) {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("configuration error: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "MITTS reproduction — running all experiments (warmup={} cycles, work={} instr/core)\n",
         scale.warmup, scale.work
@@ -61,10 +71,8 @@ fn main() {
 
     // Ablations produce several tables; handled after the main list.
 
-    let csv_dir = std::env::var_os("MITTS_CSV_DIR").map(std::path::PathBuf::from);
     let dump = |name: &str, table: &Table| {
         if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create MITTS_CSV_DIR");
             table
                 .write_csv(&dir.join(format!("{name}.csv")))
                 .expect("write CSV table");

@@ -8,6 +8,7 @@
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured numbers.
 
+pub mod conform;
 pub mod exp;
 pub mod runner;
 pub mod table;

@@ -111,6 +111,62 @@ impl Table {
     }
 }
 
+/// Configuration error preparing the CSV output directory
+/// (`MITTS_CSV_DIR`).
+#[derive(Debug)]
+pub struct CsvDirError {
+    /// The offending path.
+    pub path: std::path::PathBuf,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CsvDirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MITTS_CSV_DIR {:?}: {}", self.path, self.reason)
+    }
+}
+
+impl std::error::Error for CsvDirError {}
+
+/// Resolves and prepares the CSV output directory from the value of the
+/// `MITTS_CSV_DIR` environment variable. `None` (variable unset) means
+/// CSV output is disabled and is not an error.
+///
+/// The directory is created (recursively) and probed for writability
+/// *upfront*, so a bad path fails with a clear configuration error
+/// before any simulation runs — not as a panic halfway through an
+/// hours-long sweep.
+///
+/// # Errors
+///
+/// Returns a [`CsvDirError`] if the path exists but is not a directory,
+/// cannot be created, or is not writable.
+pub fn prepare_csv_dir(
+    value: Option<std::ffi::OsString>,
+) -> Result<Option<std::path::PathBuf>, CsvDirError> {
+    let Some(v) = value else { return Ok(None) };
+    let path = std::path::PathBuf::from(v);
+    if path.as_os_str().is_empty() {
+        return Err(CsvDirError { path, reason: "path is empty".to_owned() });
+    }
+    if path.exists() && !path.is_dir() {
+        return Err(CsvDirError {
+            path,
+            reason: "exists but is not a directory".to_owned(),
+        });
+    }
+    if let Err(e) = std::fs::create_dir_all(&path) {
+        return Err(CsvDirError { path, reason: format!("cannot create directory: {e}") });
+    }
+    let probe = path.join(".mitts_csv_probe");
+    if let Err(e) = std::fs::write(&probe, b"") {
+        return Err(CsvDirError { path, reason: format!("directory is not writable: {e}") });
+    }
+    let _ = std::fs::remove_file(&probe);
+    Ok(Some(path))
+}
+
 /// Formats a float with 3 decimal places (the house style for tables).
 pub fn f3(v: f64) -> String {
     format!("{v:.3}")
@@ -171,5 +227,33 @@ mod tests {
         let mut t = Table::new("demo", &["a"]);
         t.row(vec!["hello, \"world\"".into()]);
         assert_eq!(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn prepare_csv_dir_unset_disables_output() {
+        assert!(prepare_csv_dir(None).unwrap().is_none());
+    }
+
+    #[test]
+    fn prepare_csv_dir_creates_nested_dirs_upfront() {
+        let base = std::env::temp_dir().join(format!("mitts_csv_ok_{}", std::process::id()));
+        let nested = base.join("deep").join("tables");
+        let got = prepare_csv_dir(Some(nested.clone().into_os_string()))
+            .expect("fresh temp path must prepare cleanly")
+            .expect("a set variable must enable output");
+        assert_eq!(got, nested);
+        assert!(nested.is_dir(), "directory must exist before any experiment runs");
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn prepare_csv_dir_rejects_file_in_the_way() {
+        let base = std::env::temp_dir().join(format!("mitts_csv_bad_{}", std::process::id()));
+        std::fs::write(&base, b"not a dir").unwrap();
+        let err = prepare_csv_dir(Some(base.clone().into_os_string()))
+            .expect_err("a plain file must be a configuration error");
+        assert!(err.to_string().contains("not a directory"), "unclear error: {err}");
+        assert!(err.to_string().contains("MITTS_CSV_DIR"), "error must name the knob: {err}");
+        std::fs::remove_file(&base).unwrap();
     }
 }

@@ -224,7 +224,9 @@ impl TraceSummary {
     }
 
     /// The `p`-th percentile (0–100) of stage `i` (index [`STAGE_COUNT`]
-    /// = end-to-end total), by nearest-rank on a sorted copy.
+    /// = end-to-end total), by nearest-rank on a sorted copy. The rank
+    /// rule is [`mitts_sim::histogram::nearest_rank_index`] — the same
+    /// one the sim-side bucket histograms use.
     pub fn percentile(&self, stage: usize, p: f64) -> u64 {
         let Some(samples) = self.stage_samples.get(stage) else {
             return 0;
@@ -234,8 +236,7 @@ impl TraceSummary {
         }
         let mut sorted = samples.clone();
         sorted.sort_unstable();
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        sorted[mitts_sim::histogram::nearest_rank_index(sorted.len(), p)]
     }
 
     /// Cross-checks the decomposition against the `run_summary` record:
@@ -523,6 +524,34 @@ mod tests {
         assert_eq!(s.percentile(STAGE_COUNT, 95.0), 95);
         assert_eq!(s.percentile(STAGE_COUNT, 99.0), 99);
         assert_eq!(s.percentile(STAGE_COUNT, 100.0), 100);
+    }
+
+    #[test]
+    fn exact_and_bucket_percentiles_share_the_rank_rule() {
+        // Same skewed sample set through both percentile paths: the exact
+        // nearest-rank value (this module) and the log-bucket
+        // approximation (mitts_sim::histogram). With a shared rank rule
+        // the approximation must resolve to the geometric centre of the
+        // bucket containing the exact answer — for p50, p95, and p99.
+        let samples: Vec<u64> =
+            (0..500u64).map(|i| 3 + (i * i * 7919) % 90_000).collect();
+        let mut s = TraceSummary::default();
+        s.stage_samples = vec![Vec::new(); STAGE_COUNT + 1];
+        s.stage_samples[STAGE_COUNT] = samples.clone();
+        let mut h = mitts_sim::histogram::LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        for p in [50.0, 95.0, 99.0] {
+            let exact = s.percentile(STAGE_COUNT, p);
+            let bucket = 63 - exact.max(1).leading_zeros() as u64;
+            let centre = (1u64 << bucket) as f64 * std::f64::consts::SQRT_2;
+            let approx = h.percentile_pct(p);
+            assert_eq!(
+                approx, centre,
+                "p{p}: exact {exact} (bucket {bucket}) vs approx {approx}"
+            );
+        }
     }
 
     #[test]

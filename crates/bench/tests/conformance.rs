@@ -1,0 +1,48 @@
+//! Integration gate over the conformance harness: the oracles must have
+//! teeth (every seeded mutation detected) and a short deterministic fuzz
+//! campaign plus a workload subset must run violation-free. The full
+//! campaign (120+ fuzzed configs, all 16 workloads) runs via
+//! `mitts-conform` in scripts/check.sh.
+
+use mitts_bench::conform::{mutation_checks, run_fuzz, workload_checks};
+
+#[test]
+fn all_seeded_mutations_are_detected() {
+    let results = mutation_checks();
+    let undetected: Vec<_> =
+        results.iter().filter(|r| !r.detected).map(|r| (r.oracle, r.name)).collect();
+    assert!(undetected.is_empty(), "oracles missed mutations: {undetected:?}");
+    for oracle in ["shaper", "dram", "sched"] {
+        assert!(
+            results.iter().filter(|r| r.oracle == oracle).count() >= 3,
+            "fewer than three {oracle} mutations"
+        );
+    }
+}
+
+#[test]
+fn fuzzed_configs_pass_all_oracles() {
+    let stats = run_fuzz(0xC0FF_EE00, 8, |_, _| ()).unwrap_or_else(|f| {
+        panic!(
+            "fuzz case {} failed; shrunk repro:\n{}\nviolations: {:#?}",
+            f.index, f.shrunk, f.violations
+        )
+    });
+    assert_eq!(stats.cases, 8);
+    assert!(stats.grants_checked > 500, "too little shaper coverage: {stats:?}");
+    assert!(stats.dispatches_checked > 500, "too little DRAM coverage: {stats:?}");
+    assert!(stats.picks_checked > 500, "too little scheduler coverage: {stats:?}");
+}
+
+#[test]
+fn workload_subset_passes_all_oracles() {
+    for check in workload_checks(12_000).into_iter().take(4) {
+        assert!(
+            check.report.clean(),
+            "workload {} violated conformance: {:#?}",
+            check.name,
+            check.report.violations
+        );
+        assert!(check.report.grants_checked > 0, "{}: no grants checked", check.name);
+    }
+}

@@ -61,8 +61,14 @@ impl BinSpec {
         (i as f64 + 0.5) * self.interval as f64
     }
 
-    /// The bin a request with inter-arrival `gap` falls into; gaps beyond
-    /// the last bin clamp to `N - 1`.
+    /// The bin a request with inter-arrival `gap` falls into.
+    ///
+    /// Boundary semantics (pinned by tests and mirrored by the
+    /// conformance oracle in `mitts_sim::oracle`): bins are half-open —
+    /// `bin_i` covers `[i·L, (i+1)·L)`, so the boundary gap `i·L`
+    /// belongs to `bin_i`, not `bin_{i-1}`. Gaps at or beyond `N·L`
+    /// (including the "infinite" first-request gap, `Cycle::MAX`) clamp
+    /// to the coarsest bin `N - 1`.
     pub fn bin_for_gap(self, gap: Cycle) -> usize {
         ((gap / self.interval) as usize).min(self.bins - 1)
     }
@@ -370,6 +376,48 @@ mod tests {
         assert_eq!(s.bin_for_gap(10), 1);
         assert_eq!(s.bin_for_gap(95), 9);
         assert_eq!(s.bin_for_gap(10_000), 9);
+    }
+
+    #[test]
+    fn bin_boundaries_are_half_open() {
+        // Boundary audit: the left edge i*L belongs to bin i (half-open
+        // intervals), the right edge (i+1)*L - 1 is the last gap of bin i.
+        let s = BinSpec::new(4, 25);
+        for i in 0..4usize {
+            assert_eq!(s.bin_for_gap(i as Cycle * 25), i, "left edge of bin {i}");
+            assert_eq!(s.bin_for_gap((i as Cycle + 1) * 25 - 1), i, "right edge of bin {i}");
+        }
+        // Gaps at or past N*L clamp to the coarsest bin.
+        assert_eq!(s.bin_for_gap(100), 3);
+        assert_eq!(s.bin_for_gap(101), 3);
+    }
+
+    #[test]
+    fn first_request_infinite_gap_lands_in_coarsest_bin() {
+        // The first request of a run has no predecessor; the shaper
+        // treats its gap as Cycle::MAX, which must clamp into bin N-1
+        // without overflowing the index arithmetic.
+        assert_eq!(BinSpec::paper_default().bin_for_gap(Cycle::MAX), 9);
+        assert_eq!(BinSpec::new(1, 1).bin_for_gap(Cycle::MAX), 0);
+    }
+
+    #[test]
+    fn bin_for_gap_matches_oracle_spec_quantisation() {
+        // The conformance oracle reimplements the same quantisation on
+        // the sim side; sweep the two for agreement, including both edges
+        // of every bin and the clamp region.
+        let s = BinSpec::paper_default();
+        let spec = mitts_sim::oracle::ShaperSpec {
+            credits: vec![1; s.bins()],
+            interval: s.interval(),
+            period: 100,
+            feedback: mitts_sim::oracle::SpecFeedback::PureL1,
+            policy: mitts_sim::oracle::SpecPolicy::CheapestEligible,
+            k_max: K_MAX,
+        };
+        for gap in (0u64..200).chain([1_000, 10_000, Cycle::MAX - 1, Cycle::MAX]) {
+            assert_eq!(s.bin_for_gap(gap), spec.bin_for_gap(gap), "gap {gap}");
+        }
     }
 
     #[test]

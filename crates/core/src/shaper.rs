@@ -154,6 +154,28 @@ impl MittsShaper {
         self.method
     }
 
+    /// The credit-spend policy in use.
+    pub fn policy(&self) -> CreditPolicy {
+        self.policy
+    }
+
+    /// The spec-side description of this shaper for the conformance
+    /// oracle ([`mitts_sim::oracle::ShaperOracle`]). Only *configuration*
+    /// crosses this boundary — bins, credits, period, method, policy —
+    /// while the grant/deny/feedback *semantics* are independently
+    /// reimplemented on the oracle side, so the two models can be
+    /// compared differentially.
+    pub fn oracle_spec(&self) -> mitts_sim::oracle::ShaperSpec {
+        mitts_sim::oracle::ShaperSpec {
+            credits: self.config.credits().to_vec(),
+            interval: self.config.spec().interval(),
+            period: self.config.replenish_period(),
+            feedback: self.method.into(),
+            policy: self.policy.into(),
+            k_max: K_MAX,
+        }
+    }
+
     /// Live credit counters `n_i`.
     pub fn live_credits(&self) -> &[u32] {
         &self.credits
@@ -188,6 +210,24 @@ impl MittsShaper {
     /// falls into.
     pub fn bin_for_gap(&self, gap: Cycle) -> usize {
         self.config.spec().bin_for_gap(gap)
+    }
+
+    /// Algorithm 1: reset every bin to K_i once per period, applying
+    /// every boundary up to and including `now`. The while loop catches
+    /// up over fast-forwarded windows; driven once per cycle it fires at
+    /// most once, exactly at the boundary (where `next_replenish == now`,
+    /// so `+=` and `= now + period` coincide).
+    fn replenish_through(&mut self, now: Cycle) {
+        let mut replenished = false;
+        while now >= self.next_replenish {
+            self.credits.copy_from_slice(self.config.credits());
+            self.next_replenish += self.config.replenish_period();
+            self.counters.replenishments += 1;
+            replenished = true;
+        }
+        if replenished {
+            self.rebuild_mask();
+        }
     }
 
     fn rebuild_mask(&mut self) {
@@ -274,20 +314,7 @@ impl SourceShaper for MittsShaper {
     }
 
     fn tick(&mut self, now: Cycle) {
-        // Algorithm 1: reset every bin to K_i once per period. The while
-        // loop catches up over fast-forwarded windows; driven once per
-        // cycle it fires at most once, exactly at the boundary (where
-        // `next_replenish == now`, so `+=` and `= now + period` coincide).
-        let mut replenished = false;
-        while now >= self.next_replenish {
-            self.credits.copy_from_slice(self.config.credits());
-            self.next_replenish += self.config.replenish_period();
-            self.counters.replenishments += 1;
-            replenished = true;
-        }
-        if replenished {
-            self.rebuild_mask();
-        }
+        self.replenish_through(now);
     }
 
     fn try_issue(&mut self, now: Cycle) -> ShapeDecision {
@@ -311,11 +338,21 @@ impl SourceShaper for MittsShaper {
         ShapeDecision::Grant(bin as ShapeToken)
     }
 
-    fn on_llc_response(&mut self, _now: Cycle, token: ShapeToken, hit: bool) {
+    fn on_llc_response(&mut self, now: Cycle, token: ShapeToken, hit: bool) {
         let bin = token as usize;
         if bin >= self.credits.len() {
             return; // stale token from before a reconfiguration; ignore
         }
+        // The shaper is ticked lazily (quiescence fast-forward), so a
+        // period boundary may have passed since the last `tick`. The
+        // hardware replenishes at the boundary itself, so feedback landing
+        // after it must see the new period's credits — otherwise the
+        // deduction/refund hits stale credits and is silently erased by
+        // the catch-up replenish, leaving the shaper more permissive than
+        // the §III spec. Boundaries strictly before `now` apply here; a
+        // boundary at `now` itself still belongs to the later tick phase
+        // (feedback-before-replenish within a cycle).
+        self.replenish_through(now.saturating_sub(1));
         match self.method {
             FeedbackMethod::DeductThenRefund => {
                 if hit {
@@ -398,6 +435,27 @@ impl SourceShaper for MittsShaper {
                     max: self.config.credit(bin).clamp(1, K_MAX),
                 })
                 .collect(),
+        }
+    }
+}
+
+impl From<FeedbackMethod> for mitts_sim::oracle::SpecFeedback {
+    fn from(m: FeedbackMethod) -> Self {
+        match m {
+            FeedbackMethod::DeductThenRefund => mitts_sim::oracle::SpecFeedback::DeductThenRefund,
+            FeedbackMethod::DeductOnConfirm => mitts_sim::oracle::SpecFeedback::DeductOnConfirm,
+            FeedbackMethod::PureL1 => mitts_sim::oracle::SpecFeedback::PureL1,
+        }
+    }
+}
+
+impl From<CreditPolicy> for mitts_sim::oracle::SpecPolicy {
+    fn from(p: CreditPolicy) -> Self {
+        match p {
+            CreditPolicy::CheapestEligible => mitts_sim::oracle::SpecPolicy::CheapestEligible,
+            CreditPolicy::MostExpensiveEligible => {
+                mitts_sim::oracle::SpecPolicy::MostExpensiveEligible
+            }
         }
     }
 }
@@ -541,6 +599,42 @@ mod tests {
         assert_eq!(s.live_credits()[0], 0);
         assert!(!s.try_issue(6).is_grant(), "after confirm the bin is empty");
         assert_eq!(s.counters().confirm_deductions, 1);
+    }
+
+    #[test]
+    fn late_confirm_lands_in_the_new_period() {
+        // Regression: the shaper is ticked lazily, so an LLC confirmation
+        // can arrive after a replenish boundary the shaper has not applied
+        // yet. The deduction must hit the NEW period's credits — in the
+        // buggy version it hit the stale pre-boundary credits and was
+        // then erased by the catch-up replenish, silently granting one
+        // extra request per period (caught by the conformance oracle).
+        let mut s = MittsShaper::new(only_bin(0, 1, 100))
+            .with_method(FeedbackMethod::DeductOnConfirm);
+        let ShapeDecision::Grant(t0) = s.try_issue(0) else { panic!() };
+        // Boundary at 100 passes with no tick; the miss confirms at 150.
+        s.on_llc_response(150, t0, false);
+        s.tick(150);
+        assert_eq!(
+            s.live_credits()[0],
+            0,
+            "confirm after an unapplied boundary must spend the new period's credit"
+        );
+        assert!(!s.try_issue(151).is_grant());
+    }
+
+    #[test]
+    fn confirm_at_the_boundary_cycle_spends_the_old_period() {
+        // Within one cycle the order is feedback first, replenish second
+        // (phase 3 before phase 4): a confirmation stamped exactly at the
+        // boundary consumes the old period's credit and the boundary then
+        // replenishes over it.
+        let mut s = MittsShaper::new(only_bin(0, 1, 100))
+            .with_method(FeedbackMethod::DeductOnConfirm);
+        let ShapeDecision::Grant(t0) = s.try_issue(0) else { panic!() };
+        s.on_llc_response(100, t0, false);
+        s.tick(100);
+        assert_eq!(s.live_credits()[0], 1, "the boundary replenish follows the feedback");
     }
 
     #[test]
@@ -728,5 +822,135 @@ mod tests {
         b.note_denied_cycles(7);
         assert_eq!(a.counters(), b.counters());
         assert_eq!(a.stall_cycles(), b.stall_cycles());
+    }
+
+    #[test]
+    fn oracle_spec_mirrors_configuration() {
+        let shaper = MittsShaper::new(cfg(vec![4, 3, 2, 2, 1, 1, 1, 1, 1, 8], 300))
+            .with_method(FeedbackMethod::DeductOnConfirm)
+            .with_policy(CreditPolicy::MostExpensiveEligible);
+        let spec = shaper.oracle_spec();
+        assert_eq!(spec.credits, shaper.config().credits());
+        assert_eq!(spec.interval, 10);
+        assert_eq!(spec.period, 300);
+        assert_eq!(spec.feedback, mitts_sim::oracle::SpecFeedback::DeductOnConfirm);
+        assert_eq!(spec.policy, mitts_sim::oracle::SpecPolicy::MostExpensiveEligible);
+        assert_eq!(spec.k_max, K_MAX);
+        assert_eq!(shaper.policy(), CreditPolicy::MostExpensiveEligible);
+    }
+
+    /// Differential harness: drives the real shaper cycle-by-cycle with a
+    /// seeded request pattern and mirrors every grant, denied-stall
+    /// window, and LLC response into a [`mitts_sim::oracle::ShaperOracle`]
+    /// exactly as the trace stream would present them.
+    mod differential {
+        use super::*;
+        use mitts_sim::oracle::{ShaperOracle, ShaperSpec, SpecPolicy};
+        use mitts_sim::rng::Rng;
+
+        fn drive(shaper: &mut MittsShaper, oracle: &mut ShaperOracle, seed: u64, horizon: Cycle) {
+            let mut rng = Rng::seeded(seed);
+            let mut next_line: u64 = 0;
+            // In-flight LLC lookups: (respond_at, token, line, hit).
+            let mut pending: Vec<(Cycle, ShapeToken, u64, bool)> = Vec::new();
+            let mut next_request: Cycle = 0;
+            let mut stalled = false;
+            for now in 0..horizon {
+                // Feedback lands before the cycle's replenish boundary,
+                // mirroring the simulator's phase order.
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].0 == now {
+                        let (_, token, line, hit) = pending.swap_remove(i);
+                        oracle.on_llc_lookup(now, line, hit);
+                        shaper.on_llc_response(now, token, hit);
+                    } else {
+                        i += 1;
+                    }
+                }
+                shaper.tick(now);
+                if now >= next_request {
+                    match shaper.try_issue(now) {
+                        ShapeDecision::Grant(token) => {
+                            next_line += 64;
+                            oracle.on_grant(now, next_line, token);
+                            if std::mem::take(&mut stalled) {
+                                oracle.on_stall_end(now);
+                            }
+                            let hit = rng.chance(0.35);
+                            pending.push((now + rng.range(1, 40), token, next_line, hit));
+                            next_request = now
+                                + if rng.chance(0.2) { rng.range(30, 120) } else { rng.range(1, 15) };
+                        }
+                        ShapeDecision::Deny => {
+                            // The core retries every cycle until granted.
+                            if !stalled {
+                                stalled = true;
+                                oracle.on_stall_begin(now);
+                            }
+                        }
+                    }
+                }
+            }
+            oracle.finish(horizon);
+        }
+
+        fn busy_config() -> BinConfig {
+            // Sparse credits and a short period so denial windows,
+            // replenish boundaries, and refund clamping all get exercised.
+            cfg(vec![2, 2, 1, 1, 1, 0, 1, 1, 0, 3], 257)
+        }
+
+        #[test]
+        fn real_shaper_conforms_to_spec_oracle() {
+            for (method, policy) in [
+                (FeedbackMethod::DeductThenRefund, CreditPolicy::CheapestEligible),
+                (FeedbackMethod::DeductThenRefund, CreditPolicy::MostExpensiveEligible),
+                (FeedbackMethod::DeductOnConfirm, CreditPolicy::CheapestEligible),
+                (FeedbackMethod::PureL1, CreditPolicy::CheapestEligible),
+            ] {
+                let mut shaper =
+                    MittsShaper::new(busy_config()).with_method(method).with_policy(policy);
+                let mut oracle = ShaperOracle::new(0, shaper.oracle_spec());
+                drive(&mut shaper, &mut oracle, 0x5EED_0001, 20_000);
+                assert!(
+                    oracle.violations().is_empty(),
+                    "{method:?}/{policy:?}: {:?}",
+                    oracle.violations()
+                );
+                assert!(oracle.grants_checked() > 100, "{method:?}/{policy:?}: too few grants");
+                assert!(
+                    oracle.denied_cycles_checked() > 0,
+                    "{method:?}/{policy:?}: no denial windows exercised"
+                );
+            }
+        }
+
+        #[test]
+        fn mutated_specs_are_detected() {
+            let spec = MittsShaper::new(busy_config()).oracle_spec();
+            let mutations: Vec<(&str, ShaperSpec)> = vec![
+                ("reduced coarse-bin credits", {
+                    let mut s = spec.clone();
+                    s.credits[9] = 1;
+                    s
+                }),
+                ("doubled replenish period", ShaperSpec { period: spec.period * 2, ..spec.clone() }),
+                ("doubled bin interval", ShaperSpec { interval: spec.interval * 2, ..spec.clone() }),
+                (
+                    "wrong spend policy",
+                    ShaperSpec { policy: SpecPolicy::MostExpensiveEligible, ..spec.clone() },
+                ),
+            ];
+            for (name, mutated) in mutations {
+                let mut shaper = MittsShaper::new(busy_config());
+                let mut oracle = ShaperOracle::new(0, mutated);
+                drive(&mut shaper, &mut oracle, 0x5EED_0002, 20_000);
+                assert!(
+                    !oracle.violations().is_empty(),
+                    "mutation {name:?} went undetected by the shaper oracle"
+                );
+            }
+        }
     }
 }

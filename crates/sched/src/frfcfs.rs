@@ -36,6 +36,10 @@ impl Scheduler for FrFcfs {
     fn next_event(&self, _now: Cycle) -> Option<Cycle> {
         None // stateless: pick is pure and tick is empty
     }
+
+    fn conformance_policy(&self) -> Option<mitts_sim::oracle::PickPolicy> {
+        Some(mitts_sim::oracle::PickPolicy::FrFcfs)
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,27 @@
 
 use crate::types::Cycle;
 
+/// The workspace's one nearest-rank percentile rule: for `count` sorted
+/// samples, the `p`-th percentile (`p` in **[0, 100]**) is the sample at
+/// index `ceil(p/100 · count) - 1`, clamped into range. Every percentile
+/// in the workspace — bucket-approximate ([`LatencyHistogram`]) or exact
+/// (`tracetool`) — derives its rank from this function so the two ends
+/// can never drift apart again.
+///
+/// Returns 0 for an empty population.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn nearest_rank_index(count: usize, p: f64) -> usize {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * count as f64).ceil() as usize;
+    rank.saturating_sub(1).min(count - 1)
+}
+
 /// Histogram of request inter-arrival times quantised into `N` bins of
 /// width `L` cycles, with one extra overflow bin for gaps `>= N * L`.
 ///
@@ -169,7 +190,7 @@ impl InterArrivalHistogram {
 ///     h.record(v);
 /// }
 /// assert_eq!(h.count(), 4);
-/// assert!(h.percentile(0.5) >= 64.0 && h.percentile(0.5) < 256.0);
+/// assert!(h.percentile_pct(50.0) >= 64.0 && h.percentile_pct(50.0) < 256.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
@@ -224,18 +245,19 @@ impl LatencyHistogram {
         self.sum
     }
 
-    /// Approximate `p`-th percentile (`p` in `[0, 1]`), resolved to the
-    /// geometric centre of the containing bucket. Returns 0 if empty.
+    /// Approximate `p`-th percentile with `p` in **[0, 100]** (the
+    /// workspace-wide convention; see [`nearest_rank_index`]), resolved
+    /// to the geometric centre of the containing log bucket. Returns 0
+    /// if empty.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `[0, 1]`.
-    pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_pct(&self, p: f64) -> f64 {
+        let target = nearest_rank_index(self.count as usize, p) as u64 + 1;
         if self.count == 0 {
             return 0.0;
         }
-        let target = (p * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -245,6 +267,22 @@ impl LatencyHistogram {
             }
         }
         self.max as f64
+    }
+
+    /// Approximate `p`-th percentile with `p` in `[0, 1]`.
+    ///
+    /// Deprecated: this fraction convention clashed with the 0–100
+    /// convention used by the trace tooling (`percentile(0.99)` on one
+    /// API was `percentile(99.0)` on the other — an easy silent bug).
+    /// Use [`LatencyHistogram::percentile_pct`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[deprecated(note = "use percentile_pct(p) with p in [0, 100]")]
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        self.percentile_pct(p * 100.0)
     }
 
     /// Clears all recorded values.
@@ -378,8 +416,8 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        let p50 = h.percentile(0.5);
-        let p99 = h.percentile(0.99);
+        let p50 = h.percentile_pct(50.0);
+        let p99 = h.percentile_pct(99.0);
         assert!(p50 < p99, "p50 {p50} must be below p99 {p99}");
         assert!(p50 > 256.0 && p50 < 1024.0, "p50 {p50} of 1..1000");
         assert!(p99 >= 512.0, "p99 {p99}");
@@ -388,8 +426,45 @@ mod tests {
     #[test]
     fn latency_percentile_of_empty_is_zero() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.percentile(0.99), 0.0);
+        assert_eq!(h.percentile_pct(99.0), 0.0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_index_is_the_canonical_rule() {
+        // ceil(p/100 * count) - 1, clamped: the classic nearest-rank
+        // definition, shared with the trace tooling's exact percentiles.
+        assert_eq!(nearest_rank_index(0, 50.0), 0);
+        assert_eq!(nearest_rank_index(100, 0.0), 0);
+        assert_eq!(nearest_rank_index(100, 50.0), 49);
+        assert_eq!(nearest_rank_index(100, 95.0), 94);
+        assert_eq!(nearest_rank_index(100, 99.0), 98);
+        assert_eq!(nearest_rank_index(100, 100.0), 99);
+        assert_eq!(nearest_rank_index(1, 99.0), 0);
+        assert_eq!(nearest_rank_index(3, 50.0), 1);
+        assert_eq!(nearest_rank_index(4, 50.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 100]")]
+    fn percentile_pct_rejects_fraction_scale_misuse() {
+        // Passing 0.99 where 99.0 is meant now fails loudly instead of
+        // silently returning ~p1.
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.percentile_pct(101.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fraction_shim_matches_percentile_pct() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 3);
+        }
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), h.percentile_pct(p * 100.0), "p = {p}");
+        }
     }
 
     #[test]

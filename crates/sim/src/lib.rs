@@ -42,6 +42,7 @@ pub mod dram;
 pub mod histogram;
 pub mod mc;
 pub mod obs;
+pub mod oracle;
 pub mod rng;
 pub mod shaper;
 pub mod stats;
@@ -56,6 +57,10 @@ pub use audit::{
 };
 pub use config::{ConfigError, SystemConfig};
 pub use obs::{JsonlSink, NullSink, Observer, RingSink, TraceEvent, TraceSink};
+pub use oracle::{
+    DramOracle, OracleKind, OracleViolation, PickOracle, PickPolicy, ShaperOracle, ShaperSpec,
+    SpecFeedback, SpecPolicy,
+};
 pub use stats::{geomean, SlowdownReport};
 pub use system::{System, SystemBuilder};
 pub use types::{Addr, CoreId, Cycle, MemCmd, OpId};

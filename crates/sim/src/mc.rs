@@ -195,6 +195,18 @@ pub trait Scheduler {
     /// Policies that sample per-cycle state (occupancy counters, epoch
     /// accumulators) reproduce those updates here.
     fn note_idle_cycles(&mut self, _cycles: Cycle) {}
+
+    /// The queue-ordering discipline this policy promises to follow, for
+    /// the conformance oracle ([`crate::oracle::PickOracle`]). `None`
+    /// (the default) means the ordering is dynamic or stateful and only
+    /// structural pick legality is checked.
+    ///
+    /// Declaring a policy is a contract: every `pick` must return the
+    /// startable transaction that ordering selects (ties broken by
+    /// enqueue stamp, then id).
+    fn conformance_policy(&self) -> Option<crate::oracle::PickPolicy> {
+        None
+    }
 }
 
 /// First-come-first-served: always the oldest startable transaction.
@@ -229,6 +241,10 @@ impl Scheduler for FcfsScheduler {
             .min_by_key(|(_, t)| (t.enqueued_at, t.id))
             .map(|(i, _)| i)
     }
+
+    fn conformance_policy(&self) -> Option<crate::oracle::PickPolicy> {
+        Some(crate::oracle::PickPolicy::Fcfs)
+    }
 }
 
 /// One dispatch captured by the controller's (opt-in) dispatch log: the
@@ -243,6 +259,42 @@ pub struct DispatchRecord {
     pub at: Cycle,
     /// Derived DRAM command timing for the service.
     pub timing: DramServiceTiming,
+}
+
+/// One transaction-queue entry as the scheduler saw it at a pick moment,
+/// captured by the controller's (opt-in) pick log for the conformance
+/// oracle: identity plus the facts the scheduling decision depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PickCandidate {
+    /// Transaction id.
+    pub id: TxnId,
+    /// Requesting core index.
+    pub core: usize,
+    /// Line address.
+    pub line: Addr,
+    /// Whether the transaction is a write.
+    pub write: bool,
+    /// Cycle the transaction entered the controller.
+    pub enqueued_at: Cycle,
+    /// Whether the bank could accept it this cycle (`can_start`).
+    pub startable: bool,
+    /// Whether it would hit the currently open row.
+    pub row_hit: bool,
+}
+
+/// One scheduling decision with the full queue snapshot it was made
+/// against. Consumed by the observer's `mc_pick` trace events and the
+/// [`crate::oracle::PickOracle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PickRecord {
+    /// Pick cycle.
+    pub at: Cycle,
+    /// Chosen transaction id.
+    pub chosen: TxnId,
+    /// Priority-core override in force, if any.
+    pub priority: Option<usize>,
+    /// Every transaction in the scheduling queue at the pick moment.
+    pub candidates: Vec<PickCandidate>,
 }
 
 /// A completed read transaction handed back to the LLC.
@@ -282,6 +334,10 @@ pub struct MemoryController {
     /// observer to drain. Off by default (zero cost when tracing is off).
     log_dispatches: bool,
     dispatch_log: Vec<DispatchRecord>,
+    /// When true, every scheduling decision is captured with its full
+    /// queue snapshot. Separately opt-in (heavier than the dispatch log).
+    log_picks: bool,
+    pick_log: Vec<PickRecord>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -314,6 +370,8 @@ impl MemoryController {
             completion_scratch: Vec::new(),
             log_dispatches: false,
             dispatch_log: Vec::new(),
+            log_picks: false,
+            pick_log: Vec::new(),
         }
     }
 
@@ -331,6 +389,24 @@ impl MemoryController {
     /// empty. Allocation-free once both vectors are warm.
     pub fn drain_dispatch_log_into(&mut self, out: &mut Vec<DispatchRecord>) {
         out.append(&mut self.dispatch_log);
+    }
+
+    /// Enables (or disables) pick-snapshot logging: while enabled, every
+    /// scheduling decision records the full queue with per-candidate
+    /// `startable`/`row_hit` facts. Heavier than the dispatch log, so it
+    /// is a separate opt-in (the conformance harness turns it on; plain
+    /// lifecycle tracing does not).
+    pub fn set_pick_logging(&mut self, on: bool) {
+        self.log_picks = on;
+        if !on {
+            self.pick_log.clear();
+        }
+    }
+
+    /// Moves all logged pick snapshots into `out` (appending), leaving
+    /// the log empty.
+    pub fn drain_pick_log_into(&mut self, out: &mut Vec<PickRecord>) {
+        out.append(&mut self.pick_log);
     }
 
     /// Attempts to accept a new transaction into the global FIFO. Returns
@@ -396,6 +472,27 @@ impl MemoryController {
 
         if let Some(idx) = choice {
             let txn = self.queue[idx];
+            if self.log_picks {
+                let candidates = self
+                    .queue
+                    .iter()
+                    .map(|t| PickCandidate {
+                        id: t.id,
+                        core: t.core.index(),
+                        line: t.addr,
+                        write: !t.cmd.is_read(),
+                        enqueued_at: t.enqueued_at,
+                        startable: view.can_start(t.addr),
+                        row_hit: view.is_row_hit(t.addr),
+                    })
+                    .collect();
+                self.pick_log.push(PickRecord {
+                    at: now,
+                    chosen: txn.id,
+                    priority: self.priority_core.map(CoreId::index),
+                    candidates,
+                });
+            }
             debug_assert!(
                 dram.can_start(now, txn.addr),
                 "scheduler picked a non-startable transaction"

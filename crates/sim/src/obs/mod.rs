@@ -89,6 +89,7 @@ pub struct Observer {
     /// The watchdog stall has been mirrored into the stream.
     stall_reported: bool,
     dispatch_scratch: Vec<DispatchRecord>,
+    pick_scratch: Vec<crate::mc::PickRecord>,
 }
 
 impl std::fmt::Debug for Observer {
@@ -136,6 +137,7 @@ impl Observer {
             violations_seen: 0,
             stall_reported: false,
             dispatch_scratch: Vec::new(),
+            pick_scratch: Vec::new(),
         }
     }
 
@@ -370,6 +372,29 @@ impl Observer {
             });
         }
         self.dispatch_scratch = records;
+    }
+
+    /// Drains channel `channel`'s pick-snapshot log: emits one
+    /// [`TraceEvent::McPick`] per scheduling decision. Only produces
+    /// events when the controller's pick logging is on (see
+    /// `SystemBuilder::log_pick_snapshots`).
+    pub fn drain_picks(&mut self, channel: usize, mc: &mut MemoryController) {
+        if !self.lifecycle {
+            return;
+        }
+        let mut records = std::mem::take(&mut self.pick_scratch);
+        records.clear();
+        mc.drain_pick_log_into(&mut records);
+        for rec in records.drain(..) {
+            self.emit(TraceEvent::McPick {
+                at: rec.at,
+                channel,
+                chosen: rec.chosen,
+                priority: rec.priority,
+                cands: rec.candidates,
+            });
+        }
+        self.pick_scratch = records;
     }
 
     /// A memory response for `line` reached the LLC this tick.

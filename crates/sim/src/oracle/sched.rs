@@ -1,0 +1,268 @@
+//! Scheduler pick-legality oracle: replays `mc_pick` queue snapshots.
+//!
+//! Each [`crate::mc::PickRecord`] captures the controller's entire
+//! transaction queue at the moment a dispatch was chosen, with the
+//! per-candidate facts the scheduler saw (`startable`, `row_hit`,
+//! `enqueued_at`). [`PickOracle`] re-derives the legal choice:
+//!
+//! * structural legality (any policy): the chosen transaction must be in
+//!   the snapshot and must have been startable;
+//! * priority override: when a priority core is set and has a startable
+//!   candidate, the controller must pick from that core, row-hit-first
+//!   then oldest-first (this path bypasses the pluggable scheduler);
+//! * policy conformance: schedulers that declare a [`PickPolicy`] via
+//!   [`crate::mc::Scheduler::conformance_policy`] are held to it —
+//!   FR-FCFS must pick the oldest row hit (oldest overall when no hit is
+//!   startable), FCFS the oldest startable candidate, ids breaking ties.
+
+use crate::mc::{PickCandidate, PickRecord};
+use crate::obs::TraceEvent;
+use crate::oracle::{OracleKind, OracleViolation};
+use crate::types::Cycle;
+
+/// The queue-ordering discipline a scheduler promises to implement.
+/// Schedulers with dynamic or stateful orderings (fair queueing, TCM,
+/// bandwidth reservation, ...) return `None` and get structural checks
+/// only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickPolicy {
+    /// Row-hit-first, then oldest-first (enqueue stamp, then id).
+    FrFcfs,
+    /// Strictly oldest-first (enqueue stamp, then id).
+    Fcfs,
+}
+
+impl PickPolicy {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PickPolicy::FrFcfs => "fr-fcfs",
+            PickPolicy::Fcfs => "fcfs",
+        }
+    }
+
+    /// The candidate this policy must choose from `candidates`, or
+    /// `None` if nothing is startable.
+    fn best<'a>(self, candidates: impl Iterator<Item = &'a PickCandidate>) -> Option<u64> {
+        let startable = candidates.filter(|c| c.startable);
+        match self {
+            PickPolicy::FrFcfs => startable
+                .min_by_key(|c| (!c.row_hit, c.enqueued_at, c.id))
+                .map(|c| c.id),
+            PickPolicy::Fcfs => {
+                startable.min_by_key(|c| (c.enqueued_at, c.id)).map(|c| c.id)
+            }
+        }
+    }
+}
+
+/// Replays `mc_pick` snapshots against the claimed scheduling policy.
+#[derive(Debug)]
+pub struct PickOracle {
+    policy: Option<PickPolicy>,
+    violations: Vec<OracleViolation>,
+    picks: u64,
+}
+
+impl PickOracle {
+    /// Creates an oracle holding schedulers to `policy` (pass the value
+    /// of [`crate::mc::Scheduler::conformance_policy`]; `None` keeps the
+    /// structural and priority checks only).
+    pub fn new(policy: Option<PickPolicy>) -> Self {
+        PickOracle { policy, violations: Vec::new(), picks: 0 }
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[OracleViolation] {
+        &self.violations
+    }
+
+    /// Number of pick snapshots checked.
+    pub fn picks_checked(&self) -> u64 {
+        self.picks
+    }
+
+    fn report(&mut self, at: Cycle, channel: usize, detail: String) {
+        self.violations.push(OracleViolation {
+            at,
+            oracle: OracleKind::Sched,
+            core: None,
+            channel: Some(channel),
+            detail,
+        });
+    }
+
+    /// Feeds one trace event; only `mc_pick` snapshots are consumed.
+    pub fn on_event(&mut self, ev: &TraceEvent) {
+        if let TraceEvent::McPick { at, channel, chosen, priority, cands } = ev {
+            let record =
+                PickRecord { at: *at, chosen: *chosen, priority: *priority, candidates: cands.clone() };
+            self.on_pick(*channel, &record);
+        }
+    }
+
+    /// Checks one pick snapshot.
+    pub fn on_pick(&mut self, channel: usize, rec: &PickRecord) {
+        self.picks += 1;
+        let at = rec.at;
+        let Some(chosen) = rec.candidates.iter().find(|c| c.id == rec.chosen) else {
+            self.report(
+                at,
+                channel,
+                format!("chosen txn {} is not in the queue snapshot", rec.chosen),
+            );
+            return;
+        };
+        if !chosen.startable {
+            self.report(
+                at,
+                channel,
+                format!("chosen txn {} was not startable (bank busy)", rec.chosen),
+            );
+            return;
+        }
+
+        // Priority-core override path (row-hit-first within the core).
+        if let Some(p) = rec.priority {
+            let best_prio = PickPolicy::FrFcfs
+                .best(rec.candidates.iter().filter(|c| c.core == p));
+            if let Some(best) = best_prio {
+                if chosen.core != p {
+                    self.report(
+                        at,
+                        channel,
+                        format!(
+                            "priority core {p} had startable txn {best} but \
+                             txn {} from core {} was chosen",
+                            rec.chosen, chosen.core
+                        ),
+                    );
+                } else if rec.chosen != best {
+                    self.report(
+                        at,
+                        channel,
+                        format!(
+                            "priority pick chose txn {} but row-hit/oldest \
+                             order selects txn {best}",
+                            rec.chosen
+                        ),
+                    );
+                }
+                return;
+            }
+        }
+
+        if let Some(policy) = self.policy {
+            let best = policy
+                .best(rec.candidates.iter())
+                .expect("chosen is startable, so a best candidate exists");
+            if rec.chosen != best {
+                self.report(
+                    at,
+                    channel,
+                    format!(
+                        "{} order selects txn {best} but txn {} was chosen \
+                         (chosen: row_hit={} enq={}; best: row_hit={} enq={})",
+                        policy.label(),
+                        rec.chosen,
+                        chosen.row_hit,
+                        chosen.enqueued_at,
+                        rec.candidates.iter().find(|c| c.id == best).map(|c| c.row_hit).unwrap_or(false),
+                        rec.candidates.iter().find(|c| c.id == best).map(|c| c.enqueued_at).unwrap_or(0),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u64, core: usize, enq: Cycle, startable: bool, row_hit: bool) -> PickCandidate {
+        PickCandidate {
+            id,
+            core,
+            line: id * 64,
+            write: false,
+            enqueued_at: enq,
+            startable,
+            row_hit,
+        }
+    }
+
+    fn rec(chosen: u64, priority: Option<usize>, cands: Vec<PickCandidate>) -> PickRecord {
+        PickRecord { at: 100, chosen, priority, candidates: cands }
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hit_over_older_miss() {
+        let mut o = PickOracle::new(Some(PickPolicy::FrFcfs));
+        // Txn 2 is younger but a row hit: FR-FCFS must take it.
+        o.on_pick(0, &rec(2, None, vec![cand(1, 0, 10, true, false), cand(2, 1, 20, true, true)]));
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+        // Choosing the older miss instead is a violation.
+        let mut o = PickOracle::new(Some(PickPolicy::FrFcfs));
+        o.on_pick(0, &rec(1, None, vec![cand(1, 0, 10, true, false), cand(2, 1, 20, true, true)]));
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn fcfs_requires_oldest_startable() {
+        let mut o = PickOracle::new(Some(PickPolicy::Fcfs));
+        // Oldest (txn 1) is not startable: txn 2 is the legal choice.
+        o.on_pick(
+            0,
+            &rec(2, None, vec![cand(1, 0, 10, false, false), cand(2, 1, 20, true, true)]),
+        );
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+        // Skipping the startable oldest is a violation.
+        let mut o = PickOracle::new(Some(PickPolicy::Fcfs));
+        o.on_pick(
+            0,
+            &rec(3, None, vec![cand(1, 0, 10, true, false), cand(3, 1, 30, true, true)]),
+        );
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn structural_checks_apply_without_a_policy() {
+        let mut o = PickOracle::new(None);
+        o.on_pick(0, &rec(9, None, vec![cand(1, 0, 10, true, false)]));
+        assert!(o.violations()[0].detail.contains("not in the queue"));
+        let mut o = PickOracle::new(None);
+        o.on_pick(0, &rec(1, None, vec![cand(1, 0, 10, false, false)]));
+        assert!(o.violations()[0].detail.contains("not startable"));
+    }
+
+    #[test]
+    fn priority_core_overrides_global_order() {
+        // Priority core 1 has a startable candidate; even a policy-less
+        // oracle must see the pick come from core 1, row-hit-first.
+        let cands = vec![
+            cand(1, 0, 10, true, true),  // global FR-FCFS best
+            cand(2, 1, 20, true, false),
+            cand(3, 1, 30, true, true),  // priority best (row hit)
+        ];
+        let mut o = PickOracle::new(Some(PickPolicy::FrFcfs));
+        o.on_pick(0, &rec(3, Some(1), cands.clone()));
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+        // Picking core 0's txn while core 1 is serviceable is flagged.
+        let mut o = PickOracle::new(Some(PickPolicy::FrFcfs));
+        o.on_pick(0, &rec(1, Some(1), cands.clone()));
+        assert!(o.violations()[0].detail.contains("priority core"));
+        // Picking the wrong candidate within the priority core is flagged.
+        let mut o = PickOracle::new(None);
+        o.on_pick(0, &rec(2, Some(1), cands));
+        assert!(o.violations()[0].detail.contains("row-hit/oldest"));
+    }
+
+    #[test]
+    fn priority_core_with_nothing_startable_falls_through() {
+        let cands = vec![cand(1, 0, 10, true, false), cand(2, 1, 20, false, true)];
+        let mut o = PickOracle::new(Some(PickPolicy::FrFcfs));
+        o.on_pick(0, &rec(1, Some(1), cands));
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+}

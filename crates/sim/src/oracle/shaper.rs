@@ -1,0 +1,509 @@
+//! Independent reimplementation of the §III MITTS bin/credit machine.
+//!
+//! [`ShaperOracle`] replays one core's slice of the trace stream against
+//! [`ShaperSpec`], a deliberately naive model of the paper's shaper:
+//! per-bin credit counters, inter-arrival bin selection by integer
+//! division, eligibility scan, and `T_r` replenishment. It never shares
+//! code with `mitts_core::MittsShaper` — the whole point is that the two
+//! implementations can only agree if both match the specification.
+//!
+//! What is checked, per core:
+//!
+//! * every `shaper_grant` must be a grant the spec allows **and** must be
+//!   charged to the exact bin the spec's spend policy selects;
+//! * every shaper stall episode (`stall_begin`/`stall_end` with reason
+//!   `shaper`) must consist solely of cycles on which the spec would
+//!   also deny — a premature denial is as much a bug as an illegal grant;
+//! * credit feedback (`llc_lookup` hit/miss outcomes) and replenish
+//!   boundaries are replayed in the same intra-cycle order the simulator
+//!   uses (feedback → replenish → issue decision).
+
+use std::collections::VecDeque;
+
+use crate::obs::{StallReason, TraceEvent};
+use crate::oracle::{OracleKind, OracleViolation};
+use crate::types::{Addr, Cycle};
+
+/// How the spec model feeds LLC hit/miss outcomes back into credits.
+/// Mirrors the paper's options without referencing the production enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecFeedback {
+    /// Deduct at issue; refund the spent bin when the LLC reports a hit.
+    DeductThenRefund,
+    /// Deduct nothing at issue; deduct the token bin on a confirmed miss.
+    DeductOnConfirm,
+    /// Deduct at issue; ignore LLC outcomes (pure L1-miss shaping).
+    PureL1,
+}
+
+/// Which eligible bin the spec model spends from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecPolicy {
+    /// Spend from the **coarsest** (largest-index) eligible bin — the
+    /// paper's default: preserve credits for expensive short gaps.
+    CheapestEligible,
+    /// Spend from the finest (smallest-index) eligible bin.
+    MostExpensiveEligible,
+}
+
+/// Spec-side description of one MITTS shaper: everything the reference
+/// model needs, independent of `mitts_core` types. Build one via
+/// `mitts_core`'s `oracle_spec()` conversions (so the *configuration* is
+/// shared while the *semantics* are reimplemented), or construct it
+/// directly in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShaperSpec {
+    /// Maximum credits per inter-arrival bin (`K_i`).
+    pub credits: Vec<u32>,
+    /// Bin width `L` in cycles; bin `i` covers gaps `[iL, (i+1)L)`.
+    pub interval: Cycle,
+    /// Replenishment period `T_r` in cycles.
+    pub period: Cycle,
+    /// LLC feedback method.
+    pub feedback: SpecFeedback,
+    /// Spend policy over eligible bins.
+    pub policy: SpecPolicy,
+    /// Hardware cap on per-bin credits (refund clamp floor/ceiling).
+    pub k_max: u32,
+}
+
+impl ShaperSpec {
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.credits.len()
+    }
+
+    /// Spec-side inter-arrival bin selection: integer division by `L`,
+    /// clamped to the coarsest bin. The first request of a run has an
+    /// infinite gap and must land in bin `N-1`.
+    pub fn bin_for_gap(&self, gap: Cycle) -> usize {
+        ((gap / self.interval) as usize).min(self.credits.len() - 1)
+    }
+}
+
+/// One entry of the in-flight grant FIFO: the granted line and the bin
+/// the grant was charged to (needed to apply LLC feedback later).
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    line: Addr,
+    bin: usize,
+}
+
+/// Replays one core's shaper-visible events against a [`ShaperSpec`].
+#[derive(Debug)]
+pub struct ShaperOracle {
+    core: usize,
+    spec: ShaperSpec,
+    /// Live credits per bin.
+    live: Vec<u32>,
+    /// Next replenish boundary (starts at `period`, like the hardware).
+    next_replenish: Cycle,
+    /// Cycle of the most recent grant, if any.
+    last_issue: Option<Cycle>,
+    /// Grants awaiting their LLC outcome, oldest first.
+    outstanding: VecDeque<Outstanding>,
+    /// `Some(cursor)` while inside a shaper stall episode: the next cycle
+    /// whose denial has not yet been spec-checked.
+    deny_cursor: Option<Cycle>,
+    violations: Vec<OracleViolation>,
+    /// Total grants checked (for reporting coverage).
+    grants: u64,
+    /// Total denied cycles checked.
+    denied_cycles: u64,
+}
+
+impl ShaperOracle {
+    /// Creates an oracle for `core` against `spec`. Panics if the spec is
+    /// degenerate (no bins, zero interval or period) — such configs are
+    /// rejected by `BinConfig` construction as well.
+    pub fn new(core: usize, spec: ShaperSpec) -> Self {
+        assert!(!spec.credits.is_empty(), "spec needs at least one bin");
+        assert!(spec.interval >= 1, "bin interval must be >= 1");
+        assert!(spec.period >= 1, "replenish period must be >= 1");
+        let live = spec.credits.clone();
+        let next_replenish = spec.period;
+        ShaperOracle {
+            core,
+            spec,
+            live,
+            next_replenish,
+            last_issue: None,
+            outstanding: VecDeque::new(),
+            deny_cursor: None,
+            violations: Vec::new(),
+            grants: 0,
+            denied_cycles: 0,
+        }
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[OracleViolation] {
+        &self.violations
+    }
+
+    /// Number of grants checked.
+    pub fn grants_checked(&self) -> u64 {
+        self.grants
+    }
+
+    /// Number of individually spec-checked denied cycles.
+    pub fn denied_cycles_checked(&self) -> u64 {
+        self.denied_cycles
+    }
+
+    fn report(&mut self, at: Cycle, detail: String) {
+        self.violations.push(OracleViolation {
+            at,
+            oracle: OracleKind::Shaper,
+            core: Some(self.core),
+            channel: None,
+            detail,
+        });
+    }
+
+    /// Applies every replenish boundary at or before `now` (the hardware
+    /// resets all bins to `K_i` on each boundary; boundaries are never
+    /// skipped even if several elapse at once).
+    fn replenish_through(&mut self, now: Cycle) {
+        while self.next_replenish <= now {
+            self.live.copy_from_slice(&self.spec.credits);
+            self.next_replenish += self.spec.period;
+        }
+    }
+
+    /// The bin the spec's spend policy selects for a request whose
+    /// inter-arrival bin is `request_bin`, or `None` if no bin at or
+    /// below it has credit (a spec denial).
+    fn eligible_bin(&self, request_bin: usize) -> Option<usize> {
+        let range = 0..=request_bin;
+        match self.spec.policy {
+            SpecPolicy::CheapestEligible => {
+                range.rev().find(|&j| self.live[j] > 0)
+            }
+            SpecPolicy::MostExpensiveEligible => {
+                range.into_iter().find(|&j| self.live[j] > 0)
+            }
+        }
+    }
+
+    /// The request bin of the core's head request at cycle `now`.
+    fn request_bin_at(&self, now: Cycle) -> usize {
+        let gap = match self.last_issue {
+            Some(prev) => now - prev,
+            None => Cycle::MAX,
+        };
+        self.spec.bin_for_gap(gap)
+    }
+
+    /// Would the spec grant at cycle `now`? Assumes replenish has been
+    /// applied through `now`.
+    fn would_grant(&self, now: Cycle) -> Option<usize> {
+        self.eligible_bin(self.request_bin_at(now))
+    }
+
+    /// Spec-checks pending denied cycles strictly before `upto`. Each
+    /// cycle in a shaper stall episode must be a cycle the spec denies.
+    fn check_denies_before(&mut self, upto: Cycle) {
+        let Some(cursor) = self.deny_cursor else { return };
+        let mut c = cursor;
+        while c < upto {
+            self.replenish_through(c);
+            self.denied_cycles += 1;
+            if let Some(bin) = self.would_grant(c) {
+                let rb = self.request_bin_at(c);
+                self.report(
+                    c,
+                    format!(
+                        "denial the spec would allow: request bin {rb}, \
+                         eligible bin {bin} has {} live credit(s)",
+                        self.live[bin]
+                    ),
+                );
+                // Stop scanning this episode: once the implementations
+                // disagree every later cycle would re-report the same
+                // divergence.
+                self.deny_cursor = None;
+                return;
+            }
+            c += 1;
+        }
+        self.deny_cursor = Some(upto.max(cursor));
+    }
+
+    /// Feeds one trace event. Events for other cores (or irrelevant
+    /// kinds) are ignored; events must arrive in stream order.
+    pub fn on_event(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::ShaperGrant { at, core, line, bin } if *core == self.core => {
+                self.on_grant(*at, *line, *bin);
+            }
+            TraceEvent::LlcLookup { at, core, line, hit } if *core == self.core => {
+                self.on_llc_lookup(*at, *line, *hit);
+            }
+            TraceEvent::StallBegin { at, core, reason: StallReason::Shaper }
+                if *core == self.core =>
+            {
+                self.on_stall_begin(*at);
+            }
+            TraceEvent::StallEnd { at, core, reason: StallReason::Shaper, .. }
+                if *core == self.core =>
+            {
+                self.on_stall_end(*at);
+            }
+            _ => {}
+        }
+    }
+
+    /// A grant was observed at `now` for `line`, charged to `bin`.
+    pub fn on_grant(&mut self, now: Cycle, line: Addr, bin: u32) {
+        self.check_denies_before(now);
+        self.replenish_through(now);
+        self.grants += 1;
+
+        let rb = self.request_bin_at(now);
+        match self.would_grant(now) {
+            None => {
+                self.report(
+                    now,
+                    format!(
+                        "grant the spec would deny: request bin {rb}, \
+                         no bin <= {rb} has live credit (live = {:?})",
+                        self.live
+                    ),
+                );
+            }
+            Some(expected) if expected != bin as usize => {
+                self.report(
+                    now,
+                    format!(
+                        "grant charged to bin {bin} but the spec's spend \
+                         policy selects bin {expected} (request bin {rb}, \
+                         live = {:?})",
+                        self.live
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+
+        // Track state using the *observed* bin so one mismatch does not
+        // cascade into spurious downstream reports.
+        let spent = (bin as usize).min(self.spec.bins() - 1);
+        match self.spec.feedback {
+            SpecFeedback::DeductThenRefund | SpecFeedback::PureL1 => {
+                if self.live[spent] > 0 {
+                    self.live[spent] -= 1;
+                }
+            }
+            SpecFeedback::DeductOnConfirm => {}
+        }
+        self.last_issue = Some(now);
+        self.outstanding.push_back(Outstanding { line, bin: spent });
+        // A grant at `now` ends any deny run at `now`; the matching
+        // stall_end (same stamp) arrives later in the stream.
+        if self.deny_cursor.is_some() {
+            self.deny_cursor = Some(now + 1);
+        }
+    }
+
+    /// The LLC resolved a demand lookup for this core at `now`. The
+    /// simulator applies the credit feedback in the same cycle, *before*
+    /// the replenish/issue phase.
+    pub fn on_llc_lookup(&mut self, now: Cycle, line: Addr, hit: bool) {
+        self.check_denies_before(now);
+        // Catch up to the pre-`now` state: feedback lands before the
+        // cycle-`now` replenish boundary (phase 3 vs. phase 4).
+        self.replenish_through(now.saturating_sub(1));
+        let Some(pos) = self.outstanding.iter().position(|o| o.line == line) else {
+            // Lookup with no tracked grant (e.g. emitted before the
+            // oracle's first event, or a non-shaped path). Ignore.
+            return;
+        };
+        let out = self.outstanding.remove(pos).expect("position is in range");
+        match self.spec.feedback {
+            SpecFeedback::DeductThenRefund => {
+                if hit {
+                    let cap = self.spec.credits[out.bin].clamp(1, self.spec.k_max);
+                    if self.live[out.bin] < cap {
+                        self.live[out.bin] += 1;
+                    }
+                }
+            }
+            SpecFeedback::DeductOnConfirm => {
+                if !hit && self.live[out.bin] > 0 {
+                    self.live[out.bin] -= 1;
+                }
+            }
+            SpecFeedback::PureL1 => {}
+        }
+    }
+
+    /// A shaper stall episode began at `now` (the spec must deny `now`).
+    pub fn on_stall_begin(&mut self, now: Cycle) {
+        self.check_denies_before(now);
+        self.deny_cursor = Some(now);
+        self.check_denies_before(now + 1);
+    }
+
+    /// The episode ended at `now`: cycles up to `now - 1` were denied.
+    pub fn on_stall_end(&mut self, now: Cycle) {
+        self.check_denies_before(now);
+        self.deny_cursor = None;
+    }
+
+    /// Finishes the replay: spec-checks any still-open deny episode up to
+    /// `end` (exclusive). Call once after the last event.
+    pub fn finish(&mut self, end: Cycle) {
+        self.check_denies_before(end);
+        self.deny_cursor = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2() -> ShaperSpec {
+        ShaperSpec {
+            credits: vec![1, 2],
+            interval: 10,
+            period: 100,
+            feedback: SpecFeedback::PureL1,
+            policy: SpecPolicy::CheapestEligible,
+            k_max: 1024,
+        }
+    }
+
+    #[test]
+    fn bin_for_gap_matches_paper_boundaries() {
+        let s = spec2();
+        assert_eq!(s.bin_for_gap(0), 0);
+        assert_eq!(s.bin_for_gap(9), 0);
+        assert_eq!(s.bin_for_gap(10), 1); // boundary lands in the upper bin
+        assert_eq!(s.bin_for_gap(19), 1);
+        assert_eq!(s.bin_for_gap(20), 1); // clamped to the coarsest bin
+        assert_eq!(s.bin_for_gap(Cycle::MAX), 1); // first-request infinite gap
+    }
+
+    #[test]
+    fn legal_grant_sequence_is_clean() {
+        let mut o = ShaperOracle::new(0, spec2());
+        // First request: infinite gap -> bin 1, coarsest eligible is 1.
+        o.on_grant(5, 0x100, 1);
+        // Gap 2 -> bin 0; cheapest-eligible scans 0..=0, spends bin 0.
+        o.on_grant(7, 0x140, 0);
+        // Gap 13 -> bin 1; bin 1 still has one credit.
+        o.on_grant(20, 0x180, 1);
+        o.finish(50);
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+        assert_eq!(o.grants_checked(), 3);
+    }
+
+    #[test]
+    fn illegal_grant_is_flagged() {
+        let mut o = ShaperOracle::new(0, spec2());
+        o.on_grant(5, 0x100, 1);
+        o.on_grant(7, 0x140, 0);
+        // Gap 1 -> bin 0, but bin 0 is now empty: the spec denies.
+        o.on_grant(8, 0x180, 0);
+        assert_eq!(o.violations().len(), 1);
+        assert!(o.violations()[0].detail.contains("spec would deny"));
+    }
+
+    #[test]
+    fn wrong_spend_bin_is_flagged() {
+        let mut o = ShaperOracle::new(0, spec2());
+        // Infinite gap -> request bin 1; CheapestEligible must spend 1.
+        o.on_grant(5, 0x100, 0);
+        assert_eq!(o.violations().len(), 1);
+        assert!(o.violations()[0].detail.contains("spend"));
+    }
+
+    #[test]
+    fn replenish_boundary_restores_credits() {
+        let mut o = ShaperOracle::new(0, spec2());
+        o.on_grant(5, 0x100, 1);
+        o.on_grant(7, 0x140, 0);
+        o.on_grant(20, 0x180, 1);
+        // All credits spent; the boundary at 100 resets them.
+        o.on_grant(100, 0x1c0, 1);
+        o.finish(150);
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn premature_denial_is_flagged() {
+        let mut o = ShaperOracle::new(0, spec2());
+        // Credits are full; a stall episode claiming denial is a bug.
+        o.on_stall_begin(5);
+        o.on_stall_end(8);
+        assert_eq!(o.violations().len(), 1);
+        assert!(o.violations()[0].detail.contains("spec would allow"));
+    }
+
+    #[test]
+    fn genuine_denial_run_is_clean() {
+        let mut o = ShaperOracle::new(0, spec2());
+        o.on_grant(5, 0x100, 1);
+        o.on_grant(7, 0x140, 0);
+        o.on_grant(20, 0x180, 1);
+        // Out of credits until 100: denial run [21, 99] is legal.
+        o.on_stall_begin(21);
+        o.on_stall_end(100);
+        o.finish(120);
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+        assert_eq!(o.denied_cycles_checked(), 79);
+    }
+
+    #[test]
+    fn denial_past_replenish_boundary_is_flagged() {
+        let mut o = ShaperOracle::new(0, spec2());
+        o.on_grant(5, 0x100, 1);
+        o.on_grant(7, 0x140, 0);
+        o.on_grant(20, 0x180, 1);
+        // Claiming denial through cycle 105 crosses the boundary at 100,
+        // where credits return: cycles 100..=104 are grants the spec allows.
+        o.on_stall_begin(21);
+        o.on_stall_end(105);
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].at, 100);
+    }
+
+    #[test]
+    fn refund_feedback_replays_in_order() {
+        let spec = ShaperSpec { feedback: SpecFeedback::DeductThenRefund, ..spec2() };
+        let mut o = ShaperOracle::new(0, spec);
+        o.on_grant(5, 0x100, 1);
+        o.on_grant(7, 0x140, 0);
+        o.on_grant(20, 0x180, 1);
+        // LLC hit on the bin-0 grant refunds bin 0 at cycle 30 ...
+        o.on_llc_lookup(30, 0x140, true);
+        // ... so a bin-0 grant at 31 is legal again (gap 11 -> bin 1,
+        // but bin 1 is empty; cheapest-eligible falls through to bin 0).
+        o.on_grant(31, 0x1c0, 0);
+        o.finish(50);
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn deduct_on_confirm_spends_at_miss_not_issue() {
+        let spec = ShaperSpec { feedback: SpecFeedback::DeductOnConfirm, ..spec2() };
+        let mut o = ShaperOracle::new(0, spec);
+        // Issue does not deduct: three bin-charged grants in a row are
+        // fine while no miss confirms.
+        o.on_grant(5, 0x100, 1);
+        o.on_grant(6, 0x140, 0);
+        o.on_grant(7, 0x180, 0);
+        o.finish(50);
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn event_filter_ignores_other_cores() {
+        let mut o = ShaperOracle::new(1, spec2());
+        o.on_event(&TraceEvent::ShaperGrant { at: 5, core: 0, line: 0x100, bin: 0 });
+        assert_eq!(o.grants_checked(), 0);
+        o.on_event(&TraceEvent::ShaperGrant { at: 5, core: 1, line: 0x100, bin: 1 });
+        assert_eq!(o.grants_checked(), 1);
+    }
+}

@@ -56,9 +56,18 @@ impl CoreStats {
         }
     }
 
-    /// Approximate `p`-th percentile of the L1-miss-to-fill latency.
+    /// Approximate `p`-th percentile of the L1-miss-to-fill latency,
+    /// with `p` in **[0, 100]** (the workspace convention).
+    pub fn latency_percentile_pct(&self, p: f64) -> f64 {
+        self.mem_latency.percentile_pct(p)
+    }
+
+    /// Approximate `p`-th percentile of the L1-miss-to-fill latency,
+    /// with `p` in `[0, 1]`.
+    #[deprecated(note = "use latency_percentile_pct(p) with p in [0, 100]")]
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        self.mem_latency.percentile(p)
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        self.mem_latency.percentile_pct(p * 100.0)
     }
 
     /// Instructions per cycle.

@@ -290,6 +290,7 @@ pub struct SystemBuilder {
     fast_forward: bool,
     trace_sink: Option<Box<dyn TraceSink>>,
     sample_every: Option<Cycle>,
+    pick_snapshots: bool,
 }
 
 impl SystemBuilder {
@@ -321,6 +322,7 @@ impl SystemBuilder {
             fast_forward: true,
             trace_sink: None,
             sample_every: None,
+            pick_snapshots: false,
         })
     }
 
@@ -330,6 +332,18 @@ impl SystemBuilder {
     /// [`crate::obs::TraceEvent`].
     pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Also records every memory-controller scheduling decision with its
+    /// full queue snapshot as [`crate::obs::TraceEvent::McPick`] events.
+    /// Requires a trace sink; it is a separate opt-in because the
+    /// snapshots are far heavier than the rest of the lifecycle stream
+    /// (one record per dispatch, with the whole queue). The conformance
+    /// harness (`mitts-conform`) uses this to feed the FR-FCFS legality
+    /// oracle; plain tracing workflows should leave it off.
+    pub fn log_pick_snapshots(mut self, enabled: bool) -> Self {
+        self.pick_snapshots = enabled;
         self
     }
 
@@ -449,6 +463,9 @@ impl SystemBuilder {
         if obs.lifecycle_enabled() {
             for channel in &mut channels {
                 channel.mc.set_dispatch_logging(true);
+                if self.pick_snapshots {
+                    channel.mc.set_pick_logging(true);
+                }
             }
             for (i, unit) in cores.iter().enumerate() {
                 let sh = unit.shaper.borrow();
@@ -1049,6 +1066,7 @@ impl System {
         // 5. Memory controller dispatch (per channel).
         for (ci, channel) in self.channels.iter_mut().enumerate() {
             channel.mc.tick(now, channel.scheduler.as_mut(), &mut channel.dram);
+            self.obs.drain_picks(ci, &mut channel.mc);
             self.obs.drain_dispatches(ci, &mut channel.mc);
         }
 

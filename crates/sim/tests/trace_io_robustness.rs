@@ -1,0 +1,124 @@
+//! Robustness pins for the external trace text format.
+//!
+//! Traces come from outside tools — Windows editors (CRLF), editors that
+//! leave trailing whitespace, and scripts that forget the final newline.
+//! `read_trace` must accept all of these, parse them identically to the
+//! clean form, and keep its error line numbers accurate. These tests pin
+//! that contract with both hand-picked edge cases and a seeded
+//! fuzz-style mangler.
+
+use std::io;
+
+use mitts_sim::rng::Rng;
+use mitts_sim::trace::TraceOp;
+use mitts_sim::trace_io::{read_trace, write_trace};
+
+fn parse(text: &str) -> Vec<TraceOp> {
+    read_trace(text.as_bytes()).expect("input must parse")
+}
+
+#[test]
+fn crlf_parses_identically_to_lf() {
+    let lf = "3 40 R\n5 80 W\n0 ff R\n";
+    let crlf = lf.replace('\n', "\r\n");
+    assert_eq!(parse(&crlf), parse(lf));
+}
+
+#[test]
+fn trailing_whitespace_is_ignored() {
+    let clean = "3 40 R\n5 80 W\n";
+    let messy = "3 40 R   \n5 80 W\t\t\n";
+    assert_eq!(parse(messy), parse(clean));
+    // Leading whitespace too (indented traces).
+    assert_eq!(parse("   3 40 R\n\t5 80 W\n"), parse(clean));
+}
+
+#[test]
+fn final_line_without_newline_is_parsed() {
+    assert_eq!(parse("3 40 R\n5 80 W"), parse("3 40 R\n5 80 W\n"));
+    // Same with a stray carriage return at EOF (CRLF file truncated
+    // after the CR).
+    assert_eq!(parse("3 40 R\r\n5 80 W\r"), parse("3 40 R\n5 80 W\n"));
+}
+
+#[test]
+fn whitespace_only_and_comment_lines_are_skipped_in_any_encoding() {
+    let text = "# header\r\n\r\n   \r\n3 40 R\r\n\t\r\n# tail\r\n5 80 W\r\n";
+    assert_eq!(parse(text), vec![TraceOp::read(3, 0x40), TraceOp::write(5, 0x80)]);
+}
+
+#[test]
+fn error_line_numbers_count_physical_lines_with_crlf() {
+    // The bogus line is physical line 5 (comments and blanks count).
+    let text = "# header\r\n3 40 R\r\n\r\n5 80 W\r\nbogus\r\n7 c0 R\r\n";
+    let err = read_trace(text.as_bytes()).expect_err("bogus line must fail");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("line 5"), "wrong line number: {msg}");
+    assert!(msg.contains("bogus"), "error must quote the line: {msg}");
+}
+
+#[test]
+fn error_on_unterminated_final_line_names_it() {
+    let err = read_trace("3 40 R\n9 zz R".as_bytes()).expect_err("bad addr must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("\"zz\""), "{msg}");
+}
+
+/// Seeded fuzz: a clean `write_trace` output run through a whitespace
+/// mangler (CRLF conversion, trailing spaces/tabs, injected comments and
+/// blank lines, dropped final newline) must parse back to exactly the
+/// original operations.
+#[test]
+fn seeded_whitespace_mangling_round_trips() {
+    let mut rng = Rng::seeded(0x7E57_10AD);
+    for case in 0..50 {
+        let ops: Vec<TraceOp> = (0..rng.range(1, 60))
+            .map(|_| {
+                let gap = rng.below(5_000) as u32;
+                let addr = rng.below(1 << 40) & !63;
+                if rng.chance(0.3) {
+                    TraceOp::write(gap, addr)
+                } else {
+                    TraceOp::read(gap, addr)
+                }
+            })
+            .collect();
+        let mut clean = Vec::new();
+        write_trace(&mut clean, &ops).expect("write to memory");
+        let clean = String::from_utf8(clean).expect("format is ASCII");
+
+        let mut mangled = String::new();
+        for line in clean.lines() {
+            // Random junk lines before real content.
+            while rng.chance(0.15) {
+                match rng.below(3) {
+                    0 => mangled.push_str("# injected comment\n"),
+                    1 => mangled.push('\n'),
+                    _ => mangled.push_str("   \t  \n"),
+                }
+            }
+            if rng.chance(0.3) {
+                mangled.push_str("  ");
+            }
+            mangled.push_str(line);
+            if rng.chance(0.4) {
+                mangled.push_str(if rng.chance(0.5) { "   " } else { "\t" });
+            }
+            mangled.push_str(if rng.chance(0.5) { "\r\n" } else { "\n" });
+        }
+        if rng.chance(0.3) {
+            // Drop the final newline (and sometimes leave a bare CR).
+            while mangled.ends_with('\n') || mangled.ends_with('\r') {
+                mangled.pop();
+            }
+            if rng.chance(0.5) {
+                mangled.push('\r');
+            }
+        }
+        let back = read_trace(mangled.as_bytes())
+            .unwrap_or_else(|e| panic!("case {case}: mangled trace failed to parse: {e}"));
+        assert_eq!(back, ops, "case {case}: mangling changed the parsed operations");
+    }
+}

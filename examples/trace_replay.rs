@@ -67,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              ({} grants, {} denies)",
             name,
             stats.ipc(),
-            stats.latency_percentile(0.50),
-            stats.latency_percentile(0.99),
+            stats.latency_percentile_pct(50.0),
+            stats.latency_percentile_pct(99.0),
             counters.grants,
             counters.denies,
         );

@@ -21,3 +21,10 @@ scripts/bench.sh --smoke
 # latency decomposition telescopes exactly to the run's mem_latency_sum.
 cargo build --release -p mitts-bench --bin mitts-trace
 target/release/mitts-trace target/obs_smoke.trace.jsonl | tail -n 3
+
+# Conformance smoke gate: seeded mutation checks (each oracle must catch
+# every perturbation of its constants), a short fuzz campaign, and a
+# workload subset under the shaper/DRAM/scheduler oracles. Exits
+# non-zero on any violation or undetected mutation.
+cargo build --release -p mitts-bench --bin mitts-conform
+target/release/mitts-conform --smoke | tail -n 3

@@ -94,7 +94,7 @@ proptest! {
             "LLC responses cannot exceed shaped L1 misses");
         prop_assert_eq!(s.mem_latency.count(), s.mem_latency_count);
         if s.mem_latency_count > 0 {
-            let p99 = s.latency_percentile(0.99);
+            let p99 = s.latency_percentile_pct(99.0);
             let mean = s.mean_mem_latency();
             prop_assert!(p99 * 2.0 + 2.0 >= mean,
                 "p99 {p99} is implausibly below the mean {mean}");
