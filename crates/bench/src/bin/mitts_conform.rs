@@ -16,10 +16,14 @@
 //!
 //! Exits non-zero on any oracle violation or any undetected mutation and
 //! prints a minimal (shrunk) reproduction.
+//!
+//! The first Ctrl-C finishes the phase in flight, reports what has been
+//! checked so far, and exits 130; a second Ctrl-C aborts immediately.
 
 use std::process::ExitCode;
 
 use mitts_bench::conform::{mutation_checks, run_fuzz, workload_checks};
+use mitts_bench::signal;
 
 struct Args {
     smoke: bool,
@@ -52,7 +56,19 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Graceful stop between phases: report how far we got and exit 130.
+fn stop_if_interrupted(after_phase: &str) {
+    if signal::interrupted() {
+        eprintln!(
+            "\nmitts-conform: interrupted after the {after_phase} phase; \
+             later phases were not run (press Ctrl-C twice to abort mid-phase)"
+        );
+        std::process::exit(130);
+    }
+}
+
 fn main() -> ExitCode {
+    signal::install_sigint_handler();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -71,6 +87,8 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+
+    stop_if_interrupted("mutation-check");
 
     // 2. Fuzz campaign.
     let cases = args.fuzz_cases.unwrap_or(if args.smoke { 25 } else { 120 });
@@ -108,6 +126,8 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    stop_if_interrupted("fuzz");
 
     // 3. Workload suite.
     let (cycles, label) = if args.smoke { (20_000, "subset") } else { (60_000, "full") };

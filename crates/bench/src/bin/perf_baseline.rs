@@ -303,16 +303,22 @@ fn main() {
             jsonl.push('\n');
         }
         std::fs::create_dir_all("target").expect("create target/");
-        std::fs::write("target/obs_smoke.trace.jsonl", &jsonl)
-            .expect("write obs_smoke.trace.jsonl");
+        mitts_sim::fsio::write_atomic_str(
+            std::path::Path::new("target/obs_smoke.trace.jsonl"),
+            &jsonl,
+        )
+        .expect("write obs_smoke.trace.jsonl");
         let cfg = scenario_config(4);
         let layout =
             TrackLayout { cores: 4, channels: cfg.mc.channels, banks: cfg.dram.banks };
         let mut chrome = Vec::new();
         write_chrome_trace(&ring.to_vec(), &layout, &mut chrome)
             .expect("render chrome trace");
-        std::fs::write("target/obs_smoke.chrome.json", &chrome)
-            .expect("write obs_smoke.chrome.json");
+        mitts_sim::fsio::write_atomic(
+            std::path::Path::new("target/obs_smoke.chrome.json"),
+            &chrome,
+        )
+        .expect("write obs_smoke.chrome.json");
         let summary = summarize(jsonl.as_bytes()).expect("smoke trace parses");
         match summary.crosscheck() {
             Ok(Some(())) => {}
@@ -346,7 +352,8 @@ fn main() {
     }
     json.push(']');
     json.push('\n');
-    std::fs::write("BENCH_sim.json", json).expect("write BENCH_sim.json");
+    mitts_sim::fsio::write_atomic_str(std::path::Path::new("BENCH_sim.json"), &json)
+        .expect("write BENCH_sim.json");
     println!("wrote BENCH_sim.json ({} records)", records.len());
 
     if regression {

@@ -1,10 +1,31 @@
 //! Regenerates every table and figure of the evaluation section in one
 //! run. Scale via `MITTS_SCALE=smoke|quick|full` (default `quick`).
 //!
+//! ```text
+//! run_all [--resume] [filter]
+//! ```
+//!
 //! The §III-E area inventory is printed first (it needs no simulation),
 //! followed by the simulated experiments in paper order. Set
 //! `MITTS_CSV_DIR=<dir>` to additionally write every table as CSV.
+//!
+//! # Durable sweeps
+//!
+//! With `MITTS_STATE_DIR=<dir>` set, the sweep is journaled: each
+//! experiment is logged to a write-ahead journal before it runs, its
+//! finished table is written atomically to `<dir>/results/<name>.txt`,
+//! and completion is logged afterwards. `--resume` then skips every
+//! experiment the journal proves complete and reruns only the rest, so a
+//! crashed or killed sweep loses at most the experiment it was inside.
+//! Failed or stalled experiments are retried with bounded backoff
+//! (`MITTS_EXP_TIMEOUT_SECS`, `MITTS_EXP_RETRIES`). The first Ctrl-C
+//! stops gracefully — the journal is flushed and a summary with
+//! `status=interrupted` is written — and a second Ctrl-C aborts
+//! immediately. `MITTS_CRASH_AFTER=<name>` simulates a crash right after
+//! the named experiment completes (test hook for the resume path).
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mitts_bench::exp::{
@@ -12,11 +33,12 @@ use mitts_bench::exp::{
     fig14_hybrid, fig15_large_llc, fig16_isolation, manycore_scaling, perf_per_cost,
     phase_offline, threaded_sharing,
 };
-use mitts_bench::{Scale, Table};
+use mitts_bench::journal::{self, Journal, Outcome, SweepOptions};
+use mitts_bench::{signal, Scale, Table};
 use mitts_core::AreaModel;
 
 /// A lazily-run experiment entry.
-type Experiment = (&'static str, Box<dyn Fn() -> Table>);
+type Experiment = (&'static str, Arc<dyn Fn() -> Table + Send + Sync>);
 
 fn area_table() -> Table {
     let mut t = Table::new(
@@ -35,7 +57,30 @@ fn area_table() -> Table {
     t
 }
 
+/// Final status of each experiment, for the summary table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Done,
+    Skipped,
+    Failed,
+    Interrupted,
+    Pending,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Done => "done",
+            Status::Skipped => "done (previous run)",
+            Status::Failed => "failed",
+            Status::Interrupted => "interrupted",
+            Status::Pending => "pending",
+        }
+    }
+}
+
 fn main() {
+    signal::install_sigint_handler();
     let scale = Scale::from_env();
     // Validate the CSV sink *before* any simulation runs: a bad
     // MITTS_CSV_DIR is a configuration error up front, not a panic after
@@ -47,26 +92,68 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    let mut resume = false;
+    let mut only: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            "--help" | "-h" => {
+                println!("usage: run_all [--resume] [filter]");
+                return;
+            }
+            other if only.is_none() => only = Some(other.to_owned()),
+            other => {
+                eprintln!("configuration error: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if resume && journal::state_dir().is_none() {
+        eprintln!("configuration error: --resume needs MITTS_STATE_DIR to point at the journal");
+        std::process::exit(2);
+    }
+
+    let mut journal = match Journal::from_env(resume) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("configuration error: MITTS_STATE_DIR unusable: {e}");
+            std::process::exit(2);
+        }
+    };
+    let completed: BTreeSet<String> = match (&journal, resume) {
+        (Some(j), true) => j.completed(),
+        _ => BTreeSet::new(),
+    };
+    let opts = SweepOptions::from_env();
+    let crash_after = std::env::var("MITTS_CRASH_AFTER").ok();
+
     println!(
         "MITTS reproduction — running all experiments (warmup={} cycles, work={} instr/core)\n",
         scale.warmup, scale.work
     );
+    if !completed.is_empty() {
+        println!(
+            "resuming: {} experiment(s) already complete in the journal\n",
+            completed.len()
+        );
+    }
 
     let experiments: Vec<Experiment> = vec![
-        ("area", Box::new(area_table)),
-        ("fig02", Box::new(move || fig02_interarrival::run(&scale))),
-        ("fig11", Box::new(move || fig11_static_gain::run(&scale))),
-        ("fig12", Box::new(move || fig12_13_scheds::run_fig12(&scale))),
-        ("fig13", Box::new(move || fig12_13_scheds::run_fig13(&scale))),
-        ("fig14", Box::new(move || fig14_hybrid::run(&scale))),
-        ("fig15", Box::new(move || fig15_large_llc::run(&scale))),
-        ("fig16", Box::new(move || fig16_isolation::run(&scale))),
-        ("fig17", Box::new(move || perf_per_cost::run_fig17(&scale))),
-        ("fig18", Box::new(move || perf_per_cost::run_fig18(&scale))),
-        ("bins", Box::new(move || bins_sensitivity::run(&scale))),
-        ("threaded", Box::new(move || threaded_sharing::run(&scale))),
-        ("scaling", Box::new(move || manycore_scaling::run(&scale))),
-        ("phase", Box::new(move || phase_offline::run(&scale))),
+        ("area", Arc::new(area_table)),
+        ("fig02", Arc::new(move || fig02_interarrival::run(&scale))),
+        ("fig11", Arc::new(move || fig11_static_gain::run(&scale))),
+        ("fig12", Arc::new(move || fig12_13_scheds::run_fig12(&scale))),
+        ("fig13", Arc::new(move || fig12_13_scheds::run_fig13(&scale))),
+        ("fig14", Arc::new(move || fig14_hybrid::run(&scale))),
+        ("fig15", Arc::new(move || fig15_large_llc::run(&scale))),
+        ("fig16", Arc::new(move || fig16_isolation::run(&scale))),
+        ("fig17", Arc::new(move || perf_per_cost::run_fig17(&scale))),
+        ("fig18", Arc::new(move || perf_per_cost::run_fig18(&scale))),
+        ("bins", Arc::new(move || bins_sensitivity::run(&scale))),
+        ("threaded", Arc::new(move || threaded_sharing::run(&scale))),
+        ("scaling", Arc::new(move || manycore_scaling::run(&scale))),
+        ("phase", Arc::new(move || phase_offline::run(&scale))),
     ];
 
     // Ablations produce several tables; handled after the main list.
@@ -79,21 +166,70 @@ fn main() {
         }
     };
 
-    let only: Option<String> = std::env::args().nth(1);
-    for (name, run) in experiments {
-        if let Some(ref filter) = only {
-            if !name.contains(filter.as_str()) {
-                continue;
-            }
+    let selected = |name: &str| only.as_ref().is_none_or(|f| name.contains(f.as_str()));
+    let mut statuses: Vec<(&'static str, Status)> = experiments
+        .iter()
+        .filter(|(name, _)| selected(name))
+        .map(|(name, _)| (*name, Status::Pending))
+        .collect();
+    let mut stopped = false;
+
+    for (name, factory) in &experiments {
+        if !selected(name) {
+            continue;
+        }
+        let slot = statuses.iter_mut().find(|(n, _)| n == name).expect("selected above");
+        if stopped || signal::interrupted() {
+            slot.1 = Status::Interrupted;
+            stopped = true;
+            continue;
         }
         let t0 = Instant::now();
-        let table = run();
-        table.print();
-        dump(name, &table);
+        match &mut journal {
+            Some(j) => match journal::run_journaled(j, &completed, name, Arc::clone(factory), &opts)
+            {
+                Outcome::Done(table) => {
+                    table.print();
+                    dump(name, &table);
+                    slot.1 = Status::Done;
+                }
+                Outcome::Skipped(rendered) => {
+                    print!("{rendered}");
+                    println!("[{name}: completed by a previous run, skipped]\n");
+                    slot.1 = Status::Skipped;
+                    continue;
+                }
+                Outcome::Failed(e) => {
+                    eprintln!("[{name} FAILED: {e}]\n");
+                    slot.1 = Status::Failed;
+                    continue;
+                }
+                Outcome::Interrupted => {
+                    println!("\n[interrupted during {name} — stopping gracefully]");
+                    slot.1 = Status::Interrupted;
+                    stopped = true;
+                    continue;
+                }
+            },
+            None => {
+                // No state dir: plain in-order run, still interruptible.
+                let table = factory();
+                table.print();
+                dump(name, &table);
+                slot.1 = Status::Done;
+            }
+        }
         println!("[{name} took {:.1?}]\n", t0.elapsed());
+        if crash_after.as_deref() == Some(*name) {
+            // Test hook: die abruptly right after this experiment's
+            // journal records hit disk, as a crash would.
+            eprintln!("[MITTS_CRASH_AFTER={name}: simulating crash]");
+            std::process::exit(3);
+        }
     }
 
-    if only.as_deref().is_none_or(|f| "ablations".contains(f)) {
+    if !stopped && !signal::interrupted() && only.as_deref().is_none_or(|f| "ablations".contains(f))
+    {
         let t0 = Instant::now();
         for (i, table) in ablations::run(&scale).iter().enumerate() {
             table.print();
@@ -101,5 +237,32 @@ fn main() {
             println!();
         }
         println!("[ablations took {:.1?}]", t0.elapsed());
+    }
+
+    // Sweep summary: one row per selected experiment. Written even on
+    // interruption (that is the point), into the state dir when
+    // journaling and the CSV dir otherwise.
+    let mut summary = Table::new("sweep summary", &["experiment", "status"]);
+    for (name, status) in &statuses {
+        summary.row(vec![(*name).to_owned(), status.label().to_owned()]);
+    }
+    if stopped || signal::interrupted() {
+        summary.print();
+    }
+    let summary_path = journal::state_dir()
+        .map(|d| d.join("summary.csv"))
+        .or_else(|| csv_dir.as_ref().map(|d| d.join("summary.csv")));
+    if let Some(path) = summary_path {
+        if let Err(e) = summary.write_csv(&path) {
+            eprintln!("[summary write failed: {e}]");
+        }
+    }
+
+    if stopped || signal::interrupted() {
+        println!("\ninterrupted: journal is flushed; rerun with --resume to continue");
+        std::process::exit(130);
+    }
+    if statuses.iter().any(|(_, s)| *s == Status::Failed) {
+        std::process::exit(1);
     }
 }

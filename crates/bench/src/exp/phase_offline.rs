@@ -79,17 +79,22 @@ impl PhaseResult {
 pub fn measure_bench(bench: Benchmark, scale: &Scale) -> PhaseResult {
     let constraint = Constraint { target_interval: None, target_rpc: Some(BUDGET_RPC) };
 
-    // Single configuration: GA against whole-program fitness.
+    // Single configuration: GA against whole-program fitness. The search
+    // checkpoints per generation under MITTS_STATE_DIR, so an interrupted
+    // sweep resumes it from the last completed generation.
     let mut ga = GeneticTuner::new(BinSpec::paper_default(), REPLENISH_PERIOD, 1, scale.ga)
         .with_constraint(constraint)
         .with_seed(SALT);
-    let single = ga
-        .optimize(|g: &Genome| {
+    let single = crate::journal::optimize_checkpointed(
+        &mut ga,
+        &format!("phase-{}-single", bench.name()),
+        |g: &Genome| {
             crate::runner::single_program_ipc(bench, 64 << 10, &g.to_configs()[0], SALT, scale)
-        })
-        .best
-        .to_configs()
-        .remove(0);
+        },
+    )
+    .best
+    .to_configs()
+    .remove(0);
 
     // Per-phase configurations: one GA per phase, fitness pinned inside
     // that phase.
@@ -99,9 +104,12 @@ pub fn measure_bench(bench: Benchmark, scale: &Scale) -> PhaseResult {
             GeneticTuner::new(BinSpec::paper_default(), REPLENISH_PERIOD, 1, scale.ga)
                 .with_constraint(constraint)
                 .with_seed(SALT * 7 + phase as u64);
-        let best = ga
-            .optimize(|g: &Genome| phase_pinned_ipc(bench, &g.to_configs()[0], phase, scale))
-            .best;
+        let best = crate::journal::optimize_checkpointed(
+            &mut ga,
+            &format!("phase-{}-p{phase}", bench.name()),
+            |g: &Genome| phase_pinned_ipc(bench, &g.to_configs()[0], phase, scale),
+        )
+        .best;
         phase_configs.push(best.to_configs().remove(0));
     }
     let schedule = PhaseSchedule::new(phase_configs);

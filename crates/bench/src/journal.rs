@@ -1,0 +1,476 @@
+//! Crash-safe sweep state: a write-ahead journal plus atomically-written
+//! per-experiment result artifacts under `MITTS_STATE_DIR`.
+//!
+//! The protocol is the classic WAL dance:
+//!
+//! 1. `start <name>` is appended (and flushed) to `journal.jsonl`
+//!    *before* an experiment runs;
+//! 2. the finished table is written to `results/<name>.txt` via
+//!    [`mitts_sim::fsio::write_atomic`] (temp file + fsync + rename), so
+//!    a kill mid-write can never leave a truncated artifact;
+//! 3. `finish <name>` is appended only after the artifact is durable.
+//!
+//! Recovery ([`Journal::completed`]) trusts an experiment only when both
+//! the `finish` record *and* the artifact exist — a crash between steps
+//! leaves at worst a `start` with no `finish`, which `--resume` simply
+//! reruns. Experiments are run on a worker thread with a wall-clock
+//! timeout and bounded-backoff retries, so one stalled or panicking
+//! configuration cannot take down a whole sweep.
+
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mitts_sim::fsio::write_atomic_str;
+use mitts_tuner::{GaResult, GeneticTuner, Genome};
+
+use crate::signal;
+use crate::table::Table;
+
+/// The sweep state directory from `MITTS_STATE_DIR`, if configured.
+pub fn state_dir() -> Option<PathBuf> {
+    std::env::var_os("MITTS_STATE_DIR").filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Append-only experiment journal rooted at a state directory.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    log: std::fs::File,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal under `dir`. With
+    /// `resume = false` any previous journal is truncated — the sweep
+    /// starts from scratch; with `resume = true` the existing journal is
+    /// kept and appended to.
+    pub fn open(dir: &Path, resume: bool) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir.join("results"))?;
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .truncate(false)
+            .open(dir.join("journal.jsonl"))?;
+        if !resume {
+            log.set_len(0)?;
+        }
+        Ok(Journal { dir: dir.to_path_buf(), log })
+    }
+
+    /// Opens the journal at [`state_dir`], or `None` when
+    /// `MITTS_STATE_DIR` is unset.
+    pub fn from_env(resume: bool) -> io::Result<Option<Journal>> {
+        match state_dir() {
+            Some(dir) => Journal::open(&dir, resume).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Path of the durable result artifact for `name`.
+    pub fn artifact_path(&self, name: &str) -> PathBuf {
+        self.dir.join("results").join(format!("{name}.txt"))
+    }
+
+    /// Experiments the journal records as finished *and* whose result
+    /// artifact is present — the set `--resume` may skip.
+    pub fn completed(&self) -> BTreeSet<String> {
+        let mut done = BTreeSet::new();
+        let Ok(text) = std::fs::read_to_string(self.dir.join("journal.jsonl")) else {
+            return done;
+        };
+        for line in text.lines() {
+            if json_field(line, "event").as_deref() == Some("finish") {
+                if let Some(name) = json_field(line, "name") {
+                    if self.artifact_path(&name).is_file() {
+                        done.insert(name);
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    fn append(&mut self, event: &str, name: &str, extra: &[(&str, &str)]) {
+        let mut line = format!(
+            "{{\"event\":\"{}\",\"name\":\"{}\"",
+            json_escape(event),
+            json_escape(name)
+        );
+        for (k, v) in extra {
+            line.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        line.push_str("}\n");
+        // The journal is the crash-safety backbone: flush every record.
+        let _ = self.log.write_all(line.as_bytes());
+        let _ = self.log.sync_data();
+    }
+
+    /// Records that an attempt of `name` is beginning.
+    pub fn record_start(&mut self, name: &str, attempt: u32) {
+        self.append("start", name, &[("attempt", &attempt.to_string())]);
+    }
+
+    /// Durably writes the result artifact, then records completion.
+    pub fn record_finish(&mut self, name: &str, rendered: &str) -> io::Result<()> {
+        write_atomic_str(&self.artifact_path(name), rendered)?;
+        self.append("finish", name, &[]);
+        Ok(())
+    }
+
+    /// Records a failed attempt and why.
+    pub fn record_fail(&mut self, name: &str, attempt: u32, reason: &str) {
+        self.append("fail", name, &[("attempt", &attempt.to_string()), ("reason", reason)]);
+    }
+
+    /// Records that the sweep was interrupted during `name`.
+    pub fn record_interrupted(&mut self, name: &str) {
+        self.append("interrupted", name, &[]);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts a string field from one of *our* journal lines. Not a JSON
+/// parser — it only needs to read back what [`Journal::append`] wrote.
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Retry/timeout policy for one experiment of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Wall-clock budget per attempt.
+    pub timeout: Duration,
+    /// Extra attempts after the first failure/timeout.
+    pub retries: u32,
+    /// Base backoff between attempts (doubled each retry, capped at
+    /// 30 s).
+    pub backoff: Duration,
+}
+
+impl SweepOptions {
+    /// Policy from the environment: `MITTS_EXP_TIMEOUT_SECS` (default
+    /// 1800) and `MITTS_EXP_RETRIES` (default 1).
+    pub fn from_env() -> Self {
+        let secs = std::env::var("MITTS_EXP_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1800u64);
+        let retries = std::env::var("MITTS_EXP_RETRIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1u32);
+        SweepOptions {
+            timeout: Duration::from_secs(secs.max(1)),
+            retries,
+            backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How one experiment of a journaled sweep ended.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Ran to completion this time; the finished table.
+    Done(Table),
+    /// Skipped — a previous run completed it; the stored artifact.
+    Skipped(String),
+    /// All attempts failed; the last error.
+    Failed(String),
+    /// A graceful stop was requested while it ran (or before it started).
+    Interrupted,
+}
+
+enum Attempt {
+    Ok(Table),
+    Err(String),
+    Interrupted,
+}
+
+/// Runs `factory` on a worker thread with a wall-clock `timeout`,
+/// polling the SIGINT flag so a graceful stop is noticed within ~200 ms.
+/// A timed-out worker is abandoned (it holds no locks and the process
+/// exits at the end of the sweep).
+fn attempt(factory: &Arc<dyn Fn() -> Table + Send + Sync>, timeout: Duration) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let f = Arc::clone(factory);
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+        let _ = tx.send(result.map_err(|p| {
+            p.downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "experiment panicked".to_owned())
+        }));
+    });
+    let deadline = Instant::now() + timeout;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(Ok(table)) => return Attempt::Ok(table),
+            Ok(Err(panic_msg)) => return Attempt::Err(format!("panicked: {panic_msg}")),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Attempt::Err("experiment thread died without a result".to_owned())
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if signal::interrupted() {
+                    return Attempt::Interrupted;
+                }
+                if Instant::now() >= deadline {
+                    return Attempt::Err(format!(
+                        "timed out after {} s",
+                        timeout.as_secs()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Runs one named experiment under the journal protocol: skip if already
+/// completed, otherwise journal `start`, run with timeout, retry failures
+/// with bounded backoff, and journal the outcome.
+pub fn run_journaled(
+    journal: &mut Journal,
+    completed: &BTreeSet<String>,
+    name: &str,
+    factory: Arc<dyn Fn() -> Table + Send + Sync>,
+    opts: &SweepOptions,
+) -> Outcome {
+    if completed.contains(name) {
+        let stored = std::fs::read_to_string(journal.artifact_path(name))
+            .unwrap_or_else(|_| format!("[{name}: artifact unreadable]\n"));
+        return Outcome::Skipped(stored);
+    }
+    if signal::interrupted() {
+        return Outcome::Interrupted;
+    }
+    let mut last_error = String::new();
+    for n in 1..=opts.retries + 1 {
+        journal.record_start(name, n);
+        match attempt(&factory, opts.timeout) {
+            Attempt::Ok(table) => {
+                if let Err(e) = journal.record_finish(name, &table.render()) {
+                    return Outcome::Failed(format!("result artifact write failed: {e}"));
+                }
+                return Outcome::Done(table);
+            }
+            Attempt::Interrupted => {
+                journal.record_interrupted(name);
+                return Outcome::Interrupted;
+            }
+            Attempt::Err(e) => {
+                journal.record_fail(name, n, &e);
+                last_error = e;
+                if n <= opts.retries {
+                    // Bounded exponential backoff, still responsive to
+                    // Ctrl-C.
+                    let pause = (opts.backoff * 2u32.saturating_pow(n - 1))
+                        .min(Duration::from_secs(30));
+                    let waited = Instant::now();
+                    while waited.elapsed() < pause {
+                        if signal::interrupted() {
+                            return Outcome::Interrupted;
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            }
+        }
+    }
+    Outcome::Failed(last_error)
+}
+
+/// Runs a GA search with per-generation checkpointing when
+/// `MITTS_STATE_DIR` is set (and a plain [`GeneticTuner::optimize`]
+/// otherwise). The state is persisted atomically to
+/// `<state>/ga/<tag>.gastate` after every generation; an interrupted
+/// search resumed from that file reaches the identical final genome. A
+/// stale or foreign state file (different search parameters, corruption)
+/// is ignored and the search starts over.
+pub fn optimize_checkpointed<F>(ga: &mut GeneticTuner, tag: &str, fitness: F) -> GaResult
+where
+    F: Fn(&Genome) -> f64 + Sync,
+{
+    let Some(dir) = state_dir() else {
+        return ga.optimize(fitness);
+    };
+    let ga_dir = dir.join("ga");
+    let _ = std::fs::create_dir_all(&ga_dir);
+    let path = ga_dir.join(format!("{tag}.gastate"));
+    let resume = std::fs::read(&path).ok().and_then(|bytes| ga.decode_state(&bytes).ok());
+    ga.optimize_resumable(fitness, resume, |tuner, state| {
+        let _ = mitts_sim::fsio::write_atomic(&path, &tuner.encode_state(state));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mitts-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn demo_table(label: &str) -> Table {
+        let mut t = Table::new("demo", &["k", "v"]);
+        t.row(vec![label.to_owned(), "1".to_owned()]);
+        t
+    }
+
+    #[test]
+    fn finish_is_trusted_only_with_artifact() {
+        let dir = tmp_dir("trust");
+        let mut j = Journal::open(&dir, false).unwrap();
+        j.record_start("a", 1);
+        j.record_finish("a", "table a\n").unwrap();
+        // "b" gets a finish record but its artifact vanishes (simulated
+        // crash between rename and replay, or manual deletion).
+        j.record_finish("b", "table b\n").unwrap();
+        std::fs::remove_file(j.artifact_path("b")).unwrap();
+        // "c" started but never finished.
+        j.record_start("c", 1);
+        let done = j.completed();
+        assert!(done.contains("a"));
+        assert!(!done.contains("b"), "finish without artifact must rerun");
+        assert!(!done.contains("c"), "start without finish must rerun");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_and_returns_stored_artifact() {
+        let dir = tmp_dir("skip");
+        let mut j = Journal::open(&dir, false).unwrap();
+        j.record_finish("fig99", "the stored table\n").unwrap();
+        drop(j);
+        let mut j = Journal::open(&dir, true).unwrap();
+        let done = j.completed();
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let factory: Arc<dyn Fn() -> Table + Send + Sync> = Arc::new(move || {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            demo_table("x")
+        });
+        let opts = SweepOptions {
+            timeout: Duration::from_secs(5),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        };
+        match run_journaled(&mut j, &done, "fig99", factory, &opts) {
+            Outcome::Skipped(text) => assert_eq!(text, "the stored table\n"),
+            other => panic!("expected skip, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "completed work must not rerun");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_open_truncates_but_resume_appends() {
+        let dir = tmp_dir("trunc");
+        let mut j = Journal::open(&dir, false).unwrap();
+        j.record_finish("old", "old table\n").unwrap();
+        drop(j);
+        let j = Journal::open(&dir, false).unwrap();
+        assert!(j.completed().is_empty(), "a non-resume open starts a fresh sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_experiment_is_retried_then_reported() {
+        let dir = tmp_dir("panic");
+        let mut j = Journal::open(&dir, false).unwrap();
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let factory: Arc<dyn Fn() -> Table + Send + Sync> = Arc::new(move || {
+            let n = calls2.fetch_add(1, Ordering::SeqCst);
+            if n == 0 {
+                panic!("flaky first attempt");
+            }
+            demo_table("recovered")
+        });
+        let opts = SweepOptions {
+            timeout: Duration::from_secs(10),
+            retries: 1,
+            backoff: Duration::from_millis(1),
+        };
+        match run_journaled(&mut j, &BTreeSet::new(), "flaky", factory, &opts) {
+            Outcome::Done(table) => assert!(table.render().contains("recovered")),
+            other => panic!("expected recovery on retry, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(j.completed().contains("flaky"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stalled_experiment_times_out() {
+        let dir = tmp_dir("stall");
+        let mut j = Journal::open(&dir, false).unwrap();
+        let factory: Arc<dyn Fn() -> Table + Send + Sync> = Arc::new(|| loop {
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let opts = SweepOptions {
+            timeout: Duration::from_millis(300),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        };
+        match run_journaled(&mut j, &BTreeSet::new(), "hang", factory, &opts) {
+            Outcome::Failed(e) => assert!(e.contains("timed out"), "got: {e}"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(!j.completed().contains("hang"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_lines_round_trip_special_characters() {
+        let nasty = "quote \" backslash \\ newline \n tab \t";
+        let line = format!("{{\"event\":\"fail\",\"reason\":\"{}\"}}", json_escape(nasty));
+        assert_eq!(json_field(&line, "reason").as_deref(), Some(nasty));
+        assert_eq!(json_field(&line, "event").as_deref(), Some("fail"));
+        assert_eq!(json_field(&line, "missing"), None);
+    }
+}

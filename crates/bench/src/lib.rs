@@ -10,7 +10,9 @@
 
 pub mod conform;
 pub mod exp;
+pub mod journal;
 pub mod runner;
+pub mod signal;
 pub mod table;
 pub mod tracetool;
 

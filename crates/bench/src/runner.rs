@@ -109,13 +109,40 @@ impl Scale {
         }
     }
 
+    /// Parses a scale name (`smoke`/`quick`/`full`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the bad value and the accepted
+    /// ones.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "smoke" => Ok(Scale::smoke()),
+            "quick" => Ok(Scale::quick()),
+            "full" => Ok(Scale::full()),
+            other => Err(format!(
+                "MITTS_SCALE={other:?} is not a scale; expected smoke, quick, or full"
+            )),
+        }
+    }
+
     /// Reads `MITTS_SCALE` from the environment (`smoke`/`quick`/`full`),
-    /// defaulting to `quick`.
+    /// defaulting to `quick` when unset. An *unknown* value is a
+    /// configuration error: the process prints one line and exits with
+    /// status 2 rather than silently running hours of experiments at the
+    /// wrong scale.
     pub fn from_env() -> Self {
-        match std::env::var("MITTS_SCALE").as_deref() {
-            Ok("smoke") => Scale::smoke(),
-            Ok("full") => Scale::full(),
-            _ => Scale::quick(),
+        let Some(raw) = std::env::var_os("MITTS_SCALE") else { return Scale::quick() };
+        let parsed = raw
+            .to_str()
+            .ok_or_else(|| "MITTS_SCALE is not valid UTF-8".to_owned())
+            .and_then(Scale::parse);
+        match parsed {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("configuration error: {e}");
+                std::process::exit(2);
+            }
         }
     }
 }
@@ -585,6 +612,19 @@ mod tests {
     fn scale_presets_are_ordered() {
         assert!(Scale::smoke().work < Scale::quick().work);
         assert!(Scale::quick().work < Scale::full().work);
+    }
+
+    #[test]
+    fn scale_parse_accepts_the_three_presets_only() {
+        assert_eq!(Scale::parse("smoke").unwrap(), Scale::smoke());
+        assert_eq!(Scale::parse("quick").unwrap(), Scale::quick());
+        assert_eq!(Scale::parse("full").unwrap(), Scale::full());
+        for bad in ["", "Smoke", "fulll", "medium", "quick "] {
+            let err = Scale::parse(bad).expect_err(bad);
+            assert!(err.contains("MITTS_SCALE"), "error must name the knob: {err}");
+            assert!(err.contains("smoke"), "error must list valid values: {err}");
+            assert!(!err.contains('\n'), "one-line error only: {err}");
+        }
     }
 
     #[test]

@@ -101,13 +101,15 @@ impl Table {
         out
     }
 
-    /// Writes the table as CSV to `path`.
+    /// Writes the table as CSV to `path`, atomically: a crash or kill
+    /// mid-write leaves either the previous complete file or the new one,
+    /// never a truncated mix.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_csv())
+        mitts_sim::fsio::write_atomic_str(path, &self.to_csv())
     }
 }
 
@@ -227,6 +229,27 @@ mod tests {
         let mut t = Table::new("demo", &["a"]);
         t.row(vec!["hello, \"world\"".into()]);
         assert_eq!(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn write_csv_replaces_atomically_without_litter() {
+        let dir = std::env::temp_dir().join(format!("mitts_csv_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        t.row(vec!["2".into()]);
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n2\n");
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(litter.is_empty(), "no temp files may survive: {litter:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -421,6 +421,94 @@ impl SourceShaper for MittsShaper {
         }
     }
 
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("mitts")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        // Configuration fingerprint first: the restoring side must hold
+        // the same bins/credits/period/method/policy, since the snapshot
+        // only carries the *mutable* state on top of them.
+        let spec = self.config.spec();
+        enc.usize(spec.bins());
+        enc.u64(spec.interval());
+        enc.u32s(self.config.credits());
+        enc.u64(self.config.replenish_period());
+        enc.u8(match self.method {
+            FeedbackMethod::DeductThenRefund => 0,
+            FeedbackMethod::DeductOnConfirm => 1,
+            FeedbackMethod::PureL1 => 2,
+        });
+        enc.u8(match self.policy {
+            CreditPolicy::CheapestEligible => 0,
+            CreditPolicy::MostExpensiveEligible => 1,
+        });
+        enc.u32s(&self.credits);
+        enc.u64(self.next_replenish);
+        enc.opt_u64(self.last_issue);
+        enc.u64(self.counters.grants);
+        enc.u64(self.counters.denies);
+        enc.u64(self.counters.refunds);
+        enc.u64(self.counters.confirm_deductions);
+        enc.u64(self.counters.replenishments);
+        enc.u64s(&self.grants_per_bin);
+        enc.u64(self.stalls);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let spec = self.config.spec();
+        let bins = dec.usize()?;
+        let interval = dec.u64()?;
+        let config_credits = dec.u32s()?;
+        let period = dec.u64()?;
+        let method = dec.u8()?;
+        let policy = dec.u8()?;
+        let have_method = match self.method {
+            FeedbackMethod::DeductThenRefund => 0,
+            FeedbackMethod::DeductOnConfirm => 1,
+            FeedbackMethod::PureL1 => 2,
+        };
+        let have_policy = match self.policy {
+            CreditPolicy::CheapestEligible => 0,
+            CreditPolicy::MostExpensiveEligible => 1,
+        };
+        if bins != spec.bins()
+            || interval != spec.interval()
+            || config_credits != self.config.credits()
+            || period != self.config.replenish_period()
+            || method != have_method
+            || policy != have_policy
+        {
+            return Err(SnapshotError::mismatch(
+                "MITTS shaper configuration differs from the snapshotted one",
+            ));
+        }
+        let credits = dec.u32s()?;
+        if credits.len() != self.credits.len() {
+            return Err(SnapshotError::corrupt("live-credit vector length differs"));
+        }
+        self.credits = credits;
+        self.next_replenish = dec.u64()?;
+        self.last_issue = dec.opt_u64()?;
+        self.counters.grants = dec.u64()?;
+        self.counters.denies = dec.u64()?;
+        self.counters.refunds = dec.u64()?;
+        self.counters.confirm_deductions = dec.u64()?;
+        self.counters.replenishments = dec.u64()?;
+        let grants_per_bin = dec.u64s()?;
+        if grants_per_bin.len() != self.grants_per_bin.len() {
+            return Err(SnapshotError::corrupt("grants-per-bin vector length differs"));
+        }
+        self.grants_per_bin = grants_per_bin;
+        self.stalls = dec.u64()?;
+        self.rebuild_mask();
+        Ok(())
+    }
+
     fn credit_audit(&self) -> CreditAudit {
         CreditAudit {
             bins: self

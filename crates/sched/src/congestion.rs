@@ -161,6 +161,56 @@ impl<S: Scheduler> Scheduler for CongestionGuard<S> {
         }
         self.inner.note_idle_cycles(cycles);
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        // The guard is checkpointable exactly when the wrapped policy is;
+        // the inner kind travels inside the payload.
+        self.inner.snapshot_kind().map(|_| "congestion-guard")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.i64(self.threshold);
+        enc.u64(self.interval);
+        enc.u32(self.max_gap);
+        enc.i64(self.occupancy);
+        enc.u64(self.next_eval);
+        enc.u64(self.congested_samples);
+        enc.u64(self.samples);
+        enc.u32(self.gap);
+        enc.u32(self.applied);
+        enc.str(self.inner.snapshot_kind().unwrap_or(""));
+        enc.blob(|e| self.inner.save_state(e));
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let threshold = dec.i64()?;
+        let interval = dec.u64()?;
+        let max_gap = dec.u32()?;
+        if threshold != self.threshold || interval != self.interval || max_gap != self.max_gap {
+            return Err(SnapshotError::mismatch(
+                "congestion-guard parameters differ from the snapshotted ones",
+            ));
+        }
+        self.occupancy = dec.i64()?;
+        self.next_eval = dec.u64()?;
+        self.congested_samples = dec.u64()?;
+        self.samples = dec.u64()?;
+        self.gap = dec.u32()?;
+        self.applied = dec.u32()?;
+        let inner_kind = dec.str()?;
+        let expected = self.inner.snapshot_kind().unwrap_or("");
+        if inner_kind != expected {
+            return Err(SnapshotError::mismatch(format!(
+                "congestion-guard wraps '{expected}' but the snapshot holds '{inner_kind}'"
+            )));
+        }
+        dec.blob(|d| self.inner.load_state(d))?;
+        Ok(())
+    }
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for CongestionGuard<S> {

@@ -82,6 +82,51 @@ impl Scheduler for FairQueue {
     fn next_event(&self, _now: Cycle) -> Option<Cycle> {
         None // purely event-driven: state changes only on enqueue/complete
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("fair-queue")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.usize(self.cores);
+        enc.u64s(&self.virtual_time);
+        // The pending-finish book iterates in sorted TxnId order so the
+        // encoding is deterministic regardless of HashMap layout.
+        let mut pending: Vec<(TxnId, u64)> = self.finish.iter().map(|(&k, &v)| (k, v)).collect();
+        pending.sort_unstable();
+        enc.usize(pending.len());
+        for (id, fin) in pending {
+            enc.u64(id);
+            enc.u64(fin);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let cores = dec.usize()?;
+        if cores != self.cores {
+            return Err(SnapshotError::mismatch(format!(
+                "fair-queue scheduler has {} cores but the snapshot holds {cores}",
+                self.cores
+            )));
+        }
+        let vt = dec.u64s()?;
+        if vt.len() != self.virtual_time.len() {
+            return Err(SnapshotError::corrupt("virtual-time vector length differs"));
+        }
+        self.virtual_time = vt;
+        let n = dec.checked_len(16)?;
+        self.finish.clear();
+        for _ in 0..n {
+            let id = dec.u64()?;
+            let fin = dec.u64()?;
+            self.finish.insert(id, fin);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,17 @@ impl Scheduler for FrFcfs {
     fn conformance_policy(&self) -> Option<mitts_sim::oracle::PickPolicy> {
         Some(mitts_sim::oracle::PickPolicy::FrFcfs)
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("fr-fcfs")
+    }
+
+    fn load_state(
+        &mut self,
+        _dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        Ok(()) // stateless
+    }
 }
 
 #[cfg(test)]

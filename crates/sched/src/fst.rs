@@ -149,6 +149,59 @@ impl Scheduler for Fst {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(self.next_eval.max(now + 1))
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("fst")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.usize(self.cores);
+        enc.u64(self.interval);
+        enc.f64(self.unfairness_threshold);
+        enc.u64(self.next_eval);
+        enc.usizes(&self.levels);
+        for s in &self.prev {
+            enc.u64(s.instructions);
+            enc.u64(s.mem_stall_cycles);
+            enc.u64(s.l1_misses);
+            enc.u64(s.llc_misses);
+            enc.u64(s.mem_completed);
+            enc.u64(s.mem_latency_sum);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let cores = dec.usize()?;
+        let interval = dec.u64()?;
+        let threshold = dec.f64()?;
+        if cores != self.cores
+            || interval != self.interval
+            || threshold.to_bits() != self.unfairness_threshold.to_bits()
+        {
+            return Err(SnapshotError::mismatch(
+                "FST scheduler parameters differ from the snapshotted ones",
+            ));
+        }
+        self.next_eval = dec.u64()?;
+        let levels = dec.usizes()?;
+        if levels.len() != self.cores || levels.iter().any(|&l| l >= GAP_LEVELS.len()) {
+            return Err(SnapshotError::corrupt("invalid FST throttle levels"));
+        }
+        self.levels = levels;
+        for s in &mut self.prev {
+            s.instructions = dec.u64()?;
+            s.mem_stall_cycles = dec.u64()?;
+            s.l1_misses = dec.u64()?;
+            s.llc_misses = dec.u64()?;
+            s.mem_completed = dec.u64()?;
+            s.mem_latency_sum = dec.u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -101,6 +101,38 @@ impl Scheduler for MemGuard {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(self.next_reset.max(now + 1))
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("memguard")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.u64(self.period);
+        enc.u64s(&self.budget);
+        enc.u64(self.next_reset);
+        enc.u64s(&self.used);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let period = dec.u64()?;
+        let budget = dec.u64s()?;
+        if period != self.period || budget != self.budget {
+            return Err(SnapshotError::mismatch(
+                "MemGuard budgets differ from the snapshotted ones",
+            ));
+        }
+        self.next_reset = dec.u64()?;
+        let used = dec.u64s()?;
+        if used.len() != self.used.len() {
+            return Err(SnapshotError::corrupt("MemGuard usage vector length differs"));
+        }
+        self.used = used;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

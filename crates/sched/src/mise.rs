@@ -187,6 +187,68 @@ impl Scheduler for Mise {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(self.next_epoch.min(self.next_interval).max(now + 1))
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("mise")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.usize(self.cores);
+        enc.u64(self.epoch);
+        enc.u64(self.interval);
+        enc.u64(self.epoch_index);
+        enc.u64(self.next_epoch);
+        enc.u64(self.next_interval);
+        enc.opt_usize(self.sampling);
+        enc.u64s(&self.epoch_start_fills);
+        enc.f64s(&self.alone_rate);
+        enc.f64s(&self.shared_rate);
+        enc.u32s(&self.shared_samples);
+        enc.usizes(&self.rank);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let cores = dec.usize()?;
+        let epoch = dec.u64()?;
+        let interval = dec.u64()?;
+        if cores != self.cores || epoch != self.epoch || interval != self.interval {
+            return Err(SnapshotError::mismatch(
+                "MISE scheduler parameters differ from the snapshotted ones",
+            ));
+        }
+        self.epoch_index = dec.u64()?;
+        self.next_epoch = dec.u64()?;
+        self.next_interval = dec.u64()?;
+        let sampling = dec.opt_usize()?;
+        if sampling.is_some_and(|s| s >= self.cores) {
+            return Err(SnapshotError::corrupt("MISE sampling core out of range"));
+        }
+        self.sampling = sampling;
+        let fills = dec.u64s()?;
+        let alone = dec.f64s()?;
+        let shared = dec.f64s()?;
+        let samples = dec.u32s()?;
+        let rank = dec.usizes()?;
+        if fills.len() != self.cores
+            || alone.len() != self.cores
+            || shared.len() != self.cores
+            || samples.len() != self.cores
+            || rank.len() != self.cores
+            || rank.iter().any(|&r| r >= self.cores)
+        {
+            return Err(SnapshotError::corrupt("MISE per-core vectors are invalid"));
+        }
+        self.epoch_start_fills = fills;
+        self.alone_rate = alone;
+        self.shared_rate = shared;
+        self.shared_samples = samples;
+        self.rank = rank;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -175,6 +175,62 @@ impl Scheduler for Tcm {
         // Ticks between boundaries are no-ops; wake at the next one.
         Some(self.next_quantum.min(self.next_shuffle).max(now + 1))
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("tcm")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.usize(self.cores);
+        enc.u64(self.quantum);
+        enc.u64(self.shuffle_interval);
+        enc.u64(self.next_quantum);
+        enc.u64(self.next_shuffle);
+        enc.usizes(&self.rank);
+        enc.usizes(&self.bandwidth_cluster);
+        enc.u64s(&self.prev_llc_misses);
+        enc.u64s(&self.prev_instructions);
+        self.rng.save_state(enc);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let cores = dec.usize()?;
+        let quantum = dec.u64()?;
+        let shuffle_interval = dec.u64()?;
+        if cores != self.cores
+            || quantum != self.quantum
+            || shuffle_interval != self.shuffle_interval
+        {
+            return Err(SnapshotError::mismatch(
+                "TCM scheduler parameters differ from the snapshotted ones",
+            ));
+        }
+        self.next_quantum = dec.u64()?;
+        self.next_shuffle = dec.u64()?;
+        let rank = dec.usizes()?;
+        if rank.len() != self.cores || rank.iter().any(|&r| r >= self.cores) {
+            return Err(SnapshotError::corrupt("invalid TCM rank vector"));
+        }
+        self.rank = rank;
+        let bw = dec.usizes()?;
+        if bw.len() > self.cores || bw.iter().any(|&c| c >= self.cores) {
+            return Err(SnapshotError::corrupt("invalid TCM bandwidth cluster"));
+        }
+        self.bandwidth_cluster = bw;
+        let misses = dec.u64s()?;
+        let instructions = dec.u64s()?;
+        if misses.len() != self.cores || instructions.len() != self.cores {
+            return Err(SnapshotError::corrupt("TCM progress book size differs"));
+        }
+        self.prev_llc_misses = misses;
+        self.prev_instructions = instructions;
+        self.rng.load_state(dec)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

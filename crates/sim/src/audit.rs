@@ -178,6 +178,38 @@ pub enum Invariant {
     ForwardProgress,
 }
 
+impl Invariant {
+    /// Stable one-byte tag used by the snapshot codec.
+    fn snapshot_tag(self) -> u8 {
+        match self {
+            Invariant::GrantFillConservation => 0,
+            Invariant::GrantAge => 1,
+            Invariant::MshrLeak => 2,
+            Invariant::CreditBounds => 3,
+            Invariant::DramTiming => 4,
+            Invariant::DramConservation => 5,
+            Invariant::McInflightAge => 6,
+            Invariant::MonotoneCounters => 7,
+            Invariant::ForwardProgress => 8,
+        }
+    }
+
+    fn from_snapshot_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Invariant::GrantFillConservation,
+            1 => Invariant::GrantAge,
+            2 => Invariant::MshrLeak,
+            3 => Invariant::CreditBounds,
+            4 => Invariant::DramTiming,
+            5 => Invariant::DramConservation,
+            6 => Invariant::McInflightAge,
+            7 => Invariant::MonotoneCounters,
+            8 => Invariant::ForwardProgress,
+            _ => return None,
+        })
+    }
+}
+
 impl std::fmt::Display for Invariant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -612,6 +644,75 @@ impl ActiveFaults {
             .any(|f| matches!(*f, FaultKind::StallLlcPorts { from } if now >= from))
     }
 
+    /// Encodes the plan and its runtime progress (drops spent, held
+    /// responses).
+    pub(crate) fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.usize(self.plan.faults.len());
+        for fault in &self.plan.faults {
+            match *fault {
+                FaultKind::DropDramResponses { from, count } => {
+                    enc.u8(0);
+                    enc.u64(from);
+                    enc.u32(count);
+                }
+                FaultKind::DelayDramResponses { from, delay } => {
+                    enc.u8(1);
+                    enc.u64(from);
+                    enc.u64(delay);
+                }
+                FaultKind::ZeroShaperCredits { from, core } => {
+                    enc.u8(2);
+                    enc.u64(from);
+                    enc.usize(core);
+                }
+                FaultKind::CorruptShaperCredits { from, core } => {
+                    enc.u8(3);
+                    enc.u64(from);
+                    enc.usize(core);
+                }
+                FaultKind::StallLlcPorts { from } => {
+                    enc.u8(4);
+                    enc.u64(from);
+                }
+            }
+        }
+        enc.u32(self.drops_done);
+        enc.usize(self.delayed.len());
+        for &(release, line) in &self.delayed {
+            enc.u64(release);
+            enc.u64(line);
+        }
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = dec.checked_len(9)?;
+        let mut faults = Vec::with_capacity(n);
+        for _ in 0..n {
+            let fault = match dec.u8()? {
+                0 => FaultKind::DropDramResponses { from: dec.u64()?, count: dec.u32()? },
+                1 => FaultKind::DelayDramResponses { from: dec.u64()?, delay: dec.u64()? },
+                2 => FaultKind::ZeroShaperCredits { from: dec.u64()?, core: dec.usize()? },
+                3 => FaultKind::CorruptShaperCredits { from: dec.u64()?, core: dec.usize()? },
+                4 => FaultKind::StallLlcPorts { from: dec.u64()? },
+                tag => {
+                    return Err(SnapshotError::corrupt(format!("unknown fault kind tag {tag}")))
+                }
+            };
+            faults.push(fault);
+        }
+        self.plan = FaultPlan { faults };
+        self.drops_done = dec.u32()?;
+        let n = dec.checked_len(16)?;
+        self.delayed = (0..n)
+            .map(|_| Ok((dec.u64()?, dec.u64()?)))
+            .collect::<Result<_, SnapshotError>>()?;
+        Ok(())
+    }
+
     /// Earliest cycle strictly after `now` at which the fault plan changes
     /// behaviour: a held response releases, or a not-yet-active fault's
     /// `from` cycle arrives. Already-active faults are pure predicates the
@@ -857,6 +958,71 @@ impl InvariantAuditor {
         }
     }
 
+    /// Encodes auditor and watchdog state, including the recorded
+    /// violation log (so downstream consumers tailing the log resume
+    /// consistently). The stall report is deliberately not included: the
+    /// system refuses to snapshot a stalled run.
+    pub(crate) fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        debug_assert!(self.stall.is_none(), "stalled systems refuse to snapshot");
+        enc.usize(self.violations.len());
+        for v in &self.violations {
+            enc.u64(v.cycle);
+            enc.u8(v.invariant.snapshot_tag());
+            enc.opt_usize(v.core);
+            enc.str(&v.detail);
+        }
+        enc.u64(self.dropped);
+        enc.u64(self.passes);
+        enc.opt_u64(self.last_now);
+        enc.u64(self.last_progress_at);
+        enc.u64(self.last_totals.0);
+        enc.u64(self.last_totals.1);
+        enc.usize(self.cores.len());
+        for p in &self.cores {
+            enc.u64(p.last_instructions);
+            enc.u64(p.last_change_at);
+            enc.bool(p.starve_reported);
+        }
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = dec.checked_len(18)?;
+        let mut violations = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cycle = dec.u64()?;
+            let tag = dec.u8()?;
+            let invariant = Invariant::from_snapshot_tag(tag)
+                .ok_or_else(|| SnapshotError::corrupt(format!("unknown invariant tag {tag}")))?;
+            let core = dec.opt_usize()?;
+            let detail = dec.str()?.to_owned();
+            violations.push(AuditViolation { cycle, invariant, core, detail });
+        }
+        self.violations = violations;
+        self.dropped = dec.u64()?;
+        self.passes = dec.u64()?;
+        self.last_now = dec.opt_u64()?;
+        self.last_progress_at = dec.u64()?;
+        self.last_totals = (dec.u64()?, dec.u64()?);
+        let n = dec.checked_len(17)?;
+        if n != self.cores.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "auditor tracks {} cores but the snapshot recorded {n}",
+                self.cores.len()
+            )));
+        }
+        for p in &mut self.cores {
+            p.last_instructions = dec.u64()?;
+            p.last_change_at = dec.u64()?;
+            p.starve_reported = dec.bool()?;
+        }
+        self.stall = None;
+        Ok(())
+    }
+
     /// Observes one core's retirement progress. Returns `true` exactly
     /// once per starvation episode when the core crosses
     /// [`WatchdogConfig::core_starve_cycles`] without retiring (and is not
@@ -924,6 +1090,23 @@ impl GrantLedger {
 
     pub(crate) fn unmatched_fills(&self) -> u64 {
         self.unmatched_fills
+    }
+
+    pub(crate) fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        let times: Vec<Cycle> = self.times.iter().copied().collect();
+        enc.u64s(&times);
+        enc.u64(self.granted);
+        enc.u64(self.unmatched_fills);
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.times = dec.u64s()?.into();
+        self.granted = dec.u64()?;
+        self.unmatched_fills = dec.u64()?;
+        Ok(())
     }
 }
 

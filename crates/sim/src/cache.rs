@@ -163,6 +163,54 @@ impl Cache {
         None
     }
 
+    /// Encodes the full tag array and access counters (checkpoint
+    /// support).
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.usize(self.sets.len());
+        enc.usize(self.sets.first().map_or(0, |s| s.len()));
+        for set in &self.sets {
+            for way in set {
+                enc.u64(way.tag);
+                enc.bool(way.valid);
+                enc.bool(way.dirty);
+                enc.u64(way.lru_stamp);
+            }
+        }
+        enc.u64(self.tick);
+        enc.u64(self.hits);
+        enc.u64(self.misses);
+    }
+
+    /// Restores state written by [`Cache::save_state`], rejecting a
+    /// geometry mismatch.
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let sets = dec.usize()?;
+        let ways = dec.usize()?;
+        if sets != self.sets.len() || ways != self.sets.first().map_or(0, |s| s.len()) {
+            return Err(SnapshotError::mismatch(format!(
+                "cache geometry {sets}x{ways} differs from configured {}x{}",
+                self.sets.len(),
+                self.sets.first().map_or(0, |s| s.len())
+            )));
+        }
+        for set in &mut self.sets {
+            for way in set {
+                way.tag = dec.u64()?;
+                way.valid = dec.bool()?;
+                way.dirty = dec.bool()?;
+                way.lru_stamp = dec.u64()?;
+            }
+        }
+        self.tick = dec.u64()?;
+        self.hits = dec.u64()?;
+        self.misses = dec.u64()?;
+        Ok(())
+    }
+
     /// Total hits recorded by [`Cache::access`].
     pub fn hits(&self) -> u64 {
         self.hits
@@ -287,6 +335,59 @@ impl<W> MshrFile<W> {
     /// Iterates over the outstanding entries (auditor introspection).
     pub fn iter(&self) -> impl Iterator<Item = &MshrEntry<W>> {
         self.entries.iter()
+    }
+
+    /// Encodes the outstanding entries (checkpoint support). Waiter
+    /// tokens are opaque to the file, so the caller supplies their
+    /// encoder.
+    pub fn save_state(
+        &self,
+        enc: &mut crate::snapshot::Enc,
+        mut enc_waiter: impl FnMut(&mut crate::snapshot::Enc, &W),
+    ) {
+        enc.usize(self.entries.len());
+        for e in &self.entries {
+            enc.u64(e.line_addr);
+            enc.u64(e.allocated_at);
+            enc.bool(e.any_write);
+            enc.usize(e.waiters.len());
+            for w in &e.waiters {
+                enc_waiter(enc, w);
+            }
+        }
+    }
+
+    /// Restores entries written by [`MshrFile::save_state`], preserving
+    /// entry and waiter order exactly (entry order is architecturally
+    /// significant: `complete` uses `swap_remove`).
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+        mut dec_waiter: impl FnMut(
+            &mut crate::snapshot::Dec<'_>,
+        ) -> Result<W, crate::snapshot::SnapshotError>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = dec.usize()?;
+        if n > self.capacity {
+            return Err(SnapshotError::mismatch(format!(
+                "MSHR file holds {n} entries but is configured for {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let line_addr = dec.u64()?;
+            let allocated_at = dec.u64()?;
+            let any_write = dec.bool()?;
+            let waiters_n = dec.usize()?;
+            let mut waiters = Vec::with_capacity(waiters_n);
+            for _ in 0..waiters_n {
+                waiters.push(dec_waiter(dec)?);
+            }
+            self.entries.push(MshrEntry { line_addr, allocated_at, any_write, waiters });
+        }
+        Ok(())
     }
 }
 

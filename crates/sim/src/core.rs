@@ -291,6 +291,129 @@ impl Core {
             .count()
     }
 
+    /// Checkpoint tag of the trace source driving this core, or `None`
+    /// when the source does not support checkpointing.
+    pub fn trace_snapshot_kind(&self) -> Option<&'static str> {
+        self.trace.snapshot_kind()
+    }
+
+    /// Encodes the complete mutable core state (ROB, fetch stage,
+    /// completion book, counters) plus the embedded trace cursor.
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u32(self.issue_width);
+        enc.u32(self.window_size);
+        enc.usize(self.rob.len());
+        for entry in &self.rob {
+            match entry {
+                RobEntry::Compute { remaining } => {
+                    enc.u8(0);
+                    enc.u32(*remaining);
+                }
+                RobEntry::Mem { op, complete } => {
+                    enc.u8(1);
+                    enc.u64(op.raw());
+                    enc.bool(*complete);
+                }
+            }
+        }
+        enc.u32(self.rob_occupancy);
+        enc.str(self.trace.snapshot_kind().unwrap_or(""));
+        enc.blob(|e| self.trace.save_state(e));
+        enc.u32(self.fetch_gap_left);
+        match self.fetch_mem {
+            Some(op) => {
+                enc.bool(true);
+                enc.u32(op.gap);
+                enc.u64(op.addr);
+                enc.bool(op.write);
+            }
+            None => enc.bool(false),
+        }
+        enc.u64(self.next_op_id);
+        // HashSet iteration order is nondeterministic: sort for stable bytes.
+        let mut completed: Vec<u64> = self.completed.iter().map(|op| op.raw()).collect();
+        completed.sort_unstable();
+        enc.u64s(&completed);
+        enc.u64(self.frozen_until);
+        enc.u64(self.counters.cycles);
+        enc.u64(self.counters.instructions);
+        enc.u64(self.counters.mem_stall_cycles);
+        enc.u64(self.counters.window_full_cycles);
+        enc.u64(self.counters.loads);
+        enc.u64(self.counters.stores);
+        enc.u64(self.counters.frozen_cycles);
+    }
+
+    /// Restores state written by [`Core::save_state`]. The core must have
+    /// been built with the same configuration and trace-source type.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`](crate::snapshot::SnapshotError) when
+    /// the configured geometry or trace kind differs from the snapshot,
+    /// or a decode error on corrupt bytes.
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let issue_width = dec.u32()?;
+        let window_size = dec.u32()?;
+        if issue_width != self.issue_width || window_size != self.window_size {
+            return Err(SnapshotError::mismatch(format!(
+                "core geometry {}x{} differs from snapshot {issue_width}x{window_size}",
+                self.issue_width, self.window_size
+            )));
+        }
+        let n = dec.checked_len(2)?;
+        let mut rob = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            match dec.u8()? {
+                0 => rob.push_back(RobEntry::Compute { remaining: dec.u32()? }),
+                1 => {
+                    let op = OpId::new(dec.u64()?);
+                    rob.push_back(RobEntry::Mem { op, complete: dec.bool()? });
+                }
+                tag => {
+                    return Err(SnapshotError::corrupt(format!("unknown ROB entry tag {tag}")))
+                }
+            }
+        }
+        self.rob = rob;
+        self.rob_occupancy = dec.u32()?;
+        let kind = dec.str()?;
+        let have = self.trace.snapshot_kind().unwrap_or("");
+        if kind != have {
+            return Err(SnapshotError::mismatch(format!(
+                "trace source is `{have}` but the snapshot holds `{kind}`"
+            )));
+        }
+        dec.blob(|d| self.trace.load_state(d))?;
+        self.fetch_gap_left = dec.u32()?;
+        self.fetch_mem = if dec.bool()? {
+            let gap = dec.u32()?;
+            let addr = dec.u64()?;
+            let write = dec.bool()?;
+            Some(TraceOp { gap, addr, write })
+        } else {
+            None
+        };
+        self.next_op_id = dec.u64()?;
+        self.completed.clear();
+        for raw in dec.u64s()? {
+            self.completed.insert(OpId::new(raw));
+        }
+        self.frozen_until = dec.u64()?;
+        self.counters.cycles = dec.u64()?;
+        self.counters.instructions = dec.u64()?;
+        self.counters.mem_stall_cycles = dec.u64()?;
+        self.counters.window_full_cycles = dec.u64()?;
+        self.counters.loads = dec.u64()?;
+        self.counters.stores = dec.u64()?;
+        self.counters.frozen_cycles = dec.u64()?;
+        Ok(())
+    }
+
     /// Simulates one cycle: retire from the head, then dispatch into the
     /// window, offering memory accesses to `port`.
     pub fn tick(&mut self, now: Cycle, port: &mut dyn MemPort) {

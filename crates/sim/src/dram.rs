@@ -463,6 +463,130 @@ impl<T: Copy> Dram<T> {
         self.inflight.len()
     }
 
+    /// Encodes the complete channel state — bank row/fence machines, bus
+    /// and ACT fences, refresh schedule, in-flight completions, and
+    /// statistics (checkpoint support). Tokens are opaque, so the caller
+    /// supplies their encoder.
+    pub fn save_state(
+        &self,
+        enc: &mut crate::snapshot::Enc,
+        mut enc_token: impl FnMut(&mut crate::snapshot::Enc, &T),
+    ) {
+        enc.usize(self.banks.len());
+        for b in &self.banks {
+            enc.opt_u64(b.open_row);
+            enc.u64(b.ready_at);
+            enc.u64(b.precharge_ok_at);
+        }
+        enc.u64(self.bus_free_at);
+        enc.u64(self.next_act_at);
+        enc.u64(self.next_refresh);
+        enc.u64(self.refreshes);
+        enc.u64(self.wtr_fence);
+        enc.opt_u64(self.last_act_at);
+        match &self.last_service {
+            None => enc.bool(false),
+            Some(s) => {
+                enc.bool(true);
+                enc.usize(s.bank);
+                enc.u64(s.row);
+                enc.u8(match s.outcome {
+                    RowOutcome::Hit => 0,
+                    RowOutcome::Miss => 1,
+                    RowOutcome::Conflict => 2,
+                });
+                enc.opt_u64(s.act_at);
+                enc.opt_u64(s.pre_at);
+                enc.u64(s.col_at);
+                enc.u64(s.data_start);
+                enc.u64(s.data_end);
+            }
+        }
+        enc.usize(self.timing_violations.len());
+        for v in &self.timing_violations {
+            enc.str(v);
+        }
+        enc.usize(self.inflight.len());
+        for c in &self.inflight {
+            enc_token(enc, &c.token);
+            enc.u64(c.done_at);
+            enc.bool(c.row_hit);
+        }
+        enc.u64(self.row_hits);
+        enc.u64(self.row_misses);
+        enc.u64(self.row_conflicts);
+        enc.u64(self.bytes_transferred);
+        enc.u64(self.busy_bus_cycles);
+    }
+
+    /// Restores state written by [`Dram::save_state`]. In-flight order is
+    /// preserved exactly (it breaks completion-time ties on drain).
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+        mut dec_token: impl FnMut(
+            &mut crate::snapshot::Dec<'_>,
+        ) -> Result<T, crate::snapshot::SnapshotError>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let banks = dec.usize()?;
+        if banks != self.banks.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "DRAM has {banks} banks in the snapshot but {} configured",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.open_row = dec.opt_u64()?;
+            b.ready_at = dec.u64()?;
+            b.precharge_ok_at = dec.u64()?;
+        }
+        self.bus_free_at = dec.u64()?;
+        self.next_act_at = dec.u64()?;
+        self.next_refresh = dec.u64()?;
+        self.refreshes = dec.u64()?;
+        self.wtr_fence = dec.u64()?;
+        self.last_act_at = dec.opt_u64()?;
+        self.last_service = if dec.bool()? {
+            Some(DramServiceTiming {
+                bank: dec.usize()?,
+                row: dec.u64()?,
+                outcome: match dec.u8()? {
+                    0 => RowOutcome::Hit,
+                    1 => RowOutcome::Miss,
+                    2 => RowOutcome::Conflict,
+                    _ => return Err(SnapshotError::corrupt("invalid row outcome tag")),
+                },
+                act_at: dec.opt_u64()?,
+                pre_at: dec.opt_u64()?,
+                col_at: dec.u64()?,
+                data_start: dec.u64()?,
+                data_end: dec.u64()?,
+            })
+        } else {
+            None
+        };
+        let violations = dec.usize()?;
+        self.timing_violations.clear();
+        for _ in 0..violations {
+            self.timing_violations.push(dec.str()?.to_owned());
+        }
+        let inflight = dec.usize()?;
+        self.inflight.clear();
+        for _ in 0..inflight {
+            let token = dec_token(dec)?;
+            let done_at = dec.u64()?;
+            let row_hit = dec.bool()?;
+            self.inflight.push(DramCompletion { token, done_at, row_hit });
+        }
+        self.row_hits = dec.u64()?;
+        self.row_misses = dec.u64()?;
+        self.row_conflicts = dec.u64()?;
+        self.bytes_transferred = dec.u64()?;
+        self.busy_bus_cycles = dec.u64()?;
+        Ok(())
+    }
+
     /// (row hits, row misses, row conflicts) since construction.
     pub fn row_stats(&self) -> (u64, u64, u64) {
         (self.row_hits, self.row_misses, self.row_conflicts)

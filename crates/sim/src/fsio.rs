@@ -1,0 +1,125 @@
+//! Crash-safe filesystem helpers shared by the snapshot layer and the
+//! benchmark harness.
+//!
+//! Every artifact the workspace persists (snapshots, CSV tables,
+//! `BENCH_sim.json`, trace exports, journal result files) goes through
+//! [`write_atomic`], so a crash or kill mid-write can never leave a
+//! truncated or corrupt file at the destination path: readers either see
+//! the complete old contents or the complete new contents.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: the data goes to a temporary
+/// file in the same directory, is fsync'd, and is then renamed over the
+/// destination (rename within one filesystem is atomic on POSIX). The
+/// containing directory is fsync'd afterwards on a best-effort basis so
+/// the rename itself is durable.
+///
+/// On any error the temporary file is removed and the destination is
+/// left untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut f = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Durability of the rename: fsync the parent directory. Failure
+        // here (e.g. exotic filesystems) does not affect atomicity.
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Convenience wrapper for textual artifacts.
+pub fn write_atomic_str(path: &Path, text: &str) -> io::Result<()> {
+    write_atomic(path, text.as_bytes())
+}
+
+/// The sibling temporary path used by [`write_atomic`]. Includes the
+/// process id (so an interrupted run and its resumption never collide)
+/// and a per-process counter (so concurrent threads never collide).
+fn tmp_path(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let file = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp_name = format!(
+        ".{file}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    match path.parent() {
+        Some(dir) => dir.join(tmp_name),
+        None => PathBuf::from(tmp_name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mitts-fsio-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("out.txt");
+        write_atomic_str(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic_str(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("out.txt");
+        write_atomic_str(&path, "good").unwrap();
+        // Writing into a missing directory fails before any rename.
+        let bad = dir.join("no-such-subdir").join("out.txt");
+        assert!(write_atomic_str(&bad, "partial").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "good");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_write_is_invisible() {
+        // Simulate the crash window: data written to the temp file but
+        // the rename never happened. The destination must show the old
+        // contents, and the recovery convention (hidden `.tmp.` name)
+        // keeps the partial file from being mistaken for an artifact.
+        let dir = tmp_dir("crash");
+        let path = dir.join("table.csv");
+        write_atomic_str(&path, "old,complete\n").unwrap();
+        let tmp = super::tmp_path(&path);
+        std::fs::write(&tmp, "new,parti").unwrap(); // truncated mid-write
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old,complete\n");
+        assert!(tmp.file_name().unwrap().to_string_lossy().starts_with('.'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

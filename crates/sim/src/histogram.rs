@@ -162,6 +162,40 @@ impl InterArrivalHistogram {
         self.last_arrival = None;
     }
 
+    /// Encodes counts, overflow, and the arrival reference point
+    /// (checkpoint support). The geometry (`bins`, `bin_width`) is
+    /// configuration, re-validated on load rather than restored.
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64(self.bin_width);
+        enc.u64s(&self.counts);
+        enc.u64(self.overflow);
+        enc.opt_u64(self.last_arrival);
+    }
+
+    /// Restores state written by [`InterArrivalHistogram::save_state`],
+    /// rejecting a geometry mismatch.
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let bin_width = dec.u64()?;
+        let counts = dec.u64s()?;
+        if bin_width != self.bin_width || counts.len() != self.counts.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "inter-arrival histogram geometry {}x{} differs from configured {}x{}",
+                counts.len(),
+                bin_width,
+                self.counts.len(),
+                self.bin_width
+            )));
+        }
+        self.counts = counts;
+        self.overflow = dec.u64()?;
+        self.last_arrival = dec.opt_u64()?;
+        Ok(())
+    }
+
     /// Merges another histogram's counts into this one.
     ///
     /// # Panics
@@ -288,6 +322,33 @@ impl LatencyHistogram {
     /// Clears all recorded values.
     pub fn reset(&mut self) {
         *self = LatencyHistogram::default();
+    }
+
+    /// Encodes the full bucket array and summary counters (checkpoint
+    /// support).
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64s(&self.buckets);
+        enc.u64(self.count);
+        enc.u64(self.sum);
+        enc.u64(self.max);
+    }
+
+    /// Restores state written by [`LatencyHistogram::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let buckets = dec.u64s()?;
+        if buckets.len() != self.buckets.len() {
+            return Err(crate::snapshot::SnapshotError::corrupt(
+                "latency histogram bucket count differs",
+            ));
+        }
+        self.buckets.copy_from_slice(&buckets);
+        self.count = dec.u64()?;
+        self.sum = dec.u64()?;
+        self.max = dec.u64()?;
+        Ok(())
     }
 
     /// Merges another histogram into this one.

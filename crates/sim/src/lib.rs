@@ -39,12 +39,14 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod dram;
+pub mod fsio;
 pub mod histogram;
 pub mod mc;
 pub mod obs;
 pub mod oracle;
 pub mod rng;
 pub mod shaper;
+pub mod snapshot;
 pub mod stats;
 pub mod system;
 pub mod trace;
@@ -61,6 +63,7 @@ pub use oracle::{
     DramOracle, OracleKind, OracleViolation, PickOracle, PickPolicy, ShaperOracle, ShaperSpec,
     SpecFeedback, SpecPolicy,
 };
+pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{geomean, SlowdownReport};
 pub use system::{System, SystemBuilder};
 pub use types::{Addr, CoreId, Cycle, MemCmd, OpId};

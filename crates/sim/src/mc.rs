@@ -143,6 +143,64 @@ impl SourceControl {
     pub fn any_limits(&self) -> bool {
         self.throttles.iter().any(|t| *t != CoreThrottle::default())
     }
+
+    /// Encodes every core's throttle (checkpoint support).
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.usize(self.throttles.len());
+        for t in &self.throttles {
+            enc.opt_u64(t.max_inflight.map(u64::from));
+            enc.opt_u64(t.min_issue_gap.map(u64::from));
+        }
+    }
+
+    /// Restores state written by [`SourceControl::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = dec.usize()?;
+        if n != self.throttles.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "source control covers {n} cores in the snapshot, {} configured",
+                self.throttles.len()
+            )));
+        }
+        let narrow = |v: Option<u64>| -> Result<Option<u32>, SnapshotError> {
+            v.map(|x| {
+                u32::try_from(x).map_err(|_| SnapshotError::corrupt("throttle value overflow"))
+            })
+            .transpose()
+        };
+        for t in &mut self.throttles {
+            t.max_inflight = narrow(dec.opt_u64()?)?;
+            t.min_issue_gap = narrow(dec.opt_u64()?)?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a [`Transaction`] (shared by the controller queue, in-flight
+/// book, and the system's backlog snapshots).
+pub(crate) fn enc_txn(enc: &mut crate::snapshot::Enc, t: &Transaction) {
+    enc.u64(t.id);
+    enc.usize(t.core.index());
+    enc.u64(t.addr);
+    enc.bool(t.cmd.is_read());
+    enc.u64(t.enqueued_at);
+}
+
+/// Decodes a [`Transaction`] written by [`enc_txn`].
+pub(crate) fn dec_txn(
+    dec: &mut crate::snapshot::Dec<'_>,
+) -> Result<Transaction, crate::snapshot::SnapshotError> {
+    Ok(Transaction {
+        id: dec.u64()?,
+        core: CoreId::new(dec.usize()?),
+        addr: dec.u64()?,
+        cmd: if dec.bool()? { MemCmd::Read } else { MemCmd::Write },
+        enqueued_at: dec.u64()?,
+    })
 }
 
 /// A memory-request scheduling policy.
@@ -207,6 +265,30 @@ pub trait Scheduler {
     fn conformance_policy(&self) -> Option<crate::oracle::PickPolicy> {
         None
     }
+
+    /// Stable identifier of this policy's checkpoint payload, or `None`
+    /// when the policy does not support checkpointing. A system holding a
+    /// policy that returns `None` refuses to snapshot (with a clear
+    /// error) rather than silently dropping scheduler state.
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Encodes all mutable policy state (checkpoint support). Only called
+    /// when [`Scheduler::snapshot_kind`] is `Some`.
+    fn save_state(&self, _enc: &mut crate::snapshot::Enc) {}
+
+    /// Restores state written by [`Scheduler::save_state`]. The system
+    /// verifies [`Scheduler::snapshot_kind`] matches before calling this.
+    fn load_state(
+        &mut self,
+        _dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Err(crate::snapshot::SnapshotError::unsupported(format!(
+            "scheduler `{}`",
+            self.name()
+        )))
+    }
 }
 
 /// First-come-first-served: always the oldest startable transaction.
@@ -244,6 +326,17 @@ impl Scheduler for FcfsScheduler {
 
     fn conformance_policy(&self) -> Option<crate::oracle::PickPolicy> {
         Some(crate::oracle::PickPolicy::Fcfs)
+    }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("fcfs")
+    }
+
+    fn load_state(
+        &mut self,
+        _dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Ok(()) // stateless
     }
 }
 
@@ -651,6 +744,175 @@ impl MemoryController {
     pub fn queue_occupancy_sum(&self) -> u64 {
         self.queue_occupancy_sum
     }
+
+    /// Encodes the complete controller state: FIFO, scheduling queue (in
+    /// exact order — `pick` indices and `swap_remove` make order
+    /// architecturally significant), in-flight book, id allocator,
+    /// priority override, statistics, and the opt-in logs (checkpoint
+    /// support).
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.usize(self.fifo.len());
+        for t in &self.fifo {
+            enc_txn(enc, t);
+        }
+        enc.usize(self.queue.len());
+        for t in &self.queue {
+            enc_txn(enc, t);
+        }
+        enc.u64(self.next_id);
+        enc.opt_usize(self.priority_core.map(CoreId::index));
+        enc.usize(self.inflight.len());
+        for (t, at) in &self.inflight {
+            enc_txn(enc, t);
+            enc.u64(*at);
+        }
+        enc.u64(self.dispatched);
+        enc.u64(self.completed_reads);
+        enc.u64(self.completed_writes);
+        enc.u64(self.queue_occupancy_sum);
+        enc.u64(self.ticks);
+        enc.u64(self.fifo_rejections);
+        enc.bool(self.log_dispatches);
+        enc.usize(self.dispatch_log.len());
+        for r in &self.dispatch_log {
+            enc_txn(enc, &r.txn);
+            enc.u64(r.at);
+            enc_service_timing(enc, &r.timing);
+        }
+        enc.bool(self.log_picks);
+        enc.usize(self.pick_log.len());
+        for r in &self.pick_log {
+            enc.u64(r.at);
+            enc.u64(r.chosen);
+            enc.opt_usize(r.priority);
+            enc.usize(r.candidates.len());
+            for c in &r.candidates {
+                enc.u64(c.id);
+                enc.usize(c.core);
+                enc.u64(c.line);
+                enc.bool(c.write);
+                enc.u64(c.enqueued_at);
+                enc.bool(c.startable);
+                enc.bool(c.row_hit);
+            }
+        }
+    }
+
+    /// Restores state written by [`MemoryController::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let fifo_n = dec.usize()?;
+        if fifo_n > self.fifo_depth {
+            return Err(SnapshotError::mismatch(format!(
+                "FIFO holds {fifo_n} transactions but depth is {}",
+                self.fifo_depth
+            )));
+        }
+        self.fifo.clear();
+        for _ in 0..fifo_n {
+            self.fifo.push_back(dec_txn(dec)?);
+        }
+        let queue_n = dec.usize()?;
+        if queue_n > self.queue_depth {
+            return Err(SnapshotError::mismatch(format!(
+                "scheduling queue holds {queue_n} transactions but depth is {}",
+                self.queue_depth
+            )));
+        }
+        self.queue.clear();
+        for _ in 0..queue_n {
+            self.queue.push(dec_txn(dec)?);
+        }
+        self.next_id = dec.u64()?;
+        self.priority_core = dec.opt_usize()?.map(CoreId::new);
+        let inflight_n = dec.usize()?;
+        self.inflight.clear();
+        for _ in 0..inflight_n {
+            let t = dec_txn(dec)?;
+            let at = dec.u64()?;
+            self.inflight.push((t, at));
+        }
+        self.dispatched = dec.u64()?;
+        self.completed_reads = dec.u64()?;
+        self.completed_writes = dec.u64()?;
+        self.queue_occupancy_sum = dec.u64()?;
+        self.ticks = dec.u64()?;
+        self.fifo_rejections = dec.u64()?;
+        self.log_dispatches = dec.bool()?;
+        let dl = dec.usize()?;
+        self.dispatch_log.clear();
+        for _ in 0..dl {
+            let txn = dec_txn(dec)?;
+            let at = dec.u64()?;
+            let timing = dec_service_timing(dec)?;
+            self.dispatch_log.push(DispatchRecord { txn, at, timing });
+        }
+        self.log_picks = dec.bool()?;
+        let pl = dec.usize()?;
+        self.pick_log.clear();
+        for _ in 0..pl {
+            let at = dec.u64()?;
+            let chosen = dec.u64()?;
+            let priority = dec.opt_usize()?;
+            let cn = dec.usize()?;
+            let mut candidates = Vec::with_capacity(cn);
+            for _ in 0..cn {
+                candidates.push(PickCandidate {
+                    id: dec.u64()?,
+                    core: dec.usize()?,
+                    line: dec.u64()?,
+                    write: dec.bool()?,
+                    enqueued_at: dec.u64()?,
+                    startable: dec.bool()?,
+                    row_hit: dec.bool()?,
+                });
+            }
+            self.pick_log.push(PickRecord { at, chosen, priority, candidates });
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a [`DramServiceTiming`] (shared with the dispatch log).
+pub(crate) fn enc_service_timing(enc: &mut crate::snapshot::Enc, s: &DramServiceTiming) {
+    use crate::dram::RowOutcome;
+    enc.usize(s.bank);
+    enc.u64(s.row);
+    enc.u8(match s.outcome {
+        RowOutcome::Hit => 0,
+        RowOutcome::Miss => 1,
+        RowOutcome::Conflict => 2,
+    });
+    enc.opt_u64(s.act_at);
+    enc.opt_u64(s.pre_at);
+    enc.u64(s.col_at);
+    enc.u64(s.data_start);
+    enc.u64(s.data_end);
+}
+
+/// Decodes a [`DramServiceTiming`] written by [`enc_service_timing`].
+pub(crate) fn dec_service_timing(
+    dec: &mut crate::snapshot::Dec<'_>,
+) -> Result<DramServiceTiming, crate::snapshot::SnapshotError> {
+    use crate::dram::RowOutcome;
+    Ok(DramServiceTiming {
+        bank: dec.usize()?,
+        row: dec.u64()?,
+        outcome: match dec.u8()? {
+            0 => RowOutcome::Hit,
+            1 => RowOutcome::Miss,
+            2 => RowOutcome::Conflict,
+            _ => return Err(crate::snapshot::SnapshotError::corrupt("invalid row outcome tag")),
+        },
+        act_at: dec.opt_u64()?,
+        pre_at: dec.opt_u64()?,
+        col_at: dec.u64()?,
+        data_start: dec.u64()?,
+        data_end: dec.u64()?,
+    })
 }
 
 // `inflight` is declared here (after the impl that uses helpers) to keep

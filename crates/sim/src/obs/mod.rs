@@ -509,6 +509,163 @@ impl Observer {
         }
     }
 
+    /// Encodes the observer's request timelines, stall episodes, stage
+    /// aggregates, and counters. Sink contents and retained sample rows
+    /// are *not* included: a resumed run re-emits exactly the
+    /// post-snapshot events, so a full run's stream equals pre-snapshot
+    /// events plus post-resume events.
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.bool(self.lifecycle);
+        enc.usize(self.core_reqs.len());
+        for table in &self.core_reqs {
+            enc.usize(table.len());
+            for r in table {
+                enc.u64(r.line);
+                enc.u64(r.miss_at);
+                enc.opt_u64(r.grant_at);
+                enc.u32(r.grant_bin);
+                enc.opt_u64(r.llc_at);
+                enc.bool(r.llc_hit);
+            }
+        }
+        enc.usize(self.mem_reqs.len());
+        for r in &self.mem_reqs {
+            enc.u64(r.line);
+            enc.opt_u64(r.dispatch_at);
+            enc.opt_u64(r.done_at);
+        }
+        enc.bool(self.mem_done_pending);
+        enc.usize(self.stalls.len());
+        for stall in &self.stalls {
+            match stall {
+                Some((reason, since)) => {
+                    enc.bool(true);
+                    enc.u8(match reason {
+                        StallReason::Shaper => 0,
+                        StallReason::Throttle => 1,
+                        StallReason::Fault => 2,
+                        StallReason::Ports => 3,
+                    });
+                    enc.u64(*since);
+                }
+                None => enc.bool(false),
+            }
+        }
+        for hist in &self.stage_hists {
+            hist.save_state(enc);
+        }
+        for &sum in &self.stage_sums {
+            enc.u64(sum);
+        }
+        enc.u64(self.fills_traced);
+        enc.u64(self.events_emitted);
+        enc.u64(self.reqs_dropped);
+        enc.usize(self.violations_seen);
+        enc.bool(self.stall_reported);
+        match &self.sampler {
+            Some(s) => {
+                enc.bool(true);
+                s.save_state(enc);
+            }
+            None => enc.bool(false),
+        }
+    }
+
+    /// Restores state written by [`Observer::save_state`]. The observer
+    /// must be configured the same way (tracing on/off, sampler interval,
+    /// core count) as when the snapshot was taken.
+    ///
+    /// # Errors
+    ///
+    /// Mismatch on configuration differences, or a decode error on corrupt
+    /// bytes.
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let lifecycle = dec.bool()?;
+        if lifecycle != self.lifecycle {
+            return Err(SnapshotError::mismatch(
+                "lifecycle tracing on/off differs from the snapshot".to_owned(),
+            ));
+        }
+        let cores = dec.checked_len(8)?;
+        if cores != self.core_reqs.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "observer tracks {} cores but the snapshot recorded {cores}",
+                self.core_reqs.len()
+            )));
+        }
+        for table in &mut self.core_reqs {
+            let n = dec.checked_len(24)?;
+            table.clear();
+            for _ in 0..n {
+                table.push(CoreReq {
+                    line: dec.u64()?,
+                    miss_at: dec.u64()?,
+                    grant_at: dec.opt_u64()?,
+                    grant_bin: dec.u32()?,
+                    llc_at: dec.opt_u64()?,
+                    llc_hit: dec.bool()?,
+                });
+            }
+        }
+        let n = dec.checked_len(10)?;
+        self.mem_reqs.clear();
+        for _ in 0..n {
+            self.mem_reqs.push(MemReq {
+                line: dec.u64()?,
+                dispatch_at: dec.opt_u64()?,
+                done_at: dec.opt_u64()?,
+            });
+        }
+        self.mem_done_pending = dec.bool()?;
+        let n = dec.checked_len(1)?;
+        if n != self.stalls.len() {
+            return Err(SnapshotError::mismatch("stall-episode core count differs".to_owned()));
+        }
+        for stall in &mut self.stalls {
+            *stall = if dec.bool()? {
+                let reason = match dec.u8()? {
+                    0 => StallReason::Shaper,
+                    1 => StallReason::Throttle,
+                    2 => StallReason::Fault,
+                    3 => StallReason::Ports,
+                    tag => {
+                        return Err(SnapshotError::corrupt(format!(
+                            "unknown stall reason tag {tag}"
+                        )))
+                    }
+                };
+                Some((reason, dec.u64()?))
+            } else {
+                None
+            };
+        }
+        for hist in &mut self.stage_hists {
+            hist.load_state(dec)?;
+        }
+        for sum in &mut self.stage_sums {
+            *sum = dec.u64()?;
+        }
+        self.fills_traced = dec.u64()?;
+        self.events_emitted = dec.u64()?;
+        self.reqs_dropped = dec.u64()?;
+        self.violations_seen = dec.usize()?;
+        self.stall_reported = dec.bool()?;
+        let has_sampler = dec.bool()?;
+        if has_sampler != self.sampler.is_some() {
+            return Err(SnapshotError::mismatch(
+                "sampling on/off differs from the snapshot".to_owned(),
+            ));
+        }
+        if let Some(s) = &mut self.sampler {
+            s.load_state(dec)?;
+        }
+        Ok(())
+    }
+
     /// A fault plan was installed.
     pub fn on_fault_injected(&mut self, now: Cycle, detail: String) {
         if !self.lifecycle {

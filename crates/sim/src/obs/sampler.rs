@@ -127,6 +127,83 @@ impl Sampler {
         self.dropped_rows
     }
 
+    /// Encodes the boundary bookkeeping (epoch, previous cumulative
+    /// snapshots). Retained rows are *not* included: after a resume the
+    /// sampler produces exactly the post-snapshot rows, so a full run's
+    /// log equals pre-snapshot rows plus post-resume rows.
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64(self.interval);
+        enc.u64(self.epoch);
+        enc.u64(self.dropped_rows);
+        enc.usize(self.prev_cores.len());
+        for p in &self.prev_cores {
+            enc.u64(p.instructions);
+            enc.u64(p.mem_stall);
+            enc.u64(p.shaper_stall);
+            enc.u64(p.l1_misses);
+            enc.u64(p.llc_misses);
+            enc.u64(p.fills);
+        }
+        enc.usize(self.prev_chans.len());
+        for p in &self.prev_chans {
+            enc.u64(p.dispatched);
+            enc.u64(p.busy_bus);
+            enc.u64(p.bytes);
+            enc.u64(p.row_hits);
+            enc.u64(p.row_misses);
+            enc.u64(p.row_conflicts);
+        }
+    }
+
+    /// Restores state written by [`Sampler::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Mismatch when the configured interval differs, or a decode error on
+    /// corrupt bytes.
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let interval = dec.u64()?;
+        if interval != self.interval {
+            return Err(SnapshotError::mismatch(format!(
+                "sampler interval {} differs from snapshot {interval}",
+                self.interval
+            )));
+        }
+        self.epoch = dec.u64()?;
+        self.dropped_rows = dec.u64()?;
+        let n = dec.checked_len(48)?;
+        self.prev_cores = (0..n)
+            .map(|_| {
+                Ok(PrevCore {
+                    instructions: dec.u64()?,
+                    mem_stall: dec.u64()?,
+                    shaper_stall: dec.u64()?,
+                    l1_misses: dec.u64()?,
+                    llc_misses: dec.u64()?,
+                    fills: dec.u64()?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?;
+        let n = dec.checked_len(48)?;
+        self.prev_chans = (0..n)
+            .map(|_| {
+                Ok(PrevChan {
+                    dispatched: dec.u64()?,
+                    busy_bus: dec.u64()?,
+                    bytes: dec.u64()?,
+                    row_hits: dec.u64()?,
+                    row_misses: dec.u64()?,
+                    row_conflicts: dec.u64()?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?;
+        Ok(())
+    }
+
     /// Ingests one boundary's cumulative snapshots, returning the
     /// epoch-delta row (also retained, up to the cap).
     pub fn record(

@@ -116,6 +116,25 @@ impl Rng {
     pub fn fork(&mut self) -> Rng {
         Rng::seeded(self.next_u64())
     }
+
+    /// Encodes the generator's exact position in its stream (checkpoint
+    /// support).
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        for &w in &self.s {
+            enc.u64(w);
+        }
+    }
+
+    /// Restores a position previously written by [`Rng::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        for w in &mut self.s {
+            *w = dec.u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,28 @@ pub trait SourceShaper {
     fn credit_audit(&self) -> CreditAudit {
         CreditAudit::default()
     }
+
+    /// Stable identifier of this shaper's checkpoint payload, or `None`
+    /// when the shaper does not support checkpointing. A system holding a
+    /// shaper that returns `None` refuses to snapshot with a clear error.
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Encodes all mutable shaper state (credits, replenish phase,
+    /// counters). Only called when [`SourceShaper::snapshot_kind`] is
+    /// `Some`.
+    fn save_state(&self, _enc: &mut crate::snapshot::Enc) {}
+
+    /// Restores state written by [`SourceShaper::save_state`]. The system
+    /// verifies [`SourceShaper::snapshot_kind`] matches before calling
+    /// this.
+    fn load_state(
+        &mut self,
+        _dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Err(crate::snapshot::SnapshotError::unsupported(format!("shaper `{}`", self.name())))
+    }
 }
 
 /// Pass-through shaper: every request issues immediately.
@@ -144,6 +166,22 @@ impl SourceShaper for UnlimitedShaper {
 
     fn next_grant_event(&self, _now: Cycle) -> Option<Cycle> {
         None // never denies, so there is nothing to wait for
+    }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("unlimited")
+    }
+
+    fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64(self.stalls);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.stalls = dec.u64()?;
+        Ok(())
     }
 }
 
@@ -293,6 +331,44 @@ impl SourceShaper for StaticRateShaper {
             }
         }
         Some(at)
+    }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("static-rate")
+    }
+
+    fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64(self.interval);
+        enc.opt_u64(self.last_issue);
+        enc.opt_u64(self.budget_per_period);
+        enc.u64(self.period);
+        enc.u64(self.period_start);
+        enc.u64(self.used_this_period);
+        enc.u64(self.refunds);
+        enc.u64(self.stalls);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let interval = dec.u64()?;
+        let last_issue = dec.opt_u64()?;
+        let budget = dec.opt_u64()?;
+        let period = dec.u64()?;
+        if interval != self.interval || budget != self.budget_per_period || period != self.period
+        {
+            return Err(SnapshotError::mismatch(
+                "static-rate shaper configuration differs from the snapshot".to_owned(),
+            ));
+        }
+        self.last_issue = last_issue;
+        self.period_start = dec.u64()?;
+        self.used_this_period = dec.u64()?;
+        self.refunds = dec.u64()?;
+        self.stalls = dec.u64()?;
+        Ok(())
     }
 }
 

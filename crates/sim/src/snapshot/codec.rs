@@ -1,0 +1,408 @@
+//! Minimal self-describing binary encoder/decoder for snapshots.
+//!
+//! The codec is deliberately tiny and dependency-free: little-endian
+//! fixed-width integers, `f64` via its IEEE-754 bit pattern, and
+//! length-prefixed byte strings. Every read is bounds-checked and returns
+//! a [`SnapshotError`] instead of panicking, so a truncated or corrupted
+//! snapshot can never take the process down.
+
+use super::SnapshotError;
+
+/// Append-only encoder building a snapshot payload.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The bytes encoded so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Encodes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Encodes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Encodes a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes an `i64` little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes a `usize` as a `u64` (portable across word sizes).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Encodes an `f64` as its exact bit pattern, so round-trips are
+    /// bit-identical (including NaN payloads and signed zeros).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Encodes an `Option<u64>` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Encodes an `Option<usize>`.
+    pub fn opt_usize(&mut self, v: Option<usize>) {
+        self.opt_u64(v.map(|x| x as u64));
+    }
+
+    /// Encodes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Encodes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Encodes a slice of `u64`s with a length prefix.
+    pub fn u64s(&mut self, vs: &[u64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    /// Encodes a slice of `u32`s with a length prefix.
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// Encodes a slice of `f64`s (bit patterns) with a length prefix.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Encodes a slice of `usize`s with a length prefix.
+    pub fn usizes(&mut self, vs: &[usize]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+
+    /// Encodes a nested length-prefixed blob produced by `fill`. Decoders
+    /// read it back with [`Dec::blob`], which bounds the nested decoder to
+    /// exactly this region.
+    pub fn blob(&mut self, fill: impl FnOnce(&mut Enc)) {
+        let mut inner = Enc::new();
+        fill(&mut inner);
+        self.bytes(&inner.buf);
+    }
+}
+
+/// Bounds-checked decoder over a snapshot payload.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte has been consumed — catches payloads that
+    /// decode "successfully" but were written by a different layout.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::corrupt("trailing bytes after decode"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::corrupt("unexpected end of snapshot data"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Decodes a `bool`, rejecting bytes other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::corrupt("invalid boolean byte")),
+        }
+    }
+
+    /// Decodes a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Decodes a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Decodes an `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Decodes a `usize`, rejecting values that overflow the platform.
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| SnapshotError::corrupt("length overflows usize"))
+    }
+
+    /// Decodes an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Decodes an `Option<u64>`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        Ok(if self.bool()? { Some(self.u64()?) } else { None })
+    }
+
+    /// Decodes an `Option<usize>`.
+    pub fn opt_usize(&mut self) -> Result<Option<usize>, SnapshotError> {
+        Ok(if self.bool()? { Some(self.usize()?) } else { None })
+    }
+
+    /// Decodes a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Decodes a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| SnapshotError::corrupt("invalid UTF-8 string"))
+    }
+
+    /// Decodes a length-prefixed `Vec<u64>`.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Decodes a length-prefixed `Vec<u32>`.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let n = self.checked_len(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Decodes a length-prefixed `Vec<f64>`.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Decodes a length-prefixed `Vec<usize>`.
+    pub fn usizes(&mut self) -> Result<Vec<usize>, SnapshotError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    /// Reads a declared element count, rejecting counts whose payload
+    /// could not possibly fit in the remaining bytes (so a corrupt length
+    /// cannot trigger a huge allocation). `elem_size` is the minimum
+    /// encoded size of one element.
+    pub fn checked_len(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
+        let n = self.usize()?;
+        if n.checked_mul(elem_size).is_none_or(|total| total > self.remaining()) {
+            return Err(SnapshotError::corrupt("declared length exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    /// Decodes a nested blob written by [`Enc::blob`], handing `read` a
+    /// decoder bounded to exactly that region, and checking it was fully
+    /// consumed.
+    pub fn blob<T>(
+        &mut self,
+        read: impl FnOnce(&mut Dec<'_>) -> Result<T, SnapshotError>,
+    ) -> Result<T, SnapshotError> {
+        let bytes = self.bytes()?;
+        let mut inner = Dec::new(bytes);
+        let v = read(&mut inner)?;
+        inner.finish()?;
+        Ok(v)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the per-section checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.i64(-42);
+        e.usize(12345);
+        e.f64(-0.0);
+        e.opt_u64(Some(9));
+        e.opt_u64(None);
+        e.str("hello");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.opt_u64().unwrap(), Some(9));
+        assert_eq!(d.opt_u64().unwrap(), None);
+        assert_eq!(d.str().unwrap(), "hello");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn vectors_round_trip() {
+        let mut e = Enc::new();
+        e.u64s(&[1, 2, 3]);
+        e.u32s(&[9, 8]);
+        e.f64s(&[1.5, f64::NAN]);
+        e.usizes(&[4, 5, 6, 7]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.u32s().unwrap(), vec![9, 8]);
+        let fs = d.f64s().unwrap();
+        assert_eq!(fs[0], 1.5);
+        assert!(fs[1].is_nan());
+        assert_eq!(d.usizes().unwrap(), vec![4, 5, 6, 7]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.u64(1);
+        e.str("abcdef");
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            // Some prefixes decode the u64; none decode both fields.
+            let r = d.u64().and_then(|_| d.str().map(|_| ()));
+            assert!(r.is_err(), "cut at {cut} must not fully decode");
+        }
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX); // absurd element count
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).u64s().is_err());
+    }
+
+    #[test]
+    fn blob_bounds_nested_decode() {
+        let mut e = Enc::new();
+        e.blob(|inner| inner.u64(11));
+        e.u64(22);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let v = d.blob(|inner| inner.u64()).unwrap();
+        assert_eq!(v, 11);
+        assert_eq!(d.u64().unwrap(), 22);
+        // A blob with trailing garbage fails.
+        let mut e = Enc::new();
+        e.blob(|inner| {
+            inner.u64(1);
+            inner.u64(2);
+        });
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).blob(|inner| inner.u64()).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -56,6 +56,60 @@ impl CoreStats {
         }
     }
 
+    /// Encodes the full statistics block (counters plus histograms).
+    pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        let c = &self.counters;
+        enc.u64(c.cycles);
+        enc.u64(c.instructions);
+        enc.u64(c.mem_stall_cycles);
+        enc.u64(c.window_full_cycles);
+        enc.u64(c.loads);
+        enc.u64(c.stores);
+        enc.u64(c.frozen_cycles);
+        enc.u64(self.l1_hits);
+        enc.u64(self.l1_misses);
+        enc.u64(self.llc_hits);
+        enc.u64(self.llc_misses);
+        enc.u64(self.writebacks);
+        enc.u64(self.shaper_stall_cycles);
+        enc.u64(self.mem_latency_sum);
+        enc.u64(self.mem_latency_count);
+        self.l1_miss_interarrival.save_state(enc);
+        self.mem_interarrival.save_state(enc);
+        self.mem_latency.save_state(enc);
+    }
+
+    /// Restores state written by [`CoreStats::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Mismatch when histogram geometry differs, or a decode error on
+    /// corrupt bytes.
+    pub fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.counters.cycles = dec.u64()?;
+        self.counters.instructions = dec.u64()?;
+        self.counters.mem_stall_cycles = dec.u64()?;
+        self.counters.window_full_cycles = dec.u64()?;
+        self.counters.loads = dec.u64()?;
+        self.counters.stores = dec.u64()?;
+        self.counters.frozen_cycles = dec.u64()?;
+        self.l1_hits = dec.u64()?;
+        self.l1_misses = dec.u64()?;
+        self.llc_hits = dec.u64()?;
+        self.llc_misses = dec.u64()?;
+        self.writebacks = dec.u64()?;
+        self.shaper_stall_cycles = dec.u64()?;
+        self.mem_latency_sum = dec.u64()?;
+        self.mem_latency_count = dec.u64()?;
+        self.l1_miss_interarrival.load_state(dec)?;
+        self.mem_interarrival.load_state(dec)?;
+        self.mem_latency.load_state(dec)?;
+        Ok(())
+    }
+
     /// Approximate `p`-th percentile of the L1-miss-to-fill latency,
     /// with `p` in **[0, 100]** (the workspace convention).
     pub fn latency_percentile_pct(&self, p: f64) -> f64 {

@@ -25,6 +25,7 @@ use crate::mc::{
 };
 use crate::obs::{ChanCum, CoreCum, Observer, SampleRow, StallReason, TraceSink};
 use crate::shaper::{ShapeDecision, ShapeToken, SourceShaper, UnlimitedShaper};
+use crate::snapshot::{crc32, Dec, Enc, Snapshot, SnapshotError, SnapshotWriter};
 use crate::stats::{ChannelSystemStats, CoreSnapshot, CoreStats, CoreSystemStats, SystemStats};
 use crate::trace::{ComputeTrace, TraceSource};
 use crate::types::{Addr, CoreId, Cycle, MemCmd, OpId};
@@ -77,6 +78,43 @@ enum IssueOutcome {
     FaultDenied,
     /// The LLC ports were exhausted before this core's turn.
     NoPorts,
+}
+
+impl IssueOutcome {
+    /// Stable wire tag for checkpoints.
+    fn snapshot_tag(self) -> u8 {
+        match self {
+            IssueOutcome::NoRequest => 0,
+            IssueOutcome::Granted => 1,
+            IssueOutcome::ShaperDenied => 2,
+            IssueOutcome::ThrottleBlocked => 3,
+            IssueOutcome::FaultDenied => 4,
+            IssueOutcome::NoPorts => 5,
+        }
+    }
+
+    fn from_snapshot_tag(tag: u8) -> Result<Self, SnapshotError> {
+        Ok(match tag {
+            0 => IssueOutcome::NoRequest,
+            1 => IssueOutcome::Granted,
+            2 => IssueOutcome::ShaperDenied,
+            3 => IssueOutcome::ThrottleBlocked,
+            4 => IssueOutcome::FaultDenied,
+            5 => IssueOutcome::NoPorts,
+            t => {
+                return Err(SnapshotError::corrupt(format!("invalid issue-outcome tag {t}")))
+            }
+        })
+    }
+}
+
+/// Prefixes [`SnapshotError::Mismatch`] reasons with the component
+/// position for clearer diagnostics; other error kinds pass through.
+fn prefix_mismatch(e: SnapshotError, prefix: &str) -> SnapshotError {
+    match e {
+        SnapshotError::Mismatch(reason) => SnapshotError::Mismatch(format!("{prefix}{reason}")),
+        other => other,
+    }
 }
 
 /// One core plus its private memory-side structures.
@@ -406,6 +444,34 @@ impl SystemBuilder {
 
     /// Builds the system.
     pub fn build(self) -> System {
+        self.build_inner(true)
+    }
+
+    /// Builds the system, then restores the complete simulation state
+    /// captured by [`System::snapshot`]. The builder must reconstruct the
+    /// *same* system shape — configuration, trace sources, shapers
+    /// (including their sharing topology), and schedulers — as the one
+    /// that was snapshotted; any divergence is reported as a
+    /// [`SnapshotError::Mismatch`] rather than silently producing wrong
+    /// state. The resumed run continues bit-identically to the original:
+    /// statistics, grant ledgers, audit logs, and trace-event streams all
+    /// match an uninterrupted run.
+    ///
+    /// Unlike [`SystemBuilder::build`], no cycle-0 shaper-config trace
+    /// events are emitted: the original run already emitted them, so the
+    /// resumed event stream is exactly the *remainder* of the full run's
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from [`System::restore`].
+    pub fn resume_from(self, snapshot: &Snapshot) -> Result<System, SnapshotError> {
+        let mut system = self.build_inner(false);
+        system.restore(snapshot)?;
+        Ok(system)
+    }
+
+    fn build_inner(self, emit_config_events: bool) -> System {
         let config = self.config;
         let cores: Vec<CoreUnit> = self
             .traces
@@ -467,10 +533,13 @@ impl SystemBuilder {
                     channel.mc.set_pick_logging(true);
                 }
             }
-            for (i, unit) in cores.iter().enumerate() {
-                let sh = unit.shaper.borrow();
-                let bins = sh.credit_audit().bins.iter().map(|b| (b.live, b.max)).collect();
-                obs.emit_shaper_config(0, i, sh.name(), bins);
+            if emit_config_events {
+                for (i, unit) in cores.iter().enumerate() {
+                    let sh = unit.shaper.borrow();
+                    let bins =
+                        sh.credit_audit().bins.iter().map(|b| (b.live, b.max)).collect();
+                    obs.emit_shaper_config(0, i, sh.name(), bins);
+                }
             }
         }
         let n = config.cores;
@@ -745,6 +814,423 @@ impl System {
     /// skipped cycles are fully accounted in every counter.
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped_cycles
+    }
+
+    /// A digest of the configuration, stored in snapshots so a resume
+    /// into a differently configured system is refused up front.
+    fn config_digest(config: &SystemConfig) -> u32 {
+        crc32(format!("{config:?}").as_bytes())
+    }
+
+    /// Captures the complete mutable simulation state — core pipelines
+    /// and trace cursors, caches and MSHRs, shaper credits, controller
+    /// queues, DRAM timing, scheduler state, and auditor/observer
+    /// counters — as a versioned, CRC-checked [`Snapshot`].
+    ///
+    /// The contract: resume the snapshot into an identically built system
+    /// (see [`SystemBuilder::resume_from`]) and the continued run is
+    /// bit-identical to an uninterrupted one, in both naive and
+    /// fast-forward modes.
+    ///
+    /// # Errors
+    ///
+    /// - [`SnapshotError::Stalled`] when the watchdog has declared the
+    ///   system stalled (a stall report is a diagnosis, not a resumable
+    ///   state).
+    /// - [`SnapshotError::Unsupported`] when any trace source, shaper, or
+    ///   scheduler does not implement checkpointing (`snapshot_kind()`
+    ///   returns `None`); the error names the component.
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        if self.auditor.stall().is_some() {
+            return Err(SnapshotError::Stalled);
+        }
+        for (i, unit) in self.cores.iter().enumerate() {
+            if unit.core.trace_snapshot_kind().is_none() {
+                return Err(SnapshotError::unsupported(format!("core {i} trace source")));
+            }
+            let sh = unit.shaper.borrow();
+            if sh.snapshot_kind().is_none() {
+                return Err(SnapshotError::unsupported(format!(
+                    "core {i} shaper `{}`",
+                    sh.name()
+                )));
+            }
+        }
+        for (i, sh) in self.llc.shapers.iter().enumerate() {
+            if let Some(sh) = sh {
+                let sh = sh.borrow();
+                if sh.snapshot_kind().is_none() {
+                    return Err(SnapshotError::unsupported(format!(
+                        "core {i} after-LLC shaper `{}`",
+                        sh.name()
+                    )));
+                }
+            }
+        }
+        for (c, ch) in self.channels.iter().enumerate() {
+            if ch.scheduler.snapshot_kind().is_none() {
+                return Err(SnapshotError::unsupported(format!(
+                    "channel {c} scheduler `{}`",
+                    ch.scheduler.name()
+                )));
+            }
+        }
+
+        let mut w = SnapshotWriter::new();
+        w.section("meta", |e| {
+            e.u32(Self::config_digest(&self.config));
+            e.usize(self.cores.len());
+            e.usize(self.channels.len());
+            e.u64(self.now);
+        });
+        for (i, unit) in self.cores.iter().enumerate() {
+            w.section(&format!("core{i}"), |e| Self::save_core(unit, e));
+        }
+        w.section("llc", |e| self.save_llc(e));
+        for (c, ch) in self.channels.iter().enumerate() {
+            w.section(&format!("chan{c}"), |e| Self::save_channel(ch, e));
+        }
+        w.section("audit", |e| {
+            self.auditor.save_state(e);
+            e.u64s(&self.audit_last_instr);
+            self.faults.save_state(e);
+        });
+        w.section("obs", |e| self.obs.save_state(e));
+        w.section("sys", |e| {
+            e.u64(self.now);
+            e.usize(self.rr_offset);
+            e.u64(self.skipped_cycles);
+            e.usize(self.signals.len());
+            for s in &self.signals {
+                e.u64(s.instructions);
+                e.u64(s.mem_stall_cycles);
+                e.u64(s.l1_misses);
+                e.u64(s.llc_misses);
+                e.u64(s.mem_completed);
+                e.u64(s.mem_latency_sum);
+            }
+            self.source_ctl.save_state(e);
+        });
+        Ok(w.finish())
+    }
+
+    /// Restores the state captured by [`System::snapshot`] into this
+    /// system. The system must have been built with the same
+    /// configuration and the same component kinds (trace sources,
+    /// shapers — including the after-LLC placement installed via
+    /// [`System::set_llc_shaper`] — and schedulers) as the snapshotted
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] on any configuration or topology
+    /// divergence, [`SnapshotError::Corrupt`] on structurally invalid
+    /// payloads. **On error the system is left in an unspecified
+    /// partially restored state and must be discarded.**
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut d = Dec::new(snapshot.section("meta")?);
+        let digest = d.u32()?;
+        if digest != Self::config_digest(&self.config) {
+            return Err(SnapshotError::mismatch(
+                "system configuration differs from the one that produced the snapshot",
+            ));
+        }
+        let cores = d.usize()?;
+        if cores != self.cores.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {cores} cores, this system has {}",
+                self.cores.len()
+            )));
+        }
+        let channels = d.usize()?;
+        if channels != self.channels.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {channels} channels, this system has {}",
+                self.channels.len()
+            )));
+        }
+        let _taken_at = d.u64()?;
+        d.finish()?;
+
+        for (i, unit) in self.cores.iter_mut().enumerate() {
+            let mut d = Dec::new(snapshot.section(&format!("core{i}"))?);
+            Self::load_core(unit, &mut d)
+                .map_err(|e| prefix_mismatch(e, &format!("core {i}: ")))?;
+            d.finish()?;
+        }
+        {
+            let mut d = Dec::new(snapshot.section("llc")?);
+            self.load_llc(&mut d)?;
+            d.finish()?;
+        }
+        for (c, ch) in self.channels.iter_mut().enumerate() {
+            let mut d = Dec::new(snapshot.section(&format!("chan{c}"))?);
+            Self::load_channel(ch, &mut d)
+                .map_err(|e| prefix_mismatch(e, &format!("channel {c}: ")))?;
+            d.finish()?;
+        }
+        {
+            let mut d = Dec::new(snapshot.section("audit")?);
+            self.auditor.load_state(&mut d)?;
+            let last = d.u64s()?;
+            if last.len() != self.cores.len() {
+                return Err(SnapshotError::mismatch("audit progress book size differs"));
+            }
+            self.audit_last_instr = last;
+            self.faults.load_state(&mut d)?;
+            d.finish()?;
+        }
+        {
+            let mut d = Dec::new(snapshot.section("obs")?);
+            self.obs.load_state(&mut d)?;
+            d.finish()?;
+        }
+        {
+            let mut d = Dec::new(snapshot.section("sys")?);
+            self.now = d.u64()?;
+            self.rr_offset = d.usize()?;
+            self.skipped_cycles = d.u64()?;
+            let n = d.usize()?;
+            if n != self.signals.len() {
+                return Err(SnapshotError::mismatch("per-core signal table size differs"));
+            }
+            for s in &mut self.signals {
+                s.instructions = d.u64()?;
+                s.mem_stall_cycles = d.u64()?;
+                s.l1_misses = d.u64()?;
+                s.llc_misses = d.u64()?;
+                s.mem_completed = d.u64()?;
+                s.mem_latency_sum = d.u64()?;
+            }
+            self.source_ctl.load_state(&mut d)?;
+            d.finish()?;
+        }
+        Ok(())
+    }
+
+    fn save_core(unit: &CoreUnit, e: &mut Enc) {
+        unit.core.save_state(e);
+        unit.l1.save_state(e);
+        unit.l1_mshrs.save_state(e, |e, w| match w {
+            L1Waiter::Load(op) => {
+                e.u8(0);
+                e.u64(op.raw());
+            }
+            L1Waiter::Store => e.u8(1),
+        });
+        e.usize(unit.miss_queue.len());
+        for m in &unit.miss_queue {
+            e.u64(m.line_addr);
+            e.u64(m.created_at);
+        }
+        e.usize(unit.wb_queue.len());
+        for &a in &unit.wb_queue {
+            e.u64(a);
+        }
+        e.usize(unit.hit_pipe.len());
+        for &(ready, op) in &unit.hit_pipe {
+            e.u64(ready);
+            e.u64(op.raw());
+        }
+        let sh = unit.shaper.borrow();
+        e.str(sh.snapshot_kind().unwrap_or(""));
+        e.blob(|e| sh.save_state(e));
+        e.u32(unit.inflight);
+        unit.grants.save_state(e);
+        e.opt_u64(unit.last_issue);
+        e.u8(unit.last_outcome.snapshot_tag());
+        unit.stats.save_state(e);
+        e.u64(unit.fills);
+    }
+
+    fn load_core(unit: &mut CoreUnit, d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+        unit.core.load_state(d)?;
+        unit.l1.load_state(d)?;
+        unit.l1_mshrs.load_state(d, |d| match d.u8()? {
+            0 => Ok(L1Waiter::Load(OpId::new(d.u64()?))),
+            1 => Ok(L1Waiter::Store),
+            t => Err(SnapshotError::corrupt(format!("invalid L1 waiter tag {t}"))),
+        })?;
+        let n = d.checked_len(16)?;
+        unit.miss_queue.clear();
+        for _ in 0..n {
+            unit.miss_queue
+                .push_back(PendingMiss { line_addr: d.u64()?, created_at: d.u64()? });
+        }
+        let n = d.checked_len(8)?;
+        unit.wb_queue.clear();
+        for _ in 0..n {
+            unit.wb_queue.push_back(d.u64()?);
+        }
+        let n = d.checked_len(16)?;
+        unit.hit_pipe.clear();
+        for _ in 0..n {
+            unit.hit_pipe.push_back((d.u64()?, OpId::new(d.u64()?)));
+        }
+        let kind = d.str()?.to_owned();
+        {
+            let mut sh = unit.shaper.borrow_mut();
+            let have = sh.snapshot_kind().unwrap_or("");
+            if kind != have {
+                return Err(SnapshotError::mismatch(format!(
+                    "shaper is `{have}` but the snapshot holds `{kind}`"
+                )));
+            }
+            d.blob(|d| sh.load_state(d))?;
+        }
+        unit.inflight = d.u32()?;
+        unit.grants.load_state(d)?;
+        unit.last_issue = d.opt_u64()?;
+        unit.last_outcome = IssueOutcome::from_snapshot_tag(d.u8()?)?;
+        unit.stats.load_state(d)?;
+        unit.fills = d.u64()?;
+        Ok(())
+    }
+
+    fn save_llc(&self, e: &mut Enc) {
+        let llc = &self.llc;
+        llc.cache.save_state(e);
+        llc.mshrs.save_state(e, |e, c| e.usize(c.index()));
+        e.usize(llc.lookups.len());
+        for l in &llc.lookups {
+            e.u64(l.ready_at);
+            e.usize(l.core.index());
+            e.u64(l.line_addr);
+            match l.kind {
+                LlcKind::Demand { token, notified } => {
+                    e.u8(0);
+                    e.u32(token);
+                    e.bool(notified);
+                }
+                LlcKind::Writeback => e.u8(1),
+            }
+        }
+        e.usize(llc.mc_backlog.len());
+        for b in &llc.mc_backlog {
+            e.usize(b.core.index());
+            e.u64(b.line_addr);
+            e.bool(b.cmd.is_read());
+        }
+        e.usize(llc.deferred.len());
+        for q in &llc.deferred {
+            e.usize(q.len());
+            for &a in q {
+                e.u64(a);
+            }
+        }
+        e.usize(llc.shapers.len());
+        for sh in &llc.shapers {
+            match sh {
+                Some(sh) => {
+                    let sh = sh.borrow();
+                    e.bool(true);
+                    e.str(sh.snapshot_kind().unwrap_or(""));
+                    e.blob(|e| sh.save_state(e));
+                }
+                None => e.bool(false),
+            }
+        }
+    }
+
+    fn load_llc(&mut self, d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+        let cores = self.cores.len();
+        let core_id = |d: &mut Dec<'_>| -> Result<CoreId, SnapshotError> {
+            let i = d.usize()?;
+            if i >= cores {
+                return Err(SnapshotError::corrupt(format!("core index {i} out of range")));
+            }
+            Ok(CoreId::new(i))
+        };
+        let llc = &mut self.llc;
+        llc.cache.load_state(d)?;
+        llc.mshrs.load_state(d, |d| core_id(d))?;
+        let n = d.checked_len(25)?;
+        llc.lookups.clear();
+        for _ in 0..n {
+            let ready_at = d.u64()?;
+            let core = core_id(d)?;
+            let line_addr = d.u64()?;
+            let kind = match d.u8()? {
+                0 => LlcKind::Demand { token: d.u32()?, notified: d.bool()? },
+                1 => LlcKind::Writeback,
+                t => {
+                    return Err(SnapshotError::corrupt(format!("invalid LLC lookup tag {t}")))
+                }
+            };
+            llc.lookups.push_back(LlcLookup { ready_at, core, line_addr, kind });
+        }
+        let n = d.checked_len(17)?;
+        llc.mc_backlog.clear();
+        for _ in 0..n {
+            let core = core_id(d)?;
+            let line_addr = d.u64()?;
+            let cmd = if d.bool()? { MemCmd::Read } else { MemCmd::Write };
+            llc.mc_backlog.push_back(McBacklogEntry { core, line_addr, cmd });
+        }
+        let n = d.usize()?;
+        if n != llc.deferred.len() {
+            return Err(SnapshotError::mismatch("deferred-queue count differs"));
+        }
+        for q in &mut llc.deferred {
+            let m = d.checked_len(8)?;
+            q.clear();
+            for _ in 0..m {
+                q.push_back(d.u64()?);
+            }
+        }
+        let n = d.usize()?;
+        if n != llc.shapers.len() {
+            return Err(SnapshotError::mismatch("after-LLC shaper count differs"));
+        }
+        for (i, sh) in llc.shapers.iter().enumerate() {
+            let present = d.bool()?;
+            match (present, sh) {
+                (true, Some(sh)) => {
+                    let kind = d.str()?.to_owned();
+                    let mut sh = sh.borrow_mut();
+                    let have = sh.snapshot_kind().unwrap_or("");
+                    if kind != have {
+                        return Err(SnapshotError::mismatch(format!(
+                            "core {i} after-LLC shaper is `{have}` but the snapshot holds `{kind}`"
+                        )));
+                    }
+                    d.blob(|d| sh.load_state(d))?;
+                }
+                (false, None) => {}
+                (true, None) => {
+                    return Err(SnapshotError::mismatch(format!(
+                        "snapshot holds an after-LLC shaper for core {i} but none is installed"
+                    )))
+                }
+                (false, Some(_)) => {
+                    return Err(SnapshotError::mismatch(format!(
+                        "core {i} has an after-LLC shaper but the snapshot holds none"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn save_channel(ch: &Channel, e: &mut Enc) {
+        ch.mc.save_state(e);
+        ch.dram.save_state(e, |e, &t| e.u64(t));
+        e.str(ch.scheduler.snapshot_kind().unwrap_or(""));
+        e.blob(|e| ch.scheduler.save_state(e));
+    }
+
+    fn load_channel(ch: &mut Channel, d: &mut Dec<'_>) -> Result<(), SnapshotError> {
+        ch.mc.load_state(d)?;
+        ch.dram.load_state(d, |d| d.u64())?;
+        let kind = d.str()?.to_owned();
+        let have = ch.scheduler.snapshot_kind().unwrap_or("");
+        if kind != have {
+            return Err(SnapshotError::mismatch(format!(
+                "scheduler is `{have}` but the snapshot holds `{kind}`"
+            )));
+        }
+        d.blob(|d| ch.scheduler.load_state(d))?;
+        Ok(())
     }
 
     /// Exhaustive integer digest of the end-of-run state, comparable with

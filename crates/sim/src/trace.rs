@@ -46,6 +46,28 @@ pub trait TraceSource {
     fn phase(&self) -> usize {
         0
     }
+
+    /// Stable identifier of this source's checkpoint payload, or `None`
+    /// when the source does not support checkpointing. A system driving a
+    /// source that returns `None` refuses to snapshot with a clear error.
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Encodes all mutable cursor state so the source can resume emitting
+    /// exactly where it left off. Only called when
+    /// [`TraceSource::snapshot_kind`] is `Some`.
+    fn save_state(&self, _enc: &mut crate::snapshot::Enc) {}
+
+    /// Restores state written by [`TraceSource::save_state`]. The system
+    /// verifies [`TraceSource::snapshot_kind`] matches before calling
+    /// this.
+    fn load_state(
+        &mut self,
+        _dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Err(crate::snapshot::SnapshotError::unsupported("trace source"))
+    }
 }
 
 /// A source that strides through memory with a fixed compute gap —
@@ -114,6 +136,24 @@ impl TraceSource for StrideTrace {
         let write = self.write_every.is_some_and(|n| self.count.is_multiple_of(n));
         TraceOp { gap: self.gap, addr, write }
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("stride")
+    }
+
+    fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64(self.next_addr);
+        enc.u32(self.count);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.next_addr = dec.u64()?;
+        self.count = dec.u32()?;
+        Ok(())
+    }
 }
 
 /// A source that never misses: it re-touches one line forever. Useful to
@@ -134,6 +174,17 @@ impl ComputeTrace {
 impl TraceSource for ComputeTrace {
     fn next_op(&mut self) -> TraceOp {
         TraceOp::read(self.gap, 0x40)
+    }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("compute")
+    }
+
+    fn load_state(
+        &mut self,
+        _dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Ok(()) // stateless
     }
 }
 

@@ -132,6 +132,37 @@ impl TraceSource for VecTrace {
         }
         op
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("vec")
+    }
+
+    fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.usize(self.ops.len());
+        enc.usize(self.pos);
+        enc.u64(self.loops);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let len = dec.usize()?;
+        if len != self.ops.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "replay trace has {} ops but the snapshot recorded {len}",
+                self.ops.len()
+            )));
+        }
+        let pos = dec.usize()?;
+        if pos >= len {
+            return Err(SnapshotError::corrupt("replay cursor past end of trace"));
+        }
+        self.pos = pos;
+        self.loops = dec.u64()?;
+        Ok(())
+    }
 }
 
 /// Writes operations in the text format, one per line: `gap addr R|W`

@@ -1,0 +1,277 @@
+//! Component-granularity checkpoint conformance: every snapshot-capable
+//! piece of the machine must round-trip encode → decode → re-encode to
+//! bit-identical bytes, and a corrupted snapshot must surface as a
+//! [`SnapshotError`] — never a panic, never a silently wrong machine.
+//!
+//! The system-level suite (`snapshot_equivalence.rs`) proves resumed
+//! *runs* are indistinguishable; this one pins the per-component wire
+//! formats those runs are built from, so a codec regression is caught at
+//! the component that broke rather than as a whole-system divergence.
+
+use mitts_sim::config::{DramConfig, SystemConfig};
+use mitts_sim::dram::Dram;
+use mitts_sim::histogram::InterArrivalHistogram;
+use mitts_sim::rng::Rng;
+use mitts_sim::shaper::{ShapeDecision, SourceShaper, StaticRateShaper};
+use mitts_sim::snapshot::{Dec, Enc, Snapshot, SnapshotError};
+use mitts_sim::system::SystemBuilder;
+use mitts_sim::trace::{StrideTrace, TraceSource};
+use mitts_sim::types::MemCmd;
+
+/// Encode → decode into `fresh` → re-encode; the two encodings must be
+/// bit-identical and the decode must consume every byte.
+fn round_trip<T>(
+    original: &T,
+    fresh: &mut T,
+    save: impl Fn(&T, &mut Enc),
+    load: impl Fn(&mut T, &mut Dec<'_>) -> Result<(), SnapshotError>,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    save(original, &mut e);
+    let bytes = e.into_bytes();
+    let mut d = Dec::new(&bytes);
+    load(fresh, &mut d).expect("decode must succeed on its own encoding");
+    d.finish().expect("decode must consume the whole encoding");
+    let mut e2 = Enc::new();
+    save(fresh, &mut e2);
+    let bytes2 = e2.into_bytes();
+    assert_eq!(bytes, bytes2, "re-encode after decode must be bit-identical");
+    bytes
+}
+
+#[test]
+fn rng_round_trips_and_continues_the_same_stream() {
+    let mut rng = Rng::seeded(0xDECAF);
+    for _ in 0..257 {
+        rng.next_u64();
+    }
+    let mut twin = Rng::seeded(0);
+    round_trip(
+        &rng,
+        &mut twin,
+        |r, e| r.save_state(e),
+        |r, d| r.load_state(d),
+    );
+    // Positions equal is necessary; the *future stream* equal is the
+    // actual contract a resumed run depends on.
+    for i in 0..64 {
+        assert_eq!(rng.next_u64(), twin.next_u64(), "stream diverged at draw {i}");
+    }
+}
+
+#[test]
+fn inter_arrival_histogram_round_trips() {
+    let mut h = InterArrivalHistogram::new(10, 8);
+    for gap in [0u64, 3, 7, 8, 63, 64, 80, 1000, 5] {
+        h.record_gap(gap);
+    }
+    h.record_arrival(100);
+    h.record_arrival(137);
+    let mut twin = InterArrivalHistogram::new(10, 8);
+    round_trip(
+        &h,
+        &mut twin,
+        |h, e| h.save_state(e),
+        |h, d| h.load_state(d),
+    );
+    assert_eq!(h.counts(), twin.counts());
+    assert_eq!(h.overflow(), twin.overflow());
+    // And the arrival reference point survives: the next arrival lands
+    // in the same bin on both sides.
+    h.record_arrival(150);
+    twin.record_arrival(150);
+    assert_eq!(h.counts(), twin.counts());
+}
+
+#[test]
+fn inter_arrival_histogram_rejects_foreign_geometry() {
+    let mut h = InterArrivalHistogram::new(10, 8);
+    h.record_gap(12);
+    let mut e = Enc::new();
+    h.save_state(&mut e);
+    let bytes = e.into_bytes();
+    let mut wrong = InterArrivalHistogram::new(12, 8);
+    let err = wrong
+        .load_state(&mut Dec::new(&bytes))
+        .expect_err("a different bin count must not load");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+}
+
+#[test]
+fn dram_channel_round_trips_mid_flight() {
+    let cfg = DramConfig::default();
+    let freq = 2.4e9;
+    let mut dram: Dram<u64> = Dram::new(&cfg, freq);
+    // Drive it into an interesting posture: open rows, in-flight
+    // completions, a row conflict, and some bus history.
+    let mut now = 0;
+    for (i, addr) in [0x0u64, 0x40, 0x1_0000, 0x8_0000, 0x100].iter().enumerate() {
+        while !dram.can_start(now, *addr) {
+            now += 1;
+        }
+        now = dram.start(now, *addr, MemCmd::Read, i as u64);
+    }
+    let mut twin: Dram<u64> = Dram::new(&cfg, freq);
+    round_trip(
+        &dram,
+        &mut twin,
+        |d, e| d.save_state(e, |e, t| e.u64(*t)),
+        |d, dec| d.load_state(dec, |dec| dec.u64()),
+    );
+    assert_eq!(dram.next_completion(), twin.next_completion());
+    assert_eq!(dram.row_stats(), twin.row_stats());
+    assert_eq!(dram.inflight_len(), twin.inflight_len());
+    // Drain far in the future: identical tokens in identical order.
+    let horizon = now + 1_000_000;
+    let a: Vec<_> = dram.drain_completions(horizon).into_iter().map(|c| c.token).collect();
+    let b: Vec<_> = twin.drain_completions(horizon).into_iter().map(|c| c.token).collect();
+    assert_eq!(a, b, "resumed channel must complete the same requests in the same order");
+}
+
+#[test]
+fn dram_rejects_a_snapshot_with_different_bank_count() {
+    let mut small = DramConfig::default();
+    small.banks = 4;
+    let mut big = DramConfig::default();
+    big.banks = 8;
+    let dram: Dram<u64> = Dram::new(&small, 2.4e9);
+    let mut e = Enc::new();
+    dram.save_state(&mut e, |e, t| e.u64(*t));
+    let bytes = e.into_bytes();
+    let mut other: Dram<u64> = Dram::new(&big, 2.4e9);
+    let err = other
+        .load_state(&mut Dec::new(&bytes), |d| d.u64())
+        .expect_err("a different geometry must not load");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+}
+
+#[test]
+fn static_rate_shaper_round_trips_with_live_budget() {
+    let mut s = StaticRateShaper::new(10).with_budget(3, 500);
+    let mut denies = 0;
+    for now in 0..400u64 {
+        s.tick(now);
+        match s.try_issue(now) {
+            ShapeDecision::Grant(_) => {}
+            _ => denies += 1,
+        }
+        if denies == 0 {
+            s.note_stall_cycle();
+        }
+    }
+    let mut twin = StaticRateShaper::new(10).with_budget(3, 500);
+    round_trip(
+        &s,
+        &mut twin,
+        |s, e| s.save_state(e),
+        |s, d| s.load_state(d),
+    );
+    // Future decisions agree cycle for cycle across a period boundary.
+    for now in 400..1200u64 {
+        s.tick(now);
+        twin.tick(now);
+        assert_eq!(
+            s.try_issue(now).is_grant(),
+            twin.try_issue(now).is_grant(),
+            "decision diverged at cycle {now}"
+        );
+    }
+}
+
+#[test]
+fn stride_trace_round_trips_its_cursor() {
+    let mut t = StrideTrace::new(3, 64, 4096).with_write_every(7);
+    for _ in 0..123 {
+        t.next_op();
+    }
+    let mut twin = StrideTrace::new(3, 64, 4096).with_write_every(7);
+    round_trip(
+        &t,
+        &mut twin,
+        |t, e| t.save_state(e),
+        |t, d| t.load_state(d),
+    );
+    for i in 0..200 {
+        let a = t.next_op();
+        let b = twin.next_op();
+        assert_eq!((a.addr, a.write, a.gap), (b.addr, b.write, b.gap), "op {i} diverged");
+    }
+}
+
+/// Builds a small running system and takes its snapshot.
+fn running_snapshot() -> Snapshot {
+    let mut sys = SystemBuilder::new(SystemConfig::multi_program(2))
+        .trace(0, Box::new(StrideTrace::new(2, 64, 1 << 20)))
+        .trace(1, Box::new(StrideTrace::new(5, 64, 1 << 18).with_write_every(3)))
+        .build();
+    sys.run_cycles(5_000);
+    sys.snapshot().expect("a stride-traced system is snapshot-capable")
+}
+
+#[test]
+fn corrupted_snapshot_bytes_error_out_instead_of_panicking() {
+    let snap = running_snapshot();
+    let good = snap.to_bytes();
+    // Sanity: the pristine bytes parse.
+    Snapshot::from_bytes(&good).expect("pristine snapshot must parse");
+    // Flip one byte at a spread of offsets covering the magic, the
+    // version word, section headers, payload bodies, and the trailing
+    // container CRC. Every flip must surface as Err — the CRC layers
+    // make a silent wrong parse impossible and a panic is a bug.
+    let offsets: Vec<usize> =
+        [0, 4, 8, 9, 13, good.len() / 3, good.len() / 2, good.len() - 5, good.len() - 1]
+            .into_iter()
+            .collect();
+    for off in offsets {
+        let mut bad = good.clone();
+        bad[off] ^= 0x01;
+        let result = std::panic::catch_unwind(|| Snapshot::from_bytes(&bad));
+        match result {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("flipped byte {off} parsed as a valid snapshot"),
+            Err(_) => panic!("flipped byte {off} caused a panic instead of SnapshotError"),
+        }
+    }
+    // Truncations must also be errors, not panics.
+    for cut in [0, 1, 7, 8, good.len() / 2, good.len() - 1] {
+        let result = std::panic::catch_unwind(|| Snapshot::from_bytes(&good[..cut]));
+        match result {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("truncation to {cut} bytes parsed as a valid snapshot"),
+            Err(_) => panic!("truncation to {cut} bytes caused a panic"),
+        }
+    }
+}
+
+#[test]
+fn restoring_a_tampered_section_errors_out() {
+    let snap = running_snapshot();
+    // Rebuild the container with the `core0` payload truncated by one
+    // byte *and* the CRCs recomputed, so the container itself parses and
+    // the error must come from the semantic layer (`restore`) — proving
+    // validation is not CRC-only.
+    let mut writer = mitts_sim::snapshot::SnapshotWriter::new();
+    for name in snap.section_names() {
+        let payload = snap.section(name).unwrap().to_vec();
+        let cut = if name == "core0" { payload.len() - 1 } else { payload.len() };
+        writer.section(name, |e| {
+            for &b in &payload[..cut] {
+                e.u8(b);
+            }
+        });
+    }
+    let tampered = writer.finish().to_bytes();
+    let reparsed = Snapshot::from_bytes(&tampered).expect("recomputed CRCs must parse");
+    let mut sys = SystemBuilder::new(SystemConfig::multi_program(2))
+        .trace(0, Box::new(StrideTrace::new(2, 64, 1 << 20)))
+        .trace(1, Box::new(StrideTrace::new(5, 64, 1 << 18).with_write_every(3)))
+        .build();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sys.restore(&reparsed)
+    }));
+    match result {
+        Ok(Err(_)) => {}
+        Ok(Ok(())) => panic!("tampered core0 section restored without an error"),
+        Err(_) => panic!("tampered core0 section caused a panic instead of SnapshotError"),
+    }
+}

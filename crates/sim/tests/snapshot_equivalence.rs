@@ -1,0 +1,242 @@
+//! The durable-execution contract, system level: run to cycle C, take a
+//! [`System::snapshot`], resume it into an identically-built twin, and
+//! the continued run must be indistinguishable — bit for bit — from the
+//! run that was never interrupted. "Indistinguishable" here is the full
+//! observable surface:
+//!
+//! * the all-integer [`SystemStats`] digest (every counter in the machine),
+//! * MITTS shaper grant ledgers (per-bin grants, live credits, counters),
+//! * the runtime auditor's violation log,
+//! * the request-lifecycle trace-event stream and sampler rows.
+//!
+//! Every bundled benchmark is covered in both naive and fast-forward
+//! modes, plus shaped and multi-core/scheduler configurations, and a
+//! mismatched resume target must be refused loudly rather than limp on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mitts_core::{BinConfig, BinSpec, MittsShaper};
+use mitts_sched::make_baseline;
+use mitts_sim::config::{CacheConfig, SystemConfig};
+use mitts_sim::obs::RingSink;
+use mitts_sim::snapshot::{Snapshot, SnapshotError};
+use mitts_sim::system::{System, SystemBuilder};
+use mitts_sim::types::Cycle;
+use mitts_workloads::Benchmark;
+
+fn base_for(core: usize) -> u64 {
+    (core as u64) << 36
+}
+
+fn sparse_mitts_config() -> BinConfig {
+    let spec = BinSpec::paper_default();
+    let mut credits = vec![0u32; spec.bins()];
+    credits[2] = 6;
+    credits[6] = 4;
+    credits[9] = 8;
+    BinConfig::new(spec, credits, 3_000).unwrap()
+}
+
+/// One observable instance of a run under test.
+struct Rig {
+    sys: System,
+    shapers: Vec<Rc<RefCell<MittsShaper>>>,
+    sink: Rc<RefCell<RingSink>>,
+}
+
+/// Builds a system for `benches` with a small LLC (so the bundled traces
+/// miss to DRAM), a ring trace sink, periodic sampling, and — when
+/// `shaped` — a sparse MITTS shaper on every core.
+fn build(benches: &[Benchmark], scheduler: &str, fast_forward: bool, shaped: bool) -> Rig {
+    let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+    let mut cfg = SystemConfig::multi_program(benches.len());
+    cfg.llc = CacheConfig::llc_with_size(256 << 10);
+    let mut b = SystemBuilder::new(cfg)
+        .scheduler(make_baseline(scheduler, benches.len()).expect("known scheduler"))
+        .trace_sink(Box::new(Rc::clone(&sink)))
+        .sample_every(1024)
+        .fast_forward(fast_forward);
+    let mut shapers = Vec::new();
+    for (i, &bench) in benches.iter().enumerate() {
+        b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0xF0 + i as u64)));
+        if shaped {
+            let sh = Rc::new(RefCell::new(MittsShaper::new(sparse_mitts_config())));
+            shapers.push(Rc::clone(&sh));
+            b = b.shaper(i, sh);
+        }
+    }
+    Rig { sys: b.build(), shapers, sink }
+}
+
+/// Resumes `snap` into a twin built exactly like [`build`] would.
+fn resume(
+    benches: &[Benchmark],
+    scheduler: &str,
+    fast_forward: bool,
+    shaped: bool,
+    snap: &Snapshot,
+) -> Result<Rig, SnapshotError> {
+    let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+    let mut cfg = SystemConfig::multi_program(benches.len());
+    cfg.llc = CacheConfig::llc_with_size(256 << 10);
+    let mut b = SystemBuilder::new(cfg)
+        .scheduler(make_baseline(scheduler, benches.len()).expect("known scheduler"))
+        .trace_sink(Box::new(Rc::clone(&sink)))
+        .sample_every(1024)
+        .fast_forward(fast_forward);
+    let mut shapers = Vec::new();
+    for (i, &bench) in benches.iter().enumerate() {
+        b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0xF0 + i as u64)));
+        if shaped {
+            let sh = Rc::new(RefCell::new(MittsShaper::new(sparse_mitts_config())));
+            shapers.push(Rc::clone(&sh));
+            b = b.shaper(i, sh);
+        }
+    }
+    Ok(Rig { sys: b.resume_from(snap)?, shapers, sink })
+}
+
+/// The full check: interrupted-and-resumed vs uninterrupted.
+fn assert_resume_equivalent(
+    benches: &[Benchmark],
+    scheduler: &str,
+    fast_forward: bool,
+    shaped: bool,
+    snap_at: Cycle,
+    total: Cycle,
+) {
+    // Uninterrupted reference: run to `snap_at`, snapshot, keep going.
+    let mut reference = build(benches, scheduler, fast_forward, shaped);
+    reference.sys.run_cycles(snap_at);
+    let snap = reference.sys.snapshot().expect("snapshot must be supported");
+    reference.sys.run_cycles(total - snap_at);
+    reference.sys.flush_trace();
+
+    // Resumed twin: fresh components, state loaded from the snapshot.
+    let mut resumed = resume(benches, scheduler, fast_forward, shaped, &snap)
+        .expect("an identically-built twin must accept the snapshot");
+    assert_eq!(resumed.sys.now(), snap_at, "resume must land on the snapshot cycle");
+    resumed.sys.run_cycles(total - snap_at);
+    resumed.sys.flush_trace();
+
+    let tag = format!("{benches:?}/{scheduler}/ff={fast_forward}/shaped={shaped}");
+
+    // 1. Every counter in the machine.
+    assert_eq!(
+        reference.sys.system_stats(),
+        resumed.sys.system_stats(),
+        "stats diverged for {tag}"
+    );
+
+    // 2. Audit logs (same violations, or same clean bill).
+    assert_eq!(
+        format!("{:?}", reference.sys.audit_log()),
+        format!("{:?}", resumed.sys.audit_log()),
+        "audit logs diverged for {tag}"
+    );
+
+    // 3. Shaper grant ledgers, bin for bin.
+    for (i, (a, b)) in reference.shapers.iter().zip(&resumed.shapers).enumerate() {
+        let (a, b) = (a.borrow(), b.borrow());
+        assert_eq!(a.grants_per_bin(), b.grants_per_bin(), "core {i} ledger diverged ({tag})");
+        assert_eq!(a.live_credits(), b.live_credits(), "core {i} credits diverged ({tag})");
+        assert_eq!(a.counters(), b.counters(), "core {i} counters diverged ({tag})");
+    }
+
+    // 4. Trace-event streams. The resumed sink only sees post-resume
+    // events, so compare against the reference's suffix from `snap_at`.
+    let ref_sink = reference.sink.borrow();
+    let res_sink = resumed.sink.borrow();
+    assert_eq!(ref_sink.dropped(), 0, "reference sink overflowed; enlarge the ring");
+    assert_eq!(res_sink.dropped(), 0, "resumed sink overflowed; enlarge the ring");
+    let suffix: Vec<_> = ref_sink.events().filter(|e| e.at() >= snap_at).collect();
+    let resumed_events: Vec<_> = res_sink.events().collect();
+    assert_eq!(
+        suffix.len(),
+        resumed_events.len(),
+        "event counts diverged for {tag}: {} vs {}",
+        suffix.len(),
+        resumed_events.len()
+    );
+    for (i, (a, b)) in suffix.iter().zip(&resumed_events).enumerate() {
+        assert_eq!(a, b, "trace event {i} diverged for {tag}");
+    }
+
+    // 5. Sampler rows past the snapshot boundary.
+    let ref_samples: Vec<_> =
+        reference.sys.samples().iter().filter(|s| s.at >= snap_at).collect();
+    let res_samples: Vec<_> = resumed.sys.samples().iter().collect();
+    assert_eq!(ref_samples, res_samples, "sampler rows diverged for {tag}");
+}
+
+#[test]
+fn every_bundled_workload_resumes_identically_naive() {
+    for &bench in &Benchmark::ALL {
+        assert_resume_equivalent(&[bench], "FR-FCFS", false, false, 5_000, 10_000);
+    }
+}
+
+#[test]
+fn every_bundled_workload_resumes_identically_fast_forward() {
+    for &bench in &Benchmark::ALL {
+        assert_resume_equivalent(&[bench], "FR-FCFS", true, false, 5_000, 10_000);
+    }
+}
+
+#[test]
+fn shaped_mitts_runs_resume_identically_in_both_modes() {
+    for fast_forward in [false, true] {
+        assert_resume_equivalent(
+            &[Benchmark::Libquantum],
+            "FR-FCFS",
+            fast_forward,
+            true,
+            7_000,
+            21_000,
+        );
+    }
+}
+
+#[test]
+fn multicore_shaped_mix_resumes_identically() {
+    let benches =
+        [Benchmark::Mcf, Benchmark::Libquantum, Benchmark::Omnetpp, Benchmark::Bzip];
+    for fast_forward in [false, true] {
+        assert_resume_equivalent(&benches, "TCM", fast_forward, true, 6_000, 14_000);
+    }
+}
+
+#[test]
+fn snapshot_cycle_choice_does_not_matter() {
+    // The same run snapshotted at three different cycles must always
+    // reconverge on the identical end state.
+    for snap_at in [1_000, 4_096, 9_999] {
+        assert_resume_equivalent(&[Benchmark::Omnetpp], "FR-FCFS", true, false, snap_at, 12_000);
+    }
+}
+
+#[test]
+fn a_mismatched_twin_refuses_the_snapshot() {
+    let mut rig = build(&[Benchmark::Mcf, Benchmark::Libquantum], "FR-FCFS", false, false);
+    rig.sys.run_cycles(3_000);
+    let snap = rig.sys.snapshot().unwrap();
+
+    // Fewer cores.
+    let err = resume(&[Benchmark::Mcf], "FR-FCFS", false, false, &snap)
+        .err()
+        .expect("a 1-core twin must refuse a 2-core snapshot");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+
+    // Different scheduler implementation.
+    let err = resume(&[Benchmark::Mcf, Benchmark::Libquantum], "TCM", false, false, &snap)
+        .err()
+        .expect("a TCM twin must refuse an FR-FCFS snapshot");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+
+    // Shaped twin vs unshaped snapshot.
+    let err = resume(&[Benchmark::Mcf, Benchmark::Libquantum], "FR-FCFS", false, true, &snap)
+        .err()
+        .expect("a shaped twin must refuse an unshaped snapshot");
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+}

@@ -10,9 +10,10 @@
 //! simulator, so `F` must be `Sync`).
 
 use mitts_sim::rng::Rng;
+use mitts_sim::snapshot::{crc32, Dec, Enc, Snapshot, SnapshotError, SnapshotWriter};
 use mitts_sim::types::Cycle;
 
-use mitts_core::bins::BinSpec;
+use mitts_core::bins::{BinSpec, K_MAX};
 
 use crate::genome::{Constraint, Genome};
 
@@ -68,6 +69,54 @@ pub struct GaResult {
     pub history: Vec<f64>,
     /// Total fitness evaluations performed.
     pub evaluations: usize,
+}
+
+/// Complete search state after some number of completed generations.
+///
+/// A `GaState` carries everything the GA needs to continue — population,
+/// scores, elitism book-keeping, and the random stream — so a search
+/// interrupted between generations and resumed from a persisted state
+/// reaches exactly the genome an uninterrupted run would have found.
+/// Obtain one from [`GeneticTuner::start_state`], advance it with
+/// [`GeneticTuner::step_state`], and persist it across processes with
+/// [`GeneticTuner::encode_state`] / [`GeneticTuner::decode_state`].
+#[derive(Debug, Clone)]
+pub struct GaState {
+    population: Vec<Genome>,
+    scores: Vec<f64>,
+    best: Genome,
+    best_fitness: f64,
+    history: Vec<f64>,
+    evaluations: usize,
+    rng: Rng,
+}
+
+impl GaState {
+    /// Generations completed so far (the initial population counts as
+    /// one).
+    pub fn generations_done(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Best genome found so far.
+    pub fn best(&self) -> &Genome {
+        &self.best
+    }
+
+    /// Fitness of the best genome so far.
+    pub fn best_fitness(&self) -> f64 {
+        self.best_fitness
+    }
+
+    /// Converts the state into a [`GaResult`].
+    pub fn into_result(self) -> GaResult {
+        GaResult {
+            best: self.best,
+            best_fitness: self.best_fitness,
+            history: self.history,
+            evaluations: self.evaluations,
+        }
+    }
 }
 
 /// The offline genetic tuner.
@@ -180,7 +229,52 @@ impl GeneticTuner {
         })
     }
 
-    fn run_loop(&mut self, evaluate: &mut dyn FnMut(&[Genome]) -> Vec<f64>) -> GaResult {
+    /// Runs the GA like [`GeneticTuner::optimize`], but checkpoints:
+    /// `on_generation` is called after every completed generation
+    /// (including the initial one) with the full search state, and
+    /// `resume` continues a previously persisted state instead of
+    /// starting over. An interrupted search resumed from its last
+    /// checkpoint produces exactly the genome an uninterrupted run would
+    /// have.
+    pub fn optimize_resumable<F>(
+        &mut self,
+        fitness: F,
+        resume: Option<GaState>,
+        mut on_generation: impl FnMut(&GeneticTuner, &GaState),
+    ) -> GaResult
+    where
+        F: Fn(&Genome) -> f64 + Sync,
+    {
+        let parallel = self.params.parallel;
+        let mut evaluate = |population: &[Genome]| {
+            if parallel && population.len() > 1 {
+                Self::evaluate_parallel(population, &fitness)
+            } else {
+                population.iter().map(&fitness).collect()
+            }
+        };
+        let mut state = match resume {
+            Some(s) => s,
+            None => {
+                let s = self.start_state(&mut evaluate);
+                on_generation(self, &s);
+                s
+            }
+        };
+        while state.generations_done() < self.params.generations {
+            self.step_state(&mut state, &mut evaluate);
+            on_generation(self, &state);
+        }
+        state.into_result()
+    }
+
+    /// Builds and evaluates the initial population — generation one of
+    /// the search. The returned state owns the random stream from here
+    /// on, so the tuner and state must be advanced as a pair.
+    pub fn start_state(
+        &mut self,
+        evaluate: &mut dyn FnMut(&[Genome]) -> Vec<f64>,
+    ) -> GaState {
         let mut population: Vec<Genome> = Vec::with_capacity(self.params.population);
         for mut g in std::mem::take(&mut self.initial) {
             self.constraint.repair(&mut g, &mut self.rng);
@@ -206,42 +300,150 @@ impl GeneticTuner {
             population.push(g);
         }
 
-        let mut evaluations = 0;
-        let mut scores = evaluate(&population);
-        evaluations += population.len();
-
-        let mut history = Vec::with_capacity(self.params.generations);
-        let (mut best, mut best_fitness) = Self::best_of(&population, &scores);
-        history.push(best_fitness);
-
-        for _gen in 1..self.params.generations {
-            let mut next = Vec::with_capacity(self.params.population);
-            // Elitism: keep the best genome verbatim.
-            next.push(best.clone());
-            while next.len() < self.params.population {
-                let a = self.tournament_pick(&scores);
-                let b = self.tournament_pick(&scores);
-                let mut child = population[a].crossover(&population[b], &mut self.rng);
-                child.mutate(
-                    self.params.mutation_rate,
-                    self.params.mutation_step,
-                    &mut self.rng,
-                );
-                self.constraint.repair(&mut child, &mut self.rng);
-                next.push(child);
-            }
-            population = next;
-            scores = evaluate(&population);
-            evaluations += population.len();
-            let (gen_best, gen_fit) = Self::best_of(&population, &scores);
-            if gen_fit > best_fitness {
-                best = gen_best;
-                best_fitness = gen_fit;
-            }
-            history.push(best_fitness);
+        let scores = evaluate(&population);
+        let evaluations = population.len();
+        let (best, best_fitness) = Self::best_of(&population, &scores);
+        GaState {
+            population,
+            scores,
+            best,
+            best_fitness,
+            history: vec![best_fitness],
+            evaluations,
+            rng: self.rng.clone(),
         }
+    }
 
-        GaResult { best, best_fitness, history, evaluations }
+    /// Advances the search by one generation (breed, evaluate, update the
+    /// elite). No-op book-keeping beyond [`GaState`] — the state is the
+    /// whole truth, which is what makes checkpointing sound.
+    pub fn step_state(
+        &mut self,
+        state: &mut GaState,
+        evaluate: &mut dyn FnMut(&[Genome]) -> Vec<f64>,
+    ) {
+        let mut next = Vec::with_capacity(self.params.population);
+        // Elitism: keep the best genome verbatim.
+        next.push(state.best.clone());
+        while next.len() < self.params.population {
+            let a = Self::tournament_pick(&mut state.rng, self.params.tournament, &state.scores);
+            let b = Self::tournament_pick(&mut state.rng, self.params.tournament, &state.scores);
+            let mut child = state.population[a].crossover(&state.population[b], &mut state.rng);
+            child.mutate(self.params.mutation_rate, self.params.mutation_step, &mut state.rng);
+            self.constraint.repair(&mut child, &mut state.rng);
+            next.push(child);
+        }
+        state.population = next;
+        state.scores = evaluate(&state.population);
+        state.evaluations += state.population.len();
+        let (gen_best, gen_fit) = Self::best_of(&state.population, &state.scores);
+        if gen_fit > state.best_fitness {
+            state.best = gen_best;
+            state.best_fitness = gen_fit;
+        }
+        state.history.push(state.best_fitness);
+    }
+
+    fn run_loop(&mut self, evaluate: &mut dyn FnMut(&[Genome]) -> Vec<f64>) -> GaResult {
+        let mut state = self.start_state(evaluate);
+        while state.generations_done() < self.params.generations {
+            self.step_state(&mut state, evaluate);
+        }
+        state.into_result()
+    }
+
+    /// Digest of everything that must match for a persisted state to be
+    /// resumable by this tuner.
+    fn context_digest(&self) -> u32 {
+        crc32(
+            format!(
+                "{:?}|{:?}|{}|{}|{:?}",
+                self.params, self.spec, self.period, self.cores, self.constraint
+            )
+            .as_bytes(),
+        )
+    }
+
+    fn save_genome(g: &Genome, e: &mut Enc) {
+        e.usize(g.cores());
+        for v in g.credits() {
+            e.u32s(v);
+        }
+    }
+
+    fn load_genome(&self, d: &mut Dec<'_>) -> Result<Genome, SnapshotError> {
+        let cores = d.usize()?;
+        if cores != self.cores {
+            return Err(SnapshotError::corrupt("genome core count differs"));
+        }
+        let mut credits = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let v = d.u32s()?;
+            if v.len() != self.spec.bins() || v.iter().any(|&x| x > K_MAX) {
+                return Err(SnapshotError::corrupt("invalid genome credit vector"));
+            }
+            credits.push(v);
+        }
+        Ok(Genome::new(self.spec, self.period, credits))
+    }
+
+    /// Serialises a search state into a self-describing, CRC-protected
+    /// byte container suitable for [`GeneticTuner::decode_state`].
+    pub fn encode_state(&self, state: &GaState) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section("ga-state", |e| {
+            e.u32(self.context_digest());
+            e.usize(state.population.len());
+            for g in &state.population {
+                Self::save_genome(g, e);
+            }
+            e.f64s(&state.scores);
+            Self::save_genome(&state.best, e);
+            e.f64(state.best_fitness);
+            e.f64s(&state.history);
+            e.usize(state.evaluations);
+            state.rng.save_state(e);
+        });
+        w.finish().to_bytes()
+    }
+
+    /// Reconstructs a search state persisted by
+    /// [`GeneticTuner::encode_state`]. Fails with
+    /// [`SnapshotError::Mismatch`] if the tuner's parameters, bin
+    /// geometry, core count, or constraints differ from the ones the
+    /// state was saved under.
+    pub fn decode_state(&self, bytes: &[u8]) -> Result<GaState, SnapshotError> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        let mut d = Dec::new(snap.section("ga-state")?);
+        let digest = d.u32()?;
+        if digest != self.context_digest() {
+            return Err(SnapshotError::mismatch(
+                "GA search context differs from the persisted one",
+            ));
+        }
+        let n = d.usize()?;
+        if n != self.params.population {
+            return Err(SnapshotError::corrupt("persisted population size differs"));
+        }
+        let mut population = Vec::with_capacity(n);
+        for _ in 0..n {
+            population.push(self.load_genome(&mut d)?);
+        }
+        let scores = d.f64s()?;
+        if scores.len() != n {
+            return Err(SnapshotError::corrupt("persisted score vector length differs"));
+        }
+        let best = self.load_genome(&mut d)?;
+        let best_fitness = d.f64()?;
+        let history = d.f64s()?;
+        if history.is_empty() || history.len() > self.params.generations.max(1) {
+            return Err(SnapshotError::corrupt("persisted GA history length is invalid"));
+        }
+        let evaluations = d.usize()?;
+        let mut rng = Rng::seeded(0);
+        rng.load_state(&mut d)?;
+        d.finish()?;
+        Ok(GaState { population, scores, best, best_fitness, history, evaluations, rng })
     }
 
     fn evaluate_parallel<F>(population: &[Genome], fitness: &F) -> Vec<f64>
@@ -266,10 +468,10 @@ impl GeneticTuner {
         scores
     }
 
-    fn tournament_pick(&mut self, scores: &[f64]) -> usize {
-        let mut best = self.rng.below(scores.len() as u64) as usize;
-        for _ in 1..self.params.tournament {
-            let c = self.rng.below(scores.len() as u64) as usize;
+    fn tournament_pick(rng: &mut Rng, tournament: usize, scores: &[f64]) -> usize {
+        let mut best = rng.below(scores.len() as u64) as usize;
+        for _ in 1..tournament {
+            let c = rng.below(scores.len() as u64) as usize;
             if scores[c] > scores[best] {
                 best = c;
             }
@@ -369,6 +571,56 @@ mod tests {
             ga.optimize(fitness).best_fitness
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn checkpointed_resume_matches_uninterrupted() {
+        let params = GaParams { parallel: false, ..GaParams::quick() };
+        let uninterrupted = {
+            let mut ga = GeneticTuner::new(spec(), 1000, 1, params).with_seed(42);
+            ga.optimize(bin0_heavy)
+        };
+        // Run a few generations, persist each, then "crash".
+        let mut checkpoints: Vec<Vec<u8>> = Vec::new();
+        {
+            let mut ga = GeneticTuner::new(spec(), 1000, 1, params).with_seed(42);
+            let mut evaluate =
+                |pop: &[Genome]| pop.iter().map(bin0_heavy).collect::<Vec<f64>>();
+            let mut state = ga.start_state(&mut evaluate);
+            checkpoints.push(ga.encode_state(&state));
+            for _ in 0..2 {
+                ga.step_state(&mut state, &mut evaluate);
+                checkpoints.push(ga.encode_state(&state));
+            }
+        }
+        // A fresh process resumes from the last persisted generation.
+        let mut ga = GeneticTuner::new(spec(), 1000, 1, params).with_seed(42);
+        let resumed = ga.decode_state(checkpoints.last().unwrap()).unwrap();
+        assert_eq!(resumed.generations_done(), 3);
+        let result = ga.optimize_resumable(bin0_heavy, Some(resumed), |_, _| {});
+        assert_eq!(result.best, uninterrupted.best);
+        assert_eq!(result.history, uninterrupted.history);
+        assert_eq!(result.evaluations, uninterrupted.evaluations);
+    }
+
+    #[test]
+    fn persisted_state_rejects_a_different_search() {
+        let params = GaParams { parallel: false, ..GaParams::quick() };
+        let mut ga = GeneticTuner::new(spec(), 1000, 1, params).with_seed(1);
+        let mut evaluate = |pop: &[Genome]| pop.iter().map(bin0_heavy).collect::<Vec<f64>>();
+        let state = ga.start_state(&mut evaluate);
+        let bytes = ga.encode_state(&state);
+        // Different core count: refuse to resume.
+        let other = GeneticTuner::new(spec(), 1000, 2, params).with_seed(1);
+        assert!(matches!(
+            other.decode_state(&bytes),
+            Err(mitts_sim::snapshot::SnapshotError::Mismatch(_))
+        ));
+        // One flipped byte: detected, not silently wrong.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(ga.decode_state(&bad).is_err());
     }
 
     #[test]

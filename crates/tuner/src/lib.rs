@@ -42,7 +42,7 @@ pub mod objective;
 pub mod online;
 pub mod phase;
 
-pub use ga::{GaParams, GaResult, GeneticTuner};
+pub use ga::{GaParams, GaResult, GaState, GeneticTuner};
 pub use genome::{Constraint, Genome};
 pub use hillclimb::{HillClimbResult, HillClimber};
 pub use objective::Objective;

@@ -300,6 +300,58 @@ impl TraceSource for SyntheticTrace {
     fn phase(&self) -> usize {
         self.phase_idx
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("synthetic")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        // The profile itself is reconstructed by the experiment harness;
+        // a digest guards against resuming under a different one.
+        enc.u32(mitts_sim::snapshot::crc32(format!("{:?}", self.profile).as_bytes()));
+        enc.u64(self.base);
+        self.rng.save_state(enc);
+        enc.u8(match self.state {
+            BurstState::Burst => 0,
+            BurstState::Idle => 1,
+        });
+        enc.u64(self.remaining_in_state);
+        enc.u64(self.seq_ptr);
+        enc.u64(self.ops_emitted);
+        enc.usize(self.phase_idx);
+        enc.u64(self.phase_ops_left);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let digest = dec.u32()?;
+        let base = dec.u64()?;
+        let expected = mitts_sim::snapshot::crc32(format!("{:?}", self.profile).as_bytes());
+        if digest != expected || base != self.base {
+            return Err(SnapshotError::mismatch(
+                "synthetic trace profile differs from the snapshotted one",
+            ));
+        }
+        self.rng.load_state(dec)?;
+        self.state = match dec.u8()? {
+            0 => BurstState::Burst,
+            1 => BurstState::Idle,
+            t => return Err(SnapshotError::corrupt(format!("invalid burst-state tag {t}"))),
+        };
+        self.remaining_in_state = dec.u64()?;
+        self.seq_ptr = dec.u64()?;
+        self.ops_emitted = dec.u64()?;
+        let phase_idx = dec.usize()?;
+        if !self.profile.phases.is_empty() && phase_idx >= self.profile.phases.len() {
+            return Err(SnapshotError::corrupt("synthetic trace phase index out of range"));
+        }
+        self.phase_idx = phase_idx;
+        self.phase_ops_left = dec.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,48 @@ impl TraceSource for ThreadedTrace {
     fn phase(&self) -> usize {
         usize::from(!self.is_active())
     }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("threaded")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.usize(self.threads);
+        enc.usize(self.slot);
+        enc.u64(self.window_ops);
+        enc.u64(self.spin_addr);
+        enc.u32(self.spin_gap);
+        // The gang-shared work counter is encoded by every holder; restore
+        // is idempotent because all threads write the identical value back
+        // into the one shared cell.
+        enc.u64(self.work.ops.get());
+        enc.blob(|e| self.inner.save_state(e));
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let threads = dec.usize()?;
+        let slot = dec.usize()?;
+        let window_ops = dec.u64()?;
+        let spin_addr = dec.u64()?;
+        let spin_gap = dec.u32()?;
+        if threads != self.threads
+            || slot != self.slot
+            || window_ops != self.window_ops
+            || spin_addr != self.spin_addr
+            || spin_gap != self.spin_gap
+        {
+            return Err(SnapshotError::mismatch(
+                "threaded trace gang geometry differs from the snapshotted one",
+            ));
+        }
+        self.work.ops.set(dec.u64()?);
+        dec.blob(|d| self.inner.load_state(d))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -28,3 +28,34 @@ target/release/mitts-trace target/obs_smoke.trace.jsonl | tail -n 3
 # non-zero on any violation or undetected mutation.
 cargo build --release -p mitts-bench --bin mitts-conform
 target/release/mitts-conform --smoke | tail -n 3
+
+# Snapshot-resume equivalence gate: run to C, snapshot, resume into a
+# fresh twin — stats, shaper grant ledgers, audit logs, trace events,
+# and sampler rows must be bit-identical to the uninterrupted run, for
+# every bundled workload (incl. a shaped MITTS run) in both naive and
+# fast-forward modes.
+cargo test -q -p mitts-sim --test snapshot_equivalence
+cargo test -q -p mitts-sim --test snapshot_components
+
+# Kill-and-resume sweep smoke: journal a filtered run_all, die abruptly
+# mid-sweep (MITTS_CRASH_AFTER), resume, and require (a) completed
+# experiments are skipped on resume and (b) the final artifacts match a
+# clean uninterrupted sweep byte for byte.
+cargo build --release -p mitts-bench --bin run_all
+STATE_A=$(mktemp -d) STATE_B=$(mktemp -d)
+set +e
+MITTS_SCALE=smoke MITTS_STATE_DIR="$STATE_A" MITTS_CRASH_AFTER=fig12 \
+  target/release/run_all fig1 >/dev/null 2>&1
+crash_rc=$?
+set -e
+[ "$crash_rc" -eq 3 ] || { echo "crash hook: expected exit 3, got $crash_rc"; exit 1; }
+MITTS_SCALE=smoke MITTS_STATE_DIR="$STATE_A" \
+  target/release/run_all --resume fig1 > "$STATE_A/resume.log"
+grep -q "completed by a previous run, skipped" "$STATE_A/resume.log" \
+  || { echo "resume did not skip completed experiments"; exit 1; }
+MITTS_SCALE=smoke MITTS_STATE_DIR="$STATE_B" \
+  target/release/run_all fig1 >/dev/null
+diff -r "$STATE_A/results" "$STATE_B/results" \
+  || { echo "resumed sweep diverged from the uninterrupted one"; exit 1; }
+echo "kill-and-resume smoke: resumed tables are identical"
+rm -rf "$STATE_A" "$STATE_B"
