@@ -9,6 +9,11 @@
 //! non-zero if fast-forward is more than 2x slower than naive anywhere
 //! (the `scripts/check.sh` gate).
 //!
+//! Also times an identical experiment list through the supervised pool
+//! (`mitts_bench::pool`) at 1 worker vs N (records `sweep_pool_jobs1` /
+//! `sweep_pool_jobsN`), gating that the parallel sweep is measurably
+//! faster whenever the machine has at least two cores.
+//!
 //! Also gates the observability layer: the shaped 4-program mix is
 //! re-timed with lifecycle tracing + sampling enabled and must stay
 //! within 15% of the untraced wall clock, and an untimed traced run
@@ -19,10 +24,13 @@
 //! `--smoke` shrinks the work so the whole run fits in CI seconds.
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
+use mitts_bench::pool::{self, Experiment, Outcome, PoolConfig};
 use mitts_bench::runner::REPLENISH_PERIOD;
 use mitts_bench::tracetool::summarize;
 use mitts_core::{BinConfig, BinSpec, MittsShaper};
@@ -233,6 +241,83 @@ fn main() {
         wall_ms: wall.as_secs_f64() * 1e3,
     });
 
+    // Parallel sweep engine: the same experiment list through the
+    // supervised pool (`mitts_bench::pool`) at 1 worker and at N — the
+    // wall-clock win run_all gets from MITTS_JOBS. Experiments are
+    // deterministic simulations, so only scheduling differs between the
+    // two arms.
+    {
+        let (count, instructions, cap) =
+            if smoke { (6usize, 4_000u64, 800_000 as Cycle) } else { (8, 10_000, 2_000_000) };
+        let sweep_experiments = || -> Vec<Experiment> {
+            (0..count)
+                .map(|i| {
+                    Experiment::new(
+                        format!("sweep{i}"),
+                        Arc::new(move || {
+                            let mut sys = build_bw_saturated(true);
+                            let _ = sys.run_until_instructions(instructions, cap);
+                            let mut t =
+                                mitts_bench::Table::new("sweep", &["exp", "cycles"]);
+                            t.row(vec![i.to_string(), sys.now().to_string()]);
+                            vec![t]
+                        }),
+                    )
+                })
+                .collect()
+        };
+        let time_sweep = |jobs: usize| -> f64 {
+            let experiments = sweep_experiments();
+            let mut cfg = PoolConfig::serial();
+            cfg.jobs = jobs;
+            let start = Instant::now();
+            let report =
+                pool::run_sweep(&experiments, None, &BTreeSet::new(), &cfg, |_, name, out| {
+                    assert!(matches!(out, Outcome::Done { .. }), "{name} must complete");
+                });
+            assert_eq!(report.done, count, "every sweep experiment must finish");
+            start.elapsed().as_secs_f64()
+        };
+        let jobs_n = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
+        let serial_s = time_sweep(1);
+        records.push(Record {
+            bench: "sweep_pool_jobs1".to_owned(),
+            cycles_per_sec: None,
+            wall_ms: serial_s * 1e3,
+        });
+        if jobs_n >= 2 {
+            let parallel_s = time_sweep(jobs_n);
+            let speedup = serial_s / parallel_s.max(1e-9);
+            println!(
+                "{:<34} {:>12.1} {:>12.1} {:>7.2}x  (pool, jobs={jobs_n})",
+                "sweep_pool",
+                serial_s * 1e3,
+                parallel_s * 1e3,
+                speedup
+            );
+            if speedup < 1.2 {
+                eprintln!(
+                    "REGRESSION: {count}-experiment sweep at jobs={jobs_n} is only \
+                     {speedup:.2}x over jobs=1 (want >= 1.2x)"
+                );
+                regression = true;
+            }
+            records.push(Record {
+                bench: format!("sweep_pool_jobs{jobs_n}"),
+                cycles_per_sec: None,
+                wall_ms: parallel_s * 1e3,
+            });
+        } else {
+            println!(
+                "{:<34} {:>12.1} {:>12} {:>8}  (pool; single-core machine, parallel arm skipped)",
+                "sweep_pool",
+                serial_s * 1e3,
+                "-",
+                "-"
+            );
+        }
+    }
+
     // Observability gate, part 1: the shaped mix re-timed with lifecycle
     // tracing + sampling into a flight-recorder ring (8K events ≈ 1 MB,
     // L2-resident; a larger retained tail adds cache footprint that gets
@@ -343,9 +428,9 @@ fn main() {
         if let Some(cps) = r.cycles_per_sec {
             let _ = write!(json, "\"cycles_per_sec\": {cps:.1}, ");
         }
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "\"wall_ms\": {:.3}}}{}\n",
+            "\"wall_ms\": {:.3}}}{}",
             r.wall_ms,
             if i + 1 < records.len() { "," } else { "" }
         );

@@ -9,36 +9,42 @@
 //! followed by the simulated experiments in paper order. Set
 //! `MITTS_CSV_DIR=<dir>` to additionally write every table as CSV.
 //!
-//! # Durable sweeps
+//! # Parallel, durable sweeps
 //!
-//! With `MITTS_STATE_DIR=<dir>` set, the sweep is journaled: each
-//! experiment is logged to a write-ahead journal before it runs, its
-//! finished table is written atomically to `<dir>/results/<name>.txt`,
-//! and completion is logged afterwards. `--resume` then skips every
-//! experiment the journal proves complete and reruns only the rest, so a
-//! crashed or killed sweep loses at most the experiment it was inside.
-//! Failed or stalled experiments are retried with bounded backoff
-//! (`MITTS_EXP_TIMEOUT_SECS`, `MITTS_EXP_RETRIES`). The first Ctrl-C
-//! stops gracefully — the journal is flushed and a summary with
-//! `status=interrupted` is written — and a second Ctrl-C aborts
-//! immediately. `MITTS_CRASH_AFTER=<name>` simulates a crash right after
-//! the named experiment completes (test hook for the resume path).
+//! Experiments run on a supervised work-stealing pool of `MITTS_JOBS`
+//! workers (default: available parallelism; see [`mitts_bench::pool`]).
+//! Every experiment gets panic isolation, a wall-clock timeout, and
+//! bounded-backoff retries (`MITTS_EXP_TIMEOUT_SECS`,
+//! `MITTS_EXP_RETRIES`); one that fails every attempt is *quarantined*
+//! (status `failed`) and the sweep continues. Output is deterministic:
+//! tables print and CSVs land in paper order, byte-identical to a serial
+//! (`MITTS_JOBS=1`) run.
+//!
+//! With `MITTS_STATE_DIR=<dir>` set, the sweep is additionally
+//! journaled: each experiment is claimed through a fsynced worker lease,
+//! logged to a write-ahead journal before it runs, and its finished
+//! tables are written atomically to `<dir>/results/<name>.txt`.
+//! `--resume` skips every experiment the journal proves complete and
+//! reruns only the rest; stale leases left by crashed or SIGKILLed
+//! workers are reclaimed by survivors. The first Ctrl-C stops gracefully
+//! — in-flight workers drain and a summary with `status=interrupted` is
+//! written — and a second Ctrl-C aborts immediately.
+//! `MITTS_CRASH_AFTER=<name>` simulates a crash right after the named
+//! experiment completes; `MITTS_CHAOS=<seed>` arms a full seeded fault
+//! campaign (see [`mitts_bench::chaos`]).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
 
 use mitts_bench::exp::{
     ablations, bins_sensitivity, fig02_interarrival, fig11_static_gain, fig12_13_scheds,
     fig14_hybrid, fig15_large_llc, fig16_isolation, manycore_scaling, perf_per_cost,
     phase_offline, threaded_sharing,
 };
-use mitts_bench::journal::{self, Journal, Outcome, SweepOptions};
+use mitts_bench::journal::{self, Journal};
+use mitts_bench::pool::{self, Experiment, Outcome, PoolConfig};
 use mitts_bench::{signal, Scale, Table};
 use mitts_core::AreaModel;
-
-/// A lazily-run experiment entry.
-type Experiment = (&'static str, Arc<dyn Fn() -> Table + Send + Sync>);
 
 fn area_table() -> Table {
     let mut t = Table::new(
@@ -64,7 +70,6 @@ enum Status {
     Skipped,
     Failed,
     Interrupted,
-    Pending,
 }
 
 impl Status {
@@ -74,9 +79,12 @@ impl Status {
             Status::Skipped => "done (previous run)",
             Status::Failed => "failed",
             Status::Interrupted => "interrupted",
-            Status::Pending => "pending",
         }
     }
+}
+
+fn single(name: &'static str, f: impl Fn() -> Table + Send + Sync + 'static) -> Experiment {
+    Experiment::new(name, Arc::new(move || vec![f()]))
 }
 
 fn main() {
@@ -114,7 +122,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut journal = match Journal::from_env(resume) {
+    let journal = match Journal::from_env(resume) {
         Ok(j) => j,
         Err(e) => {
             eprintln!("configuration error: MITTS_STATE_DIR unusable: {e}");
@@ -125,12 +133,11 @@ fn main() {
         (Some(j), true) => j.completed(),
         _ => BTreeSet::new(),
     };
-    let opts = SweepOptions::from_env();
-    let crash_after = std::env::var("MITTS_CRASH_AFTER").ok();
+    let cfg = PoolConfig::from_env(journal::state_dir().as_deref());
 
     println!(
-        "MITTS reproduction — running all experiments (warmup={} cycles, work={} instr/core)\n",
-        scale.warmup, scale.work
+        "MITTS reproduction — running all experiments (warmup={} cycles, work={} instr/core, jobs={})\n",
+        scale.warmup, scale.work, cfg.jobs
     );
     if !completed.is_empty() {
         println!(
@@ -138,115 +145,86 @@ fn main() {
             completed.len()
         );
     }
+    if let Some(chaos) = &cfg.chaos {
+        eprintln!("[chaos campaign armed: round {}]", chaos.round());
+    }
 
     let experiments: Vec<Experiment> = vec![
-        ("area", Arc::new(area_table)),
-        ("fig02", Arc::new(move || fig02_interarrival::run(&scale))),
-        ("fig11", Arc::new(move || fig11_static_gain::run(&scale))),
-        ("fig12", Arc::new(move || fig12_13_scheds::run_fig12(&scale))),
-        ("fig13", Arc::new(move || fig12_13_scheds::run_fig13(&scale))),
-        ("fig14", Arc::new(move || fig14_hybrid::run(&scale))),
-        ("fig15", Arc::new(move || fig15_large_llc::run(&scale))),
-        ("fig16", Arc::new(move || fig16_isolation::run(&scale))),
-        ("fig17", Arc::new(move || perf_per_cost::run_fig17(&scale))),
-        ("fig18", Arc::new(move || perf_per_cost::run_fig18(&scale))),
-        ("bins", Arc::new(move || bins_sensitivity::run(&scale))),
-        ("threaded", Arc::new(move || threaded_sharing::run(&scale))),
-        ("scaling", Arc::new(move || manycore_scaling::run(&scale))),
-        ("phase", Arc::new(move || phase_offline::run(&scale))),
+        single("area", area_table),
+        single("fig02", move || fig02_interarrival::run(&scale)),
+        single("fig11", move || fig11_static_gain::run(&scale)),
+        single("fig12", move || fig12_13_scheds::run_fig12(&scale)),
+        single("fig13", move || fig12_13_scheds::run_fig13(&scale)),
+        single("fig14", move || fig14_hybrid::run(&scale)),
+        single("fig15", move || fig15_large_llc::run(&scale)),
+        single("fig16", move || fig16_isolation::run(&scale)),
+        single("fig17", move || perf_per_cost::run_fig17(&scale)),
+        single("fig18", move || perf_per_cost::run_fig18(&scale)),
+        single("bins", move || bins_sensitivity::run(&scale)),
+        single("threaded", move || threaded_sharing::run(&scale)),
+        single("scaling", move || manycore_scaling::run(&scale)),
+        single("phase", move || phase_offline::run(&scale)),
+        // Ablations produce several tables; one journaled unit, same
+        // supervision as everything else.
+        Experiment::new("ablations", Arc::new(move || ablations::run(&scale))),
     ];
 
-    // Ablations produce several tables; handled after the main list.
+    let selected_names = |name: &str| only.as_ref().is_none_or(|f| name.contains(f.as_str()));
+    let selected: Vec<Experiment> =
+        experiments.into_iter().filter(|e| selected_names(&e.name)).collect();
 
-    let dump = |name: &str, table: &Table| {
+    let dump = |name: &str, tables: &[Table]| {
         if let Some(dir) = &csv_dir {
-            table
-                .write_csv(&dir.join(format!("{name}.csv")))
-                .expect("write CSV table");
+            for (i, table) in tables.iter().enumerate() {
+                let file = if tables.len() == 1 {
+                    format!("{name}.csv")
+                } else {
+                    format!("{name}_{i}.csv")
+                };
+                table.write_csv(&dir.join(file)).expect("write CSV table");
+            }
         }
     };
 
-    let selected = |name: &str| only.as_ref().is_none_or(|f| name.contains(f.as_str()));
-    let mut statuses: Vec<(&'static str, Status)> = experiments
-        .iter()
-        .filter(|(name, _)| selected(name))
-        .map(|(name, _)| (*name, Status::Pending))
-        .collect();
-    let mut stopped = false;
-
-    for (name, factory) in &experiments {
-        if !selected(name) {
-            continue;
-        }
-        let slot = statuses.iter_mut().find(|(n, _)| n == name).expect("selected above");
-        if stopped || signal::interrupted() {
-            slot.1 = Status::Interrupted;
-            stopped = true;
-            continue;
-        }
-        let t0 = Instant::now();
-        match &mut journal {
-            Some(j) => match journal::run_journaled(j, &completed, name, Arc::clone(factory), &opts)
-            {
-                Outcome::Done(table) => {
+    let mut statuses: Vec<(String, Status)> = Vec::with_capacity(selected.len());
+    let report = pool::run_sweep(&selected, journal, &completed, &cfg, |_, name, out| {
+        let status = match out {
+            Outcome::Done { tables, wall } => {
+                for (i, table) in tables.iter().enumerate() {
+                    if i > 0 {
+                        println!();
+                    }
                     table.print();
-                    dump(name, &table);
-                    slot.1 = Status::Done;
                 }
-                Outcome::Skipped(rendered) => {
-                    print!("{rendered}");
-                    println!("[{name}: completed by a previous run, skipped]\n");
-                    slot.1 = Status::Skipped;
-                    continue;
-                }
-                Outcome::Failed(e) => {
-                    eprintln!("[{name} FAILED: {e}]\n");
-                    slot.1 = Status::Failed;
-                    continue;
-                }
-                Outcome::Interrupted => {
-                    println!("\n[interrupted during {name} — stopping gracefully]");
-                    slot.1 = Status::Interrupted;
-                    stopped = true;
-                    continue;
-                }
-            },
-            None => {
-                // No state dir: plain in-order run, still interruptible.
-                let table = factory();
-                table.print();
-                dump(name, &table);
-                slot.1 = Status::Done;
+                dump(name, tables);
+                println!("[{name} took {wall:.1?}]\n");
+                Status::Done
             }
-        }
-        println!("[{name} took {:.1?}]\n", t0.elapsed());
-        if crash_after.as_deref() == Some(*name) {
-            // Test hook: die abruptly right after this experiment's
-            // journal records hit disk, as a crash would.
-            eprintln!("[MITTS_CRASH_AFTER={name}: simulating crash]");
-            std::process::exit(3);
-        }
-    }
-
-    if !stopped && !signal::interrupted() && only.as_deref().is_none_or(|f| "ablations".contains(f))
-    {
-        let t0 = Instant::now();
-        for (i, table) in ablations::run(&scale).iter().enumerate() {
-            table.print();
-            dump(&format!("ablation_{i}"), table);
-            println!();
-        }
-        println!("[ablations took {:.1?}]", t0.elapsed());
-    }
+            Outcome::Skipped(rendered) => {
+                print!("{rendered}");
+                println!("[{name}: completed by a previous run, skipped]\n");
+                Status::Skipped
+            }
+            Outcome::Failed(e) => {
+                eprintln!("[{name} FAILED: {e}]\n");
+                Status::Failed
+            }
+            Outcome::Interrupted => {
+                println!("[{name}: interrupted — stopping gracefully]\n");
+                Status::Interrupted
+            }
+        };
+        statuses.push((name.to_owned(), status));
+    });
 
     // Sweep summary: one row per selected experiment. Written even on
     // interruption (that is the point), into the state dir when
     // journaling and the CSV dir otherwise.
     let mut summary = Table::new("sweep summary", &["experiment", "status"]);
     for (name, status) in &statuses {
-        summary.row(vec![(*name).to_owned(), status.label().to_owned()]);
+        summary.row(vec![name.clone(), status.label().to_owned()]);
     }
-    if stopped || signal::interrupted() {
+    if report.was_interrupted() {
         summary.print();
     }
     let summary_path = journal::state_dir()
@@ -258,11 +236,11 @@ fn main() {
         }
     }
 
-    if stopped || signal::interrupted() {
+    if report.was_interrupted() {
         println!("\ninterrupted: journal is flushed; rerun with --resume to continue");
         std::process::exit(130);
     }
-    if statuses.iter().any(|(_, s)| *s == Status::Failed) {
+    if report.failed > 0 {
         std::process::exit(1);
     }
 }

@@ -514,8 +514,13 @@ pub struct FuzzStats {
 }
 
 /// Runs `cases` fuzzed conformance cases from `seed`. Deterministic:
-/// the same seed and count always draw and run the same cases. On the
-/// first failing case, shrinks it and returns the failure.
+/// the same seed and count always draw and run the same cases, whatever
+/// `MITTS_JOBS` says — every case is drawn up front from the one
+/// sequential RNG, the checks run on the shared work-stealing loop
+/// (`mitts_sim::par`) with per-index result slots, and stats, progress
+/// callbacks, and the chosen failure are then folded in case order. On
+/// the first (lowest-index) failing case, shrinks it and returns the
+/// failure.
 ///
 /// # Errors
 ///
@@ -527,14 +532,28 @@ pub fn run_fuzz(
     mut progress: impl FnMut(usize, &FuzzStats),
 ) -> Result<FuzzStats, Box<FuzzFailure>> {
     let mut rng = Rng::seeded(seed);
+    let drawn: Vec<ConformCase> = (0..cases).map(|_| fuzz_case(&mut rng)).collect();
+    let reports: Vec<std::sync::Mutex<Option<CaseReport>>> =
+        (0..cases).map(|_| std::sync::Mutex::new(None)).collect();
+    let jobs = mitts_sim::par::jobs_from_env().min(cases.max(1));
+    mitts_sim::par::for_each_task(cases, jobs, |i| {
+        *reports[i].lock().unwrap() = Some(run_case(&drawn[i]));
+    });
     let mut stats = FuzzStats::default();
-    for index in 0..cases {
-        let case = fuzz_case(&mut rng);
-        let report = run_case(&case);
+    for (index, (case, slot)) in drawn.iter().zip(&reports).enumerate() {
+        let report = slot.lock().unwrap().take().expect("every case was checked");
         if !report.clean() {
+            // Shrinking is serial: it replays one case repeatedly and its
+            // greedy path must not depend on worker count.
             let shrunk = shrink(case.clone());
             let violations = run_case(&shrunk).violations;
-            return Err(Box::new(FuzzFailure { seed, index, original: case, shrunk, violations }));
+            return Err(Box::new(FuzzFailure {
+                seed,
+                index,
+                original: case.clone(),
+                shrunk,
+                violations,
+            }));
         }
         stats.cases += 1;
         stats.grants_checked += report.grants_checked;

@@ -5,7 +5,7 @@
 //!
 //! 1. `start <name>` is appended (and flushed) to `journal.jsonl`
 //!    *before* an experiment runs;
-//! 2. the finished table is written to `results/<name>.txt` via
+//! 2. the finished tables are written to `results/<name>.txt` via
 //!    [`mitts_sim::fsio::write_atomic`] (temp file + fsync + rename), so
 //!    a kill mid-write can never leave a truncated artifact;
 //! 3. `finish <name>` is appended only after the artifact is durable.
@@ -13,22 +13,22 @@
 //! Recovery ([`Journal::completed`]) trusts an experiment only when both
 //! the `finish` record *and* the artifact exist — a crash between steps
 //! leaves at worst a `start` with no `finish`, which `--resume` simply
-//! reruns. Experiments are run on a worker thread with a wall-clock
-//! timeout and bounded-backoff retries, so one stalled or panicking
-//! configuration cannot take down a whole sweep.
+//! reruns.
+//!
+//! Scheduling lives elsewhere: the supervised parallel pool
+//! ([`crate::pool`]) claims experiments through per-worker leases
+//! ([`crate::lease`], under `<state>/leases/`) and drives this journal
+//! from many workers at once — every append here is a single flushed
+//! `write(2)` of one line, so concurrent writers (even separate
+//! processes appending to the same journal in O_APPEND mode) interleave
+//! whole records, never torn ones.
 
 use std::collections::BTreeSet;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use mitts_sim::fsio::write_atomic_str;
 use mitts_tuner::{GaResult, GeneticTuner, Genome};
-
-use crate::signal;
-use crate::table::Table;
 
 /// The sweep state directory from `MITTS_STATE_DIR`, if configured.
 pub fn state_dir() -> Option<PathBuf> {
@@ -45,10 +45,11 @@ pub struct Journal {
 impl Journal {
     /// Opens (creating if needed) the journal under `dir`. With
     /// `resume = false` any previous journal is truncated — the sweep
-    /// starts from scratch; with `resume = true` the existing journal is
-    /// kept and appended to.
+    /// starts from scratch (stale leases included); with `resume = true`
+    /// the existing journal is kept and appended to.
     pub fn open(dir: &Path, resume: bool) -> io::Result<Journal> {
         std::fs::create_dir_all(dir.join("results"))?;
+        std::fs::create_dir_all(dir.join("leases"))?;
         let log = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -56,6 +57,13 @@ impl Journal {
             .open(dir.join("journal.jsonl"))?;
         if !resume {
             log.set_len(0)?;
+            // A fresh sweep owns the state dir outright: leases from a
+            // previous (possibly crashed) sweep are meaningless now.
+            if let Ok(entries) = std::fs::read_dir(dir.join("leases")) {
+                for e in entries.flatten() {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
         }
         Ok(Journal { dir: dir.to_path_buf(), log })
     }
@@ -74,8 +82,15 @@ impl Journal {
         self.dir.join("results").join(format!("{name}.txt"))
     }
 
+    /// Directory of per-experiment worker leases (see [`crate::lease`]).
+    pub fn leases_dir(&self) -> PathBuf {
+        self.dir.join("leases")
+    }
+
     /// Experiments the journal records as finished *and* whose result
-    /// artifact is present — the set `--resume` may skip.
+    /// artifact is present — the set `--resume` may skip. Re-reads the
+    /// journal file, so concurrent workers (or a second process sharing
+    /// the state dir) observe each other's completions.
     pub fn completed(&self) -> BTreeSet<String> {
         let mut done = BTreeSet::new();
         let Ok(text) = std::fs::read_to_string(self.dir.join("journal.jsonl")) else {
@@ -108,9 +123,13 @@ impl Journal {
         let _ = self.log.sync_data();
     }
 
-    /// Records that an attempt of `name` is beginning.
-    pub fn record_start(&mut self, name: &str, attempt: u32) {
-        self.append("start", name, &[("attempt", &attempt.to_string())]);
+    /// Records that an attempt of `name` is beginning on `worker`.
+    pub fn record_start(&mut self, name: &str, attempt: u32, worker: &str) {
+        self.append(
+            "start",
+            name,
+            &[("attempt", &attempt.to_string()), ("worker", worker)],
+        );
     }
 
     /// Durably writes the result artifact, then records completion.
@@ -125,13 +144,26 @@ impl Journal {
         self.append("fail", name, &[("attempt", &attempt.to_string()), ("reason", reason)]);
     }
 
+    /// Records that `worker` lost its lease on `name` mid-run (the
+    /// experiment was reclaimed by a survivor; this worker discarded its
+    /// result).
+    pub fn record_lease_lost(&mut self, name: &str, worker: &str) {
+        self.append("lease_lost", name, &[("worker", worker)]);
+    }
+
+    /// Records that an experiment exhausted its retry budget and was
+    /// quarantined — the sweep continues without it.
+    pub fn record_quarantine(&mut self, name: &str, reason: &str) {
+        self.append("quarantine", name, &[("reason", reason)]);
+    }
+
     /// Records that the sweep was interrupted during `name`.
     pub fn record_interrupted(&mut self, name: &str) {
         self.append("interrupted", name, &[]);
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -149,7 +181,7 @@ fn json_escape(s: &str) -> String {
 
 /// Extracts a string field from one of *our* journal lines. Not a JSON
 /// parser — it only needs to read back what [`Journal::append`] wrote.
-fn json_field(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_field(line: &str, key: &str) -> Option<String> {
     let tag = format!("\"{key}\":\"");
     let start = line.find(&tag)? + tag.len();
     let rest = &line[start..];
@@ -175,150 +207,6 @@ fn json_field(line: &str, key: &str) -> Option<String> {
     None
 }
 
-/// Retry/timeout policy for one experiment of a sweep.
-#[derive(Debug, Clone, Copy)]
-pub struct SweepOptions {
-    /// Wall-clock budget per attempt.
-    pub timeout: Duration,
-    /// Extra attempts after the first failure/timeout.
-    pub retries: u32,
-    /// Base backoff between attempts (doubled each retry, capped at
-    /// 30 s).
-    pub backoff: Duration,
-}
-
-impl SweepOptions {
-    /// Policy from the environment: `MITTS_EXP_TIMEOUT_SECS` (default
-    /// 1800) and `MITTS_EXP_RETRIES` (default 1).
-    pub fn from_env() -> Self {
-        let secs = std::env::var("MITTS_EXP_TIMEOUT_SECS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1800u64);
-        let retries = std::env::var("MITTS_EXP_RETRIES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1u32);
-        SweepOptions {
-            timeout: Duration::from_secs(secs.max(1)),
-            retries,
-            backoff: Duration::from_secs(2),
-        }
-    }
-}
-
-/// How one experiment of a journaled sweep ended.
-#[derive(Debug)]
-pub enum Outcome {
-    /// Ran to completion this time; the finished table.
-    Done(Table),
-    /// Skipped — a previous run completed it; the stored artifact.
-    Skipped(String),
-    /// All attempts failed; the last error.
-    Failed(String),
-    /// A graceful stop was requested while it ran (or before it started).
-    Interrupted,
-}
-
-enum Attempt {
-    Ok(Table),
-    Err(String),
-    Interrupted,
-}
-
-/// Runs `factory` on a worker thread with a wall-clock `timeout`,
-/// polling the SIGINT flag so a graceful stop is noticed within ~200 ms.
-/// A timed-out worker is abandoned (it holds no locks and the process
-/// exits at the end of the sweep).
-fn attempt(factory: &Arc<dyn Fn() -> Table + Send + Sync>, timeout: Duration) -> Attempt {
-    let (tx, rx) = mpsc::channel();
-    let f = Arc::clone(factory);
-    std::thread::spawn(move || {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
-        let _ = tx.send(result.map_err(|p| {
-            p.downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| p.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "experiment panicked".to_owned())
-        }));
-    });
-    let deadline = Instant::now() + timeout;
-    loop {
-        match rx.recv_timeout(Duration::from_millis(200)) {
-            Ok(Ok(table)) => return Attempt::Ok(table),
-            Ok(Err(panic_msg)) => return Attempt::Err(format!("panicked: {panic_msg}")),
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Attempt::Err("experiment thread died without a result".to_owned())
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if signal::interrupted() {
-                    return Attempt::Interrupted;
-                }
-                if Instant::now() >= deadline {
-                    return Attempt::Err(format!(
-                        "timed out after {} s",
-                        timeout.as_secs()
-                    ));
-                }
-            }
-        }
-    }
-}
-
-/// Runs one named experiment under the journal protocol: skip if already
-/// completed, otherwise journal `start`, run with timeout, retry failures
-/// with bounded backoff, and journal the outcome.
-pub fn run_journaled(
-    journal: &mut Journal,
-    completed: &BTreeSet<String>,
-    name: &str,
-    factory: Arc<dyn Fn() -> Table + Send + Sync>,
-    opts: &SweepOptions,
-) -> Outcome {
-    if completed.contains(name) {
-        let stored = std::fs::read_to_string(journal.artifact_path(name))
-            .unwrap_or_else(|_| format!("[{name}: artifact unreadable]\n"));
-        return Outcome::Skipped(stored);
-    }
-    if signal::interrupted() {
-        return Outcome::Interrupted;
-    }
-    let mut last_error = String::new();
-    for n in 1..=opts.retries + 1 {
-        journal.record_start(name, n);
-        match attempt(&factory, opts.timeout) {
-            Attempt::Ok(table) => {
-                if let Err(e) = journal.record_finish(name, &table.render()) {
-                    return Outcome::Failed(format!("result artifact write failed: {e}"));
-                }
-                return Outcome::Done(table);
-            }
-            Attempt::Interrupted => {
-                journal.record_interrupted(name);
-                return Outcome::Interrupted;
-            }
-            Attempt::Err(e) => {
-                journal.record_fail(name, n, &e);
-                last_error = e;
-                if n <= opts.retries {
-                    // Bounded exponential backoff, still responsive to
-                    // Ctrl-C.
-                    let pause = (opts.backoff * 2u32.saturating_pow(n - 1))
-                        .min(Duration::from_secs(30));
-                    let waited = Instant::now();
-                    while waited.elapsed() < pause {
-                        if signal::interrupted() {
-                            return Outcome::Interrupted;
-                        }
-                        std::thread::sleep(Duration::from_millis(100));
-                    }
-                }
-            }
-        }
-    }
-    Outcome::Failed(last_error)
-}
-
 /// Runs a GA search with per-generation checkpointing when
 /// `MITTS_STATE_DIR` is set (and a plain [`GeneticTuner::optimize`]
 /// otherwise). The state is persisted atomically to
@@ -326,6 +214,12 @@ pub fn run_journaled(
 /// search resumed from that file reaches the identical final genome. A
 /// stale or foreign state file (different search parameters, corruption)
 /// is ignored and the search starts over.
+///
+/// Fitness evaluation inside [`GeneticTuner::optimize_resumable`] runs
+/// on the same `MITTS_JOBS`-sized work-stealing loop as the sweep pool
+/// (`mitts_sim::par`), and scores land in per-genome slots — so a
+/// parallel search checkpoints, resumes, and converges bit-identically
+/// to a serial one.
 pub fn optimize_checkpointed<F>(ga: &mut GeneticTuner, tag: &str, fitness: F) -> GaResult
 where
     F: Fn(&Genome) -> f64 + Sync,
@@ -345,34 +239,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
-
-    fn tmp_dir(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("mitts-journal-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
-    }
-
-    fn demo_table(label: &str) -> Table {
-        let mut t = Table::new("demo", &["k", "v"]);
-        t.row(vec![label.to_owned(), "1".to_owned()]);
-        t
-    }
 
     #[test]
     fn finish_is_trusted_only_with_artifact() {
-        let dir = tmp_dir("trust");
+        let dir = std::env::temp_dir()
+            .join(format!("mitts-journal-trust-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
         let mut j = Journal::open(&dir, false).unwrap();
-        j.record_start("a", 1);
+        j.record_start("a", 1, "w0");
         j.record_finish("a", "table a\n").unwrap();
         // "b" gets a finish record but its artifact vanishes (simulated
         // crash between rename and replay, or manual deletion).
         j.record_finish("b", "table b\n").unwrap();
         std::fs::remove_file(j.artifact_path("b")).unwrap();
         // "c" started but never finished.
-        j.record_start("c", 1);
+        j.record_start("c", 1, "w1");
         let done = j.completed();
         assert!(done.contains("a"));
         assert!(!done.contains("b"), "finish without artifact must rerun");
@@ -381,87 +263,24 @@ mod tests {
     }
 
     #[test]
-    fn resume_skips_and_returns_stored_artifact() {
-        let dir = tmp_dir("skip");
-        let mut j = Journal::open(&dir, false).unwrap();
-        j.record_finish("fig99", "the stored table\n").unwrap();
-        drop(j);
-        let mut j = Journal::open(&dir, true).unwrap();
-        let done = j.completed();
-        let calls = Arc::new(AtomicU64::new(0));
-        let calls2 = Arc::clone(&calls);
-        let factory: Arc<dyn Fn() -> Table + Send + Sync> = Arc::new(move || {
-            calls2.fetch_add(1, Ordering::SeqCst);
-            demo_table("x")
-        });
-        let opts = SweepOptions {
-            timeout: Duration::from_secs(5),
-            retries: 0,
-            backoff: Duration::from_millis(1),
-        };
-        match run_journaled(&mut j, &done, "fig99", factory, &opts) {
-            Outcome::Skipped(text) => assert_eq!(text, "the stored table\n"),
-            other => panic!("expected skip, got {other:?}"),
-        }
-        assert_eq!(calls.load(Ordering::SeqCst), 0, "completed work must not rerun");
+    fn fresh_open_truncates_and_clears_leases_but_resume_appends() {
+        let dir = std::env::temp_dir()
+            .join(format!("mitts-journal-trunc-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn fresh_open_truncates_but_resume_appends() {
-        let dir = tmp_dir("trunc");
+        std::fs::create_dir_all(&dir).unwrap();
         let mut j = Journal::open(&dir, false).unwrap();
         j.record_finish("old", "old table\n").unwrap();
+        std::fs::write(j.leases_dir().join("old.lease"), b"{}").unwrap();
+        drop(j);
+        let j = Journal::open(&dir, true).unwrap();
+        assert!(j.completed().contains("old"), "resume keeps the journal");
         drop(j);
         let j = Journal::open(&dir, false).unwrap();
         assert!(j.completed().is_empty(), "a non-resume open starts a fresh sweep");
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn panicking_experiment_is_retried_then_reported() {
-        let dir = tmp_dir("panic");
-        let mut j = Journal::open(&dir, false).unwrap();
-        let calls = Arc::new(AtomicU64::new(0));
-        let calls2 = Arc::clone(&calls);
-        let factory: Arc<dyn Fn() -> Table + Send + Sync> = Arc::new(move || {
-            let n = calls2.fetch_add(1, Ordering::SeqCst);
-            if n == 0 {
-                panic!("flaky first attempt");
-            }
-            demo_table("recovered")
-        });
-        let opts = SweepOptions {
-            timeout: Duration::from_secs(10),
-            retries: 1,
-            backoff: Duration::from_millis(1),
-        };
-        match run_journaled(&mut j, &BTreeSet::new(), "flaky", factory, &opts) {
-            Outcome::Done(table) => assert!(table.render().contains("recovered")),
-            other => panic!("expected recovery on retry, got {other:?}"),
-        }
-        assert_eq!(calls.load(Ordering::SeqCst), 2);
-        assert!(j.completed().contains("flaky"));
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn stalled_experiment_times_out() {
-        let dir = tmp_dir("stall");
-        let mut j = Journal::open(&dir, false).unwrap();
-        let factory: Arc<dyn Fn() -> Table + Send + Sync> = Arc::new(|| loop {
-            std::thread::sleep(Duration::from_millis(50));
-        });
-        let opts = SweepOptions {
-            timeout: Duration::from_millis(300),
-            retries: 0,
-            backoff: Duration::from_millis(1),
-        };
-        match run_journaled(&mut j, &BTreeSet::new(), "hang", factory, &opts) {
-            Outcome::Failed(e) => assert!(e.contains("timed out"), "got: {e}"),
-            other => panic!("expected timeout, got {other:?}"),
-        }
-        assert!(!j.completed().contains("hang"));
+        assert!(
+            std::fs::read_dir(j.leases_dir()).unwrap().next().is_none(),
+            "a fresh sweep clears stale leases"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,9 +8,12 @@
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured numbers.
 
+pub mod chaos;
 pub mod conform;
 pub mod exp;
 pub mod journal;
+pub mod lease;
+pub mod pool;
 pub mod runner;
 pub mod signal;
 pub mod table;

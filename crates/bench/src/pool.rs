@@ -1,0 +1,807 @@
+//! Supervised parallel sweep engine: a work-stealing worker pool that
+//! claims experiments through per-worker leases and survives crashed,
+//! panicking, stalled, or SIGKILLed workers.
+//!
+//! # Architecture
+//!
+//! [`run_sweep`] spawns `MITTS_JOBS` supervisor workers (default:
+//! available parallelism). Each worker loops: claim the lowest pending
+//! experiment (an in-memory claim table serialises workers of this
+//! process; a fsynced lease file under `<state>/leases/` serialises
+//! against other *processes* sharing the journal), then run it on a
+//! dedicated attempt thread with panic isolation
+//! (`catch_unwind`), a wall-clock timeout, and bounded-backoff retries —
+//! exactly the per-experiment supervision the serial runner had, now per
+//! worker. While the attempt thread runs, the supervisor heartbeats the
+//! lease every [`LeaseConfig::heartbeat`].
+//!
+//! **Stealing.** A worker with no unclaimed experiment left scans the
+//! in-flight ones: an experiment whose lease has gone stale (its owner
+//! crashed, was SIGKILLed, or stopped heartbeating) is *reclaimed* —
+//! taken over atomically and rerun. An experiment leased by a live
+//! foreign owner is left alone and polled: when the foreign journal
+//! shows it finished, the stored artifact is adopted; a second process
+//! racing for the same journal therefore loses every claim cleanly and
+//! contributes wherever it wins one. The original owner discovers the
+//! loss at its next heartbeat, abandons the attempt, and discards its
+//! result — and even the worst-case overlap (both sides running the
+//! same experiment for one heartbeat) is benign, because experiments
+//! are deterministic, artifacts are atomically replaced, and the
+//! journal's first `finish` wins.
+//!
+//! **Graceful degradation.** An experiment that fails every attempt is
+//! *quarantined*: journaled (`quarantine` record), reported with status
+//! `failed`, and the sweep continues — one broken configuration cannot
+//! abort the other results. The first SIGINT stops claiming and drains
+//! (or abandons) in-flight workers so the status table is salvaged; a
+//! second SIGINT aborts.
+//!
+//! **Deterministic output.** Results are published into per-experiment
+//! slots and the caller's `on_result` callback is invoked strictly in
+//! experiment order, whatever the completion order — tables print and
+//! CSVs land exactly as a serial run would, and result artifacts are
+//! byte-identical for any worker count (the parallel-vs-serial gate in
+//! `scripts/check.sh` diffs them).
+//!
+//! **Chaos.** With a [`ChaosPlan`] armed (`MITTS_CHAOS=<seed>`), the
+//! pool injects seeded panics, heartbeat silences, and process kills —
+//! see [`crate::chaos`] for the convergence argument.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::chaos::ChaosPlan;
+use crate::journal::Journal;
+use crate::lease::{Claim, Lease, LeaseConfig};
+use crate::signal;
+use crate::table::{render_tables, Table};
+
+/// A lazily-run experiment body. Returns every table it produced (most
+/// experiments produce one; the ablation study produces several).
+pub type ExperimentFn = Arc<dyn Fn() -> Vec<Table> + Send + Sync>;
+
+/// One named unit of a sweep.
+pub struct Experiment {
+    /// Journal/artifact name.
+    pub name: String,
+    /// The body; runs on an isolated attempt thread.
+    pub run: ExperimentFn,
+}
+
+impl Experiment {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, run: ExperimentFn) -> Self {
+        Experiment { name: name.into(), run }
+    }
+}
+
+/// Retry/timeout policy for one experiment of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Wall-clock budget per attempt.
+    pub timeout: Duration,
+    /// Extra attempts after the first failure/timeout.
+    pub retries: u32,
+    /// Base backoff between attempts (doubled each retry, capped at
+    /// 30 s).
+    pub backoff: Duration,
+}
+
+impl SweepOptions {
+    /// Policy from the environment: `MITTS_EXP_TIMEOUT_SECS` (default
+    /// 1800) and `MITTS_EXP_RETRIES` (default 1).
+    pub fn from_env() -> Self {
+        let secs = std::env::var("MITTS_EXP_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1800u64);
+        let retries = std::env::var("MITTS_EXP_RETRIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1u32);
+        SweepOptions {
+            timeout: Duration::from_secs(secs.max(1)),
+            retries,
+            backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Full pool policy.
+pub struct PoolConfig {
+    /// Worker count (`MITTS_JOBS`, default available parallelism).
+    pub jobs: usize,
+    /// Per-experiment retry/timeout policy.
+    pub opts: SweepOptions,
+    /// Lease TTL/heartbeat policy.
+    pub lease: LeaseConfig,
+    /// Seeded fault plan, if armed.
+    pub chaos: Option<ChaosPlan>,
+    /// `MITTS_CRASH_AFTER`: exit(3) right after this experiment's
+    /// `finish` record hits disk (the resume-path test hook).
+    pub crash_after: Option<String>,
+}
+
+impl PoolConfig {
+    /// Everything from the environment.
+    pub fn from_env(state_dir: Option<&std::path::Path>) -> Self {
+        PoolConfig {
+            jobs: mitts_sim::par::jobs_from_env(),
+            opts: SweepOptions::from_env(),
+            lease: LeaseConfig::from_env(),
+            chaos: ChaosPlan::from_env(state_dir),
+            crash_after: std::env::var("MITTS_CRASH_AFTER").ok(),
+        }
+    }
+
+    /// A quiet serial policy for tests.
+    pub fn serial() -> Self {
+        PoolConfig {
+            jobs: 1,
+            opts: SweepOptions {
+                timeout: Duration::from_secs(60),
+                retries: 0,
+                backoff: Duration::from_millis(1),
+            },
+            lease: LeaseConfig::from_env(),
+            chaos: None,
+            crash_after: None,
+        }
+    }
+}
+
+/// How one experiment of a sweep ended.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Ran to completion this time; the finished tables and wall time.
+    Done {
+        /// Every table the experiment produced.
+        tables: Vec<Table>,
+        /// Wall-clock from first attempt to completion.
+        wall: Duration,
+    },
+    /// Skipped — a previous run (or a concurrent process) completed it;
+    /// the stored artifact.
+    Skipped(String),
+    /// Quarantined: all attempts failed; the last error. The sweep
+    /// continues.
+    Failed(String),
+    /// A graceful stop was requested while it ran (or before it started).
+    Interrupted,
+}
+
+/// Aggregate result of [`run_sweep`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Experiments that ran to completion in this process.
+    pub done: usize,
+    /// Experiments adopted from a previous run or concurrent process.
+    pub skipped: usize,
+    /// Experiments quarantined after exhausting retries.
+    pub failed: usize,
+    /// Experiments not completed because of a graceful stop.
+    pub interrupted: usize,
+}
+
+impl SweepReport {
+    /// Whether a graceful stop cut the sweep short.
+    pub fn was_interrupted(&self) -> bool {
+        self.interrupted > 0
+    }
+}
+
+/// Distinguishes concurrent [`run_sweep`] calls within one process.
+static RUN_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// In-memory claim state of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClaimState {
+    /// Nobody has it.
+    Unclaimed,
+    /// Worker `w` of this process is running it.
+    Ours(usize),
+    /// Another process holds a live lease on it.
+    Foreign,
+}
+
+struct State {
+    claims: Vec<ClaimState>,
+    results: Vec<Option<Outcome>>,
+    live_workers: usize,
+}
+
+struct Shared<'a> {
+    experiments: &'a [Experiment],
+    state: Mutex<State>,
+    cv: Condvar,
+    journal: Option<Mutex<Journal>>,
+    leases_dir: Option<std::path::PathBuf>,
+    cfg: &'a PoolConfig,
+    /// `finish` records written by this process (chaos kill trigger).
+    finishes: AtomicU64,
+    owner_epoch: u64,
+}
+
+/// What the supervisor poll decided mid-attempt.
+enum Supervise {
+    Continue,
+    Interrupt,
+    LeaseLost,
+}
+
+enum AttemptEnd {
+    Ok(Vec<Table>),
+    Err(String),
+    Interrupted,
+    LeaseLost,
+}
+
+/// Runs `body` on a dedicated thread with `catch_unwind` isolation and a
+/// wall-clock `timeout`, polling `supervise` every ~200 ms (heartbeats,
+/// SIGINT, chaos). A timed-out or abandoned attempt thread is detached —
+/// it holds no locks and the process exits at the end of the sweep.
+fn attempt(
+    body: impl FnOnce() -> Vec<Table> + Send + 'static,
+    timeout: Duration,
+    supervise: &mut impl FnMut() -> Supervise,
+) -> AttemptEnd {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(body));
+        let _ = tx.send(result.map_err(|p| {
+            p.downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "experiment panicked".to_owned())
+        }));
+    });
+    let deadline = Instant::now() + timeout;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(Ok(tables)) => return AttemptEnd::Ok(tables),
+            Ok(Err(panic_msg)) => return AttemptEnd::Err(format!("panicked: {panic_msg}")),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return AttemptEnd::Err("experiment thread died without a result".to_owned())
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                match supervise() {
+                    Supervise::Interrupt => return AttemptEnd::Interrupted,
+                    Supervise::LeaseLost => return AttemptEnd::LeaseLost,
+                    Supervise::Continue => {}
+                }
+                if Instant::now() >= deadline {
+                    return AttemptEnd::Err(format!(
+                        "timed out after {} s",
+                        timeout.as_secs()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Shared<'a> {
+    fn name(&self, i: usize) -> &str {
+        &self.experiments[i].name
+    }
+
+    /// Publishes `outcome` for experiment `i` unless a result is already
+    /// there (a reclaimed experiment can race its old owner; first wins).
+    fn publish(&self, i: usize, outcome: Outcome) {
+        let mut st = self.state.lock().unwrap();
+        if st.results[i].is_none() {
+            st.results[i] = Some(outcome);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Re-reads the journal: has `name` been finished (possibly by a
+    /// concurrent process)? Returns the stored artifact when so.
+    fn adopt_foreign_finish(&self, i: usize) -> Option<String> {
+        let journal = self.journal.as_ref()?;
+        let j = journal.lock().unwrap();
+        if j.completed().contains(self.name(i)) {
+            std::fs::read_to_string(j.artifact_path(self.name(i))).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Records a durable finish and fires the crash/chaos kill hooks
+    /// that must trigger *after* the finish record is on disk.
+    fn record_finish_and_maybe_die(&self, i: usize, rendered: &str) -> std::io::Result<()> {
+        if let Some(journal) = &self.journal {
+            journal.lock().unwrap().record_finish(self.name(i), rendered)?;
+        }
+        let finished = self.finishes.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(chaos) = &self.cfg.chaos {
+            if chaos.kill_after_finishes() == Some(finished) && chaos.try_arm_kill() {
+                eprintln!(
+                    "[chaos round {}: killing process after finish #{finished}]",
+                    chaos.round()
+                );
+                std::process::exit(3);
+            }
+        }
+        if self.cfg.crash_after.as_deref() == Some(self.name(i)) {
+            eprintln!("[MITTS_CRASH_AFTER={}: simulating crash]", self.name(i));
+            std::process::exit(3);
+        }
+        Ok(())
+    }
+
+    /// Runs experiment `i` under the retry/timeout/lease protocol.
+    /// `lease` is `None` for unjournaled sweeps.
+    fn run_claimed(&self, w: usize, i: usize, mut lease: Option<Lease>) {
+        // A concurrent process may have completed this experiment and
+        // released its lease between our journal snapshot and this
+        // claim; one re-read before any work makes "never rerun after a
+        // completion" hold on every claim path.
+        if let Some(artifact) = self.adopt_foreign_finish(i) {
+            self.publish(i, Outcome::Skipped(artifact));
+            if let Some(l) = lease {
+                l.release();
+            }
+            return;
+        }
+        let name = self.name(i).to_owned();
+        let worker_id = self.worker_owner(w);
+        let t0 = Instant::now();
+        let chaos_silence = self.cfg.chaos.as_ref().and_then(|c| {
+            c.active().then(|| c.heartbeat_delay(&name, self.cfg.lease.ttl)).flatten()
+        });
+        let mut last_error = String::new();
+        for n in 1..=self.cfg.opts.retries + 1 {
+            if let Some(journal) = &self.journal {
+                journal.lock().unwrap().record_start(&name, n, &worker_id);
+            }
+            let inject_panic =
+                self.cfg.chaos.as_ref().is_some_and(|c| c.inject_panic(&name, n));
+            let kill_mid = self.cfg.chaos.as_ref().is_some_and(|c| c.kill_mid_run(&name));
+            let body = {
+                let run = Arc::clone(&self.experiments[i].run);
+                let name = name.clone();
+                move || {
+                    if inject_panic {
+                        panic!("chaos: injected panic inside {name}");
+                    }
+                    run()
+                }
+            };
+            let attempt_start = Instant::now();
+            let mut last_renew = Instant::now();
+            let mut supervise = || {
+                if signal::interrupted() {
+                    return Supervise::Interrupt;
+                }
+                if kill_mid {
+                    if let Some(chaos) = &self.cfg.chaos {
+                        if chaos.try_arm_kill() {
+                            eprintln!(
+                                "[chaos round {}: killing process mid-run of {name}]",
+                                chaos.round()
+                            );
+                            std::process::exit(3);
+                        }
+                    }
+                }
+                if let Some(l) = &mut lease {
+                    // A chaos silence window models a stalled-but-alive
+                    // owner: renewals are skipped until the window ends,
+                    // by which point the lease is reclaimably stale.
+                    let silenced = chaos_silence
+                        .is_some_and(|window| attempt_start.elapsed() < window);
+                    if !silenced && last_renew.elapsed() >= self.cfg.lease.heartbeat {
+                        last_renew = Instant::now();
+                        match l.renew() {
+                            Ok(true) => {}
+                            Ok(false) => return Supervise::LeaseLost,
+                            Err(_) => {} // transient fs error: keep going
+                        }
+                    }
+                }
+                Supervise::Continue
+            };
+            match attempt(body, self.cfg.opts.timeout, &mut supervise) {
+                AttemptEnd::Ok(tables) => {
+                    // Last ownership check before the irreversible step:
+                    // a reclaimed experiment belongs to its thief now.
+                    if let Some(l) = &lease {
+                        if !l.still_mine() {
+                            self.handle_lease_lost(w, i, &worker_id, lease);
+                            return;
+                        }
+                    }
+                    let rendered = render_tables(&tables);
+                    if let Err(e) = self.record_finish_and_maybe_die(i, &rendered) {
+                        self.publish(
+                            i,
+                            Outcome::Failed(format!("result artifact write failed: {e}")),
+                        );
+                    } else {
+                        self.publish(i, Outcome::Done { tables, wall: t0.elapsed() });
+                    }
+                    if let Some(l) = lease {
+                        l.release();
+                    }
+                    return;
+                }
+                AttemptEnd::Interrupted => {
+                    if let Some(journal) = &self.journal {
+                        journal.lock().unwrap().record_interrupted(&name);
+                    }
+                    self.publish(i, Outcome::Interrupted);
+                    if let Some(l) = lease {
+                        l.release();
+                    }
+                    return;
+                }
+                AttemptEnd::LeaseLost => {
+                    self.handle_lease_lost(w, i, &worker_id, lease);
+                    return;
+                }
+                AttemptEnd::Err(e) => {
+                    if let Some(journal) = &self.journal {
+                        journal.lock().unwrap().record_fail(&name, n, &e);
+                    }
+                    last_error = e;
+                    if n <= self.cfg.opts.retries {
+                        // Bounded exponential backoff, still responsive
+                        // to Ctrl-C.
+                        let pause = (self.cfg.opts.backoff * 2u32.saturating_pow(n - 1))
+                            .min(Duration::from_secs(30));
+                        if signal::sleep_interruptibly(pause) {
+                            self.publish(i, Outcome::Interrupted);
+                            if let Some(l) = lease {
+                                l.release();
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        // Retry budget exhausted: quarantine and move on — graceful
+        // degradation, not sweep abort.
+        if let Some(journal) = &self.journal {
+            journal.lock().unwrap().record_quarantine(&name, &last_error);
+        }
+        self.publish(i, Outcome::Failed(last_error));
+        if let Some(l) = lease {
+            l.release();
+        }
+    }
+
+    /// The lease was reclaimed out from under worker `w`: discard our
+    /// (possibly finished) result, journal the event, and hand the claim
+    /// back to the scheduler — the thief owns the experiment now.
+    fn handle_lease_lost(&self, w: usize, i: usize, worker_id: &str, lease: Option<Lease>) {
+        drop(lease); // release() would be wrong: it is not ours any more
+        if let Some(journal) = &self.journal {
+            journal.lock().unwrap().record_lease_lost(self.name(i), worker_id);
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.claims[i] == ClaimState::Ours(w) {
+            // Nobody in this process stole it (a foreign process did):
+            // mark it foreign so idle workers poll for its completion.
+            st.claims[i] = ClaimState::Foreign;
+        }
+        self.cv.notify_all();
+    }
+
+    fn worker_owner(&self, w: usize) -> String {
+        format!("{}-w{w}-{:x}", std::process::id(), self.owner_epoch)
+    }
+
+    /// Claims the lowest pending unclaimed experiment for worker `w` and
+    /// returns its index plus the acquired lease (journal mode). On a
+    /// foreign-held lease the claim is marked [`ClaimState::Foreign`]
+    /// and the scan continues.
+    fn claim_next(&self, w: usize) -> Option<(usize, Option<Lease>)> {
+        loop {
+            let candidate = {
+                let mut st = self.state.lock().unwrap();
+                let i = (0..self.experiments.len()).find(|&i| {
+                    st.results[i].is_none() && st.claims[i] == ClaimState::Unclaimed
+                })?;
+                st.claims[i] = ClaimState::Ours(w);
+                i
+            };
+            let Some(dir) = &self.leases_dir else {
+                return Some((candidate, None));
+            };
+            match Lease::acquire(
+                dir,
+                self.name(candidate),
+                &self.worker_owner(w),
+                &self.cfg.lease,
+            ) {
+                Ok(Claim::Acquired(lease)) => return Some((candidate, Some(lease))),
+                Ok(Claim::Held { .. }) => {
+                    let mut st = self.state.lock().unwrap();
+                    st.claims[candidate] = ClaimState::Foreign;
+                    // Keep scanning: later experiments may be free.
+                }
+                Err(_) => {
+                    // Lease dir unusable for this claim: run unleased
+                    // rather than wedging the sweep (single-process
+                    // correctness does not depend on leases).
+                    return Some((candidate, None));
+                }
+            }
+        }
+    }
+
+    /// One pass over in-flight experiments: adopt foreign finishes and
+    /// reclaim stale leases. Returns work to run, if any was stolen.
+    fn steal_or_adopt(&self, w: usize) -> Option<(usize, Option<Lease>)> {
+        let dir = self.leases_dir.as_ref()?;
+        let pending: Vec<(usize, ClaimState)> = {
+            let st = self.state.lock().unwrap();
+            (0..self.experiments.len())
+                .filter(|&i| st.results[i].is_none())
+                .map(|i| (i, st.claims[i]))
+                .collect()
+        };
+        for (i, claim) in pending {
+            if claim == ClaimState::Unclaimed || claim == ClaimState::Ours(w) {
+                // Unclaimed work goes through claim_next; our own claims
+                // cannot be stolen from ourselves.
+                continue;
+            }
+            // A foreign (or silent in-process) owner may have finished it.
+            if claim == ClaimState::Foreign {
+                if let Some(artifact) = self.adopt_foreign_finish(i) {
+                    self.publish(i, Outcome::Skipped(artifact));
+                    continue;
+                }
+            }
+            // Reclaim if stale.
+            let path = crate::lease::lease_path(dir, self.name(i));
+            let stale = match crate::lease::read_lease(&path) {
+                Ok(Some(r)) => r.is_stale(self.cfg.lease.ttl, crate::lease::now_ms()),
+                Ok(None) => claim == ClaimState::Foreign, // vanished foreign claim
+                Err(_) => false,
+            };
+            if !stale {
+                continue;
+            }
+            if let Ok(Claim::Acquired(lease)) =
+                Lease::acquire(dir, self.name(i), &self.worker_owner(w), &self.cfg.lease)
+            {
+                // A vanished lease can mean "finished and released", not
+                // just "crashed": the owner records its finish *before*
+                // releasing, so one journal re-read here closes the race
+                // — an experiment is never rerun after a completion.
+                if let Some(artifact) = self.adopt_foreign_finish(i) {
+                    self.publish(i, Outcome::Skipped(artifact));
+                    lease.release();
+                    continue;
+                }
+                let mut st = self.state.lock().unwrap();
+                if st.results[i].is_some() {
+                    drop(st);
+                    lease.release();
+                    continue;
+                }
+                st.claims[i] = ClaimState::Ours(w);
+                drop(st);
+                return Some((i, Some(lease)));
+            }
+        }
+        None
+    }
+
+    fn all_resolved(&self) -> bool {
+        self.state.lock().unwrap().results.iter().all(Option::is_some)
+    }
+
+    /// Whether any pending experiment could still become ours: an
+    /// unclaimed one, or (journal mode) any in-flight one — stale-lease
+    /// reclamation and foreign-finish adoption both need a poller.
+    fn worth_waiting(&self) -> bool {
+        let st = self.state.lock().unwrap();
+        let has_journal = self.journal.is_some();
+        (0..self.experiments.len()).any(|i| {
+            st.results[i].is_none()
+                && (st.claims[i] == ClaimState::Unclaimed
+                    || has_journal && !matches!(st.claims[i], ClaimState::Unclaimed))
+        })
+    }
+
+    fn worker(&self, w: usize) {
+        loop {
+            if signal::interrupted() {
+                break;
+            }
+            if let Some((i, lease)) = self.claim_next(w) {
+                self.run_claimed(w, i, lease);
+                continue;
+            }
+            if let Some((i, lease)) = self.steal_or_adopt(w) {
+                self.run_claimed(w, i, lease);
+                continue;
+            }
+            if self.all_resolved() || !self.worth_waiting() {
+                break;
+            }
+            if signal::sleep_interruptibly(Duration::from_millis(100)) {
+                break;
+            }
+        }
+        let mut st = self.state.lock().unwrap();
+        st.live_workers -= 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Runs `experiments` across the pool described by `cfg`, journaling
+/// under `journal` when present and skipping everything in `completed`.
+/// `on_result` is called exactly once per experiment, **in experiment
+/// order**, as results become available.
+pub fn run_sweep(
+    experiments: &[Experiment],
+    journal: Option<Journal>,
+    completed: &BTreeSet<String>,
+    cfg: &PoolConfig,
+    mut on_result: impl FnMut(usize, &str, &Outcome),
+) -> SweepReport {
+    let n = experiments.len();
+    let mut results: Vec<Option<Outcome>> = vec![None; n];
+    // Adopt everything a previous run proved complete before any worker
+    // spawns — those experiments are never claimed, never leased.
+    if let Some(j) = &journal {
+        for (i, e) in experiments.iter().enumerate() {
+            if completed.contains(&e.name) {
+                let stored = std::fs::read_to_string(j.artifact_path(&e.name))
+                    .unwrap_or_else(|_| format!("[{}: artifact unreadable]\n", e.name));
+                results[i] = Some(Outcome::Skipped(stored));
+            }
+        }
+    }
+    let leases_dir = journal.as_ref().map(|j| j.leases_dir());
+    let jobs = cfg.jobs.clamp(1, n.max(1));
+    let shared = Shared {
+        experiments,
+        state: Mutex::new(State {
+            claims: vec![ClaimState::Unclaimed; n],
+            results,
+            live_workers: jobs,
+        }),
+        cv: Condvar::new(),
+        journal: journal.map(Mutex::new),
+        leases_dir,
+        cfg,
+        finishes: AtomicU64::new(0),
+        // Owner ids must differ between any two sweeps that can ever
+        // share a lease dir: across processes the pid differs, and
+        // within one process this counter does (the timestamp alone
+        // could collide for sweeps started in the same millisecond).
+        owner_epoch: crate::lease::now_ms() ^ (RUN_TOKEN.fetch_add(1, Ordering::SeqCst) << 48),
+    };
+
+    let mut report = SweepReport::default();
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let shared = &shared;
+            scope.spawn(move || shared.worker(w));
+        }
+        // Drain results in experiment order on this thread; the callback
+        // runs outside the state lock so printing/CSV writes never block
+        // workers.
+        let mut reported = 0usize;
+        while reported < n {
+            let next: Option<Outcome> = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if let Some(out) = &st.results[reported] {
+                        break Some(out.clone());
+                    }
+                    if st.live_workers == 0 {
+                        // All workers drained (graceful stop or nothing
+                        // claimable): whatever is unresolved stays
+                        // unfinished this run.
+                        for slot in st.results.iter_mut().filter(|s| s.is_none()) {
+                            *slot = Some(Outcome::Interrupted);
+                        }
+                        continue;
+                    }
+                    let (guard, _) = shared
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(200))
+                        .unwrap();
+                    st = guard;
+                }
+            };
+            if let Some(out) = next {
+                match &out {
+                    Outcome::Done { .. } => report.done += 1,
+                    Outcome::Skipped(_) => report.skipped += 1,
+                    Outcome::Failed(_) => report.failed += 1,
+                    Outcome::Interrupted => report.interrupted += 1,
+                }
+                on_result(reported, &experiments[reported].name, &out);
+                reported += 1;
+            }
+        }
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(label: &str) -> Table {
+        let mut t = Table::new("demo", &["k", "v"]);
+        t.row(vec![label.to_owned(), "1".to_owned()]);
+        t
+    }
+
+    fn exp(name: &str, body: impl Fn() -> Vec<Table> + Send + Sync + 'static) -> Experiment {
+        Experiment::new(name, Arc::new(body))
+    }
+
+    #[test]
+    fn unjournaled_sweep_runs_everything_in_order() {
+        let experiments: Vec<Experiment> = (0..5)
+            .map(|i| {
+                let label = format!("e{i}");
+                exp(&label.clone(), move || {
+                    // Reverse sleeps: later experiments finish first.
+                    std::thread::sleep(Duration::from_millis(5 * (5 - i)));
+                    vec![table(&label)]
+                })
+            })
+            .collect();
+        let mut cfg = PoolConfig::serial();
+        cfg.jobs = 4;
+        let mut seen = Vec::new();
+        let report = run_sweep(&experiments, None, &BTreeSet::new(), &cfg, |i, name, out| {
+            assert!(matches!(out, Outcome::Done { .. }), "{name}: {out:?}");
+            seen.push(i);
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "results must stream in experiment order");
+        assert_eq!(report, SweepReport { done: 5, ..Default::default() });
+    }
+
+    #[test]
+    fn panicking_experiment_is_quarantined_not_fatal() {
+        let experiments = vec![
+            exp("ok1", || vec![table("a")]),
+            exp("boom", || panic!("deliberate")),
+            exp("ok2", || vec![table("b")]),
+        ];
+        let mut cfg = PoolConfig::serial();
+        cfg.jobs = 2;
+        let mut outcomes = Vec::new();
+        let report = run_sweep(&experiments, None, &BTreeSet::new(), &cfg, |_, name, out| {
+            outcomes.push((name.to_owned(), matches!(out, Outcome::Done { .. })));
+        });
+        assert_eq!(report.done, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(outcomes[1].0, "boom");
+        assert!(!outcomes[1].1, "the panicking experiment must quarantine");
+        assert!(outcomes[0].1 && outcomes[2].1, "the others must survive");
+    }
+
+    #[test]
+    fn timeout_quarantines_a_stalled_experiment() {
+        let experiments = vec![exp("hang", || loop {
+            std::thread::sleep(Duration::from_millis(50));
+        })];
+        let mut cfg = PoolConfig::serial();
+        cfg.opts.timeout = Duration::from_millis(300);
+        let mut failed = None;
+        run_sweep(&experiments, None, &BTreeSet::new(), &cfg, |_, _, out| {
+            if let Outcome::Failed(e) = out {
+                failed = Some(e.clone());
+            }
+        });
+        let e = failed.expect("stalled experiment must fail");
+        assert!(e.contains("timed out"), "got: {e}");
+    }
+}

@@ -45,6 +45,23 @@ pub fn interrupted() -> bool {
     SIGINT_COUNT.load(Ordering::SeqCst) > 0
 }
 
+/// Sleeps for up to `d`, waking early on a graceful-stop request.
+/// Returns `true` if the sleep was cut short by an interrupt — backoff
+/// pauses and idle polling must stay responsive to Ctrl-C.
+pub fn sleep_interruptibly(d: std::time::Duration) -> bool {
+    let deadline = std::time::Instant::now() + d;
+    loop {
+        if interrupted() {
+            return true;
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        std::thread::sleep((deadline - now).min(std::time::Duration::from_millis(25)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,13 @@ impl Table {
     }
 }
 
+/// Renders a group of tables as one artifact: tables joined by a blank
+/// line. A single table renders exactly as [`Table::render`] does, so
+/// artifacts written by older single-table sweeps stay byte-identical.
+pub fn render_tables(tables: &[Table]) -> String {
+    tables.iter().map(Table::render).collect::<Vec<_>>().join("\n")
+}
+
 /// Configuration error preparing the CSV output directory
 /// (`MITTS_CSV_DIR`).
 #[derive(Debug)]

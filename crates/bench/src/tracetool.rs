@@ -288,7 +288,7 @@ impl TraceSummary {
                 })
                 .filter(|&(_, cyc, eps)| cyc > 0 || eps > 0)
                 .collect();
-            reasons.sort_by(|a, b| b.1.cmp(&a.1));
+            reasons.sort_by_key(|r| std::cmp::Reverse(r.1));
             let _ = write!(out, "  core {i}: ");
             if reasons.is_empty() {
                 let _ = writeln!(out, "no throttling episodes");
@@ -517,8 +517,10 @@ mod tests {
 
     #[test]
     fn percentiles_use_nearest_rank() {
-        let mut s = TraceSummary::default();
-        s.stage_samples = vec![Vec::new(); STAGE_COUNT + 1];
+        let mut s = TraceSummary {
+            stage_samples: vec![Vec::new(); STAGE_COUNT + 1],
+            ..Default::default()
+        };
         s.stage_samples[STAGE_COUNT] = (1..=100).collect();
         assert_eq!(s.percentile(STAGE_COUNT, 50.0), 50);
         assert_eq!(s.percentile(STAGE_COUNT, 95.0), 95);
@@ -535,8 +537,10 @@ mod tests {
         // bucket containing the exact answer — for p50, p95, and p99.
         let samples: Vec<u64> =
             (0..500u64).map(|i| 3 + (i * i * 7919) % 90_000).collect();
-        let mut s = TraceSummary::default();
-        s.stage_samples = vec![Vec::new(); STAGE_COUNT + 1];
+        let mut s = TraceSummary {
+            stage_samples: vec![Vec::new(); STAGE_COUNT + 1],
+            ..Default::default()
+        };
         s.stage_samples[STAGE_COUNT] = samples.clone();
         let mut h = mitts_sim::histogram::LatencyHistogram::new();
         for &v in &samples {

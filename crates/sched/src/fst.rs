@@ -242,7 +242,7 @@ mod tests {
         let mut ctl = SourceControl::new(2);
         for k in 1..=5 {
             // Stalls/misses accumulate (signals are cumulative).
-            let s = window(&[900 * k, 50 * k], &[10 * k as u64, 800 * k as u64]);
+            let s = window(&[900 * k, 50 * k], &[10 * k, 800 * k]);
             fst.tick(1_000 * k, &s, &mut ctl);
         }
         assert_eq!(fst.levels()[1], 5, "max throttle level reached");

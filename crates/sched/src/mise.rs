@@ -295,7 +295,6 @@ mod tests {
     #[test]
     fn interval_ranks_most_slowed_first() {
         let mut m = Mise::with_params(2, 100, 400);
-        let mut ctl = SourceControl::new(2);
         // Construct rates: core 0 alone-rate high, shared low (slowed);
         // core 1 equal rates (not slowed). Manipulate via the internal
         // estimator by feeding fills patterns across epochs.

@@ -428,7 +428,7 @@ mod tests {
     fn lru_evicts_least_recently_used() {
         let mut c = tiny_cache();
         // Set 0 holds lines whose line number is a multiple of 4.
-        let a = 0 * 64;
+        let a = 0;
         let b = 4 * 64;
         let d = 8 * 64;
         c.fill(a, false);
@@ -446,7 +446,7 @@ mod tests {
     #[test]
     fn dirty_eviction_reports_writeback() {
         let mut c = tiny_cache();
-        let a = 0 * 64;
+        let a = 0;
         let b = 4 * 64;
         let d = 8 * 64;
         c.fill(a, false);
@@ -513,7 +513,7 @@ mod tests {
     #[test]
     fn probe_does_not_disturb_lru() {
         let mut c = tiny_cache();
-        let a = 0 * 64;
+        let a = 0;
         let b = 4 * 64;
         let d = 8 * 64;
         c.fill(a, false);

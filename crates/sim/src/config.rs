@@ -502,8 +502,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_cores() {
-        let mut c = SystemConfig::default();
-        c.cores = 0;
+        let c = SystemConfig { cores: 0, ..SystemConfig::default() };
         let err = c.validate().unwrap_err();
         assert_eq!(err, ConfigError::NoCores);
         assert!(err.to_string().contains("at least one core"));

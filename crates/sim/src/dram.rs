@@ -741,8 +741,7 @@ mod tests {
 
     #[test]
     fn refresh_can_be_disabled() {
-        let mut cfg = DramConfig::default();
-        cfg.t_refi_ns = 0.0;
+        let cfg = DramConfig { t_refi_ns: 0.0, ..DramConfig::default() };
         let mut d: Dram<u32> = Dram::new(&cfg, 2.4e9);
         d.start(0, 0, MemCmd::Read, 1);
         assert!(d.can_start(1_000_000, 64));

@@ -44,6 +44,7 @@ pub mod histogram;
 pub mod mc;
 pub mod obs;
 pub mod oracle;
+pub mod par;
 pub mod rng;
 pub mod shaper;
 pub mod snapshot;

@@ -385,7 +385,7 @@ mod tests {
             // A mix of row-local and far addresses to exercise hits,
             // misses, conflicts, tRRD, and the bus/wtr fences.
             let addr: Addr = if rng.chance(0.5) {
-                (rng.below(4) as u64) * 64 // same rows, hits + conflicts
+                rng.below(4) * 64 // same rows, hits + conflicts
             } else {
                 rng.below(1 << 20) * 64
             };
@@ -562,7 +562,7 @@ mod tests {
             let mut dispatched = 0u32;
             while dispatched < 300 {
                 let addr: Addr = if rng.chance(0.5) {
-                    (rng.below(4) as u64) * 64
+                    rng.below(4) * 64
                 } else {
                     rng.below(1 << 20) * 64
                 };

@@ -1,0 +1,131 @@
+//! Minimal work-stealing execution primitive shared by every parallel
+//! consumer in the workspace: the bench sweep pool, the GA fitness
+//! evaluator, and the conformance fuzzer all size themselves with
+//! [`jobs_from_env`] and distribute independent tasks with
+//! [`for_each_task`].
+//!
+//! The scheduler is deliberately the simplest correct form of work
+//! stealing: every worker pulls the next unclaimed task index from one
+//! shared atomic counter (self-scheduling). There are no per-worker
+//! deques to balance because tasks here are coarse (whole simulations,
+//! whole fitness evaluations) — the claim itself is the steal. Slow
+//! tasks never block fast ones, and a worker that finishes early drains
+//! whatever remains.
+//!
+//! Determinism: task *results* must be written to per-index slots by the
+//! caller; the claim order is racy but the index→result mapping is not,
+//! so any reduction done in index order is independent of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count from `MITTS_JOBS`, defaulting to
+/// [`std::thread::available_parallelism`]. Values below 1 (or garbage)
+/// fall back to the default; the result is always at least 1.
+pub fn jobs_from_env() -> usize {
+    let default = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    match std::env::var("MITTS_JOBS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default(),
+        },
+        Err(_) => default(),
+    }
+}
+
+/// Runs `task(i)` for every `i in 0..tasks` across `jobs` self-scheduling
+/// workers. Blocks until every task has run. With `jobs <= 1` (or a
+/// single task) everything runs inline on the caller's thread, in index
+/// order — the serial reference behaviour.
+///
+/// Panics in a task are not caught: they propagate out of the scope and
+/// abort the batch (callers needing isolation wrap their own
+/// `catch_unwind`, as the sweep pool does).
+pub fn for_each_task<F>(tasks: usize, jobs: usize, task: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let jobs = jobs.min(tasks);
+    if jobs <= 1 {
+        for i in 0..tasks {
+            task(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                task(i);
+            });
+        }
+    });
+}
+
+/// Per-index `f64` result slots for [`for_each_task`] workers: plain
+/// atomics storing bit patterns, so no locking on the hot path and no
+/// unsafe indexing. Read back in index order for deterministic output.
+pub struct F64Slots {
+    slots: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl F64Slots {
+    /// `n` slots, all initialised to 0.0.
+    pub fn new(n: usize) -> Self {
+        F64Slots { slots: (0..n).map(|_| std::sync::atomic::AtomicU64::new(0)).collect() }
+    }
+
+    /// Stores `v` into slot `i`.
+    pub fn set(&self, i: usize, v: f64) {
+        self.slots[i].store(v.to_bits(), Ordering::Release);
+    }
+
+    /// Snapshot of every slot, in index order.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.slots.into_iter().map(|s| f64::from_bits(s.into_inner())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for jobs in [1, 2, 7] {
+            let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+            for_each_task(23, jobs, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "task {i} under {jobs} jobs");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        for_each_task(0, 8, |_| panic!("no task may run"));
+    }
+
+    #[test]
+    fn f64_slots_read_back_in_index_order() {
+        let slots = F64Slots::new(5);
+        for_each_task(5, 3, |i| slots.set(i, i as f64 * 1.5));
+        assert_eq!(slots.into_vec(), vec![0.0, 1.5, 3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_job_counts() {
+        let run = |jobs| {
+            let slots = F64Slots::new(40);
+            for_each_task(40, jobs, |i| slots.set(i, (i * i) as f64));
+            slots.into_vec()
+        };
+        assert_eq!(run(1), run(6));
+    }
+}

@@ -2431,15 +2431,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one core")]
     fn builder_panics_on_invalid_config() {
-        let mut c = SystemConfig::default();
-        c.cores = 0;
+        let c = SystemConfig { cores: 0, ..SystemConfig::default() };
         let _ = SystemBuilder::new(c);
     }
 
     #[test]
     fn builder_try_new_reports_config_errors() {
-        let mut c = SystemConfig::default();
-        c.llc_ports = 0;
+        let c = SystemConfig { llc_ports: 0, ..SystemConfig::default() };
         assert_eq!(SystemBuilder::try_new(c).err(), Some(ConfigError::NoLlcPorts));
         assert!(SystemBuilder::try_new(SystemConfig::default()).is_ok());
     }

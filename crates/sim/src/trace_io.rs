@@ -261,7 +261,7 @@ mod tests {
         let ops = vec![
             TraceOp::read(0, 0x0),
             TraceOp::write(17, 0xdead_beef),
-            TraceOp::read(4_000_000, u64::MAX & !63),
+            TraceOp::read(4_000_000, !63_u64),
         ];
         let mut buf = Vec::new();
         write_trace(&mut buf, &ops).unwrap();

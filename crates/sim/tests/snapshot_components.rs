@@ -130,10 +130,8 @@ fn dram_channel_round_trips_mid_flight() {
 
 #[test]
 fn dram_rejects_a_snapshot_with_different_bank_count() {
-    let mut small = DramConfig::default();
-    small.banks = 4;
-    let mut big = DramConfig::default();
-    big.banks = 8;
+    let small = DramConfig { banks: 4, ..DramConfig::default() };
+    let big = DramConfig { banks: 8, ..DramConfig::default() };
     let dram: Dram<u64> = Dram::new(&small, 2.4e9);
     let mut e = Enc::new();
     dram.save_state(&mut e, |e, t| e.u64(*t));

@@ -446,26 +446,25 @@ impl GeneticTuner {
         Ok(GaState { population, scores, best, best_fitness, history, evaluations, rng })
     }
 
+    /// Scores a generation across the shared work-stealing pool
+    /// ([`mitts_sim::par`]), sized by `MITTS_JOBS` like the bench sweep
+    /// engine. Self-scheduling beats the old fixed chunking: one slow
+    /// genome (a pathological configuration near its cycle cap) no longer
+    /// idles the rest of its chunk's worker. Scores land in per-index
+    /// slots, so the result is bit-identical for any worker count.
     fn evaluate_parallel<F>(population: &[Genome], fitness: &F) -> Vec<f64>
     where
         F: Fn(&Genome) -> f64 + Sync,
     {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(population.len());
-        let chunk = population.len().div_ceil(threads);
-        let mut scores = vec![0.0; population.len()];
-        std::thread::scope(|scope| {
-            for (genomes, out) in population.chunks(chunk).zip(scores.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (g, s) in genomes.iter().zip(out.iter_mut()) {
-                        *s = fitness(g);
-                    }
-                });
-            }
+        let jobs = mitts_sim::par::jobs_from_env().min(population.len());
+        if jobs <= 1 {
+            return population.iter().map(fitness).collect();
+        }
+        let slots = mitts_sim::par::F64Slots::new(population.len());
+        mitts_sim::par::for_each_task(population.len(), jobs, |i| {
+            slots.set(i, fitness(&population[i]));
         });
-        scores
+        slots.into_vec()
     }
 
     fn tournament_pick(rng: &mut Rng, tournament: usize, scores: &[f64]) -> usize {

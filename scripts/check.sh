@@ -3,17 +3,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# All scratch state lives under one temp root, removed on any exit path
+# (success, failure, or ^C) so aborted runs don't litter /tmp.
+GATE_TMP=$(mktemp -d)
+trap 'rm -rf "$GATE_TMP"' EXIT
+
 cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Fast-forward equivalence: naive and skip-ahead execution must produce
 # bit-identical stats, grant ledgers, and run outcomes.
 cargo test -q -p mitts-sim --test fast_forward
 
 # Perf smoke: fails if fast-forward is >2x slower than naive anywhere,
-# or if lifecycle tracing costs >15% over the untraced shaped mix. Also
-# writes the traced-run artifacts consumed below.
+# if lifecycle tracing costs >15% over the untraced shaped mix, or (on
+# multi-core hosts) if the parallel sweep pool is <1.2x faster than the
+# serial pool on a CPU-bound experiment set. Also writes the traced-run
+# artifacts consumed below.
 scripts/bench.sh --smoke
 
 # Tracing smoke gate: summarize the shaped 4-program trace the perf
@@ -42,7 +49,8 @@ cargo test -q -p mitts-sim --test snapshot_components
 # experiments are skipped on resume and (b) the final artifacts match a
 # clean uninterrupted sweep byte for byte.
 cargo build --release -p mitts-bench --bin run_all
-STATE_A=$(mktemp -d) STATE_B=$(mktemp -d)
+STATE_A="$GATE_TMP/crash" STATE_B="$GATE_TMP/crash-clean"
+mkdir -p "$STATE_A" "$STATE_B"
 set +e
 MITTS_SCALE=smoke MITTS_STATE_DIR="$STATE_A" MITTS_CRASH_AFTER=fig12 \
   target/release/run_all fig1 >/dev/null 2>&1
@@ -58,4 +66,50 @@ MITTS_SCALE=smoke MITTS_STATE_DIR="$STATE_B" \
 diff -r "$STATE_A/results" "$STATE_B/results" \
   || { echo "resumed sweep diverged from the uninterrupted one"; exit 1; }
 echo "kill-and-resume smoke: resumed tables are identical"
-rm -rf "$STATE_A" "$STATE_B"
+
+# Parallel determinism gate: the same filtered sweep at MITTS_JOBS=4 and
+# MITTS_JOBS=1 must land byte-identical result artifacts AND CSV dumps —
+# worker scheduling may reorder execution, never output. The serial run
+# doubles as the reference for the chaos gate below.
+STATE_PAR="$GATE_TMP/par" STATE_SER="$GATE_TMP/ser"
+CSV_PAR="$GATE_TMP/csv-par" CSV_SER="$GATE_TMP/csv-ser"
+mkdir -p "$STATE_PAR" "$STATE_SER" "$CSV_PAR" "$CSV_SER"
+MITTS_SCALE=smoke MITTS_JOBS=4 MITTS_STATE_DIR="$STATE_PAR" MITTS_CSV_DIR="$CSV_PAR" \
+  target/release/run_all a >/dev/null
+MITTS_SCALE=smoke MITTS_JOBS=1 MITTS_STATE_DIR="$STATE_SER" MITTS_CSV_DIR="$CSV_SER" \
+  target/release/run_all a >/dev/null
+diff -r "$STATE_PAR/results" "$STATE_SER/results" \
+  || { echo "parallel sweep artifacts diverged from serial"; exit 1; }
+diff -r "$CSV_PAR" "$CSV_SER" \
+  || { echo "parallel sweep CSVs diverged from serial"; exit 1; }
+echo "parallel determinism: jobs=4 and jobs=1 artifacts are identical"
+
+# Chaos gate: run the same filtered sweep under a seeded fault campaign
+# (injected panics, heartbeat blackouts, process kills) and keep
+# resuming. The persisted round counter decays the fault rate to zero,
+# so the campaign must converge — and once it does, the artifacts must
+# be byte-identical to the clean serial reference above. Transient exit
+# codes 1 (quarantined experiment) and 3 (chaos kill) are expected
+# mid-campaign; anything else, or no convergence within 8 rounds, fails.
+STATE_CHAOS="$GATE_TMP/chaos"
+mkdir -p "$STATE_CHAOS"
+chaos_rc=-1
+for round in $(seq 1 8); do
+  resume_flag=""
+  [ "$round" -gt 1 ] && resume_flag="--resume"
+  set +e
+  MITTS_SCALE=smoke MITTS_JOBS=2 MITTS_LEASE_TTL_MS=1000 MITTS_CHAOS=20260809 \
+    MITTS_STATE_DIR="$STATE_CHAOS" \
+    target/release/run_all $resume_flag a >/dev/null 2>&1
+  chaos_rc=$?
+  set -e
+  echo "chaos round $round: exit $chaos_rc"
+  [ "$chaos_rc" -eq 0 ] && break
+  if [ "$chaos_rc" -ne 1 ] && [ "$chaos_rc" -ne 3 ]; then
+    echo "chaos campaign: unexpected exit $chaos_rc"; exit 1
+  fi
+done
+[ "$chaos_rc" -eq 0 ] || { echo "chaos campaign did not converge in 8 rounds"; exit 1; }
+diff -r "$STATE_CHAOS/results" "$STATE_SER/results" \
+  || { echo "chaos-campaign artifacts diverged from the clean serial run"; exit 1; }
+echo "chaos gate: campaign converged to byte-identical artifacts"
