@@ -8,9 +8,10 @@
 //! ```
 //!
 //! * `--smoke` — quick gate for CI: all mutation checks, a short fuzz
-//!   campaign, and a subset of the workload suite.
+//!   campaign, and a subset of the workload suite and of the engine
+//!   differential (naive vs fast vs event, byte-diffed).
 //! * default (full) — all mutation checks, >=120 fuzzed configurations,
-//!   and the complete 16-workload suite.
+//!   the complete 16-workload suite, and the full engine differential.
 //! * `--seed N` — override the fuzz campaign seed (default 1).
 //! * `--fuzz N` — override the number of fuzzed cases.
 //!
@@ -22,7 +23,9 @@
 
 use std::process::ExitCode;
 
-use mitts_bench::conform::{mutation_checks, run_fuzz, workload_checks};
+use mitts_bench::conform::{
+    engine_differential_checks, mutation_checks, run_fuzz, workload_checks,
+};
 use mitts_bench::signal;
 
 struct Args {
@@ -124,6 +127,9 @@ fn main() -> ExitCode {
             for v in &f.violations {
                 eprintln!("    violation @{} [{:?}] core {:?}: {}", v.at, v.oracle, v.core, v.detail);
             }
+            if let Some(d) = &f.engine_divergence {
+                eprintln!("    engine divergence:\n{}", indent(d));
+            }
         }
     }
 
@@ -149,6 +155,24 @@ fn main() -> ExitCode {
             failed = true;
             for v in &c.report.violations {
                 eprintln!("    violation @{} [{:?}] core {:?}: {}", v.at, v.oracle, v.core, v.detail);
+            }
+        }
+    }
+
+    stop_if_interrupted("workload-suite");
+
+    // 4. Engine differential: the same suite cases under all three
+    //    execution engines, byte-diffed against the naive reference
+    //    (stats digest, audit log, shaper grant ledgers).
+    println!("\n== engine differential (naive vs fast vs event, {label}) ==");
+    let suite = mitts_workloads::Benchmark::ALL;
+    let suite = if args.smoke { &suite[..4] } else { &suite[..] };
+    for (name, result) in engine_differential_checks(cycles, suite) {
+        match result {
+            Ok(()) => println!("  {name:<12} byte-identical across engines"),
+            Err(d) => {
+                failed = true;
+                eprintln!("  {name:<12} ENGINE DIVERGENCE:\n{}", indent(&d));
             }
         }
     }

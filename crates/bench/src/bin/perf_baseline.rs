@@ -1,13 +1,15 @@
 //! Wall-clock baseline of the simulator itself: naive cycle-by-cycle
-//! execution vs quiescence fast-forward (`System::advance`), on three
-//! representative workloads plus one offline GA `quick()` tune.
+//! execution vs quiescence fast-forward vs the event-driven kernel
+//! (`System::advance` under each `Engine`), on three representative
+//! workloads plus one offline GA `quick()` tune.
 //!
 //! Emits `BENCH_sim.json` in the current directory — one record per
 //! (scenario, mode): `{"bench": ..., "cycles_per_sec": ..., "wall_ms": ...}`
 //! (`cycles_per_sec` is omitted for records that aggregate multiple
 //! simulations, like the GA tune) — and prints a speedup table. Exits
-//! non-zero if fast-forward is more than 2x slower than naive anywhere
-//! (the `scripts/check.sh` gate).
+//! non-zero if fast-forward is more than 2x slower than naive anywhere,
+//! or if the event engine is more than 2x slower than fast-forward
+//! anywhere (the `scripts/check.sh` gates).
 //!
 //! Also times an identical experiment list through the supervised pool
 //! (`mitts_bench::pool`) at 1 worker vs N (records `sweep_pool_jobs1` /
@@ -37,7 +39,7 @@ use mitts_core::{BinConfig, BinSpec, MittsShaper};
 use mitts_sched::make_baseline;
 use mitts_sim::config::{CacheConfig, SystemConfig};
 use mitts_sim::obs::{write_chrome_trace, RingSink, TrackLayout};
-use mitts_sim::system::{System, SystemBuilder};
+use mitts_sim::system::{Engine, System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_tuner::{GaParams, GeneticTuner};
 use mitts_workloads::profile::{AppProfile, Burstiness, Locality};
@@ -48,7 +50,7 @@ struct Scenario {
     name: &'static str,
     instructions: u64,
     cap: Cycle,
-    build: fn(fast_forward: bool) -> System,
+    build: fn(engine: Engine) -> System,
 }
 
 fn base_for(core: usize) -> u64 {
@@ -91,23 +93,23 @@ fn pointer_chase() -> AppProfile {
     }
 }
 
-fn build_low_mlp(fast_forward: bool) -> System {
+fn build_low_mlp(engine: Engine) -> System {
     let mut cfg = scenario_config(1);
     cfg.l1.mshrs = 1;
     SystemBuilder::new(cfg)
         .trace(0, Box::new(pointer_chase().trace(base_for(0), 0xBE11)))
         .scheduler(make_baseline("FR-FCFS", 1).expect("known"))
-        .fast_forward(fast_forward)
+        .engine(engine)
         .build()
 }
 
 /// Bandwidth-saturated: four streaming cores hammering one channel. The
 /// controller has work almost every cycle, so gains here come from the
 /// de-allocated hot path and short skips between dispatch opportunities.
-fn build_bw_saturated(fast_forward: bool) -> System {
+fn build_bw_saturated(engine: Engine) -> System {
     let mut b = SystemBuilder::new(scenario_config(4))
         .scheduler(make_baseline("FR-FCFS", 4).expect("known"))
-        .fast_forward(fast_forward);
+        .engine(engine);
     for i in 0..4 {
         b = b.trace(
             i,
@@ -120,12 +122,12 @@ fn build_bw_saturated(fast_forward: bool) -> System {
 /// Mixed shaped workload: a four-program mix with a MITTS shaper on the
 /// hog — the shape of a real experiment run (deny phases + contention).
 /// Returned unbuilt so the tracing gate can add a sink to the same mix.
-fn mixed_shaped_builder(fast_forward: bool) -> SystemBuilder {
+fn mixed_shaped_builder(engine: Engine) -> SystemBuilder {
     let benches =
         [Benchmark::Libquantum, Benchmark::Mcf, Benchmark::Gcc, Benchmark::Omnetpp];
     let mut b = SystemBuilder::new(scenario_config(4))
         .scheduler(make_baseline("FR-FCFS", 4).expect("known"))
-        .fast_forward(fast_forward);
+        .engine(engine);
     for (i, bench) in benches.iter().enumerate() {
         b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0x3117 + i as u64)));
     }
@@ -137,8 +139,8 @@ fn mixed_shaped_builder(fast_forward: bool) -> SystemBuilder {
     b.shaper(0, Rc::new(RefCell::new(MittsShaper::new(shaper_cfg))) as _)
 }
 
-fn build_mixed_shaped(fast_forward: bool) -> System {
-    mixed_shaped_builder(fast_forward).build()
+fn build_mixed_shaped(engine: Engine) -> System {
+    mixed_shaped_builder(engine).build()
 }
 
 /// A finished measurement row. `cycles_per_sec` is `None` for records
@@ -149,14 +151,22 @@ struct Record {
     wall_ms: f64,
 }
 
-fn time_scenario(s: &Scenario, fast_forward: bool) -> Record {
-    let mut sys = (s.build)(fast_forward);
+fn mode_suffix(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Naive => "naive",
+        Engine::Fast => "fast",
+        Engine::Event => "event",
+    }
+}
+
+fn time_scenario(s: &Scenario, engine: Engine) -> Record {
+    let mut sys = (s.build)(engine);
     let start = Instant::now();
     let _ = sys.run_until_instructions(s.instructions, s.cap);
     let wall = start.elapsed();
     let secs = wall.as_secs_f64().max(1e-9);
     Record {
-        bench: format!("{}_{}", s.name, if fast_forward { "fast" } else { "naive" }),
+        bench: format!("{}_{}", s.name, mode_suffix(engine)),
         cycles_per_sec: Some(sys.now() as f64 / secs),
         wall_ms: wall.as_secs_f64() * 1e3,
     }
@@ -193,18 +203,36 @@ fn main() {
 
     let mut records = Vec::new();
     let mut regression = false;
-    println!("{:<34} {:>12} {:>12} {:>8}", "scenario", "naive ms", "fast ms", "speedup");
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "scenario", "naive ms", "fast ms", "event ms", "fast", "event"
+    );
     for s in &scenarios {
-        let naive = time_scenario(s, false);
-        let fast = time_scenario(s, true);
-        let speedup = naive.wall_ms / fast.wall_ms.max(1e-9);
-        println!("{:<34} {:>12.1} {:>12.1} {:>7.2}x", s.name, naive.wall_ms, fast.wall_ms, speedup);
+        let naive = time_scenario(s, Engine::Naive);
+        let fast = time_scenario(s, Engine::Fast);
+        let event = time_scenario(s, Engine::Event);
+        let fast_speedup = naive.wall_ms / fast.wall_ms.max(1e-9);
+        let event_speedup = naive.wall_ms / event.wall_ms.max(1e-9);
+        println!(
+            "{:<34} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x {:>8.2}x",
+            s.name, naive.wall_ms, fast.wall_ms, event.wall_ms, fast_speedup, event_speedup
+        );
         if fast.wall_ms > 2.0 * naive.wall_ms {
-            eprintln!("REGRESSION: {} fast-forward is {speedup:.2}x of naive wall-clock", s.name);
+            eprintln!("REGRESSION: {} fast-forward is {fast_speedup:.2}x of naive wall-clock", s.name);
+            regression = true;
+        }
+        // Event-vs-fast gate: the event kernel must never cost more than
+        // 2x the quiescence fast-forward wall clock (aspirationally it is
+        // >=5x *faster* on the saturated mix; the hard gate only catches
+        // regressions, mirroring the fast-vs-naive smoke gate above).
+        if event.wall_ms > 2.0 * fast.wall_ms {
+            let ratio = event.wall_ms / fast.wall_ms.max(1e-9);
+            eprintln!("REGRESSION: {} event engine is {ratio:.2}x of fast-forward wall-clock", s.name);
             regression = true;
         }
         records.push(naive);
         records.push(fast);
+        records.push(event);
     }
 
     // One offline GA quick() tune, timed end-to-end: the consumer the
@@ -255,7 +283,7 @@ fn main() {
                     Experiment::new(
                         format!("sweep{i}"),
                         Arc::new(move || {
-                            let mut sys = build_bw_saturated(true);
+                            let mut sys = build_bw_saturated(Engine::Event);
                             let _ = sys.run_until_instructions(instructions, cap);
                             let mut t =
                                 mitts_bench::Table::new("sweep", &["exp", "cycles"]);
@@ -328,12 +356,12 @@ fn main() {
     let reps = 5;
     let run_mixed = |traced: bool| -> (f64, Cycle) {
         let mut sys = if traced {
-            mixed_shaped_builder(true)
+            mixed_shaped_builder(Engine::Event)
                 .trace_sink(Box::new(RingSink::new(8192)))
                 .sample_every(4096)
                 .build()
         } else {
-            build_mixed_shaped(true)
+            build_mixed_shaped(Engine::Event)
         };
         let start = Instant::now();
         let _ = sys.run_until_instructions(mixed.instructions, mixed.cap);
@@ -374,7 +402,7 @@ fn main() {
     // cross-checked against the machine's own mem_latency_sum here too.
     {
         let sink = Rc::new(RefCell::new(RingSink::new(1 << 22)));
-        let mut sys = mixed_shaped_builder(true)
+        let mut sys = mixed_shaped_builder(Engine::Event)
             .trace_sink(Box::new(Rc::clone(&sink)))
             .sample_every(2048)
             .build();

@@ -13,7 +13,12 @@
 //!   from one that checks nothing);
 //! * [`run_fuzz`] — a deterministic config+workload fuzzer with greedy
 //!   input shrinking, so a conformance failure is reported as a minimal
-//!   reproducible case.
+//!   reproducible case;
+//! * [`engine_differential`] — the same case executed under all three
+//!   engines (`Engine::Naive` / `Engine::Fast` / `Engine::Event`), with
+//!   stats, audit logs, and shaper grant ledgers byte-diffed against the
+//!   naive reference. The fuzzer runs this on every drawn case, so every
+//!   fuzzed configuration doubles as an engine-equivalence witness.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -26,7 +31,7 @@ use mitts_sim::mc::{DramView, Scheduler, Transaction};
 use mitts_sim::obs::{TraceEvent, TraceSink};
 use mitts_sim::oracle::{DramOracle, OracleViolation, PickOracle, PickPolicy, ShaperOracle};
 use mitts_sim::rng::Rng;
-use mitts_sim::system::SystemBuilder;
+use mitts_sim::system::{Engine, SystemBuilder};
 use mitts_sim::trace::{StrideTrace, TraceSource};
 use mitts_sim::types::Cycle;
 use mitts_workloads::Benchmark;
@@ -319,6 +324,78 @@ fn run_case_mutated(case: &ConformCase, mutation: Option<Mutation>) -> CaseRepor
 }
 
 // ---------------------------------------------------------------------------
+// Engine differential
+// ---------------------------------------------------------------------------
+
+/// Runs `case` under one execution engine (no oracles — this arm checks
+/// engine equivalence, not spec conformance) and renders everything the
+/// run exposes into one comparable digest: final cycle, skip totals
+/// folded out, the all-integer stats digest, the audit log, and every
+/// core's shaper grant ledger, live credits, and counters.
+fn engine_digest(case: &ConformCase, engine: Engine) -> String {
+    use std::fmt::Write;
+    let cores = case.shapers.len();
+    let config = shared_config(cores, case.llc_bytes);
+    let mut b = SystemBuilder::new(config)
+        .scheduler(make_baseline(case.scheduler.name(), cores).expect("known scheduler"))
+        .engine(engine);
+    let mut shaper_handles = Vec::with_capacity(cores);
+    for (core, (w, cfg)) in case.workloads.iter().zip(&case.shapers).enumerate() {
+        let shaper = Rc::new(RefCell::new(
+            MittsShaper::new(cfg.clone()).with_method(case.method).with_policy(case.policy),
+        ));
+        b = b.trace(core, w.build(core, case.salt));
+        b = b.shaper(core, Rc::clone(&shaper) as Rc<RefCell<dyn mitts_sim::shaper::SourceShaper>>);
+        shaper_handles.push(shaper);
+    }
+    let mut sys = b.build();
+    sys.run_cycles(case.cycles);
+    let mut out = String::new();
+    writeln!(out, "now={}", sys.now()).unwrap();
+    writeln!(out, "stats={:?}", sys.system_stats()).unwrap();
+    writeln!(out, "audit={:?}", sys.audit_log()).unwrap();
+    for (core, s) in shaper_handles.iter().enumerate() {
+        let s = s.borrow();
+        writeln!(
+            out,
+            "core{core}: grants_per_bin={:?} live_credits={:?} counters={:?}",
+            s.grants_per_bin(),
+            s.live_credits(),
+            s.counters()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Byte-diffs `case` across all three engines against the naive
+/// reference.
+///
+/// # Errors
+///
+/// Returns the first diverging line (engine, line number, both sides)
+/// if any skipping engine's digest differs from naive's.
+pub fn engine_differential(case: &ConformCase) -> Result<(), String> {
+    let reference = engine_digest(case, Engine::Naive);
+    for engine in [Engine::Fast, Engine::Event] {
+        let digest = engine_digest(case, engine);
+        if digest != reference {
+            let (line, (want, got)) = reference
+                .lines()
+                .zip(digest.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b)
+                .map(|(i, (a, b))| (i + 1, (a.to_owned(), b.to_owned())))
+                .unwrap_or((0, ("<digest lengths differ>".into(), String::new())));
+            return Err(format!(
+                "{engine:?} diverged from Naive at digest line {line}:\n  naive: {want}\n  {engine:?}: {got}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Mutation checks
 // ---------------------------------------------------------------------------
 
@@ -496,6 +573,9 @@ pub struct FuzzFailure {
     pub shrunk: ConformCase,
     /// Violations of the shrunk case.
     pub violations: Vec<OracleViolation>,
+    /// Set when the failure is an engine divergence (the shrunk case's
+    /// first diverging digest line) rather than an oracle violation.
+    pub engine_divergence: Option<String>,
 }
 
 /// Aggregate statistics of a clean fuzz campaign.
@@ -522,10 +602,15 @@ pub struct FuzzStats {
 /// the first (lowest-index) failing case, shrinks it and returns the
 /// failure.
 ///
+/// Every case runs twice over: once under the oracles (on the default
+/// engine) and once through [`engine_differential`], so a fuzz campaign
+/// simultaneously checks spec conformance and naive/fast/event
+/// bit-equivalence.
+///
 /// # Errors
 ///
 /// Returns the (shrunk) failing case if any oracle or the auditor
-/// reports a violation.
+/// reports a violation, or if any engine's digest diverges from naive.
 pub fn run_fuzz(
     seed: u64,
     cases: usize,
@@ -533,15 +618,18 @@ pub fn run_fuzz(
 ) -> Result<FuzzStats, Box<FuzzFailure>> {
     let mut rng = Rng::seeded(seed);
     let drawn: Vec<ConformCase> = (0..cases).map(|_| fuzz_case(&mut rng)).collect();
-    let reports: Vec<std::sync::Mutex<Option<CaseReport>>> =
+    type CaseResult = (CaseReport, Result<(), String>);
+    let reports: Vec<std::sync::Mutex<Option<CaseResult>>> =
         (0..cases).map(|_| std::sync::Mutex::new(None)).collect();
     let jobs = mitts_sim::par::jobs_from_env().min(cases.max(1));
     mitts_sim::par::for_each_task(cases, jobs, |i| {
-        *reports[i].lock().unwrap() = Some(run_case(&drawn[i]));
+        *reports[i].lock().unwrap() =
+            Some((run_case(&drawn[i]), engine_differential(&drawn[i])));
     });
     let mut stats = FuzzStats::default();
     for (index, (case, slot)) in drawn.iter().zip(&reports).enumerate() {
-        let report = slot.lock().unwrap().take().expect("every case was checked");
+        let (report, engines) =
+            slot.lock().unwrap().take().expect("every case was checked");
         if !report.clean() {
             // Shrinking is serial: it replays one case repeatedly and its
             // greedy path must not depend on worker count.
@@ -553,6 +641,19 @@ pub fn run_fuzz(
                 original: case.clone(),
                 shrunk,
                 violations,
+                engine_divergence: None,
+            }));
+        }
+        if engines.is_err() {
+            let shrunk = shrink_by(case.clone(), |c| engine_differential(c).is_err());
+            let divergence = engine_differential(&shrunk).err();
+            return Err(Box::new(FuzzFailure {
+                seed,
+                index,
+                original: case.clone(),
+                shrunk,
+                violations: Vec::new(),
+                engine_divergence: divergence,
             }));
         }
         stats.cases += 1;
@@ -565,11 +666,17 @@ pub fn run_fuzz(
     Ok(stats)
 }
 
-/// Greedy input shrinking: repeatedly tries the reductions below and
-/// keeps any that still fail, until a fixpoint. Deterministic (the case
-/// fully determines the run).
-pub fn shrink(mut case: ConformCase) -> ConformCase {
-    let fails = |c: &ConformCase| !run_case(c).clean();
+/// Greedy input shrinking against the oracle predicate: repeatedly tries
+/// the reductions below and keeps any that still fail, until a fixpoint.
+/// Deterministic (the case fully determines the run).
+pub fn shrink(case: ConformCase) -> ConformCase {
+    shrink_by(case, |c| !run_case(c).clean())
+}
+
+/// [`shrink`] under an arbitrary failure predicate — the engine
+/// differential shrinks against divergence rather than oracle
+/// violations, but wants the same greedy reductions.
+pub fn shrink_by(mut case: ConformCase, fails: impl Fn(&ConformCase) -> bool) -> ConformCase {
     if !fails(&case) {
         return case; // not reproducible; nothing to shrink
     }
@@ -645,29 +752,59 @@ pub struct WorkloadCheck {
     pub report: CaseReport,
 }
 
-/// Runs every benchmark of the 16-workload suite for `cycles` cycles,
-/// paired with an mcf antagonist so the scheduler oracle sees real
-/// contention, under active shapers and all three oracles.
-pub fn workload_checks(cycles: Cycle) -> Vec<WorkloadCheck> {
+/// The standard suite case for `bench`: paired with an mcf antagonist so
+/// the scheduler sees real contention, under active shapers.
+fn suite_case(bench: Benchmark, cycles: Cycle) -> ConformCase {
     let spec = BinSpec::paper_default();
     let shaper = |credits: Vec<u32>, period| BinConfig::new(spec, credits, period).expect("valid");
+    ConformCase {
+        salt: 23,
+        scheduler: SchedulerKind::FrFcfs,
+        llc_bytes: 256 << 10,
+        shapers: vec![
+            shaper(vec![2, 2, 1, 1, 1, 1, 1, 1, 1, 5], 2_500),
+            shaper(vec![0, 0, 3, 2, 1, 1, 1, 1, 1, 6], 4_000),
+        ],
+        method: FeedbackMethod::DeductThenRefund,
+        policy: CreditPolicy::CheapestEligible,
+        workloads: vec![WorkloadKind::Bench(bench), WorkloadKind::Bench(Benchmark::Mcf)],
+        cycles,
+    }
+}
+
+/// Runs every benchmark of the 16-workload suite for `cycles` cycles
+/// under active shapers and all three oracles.
+pub fn workload_checks(cycles: Cycle) -> Vec<WorkloadCheck> {
     Benchmark::ALL
         .iter()
-        .map(|&bench| {
-            let case = ConformCase {
-                salt: 23,
-                scheduler: SchedulerKind::FrFcfs,
-                llc_bytes: 256 << 10,
-                shapers: vec![
-                    shaper(vec![2, 2, 1, 1, 1, 1, 1, 1, 1, 5], 2_500),
-                    shaper(vec![0, 0, 3, 2, 1, 1, 1, 1, 1, 6], 4_000),
-                ],
-                method: FeedbackMethod::DeductThenRefund,
-                policy: CreditPolicy::CheapestEligible,
-                workloads: vec![WorkloadKind::Bench(bench), WorkloadKind::Bench(Benchmark::Mcf)],
-                cycles,
-            };
-            WorkloadCheck { name: bench.name(), report: run_case(&case) }
+        .map(|&bench| WorkloadCheck {
+            name: bench.name(),
+            report: run_case(&suite_case(bench, cycles)),
+        })
+        .collect()
+}
+
+/// Runs the engine differential (naive vs fast vs event, byte-diffed)
+/// over the same suite cases as [`workload_checks`] for each of
+/// `benches`, in parallel on the shared work-stealing loop. Returns one
+/// `(name, result)` per benchmark, in input order.
+pub fn engine_differential_checks(
+    cycles: Cycle,
+    benches: &[Benchmark],
+) -> Vec<(&'static str, Result<(), String>)> {
+    let cases: Vec<(Benchmark, ConformCase)> =
+        benches.iter().map(|&b| (b, suite_case(b, cycles))).collect();
+    let results: Vec<std::sync::Mutex<Option<Result<(), String>>>> =
+        (0..cases.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let jobs = mitts_sim::par::jobs_from_env().min(cases.len().max(1));
+    mitts_sim::par::for_each_task(cases.len(), jobs, |i| {
+        *results[i].lock().unwrap() = Some(engine_differential(&cases[i].1));
+    });
+    cases
+        .iter()
+        .zip(&results)
+        .map(|((b, _), slot)| {
+            (b.name(), slot.lock().unwrap().take().expect("every case was checked"))
         })
         .collect()
 }
@@ -709,6 +846,25 @@ mod tests {
         assert_eq!(a.dispatches_checked, b.dispatches_checked);
         assert_eq!(a.picks_checked, b.picks_checked);
         assert!(a.grants_checked > 0 && a.dispatches_checked > 0 && a.picks_checked > 0);
+    }
+
+    #[test]
+    fn engine_differential_is_clean_on_the_mutation_case() {
+        engine_differential(&mutation_case()).expect("engines must agree bit for bit");
+    }
+
+    #[test]
+    fn engine_differential_reports_the_first_diverging_line() {
+        // A self-check of the diff plumbing, not of the engines: digests
+        // of *different* cases must diverge and the report must name the
+        // line. (If the engines themselves diverged, every equivalence
+        // suite in crates/sim would already be on fire.)
+        let a = engine_digest(&mutation_case(), Engine::Naive);
+        let mut longer = mutation_case();
+        longer.cycles += 1_000;
+        let b = engine_digest(&longer, Engine::Naive);
+        assert_ne!(a, b, "digest must be sensitive to the run it describes");
+        assert!(a.starts_with("now="), "digest leads with the clock: {a:?}");
     }
 
     #[test]

@@ -21,8 +21,8 @@ use mitts_sim::system::SystemBuilder;
 use mitts_workloads::{Benchmark, WorkloadId};
 
 use crate::runner::{
-    alone_profiles, base_for, measure_work, s_avg, s_max, seed_for, shared_config,
-    slowdowns_vs_alone, Scale, REPLENISH_PERIOD,
+    alone_profiles, base_for, engine_from_env, measure_work, s_avg, s_max, seed_for,
+    shared_config, slowdowns_vs_alone, Scale, REPLENISH_PERIOD,
 };
 use crate::table::{f3, Table};
 
@@ -46,6 +46,7 @@ where
     let shaper = Rc::new(RefCell::new(make()));
     let mut sys = SystemBuilder::new(shared_config(1, 64 << 10))
         .trace(0, Box::new(bench.profile().trace(base_for(0), seed_for(SALT, 0))))
+        .engine(engine_from_env())
         .build();
     sys.run_cycles(scale.warmup);
     sys.set_shaper(0, shaper);
@@ -129,7 +130,8 @@ pub fn fifo_depths(scale: &Scale) -> Table {
     for depth in [4usize, 8, 16, 32, 64] {
         let mut cfg = shared_config(benches.len(), 1 << 20);
         cfg.mc.global_fifo_depth = depth;
-        let mut b = SystemBuilder::new(cfg).scheduler(Box::new(FrFcfs::new()));
+        let mut b =
+            SystemBuilder::new(cfg).scheduler(Box::new(FrFcfs::new())).engine(engine_from_env());
         for (i, &bench) in benches.iter().enumerate() {
             b = b.trace(i, Box::new(bench.profile().trace(base_for(i), seed_for(SALT, i))));
             // Bursty shaper per core: half the budget in bin 0.
@@ -159,7 +161,8 @@ pub fn congestion_feedback(scale: &Scale) -> Table {
     let benches = WorkloadId::new(4).programs();
     let alone = alone_profiles(&benches, 1 << 20, SALT, scale);
     for guard in [false, true] {
-        let mut b = SystemBuilder::new(shared_config(benches.len(), 1 << 20));
+        let mut b =
+            SystemBuilder::new(shared_config(benches.len(), 1 << 20)).engine(engine_from_env());
         b = if guard {
             b.scheduler(Box::new(CongestionGuard::with_defaults(FrFcfs::new())))
         } else {
@@ -199,6 +202,7 @@ pub fn placements(scale: &Scale) -> Table {
         let cfg = {
             let mut sys = SystemBuilder::new(shared_config(1, 1 << 20))
                 .trace(0, Box::new(bench.profile().trace(base_for(0), seed_for(SALT, 0))))
+                .engine(engine_from_env())
                 .build();
             sys.run_cycles(scale.warmup + 40_000);
             let snap = sys.core_snapshot(0);
@@ -213,6 +217,7 @@ pub fn placements(scale: &Scale) -> Table {
         let run = |placement: u8| -> f64 {
             let mut sys = SystemBuilder::new(shared_config(1, 1 << 20))
                 .trace(0, Box::new(bench.profile().trace(base_for(0), seed_for(SALT, 0))))
+                .engine(engine_from_env())
                 .build();
             sys.run_cycles(scale.warmup);
             match placement {

@@ -9,7 +9,7 @@
 use mitts_sim::system::SystemBuilder;
 use mitts_workloads::Benchmark;
 
-use crate::runner::{base_for, seed_for, shared_config, Scale};
+use crate::runner::{base_for, engine_from_env, seed_for, shared_config, Scale};
 use crate::table::Table;
 
 /// The three benchmarks shown in the paper's figure.
@@ -46,6 +46,7 @@ pub fn distributions(scale: &Scale) -> Vec<Distribution> {
         for &llc in &LLC_SIZES {
             let mut sys = SystemBuilder::new(shared_config(1, llc))
                 .trace(0, Box::new(bench.profile().trace(base_for(0), seed_for(2, 0))))
+                .engine(engine_from_env())
                 .build();
             // Fig. 2 counts requests over a fixed amount of *work*, so
             // run to an instruction budget (the faster configuration

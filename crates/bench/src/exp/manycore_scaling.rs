@@ -21,8 +21,8 @@ use mitts_sim::system::SystemBuilder;
 use mitts_workloads::Benchmark;
 
 use crate::runner::{
-    base_for, measure_work, s_avg, s_max, seed_for, shared_config, slowdowns_vs_alone,
-    AloneProfile, Scale, REPLENISH_PERIOD,
+    base_for, engine_from_env, measure_work, s_avg, s_max, seed_for, shared_config,
+    slowdowns_vs_alone, AloneProfile, Scale, REPLENISH_PERIOD,
 };
 use crate::table::{f3, Table};
 
@@ -84,7 +84,7 @@ pub fn measure_point(cores: usize, scale: &Scale) -> ScalingPoint {
     let run = |shaped: bool| -> (f64, f64) {
         let mut cfg = shared_config(cores, 1 << 20);
         cfg.mc.channels = channels;
-        let mut b = SystemBuilder::new(cfg);
+        let mut b = SystemBuilder::new(cfg).engine(engine_from_env());
         for ch in 0..channels {
             b = b.channel_scheduler(ch, make_baseline("FR-FCFS", cores).expect("known"));
         }

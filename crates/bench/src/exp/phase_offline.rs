@@ -15,7 +15,7 @@ use mitts_core::{BinConfig, BinSpec, MittsShaper};
 use mitts_tuner::{Constraint, GeneticTuner, Genome, PhaseSchedule};
 use mitts_workloads::Benchmark;
 
-use crate::runner::{base_for, seed_for, shared_config, Scale, REPLENISH_PERIOD};
+use crate::runner::{base_for, engine_from_env, seed_for, shared_config, Scale, REPLENISH_PERIOD};
 use crate::table::{f3, ratio, Table};
 
 const SALT: u64 = 500;
@@ -26,7 +26,8 @@ const PHASES: usize = 2;
 
 fn build_system(bench: Benchmark, shaper: Rc<RefCell<MittsShaper>>) -> mitts_sim::system::System {
     let mut b = mitts_sim::system::SystemBuilder::new(shared_config(1, 64 << 10))
-        .trace(0, Box::new(bench.profile().trace(base_for(0), seed_for(SALT, 0))));
+        .trace(0, Box::new(bench.profile().trace(base_for(0), seed_for(SALT, 0))))
+        .engine(engine_from_env());
     b = b.shaper(0, shaper);
     b.build()
 }

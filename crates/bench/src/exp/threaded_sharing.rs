@@ -18,7 +18,7 @@ use mitts_sim::system::SystemBuilder;
 use mitts_workloads::threaded::GangWork;
 use mitts_workloads::{Benchmark, ThreadedTrace};
 
-use crate::runner::{shared_config, Scale, REPLENISH_PERIOD};
+use crate::runner::{engine_from_env, shared_config, Scale, REPLENISH_PERIOD};
 use crate::table::{ratio, Table};
 
 /// Threads per gang.
@@ -46,7 +46,8 @@ fn gang_system(
     salt: u64,
 ) -> (mitts_sim::system::System, GangWork) {
     let mut b = SystemBuilder::new(shared_config(THREADS, LLC))
-        .scheduler(make_baseline("FR-FCFS", THREADS).expect("known"));
+        .scheduler(make_baseline("FR-FCFS", THREADS).expect("known"))
+        .engine(engine_from_env());
     let (traces, work) = ThreadedTrace::gang(bench, THREADS, WINDOW_OPS, 0, salt);
     let make_config = |credits_total: u32| {
         let mut credits = vec![0u32; 10];

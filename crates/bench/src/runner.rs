@@ -27,7 +27,7 @@ use mitts_core::{BinConfig, MittsShaper};
 use mitts_sched::make_baseline;
 use mitts_sim::config::{CacheConfig, SystemConfig};
 use mitts_sim::shaper::StaticRateShaper;
-use mitts_sim::system::{System, SystemBuilder};
+use mitts_sim::system::{Engine, System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_sim::StallReport;
 use mitts_tuner::{GaParams, Genome, Objective, OnlineParams};
@@ -186,6 +186,27 @@ pub fn shared_config(cores: usize, llc_bytes: usize) -> SystemConfig {
     cfg
 }
 
+/// Execution engine for experiment runs, selected by `MITTS_ENGINE`
+/// (`naive` / `fast` / `event`; unset = the builder default, the event
+/// kernel). All engines are bit-identical in results — `scripts/check.sh`
+/// leans on this to byte-diff whole sweep artifact trees across engines.
+///
+/// # Panics
+///
+/// Panics on an unrecognized `MITTS_ENGINE` value — a typo silently
+/// falling back to the default would invalidate a differential run.
+pub fn engine_from_env() -> Engine {
+    match std::env::var("MITTS_ENGINE") {
+        Ok(v) => match v.as_str() {
+            "naive" => Engine::Naive,
+            "fast" => Engine::Fast,
+            "event" => Engine::Event,
+            other => panic!("MITTS_ENGINE must be naive, fast, or event (got {other:?})"),
+        },
+        Err(_) => Engine::Event,
+    }
+}
+
 /// Cycle-vs-instruction curve of a benchmark running alone (its
 /// `T_single` source). Sampled on a fixed instruction grid; linearly
 /// interpolated within the grid and rate-extrapolated beyond it.
@@ -211,6 +232,7 @@ impl AloneProfile {
         let mut sys = SystemBuilder::new(cfg)
             .trace(0, Box::new(bench.profile().trace(base_for(0), seed_for(salt, 0))))
             .scheduler(make_baseline("FR-FCFS", 1).expect("known"))
+            .engine(engine_from_env())
             .build();
         let step = (total_instr / 200).max(500);
         let mut grid = vec![0];
@@ -288,7 +310,8 @@ pub fn build_shared(
     assert_eq!(benches.len(), shapers.len(), "one shaper spec per program");
     let cores = benches.len();
     let mut b = SystemBuilder::new(shared_config(cores, llc_bytes))
-        .scheduler(make_baseline(scheduler, cores).expect("known scheduler name"));
+        .scheduler(make_baseline(scheduler, cores).expect("known scheduler name"))
+        .engine(engine_from_env());
     let mut handles = Vec::with_capacity(cores);
     for (i, (&bench, spec)) in benches.iter().zip(shapers).enumerate() {
         b = b.trace(i, Box::new(bench.profile().trace(base_for(i), seed_for(salt, i))));

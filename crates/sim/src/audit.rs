@@ -1346,4 +1346,117 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         assert!(SimError::EmptyTrace.to_string().contains("empty trace"));
     }
+
+    // ---- Estimator bound properties -------------------------------------
+    //
+    // The skipping engines trust these `next_*` estimators to be
+    // conservative: early is fine (the engine just re-probes), late means
+    // a skipped state change. Each property brute-forces the window
+    // `(now, estimate)` against the real per-cycle behaviour.
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `ActiveFaults::next_event` never overshoots a behaviour
+        /// change: every fault predicate is constant on `(now, est)`,
+        /// and no held response releases inside the window.
+        #[test]
+        fn fault_next_event_is_never_late(
+            from_a in 0u64..400,
+            from_b in 0u64..400,
+            delay in 1u64..60,
+            resp_at in 0u64..200,
+            now in 0u64..500,
+        ) {
+            let mut f = ActiveFaults::default();
+            f.inject(
+                FaultPlan::new()
+                    .with(FaultKind::StallLlcPorts { from: from_a })
+                    .with(FaultKind::ZeroShaperCredits { from: from_b, core: 0 })
+                    .with(FaultKind::DelayDramResponses { from: 0, delay }),
+            );
+            // Maybe hold one response (populates the release list).
+            let _ = f.on_response(resp_at, 0x40);
+            let est = f.next_event(now);
+            if let Some(est) = est {
+                prop_assert!(est > now, "estimate {est} not strictly after {now}");
+                for c in now + 1..est {
+                    prop_assert_eq!(f.stall_ports(c), f.stall_ports(now),
+                        "port-stall flipped at {} before estimate {}", c, est);
+                    prop_assert_eq!(f.deny_issue(c, 0), f.deny_issue(now, 0),
+                        "issue-deny flipped at {} before estimate {}", c, est);
+                }
+                // No release strictly inside the window: draining just
+                // before the estimate returns nothing new after `now`.
+                let mut probe = f.clone();
+                let at_now = probe.due_delayed(now).len();
+                let _ = at_now;
+                prop_assert!(probe.due_delayed(est - 1).is_empty(),
+                    "a held response releases before the estimate");
+            } else {
+                // No event: predicates must be constant forever after.
+                for c in now + 1..now + 600 {
+                    prop_assert_eq!(f.stall_ports(c), f.stall_ports(now));
+                    prop_assert_eq!(f.deny_issue(c, 0), f.deny_issue(now, 0));
+                }
+                let mut probe = f.clone();
+                let _ = probe.due_delayed(now);
+                prop_assert!(probe.due_delayed(now + 600).is_empty());
+            }
+        }
+
+        /// `next_audit_boundary` is the first due cycle strictly after
+        /// `now`: on-grid, at most one interval away, nothing due inside
+        /// the skipped window.
+        #[test]
+        fn audit_boundary_is_never_late(interval in 1u64..2_000, now in 0u64..1_000_000) {
+            let mut cfg = HardeningConfig::default();
+            cfg.audit.enabled = true;
+            cfg.audit.interval = interval;
+            let a = InvariantAuditor::new(&cfg, 1);
+            let b = a.next_audit_boundary(now).expect("auditing enabled");
+            prop_assert!(b > now);
+            prop_assert!(b <= now + interval);
+            prop_assert!(a.audit_due(b), "clamp target must itself be due");
+            for c in now + 1..b {
+                prop_assert!(!a.audit_due(c), "due cycle {} inside the skip window", c);
+            }
+        }
+
+        /// `next_watchdog_event` never overshoots a firing: a quiescent
+        /// per-cycle observation run fires nothing strictly before the
+        /// estimate, and fires at it.
+        #[test]
+        fn watchdog_estimate_is_never_late(
+            global in 20u64..300,
+            starve in 20u64..300,
+            progress_until in 0u64..100,
+        ) {
+            let mut cfg = HardeningConfig::default();
+            cfg.watchdog.enabled = true;
+            cfg.watchdog.global_stall_cycles = global;
+            cfg.watchdog.core_starve_cycles = starve;
+            let mut a = InvariantAuditor::new(&cfg, 2);
+            // Warm-up: both cores retire until `progress_until`.
+            for now in 1..=progress_until {
+                prop_assert!(!a.observe_global(now, now, now, true));
+                prop_assert!(!a.observe_core(now, 0, now, false));
+                prop_assert!(!a.observe_core(now, 1, now, false));
+            }
+            let now = progress_until;
+            let est = a.next_watchdog_event(now).expect("fresh watchdog always has deadlines");
+            prop_assert!(est > now);
+            // Quiescent continuation: totals frozen, cores not frozen.
+            for c in now + 1..=est {
+                let fired = a.observe_global(c, progress_until, progress_until, true)
+                    | a.observe_core(c, 0, progress_until, false)
+                    | a.observe_core(c, 1, progress_until, false);
+                if c < est {
+                    prop_assert!(!fired, "watchdog fired at {} before estimate {}", c, est);
+                } else {
+                    prop_assert!(fired, "estimate {} passed with no firing", est);
+                }
+            }
+        }
+    }
 }

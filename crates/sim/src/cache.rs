@@ -163,22 +163,48 @@ impl Cache {
         None
     }
 
-    /// Encodes the full tag array and access counters (checkpoint
-    /// support).
+    /// Encodes the full tag array (checkpoint support).
+    ///
+    /// Recency is written in *canonical* form: valid ways are ranked
+    /// 1..=n by `lru_stamp` and the ranks are persisted instead of the
+    /// raw stamps. Raw stamps count every `access`/`fill` *call* —
+    /// including misses retried while an MSHR is full — so their
+    /// absolute values depend on how the run was driven (the naive
+    /// engine retries on cycles the skipping engines elide). Only the
+    /// relative order is architectural, and ranking preserves it
+    /// exactly, keeping snapshot bytes engine-independent. The
+    /// `tick`/`hits`/`misses` call counters are execution diagnostics
+    /// and are not persisted at all.
     pub fn save_state(&self, enc: &mut crate::snapshot::Enc) {
         enc.usize(self.sets.len());
         enc.usize(self.sets.first().map_or(0, |s| s.len()));
-        for set in &self.sets {
-            for way in set {
+        // (stamp, set, way) for every valid way; stamps are unique among
+        // valid ways (each call stamps at most one way with a fresh
+        // tick), so the order — and therefore the encoding — is total
+        // and deterministic.
+        let mut order: Vec<(u64, usize, usize)> = Vec::new();
+        for (si, set) in self.sets.iter().enumerate() {
+            for (wi, way) in set.iter().enumerate() {
+                if way.valid {
+                    order.push((way.lru_stamp, si, wi));
+                }
+            }
+        }
+        order.sort_unstable();
+        let ways = self.sets.first().map_or(0, |s| s.len());
+        let mut rank = vec![0u64; self.sets.len() * ways];
+        for (r, &(_, si, wi)) in order.iter().enumerate() {
+            rank[si * ways + wi] = r as u64 + 1;
+        }
+        for (si, set) in self.sets.iter().enumerate() {
+            for (wi, way) in set.iter().enumerate() {
                 enc.u64(way.tag);
                 enc.bool(way.valid);
                 enc.bool(way.dirty);
-                enc.u64(way.lru_stamp);
+                enc.u64(rank[si * ways + wi]);
             }
         }
-        enc.u64(self.tick);
-        enc.u64(self.hits);
-        enc.u64(self.misses);
+        enc.u64(order.len() as u64);
     }
 
     /// Restores state written by [`Cache::save_state`], rejecting a
@@ -205,9 +231,13 @@ impl Cache {
                 way.lru_stamp = dec.u64()?;
             }
         }
+        // Resume the recency clock just past the highest persisted rank,
+        // so post-restore touches are strictly newer than every restored
+        // line. The hit/miss call counters restart at zero (they are
+        // diagnostics counting calls since construction or resume).
         self.tick = dec.u64()?;
-        self.hits = dec.u64()?;
-        self.misses = dec.u64()?;
+        self.hits = 0;
+        self.misses = 0;
         Ok(())
     }
 
@@ -248,6 +278,9 @@ pub struct MshrEntry<W> {
 pub struct MshrFile<W> {
     entries: Vec<MshrEntry<W>>,
     capacity: usize,
+    // Recycled waiter buffers (see `recycle`): keeps the per-miss Vec
+    // allocation out of the issue hot path. Never persisted.
+    spare: Vec<Vec<W>>,
 }
 
 /// Result of attempting to track a miss in the MSHR file.
@@ -271,7 +304,7 @@ impl<W> MshrFile<W> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+        MshrFile { entries: Vec::with_capacity(capacity), capacity, spare: Vec::new() }
     }
 
     /// Records a miss on `line_addr` at time `now` with waiter `waiter`.
@@ -284,13 +317,21 @@ impl<W> MshrFile<W> {
         if self.entries.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.push(MshrEntry {
-            line_addr,
-            allocated_at: now,
-            any_write: write,
-            waiters: vec![waiter],
-        });
+        let mut waiters = self.spare.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.push(MshrEntry { line_addr, allocated_at: now, any_write: write, waiters });
         MshrOutcome::Allocated
+    }
+
+    /// Returns a completed entry's waiter buffer to the allocation pool,
+    /// so steady-state miss traffic reuses buffers instead of hitting the
+    /// allocator once per miss. Purely an optimisation: unreturned
+    /// buffers are simply reallocated.
+    pub fn recycle(&mut self, mut waiters: Vec<W>) {
+        if self.spare.len() < self.capacity {
+            waiters.clear();
+            self.spare.push(waiters);
+        }
     }
 
     /// Completes the miss on `line_addr`, returning the entry (with all

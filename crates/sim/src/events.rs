@@ -1,0 +1,552 @@
+//! Calendar event queue for the event-driven engine
+//! ([`crate::system::Engine::Event`]).
+//!
+//! The queue is keyed by absolute cycle. Near-future events (within
+//! [`EventQueue::HORIZON`] cycles of the queue's base) land in a
+//! direct-mapped calendar — one bucket per cycle, O(1) insert — while
+//! far-future events (audit boundaries, watchdog deadlines, refresh
+//! fences) wait in an overflow list and are promoted when the calendar
+//! window rolls forward over them.
+//!
+//! Determinism contract: when several events share a cycle,
+//! [`EventQueue::pop_earliest`] returns them in [`EventSource`] priority
+//! order (component class first, then component index). The engine only
+//! needs the *cycle* of the earliest event — the wake-up tick re-derives
+//! all component state — but a stable tiebreak keeps diagnostics, logs,
+//! and snapshots independent of insertion order.
+
+use crate::snapshot::{Dec, Enc, SnapshotError};
+use crate::types::Cycle;
+
+/// Which component scheduled a wake-up. Variant order is the same-cycle
+/// priority order (earlier variants pop first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventSource {
+    /// A frozen core thaws (tuner overhead window expires).
+    Frozen {
+        /// Core index.
+        core: usize,
+    },
+    /// The head of a core's L1 hit pipe completes.
+    HitPipe {
+        /// Core index.
+        core: usize,
+    },
+    /// A denied shaper could grant (credit ages in or a replenish
+    /// boundary passes).
+    ShaperGrant {
+        /// Core index.
+        core: usize,
+    },
+    /// A source-throttle issue gap expires.
+    ThrottleGap {
+        /// Core index.
+        core: usize,
+    },
+    /// The earliest queued LLC lookup becomes due.
+    LlcLookup,
+    /// A DRAM data burst finishes on a channel.
+    DramCompletion {
+        /// Channel index.
+        channel: usize,
+    },
+    /// A queued memory transaction becomes startable on a channel.
+    McDispatch {
+        /// Channel index.
+        channel: usize,
+    },
+    /// A scheduling policy's next epoch/quantum boundary.
+    Scheduler {
+        /// Channel index.
+        channel: usize,
+    },
+    /// A fault plan activates or releases a held response.
+    Fault,
+    /// An invariant-audit boundary.
+    AuditBoundary,
+    /// The forward-progress watchdog could fire.
+    Watchdog,
+    /// A time-series sampling boundary.
+    SampleBoundary,
+}
+
+impl EventSource {
+    /// Total order used for the same-cycle tiebreak: component class
+    /// (variant order), then component index.
+    fn key(self) -> u64 {
+        let (tag, index) = self.parts();
+        ((tag as u64) << 32) | index as u64
+    }
+
+    fn parts(self) -> (u8, u32) {
+        match self {
+            EventSource::Frozen { core } => (0, core as u32),
+            EventSource::HitPipe { core } => (1, core as u32),
+            EventSource::ShaperGrant { core } => (2, core as u32),
+            EventSource::ThrottleGap { core } => (3, core as u32),
+            EventSource::LlcLookup => (4, 0),
+            EventSource::DramCompletion { channel } => (5, channel as u32),
+            EventSource::McDispatch { channel } => (6, channel as u32),
+            EventSource::Scheduler { channel } => (7, channel as u32),
+            EventSource::Fault => (8, 0),
+            EventSource::AuditBoundary => (9, 0),
+            EventSource::Watchdog => (10, 0),
+            EventSource::SampleBoundary => (11, 0),
+        }
+    }
+
+    fn from_parts(tag: u8, index: u32) -> Result<Self, SnapshotError> {
+        let core = index as usize;
+        let channel = index as usize;
+        Ok(match tag {
+            0 => EventSource::Frozen { core },
+            1 => EventSource::HitPipe { core },
+            2 => EventSource::ShaperGrant { core },
+            3 => EventSource::ThrottleGap { core },
+            4 => EventSource::LlcLookup,
+            5 => EventSource::DramCompletion { channel },
+            6 => EventSource::McDispatch { channel },
+            7 => EventSource::Scheduler { channel },
+            8 => EventSource::Fault,
+            9 => EventSource::AuditBoundary,
+            10 => EventSource::Watchdog,
+            11 => EventSource::SampleBoundary,
+            t => return Err(SnapshotError::corrupt(format!("invalid event-source tag {t}"))),
+        })
+    }
+}
+
+/// Calendar queue of (cycle, source) wake-ups. See the module docs.
+#[derive(Debug)]
+pub struct EventQueue {
+    /// Earliest representable cycle; bucket `i` holds cycle `base + i`.
+    base: Cycle,
+    /// Direct-mapped window covering `[base, base + HORIZON)`. Allocated
+    /// lazily on the first schedule so `EventQueue::new` (and the
+    /// `mem::take` in the engine's per-tick probe) never allocates.
+    buckets: Vec<Vec<EventSource>>,
+    /// Lowest bucket offset that may be non-empty (`HORIZON` when the
+    /// whole window is empty).
+    cursor: usize,
+    /// Offsets of buckets touched since the last rebase — lets rebase
+    /// clear O(#events) buckets instead of sweeping the whole window.
+    /// May hold duplicates; clearing twice is harmless.
+    touched: Vec<usize>,
+    /// Events at or beyond `base + HORIZON`, promoted on roll-forward.
+    overflow: Vec<(Cycle, EventSource)>,
+    /// Total scheduled events (window + overflow).
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl EventQueue {
+    /// Width of the direct-mapped calendar window in cycles. DRAM service
+    /// and shaper-aging events land within tens of cycles; only coarse
+    /// boundaries (audit, watchdog, sampling, replenish) overflow.
+    pub const HORIZON: usize = 256;
+
+    /// Creates an empty queue based at cycle 0. Allocation-free: bucket
+    /// storage materialises on the first [`EventQueue::schedule`].
+    pub fn new() -> Self {
+        EventQueue {
+            base: 0,
+            buckets: Vec::new(),
+            cursor: Self::HORIZON,
+            overflow: Vec::new(),
+            len: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The queue's current base cycle (events before it clamp to it).
+    pub fn base(&self) -> Cycle {
+        self.base
+    }
+
+    /// Drops every event and restarts the window at `base`. The engine
+    /// calls this before reseeding component wake-ups each time it looks
+    /// for a skippable window.
+    pub fn rebase(&mut self, base: Cycle) {
+        if self.len != 0 {
+            for &off in &self.touched {
+                self.buckets[off].clear();
+            }
+            self.overflow.clear();
+            self.len = 0;
+        }
+        self.touched.clear();
+        self.base = base;
+        self.cursor = Self::HORIZON;
+    }
+
+    /// Schedules `source` to wake at `cycle`. Cycles before the base
+    /// clamp to the base ("in the past" means "now").
+    pub fn schedule(&mut self, cycle: Cycle, source: EventSource) {
+        if self.buckets.is_empty() {
+            self.buckets = (0..Self::HORIZON).map(|_| Vec::new()).collect();
+        }
+        let cycle = cycle.max(self.base);
+        let offset = (cycle - self.base) as usize;
+        if offset < Self::HORIZON {
+            if self.buckets[offset].is_empty() {
+                self.touched.push(offset);
+            }
+            self.buckets[offset].push(source);
+            self.cursor = self.cursor.min(offset);
+        } else {
+            self.overflow.push((cycle, source));
+        }
+        self.len += 1;
+    }
+
+    /// Earliest event cycle without removing anything.
+    pub fn peek_earliest(&self) -> Option<Cycle> {
+        let window = (self.cursor..Self::HORIZON)
+            .find(|&off| !self.buckets[off].is_empty())
+            .map(|off| self.base + off as Cycle);
+        let far = self.overflow.iter().map(|&(c, _)| c).min();
+        match (window, far) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        }
+    }
+
+    /// Removes and returns the earliest event; same-cycle ties break by
+    /// [`EventSource`] priority. Rolls the calendar window forward over
+    /// far-future events as needed.
+    pub fn pop_earliest(&mut self) -> Option<(Cycle, EventSource)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            while self.cursor < Self::HORIZON {
+                let off = self.cursor;
+                if !self.buckets[off].is_empty() {
+                    let bucket = &mut self.buckets[off];
+                    let best = bucket
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.key())
+                        .map(|(i, _)| i)
+                        .expect("bucket checked non-empty");
+                    let source = bucket.swap_remove(best);
+                    self.len -= 1;
+                    return Some((self.base + off as Cycle, source));
+                }
+                self.cursor += 1;
+            }
+            // Window exhausted: every in-window bucket has been drained
+            // (the touched list only marks stale, now-empty buckets).
+            // Jump the base to the earliest far-future event and promote
+            // everything that now fits.
+            let next_base = self.overflow.iter().map(|&(c, _)| c).min()?;
+            self.base = next_base;
+            self.cursor = Self::HORIZON;
+            self.touched.clear();
+            let mut i = 0;
+            while i < self.overflow.len() {
+                let (c, s) = self.overflow[i];
+                let offset = (c - self.base) as usize;
+                if offset < Self::HORIZON {
+                    self.overflow.swap_remove(i);
+                    if self.buckets[offset].is_empty() {
+                        self.touched.push(offset);
+                    }
+                    self.buckets[offset].push(s);
+                    self.cursor = self.cursor.min(offset);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains the queue into a canonically ordered (cycle, source) list:
+    /// ascending cycle, priority order within a cycle.
+    fn sorted_contents(&self) -> Vec<(Cycle, EventSource)> {
+        let mut all: Vec<(Cycle, EventSource)> = Vec::with_capacity(self.len);
+        for (off, bucket) in self.buckets.iter().enumerate() {
+            for &s in bucket {
+                all.push((self.base + off as Cycle, s));
+            }
+        }
+        all.extend_from_slice(&self.overflow);
+        all.sort_unstable_by_key(|&(c, s)| (c, s.key()));
+        all
+    }
+
+    /// Encodes the queue (base plus canonically ordered contents). The
+    /// encoding is identical for queues holding the same events whatever
+    /// insertion order produced them.
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.u64(self.base);
+        let all = self.sorted_contents();
+        enc.usize(all.len());
+        for (cycle, source) in all {
+            enc.u64(cycle);
+            let (tag, index) = source.parts();
+            enc.u8(tag);
+            enc.u32(index);
+        }
+    }
+
+    /// Restores the state written by [`EventQueue::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on an invalid source tag or truncated
+    /// payload.
+    pub fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapshotError> {
+        let base = dec.u64()?;
+        self.rebase(base);
+        let n = dec.checked_len(13)?;
+        for _ in 0..n {
+            let cycle = dec.u64()?;
+            let tag = dec.u8()?;
+            let index = dec.u32()?;
+            self.schedule(cycle, EventSource::from_parts(tag, index)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Dec, Enc};
+
+    fn drain(q: &mut EventQueue) -> Vec<(Cycle, EventSource)> {
+        std::iter::from_fn(|| q.pop_earliest()).collect()
+    }
+
+    #[test]
+    fn pops_in_cycle_order_across_window_and_overflow() {
+        let mut q = EventQueue::new();
+        q.rebase(100);
+        q.schedule(5_000, EventSource::AuditBoundary); // overflow
+        q.schedule(101, EventSource::LlcLookup);
+        q.schedule(100_000, EventSource::Watchdog); // far overflow
+        q.schedule(130, EventSource::DramCompletion { channel: 0 });
+        let got = drain(&mut q);
+        let cycles: Vec<Cycle> = got.iter().map(|&(c, _)| c).collect();
+        assert_eq!(cycles, vec![101, 130, 5_000, 100_000]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_ties_break_by_component_priority_not_insertion_order() {
+        let at = 42;
+        // Two insertion orders of the same event set.
+        let forward = [
+            EventSource::SampleBoundary,
+            EventSource::McDispatch { channel: 1 },
+            EventSource::McDispatch { channel: 0 },
+            EventSource::HitPipe { core: 3 },
+            EventSource::Frozen { core: 0 },
+        ];
+        let mut orders = Vec::new();
+        for reversed in [false, true] {
+            let mut q = EventQueue::new();
+            q.rebase(at);
+            let mut evs = forward.to_vec();
+            if reversed {
+                evs.reverse();
+            }
+            for s in evs {
+                q.schedule(at, s);
+            }
+            orders.push(drain(&mut q));
+        }
+        assert_eq!(orders[0], orders[1], "pop order must not depend on insertion order");
+        assert_eq!(
+            orders[0].iter().map(|&(_, s)| s).collect::<Vec<_>>(),
+            vec![
+                EventSource::Frozen { core: 0 },
+                EventSource::HitPipe { core: 3 },
+                EventSource::McDispatch { channel: 0 },
+                EventSource::McDispatch { channel: 1 },
+                EventSource::SampleBoundary,
+            ]
+        );
+    }
+
+    #[test]
+    fn past_events_clamp_to_base() {
+        let mut q = EventQueue::new();
+        q.rebase(1_000);
+        q.schedule(3, EventSource::Fault);
+        assert_eq!(q.pop_earliest(), Some((1_000, EventSource::Fault)));
+    }
+
+    #[test]
+    fn far_future_rollover_promotes_in_batches() {
+        let mut q = EventQueue::new();
+        q.rebase(0);
+        let h = EventQueue::HORIZON as Cycle;
+        // Several generations of windows, plus a clump inside one far window.
+        q.schedule(3 * h + 7, EventSource::AuditBoundary);
+        q.schedule(3 * h + 7, EventSource::Fault);
+        q.schedule(9 * h, EventSource::Watchdog);
+        q.schedule(h - 1, EventSource::LlcLookup);
+        let got = drain(&mut q);
+        assert_eq!(
+            got,
+            vec![
+                (h - 1, EventSource::LlcLookup),
+                (3 * h + 7, EventSource::Fault),
+                (3 * h + 7, EventSource::AuditBoundary),
+                (9 * h, EventSource::Watchdog),
+            ]
+        );
+    }
+
+    #[test]
+    fn rebase_clears_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(10, EventSource::LlcLookup);
+        q.schedule(100_000, EventSource::Watchdog);
+        q.rebase(50);
+        assert!(q.is_empty());
+        assert_eq!(q.pop_earliest(), None);
+        assert_eq!(q.base(), 50);
+    }
+
+    #[test]
+    fn peek_agrees_with_pop() {
+        let mut q = EventQueue::new();
+        q.rebase(10);
+        q.schedule(700, EventSource::AuditBoundary);
+        q.schedule(12, EventSource::HitPipe { core: 1 });
+        assert_eq!(q.peek_earliest(), Some(12));
+        q.pop_earliest();
+        assert_eq!(q.peek_earliest(), Some(700));
+    }
+
+    #[test]
+    fn snapshot_round_trip_of_populated_queue_is_bit_exact() {
+        let mut q = EventQueue::new();
+        q.rebase(777);
+        q.schedule(790, EventSource::ShaperGrant { core: 2 });
+        q.schedule(790, EventSource::Frozen { core: 1 });
+        q.schedule(50_000, EventSource::SampleBoundary);
+        q.schedule(778, EventSource::DramCompletion { channel: 3 });
+        q.pop_earliest(); // a partially drained queue must round-trip too
+
+        let mut enc = Enc::default();
+        q.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut restored = EventQueue::new();
+        let mut dec = Dec::new(&bytes);
+        restored.load_state(&mut dec).expect("well-formed payload");
+        dec.finish().expect("no trailing bytes");
+
+        // Bit-exact: the restored queue re-encodes to the same bytes and
+        // pops the same sequence.
+        let mut enc2 = Enc::default();
+        restored.save_state(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes());
+        assert_eq!(drain(&mut q), drain(&mut restored));
+    }
+
+    #[test]
+    fn load_rejects_bad_source_tag() {
+        let mut enc = Enc::default();
+        enc.u64(0); // base
+        enc.usize(1);
+        enc.u64(5);
+        enc.u8(200); // invalid tag
+        enc.u32(0);
+        let bytes = enc.into_bytes();
+        let mut q = EventQueue::new();
+        assert!(q.load_state(&mut Dec::new(&bytes)).is_err());
+    }
+
+    use proptest::prelude::*;
+
+    /// Random (offset, source) sets; offsets span several window
+    /// generations so rollover and overflow promotion are exercised.
+    fn random_events() -> impl Strategy<Value = Vec<(Cycle, EventSource)>> {
+        proptest::collection::vec(
+            (0u64..12 * EventQueue::HORIZON as u64, 0u8..12, 0u32..8),
+            0..96,
+        )
+        .prop_map(|raw| {
+            raw.into_iter()
+                .map(|(dc, tag, idx)| {
+                    (dc, EventSource::from_parts(tag, idx).expect("tag in range"))
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Whatever the insertion order and however many window
+        /// generations the offsets span, the queue drains exactly the
+        /// canonical (cycle, priority) order of what was scheduled.
+        #[test]
+        fn random_event_sets_drain_in_canonical_order(
+            base in 0u64..100_000,
+            evs in random_events(),
+        ) {
+            let mut q = EventQueue::new();
+            q.rebase(base);
+            let mut expect = Vec::with_capacity(evs.len());
+            for &(dc, s) in &evs {
+                q.schedule(base + dc, s);
+                expect.push((base + dc, s));
+            }
+            expect.sort_by_key(|&(c, s)| (c, s.key()));
+            prop_assert_eq!(q.len(), expect.len());
+            prop_assert_eq!(drain(&mut q), expect);
+            prop_assert!(q.is_empty());
+        }
+
+        /// Any populated (and possibly partially drained) queue
+        /// round-trips through the snapshot codec bit-exactly and then
+        /// pops the same sequence.
+        #[test]
+        fn random_queues_snapshot_round_trip(
+            base in 0u64..100_000,
+            evs in random_events(),
+            drained in 0usize..8,
+        ) {
+            let mut q = EventQueue::new();
+            q.rebase(base);
+            for &(dc, s) in &evs {
+                q.schedule(base + dc, s);
+            }
+            for _ in 0..drained {
+                let _ = q.pop_earliest();
+            }
+            let mut enc = Enc::default();
+            q.save_state(&mut enc);
+            let bytes = enc.into_bytes();
+
+            let mut restored = EventQueue::new();
+            let mut dec = Dec::new(&bytes);
+            restored.load_state(&mut dec).expect("well-formed payload");
+            dec.finish().expect("no trailing bytes");
+
+            let mut enc2 = Enc::default();
+            restored.save_state(&mut enc2);
+            prop_assert_eq!(bytes, enc2.into_bytes(), "re-encode must be bit-exact");
+            prop_assert_eq!(drain(&mut q), drain(&mut restored));
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod dram;
+pub mod events;
 pub mod fsio;
 pub mod histogram;
 pub mod mc;
@@ -64,7 +65,8 @@ pub use oracle::{
     DramOracle, OracleKind, OracleViolation, PickOracle, PickPolicy, ShaperOracle, ShaperSpec,
     SpecFeedback, SpecPolicy,
 };
+pub use events::{EventQueue, EventSource};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{geomean, SlowdownReport};
-pub use system::{System, SystemBuilder};
+pub use system::{Engine, System, SystemBuilder};
 pub use types::{Addr, CoreId, Cycle, MemCmd, OpId};

@@ -614,6 +614,20 @@ impl MemoryController {
         self.queue_occupancy_sum += cycles * self.queue.len() as u64;
     }
 
+    /// Replays `cycles` skipped cycles' worth of FIFO rejections. The
+    /// event engine may skip windows where the LLC's controller backlog
+    /// is stuck behind a full FIFO; each such cycle the LLC would have
+    /// retried the backlog head exactly once and been rejected, so the
+    /// skip must account the same number of rejections. Only legal when
+    /// the FIFO has no room (the retry could not have succeeded).
+    pub fn note_rejected_cycles(&mut self, cycles: u64) {
+        debug_assert!(
+            !self.fifo_has_room(),
+            "rejection replay requires a full FIFO (a retry would have succeeded)"
+        );
+        self.fifo_rejections += cycles;
+    }
+
     /// Whether a [`MemoryController::tick`] at this instant would move
     /// transactions from the global FIFO into the scheduling queue (work
     /// the fast-forward engine must not skip).

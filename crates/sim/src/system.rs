@@ -19,6 +19,7 @@ use crate::cache::{AccessResult, Cache, MshrFile, MshrOutcome};
 use crate::config::{ConfigError, SystemConfig};
 use crate::core::{Core, CoreCounters, CoreIdleClass, MemIssue, MemPort};
 use crate::dram::Dram;
+use crate::events::{EventQueue, EventSource};
 use crate::mc::{
     CoreSignals, CoreThrottle, FcfsScheduler, McResponse, MemoryController, Scheduler,
     SourceControl, TxnId,
@@ -106,6 +107,35 @@ impl IssueOutcome {
             }
         })
     }
+}
+
+/// Which execution engine advances the system.
+///
+/// All three produce bit-identical architectural results — statistics,
+/// grant ledgers, audit logs, trace-event streams, sample rows — and may
+/// be flipped mid-run with [`System::set_engine`]. They differ only in
+/// how many cycles they *execute*:
+///
+/// * [`Engine::Naive`] ticks every cycle. The reference for equivalence
+///   testing and the escape hatch while debugging the engines themselves.
+/// * [`Engine::Fast`] is PR 2's quiescence fast-forward: after each real
+///   tick it probes whether *nothing* in the system can act before some
+///   future cycle and jumps there, replaying the skipped window's counter
+///   updates in batch.
+/// * [`Engine::Event`] (the default) is the discrete-event kernel: each
+///   component posts its next wake-up into a calendar queue
+///   ([`crate::events::EventQueue`]) and the engine jumps to the earliest
+///   one. It additionally skips saturated windows the quiescence probe
+///   must execute — a controller backlog stuck behind a full FIFO — by
+///   replaying the per-cycle rejection the LLC would have recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Execute every cycle.
+    Naive,
+    /// Quiescence fast-forward (PR 2).
+    Fast,
+    /// Calendar-queue event-driven kernel.
+    Event,
 }
 
 /// Prefixes [`SnapshotError::Mismatch`] reasons with the component
@@ -202,7 +232,9 @@ impl CoreUnit {
                 self.core.complete(*op);
             }
         }
-        let evicted = self.l1.fill(line_addr, entry.any_write);
+        let any_write = entry.any_write;
+        self.l1_mshrs.recycle(entry.waiters);
+        let evicted = self.l1.fill(line_addr, any_write);
         match evicted {
             Some(ev) if ev.dirty => {
                 self.stats.writebacks += 1;
@@ -325,7 +357,7 @@ pub struct SystemBuilder {
     traces: Vec<Option<Box<dyn TraceSource>>>,
     shapers: Vec<Option<ShaperHandle>>,
     schedulers: Vec<Option<Box<dyn Scheduler>>>,
-    fast_forward: bool,
+    engine: Engine,
     trace_sink: Option<Box<dyn TraceSink>>,
     sample_every: Option<Cycle>,
     pick_snapshots: bool,
@@ -357,7 +389,7 @@ impl SystemBuilder {
             traces: (0..cores).map(|_| None).collect(),
             shapers: (0..cores).map(|_| None).collect(),
             schedulers: (0..channels).map(|_| None).collect(),
-            fast_forward: true,
+            engine: Engine::Event,
             trace_sink: None,
             sample_every: None,
             pick_snapshots: false,
@@ -395,11 +427,19 @@ impl SystemBuilder {
         self
     }
 
-    /// Enables or disables quiescence fast-forward (on by default). The
-    /// naive cycle-by-cycle mode exists as the reference for equivalence
-    /// testing and as an escape hatch while debugging the engine itself.
+    /// Selects the execution engine (see [`Engine`]; the event-driven
+    /// kernel is the default). All engines are bit-identical in results;
+    /// they differ in how many cycles they execute.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Compatibility selector predating [`SystemBuilder::engine`]:
+    /// `true` selects [`Engine::Fast`] (quiescence fast-forward), `false`
+    /// the naive cycle-by-cycle reference.
     pub fn fast_forward(mut self, enabled: bool) -> Self {
-        self.fast_forward = enabled;
+        self.engine = if enabled { Engine::Fast } else { Engine::Naive };
         self
     }
 
@@ -556,7 +596,8 @@ impl SystemBuilder {
             auditor: InvariantAuditor::new(&config.hardening, n),
             audit_last_instr: vec![0; n],
             faults: ActiveFaults::default(),
-            fast_forward: self.fast_forward,
+            engine: self.engine,
+            events: EventQueue::new(),
             skipped_cycles: 0,
             fills_scratch: Vec::new(),
             notes_scratch: Vec::new(),
@@ -600,10 +641,13 @@ pub struct System {
     audit_last_instr: Vec<u64>,
     /// Injected faults, if any (testing the checkers).
     faults: ActiveFaults,
-    /// Quiescence fast-forward enabled (the naive mode is the reference
-    /// for equivalence tests).
-    fast_forward: bool,
-    /// Total cycles jumped over by the fast-forward engine.
+    /// Execution engine (the naive mode is the reference for equivalence
+    /// tests; see [`Engine`]).
+    engine: Engine,
+    /// Calendar of component wake-ups, reseeded from component state by
+    /// the event engine each time it looks for a skippable window.
+    events: EventQueue,
+    /// Total cycles jumped over by the fast-forward/event engines.
     skipped_cycles: u64,
     /// Reusable per-tick buffers (the tick hot path must not allocate).
     fills_scratch: Vec<CoreFill>,
@@ -799,14 +843,28 @@ impl System {
         self.faults.inject(plan);
     }
 
-    /// Enables or disables quiescence fast-forward at runtime.
-    pub fn set_fast_forward(&mut self, enabled: bool) {
-        self.fast_forward = enabled;
+    /// Switches the execution engine at runtime. Safe mid-run: every
+    /// engine leaves the system in the same settled end-of-cycle state
+    /// after each advance, and the event engine's calendar is reseeded
+    /// from component state on its next use.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
-    /// Whether quiescence fast-forward is enabled.
+    /// The execution engine currently advancing the system.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Compatibility switch predating [`System::set_engine`]: `true`
+    /// selects [`Engine::Fast`], `false` [`Engine::Naive`].
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.engine = if enabled { Engine::Fast } else { Engine::Naive };
+    }
+
+    /// Whether a skipping engine (fast-forward or event) is active.
     pub fn fast_forward_enabled(&self) -> bool {
-        self.fast_forward
+        self.engine != Engine::Naive
     }
 
     /// Total cycles the fast-forward engine has jumped over (0 in naive
@@ -899,17 +957,24 @@ impl System {
         w.section("sys", |e| {
             e.u64(self.now);
             e.usize(self.rr_offset);
-            e.u64(self.skipped_cycles);
-            e.usize(self.signals.len());
-            for s in &self.signals {
-                e.u64(s.instructions);
-                e.u64(s.mem_stall_cycles);
-                e.u64(s.l1_misses);
-                e.u64(s.llc_misses);
-                e.u64(s.mem_completed);
-                e.u64(s.mem_latency_sum);
-            }
+            // `skipped_cycles` is an execution diagnostic (how the run
+            // was *driven*, not what the machine did) and differs by
+            // engine, so it is excluded to keep snapshot bytes
+            // engine-independent. A resumed run restarts the count at 0.
+            // The per-core signal table is NOT serialised: it is a
+            // reusable scratch buffer refreshed from the live counters
+            // at the start of step 6 of every executed tick, *before*
+            // any scheduler reads it, so its cross-tick contents are
+            // never observable. Persisting it would capture
+            // engine-dependent staleness (how far back the last
+            // executed tick was depends on how the run was driven).
             self.source_ctl.save_state(e);
+            // The event engine's calendar queue is deliberately NOT
+            // serialised: it is probe-local scratch, rebased and reseeded
+            // from component state before every use, and persisting it
+            // would make snapshot bytes depend on which engine produced
+            // them (snapshots must be byte-identical across engines and
+            // across mid-run engine flips).
         });
         Ok(w.finish())
     }
@@ -989,20 +1054,17 @@ impl System {
             let mut d = Dec::new(snapshot.section("sys")?);
             self.now = d.u64()?;
             self.rr_offset = d.usize()?;
-            self.skipped_cycles = d.u64()?;
-            let n = d.usize()?;
-            if n != self.signals.len() {
-                return Err(SnapshotError::mismatch("per-core signal table size differs"));
-            }
+            self.skipped_cycles = 0;
+            // Signal-table scratch: refreshed before first use on the
+            // next executed tick (see `snapshot` for why it is not
+            // persisted). Reset here so a restored system carries no
+            // stale pre-restore values.
             for s in &mut self.signals {
-                s.instructions = d.u64()?;
-                s.mem_stall_cycles = d.u64()?;
-                s.l1_misses = d.u64()?;
-                s.llc_misses = d.u64()?;
-                s.mem_completed = d.u64()?;
-                s.mem_latency_sum = d.u64()?;
+                *s = CoreSignals::default();
             }
             self.source_ctl.load_state(&mut d)?;
+            // Engine scratch: the event queue reseeds on the next probe.
+            self.events.rebase(self.now);
             d.finish()?;
         }
         Ok(())
@@ -1286,8 +1348,18 @@ impl System {
 
     fn advance_bounded(&mut self, limit: Cycle) -> Cycle {
         self.tick();
-        self.try_fast_forward(limit);
+        self.post_tick_forward(limit);
         self.now
+    }
+
+    /// After a real tick, lets the active engine jump `now` over a
+    /// provably dead window (no-op for [`Engine::Naive`]).
+    fn post_tick_forward(&mut self, limit: Cycle) {
+        match self.engine {
+            Engine::Naive => {}
+            Engine::Fast => self.try_fast_forward(limit),
+            Engine::Event => self.try_event_forward(limit),
+        }
     }
 
     /// Runs the system for `cycles` cycles.
@@ -1319,7 +1391,7 @@ impl System {
             // last instruction, and a jump here would inflate the reported
             // completion cycle relative to the naive loop.
             if !self.cores.iter().all(done) {
-                self.try_fast_forward(end);
+                self.post_tick_forward(end);
             }
         }
         if self.cores.iter().all(done) {
@@ -1638,7 +1710,7 @@ impl System {
     /// cap). No-op when fast-forward is off or the watchdog has already
     /// declared a stall (a stalled system is inspected per cycle).
     fn try_fast_forward(&mut self, limit: Cycle) {
-        if !self.fast_forward || self.auditor.stall().is_some() {
+        if self.auditor.stall().is_some() {
             return;
         }
         if let Some(target) = self.quiescent_until() {
@@ -1647,6 +1719,190 @@ impl System {
                 self.skip_to(target);
             }
         }
+    }
+
+    /// The event engine's forward step: reseed the calendar queue from
+    /// every component's wake-up estimate, then jump to the earliest
+    /// scheduled event. Compared with the quiescence probe it additionally
+    /// skips windows where the only per-cycle activity is the LLC backlog
+    /// retrying (and being rejected by) a full controller FIFO — the
+    /// saturated steady state — replaying those rejections in batch.
+    fn try_event_forward(&mut self, limit: Cycle) {
+        if self.auditor.stall().is_some() {
+            return;
+        }
+        let mut queue = std::mem::take(&mut self.events);
+        queue.rebase(self.now);
+        let skippable = self.collect_wakeups(&mut queue);
+        // Sampled (the probe is per-tick hot and tier-1 release builds
+        // keep debug assertions on): the diagnostic twin must agree.
+        if cfg!(debug_assertions) && self.now & 0x3FF == 0 {
+            assert_eq!(
+                skippable,
+                self.skip_blocker().is_none(),
+                "collect_wakeups and skip_blocker must agree on skippability"
+            );
+        }
+        let target =
+            if skippable { queue.pop_earliest().map(|(cycle, _)| cycle) } else { None };
+        self.events = queue;
+        if let Some(target) = target {
+            let target = target.min(limit);
+            if target > self.now {
+                self.skip_to(target);
+            }
+        }
+    }
+
+    /// Diagnostic twin of [`System::collect_wakeups`]'s blocker checks:
+    /// names the first
+    /// component with same-cycle work that forbids an event-engine skip,
+    /// or `None` when the window starting at `now` is skippable. Useful
+    /// for understanding why a workload resists fast-forwarding.
+    pub fn skip_blocker(&self) -> Option<&'static str> {
+        let resume = self.now;
+        if let Some(head) = self.llc.mc_backlog.front() {
+            let ch = Self::channel_of(self.channel_row_bytes, self.channels.len(), head.line_addr);
+            if self.channels[ch].mc.fifo_has_room() {
+                // The retry would succeed on the next tick.
+                return Some("backlog_retry_would_succeed");
+            }
+        }
+        if self.llc.deferred.iter().any(|q| !q.is_empty()) {
+            return Some("llc_deferred");
+        }
+        for ch in &self.channels {
+            if ch.mc.would_refill_queue() {
+                return Some("mc_would_refill_queue");
+            }
+        }
+        for unit in &self.cores {
+            if !unit.wb_queue.is_empty() {
+                return Some("core_wb_queue");
+            }
+            if unit.effective_idle_class(resume) == CoreIdleClass::Busy {
+                return Some("core_busy");
+            }
+            if !unit.miss_queue.is_empty() {
+                match unit.last_outcome {
+                    // Denials that waiting can cure have wake-up events;
+                    // the skipped retries are replayed by `skip_to`.
+                    IssueOutcome::ShaperDenied
+                    | IssueOutcome::ThrottleBlocked
+                    | IssueOutcome::FaultDenied => {}
+                    // Granted / NoRequest / NoPorts with a pending head:
+                    // the next tick issues with an unpredictable outcome.
+                    _ => return Some("core_miss_queue_issue"),
+                }
+            }
+        }
+        None
+    }
+
+    /// Single probe pass of the event engine: checks every blocker and
+    /// seeds `queue` with every component's next wake-up as it walks.
+    /// Returns `false` (abandoning the partially seeded queue) when some
+    /// component has same-cycle work that batch replay cannot account.
+    ///
+    /// The blocker set mirrors [`System::quiescent_until`] with one
+    /// relaxation — a non-empty controller backlog is skippable when its
+    /// head faces a full FIFO, because each stuck cycle performs exactly
+    /// one failed retry (replayed by
+    /// [`MemoryController::note_rejected_cycles`]) and the FIFO cannot
+    /// gain room before a dispatch event fires. The wake-up estimates
+    /// (and their gating on the last issue outcome) are exactly the ones
+    /// `quiescent_until` consults; each may err early, never late.
+    /// [`System::skip_blocker`] is the diagnostic twin of the blocker
+    /// checks (kept in sync by a debug assertion in the probe).
+    fn collect_wakeups(&self, queue: &mut EventQueue) -> bool {
+        let resume = self.now;
+        let now_q = self.now - 1;
+        if let Some(head) = self.llc.mc_backlog.front() {
+            let ch = Self::channel_of(self.channel_row_bytes, self.channels.len(), head.line_addr);
+            if self.channels[ch].mc.fifo_has_room() {
+                // The retry would succeed on the next tick.
+                return false;
+            }
+        }
+        if self.llc.deferred.iter().any(|q| !q.is_empty()) {
+            return false;
+        }
+        for (i, unit) in self.cores.iter().enumerate() {
+            if !unit.wb_queue.is_empty() {
+                return false;
+            }
+            match unit.effective_idle_class(resume) {
+                CoreIdleClass::Busy => return false,
+                CoreIdleClass::Frozen => {
+                    queue.schedule(unit.core.frozen_until(), EventSource::Frozen { core: i });
+                }
+                CoreIdleClass::MemBlocked | CoreIdleClass::PortBlocked => {}
+            }
+            if let Some(&(ready, _)) = unit.hit_pipe.front() {
+                queue.schedule(ready, EventSource::HitPipe { core: i });
+            }
+            if !unit.miss_queue.is_empty() {
+                match unit.last_outcome {
+                    IssueOutcome::ShaperDenied => {
+                        if let Some(c) = unit.shaper.borrow().next_grant_event(now_q) {
+                            queue.schedule(c, EventSource::ShaperGrant { core: i });
+                        }
+                    }
+                    IssueOutcome::ThrottleBlocked => {
+                        let t = self.source_ctl.throttle(unit.id);
+                        if let (Some(gap), Some(last)) = (t.min_issue_gap, unit.last_issue) {
+                            let expiry = last + gap as Cycle;
+                            if expiry >= resume {
+                                queue.schedule(expiry, EventSource::ThrottleGap { core: i });
+                            }
+                            // An expired gap means the block is the
+                            // inflight cap, cured only by a fill
+                            // (downstream events cover it).
+                        }
+                    }
+                    // Fault denials never expire on their own; the fault
+                    // and watchdog events below bound the wait.
+                    IssueOutcome::FaultDenied => {}
+                    // Granted / NoRequest / NoPorts with a pending head:
+                    // the next tick issues with an unpredictable outcome.
+                    _ => return false,
+                }
+            }
+        }
+        if let Some(ready) = self.llc.lookups.iter().map(|l| l.ready_at).min() {
+            queue.schedule(ready, EventSource::LlcLookup);
+        }
+        for (c, ch) in self.channels.iter().enumerate() {
+            if ch.mc.would_refill_queue() {
+                return false;
+            }
+            if let Some(t) = ch.dram.next_completion() {
+                queue.schedule(t, EventSource::DramCompletion { channel: c });
+            }
+            if let Some(t) = ch.mc.next_dispatch_opportunity(resume, &ch.dram) {
+                queue.schedule(t, EventSource::McDispatch { channel: c });
+            }
+            if let Some(t) = ch.scheduler.next_event(now_q) {
+                queue.schedule(t, EventSource::Scheduler { channel: c });
+            }
+        }
+        if self.faults.is_active() {
+            if let Some(t) = self.faults.next_event(now_q) {
+                queue.schedule(t, EventSource::Fault);
+            }
+        }
+        if let Some(t) = self.auditor.next_audit_boundary(now_q) {
+            queue.schedule(t, EventSource::AuditBoundary);
+        }
+        if let Some(t) = self.auditor.next_watchdog_event(now_q) {
+            queue.schedule(t, EventSource::Watchdog);
+        }
+        // Sampling boundaries are real ticks, like audit boundaries: the
+        // sampler's rows must be bit-identical to a naive run's.
+        if let Some(t) = self.obs.next_sample_boundary(now_q) {
+            queue.schedule(t, EventSource::SampleBoundary);
+        }
+        true
     }
 
     /// If the system is quiescent — no component would change
@@ -1800,6 +2056,14 @@ impl System {
         }
         let n = self.cores.len().max(1);
         self.rr_offset = (self.rr_offset + (k as usize % n)) % n;
+        // Event-engine relaxation: a backlog stuck behind a full FIFO
+        // would have retried its head (one rejection) every skipped
+        // cycle. The quiescence engine never skips with a non-empty
+        // backlog, so this replay only fires under `Engine::Event`.
+        if let Some(head) = self.llc.mc_backlog.front() {
+            let ch = Self::channel_of(self.channel_row_bytes, self.channels.len(), head.line_addr);
+            self.channels[ch].mc.note_rejected_cycles(k);
+        }
         for ch in &mut self.channels {
             ch.mc.note_skipped_cycles(k);
             ch.scheduler.note_idle_cycles(k);
@@ -2098,9 +2362,10 @@ impl System {
         obs: &mut Observer,
     ) {
         if let Some(entry) = llc.mshrs.complete(line_addr) {
-            for core in entry.waiters {
+            for &core in &entry.waiters {
                 fills.push(CoreFill { core, line_addr });
             }
+            llc.mshrs.recycle(entry.waiters);
             if let Some(ev) = llc.cache.fill(line_addr, entry.any_write) {
                 if ev.dirty {
                     // Evicted dirty LLC line: write back to memory.

@@ -1,8 +1,10 @@
-//! Naive vs fast-forward equivalence over the full bundled surface.
+//! Naive vs fast-forward vs event-engine equivalence over the full
+//! bundled surface.
 //!
-//! The quiescence fast-forward in `System::advance` is only sound if a
-//! skip over `[now, target)` is indistinguishable, counter for counter,
-//! from executing that many no-op ticks. The unit tests in
+//! The quiescence fast-forward (`Engine::Fast`) and the calendar-queue
+//! event kernel (`Engine::Event`) in `System::advance` are only sound if
+//! a skip over `[now, target)` is indistinguishable, counter for
+//! counter, from executing that many no-op ticks. The unit tests in
 //! `crates/sim/src/system.rs` prove this for hand-built stride traces;
 //! this suite proves it for everything the repo actually ships:
 //!
@@ -23,9 +25,13 @@ use mitts_sched::{baseline_names, make_baseline};
 use mitts_sim::audit::{FaultKind, FaultPlan, RunOutcome};
 use mitts_sim::config::{CacheConfig, SystemConfig};
 use mitts_sim::obs::{RingSink, StallReason, TraceEvent};
-use mitts_sim::system::{System, SystemBuilder};
+use mitts_sim::system::{Engine, System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_workloads::Benchmark;
+
+/// The three engines, reference first: every test compares the skipping
+/// engines' results against `ENGINES[0]`'s.
+const ENGINES: [Engine; 3] = [Engine::Naive, Engine::Fast, Engine::Event];
 
 /// Disjoint address-space base for core `i`.
 fn base_for(core: usize) -> u64 {
@@ -34,42 +40,49 @@ fn base_for(core: usize) -> u64 {
 
 /// Builds one system for `benches` with a small shared LLC (so the
 /// bundled traces actually miss to DRAM) and the given scheduler.
-fn build_system(
-    benches: &[Benchmark],
-    scheduler: &str,
-    fast_forward: bool,
-) -> System {
+fn build_system(benches: &[Benchmark], scheduler: &str, engine: Engine) -> System {
     let mut cfg = SystemConfig::multi_program(benches.len());
     cfg.llc = CacheConfig::llc_with_size(256 << 10);
     let mut b = SystemBuilder::new(cfg)
         .scheduler(make_baseline(scheduler, benches.len()).expect("known scheduler"))
-        .fast_forward(fast_forward);
+        .engine(engine);
     for (i, &bench) in benches.iter().enumerate() {
         b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0xF0 + i as u64)));
     }
     b.build()
 }
 
-/// Runs naive and fast-forward twins for `cycles`, asserts identical
-/// stats, and returns (naive, fast) for further checks.
+/// Runs naive, fast-forward, and event twins for `cycles`, asserts
+/// identical stats, and returns them in [`ENGINES`] order.
 fn assert_equivalent_run(
     benches: &[Benchmark],
     scheduler: &str,
     cycles: Cycle,
-) -> (System, System) {
-    let mut naive = build_system(benches, scheduler, false);
-    let mut fast = build_system(benches, scheduler, true);
-    naive.run_cycles(cycles);
-    fast.run_cycles(cycles);
+) -> [System; 3] {
+    let systems = ENGINES.map(|engine| {
+        let mut sys = build_system(benches, scheduler, engine);
+        sys.run_cycles(cycles);
+        assert!(sys.audit_log().is_empty(), "{engine:?} run must audit clean");
+        sys
+    });
+    let [naive, fast, event] = &systems;
     assert_eq!(naive.skipped_cycles(), 0, "naive mode must never skip");
-    assert_eq!(
-        naive.system_stats(),
-        fast.system_stats(),
-        "stats diverged for {benches:?} under {scheduler}"
+    for (engine, sys) in ENGINES.iter().zip(&systems).skip(1) {
+        assert_eq!(
+            naive.system_stats(),
+            sys.system_stats(),
+            "stats diverged for {benches:?} under {scheduler} ({engine:?})"
+        );
+    }
+    // The event engine's blocker set is a relaxation of the quiescence
+    // probe's, so it can never skip less.
+    assert!(
+        event.skipped_cycles() >= fast.skipped_cycles(),
+        "event engine skipped {} < fast-forward {} for {benches:?} under {scheduler}",
+        event.skipped_cycles(),
+        fast.skipped_cycles()
     );
-    assert!(naive.audit_log().is_empty(), "naive run must audit clean");
-    assert!(fast.audit_log().is_empty(), "fast run must audit clean");
-    (naive, fast)
+    systems
 }
 
 /// Collapses a [`RunOutcome`] to a comparable key (`RunOutcome` is not
@@ -84,18 +97,18 @@ fn outcome_key(o: &RunOutcome) -> (&'static str, Cycle, Vec<usize>) {
 
 #[test]
 fn every_bundled_benchmark_matches_naive() {
-    let mut total_skipped = 0;
+    let mut total_skipped = [0u64; 3];
     for &bench in &Benchmark::ALL {
-        let (_, fast) = assert_equivalent_run(&[bench], "FR-FCFS", 20_000);
-        total_skipped += fast.skipped_cycles();
+        let systems = assert_equivalent_run(&[bench], "FR-FCFS", 20_000);
+        for (t, sys) in total_skipped.iter_mut().zip(&systems) {
+            *t += sys.skipped_cycles();
+        }
     }
-    // The point of the fast path: across the workload suite some runs
-    // must actually have skipped (compute phases, shaper stalls, DRAM
-    // latency bubbles).
-    assert!(
-        total_skipped > 0,
-        "fast-forward never engaged on any bundled workload"
-    );
+    // The point of the skipping engines: across the workload suite some
+    // runs must actually have skipped (compute phases, shaper stalls,
+    // DRAM latency bubbles).
+    assert!(total_skipped[1] > 0, "fast-forward never engaged on any bundled workload");
+    assert!(total_skipped[2] > 0, "event engine never engaged on any bundled workload");
 }
 
 #[test]
@@ -113,7 +126,7 @@ fn every_scheduler_matches_naive() {
 #[test]
 fn mitts_shaper_grant_ledgers_match_naive() {
     // Sparse credits with a long replenishment period force real deny
-    // phases, so the fast path must replay denied cycles exactly.
+    // phases, so the skipping engines must replay denied cycles exactly.
     let make_cfg = || {
         let mut credits = vec![0u32; BinSpec::paper_default().bins()];
         credits[2] = 6;
@@ -122,37 +135,46 @@ fn mitts_shaper_grant_ledgers_match_naive() {
         BinConfig::new(BinSpec::paper_default(), credits, 3_000).unwrap()
     };
     // Single core: the shaped hog's deny phases are then system-wide
-    // quiescence, which the fast path must skip and replay exactly.
-    let build = |fast_forward: bool| {
+    // quiescence, which the skipping engines must skip and replay exactly.
+    let build = |engine: Engine| {
         let shaper = Rc::new(RefCell::new(MittsShaper::new(make_cfg())));
         let mut cfg = SystemConfig::multi_program(1);
         cfg.llc = CacheConfig::llc_with_size(256 << 10);
         let sys = SystemBuilder::new(cfg)
             .trace(0, Box::new(Benchmark::Libquantum.profile().trace(base_for(0), 11)))
             .shaper(0, Rc::clone(&shaper) as _)
-            .fast_forward(fast_forward)
+            .engine(engine)
             .build();
         (sys, shaper)
     };
-    let (mut naive, naive_shaper) = build(false);
-    let (mut fast, fast_shaper) = build(true);
+    let (mut naive, naive_shaper) = build(Engine::Naive);
     naive.run_cycles(30_000);
-    fast.run_cycles(30_000);
-    assert!(fast.skipped_cycles() > 0, "shaped run should have skippable deny spans");
-    assert_eq!(naive.system_stats(), fast.system_stats());
-    // The ledger the tuner reads must be bit-identical too: per-bin
-    // grants, live credits, and every counter including denies.
-    let (n, f) = (naive_shaper.borrow(), fast_shaper.borrow());
-    assert_eq!(n.grants_per_bin(), f.grants_per_bin(), "per-bin grant ledger diverged");
-    assert_eq!(n.live_credits(), f.live_credits(), "live credits diverged");
-    assert_eq!(n.counters(), f.counters(), "shaper counters diverged");
+    for engine in [Engine::Fast, Engine::Event] {
+        let (mut sys, shaper) = build(engine);
+        sys.run_cycles(30_000);
+        assert!(
+            sys.skipped_cycles() > 0,
+            "shaped run should have skippable deny spans ({engine:?})"
+        );
+        assert_eq!(naive.system_stats(), sys.system_stats(), "{engine:?} stats diverged");
+        // The ledger the tuner reads must be bit-identical too: per-bin
+        // grants, live credits, and every counter including denies.
+        let (n, s) = (naive_shaper.borrow(), shaper.borrow());
+        assert_eq!(
+            n.grants_per_bin(),
+            s.grants_per_bin(),
+            "per-bin grant ledger diverged ({engine:?})"
+        );
+        assert_eq!(n.live_credits(), s.live_credits(), "live credits diverged ({engine:?})");
+        assert_eq!(n.counters(), s.counters(), "shaper counters diverged ({engine:?})");
+    }
 }
 
 #[test]
 fn throttled_sources_match_naive() {
     use mitts_sim::types::CoreId;
-    let run = |fast_forward: bool| {
-        let mut sys = build_system(&[Benchmark::Mcf, Benchmark::Omnetpp], "TCM", fast_forward);
+    let run = |engine: Engine| {
+        let mut sys = build_system(&[Benchmark::Mcf, Benchmark::Omnetpp], "TCM", engine);
         {
             let ctl = sys.source_control_mut();
             ctl.throttle_mut(CoreId::new(0)).min_issue_gap = Some(80);
@@ -161,18 +183,21 @@ fn throttled_sources_match_naive() {
         sys.run_cycles(25_000);
         sys
     };
-    let naive = run(false);
-    let fast = run(true);
-    assert_eq!(naive.system_stats(), fast.system_stats());
-    assert!(naive.audit_log().is_empty() && fast.audit_log().is_empty());
+    let naive = run(Engine::Naive);
+    assert!(naive.audit_log().is_empty());
+    for engine in [Engine::Fast, Engine::Event] {
+        let sys = run(engine);
+        assert_eq!(naive.system_stats(), sys.system_stats(), "{engine:?} stats diverged");
+        assert!(sys.audit_log().is_empty());
+    }
 }
 
 #[test]
 fn fault_plans_match_naive() {
     // Two plans, per the hardening contract: delayed responses are
-    // events the fast path must honor exactly (a skip over a release
-    // cycle would deliver the line late and shift every counter after
-    // it), and drops + port stalls change issue outcomes mid-run.
+    // events the skipping engines must honor exactly (a skip over a
+    // release cycle would deliver the line late and shift every counter
+    // after it), and drops + port stalls change issue outcomes mid-run.
     let plans: [FaultPlan; 2] = [
         FaultPlan::new().with(FaultKind::DelayDramResponses { from: 2_000, delay: 13 }),
         FaultPlan::new()
@@ -180,23 +205,25 @@ fn fault_plans_match_naive() {
             .with(FaultKind::ZeroShaperCredits { from: 6_000, core: 0 }),
     ];
     for plan in plans {
-        let run = |fast_forward: bool| {
+        let run = |engine: Engine| {
             let mut sys =
-                build_system(&[Benchmark::Libquantum, Benchmark::Bzip], "FR-FCFS", fast_forward);
+                build_system(&[Benchmark::Libquantum, Benchmark::Bzip], "FR-FCFS", engine);
             sys.inject_faults(plan.clone());
             sys.run_cycles(20_000);
             sys
         };
-        let naive = run(false);
-        let fast = run(true);
-        // Fault runs may log violations (that's what the auditor is
-        // for) — but both modes must log identically many and count
-        // identical passes, which system_stats covers.
-        assert_eq!(
-            naive.system_stats(),
-            fast.system_stats(),
-            "stats diverged under fault plan {plan:?}"
-        );
+        let naive = run(Engine::Naive);
+        for engine in [Engine::Fast, Engine::Event] {
+            let sys = run(engine);
+            // Fault runs may log violations (that's what the auditor is
+            // for) — but all modes must log identically many and count
+            // identical passes, which system_stats covers.
+            assert_eq!(
+                naive.system_stats(),
+                sys.system_stats(),
+                "stats diverged under fault plan {plan:?} ({engine:?})"
+            );
+        }
     }
 }
 
@@ -209,33 +236,31 @@ fn run_until_instructions_outcomes_match_naive() {
         (Benchmark::Mcf, 50_000, 6_000),
     ];
     for (bench, work, cap) in cases {
-        let run = |fast_forward: bool| {
-            let mut sys = build_system(&[bench, Benchmark::Gcc], "FairQueue", fast_forward);
+        let run = |engine: Engine| {
+            let mut sys = build_system(&[bench, Benchmark::Gcc], "FairQueue", engine);
             let outcome = sys.run_until_instructions(work, cap);
             (outcome, sys)
         };
-        let (naive_outcome, naive) = run(false);
-        let (fast_outcome, fast) = run(true);
-        assert_eq!(
-            outcome_key(&naive_outcome),
-            outcome_key(&fast_outcome),
-            "outcome diverged for {bench:?}"
-        );
-        assert_eq!(naive.system_stats(), fast.system_stats());
+        let (naive_outcome, naive) = run(Engine::Naive);
+        for engine in [Engine::Fast, Engine::Event] {
+            let (outcome, sys) = run(engine);
+            assert_eq!(
+                outcome_key(&naive_outcome),
+                outcome_key(&outcome),
+                "outcome diverged for {bench:?} ({engine:?})"
+            );
+            assert_eq!(naive.system_stats(), sys.system_stats(), "{engine:?} stats diverged");
+        }
     }
 }
 
 /// Builds a traced system: shared ring sink handle + 512-cycle sampler.
-fn build_traced(
-    benches: &[Benchmark],
-    fast_forward: bool,
-    sink: Rc<RefCell<RingSink>>,
-) -> System {
+fn build_traced(benches: &[Benchmark], engine: Engine, sink: Rc<RefCell<RingSink>>) -> System {
     let mut cfg = SystemConfig::multi_program(benches.len());
     cfg.llc = CacheConfig::llc_with_size(256 << 10);
     let mut b = SystemBuilder::new(cfg)
         .scheduler(make_baseline("FR-FCFS", benches.len()).expect("known scheduler"))
-        .fast_forward(fast_forward)
+        .engine(engine)
         .trace_sink(Box::new(sink))
         .sample_every(512);
     for (i, &bench) in benches.iter().enumerate() {
@@ -248,11 +273,11 @@ fn build_traced(
 /// the sampler rows, the skipped-cycle count, and the system.
 fn traced_run(
     benches: &[Benchmark],
-    fast_forward: bool,
+    engine: Engine,
     cycles: Cycle,
 ) -> (Vec<TraceEvent>, Vec<mitts_sim::obs::SampleRow>, Cycle, System) {
     let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
-    let mut sys = build_traced(benches, fast_forward, Rc::clone(&sink));
+    let mut sys = build_traced(benches, engine, Rc::clone(&sink));
     sys.run_cycles(cycles);
     sys.flush_trace();
     let ring = sink.borrow();
@@ -266,7 +291,7 @@ fn traced_run(
 fn trace_event_streams_and_samples_match_naive() {
     // The observability contract: tracing + sampling are *observers* of
     // the machine, so the full event sequence and every sampler row must
-    // be bit-identical between naive and fast-forward runs — skips land
+    // be bit-identical between naive and skipping runs — skips land
     // only on cycles where no event could have fired, and sampling
     // boundaries clamp skips exactly like audit boundaries.
     let sets: [&[Benchmark]; 5] = [
@@ -278,53 +303,58 @@ fn trace_event_streams_and_samples_match_naive() {
     ];
     let mut total_skipped = 0;
     for benches in sets {
-        let (ne, ns, _, nsys) = traced_run(benches, false, 20_000);
-        let (fe, fs, skipped, fsys) = traced_run(benches, true, 20_000);
-        total_skipped += skipped;
+        let (ne, ns, _, nsys) = traced_run(benches, Engine::Naive, 20_000);
         assert!(!ne.is_empty(), "no events traced for {benches:?}");
         assert!(!ns.is_empty(), "no samples recorded for {benches:?}");
-        if ne != fe {
-            let idx = ne
-                .iter()
-                .zip(&fe)
-                .position(|(a, b)| a != b)
-                .unwrap_or(ne.len().min(fe.len()));
-            panic!(
-                "event streams diverged for {benches:?} at index {idx} \
-                 (naive {} vs fast {} events):\n  naive: {:?}\n  fast:  {:?}",
-                ne.len(),
-                fe.len(),
-                ne.get(idx),
-                fe.get(idx)
-            );
-        }
-        assert_eq!(ns, fs, "sample rows diverged for {benches:?}");
-        assert_eq!(nsys.system_stats(), fsys.system_stats());
-        // The decomposition invariant, in both modes: per-stage latencies
-        // summed over all Fill events telescope to exactly the cores'
-        // aggregate mem_latency_sum, and fills to mem_latency_count.
-        for (sys, events) in [(&nsys, &ne), (&fsys, &fe)] {
-            let stats = sys.system_stats();
-            let (want_count, want_sum) = stats.cores.iter().fold((0u64, 0u64), |(n, s), c| {
-                (n + c.mem_latency_count, s + c.mem_latency_sum)
-            });
-            let (fills, lat_sum) = events.iter().fold((0u64, 0u64), |(n, s), ev| match ev {
-                TraceEvent::Fill { lat, .. } => (n + 1, s + lat.total()),
-                _ => (n, s),
-            });
-            assert_eq!(fills, want_count, "fill count diverged {benches:?}");
-            assert_eq!(lat_sum, want_sum, "latency sum diverged {benches:?}");
-            assert_eq!(sys.observer().requests_dropped(), 0);
+        for engine in [Engine::Fast, Engine::Event] {
+            let (fe, fs, skipped, fsys) = traced_run(benches, engine, 20_000);
+            total_skipped += skipped;
+            if ne != fe {
+                let idx = ne
+                    .iter()
+                    .zip(&fe)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(ne.len().min(fe.len()));
+                panic!(
+                    "event streams diverged for {benches:?} ({engine:?}) at index {idx} \
+                     (naive {} vs {} events):\n  naive: {:?}\n  other: {:?}",
+                    ne.len(),
+                    fe.len(),
+                    ne.get(idx),
+                    fe.get(idx)
+                );
+            }
+            assert_eq!(ns, fs, "sample rows diverged for {benches:?} ({engine:?})");
+            assert_eq!(nsys.system_stats(), fsys.system_stats());
+            // The decomposition invariant, in every mode: per-stage
+            // latencies summed over all Fill events telescope to exactly
+            // the cores' aggregate mem_latency_sum, and fills to
+            // mem_latency_count.
+            for (sys, events) in [(&nsys, &ne), (&fsys, &fe)] {
+                let stats = sys.system_stats();
+                let (want_count, want_sum) =
+                    stats.cores.iter().fold((0u64, 0u64), |(n, s), c| {
+                        (n + c.mem_latency_count, s + c.mem_latency_sum)
+                    });
+                let (fills, lat_sum) =
+                    events.iter().fold((0u64, 0u64), |(n, s), ev| match ev {
+                        TraceEvent::Fill { lat, .. } => (n + 1, s + lat.total()),
+                        _ => (n, s),
+                    });
+                assert_eq!(fills, want_count, "fill count diverged {benches:?}");
+                assert_eq!(lat_sum, want_sum, "latency sum diverged {benches:?}");
+                assert_eq!(sys.observer().requests_dropped(), 0);
+            }
         }
     }
-    assert!(total_skipped > 0, "fast-forward never engaged on any traced workload");
+    assert!(total_skipped > 0, "skipping never engaged on any traced workload");
 }
 
 #[test]
 fn traced_mitts_shaper_streams_match_naive() {
     // Shaper deny phases produce StallBegin/StallEnd episodes whose
     // begin/end transitions sit right at quiescence edges — the exact
-    // place a fast-forward bug would eat or duplicate an event.
+    // place a skip bug would eat or duplicate an event.
     let make_cfg = || {
         let mut credits = vec![0u32; BinSpec::paper_default().bins()];
         credits[2] = 6;
@@ -332,7 +362,7 @@ fn traced_mitts_shaper_streams_match_naive() {
         credits[9] = 8;
         BinConfig::new(BinSpec::paper_default(), credits, 3_000).unwrap()
     };
-    let run = |fast_forward: bool| {
+    let run = |engine: Engine| {
         let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
         let shaper = Rc::new(RefCell::new(MittsShaper::new(make_cfg())));
         let mut cfg = SystemConfig::multi_program(1);
@@ -340,7 +370,7 @@ fn traced_mitts_shaper_streams_match_naive() {
         let mut sys = SystemBuilder::new(cfg)
             .trace(0, Box::new(Benchmark::Libquantum.profile().trace(base_for(0), 11)))
             .shaper(0, shaper as _)
-            .fast_forward(fast_forward)
+            .engine(engine)
             .trace_sink(Box::new(Rc::clone(&sink)))
             .sample_every(777)
             .build();
@@ -349,30 +379,63 @@ fn traced_mitts_shaper_streams_match_naive() {
         let events = sink.borrow().to_vec();
         (events, sys)
     };
-    let (ne, nsys) = run(false);
-    let (fe, fsys) = run(true);
-    assert!(fsys.skipped_cycles() > 0, "shaped run should have skippable deny spans");
+    let (ne, nsys) = run(Engine::Naive);
     let stalls = ne
         .iter()
         .filter(|e| matches!(e, TraceEvent::StallBegin { reason: StallReason::Shaper, .. }))
         .count();
     assert!(stalls > 0, "sparse credits must produce shaper stall episodes");
-    assert_eq!(ne, fe, "shaped event streams diverged");
-    assert_eq!(nsys.samples(), fsys.samples(), "shaped sample rows diverged");
+    for engine in [Engine::Fast, Engine::Event] {
+        let (fe, fsys) = run(engine);
+        assert!(
+            fsys.skipped_cycles() > 0,
+            "shaped run should have skippable deny spans ({engine:?})"
+        );
+        assert_eq!(ne, fe, "shaped event streams diverged ({engine:?})");
+        assert_eq!(nsys.samples(), fsys.samples(), "shaped sample rows diverged ({engine:?})");
+    }
 }
 
 #[test]
 fn mid_run_mode_flip_matches_naive_tail() {
-    // Fast-forward can be toggled live; a run that flips modes halfway
-    // must land on the same state as an all-naive run.
+    // Engines can be switched live; a run that flips modes halfway must
+    // land on the same state as an all-naive run. Also exercises the
+    // legacy boolean toggle (`set_fast_forward`), which maps onto
+    // Naive/Fast.
     let benches = [Benchmark::Streamcluster];
-    let mut naive = build_system(&benches, "FR-FCFS", false);
+    let mut naive = build_system(&benches, "FR-FCFS", Engine::Naive);
     naive.run_cycles(24_000);
-    let mut mixed = build_system(&benches, "FR-FCFS", true);
+    let mut mixed = build_system(&benches, "FR-FCFS", Engine::Fast);
     mixed.run_cycles(12_000);
     mixed.set_fast_forward(false);
     mixed.run_cycles(6_000);
     mixed.set_fast_forward(true);
     mixed.run_cycles(6_000);
     assert_eq!(naive.system_stats(), mixed.system_stats());
+}
+
+#[test]
+fn mid_run_engine_cycle_matches_naive() {
+    // Rotate through all three engines mid-run, twice, with uneven
+    // segment lengths (so flips land inside skippable windows, not on
+    // neat boundaries), and require the final state to match all-naive.
+    let benches = [Benchmark::Libquantum, Benchmark::Mcf];
+    let mut naive = build_system(&benches, "FR-FCFS", Engine::Naive);
+    naive.run_cycles(30_000);
+    let mut mixed = build_system(&benches, "FR-FCFS", Engine::Event);
+    let segments: [(Engine, Cycle); 6] = [
+        (Engine::Event, 7_000),
+        (Engine::Naive, 3_500),
+        (Engine::Fast, 6_500),
+        (Engine::Event, 4_100),
+        (Engine::Fast, 3_900),
+        (Engine::Event, 5_000),
+    ];
+    for (engine, cycles) in segments {
+        mixed.set_engine(engine);
+        mixed.run_cycles(cycles);
+    }
+    assert_eq!(mixed.now(), naive.now(), "segment lengths must cover the naive run");
+    assert_eq!(naive.system_stats(), mixed.system_stats(), "engine cycling diverged");
+    assert!(mixed.skipped_cycles() > 0, "mixed run should have skipped in skipping segments");
 }

@@ -9,9 +9,13 @@
 //! * the runtime auditor's violation log,
 //! * the request-lifecycle trace-event stream and sampler rows.
 //!
-//! Every bundled benchmark is covered in both naive and fast-forward
-//! modes, plus shaped and multi-core/scheduler configurations, and a
-//! mismatched resume target must be refused loudly rather than limp on.
+//! Every bundled benchmark is covered in all three engine modes (naive,
+//! fast-forward, event), plus shaped and multi-core/scheduler
+//! configurations, and a mismatched resume target must be refused loudly
+//! rather than limp on. Snapshots are also required to be *engine
+//! independent*: the same run snapshotted at the same cycle produces
+//! byte-identical snapshots whichever engine produced it, and a snapshot
+//! taken under one engine resumes cleanly under any other.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -21,7 +25,7 @@ use mitts_sched::make_baseline;
 use mitts_sim::config::{CacheConfig, SystemConfig};
 use mitts_sim::obs::RingSink;
 use mitts_sim::snapshot::{Snapshot, SnapshotError};
-use mitts_sim::system::{System, SystemBuilder};
+use mitts_sim::system::{Engine, System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_workloads::Benchmark;
 
@@ -48,7 +52,7 @@ struct Rig {
 /// Builds a system for `benches` with a small LLC (so the bundled traces
 /// miss to DRAM), a ring trace sink, periodic sampling, and — when
 /// `shaped` — a sparse MITTS shaper on every core.
-fn build(benches: &[Benchmark], scheduler: &str, fast_forward: bool, shaped: bool) -> Rig {
+fn build(benches: &[Benchmark], scheduler: &str, engine: Engine, shaped: bool) -> Rig {
     let sink = Rc::new(RefCell::new(RingSink::new(1 << 20)));
     let mut cfg = SystemConfig::multi_program(benches.len());
     cfg.llc = CacheConfig::llc_with_size(256 << 10);
@@ -56,7 +60,7 @@ fn build(benches: &[Benchmark], scheduler: &str, fast_forward: bool, shaped: boo
         .scheduler(make_baseline(scheduler, benches.len()).expect("known scheduler"))
         .trace_sink(Box::new(Rc::clone(&sink)))
         .sample_every(1024)
-        .fast_forward(fast_forward);
+        .engine(engine);
     let mut shapers = Vec::new();
     for (i, &bench) in benches.iter().enumerate() {
         b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0xF0 + i as u64)));
@@ -73,7 +77,7 @@ fn build(benches: &[Benchmark], scheduler: &str, fast_forward: bool, shaped: boo
 fn resume(
     benches: &[Benchmark],
     scheduler: &str,
-    fast_forward: bool,
+    engine: Engine,
     shaped: bool,
     snap: &Snapshot,
 ) -> Result<Rig, SnapshotError> {
@@ -84,7 +88,7 @@ fn resume(
         .scheduler(make_baseline(scheduler, benches.len()).expect("known scheduler"))
         .trace_sink(Box::new(Rc::clone(&sink)))
         .sample_every(1024)
-        .fast_forward(fast_forward);
+        .engine(engine);
     let mut shapers = Vec::new();
     for (i, &bench) in benches.iter().enumerate() {
         b = b.trace(i, Box::new(bench.profile().trace(base_for(i), 0xF0 + i as u64)));
@@ -101,26 +105,26 @@ fn resume(
 fn assert_resume_equivalent(
     benches: &[Benchmark],
     scheduler: &str,
-    fast_forward: bool,
+    engine: Engine,
     shaped: bool,
     snap_at: Cycle,
     total: Cycle,
 ) {
     // Uninterrupted reference: run to `snap_at`, snapshot, keep going.
-    let mut reference = build(benches, scheduler, fast_forward, shaped);
+    let mut reference = build(benches, scheduler, engine, shaped);
     reference.sys.run_cycles(snap_at);
     let snap = reference.sys.snapshot().expect("snapshot must be supported");
     reference.sys.run_cycles(total - snap_at);
     reference.sys.flush_trace();
 
     // Resumed twin: fresh components, state loaded from the snapshot.
-    let mut resumed = resume(benches, scheduler, fast_forward, shaped, &snap)
+    let mut resumed = resume(benches, scheduler, engine, shaped, &snap)
         .expect("an identically-built twin must accept the snapshot");
     assert_eq!(resumed.sys.now(), snap_at, "resume must land on the snapshot cycle");
     resumed.sys.run_cycles(total - snap_at);
     resumed.sys.flush_trace();
 
-    let tag = format!("{benches:?}/{scheduler}/ff={fast_forward}/shaped={shaped}");
+    let tag = format!("{benches:?}/{scheduler}/{engine:?}/shaped={shaped}");
 
     // 1. Every counter in the machine.
     assert_eq!(
@@ -173,24 +177,31 @@ fn assert_resume_equivalent(
 #[test]
 fn every_bundled_workload_resumes_identically_naive() {
     for &bench in &Benchmark::ALL {
-        assert_resume_equivalent(&[bench], "FR-FCFS", false, false, 5_000, 10_000);
+        assert_resume_equivalent(&[bench], "FR-FCFS", Engine::Naive, false, 5_000, 10_000);
     }
 }
 
 #[test]
 fn every_bundled_workload_resumes_identically_fast_forward() {
     for &bench in &Benchmark::ALL {
-        assert_resume_equivalent(&[bench], "FR-FCFS", true, false, 5_000, 10_000);
+        assert_resume_equivalent(&[bench], "FR-FCFS", Engine::Fast, false, 5_000, 10_000);
     }
 }
 
 #[test]
-fn shaped_mitts_runs_resume_identically_in_both_modes() {
-    for fast_forward in [false, true] {
+fn every_bundled_workload_resumes_identically_event() {
+    for &bench in &Benchmark::ALL {
+        assert_resume_equivalent(&[bench], "FR-FCFS", Engine::Event, false, 5_000, 10_000);
+    }
+}
+
+#[test]
+fn shaped_mitts_runs_resume_identically_in_all_modes() {
+    for engine in [Engine::Naive, Engine::Fast, Engine::Event] {
         assert_resume_equivalent(
             &[Benchmark::Libquantum],
             "FR-FCFS",
-            fast_forward,
+            engine,
             true,
             7_000,
             21_000,
@@ -202,8 +213,8 @@ fn shaped_mitts_runs_resume_identically_in_both_modes() {
 fn multicore_shaped_mix_resumes_identically() {
     let benches =
         [Benchmark::Mcf, Benchmark::Libquantum, Benchmark::Omnetpp, Benchmark::Bzip];
-    for fast_forward in [false, true] {
-        assert_resume_equivalent(&benches, "TCM", fast_forward, true, 6_000, 14_000);
+    for engine in [Engine::Naive, Engine::Fast, Engine::Event] {
+        assert_resume_equivalent(&benches, "TCM", engine, true, 6_000, 14_000);
     }
 }
 
@@ -212,31 +223,95 @@ fn snapshot_cycle_choice_does_not_matter() {
     // The same run snapshotted at three different cycles must always
     // reconverge on the identical end state.
     for snap_at in [1_000, 4_096, 9_999] {
-        assert_resume_equivalent(&[Benchmark::Omnetpp], "FR-FCFS", true, false, snap_at, 12_000);
+        assert_resume_equivalent(
+            &[Benchmark::Omnetpp],
+            "FR-FCFS",
+            Engine::Event,
+            false,
+            snap_at,
+            12_000,
+        );
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_engine_independent() {
+    // The event queue is probe-local scratch, deliberately *not*
+    // serialized: the same run snapshotted at the same cycle must
+    // produce byte-identical snapshots under every engine, so archived
+    // snapshots stay valid across engine choices (and mid-run flips).
+    let benches = [Benchmark::Mcf, Benchmark::Libquantum];
+    let snap_for = |engine: Engine| {
+        let mut rig = build(&benches, "FR-FCFS", engine, true);
+        rig.sys.run_cycles(9_000);
+        rig.sys.snapshot().unwrap()
+    };
+    let naive = snap_for(Engine::Naive);
+    for engine in [Engine::Fast, Engine::Event] {
+        let other = snap_for(engine);
+        // Section-by-section first, so a divergence names the component.
+        for name in naive.section_names() {
+            assert_eq!(
+                naive.section(name).unwrap(),
+                other.section(name).unwrap(),
+                "snapshot section {name:?} diverged under {engine:?}"
+            );
+        }
+        assert_eq!(naive.to_bytes(), other.to_bytes(), "snapshot bytes diverged ({engine:?})");
+    }
+}
+
+#[test]
+fn snapshots_resume_across_engines() {
+    // Take the snapshot under one engine, resume under another: every
+    // (producer, consumer) pair must reconverge on the all-naive
+    // uninterrupted end state.
+    let benches = [Benchmark::Libquantum, Benchmark::Omnetpp];
+    let mut reference = build(&benches, "FR-FCFS", Engine::Naive, false);
+    reference.sys.run_cycles(16_000);
+    let want = reference.sys.system_stats();
+
+    for producer in [Engine::Naive, Engine::Fast, Engine::Event] {
+        let mut rig = build(&benches, "FR-FCFS", producer, false);
+        rig.sys.run_cycles(6_000);
+        let snap = rig.sys.snapshot().unwrap();
+        for consumer in [Engine::Naive, Engine::Fast, Engine::Event] {
+            let mut resumed = resume(&benches, "FR-FCFS", consumer, false, &snap)
+                .expect("cross-engine resume must be accepted");
+            resumed.sys.run_cycles(10_000);
+            assert_eq!(
+                want,
+                resumed.sys.system_stats(),
+                "{producer:?} snapshot resumed under {consumer:?} diverged"
+            );
+        }
     }
 }
 
 #[test]
 fn a_mismatched_twin_refuses_the_snapshot() {
-    let mut rig = build(&[Benchmark::Mcf, Benchmark::Libquantum], "FR-FCFS", false, false);
+    let mut rig =
+        build(&[Benchmark::Mcf, Benchmark::Libquantum], "FR-FCFS", Engine::Naive, false);
     rig.sys.run_cycles(3_000);
     let snap = rig.sys.snapshot().unwrap();
 
     // Fewer cores.
-    let err = resume(&[Benchmark::Mcf], "FR-FCFS", false, false, &snap)
+    let err = resume(&[Benchmark::Mcf], "FR-FCFS", Engine::Naive, false, &snap)
         .err()
         .expect("a 1-core twin must refuse a 2-core snapshot");
     assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
 
     // Different scheduler implementation.
-    let err = resume(&[Benchmark::Mcf, Benchmark::Libquantum], "TCM", false, false, &snap)
-        .err()
-        .expect("a TCM twin must refuse an FR-FCFS snapshot");
+    let err =
+        resume(&[Benchmark::Mcf, Benchmark::Libquantum], "TCM", Engine::Naive, false, &snap)
+            .err()
+            .expect("a TCM twin must refuse an FR-FCFS snapshot");
     assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
 
     // Shaped twin vs unshaped snapshot.
-    let err = resume(&[Benchmark::Mcf, Benchmark::Libquantum], "FR-FCFS", false, true, &snap)
-        .err()
-        .expect("a shaped twin must refuse an unshaped snapshot");
+    let err =
+        resume(&[Benchmark::Mcf, Benchmark::Libquantum], "FR-FCFS", Engine::Naive, true, &snap)
+            .err()
+            .expect("a shaped twin must refuse an unshaped snapshot");
     assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
 }

@@ -17,11 +17,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p mitts-sim --test fast_forward
 
 # Perf smoke: fails if fast-forward is >2x slower than naive anywhere,
-# if lifecycle tracing costs >15% over the untraced shaped mix, or (on
-# multi-core hosts) if the parallel sweep pool is <1.2x faster than the
-# serial pool on a CPU-bound experiment set. Also writes the traced-run
-# artifacts consumed below.
+# if the event kernel is >2x slower than fast-forward, if lifecycle
+# tracing costs >15% over the untraced shaped mix, or (on multi-core
+# hosts) if the parallel sweep pool is <1.2x faster than the serial pool
+# on a CPU-bound experiment set. Also writes the traced-run artifacts
+# consumed below.
 scripts/bench.sh --smoke
+
+# The committed perf baseline must carry the event-engine arm for every
+# timed scenario — a refresh that drops the third arm fails the gate.
+for row in low_mlp_chase_event bw_saturated_libquantum_x4_event mixed_shaped_4prog_event; do
+  grep -q "\"$row\"" BENCH_sim.json \
+    || { echo "BENCH_sim.json is missing the $row record"; exit 1; }
+done
+echo "BENCH_sim.json: event-engine rows present"
 
 # Tracing smoke gate: summarize the shaped 4-program trace the perf
 # smoke just wrote; mitts-trace exits non-zero unless the per-stage
@@ -30,9 +39,11 @@ cargo build --release -p mitts-bench --bin mitts-trace
 target/release/mitts-trace target/obs_smoke.trace.jsonl | tail -n 3
 
 # Conformance smoke gate: seeded mutation checks (each oracle must catch
-# every perturbation of its constants), a short fuzz campaign, and a
-# workload subset under the shaper/DRAM/scheduler oracles. Exits
-# non-zero on any violation or undetected mutation.
+# every perturbation of its constants), a short fuzz campaign (every
+# fuzzed case also byte-diffed naive vs fast vs event), a workload
+# subset under the shaper/DRAM/scheduler oracles, and the per-case
+# engine differential. Exits non-zero on any violation, undetected
+# mutation, or engine divergence.
 cargo build --release -p mitts-bench --bin mitts-conform
 target/release/mitts-conform --smoke | tail -n 3
 
@@ -84,11 +95,31 @@ diff -r "$CSV_PAR" "$CSV_SER" \
   || { echo "parallel sweep CSVs diverged from serial"; exit 1; }
 echo "parallel determinism: jobs=4 and jobs=1 artifacts are identical"
 
-# Chaos gate: run the same filtered sweep under a seeded fault campaign
-# (injected panics, heartbeat blackouts, process kills) and keep
-# resuming. The persisted round counter decays the fault rate to zero,
-# so the campaign must converge — and once it does, the artifacts must
-# be byte-identical to the clean serial reference above. Transient exit
+# Engine differential gate: the same filtered sweep under each execution
+# engine (MITTS_ENGINE=naive / fast vs the default event kernel used by
+# every run above) must land byte-identical result artifacts — the
+# sweep-level third arm of the per-case differential mitts-conform runs.
+# The naive tree doubles as the cross-engine reference for the chaos
+# gate below.
+STATE_NAI="$GATE_TMP/nai" STATE_FST="$GATE_TMP/fst"
+mkdir -p "$STATE_NAI" "$STATE_FST"
+MITTS_SCALE=smoke MITTS_JOBS=1 MITTS_ENGINE=naive MITTS_STATE_DIR="$STATE_NAI" \
+  target/release/run_all a >/dev/null
+MITTS_SCALE=smoke MITTS_JOBS=1 MITTS_ENGINE=fast MITTS_STATE_DIR="$STATE_FST" \
+  target/release/run_all a >/dev/null
+diff -r "$STATE_NAI/results" "$STATE_SER/results" \
+  || { echo "naive-engine sweep artifacts diverged from the event kernel"; exit 1; }
+diff -r "$STATE_FST/results" "$STATE_SER/results" \
+  || { echo "fast-forward sweep artifacts diverged from the event kernel"; exit 1; }
+echo "engine differential: naive/fast/event sweep artifacts are identical"
+
+# Chaos gate: run the same filtered sweep — on the default event kernel
+# — under a seeded fault campaign (injected panics, heartbeat blackouts,
+# process kills) and keep resuming. The persisted round counter decays
+# the fault rate to zero, so the campaign must converge — and once it
+# does, the artifacts must be byte-identical to the clean serial
+# reference above AND to the clean naive-engine reference (the seeded
+# chaos kill-and-resume arm of the engine differential). Transient exit
 # codes 1 (quarantined experiment) and 3 (chaos kill) are expected
 # mid-campaign; anything else, or no convergence within 8 rounds, fails.
 STATE_CHAOS="$GATE_TMP/chaos"
@@ -112,4 +143,6 @@ done
 [ "$chaos_rc" -eq 0 ] || { echo "chaos campaign did not converge in 8 rounds"; exit 1; }
 diff -r "$STATE_CHAOS/results" "$STATE_SER/results" \
   || { echo "chaos-campaign artifacts diverged from the clean serial run"; exit 1; }
-echo "chaos gate: campaign converged to byte-identical artifacts"
+diff -r "$STATE_CHAOS/results" "$STATE_NAI/results" \
+  || { echo "event-kernel chaos artifacts diverged from the naive-engine reference"; exit 1; }
+echo "chaos gate: campaign converged to byte-identical artifacts (incl. cross-engine)"
