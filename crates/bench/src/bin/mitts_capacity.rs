@@ -1,0 +1,188 @@
+//! `mitts-capacity` — max-sustainable-load frontiers under an SLO.
+//!
+//! ```text
+//! mitts-capacity [--smoke] [--resume] [--out DIR]
+//! ```
+//!
+//! Probes every (shaper × scheduler) cell of the capacity matrix with
+//! open-loop arrival traffic, knee-searches the offered load where the
+//! SLO (p99 memory latency + stall-rate ceiling) first breaks, and
+//! writes two artifacts atomically into `--out` (default `.`):
+//!
+//! * `capacity_frontier.csv` — the frontier, one row per cell. Probes
+//!   are deterministic and rows land in matrix order, so this file is
+//!   byte-identical for any `MITTS_JOBS` worker count or `MITTS_ENGINE`
+//!   choice (`scripts/check.sh` diffs it).
+//! * `capacity_report.html` — self-contained report: inline-SVG
+//!   frontier chart, per-cell SLO verdict tables with breach
+//!   drill-downs, and the sweep pool's live telemetry (per-worker
+//!   utilization, lease takeovers, retries, queue depth over time).
+//!
+//! Cells run as supervised pool experiments ([`mitts_bench::pool`]):
+//! `MITTS_JOBS` workers, panic isolation, timeouts, retries, and — with
+//! `MITTS_STATE_DIR` set — a journaled sweep that `--resume` continues
+//! after a crash. The report is structurally validated before and after
+//! writing; a malformed report exits non-zero.
+//!
+//! `--smoke` trims to a 2×2 matrix with a coarse ramp (seconds, the CI
+//! gate); the default is the full 3×2 matrix.
+
+use std::collections::BTreeSet;
+
+use mitts_bench::capacity::{self, validate_report, CapacityConfig, FrontierPoint};
+use mitts_bench::journal::{self, Journal};
+use mitts_bench::pool::{self, Outcome, PoolConfig};
+use mitts_bench::signal;
+use mitts_bench::table::render_tables;
+use mitts_sim::fsio;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("configuration error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    signal::install_sigint_handler();
+    let mut smoke = false;
+    let mut resume = false;
+    let mut out_dir = std::path::PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--resume" => resume = true,
+            "--out" => match args.next() {
+                Some(d) => out_dir = d.into(),
+                None => fail("--out needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("usage: mitts-capacity [--smoke] [--resume] [--out DIR]");
+                return;
+            }
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    if resume && journal::state_dir().is_none() {
+        fail("--resume needs MITTS_STATE_DIR to point at the journal");
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        fail(&format!("--out {}: {e}", out_dir.display()));
+    }
+
+    let cfg = if smoke { CapacityConfig::smoke() } else { CapacityConfig::full() };
+    let cells = capacity::matrix(smoke);
+    let journal = match Journal::from_env(resume) {
+        Ok(j) => j,
+        Err(e) => fail(&format!("MITTS_STATE_DIR unusable: {e}")),
+    };
+    let completed: BTreeSet<String> = match (&journal, resume) {
+        (Some(j), true) => j.completed(),
+        _ => BTreeSet::new(),
+    };
+    let pool_cfg = PoolConfig::from_env(journal::state_dir().as_deref());
+    println!(
+        "mitts-capacity: {} cells, ramp {}..={} rps by {}, {} cycles/probe, jobs={}\n",
+        cells.len(),
+        cfg.initial_rps,
+        cfg.max_rps,
+        cfg.increment_rps,
+        cfg.run_cycles,
+        pool_cfg.jobs
+    );
+
+    let experiments = capacity::experiments(&cells, &cfg);
+    let mut artifacts: Vec<Option<String>> = vec![None; cells.len()];
+    let mut failures = 0usize;
+    let (report, telemetry) = pool::run_sweep_with_telemetry(
+        &experiments,
+        journal,
+        &completed,
+        &pool_cfg,
+        |i, name, out| match out {
+            Outcome::Done { tables, wall } => {
+                let rendered = render_tables(tables);
+                print!("{rendered}");
+                println!("[{name} took {wall:.1?}]\n");
+                artifacts[i] = Some(rendered);
+            }
+            Outcome::Skipped(rendered) => {
+                print!("{rendered}");
+                println!("[{name}: completed by a previous run, adopted]\n");
+                artifacts[i] = Some(rendered.clone());
+            }
+            Outcome::Failed(e) => {
+                eprintln!("[{name} FAILED: {e}]\n");
+                failures += 1;
+            }
+            Outcome::Interrupted => {
+                println!("[{name}: interrupted — stopping gracefully]\n");
+            }
+        },
+    );
+
+    if report.was_interrupted() {
+        println!("interrupted: journal is flushed; rerun with --resume to continue");
+        std::process::exit(130);
+    }
+    if failures > 0 {
+        eprintln!("{failures} cell(s) failed; no report written");
+        std::process::exit(1);
+    }
+
+    // Every cell resolved: rebuild the frontier from the artifacts
+    // (identical for fresh and resumed sweeps) and emit CSV + HTML.
+    let mut points: Vec<FrontierPoint> = Vec::with_capacity(cells.len());
+    let mut texts: Vec<String> = Vec::with_capacity(cells.len());
+    for (cell, artifact) in cells.iter().zip(&artifacts) {
+        let text = artifact.as_ref().expect("all cells resolved");
+        match capacity::frontier_from_artifact(cell, text) {
+            Ok(p) => points.push(p),
+            Err(e) => {
+                eprintln!("malformed artifact for {}: {e}", cell.experiment_name());
+                std::process::exit(1);
+            }
+        }
+        texts.push(text.clone());
+    }
+
+    let frontier = capacity::frontier_table(&points);
+    frontier.print();
+    let csv_path = out_dir.join("capacity_frontier.csv");
+    if let Err(e) = frontier.write_csv(&csv_path) {
+        eprintln!("writing {}: {e}", csv_path.display());
+        std::process::exit(1);
+    }
+
+    let html = capacity::html_report(&cfg, &cells, &points, &texts, &telemetry);
+    if let Err(e) = validate_report(&html, cells.len()) {
+        eprintln!("generated report is malformed: {e}");
+        std::process::exit(1);
+    }
+    let html_path = out_dir.join("capacity_report.html");
+    if let Err(e) = fsio::write_atomic_str(&html_path, &html) {
+        eprintln!("writing {}: {e}", html_path.display());
+        std::process::exit(1);
+    }
+    // Re-read what actually landed on disk: a truncated or clobbered
+    // write must fail the gate, not just the in-memory copy.
+    match std::fs::read_to_string(&html_path) {
+        Ok(on_disk) => {
+            if let Err(e) = validate_report(&on_disk, cells.len()) {
+                eprintln!("report on disk is malformed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("re-reading {}: {e}", html_path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "\nwrote {} and {} ({} workers, {} takeovers, {} retries)",
+        csv_path.display(),
+        html_path.display(),
+        telemetry.jobs,
+        telemetry.takeovers(),
+        telemetry.retries()
+    );
+}

@@ -177,6 +177,22 @@ fn main() -> ExitCode {
         }
     }
 
+    stop_if_interrupted("engine-differential");
+
+    // 5. Capacity/metrics differential: one fixed open-loop capacity
+    //    probe across all engines × metrics-registry-on/off. Simulation
+    //    results must be identical everywhere (the registry is a pure
+    //    observer) and snapshot bytes engine-invariant within each
+    //    metrics mode.
+    println!("\n== capacity differential (engines x metrics on/off) ==");
+    match mitts_bench::capacity::capacity_engine_checks() {
+        Ok(()) => println!("  capacity probe byte-identical across engines and metrics modes"),
+        Err(d) => {
+            failed = true;
+            eprintln!("  CAPACITY DIVERGENCE:\n{}", indent(&d));
+        }
+    }
+
     if failed {
         eprintln!("\nmitts-conform: FAILED");
         ExitCode::FAILURE

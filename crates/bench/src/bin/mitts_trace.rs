@@ -14,24 +14,37 @@ use std::io::{BufReader, Write as _};
 
 use mitts_bench::tracetool::summarize;
 
-const USAGE: &str = "usage: mitts-trace <trace.jsonl>
+const USAGE: &str = "usage: mitts-trace [--json] <trace.jsonl>
 
 Summarizes a mitts simulator JSONL trace: stall reasons per core,
 shaper-grant bin histogram, per-stage latency percentiles, and the
-throttling-episode timeline. Exits non-zero if the per-stage latency
-sums do not telescope to the trace's run_summary mem_latency_sum.";
+throttling-episode timeline. With --json the same summary is emitted
+as one JSON object instead of text. Exits non-zero if the per-stage
+latency sums do not telescope to the trace's run_summary
+mem_latency_sum.";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "-h" || a == "--help") {
-        println!("{USAGE}");
-        return;
+    let mut json = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--json" => json = true,
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => {
+                eprintln!("mitts-trace: unexpected argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
-    let [path] = args.as_slice() else {
+    let Some(path) = path else {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let file = File::open(path).unwrap_or_else(|e| {
+    let file = File::open(&path).unwrap_or_else(|e| {
         eprintln!("mitts-trace: cannot open {path}: {e}");
         std::process::exit(2);
     });
@@ -41,6 +54,16 @@ fn main() {
     });
     // Write without panicking on a closed pipe (`mitts-trace ... | head`).
     let mut out = std::io::stdout().lock();
+    if json {
+        let _ = writeln!(out, "{}", summary.to_json());
+        // Same health contract as the text mode: a broken telescoping
+        // cross-check is a non-zero exit, whatever the output format.
+        if let Err(e) = summary.crosscheck() {
+            eprintln!("crosscheck FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let _ = write!(out, "{}", summary.render());
     match summary.crosscheck() {
         Ok(Some(())) => {

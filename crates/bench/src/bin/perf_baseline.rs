@@ -14,11 +14,15 @@
 //! Also times an identical experiment list through the supervised pool
 //! (`mitts_bench::pool`) at 1 worker vs N (records `sweep_pool_jobs1` /
 //! `sweep_pool_jobsN`), gating that the parallel sweep is measurably
-//! faster whenever the machine has at least two cores.
+//! faster whenever the machine has at least two cores. The host's
+//! `available_parallelism` is always recorded, and on single-core hosts
+//! the missing parallel arm becomes an explicit `skipped` record with
+//! the reason — never a silently absent row.
 //!
 //! Also gates the observability layer: the shaped 4-program mix is
-//! re-timed with lifecycle tracing + sampling enabled and must stay
-//! within 15% of the untraced wall clock, and an untimed traced run
+//! re-timed with lifecycle tracing + sampling enabled and again with
+//! the SLO metrics registry as the sink — each must stay within 15% of
+//! the untraced wall clock — and an untimed traced run
 //! writes `target/obs_smoke.trace.jsonl` + `target/obs_smoke.chrome.json`
 //! for `mitts-trace` / Perfetto (the decomposition is cross-checked
 //! in-process too).
@@ -38,7 +42,7 @@ use mitts_bench::tracetool::summarize;
 use mitts_core::{BinConfig, BinSpec, MittsShaper};
 use mitts_sched::make_baseline;
 use mitts_sim::config::{CacheConfig, SystemConfig};
-use mitts_sim::obs::{write_chrome_trace, RingSink, TrackLayout};
+use mitts_sim::obs::{write_chrome_trace, MetricsRegistry, RingSink, TrackLayout};
 use mitts_sim::system::{Engine, System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_tuner::{GaParams, GeneticTuner};
@@ -144,11 +148,25 @@ fn build_mixed_shaped(engine: Engine) -> System {
 }
 
 /// A finished measurement row. `cycles_per_sec` is `None` for records
-/// that aggregate multiple simulations (no single meaningful rate).
+/// that aggregate multiple simulations (no single meaningful rate);
+/// `wall_ms` is `None` for pure metadata records (host facts, skipped
+/// arms). `extra` carries additional keys with pre-rendered JSON values.
 struct Record {
     bench: String,
     cycles_per_sec: Option<f64>,
-    wall_ms: f64,
+    wall_ms: Option<f64>,
+    extra: Vec<(&'static str, String)>,
+}
+
+impl Record {
+    fn timed(bench: impl Into<String>, cycles_per_sec: Option<f64>, wall_ms: f64) -> Record {
+        Record {
+            bench: bench.into(),
+            cycles_per_sec,
+            wall_ms: Some(wall_ms),
+            extra: Vec::new(),
+        }
+    }
 }
 
 fn mode_suffix(engine: Engine) -> &'static str {
@@ -165,11 +183,11 @@ fn time_scenario(s: &Scenario, engine: Engine) -> Record {
     let _ = sys.run_until_instructions(s.instructions, s.cap);
     let wall = start.elapsed();
     let secs = wall.as_secs_f64().max(1e-9);
-    Record {
-        bench: format!("{}_{}", s.name, mode_suffix(engine)),
-        cycles_per_sec: Some(sys.now() as f64 / secs),
-        wall_ms: wall.as_secs_f64() * 1e3,
-    }
+    Record::timed(
+        format!("{}_{}", s.name, mode_suffix(engine)),
+        Some(sys.now() as f64 / secs),
+        wall.as_secs_f64() * 1e3,
+    )
 }
 
 fn json_escape(s: &str) -> String {
@@ -203,6 +221,16 @@ fn main() {
 
     let mut records = Vec::new();
     let mut regression = false;
+    // Host metadata first: downstream tooling comparing BENCH_sim.json
+    // across machines needs the core count that shaped the pool arms —
+    // always emitted, even when the parallel arm itself is skipped.
+    let host_par = std::thread::available_parallelism().map_or(1, |n| n.get());
+    records.push(Record {
+        bench: "host".to_owned(),
+        cycles_per_sec: None,
+        wall_ms: None,
+        extra: vec![("available_parallelism", host_par.to_string())],
+    });
     println!(
         "{:<34} {:>12} {:>12} {:>12} {:>9} {:>9}",
         "scenario", "naive ms", "fast ms", "event ms", "fast", "event"
@@ -211,13 +239,18 @@ fn main() {
         let naive = time_scenario(s, Engine::Naive);
         let fast = time_scenario(s, Engine::Fast);
         let event = time_scenario(s, Engine::Event);
-        let fast_speedup = naive.wall_ms / fast.wall_ms.max(1e-9);
-        let event_speedup = naive.wall_ms / event.wall_ms.max(1e-9);
+        let (naive_ms, fast_ms, event_ms) = (
+            naive.wall_ms.expect("timed"),
+            fast.wall_ms.expect("timed"),
+            event.wall_ms.expect("timed"),
+        );
+        let fast_speedup = naive_ms / fast_ms.max(1e-9);
+        let event_speedup = naive_ms / event_ms.max(1e-9);
         println!(
             "{:<34} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x {:>8.2}x",
-            s.name, naive.wall_ms, fast.wall_ms, event.wall_ms, fast_speedup, event_speedup
+            s.name, naive_ms, fast_ms, event_ms, fast_speedup, event_speedup
         );
-        if fast.wall_ms > 2.0 * naive.wall_ms {
+        if fast_ms > 2.0 * naive_ms {
             eprintln!("REGRESSION: {} fast-forward is {fast_speedup:.2}x of naive wall-clock", s.name);
             regression = true;
         }
@@ -225,8 +258,8 @@ fn main() {
         // 2x the quiescence fast-forward wall clock (aspirationally it is
         // >=5x *faster* on the saturated mix; the hard gate only catches
         // regressions, mirroring the fast-vs-naive smoke gate above).
-        if event.wall_ms > 2.0 * fast.wall_ms {
-            let ratio = event.wall_ms / fast.wall_ms.max(1e-9);
+        if event_ms > 2.0 * fast_ms {
+            let ratio = event_ms / fast_ms.max(1e-9);
             eprintln!("REGRESSION: {} event engine is {ratio:.2}x of fast-forward wall-clock", s.name);
             regression = true;
         }
@@ -261,13 +294,9 @@ fn main() {
         "{:<34} {:>12} {:>12.1}   (best IPC {:.3}, {} evals)",
         "ga_quick_tune", "-", wall.as_secs_f64() * 1e3, result.best_fitness, result.evaluations
     );
-    records.push(Record {
-        bench: "ga_quick_tune".to_owned(),
-        // Simulated cycles are not aggregated across fitness runs; the
-        // record carries wall time only.
-        cycles_per_sec: None,
-        wall_ms: wall.as_secs_f64() * 1e3,
-    });
+    // Simulated cycles are not aggregated across fitness runs; the
+    // record carries wall time only.
+    records.push(Record::timed("ga_quick_tune", None, wall.as_secs_f64() * 1e3));
 
     // Parallel sweep engine: the same experiment list through the
     // supervised pool (`mitts_bench::pool`) at 1 worker and at N — the
@@ -306,13 +335,9 @@ fn main() {
             assert_eq!(report.done, count, "every sweep experiment must finish");
             start.elapsed().as_secs_f64()
         };
-        let jobs_n = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
+        let jobs_n = host_par.min(4);
         let serial_s = time_sweep(1);
-        records.push(Record {
-            bench: "sweep_pool_jobs1".to_owned(),
-            cycles_per_sec: None,
-            wall_ms: serial_s * 1e3,
-        });
+        records.push(Record::timed("sweep_pool_jobs1", None, serial_s * 1e3));
         if jobs_n >= 2 {
             let parallel_s = time_sweep(jobs_n);
             let speedup = serial_s / parallel_s.max(1e-9);
@@ -330,11 +355,7 @@ fn main() {
                 );
                 regression = true;
             }
-            records.push(Record {
-                bench: format!("sweep_pool_jobs{jobs_n}"),
-                cycles_per_sec: None,
-                wall_ms: parallel_s * 1e3,
-            });
+            records.push(Record::timed(format!("sweep_pool_jobs{jobs_n}"), None, parallel_s * 1e3));
         } else {
             println!(
                 "{:<34} {:>12.1} {:>12} {:>8}  (pool; single-core machine, parallel arm skipped)",
@@ -343,6 +364,19 @@ fn main() {
                 "-",
                 "-"
             );
+            // The missing arm is recorded explicitly, never silently:
+            // a consumer diffing baselines can tell "skipped on a
+            // single-core host" from "the refresh dropped the arm".
+            let reason = format!(
+                "single-core host (available_parallelism={host_par}); \
+                 parallel arm needs >= 2 cores"
+            );
+            records.push(Record {
+                bench: "sweep_pool_jobs_parallel".to_owned(),
+                cycles_per_sec: None,
+                wall_ms: None,
+                extra: vec![("skipped", format!("\"{}\"", json_escape(&reason)))],
+            });
         }
     }
 
@@ -367,13 +401,36 @@ fn main() {
         let _ = sys.run_until_instructions(mixed.instructions, mixed.cap);
         (start.elapsed().as_secs_f64(), sys.now())
     };
-    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
-    let mut traced_cycles = 0;
+    // Same mix again with the SLO metrics registry as the sink: the
+    // registry folds every lifecycle event into per-tenant/per-epoch
+    // aggregates in-process, so it carries the same <=15% budget as the
+    // flight-recorder ring — `mitts-capacity` runs hundreds of these.
+    let run_metrics = || -> (f64, Cycle) {
+        let registry = Rc::new(RefCell::new(MetricsRegistry::new()));
+        let mut sys = mixed_shaped_builder(Engine::Event)
+            .trace_sink(Box::new(Rc::clone(&registry)))
+            .sample_every(4096)
+            .build();
+        let start = Instant::now();
+        let _ = sys.run_until_instructions(mixed.instructions, mixed.cap);
+        let wall = start.elapsed().as_secs_f64();
+        sys.flush_trace();
+        assert!(
+            !registry.borrow().epochs().is_empty(),
+            "metrics arm produced no epochs — the registry was not exercised"
+        );
+        (wall, sys.now())
+    };
+    let (mut off, mut on, mut on_metrics) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let (mut traced_cycles, mut metrics_cycles) = (0, 0);
     for _ in 0..reps {
         off = off.min(run_mixed(false).0);
         let (t, c) = run_mixed(true);
         on = on.min(t);
         traced_cycles = c;
+        let (t, c) = run_metrics();
+        on_metrics = on_metrics.min(t);
+        metrics_cycles = c;
     }
     let overhead = on / off.max(1e-9) - 1.0;
     println!(
@@ -390,11 +447,31 @@ fn main() {
         );
         regression = true;
     }
-    records.push(Record {
-        bench: "mixed_shaped_4prog_traced".to_owned(),
-        cycles_per_sec: Some(traced_cycles as f64 / on.max(1e-9)),
-        wall_ms: on * 1e3,
-    });
+    records.push(Record::timed(
+        "mixed_shaped_4prog_traced",
+        Some(traced_cycles as f64 / on.max(1e-9)),
+        on * 1e3,
+    ));
+    let metrics_overhead = on_metrics / off.max(1e-9) - 1.0;
+    println!(
+        "{:<34} {:>12.1} {:>12.1} {:>6.1}%  (metrics-registry overhead)",
+        "mixed_shaped_4prog_metrics",
+        off * 1e3,
+        on_metrics * 1e3,
+        metrics_overhead * 100.0
+    );
+    if metrics_overhead > 0.15 {
+        eprintln!(
+            "REGRESSION: metrics registry costs {:.1}% over untraced (budget 15%)",
+            metrics_overhead * 100.0
+        );
+        regression = true;
+    }
+    records.push(Record::timed(
+        "mixed_shaped_4prog_metrics",
+        Some(metrics_cycles as f64 / on_metrics.max(1e-9)),
+        on_metrics * 1e3,
+    ));
 
     // Observability gate, part 2: an untimed traced run of the same mix
     // writes the JSONL + Chrome-trace artifacts that `scripts/check.sh`
@@ -452,16 +529,17 @@ fn main() {
 
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
-        let _ = write!(json, "  {{\"bench\": \"{}\", ", json_escape(&r.bench));
+        let _ = write!(json, "  {{\"bench\": \"{}\"", json_escape(&r.bench));
         if let Some(cps) = r.cycles_per_sec {
-            let _ = write!(json, "\"cycles_per_sec\": {cps:.1}, ");
+            let _ = write!(json, ", \"cycles_per_sec\": {cps:.1}");
         }
-        let _ = writeln!(
-            json,
-            "\"wall_ms\": {:.3}}}{}",
-            r.wall_ms,
-            if i + 1 < records.len() { "," } else { "" }
-        );
+        if let Some(wall_ms) = r.wall_ms {
+            let _ = write!(json, ", \"wall_ms\": {wall_ms:.3}");
+        }
+        for (key, value) in &r.extra {
+            let _ = write!(json, ", \"{key}\": {value}");
+        }
+        let _ = writeln!(json, "}}{}", if i + 1 < records.len() { "," } else { "" });
     }
     json.push(']');
     json.push('\n');

@@ -58,7 +58,7 @@ pub fn measure_workload(
         );
         let mut ga =
             GeneticTuner::new(BinSpec::paper_default(), REPLENISH_PERIOD, cores, scale.ga)
-                .with_seed(salt * 17 + objective as u64);
+                .with_seed(salt * 17 + objective.seed_tag());
         let best = ga.optimize(&fitness).best;
         let shapers: Vec<ShaperSpec> =
             best.to_configs().into_iter().map(ShaperSpec::Mitts).collect();

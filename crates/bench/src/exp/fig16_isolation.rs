@@ -146,7 +146,7 @@ pub fn measure(workload: WorkloadId, objective: Objective, scale: &Scale) -> Vec
         objective.score(&sd, &m.ipcs())
     };
     let mut ga = GeneticTuner::new(BinSpec::paper_default(), REPLENISH_PERIOD, cores, scale.ga)
-        .with_seed(salt * 29 + objective as u64)
+        .with_seed(salt * 29 + objective.seed_tag())
         .with_initial(seeds);
     let best = ga.optimize(fitness).best;
     let shapers: Vec<ShaperSpec> = cap_total_bandwidth(&best, TOTAL_RPC)

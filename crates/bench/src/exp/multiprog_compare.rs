@@ -172,7 +172,7 @@ pub fn compare_workload(
                 mitts_fitness(&benches, llc_bytes, &alone, objective, salt, scale);
             let mut ga =
                 GeneticTuner::new(BinSpec::paper_default(), REPLENISH_PERIOD, cores, scale.ga)
-                    .with_seed(salt * 13 + objective as u64);
+                    .with_seed(salt * 13 + objective.seed_tag());
             let best = ga.optimize(&fitness).best;
             let shapers: Vec<ShaperSpec> =
                 best.to_configs().into_iter().map(ShaperSpec::Mitts).collect();

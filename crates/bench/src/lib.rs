@@ -8,6 +8,7 @@
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured numbers.
 
+pub mod capacity;
 pub mod chaos;
 pub mod conform;
 pub mod exp;

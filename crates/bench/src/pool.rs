@@ -193,6 +193,66 @@ impl SweepReport {
     }
 }
 
+/// Per-worker activity counters collected over one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Experiments claimed fresh (lowest-pending scan).
+    pub claims: u64,
+    /// Experiments reclaimed from a stale lease (work stealing).
+    pub steals: u64,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// Claims lost to a thief mid-run.
+    pub lease_losses: u64,
+    /// Wall-clock milliseconds spent inside experiment bodies.
+    pub busy_ms: u64,
+}
+
+/// Live telemetry of one [`run_sweep_with_telemetry`] call: who did the
+/// work and how the backlog drained. Observational only — the pool's
+/// deterministic in-order result publication is unaffected, so these
+/// numbers belong in reports, never in byte-diffed artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct PoolTelemetry {
+    /// Workers spawned.
+    pub jobs: usize,
+    /// Sweep wall-clock in milliseconds.
+    pub wall_ms: u64,
+    /// One entry per worker.
+    pub workers: Vec<WorkerTelemetry>,
+    /// `(ms since sweep start, unresolved experiments)` sampled at every
+    /// claim, steal, and publication — the queue-depth-over-time curve.
+    pub queue_depth: Vec<(u64, usize)>,
+}
+
+impl PoolTelemetry {
+    /// Per-worker utilization: busy time over sweep wall-clock, in
+    /// [0, 1] per worker (an idle tail or starved worker shows up as a
+    /// low fraction).
+    pub fn utilization(&self) -> Vec<f64> {
+        let wall = self.wall_ms.max(1) as f64;
+        self.workers.iter().map(|w| (w.busy_ms as f64 / wall).min(1.0)).collect()
+    }
+
+    /// Total stale-lease takeovers across workers.
+    pub fn takeovers(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total retried attempts across workers.
+    pub fn retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+}
+
+/// Interior telemetry state (separate lock from the claim table so
+/// recording never contends with scheduling).
+#[derive(Debug, Default)]
+struct Telemetry {
+    workers: Vec<WorkerTelemetry>,
+    queue_depth: Vec<(u64, usize)>,
+}
+
 /// Distinguishes concurrent [`run_sweep`] calls within one process.
 static RUN_TOKEN: AtomicU64 = AtomicU64::new(1);
 
@@ -223,6 +283,10 @@ struct Shared<'a> {
     /// `finish` records written by this process (chaos kill trigger).
     finishes: AtomicU64,
     owner_epoch: u64,
+    /// Observational counters; separate lock, never held with `state`.
+    telemetry: Mutex<Telemetry>,
+    /// Sweep start, the telemetry time origin.
+    started: Instant,
 }
 
 /// What the supervisor poll decided mid-attempt.
@@ -288,6 +352,30 @@ impl<'a> Shared<'a> {
         &self.experiments[i].name
     }
 
+    /// Bumps worker `w`'s counters. Telemetry is best-effort: a poisoned
+    /// lock drops the sample rather than failing the sweep.
+    fn tel_worker(&self, w: usize, f: impl FnOnce(&mut WorkerTelemetry)) {
+        if let Ok(mut tel) = self.telemetry.lock() {
+            if let Some(entry) = tel.workers.get_mut(w) {
+                f(entry);
+            }
+        }
+    }
+
+    /// Samples the queue-depth curve: `(ms since start, unresolved)`.
+    /// Takes the state lock briefly to count, then the telemetry lock —
+    /// never both at once.
+    fn tel_sample_queue(&self) {
+        let unresolved = {
+            let st = self.state.lock().unwrap();
+            st.results.iter().filter(|r| r.is_none()).count()
+        };
+        let at_ms = self.started.elapsed().as_millis() as u64;
+        if let Ok(mut tel) = self.telemetry.lock() {
+            tel.queue_depth.push((at_ms, unresolved));
+        }
+    }
+
     /// Publishes `outcome` for experiment `i` unless a result is already
     /// there (a reclaimed experiment can race its old owner; first wins).
     fn publish(&self, i: usize, outcome: Outcome) {
@@ -333,9 +421,18 @@ impl<'a> Shared<'a> {
         Ok(())
     }
 
-    /// Runs experiment `i` under the retry/timeout/lease protocol.
+    /// Runs experiment `i` under the retry/timeout/lease protocol,
+    /// accounting the wall time as worker busy time.
+    fn run_claimed(&self, w: usize, i: usize, lease: Option<Lease>) {
+        let busy0 = Instant::now();
+        self.run_claimed_inner(w, i, lease);
+        let spent = busy0.elapsed().as_millis() as u64;
+        self.tel_worker(w, |t| t.busy_ms += spent);
+        self.tel_sample_queue();
+    }
+
     /// `lease` is `None` for unjournaled sweeps.
-    fn run_claimed(&self, w: usize, i: usize, mut lease: Option<Lease>) {
+    fn run_claimed_inner(&self, w: usize, i: usize, mut lease: Option<Lease>) {
         // A concurrent process may have completed this experiment and
         // released its lease between our journal snapshot and this
         // claim; one re-read before any work makes "never rerun after a
@@ -449,6 +546,7 @@ impl<'a> Shared<'a> {
                     }
                     last_error = e;
                     if n <= self.cfg.opts.retries {
+                        self.tel_worker(w, |t| t.retries += 1);
                         // Bounded exponential backoff, still responsive
                         // to Ctrl-C.
                         let pause = (self.cfg.opts.backoff * 2u32.saturating_pow(n - 1))
@@ -480,6 +578,7 @@ impl<'a> Shared<'a> {
     /// back to the scheduler — the thief owns the experiment now.
     fn handle_lease_lost(&self, w: usize, i: usize, worker_id: &str, lease: Option<Lease>) {
         drop(lease); // release() would be wrong: it is not ours any more
+        self.tel_worker(w, |t| t.lease_losses += 1);
         if let Some(journal) = &self.journal {
             journal.lock().unwrap().record_lease_lost(self.name(i), worker_id);
         }
@@ -618,10 +717,14 @@ impl<'a> Shared<'a> {
                 break;
             }
             if let Some((i, lease)) = self.claim_next(w) {
+                self.tel_worker(w, |t| t.claims += 1);
+                self.tel_sample_queue();
                 self.run_claimed(w, i, lease);
                 continue;
             }
             if let Some((i, lease)) = self.steal_or_adopt(w) {
+                self.tel_worker(w, |t| t.steals += 1);
+                self.tel_sample_queue();
                 self.run_claimed(w, i, lease);
                 continue;
             }
@@ -647,8 +750,22 @@ pub fn run_sweep(
     journal: Option<Journal>,
     completed: &BTreeSet<String>,
     cfg: &PoolConfig,
-    mut on_result: impl FnMut(usize, &str, &Outcome),
+    on_result: impl FnMut(usize, &str, &Outcome),
 ) -> SweepReport {
+    run_sweep_with_telemetry(experiments, journal, completed, cfg, on_result).0
+}
+
+/// [`run_sweep`] plus the pool's live telemetry: per-worker utilization
+/// counters and the queue-depth-over-time curve. The sweep semantics —
+/// claim order, lease protocol, in-order `on_result` — are identical;
+/// telemetry is recorded on the side and never influences scheduling.
+pub fn run_sweep_with_telemetry(
+    experiments: &[Experiment],
+    journal: Option<Journal>,
+    completed: &BTreeSet<String>,
+    cfg: &PoolConfig,
+    mut on_result: impl FnMut(usize, &str, &Outcome),
+) -> (SweepReport, PoolTelemetry) {
     let n = experiments.len();
     let mut results: Vec<Option<Outcome>> = vec![None; n];
     // Adopt everything a previous run proved complete before any worker
@@ -681,6 +798,11 @@ pub fn run_sweep(
         // within one process this counter does (the timestamp alone
         // could collide for sweeps started in the same millisecond).
         owner_epoch: crate::lease::now_ms() ^ (RUN_TOKEN.fetch_add(1, Ordering::SeqCst) << 48),
+        telemetry: Mutex::new(Telemetry {
+            workers: vec![WorkerTelemetry::default(); jobs],
+            queue_depth: Vec::new(),
+        }),
+        started: Instant::now(),
     };
 
     let mut report = SweepReport::default();
@@ -728,7 +850,14 @@ pub fn run_sweep(
             }
         }
     });
-    report
+    let tel = shared.telemetry.into_inner().unwrap_or_default();
+    let telemetry = PoolTelemetry {
+        jobs,
+        wall_ms: shared.started.elapsed().as_millis() as u64,
+        workers: tel.workers,
+        queue_depth: tel.queue_depth,
+    };
+    (report, telemetry)
 }
 
 #[cfg(test)]
@@ -786,6 +915,35 @@ mod tests {
         assert_eq!(outcomes[1].0, "boom");
         assert!(!outcomes[1].1, "the panicking experiment must quarantine");
         assert!(outcomes[0].1 && outcomes[2].1, "the others must survive");
+    }
+
+    #[test]
+    fn telemetry_accounts_every_claim_and_result() {
+        let experiments: Vec<Experiment> = (0..6)
+            .map(|i| {
+                exp(&format!("t{i}"), move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    vec![table("x")]
+                })
+            })
+            .collect();
+        let mut cfg = PoolConfig::serial();
+        cfg.jobs = 3;
+        let (report, tel) =
+            run_sweep_with_telemetry(&experiments, None, &BTreeSet::new(), &cfg, |_, _, _| {});
+        assert_eq!(report.done, 6);
+        assert_eq!(tel.jobs, 3);
+        assert_eq!(tel.workers.len(), 3);
+        let claims: u64 = tel.workers.iter().map(|w| w.claims).sum();
+        assert_eq!(claims, 6, "every experiment is claimed exactly once");
+        assert_eq!(tel.takeovers(), 0);
+        assert_eq!(tel.retries(), 0);
+        // Each claim and each completion samples the queue, and the
+        // final sample must show a drained backlog.
+        assert!(tel.queue_depth.len() >= 6, "got {}", tel.queue_depth.len());
+        assert_eq!(tel.queue_depth.last().unwrap().1, 0, "backlog must drain to zero");
+        assert_eq!(tel.utilization().len(), 3);
+        assert!(tel.utilization().iter().all(|&u| (0.0..=1.0).contains(&u)));
     }
 
     #[test]

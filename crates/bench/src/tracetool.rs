@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::BufRead;
 
-use mitts_sim::obs::json::{parse, JsonValue};
+use mitts_sim::obs::json::{parse, push_escaped, JsonValue};
 use mitts_sim::obs::{STAGE_COUNT, STAGE_NAMES};
 
 /// Stall-reason labels in display order (matches `StallReason::label`).
@@ -405,6 +405,137 @@ impl TraceSummary {
         }
         out
     }
+
+    /// The machine-readable mirror of [`TraceSummary::render`]: the
+    /// same summary — record kinds, per-core stall reasons and grant
+    /// bins, per-stage latency percentiles, episodes, row outcomes,
+    /// hardening counters, run summary — as one JSON object
+    /// (`mitts-trace --json`). Keys are stable; downstream tooling may
+    /// rely on them.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{");
+        let _ = write!(o, "\"records\":{},", self.lines);
+        o.push_str("\"kinds\":{");
+        for (i, (k, n)) in self.kinds.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            push_escaped(&mut o, k);
+            let _ = write!(o, ":{n}");
+        }
+        o.push_str("},\"cores\":[");
+        for (i, core) in self.cores.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{{\"core\":{i},\"shaper\":");
+            match &core.shaper {
+                Some(name) => push_escaped(&mut o, name),
+                None => o.push_str("null"),
+            }
+            o.push_str(",\"stalls\":{");
+            let mut first = true;
+            for r in REASONS {
+                let cyc = core.stall_cycles.get(r).copied().unwrap_or(0);
+                let eps = core.stall_episodes.get(r).copied().unwrap_or(0);
+                if cyc == 0 && eps == 0 {
+                    continue;
+                }
+                if !first {
+                    o.push(',');
+                }
+                first = false;
+                push_escaped(&mut o, r);
+                let _ = write!(o, ":{{\"cycles\":{cyc},\"episodes\":{eps}}}");
+            }
+            o.push_str("},\"grant_bins\":[");
+            let bins = core.bins.len().max(core.grants.len());
+            for b in 0..bins {
+                if b > 0 {
+                    o.push(',');
+                }
+                let grants = core.grants.get(b).copied().unwrap_or(0);
+                let (interval, max) = core.bins.get(b).copied().unwrap_or((0, 0));
+                let _ = write!(
+                    o,
+                    "{{\"bin\":{b},\"interval\":{interval},\"max_credits\":{max},\"grants\":{grants}}}"
+                );
+            }
+            let _ = write!(
+                o,
+                "],\"l1_misses\":{},\"llc_hits\":{},\"llc_misses\":{},\"fills\":{}}}",
+                core.l1_misses, core.llc.0, core.llc.1, core.fills
+            );
+        }
+        let _ = write!(o, "],\"fills\":{},\"stages\":[", self.fills());
+        let fills = self.fills().max(1);
+        for (i, name) in STAGE_NAMES.iter().copied().chain(["total"]).enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let sum = if i < STAGE_COUNT {
+                self.stage_sums[i]
+            } else {
+                self.stage_sums.iter().sum()
+            };
+            o.push_str("{\"stage\":");
+            push_escaped(&mut o, name);
+            let _ = write!(
+                o,
+                ",\"sum\":{sum},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                sum as f64 / fills as f64,
+                self.percentile(i, 50.0),
+                self.percentile(i, 95.0),
+                self.percentile(i, 99.0)
+            );
+        }
+        let (h, m, c) = self.row_outcomes;
+        let _ = write!(
+            o,
+            "],\"dram_rows\":{{\"hits\":{h},\"misses\":{m},\"conflicts\":{c}}},\"episodes\":["
+        );
+        for (i, ep) in self.episodes.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{{\"core\":{},\"reason\":", ep.core);
+            push_escaped(&mut o, &ep.reason);
+            let _ = write!(o, ",\"since\":{},\"until\":", ep.since);
+            match ep.until {
+                Some(u) => {
+                    let _ = write!(o, "{u}");
+                }
+                None => o.push_str("null"),
+            }
+            o.push('}');
+        }
+        let _ = write!(
+            o,
+            "],\"hardening\":{{\"violations\":{},\"watchdog_stalls\":{},\"faults\":{}}},",
+            self.violations, self.stall_detections, self.faults
+        );
+        o.push_str("\"run_summary\":");
+        match self.run_summary {
+            Some((cycles, sum, count)) => {
+                let _ = write!(
+                    o,
+                    "{{\"cycles\":{cycles},\"mem_latency_sum\":{sum},\"mem_latency_count\":{count}}}"
+                );
+            }
+            None => o.push_str("null"),
+        }
+        let _ = write!(
+            o,
+            ",\"crosscheck\":{}",
+            match self.crosscheck() {
+                Ok(Some(())) => "\"ok\"".to_owned(),
+                Ok(None) => "\"skipped\"".to_owned(),
+                Err(e) => format!("{{\"failed\":{}}}", mitts_sim::obs::json::escape(&e)),
+            }
+        );
+        o.push('}');
+        o
+    }
 }
 
 /// Parses a JSONL trace from `reader` and folds it into a summary.
@@ -489,6 +620,93 @@ mod tests {
         let report = s.render();
         assert!(report.contains("shaper"), "report mentions stall reason:\n{report}");
         assert!(report.contains("run summary"), "report has summary line:\n{report}");
+    }
+
+    #[test]
+    fn to_json_parses_and_mirrors_the_text_summary() {
+        let events = vec![
+            TraceEvent::ShaperConfig {
+                at: 0,
+                core: 0,
+                shaper: "mitts".to_owned(),
+                bins: vec![(3, 10), (2, 5)],
+            },
+            TraceEvent::L1Miss { at: 5, core: 0, line: 0x40 },
+            TraceEvent::StallBegin { at: 6, core: 0, reason: StallReason::Shaper },
+            TraceEvent::StallEnd { at: 16, core: 0, reason: StallReason::Shaper, since: 6 },
+            TraceEvent::ShaperGrant { at: 16, core: 0, line: 0x40, bin: 1 },
+            TraceEvent::LlcLookup { at: 20, core: 0, line: 0x40, hit: false },
+            TraceEvent::Fill {
+                at: 80,
+                core: 0,
+                line: 0x40,
+                lat: StageLatency { shaper: 11, llc: 4, mc_queue: 9, dram: 45, fill: 6 },
+            },
+            TraceEvent::StallBegin { at: 90, core: 0, reason: StallReason::Throttle },
+            TraceEvent::RunSummary { cycles: 100, mem_latency_sum: 75, mem_latency_count: 1 },
+        ];
+        let s = feed(&events);
+        let v = parse(&s.to_json()).expect("to_json emits valid JSON");
+        assert_eq!(v.get("records").and_then(|r| r.as_u64()), Some(events.len() as u64));
+        assert_eq!(v.get("fills").and_then(|f| f.as_u64()), Some(1));
+        let core = &v.get("cores").and_then(|c| c.as_arr()).expect("cores array")[0];
+        assert_eq!(core.get("shaper").and_then(|s| s.as_str()), Some("mitts"));
+        let shaper_stall = core
+            .get("stalls")
+            .and_then(|st| st.get("shaper"))
+            .expect("shaper stall entry");
+        assert_eq!(shaper_stall.get("cycles").and_then(|c| c.as_u64()), Some(10));
+        assert_eq!(shaper_stall.get("episodes").and_then(|e| e.as_u64()), Some(1));
+        let bins = core.get("grant_bins").and_then(|b| b.as_arr()).expect("grant bins");
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[1].get("grants").and_then(|g| g.as_u64()), Some(1));
+        assert_eq!(bins[1].get("max_credits").and_then(|m| m.as_u64()), Some(5));
+        let stages = v.get("stages").and_then(|s| s.as_arr()).expect("stages array");
+        let total = stages.last().expect("total row");
+        assert_eq!(total.get("stage").and_then(|s| s.as_str()), Some("total"));
+        assert_eq!(total.get("sum").and_then(|s| s.as_u64()), Some(75));
+        let episodes = v.get("episodes").and_then(|e| e.as_arr()).expect("episodes");
+        assert_eq!(episodes.len(), 2);
+        assert!(episodes
+            .iter()
+            .any(|e| e.get("until").is_some_and(|u| matches!(u, JsonValue::Null))));
+        let rs = v.get("run_summary").expect("run_summary object");
+        assert_eq!(rs.get("mem_latency_sum").and_then(|s| s.as_u64()), Some(75));
+        assert_eq!(v.get("crosscheck").and_then(|c| c.as_str()), Some("ok"));
+    }
+
+    #[test]
+    fn to_json_reports_crosscheck_failures_and_escapes_strings() {
+        let s = feed(&[
+            TraceEvent::Fill {
+                at: 50,
+                core: 0,
+                line: 0x80,
+                lat: StageLatency { shaper: 1, llc: 2, mc_queue: 3, dram: 4, fill: 5 },
+            },
+            TraceEvent::RunSummary { cycles: 60, mem_latency_sum: 30, mem_latency_count: 2 },
+        ]);
+        let v = parse(&s.to_json()).expect("valid JSON even when crosscheck fails");
+        let failed = v
+            .get("crosscheck")
+            .and_then(|c| c.get("failed"))
+            .and_then(|f| f.as_str())
+            .expect("crosscheck failure object");
+        assert!(failed.contains("mem_latency_count"), "got: {failed}");
+        // A hostile shaper name must round-trip through the escaper.
+        let s = feed(&[TraceEvent::ShaperConfig {
+            at: 0,
+            core: 0,
+            shaper: "evil\"\\\n\u{1}name".to_owned(),
+            bins: vec![],
+        }]);
+        let v = parse(&s.to_json()).expect("escaped JSON parses");
+        let shaper = v.get("cores").and_then(|c| c.as_arr()).expect("cores")[0]
+            .get("shaper")
+            .and_then(|s| s.as_str())
+            .map(str::to_owned);
+        assert_eq!(shaper.as_deref(), Some("evil\"\\\n\u{1}name"));
+        assert_eq!(v.get("crosscheck").and_then(|c| c.as_str()), Some("skipped"));
     }
 
     #[test]

@@ -26,16 +26,20 @@
 pub mod chrome;
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod sampler;
 pub mod sink;
+pub mod slo;
 
 pub use chrome::{write_chrome_trace, TrackLayout};
 pub use event::{
     ChannelSampleRow, CoreSampleRow, SampleRow, StageLatency, StallReason, TraceEvent,
     STAGE_COUNT, STAGE_NAMES,
 };
+pub use metrics::{ChannelEpoch, EpochMetrics, MetricsRegistry, TenantEpoch};
 pub use sampler::{ChanCum, CoreCum, Sampler};
 pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};
+pub use slo::{Breach, SloEvaluator, SloMetric, SloSpec, SloVerdict};
 
 use crate::audit::InvariantAuditor;
 use crate::histogram::LatencyHistogram;

@@ -6,6 +6,7 @@
 //! sources; this module only defines the contract plus two trivial sources
 //! used by tests.
 
+use crate::rng::Rng;
 use crate::types::Addr;
 
 /// One compressed trace record: `gap` non-memory instructions followed by
@@ -188,6 +189,116 @@ impl TraceSource for ComputeTrace {
     }
 }
 
+/// An open-loop arrival source: memory requests arrive at a configured
+/// offered load (requests per second against a nominal core clock)
+/// regardless of how the system responds — the datacenter framing of the
+/// capacity harness, as opposed to the closed-loop synthetic benchmarks.
+///
+/// Inter-arrival gaps carry deterministic seeded jitter (uniform within
+/// `±jitter_pct` of the mean), and addresses walk a seeded uniform-random
+/// working set, so a given `(rps, seed)` pair reproduces the exact same
+/// stream on every platform. Snapshot-capable like every bundled source.
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::trace::{OpenLoopTrace, TraceSource};
+/// let mut a = OpenLoopTrace::from_rps(24_000_000, 1 << 20, 7);
+/// let mut b = OpenLoopTrace::from_rps(24_000_000, 1 << 20, 7);
+/// assert_eq!(a.next_op(), b.next_op());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenLoopTrace {
+    mean_gap: u32,
+    jitter: u32,
+    base: Addr,
+    lines: u64,
+    rng: Rng,
+    count: u64,
+}
+
+/// Nominal core clock used to translate offered-load RPS into cycles
+/// (2.4 GHz, matching the paper's §IV-C bandwidth arithmetic).
+pub const OPEN_LOOP_CLOCK_HZ: u64 = 2_400_000_000;
+
+/// Default inter-arrival jitter (± percent of the mean gap).
+pub const OPEN_LOOP_JITTER_PCT: u32 = 25;
+
+impl OpenLoopTrace {
+    /// Creates a source with a mean inter-arrival gap of `mean_gap`
+    /// instructions, `±jitter_pct` uniform jitter, a working set of
+    /// `footprint` bytes, and a deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint < 64` (need at least one cache line).
+    pub fn new(mean_gap: u32, jitter_pct: u32, footprint: u64, seed: u64) -> Self {
+        assert!(footprint >= 64, "footprint must cover at least one line");
+        let jitter = (mean_gap as u64 * jitter_pct as u64 / 100) as u32;
+        OpenLoopTrace {
+            mean_gap,
+            jitter: jitter.min(mean_gap),
+            base: 0,
+            lines: footprint / 64,
+            rng: Rng::seeded(seed),
+            count: 0,
+        }
+    }
+
+    /// Creates a source offering `rps` requests per second against the
+    /// nominal [`OPEN_LOOP_CLOCK_HZ`] clock, with the default
+    /// [`OPEN_LOOP_JITTER_PCT`] jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rps == 0` or `footprint < 64`.
+    pub fn from_rps(rps: u64, footprint: u64, seed: u64) -> Self {
+        assert!(rps > 0, "offered load must be positive");
+        let mean_gap = (OPEN_LOOP_CLOCK_HZ / rps).clamp(1, u32::MAX as u64) as u32;
+        OpenLoopTrace::new(mean_gap, OPEN_LOOP_JITTER_PCT, footprint, seed)
+    }
+
+    /// Starts addresses at `base` (disjoint per-tenant regions).
+    pub fn with_base(mut self, base: Addr) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// The mean inter-arrival gap in instructions.
+    pub fn mean_gap(&self) -> u32 {
+        self.mean_gap
+    }
+}
+
+impl TraceSource for OpenLoopTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let lo = self.mean_gap - self.jitter;
+        let hi = self.mean_gap + self.jitter;
+        let gap = self.rng.range(lo as u64, hi as u64) as u32;
+        let addr = self.base + self.rng.below(self.lines) * 64;
+        self.count = self.count.wrapping_add(1);
+        TraceOp::read(gap, addr)
+    }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("open_loop")
+    }
+
+    fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        self.rng.save_state(enc);
+        enc.u64(self.count);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.rng.load_state(dec)?;
+        self.count = dec.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +330,66 @@ mod tests {
         let mut t = ComputeTrace::new(10);
         assert_eq!(t.next_op().addr, t.next_op().addr);
         assert_eq!(t.phase(), 0);
+    }
+
+    #[test]
+    fn open_loop_same_seed_same_stream() {
+        let mut a = OpenLoopTrace::from_rps(24_000_000, 1 << 20, 42);
+        let mut b = OpenLoopTrace::from_rps(24_000_000, 1 << 20, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn open_loop_mean_gap_tracks_offered_load() {
+        // 24M rps at 2.4 GHz -> one request per 100 cycles.
+        let t = OpenLoopTrace::from_rps(24_000_000, 1 << 20, 1);
+        assert_eq!(t.mean_gap(), 100);
+        let mut t = t;
+        let n = 2000u64;
+        let sum: u64 = (0..n).map(|_| t.next_op().gap as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean gap {mean} should be near 100");
+    }
+
+    #[test]
+    fn open_loop_gaps_stay_within_jitter_band() {
+        let mut t = OpenLoopTrace::new(100, 25, 1 << 20, 3);
+        for _ in 0..500 {
+            let g = t.next_op().gap;
+            assert!((75..=125).contains(&g), "gap {g} outside +-25%");
+        }
+    }
+
+    #[test]
+    fn open_loop_addresses_stay_in_footprint() {
+        let mut t = OpenLoopTrace::from_rps(1_000_000, 4096, 5).with_base(0x1_0000);
+        for _ in 0..200 {
+            let a = t.next_op().addr;
+            assert!((0x1_0000..0x1_1000).contains(&a), "addr {a:#x}");
+            assert_eq!(a % 64, 0, "line-aligned");
+        }
+    }
+
+    #[test]
+    fn open_loop_snapshot_round_trips_mid_stream() {
+        let mut t = OpenLoopTrace::from_rps(10_000_000, 1 << 16, 9);
+        for _ in 0..37 {
+            t.next_op();
+        }
+        let mut enc = crate::snapshot::Enc::new();
+        t.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let expected: Vec<TraceOp> = {
+            let mut c = t.clone();
+            (0..50).map(|_| c.next_op()).collect()
+        };
+        let mut fresh = OpenLoopTrace::from_rps(10_000_000, 1 << 16, 9);
+        let mut dec = crate::snapshot::Dec::new(&bytes);
+        fresh.load_state(&mut dec).expect("load");
+        let resumed: Vec<TraceOp> = (0..50).map(|_| fresh.next_op()).collect();
+        assert_eq!(resumed, expected);
+        assert_eq!(fresh.snapshot_kind(), Some("open_loop"));
     }
 }

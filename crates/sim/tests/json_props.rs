@@ -1,0 +1,227 @@
+//! Property tests for the hand-rolled JSON layer in
+//! `mitts_sim::obs::json` — the writer (`escape`/`push_escaped`) and the
+//! parser every observability artifact round-trips through
+//! (`mitts-trace --json`, trace JSONL, the capacity report pipeline).
+//!
+//! Three families, all on the vendored deterministic proptest shim so
+//! every failure reproduces from the test name alone:
+//! * escape → parse round-trips over adversarial strings (quotes,
+//!   backslashes, control characters, astral-plane unicode);
+//! * whole-document round-trips over randomly shaped values;
+//! * malformed inputs (truncations, trailing garbage, bad escapes,
+//!   unbalanced brackets) must error, never panic or mis-parse.
+
+use proptest::prelude::*;
+
+use mitts_sim::obs::json::{escape, parse, JsonValue};
+
+/// Characters the escaper must handle specially, plus shapes that have
+/// historically broken hand-rolled JSON writers.
+const NASTY: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{8}', '\u{c}', '\u{1f}', '\u{7f}', '/',
+    '\u{80}', 'é', '\u{d7ff}', '\u{e000}', '\u{fffd}', '\u{ffff}', '\u{10000}',
+    '\u{10ffff}', '🦀', 'a', '0', ' ', '{', '}', '[', ']', ':', ',',
+];
+
+/// Maps a raw draw to a char: half the draws come from the nasty pool,
+/// the rest are arbitrary unicode scalars (surrogates re-mapped).
+fn char_from(code: u32) -> char {
+    if code & 1 == 0 {
+        NASTY[(code >> 1) as usize % NASTY.len()]
+    } else {
+        // Surrogate draws degrade to U+FFFD (itself a worthwhile input).
+        char::from_u32((code >> 1) % 0x11_0000).unwrap_or('\u{fffd}')
+    }
+}
+
+fn adversarial_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u32>(), 0..64)
+        .prop_map(|codes| codes.into_iter().map(char_from).collect())
+}
+
+/// A small deterministic document builder: `shape` seeds a splitmix-ish
+/// walk so one u64 draw yields one arbitrarily nested value.
+fn build_doc(shape: &mut u64, depth: usize) -> JsonValue {
+    *shape = shape.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let pick = (*shape >> 33) % if depth == 0 { 4 } else { 6 };
+    match pick {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(*shape & 1 == 0),
+        // Integer-valued, so the writer's shortest form reparses exactly.
+        2 => JsonValue::Num(((*shape >> 20) as i32 as f64).trunc()),
+        3 => {
+            let len = (*shape % 8) as usize;
+            let s: String =
+                (0..len).map(|i| char_from((*shape >> (8 + i)) as u32)).collect();
+            JsonValue::Str(s)
+        }
+        4 => {
+            let len = (*shape % 4) as usize;
+            JsonValue::Arr((0..len).map(|_| build_doc(shape, depth - 1)).collect())
+        }
+        _ => {
+            let len = (*shape % 4) as usize;
+            JsonValue::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}\u{7}\""), build_doc(shape, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Serializes a doc with the library's own escaper — the same path every
+/// artifact writer in the workspace uses.
+fn write_doc(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => {
+            out.push_str(&format!("{n}"));
+        }
+        JsonValue::Str(s) => out.push_str(&escape(s)),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_doc(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(k));
+                out.push(':');
+                write_doc(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any string survives escape → parse byte-for-byte, and the literal
+    /// itself never leaks a raw control character, quote, or backslash
+    /// (the properties that make it safe to splice into a larger doc).
+    #[test]
+    fn escape_round_trips_adversarial_strings(s in adversarial_string()) {
+        let lit = escape(&s);
+        prop_assert!(lit.starts_with('"') && lit.ends_with('"'));
+        let inner = &lit[1..lit.len() - 1];
+        let mut escaped = false;
+        for c in inner.chars() {
+            prop_assert!((c as u32) >= 0x20, "raw control char in literal {lit:?}");
+            if !escaped {
+                prop_assert!(c != '"', "unescaped quote in literal {lit:?}");
+            }
+            escaped = !escaped && c == '\\';
+        }
+        match parse(&lit) {
+            Ok(JsonValue::Str(back)) => prop_assert_eq!(back, s),
+            other => prop_assert!(false, "expected Str, got {other:?} for {lit:?}"),
+        }
+    }
+
+    /// Whole documents round-trip: writer output reparses to an equal
+    /// value, including hostile object keys and nested containers.
+    #[test]
+    fn documents_round_trip(shape in any::<u64>(), depth in 1usize..4) {
+        let mut seed = shape | 1;
+        let doc = build_doc(&mut seed, depth);
+        let mut text = String::new();
+        write_doc(&doc, &mut text);
+        let back = parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&doc), "text was {}", text);
+    }
+
+    /// A valid document followed by anything that is not whitespace must
+    /// be rejected as trailing data — the parser may not silently accept
+    /// a concatenation.
+    #[test]
+    fn trailing_garbage_is_an_error(s in adversarial_string(), tail in any::<u32>()) {
+        let tail = char_from(tail);
+        if tail.is_whitespace() || (tail as u32) < 0x20 {
+            return Ok(());
+        }
+        let doc = format!("{}{}", escape(&s), tail);
+        let err = parse(&doc);
+        prop_assert!(err.is_err(), "accepted {doc:?}: {err:?}");
+        prop_assert!(
+            err.unwrap_err().contains("trailing data"),
+            "wrong error kind for {doc:?}"
+        );
+    }
+
+    /// Every proper prefix of a string literal (cut on a char boundary,
+    /// keeping the opening quote) is malformed: unterminated string,
+    /// truncated escape, or bad escape — always an Err, never a panic or
+    /// a bogus Ok.
+    #[test]
+    fn truncated_literals_always_error(s in adversarial_string(), cut in any::<u64>()) {
+        let lit = escape(&s);
+        let boundaries: Vec<usize> =
+            lit.char_indices().map(|(i, _)| i).filter(|&i| i >= 1).collect();
+        let cut = boundaries[(cut % boundaries.len() as u64) as usize];
+        let truncated = &lit[..cut];
+        prop_assert!(
+            parse(truncated).is_err(),
+            "accepted truncated literal {truncated:?}"
+        );
+    }
+
+    /// Structurally malformed documents are rejected with the documented
+    /// error families; none of them panic the recursive-descent parser.
+    #[test]
+    fn malformed_documents_error(case in proptest::sample::select(vec![
+        ("", "unexpected value"),
+        ("   ", "unexpected value"),
+        ("{", "expected '\"'"),
+        ("[", "unexpected value"),
+        ("[1,", "unexpected value"),
+        ("[1 2]", "expected ',' or ']'"),
+        ("{\"a\" 1}", "expected ':'"),
+        ("{\"a\":}", "unexpected value"),
+        ("{\"a\":1,}", "expected '\"'"),
+        ("\"abc", "unterminated string"),
+        ("\"\\q\"", "bad escape"),
+        ("\"\\u12\"", "truncated \\u escape"),
+        ("\"\\uzzzz\"", "bad \\u escape"),
+        ("tru", "bad literal"),
+        ("nul", "bad literal"),
+        ("falsy", "bad literal"),
+        ("-", "bad number"),
+        ("1e", "bad number"),
+        ("--1", "bad number"),
+        ("1.2.3", "bad number"),
+        ("[1]]", "trailing data"),
+        ("{} {}", "trailing data"),
+    ])) {
+        let (doc, want) = case;
+        match parse(doc) {
+            Ok(v) => prop_assert!(false, "accepted {doc:?} as {v:?}"),
+            Err(e) => prop_assert!(
+                e.contains(want),
+                "{doc:?}: expected error containing {want:?}, got {e:?}"
+            ),
+        }
+    }
+
+    /// Lone surrogate escapes decode to U+FFFD rather than corrupting
+    /// the output string or erroring (documented parser behavior).
+    #[test]
+    fn lone_surrogate_escapes_become_replacement(code in 0xd800u32..0xe000) {
+        let doc = format!("\"\\u{code:04x}\"");
+        match parse(&doc) {
+            Ok(JsonValue::Str(s)) => prop_assert_eq!(s, "\u{fffd}"),
+            other => prop_assert!(false, "{doc}: {other:?}"),
+        }
+    }
+}

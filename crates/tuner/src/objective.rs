@@ -13,9 +13,32 @@ pub enum Objective {
     Fairness,
     /// Maximise the (single or mean) program IPC.
     Performance,
+    /// Maximise the number of tenants admitted under an SLO: a tenant is
+    /// *admitted* when its slowdown stays at or below
+    /// `max_slowdown_pct / 100`. The datacenter capacity objective — tune
+    /// bins to pack as many healthy users as possible, not to make the
+    /// average user fastest.
+    MaxUsersUnderSlo {
+        /// Admission bound on per-tenant slowdown, in percent (e.g. 150
+        /// admits tenants slowed at most 1.5x).
+        max_slowdown_pct: u32,
+    },
 }
 
 impl Objective {
+    /// Stable small integer identifying the objective, used to salt
+    /// deterministic seeds. Matches the discriminant values the
+    /// field-less enum had (`as u64`), so existing experiment artifacts
+    /// stay byte-identical.
+    pub fn seed_tag(self) -> u64 {
+        match self {
+            Objective::Throughput => 0,
+            Objective::Fairness => 1,
+            Objective::Performance => 2,
+            Objective::MaxUsersUnderSlo { .. } => 3,
+        }
+    }
+
     /// Scores a measurement window (higher is better).
     ///
     /// `slowdowns` and `ipcs` are per-core; objectives that do not use a
@@ -38,6 +61,16 @@ impl Objective {
             Objective::Performance => {
                 assert!(!ipcs.is_empty(), "need IPCs");
                 ipcs.iter().sum::<f64>() / ipcs.len() as f64
+            }
+            Objective::MaxUsersUnderSlo { max_slowdown_pct } => {
+                assert!(!slowdowns.is_empty(), "need slowdowns");
+                let bound = max_slowdown_pct as f64 / 100.0;
+                let admitted = slowdowns.iter().filter(|&&s| s <= bound).count();
+                let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+                // Admitted count dominates; the bounded average-slowdown
+                // term (in (0, 1]) breaks ties toward healthier packs so
+                // the GA keeps a gradient between equal admission counts.
+                admitted as f64 + 1.0 / (1.0 + avg)
             }
         }
     }
@@ -66,11 +99,14 @@ impl Objective {
 
 impl std::fmt::Display for Objective {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Objective::Throughput => "throughput",
-            Objective::Fairness => "fairness",
-            Objective::Performance => "performance",
-        })
+        match self {
+            Objective::Throughput => f.write_str("throughput"),
+            Objective::Fairness => f.write_str("fairness"),
+            Objective::Performance => f.write_str("performance"),
+            Objective::MaxUsersUnderSlo { max_slowdown_pct } => {
+                write!(f, "max_users_under_slo({max_slowdown_pct}%)")
+            }
+        }
     }
 }
 
@@ -123,5 +159,29 @@ mod tests {
         assert_eq!(Objective::Throughput.to_string(), "throughput");
         assert_eq!(Objective::Fairness.to_string(), "fairness");
         assert_eq!(Objective::Performance.to_string(), "performance");
+        assert_eq!(
+            Objective::MaxUsersUnderSlo { max_slowdown_pct: 150 }.to_string(),
+            "max_users_under_slo(150%)"
+        );
+    }
+
+    #[test]
+    fn max_users_counts_admitted_tenants_first() {
+        let obj = Objective::MaxUsersUnderSlo { max_slowdown_pct: 150 };
+        // Three of four tenants within 1.5x beats two of four, even when
+        // the two-admitted pack has a much better average.
+        let three = obj.score(&[1.1, 1.4, 1.5, 9.0], &[]);
+        let two = obj.score(&[1.0, 1.0, 1.6, 1.6], &[]);
+        assert!(three > two, "admitted count must dominate: {three} vs {two}");
+        assert!(three.floor() == 3.0 && two.floor() == 2.0);
+    }
+
+    #[test]
+    fn max_users_breaks_ties_by_average_slowdown() {
+        let obj = Objective::MaxUsersUnderSlo { max_slowdown_pct: 150 };
+        let healthy = obj.score(&[1.0, 1.1], &[]);
+        let strained = obj.score(&[1.4, 1.5], &[]);
+        assert!(healthy > strained, "same admission, better pack must win");
+        assert_eq!(healthy.floor(), strained.floor());
     }
 }

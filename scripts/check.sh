@@ -35,17 +35,43 @@ echo "BENCH_sim.json: event-engine rows present"
 # Tracing smoke gate: summarize the shaped 4-program trace the perf
 # smoke just wrote; mitts-trace exits non-zero unless the per-stage
 # latency decomposition telescopes exactly to the run's mem_latency_sum.
+# The --json arm re-parses the same trace and must emit one valid JSON
+# document under the same health contract.
 cargo build --release -p mitts-bench --bin mitts-trace
 target/release/mitts-trace target/obs_smoke.trace.jsonl | tail -n 3
+target/release/mitts-trace --json target/obs_smoke.trace.jsonl \
+  | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["crosscheck"] == "ok", d["crosscheck"]' \
+  || { echo "mitts-trace --json emitted an invalid or unhealthy summary"; exit 1; }
+echo "mitts-trace --json: summary parses and crosscheck is ok"
 
 # Conformance smoke gate: seeded mutation checks (each oracle must catch
 # every perturbation of its constants), a short fuzz campaign (every
 # fuzzed case also byte-diffed naive vs fast vs event), a workload
-# subset under the shaper/DRAM/scheduler oracles, and the per-case
-# engine differential. Exits non-zero on any violation, undetected
-# mutation, or engine divergence.
+# subset under the shaper/DRAM/scheduler oracles, the per-case engine
+# differential, and the capacity-probe differential (engines x metrics
+# on/off). Exits non-zero on any violation, undetected mutation, or
+# engine divergence.
 cargo build --release -p mitts-bench --bin mitts-conform
 target/release/mitts-conform --smoke | tail -n 3
+
+# Capacity smoke gate: knee-search the 2x2 smoke matrix through the
+# supervised pool and write the frontier CSV + self-contained HTML
+# report (both atomic; mitts-capacity structurally validates the report
+# it wrote — and re-reads it from disk — exiting non-zero on anything
+# malformed). Run at jobs=4 and jobs=1: probes are deterministic and the
+# artifacts are rebuilt from rendered tables, so the frontier CSV must
+# be byte-identical whatever the worker count.
+cargo build --release -p mitts-bench --bin mitts-capacity
+CAP4="$GATE_TMP/cap4" CAP1="$GATE_TMP/cap1"
+mkdir -p "$CAP4" "$CAP1"
+MITTS_JOBS=4 target/release/mitts-capacity --smoke --out "$CAP4" >/dev/null
+MITTS_JOBS=1 target/release/mitts-capacity --smoke --out "$CAP1" >/dev/null
+for f in capacity_frontier.csv capacity_report.html; do
+  [ -s "$CAP4/$f" ] || { echo "mitts-capacity did not write $f"; exit 1; }
+done
+diff "$CAP4/capacity_frontier.csv" "$CAP1/capacity_frontier.csv" \
+  || { echo "capacity frontier CSV diverged between jobs=4 and jobs=1"; exit 1; }
+echo "capacity smoke: report validated; frontier CSV identical at jobs=4 and jobs=1"
 
 # Snapshot-resume equivalence gate: run to C, snapshot, resume into a
 # fresh twin — stats, shaper grant ledgers, audit logs, trace events,
