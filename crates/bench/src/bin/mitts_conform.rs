@@ -99,24 +99,27 @@ fn main() -> ExitCode {
     match run_fuzz(args.seed, cases, |i, stats| {
         if (i + 1) % 25 == 0 || i + 1 == cases {
             println!(
-                "  {}/{} cases clean ({} grants, {} denied cycles, {} dispatches, {} picks checked)",
+                "  {}/{} cases clean ({} grants, {} denied cycles, {} dispatches, {} picks, {} netcalc grants checked)",
                 i + 1,
                 cases,
                 stats.grants_checked,
                 stats.denied_cycles_checked,
                 stats.dispatches_checked,
-                stats.picks_checked
+                stats.picks_checked,
+                stats.netcalc_grants_checked
             );
         }
     }) {
         Ok(stats) => {
             println!(
-                "  all {} cases clean; totals: {} grants, {} denied cycles, {} dispatches, {} picks",
+                "  all {} cases clean; totals: {} grants, {} denied cycles, {} dispatches, {} picks, {} netcalc grants, {} stall episodes",
                 stats.cases,
                 stats.grants_checked,
                 stats.denied_cycles_checked,
                 stats.dispatches_checked,
-                stats.picks_checked
+                stats.picks_checked,
+                stats.netcalc_grants_checked,
+                stats.stall_episodes_checked
             );
         }
         Err(f) => {

@@ -28,15 +28,15 @@ use std::rc::Rc;
 use mitts_core::{BinConfig, BinSpec, MittsShaper};
 use mitts_sched::make_baseline;
 use mitts_sim::obs::{Breach, MetricsRegistry, SloEvaluator, SloSpec, SloVerdict};
-use mitts_sim::shaper::StaticRateShaper;
+use mitts_sim::shaper::{CbsShaper, RegulatorShaper, StaticRateShaper};
 use mitts_sim::system::{Engine, System, SystemBuilder};
 use mitts_sim::trace::OpenLoopTrace;
 use mitts_sim::types::Cycle;
 
 use crate::pool::{Experiment, PoolTelemetry};
 use crate::runner::{
-    base_for, engine_from_env, seed_for, shared_config, ShaperSpec, ONE_GBS_INTERVAL,
-    REPLENISH_PERIOD,
+    base_for, cbs_1gbs, engine_from_env, regulator_1gbs, seed_for, shared_config, ShaperSpec,
+    ONE_GBS_INTERVAL, REPLENISH_PERIOD,
 };
 use crate::table::Table;
 
@@ -146,22 +146,27 @@ pub fn mitts_1gbs() -> BinConfig {
 
 /// The configuration matrix: shaper configs × schedulers. `smoke`
 /// trims to a 2×2 matrix (still ≥2 shaper configs and ≥2 schedulers,
-/// the report's minimum coverage).
+/// the report's minimum coverage); the full matrix adds the rate-matched
+/// static/CBS/regulator shapers and the BLISS scheduler so MITTS is
+/// compared against the whole shaper family under every scheduler.
 pub fn matrix(smoke: bool) -> Vec<CapacityCell> {
     let mut shapers = vec![
         ("unshaped".to_owned(), ShaperSpec::Unlimited),
         ("mitts-1gbs".to_owned(), ShaperSpec::Mitts(mitts_1gbs())),
     ];
+    let mut schedulers = vec!["FR-FCFS", "TCM"];
     if !smoke {
         shapers.push((
             "static-1gbs".to_owned(),
             ShaperSpec::StaticRate { interval: ONE_GBS_INTERVAL },
         ));
+        shapers.push(("cbs-1gbs".to_owned(), cbs_1gbs()));
+        shapers.push(("regulator-1gbs".to_owned(), regulator_1gbs()));
+        schedulers.push("BLISS");
     }
-    let schedulers = ["FR-FCFS", "TCM"];
     let mut cells = Vec::new();
     for (name, spec) in &shapers {
-        for sched in schedulers {
+        for &sched in &schedulers {
             cells.push(CapacityCell {
                 shaper_name: name.clone(),
                 scheduler: sched.to_owned(),
@@ -231,6 +236,17 @@ pub fn build_probe(
             ShaperSpec::Mitts(bin_cfg) => {
                 let s = Rc::new(RefCell::new(MittsShaper::new(bin_cfg.clone())));
                 b = b.shaper(core, s as Rc<RefCell<dyn mitts_sim::shaper::SourceShaper>>);
+            }
+            ShaperSpec::Cbs { idle_slope, send_cost, hi_credit, lo_credit } => {
+                b = b.shaper(
+                    core,
+                    Rc::new(RefCell::new(CbsShaper::new(
+                        *idle_slope, *send_cost, *hi_credit, *lo_credit,
+                    ))),
+                );
+            }
+            ShaperSpec::Regulator { budget, window } => {
+                b = b.shaper(core, Rc::new(RefCell::new(RegulatorShaper::new(*budget, *window))));
             }
         }
     }
@@ -828,12 +844,24 @@ mod tests {
         let smoke = matrix(true);
         assert_eq!(smoke.len(), 4, "2 shaper configs x 2 schedulers");
         let full = matrix(false);
-        assert_eq!(full.len(), 6);
+        assert_eq!(full.len(), 15, "5 shaper configs x 3 schedulers");
         let shapers: std::collections::BTreeSet<_> =
             smoke.iter().map(|c| c.shaper_name.as_str()).collect();
         let scheds: std::collections::BTreeSet<_> =
             smoke.iter().map(|c| c.scheduler.as_str()).collect();
         assert!(shapers.len() >= 2 && scheds.len() >= 2);
+        // The full matrix must cover the whole shaper family under BLISS
+        // as well as the rank/streak baselines.
+        let full_shapers: std::collections::BTreeSet<_> =
+            full.iter().map(|c| c.shaper_name.as_str()).collect();
+        let full_scheds: std::collections::BTreeSet<_> =
+            full.iter().map(|c| c.scheduler.as_str()).collect();
+        for s in ["unshaped", "mitts-1gbs", "static-1gbs", "cbs-1gbs", "regulator-1gbs"] {
+            assert!(full_shapers.contains(s), "missing shaper {s}");
+        }
+        for s in ["FR-FCFS", "TCM", "BLISS"] {
+            assert!(full_scheds.contains(s), "missing scheduler {s}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Conformance harness: runs live simulations under the differential
 //! oracles of `mitts_sim::oracle` (shaper spec, DDR3 legality, FR-FCFS
-//! pick legality) plus the runtime invariant auditor.
+//! pick legality, and network-calculus envelopes for the closed-form
+//! CBS/regulator shapers) plus the runtime invariant auditor.
 //!
 //! Three entry points, all used by the `mitts-conform` binary and the
 //! integration tests:
@@ -29,8 +30,11 @@ use mitts_sched::make_baseline;
 use mitts_sim::config::DramTimingCycles;
 use mitts_sim::mc::{DramView, Scheduler, Transaction};
 use mitts_sim::obs::{TraceEvent, TraceSink};
-use mitts_sim::oracle::{DramOracle, OracleViolation, PickOracle, PickPolicy, ShaperOracle};
+use mitts_sim::oracle::{
+    DramOracle, NetCalcOracle, NetCalcSpec, OracleViolation, PickOracle, PickPolicy, ShaperOracle,
+};
 use mitts_sim::rng::Rng;
+use mitts_sim::shaper::{CbsShaper, RegulatorShaper, SourceShaper};
 use mitts_sim::system::{Engine, SystemBuilder};
 use mitts_sim::trace::{StrideTrace, TraceSource};
 use mitts_sim::types::Cycle;
@@ -48,6 +52,9 @@ pub enum SchedulerKind {
     FrFcfs,
     /// Plain oldest-first.
     Fcfs,
+    /// Blacklisting scheduler (no declared pick policy — its picks depend
+    /// on dynamic blacklist state, so it gets structural checks only).
+    Bliss,
 }
 
 impl SchedulerKind {
@@ -56,6 +63,7 @@ impl SchedulerKind {
         match self {
             SchedulerKind::FrFcfs => "FR-FCFS",
             SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::Bliss => "BLISS",
         }
     }
 }
@@ -100,6 +108,102 @@ impl fmt::Display for WorkloadKind {
     }
 }
 
+/// One core's source shaper in a conformance case. MITTS cores are
+/// audited by the bin/credit [`ShaperOracle`]; CBS and regulator cores
+/// have closed-form arrival curves, so they are audited by the
+/// network-calculus oracle instead (curve conformance plus the
+/// analytical delay bound on every shaper stall episode).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreShaper {
+    /// A MITTS bin/credit configuration.
+    Mitts(BinConfig),
+    /// A TSN-style credit-based shaper ([`CbsShaper`] parameters).
+    Cbs {
+        /// Credit gained per idle cycle.
+        idle_slope: u64,
+        /// Credit spent per grant.
+        send_cost: u64,
+        /// Credit ceiling (>= 0).
+        hi_credit: i64,
+        /// Credit floor (<= 0).
+        lo_credit: i64,
+    },
+    /// A windowed bandwidth regulator ([`RegulatorShaper`] parameters).
+    Regulator {
+        /// Grants per window.
+        budget: u64,
+        /// Window length in cycles.
+        window: Cycle,
+    },
+}
+
+impl CoreShaper {
+    /// Instantiates the production shaper this case entry describes.
+    /// `method`/`policy` only apply to MITTS cores.
+    fn build(
+        &self,
+        method: FeedbackMethod,
+        policy: CreditPolicy,
+    ) -> Rc<RefCell<dyn SourceShaper>> {
+        match self {
+            CoreShaper::Mitts(cfg) => Rc::new(RefCell::new(
+                MittsShaper::new(cfg.clone()).with_method(method).with_policy(policy),
+            )),
+            CoreShaper::Cbs { idle_slope, send_cost, hi_credit, lo_credit } => Rc::new(
+                RefCell::new(CbsShaper::new(*idle_slope, *send_cost, *hi_credit, *lo_credit)),
+            ),
+            CoreShaper::Regulator { budget, window } => {
+                Rc::new(RefCell::new(RegulatorShaper::new(*budget, *window)))
+            }
+        }
+    }
+
+    /// The network-calculus spec for a closed-form shaper (`None` for
+    /// MITTS, whose refund feedback makes its curve load-dependent — the
+    /// bin/credit oracle covers it instead). The delay bound carries a
+    /// small slack over the shaper's worst-case recovery so boundary
+    /// effects of stall-episode bracketing cannot false-positive.
+    fn netcalc_spec(&self) -> Option<NetCalcSpec> {
+        match self {
+            CoreShaper::Mitts(_) => None,
+            CoreShaper::Cbs { idle_slope, send_cost, hi_credit, lo_credit } => {
+                let s = CbsShaper::new(*idle_slope, *send_cost, *hi_credit, *lo_credit);
+                let (num, den, burst) = s.arrival_curve();
+                let mut spec = NetCalcSpec::from_curve(num, den, burst);
+                if let Some(bound) = s.max_stall_bound() {
+                    spec = spec.with_delay_bound(bound + 2);
+                }
+                Some(spec)
+            }
+            CoreShaper::Regulator { budget, window } => {
+                let s = RegulatorShaper::new(*budget, *window);
+                let (num, den, burst) = s.arrival_curve();
+                let mut spec = NetCalcSpec::from_curve(num, den, burst);
+                if let Some(bound) = s.max_stall_bound() {
+                    spec = spec.with_delay_bound(bound + 1);
+                }
+                Some(spec)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CoreShaper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreShaper::Mitts(cfg) => {
+                write!(f, "{cfg} interval={}", cfg.spec().interval())
+            }
+            CoreShaper::Cbs { idle_slope, send_cost, hi_credit, lo_credit } => {
+                write!(f, "cbs(slope={idle_slope} cost={send_cost} hi={hi_credit} lo={lo_credit})")
+            }
+            CoreShaper::Regulator { budget, window } => {
+                write!(f, "regulator(budget={budget} window={window})")
+            }
+        }
+    }
+}
+
 /// A fully-specified conformance run: everything needed to reproduce it.
 #[derive(Debug, Clone)]
 pub struct ConformCase {
@@ -109,8 +213,8 @@ pub struct ConformCase {
     pub scheduler: SchedulerKind,
     /// Shared LLC size in bytes.
     pub llc_bytes: usize,
-    /// One MITTS configuration per core.
-    pub shapers: Vec<BinConfig>,
+    /// One source-shaper configuration per core.
+    pub shapers: Vec<CoreShaper>,
     /// LLC feedback method (same for every core).
     pub method: FeedbackMethod,
     /// Credit-spend policy (same for every core).
@@ -134,12 +238,8 @@ impl fmt::Display for ConformCase {
             self.cycles,
             self.salt,
         )?;
-        for (i, (cfg, w)) in self.shapers.iter().zip(&self.workloads).enumerate() {
-            write!(
-                f,
-                "\n  core{i}: shaper={cfg} interval={} workload={w}",
-                cfg.spec().interval()
-            )?;
+        for (i, (s, w)) in self.shapers.iter().zip(&self.workloads).enumerate() {
+            write!(f, "\n  core{i}: shaper={s} workload={w}")?;
         }
         Ok(())
     }
@@ -160,6 +260,11 @@ pub struct CaseReport {
     pub dispatches_checked: u64,
     /// Scheduler picks legality-checked.
     pub picks_checked: u64,
+    /// Grants checked against network-calculus arrival curves (CBS and
+    /// regulator cores only).
+    pub netcalc_grants_checked: u64,
+    /// Shaper stall episodes checked against analytical delay bounds.
+    pub stall_episodes_checked: u64,
 }
 
 impl CaseReport {
@@ -184,6 +289,9 @@ enum Mutation {
     SchedClaim(PickPolicy),
     /// Run a broken youngest-first scheduler that claims FR-FCFS.
     SchedBroken,
+    /// Bend every CBS/regulator core's network-calculus spec before
+    /// replay.
+    NetCalc(fn(&mut NetCalcSpec)),
 }
 
 /// Deliberately broken scheduler for mutation checks: services the
@@ -220,6 +328,7 @@ impl Scheduler for YoungestFirst {
 /// so conformance runs use constant memory regardless of length.
 struct OracleSink {
     shapers: Vec<ShaperOracle>,
+    netcalc: Vec<NetCalcOracle>,
     dram: DramOracle,
     picks: PickOracle,
 }
@@ -228,6 +337,9 @@ impl TraceSink for OracleSink {
     fn record(&mut self, ev: &TraceEvent) {
         for s in &mut self.shapers {
             s.on_event(ev);
+        }
+        for n in &mut self.netcalc {
+            n.on_event(ev);
         }
         self.dram.on_event(ev);
         self.picks.on_event(ev);
@@ -266,23 +378,36 @@ fn run_case_mutated(case: &ConformCase, mutation: Option<Mutation>) -> CaseRepor
         config.mc.channels,
     );
 
-    // Shapers: the spec is extracted from each real shaper *before* it is
-    // handed to the system, then (optionally) mutated.
-    let mut shaper_oracles = Vec::with_capacity(cores);
-    let mut shaper_handles = Vec::with_capacity(cores);
-    for (core, cfg) in case.shapers.iter().enumerate() {
-        let shaper =
-            MittsShaper::new(cfg.clone()).with_method(case.method).with_policy(case.policy);
-        let mut spec = shaper.oracle_spec();
-        if let Some(Mutation::Shaper(bend)) = mutation {
-            bend(&mut spec);
+    // Shapers: each oracle's spec is derived from the same parameters the
+    // real shaper is built from *before* it is handed to the system, then
+    // (optionally) mutated. MITTS cores go to the bin/credit oracle;
+    // CBS/regulator cores to the network-calculus oracle.
+    let mut shaper_oracles = Vec::new();
+    let mut netcalc_oracles = Vec::new();
+    let mut shaper_handles: Vec<Rc<RefCell<dyn SourceShaper>>> = Vec::with_capacity(cores);
+    for (core, cs) in case.shapers.iter().enumerate() {
+        if let CoreShaper::Mitts(cfg) = cs {
+            let shaper =
+                MittsShaper::new(cfg.clone()).with_method(case.method).with_policy(case.policy);
+            let mut spec = shaper.oracle_spec();
+            if let Some(Mutation::Shaper(bend)) = mutation {
+                bend(&mut spec);
+            }
+            shaper_oracles.push(ShaperOracle::new(core, spec));
+            shaper_handles.push(Rc::new(RefCell::new(shaper)));
+        } else {
+            let mut spec = cs.netcalc_spec().expect("closed-form shaper has a curve");
+            if let Some(Mutation::NetCalc(bend)) = mutation {
+                bend(&mut spec);
+            }
+            netcalc_oracles.push(NetCalcOracle::new(core, spec));
+            shaper_handles.push(cs.build(case.method, case.policy));
         }
-        shaper_oracles.push(ShaperOracle::new(core, spec));
-        shaper_handles.push(Rc::new(RefCell::new(shaper)));
     }
 
     let sink = Rc::new(RefCell::new(OracleSink {
         shapers: shaper_oracles,
+        netcalc: netcalc_oracles,
         dram: dram_oracle,
         picks: PickOracle::new(claimed),
     }));
@@ -293,7 +418,7 @@ fn run_case_mutated(case: &ConformCase, mutation: Option<Mutation>) -> CaseRepor
         .log_pick_snapshots(true);
     for (core, (w, shaper)) in case.workloads.iter().zip(&shaper_handles).enumerate() {
         b = b.trace(core, w.build(core, case.salt));
-        b = b.shaper(core, Rc::clone(shaper) as Rc<RefCell<dyn mitts_sim::shaper::SourceShaper>>);
+        b = b.shaper(core, Rc::clone(shaper));
     }
     let mut sys = b.build();
     sys.run_cycles(case.cycles);
@@ -311,6 +436,14 @@ fn run_case_mutated(case: &ConformCase, mutation: Option<Mutation>) -> CaseRepor
         grants += o.grants_checked();
         denied += o.denied_cycles_checked();
     }
+    let mut nc_grants = 0;
+    let mut nc_episodes = 0;
+    for o in &mut sink.netcalc {
+        o.finish(end);
+        violations.extend_from_slice(o.violations());
+        nc_grants += o.grants_checked();
+        nc_episodes += o.episodes_checked();
+    }
     violations.extend_from_slice(sink.dram.violations());
     violations.extend_from_slice(sink.picks.violations());
     CaseReport {
@@ -320,6 +453,8 @@ fn run_case_mutated(case: &ConformCase, mutation: Option<Mutation>) -> CaseRepor
         denied_cycles_checked: denied,
         dispatches_checked: sink.dram.dispatches_checked(),
         picks_checked: sink.picks.picks_checked(),
+        netcalc_grants_checked: nc_grants,
+        stall_episodes_checked: nc_episodes,
     }
 }
 
@@ -331,7 +466,10 @@ fn run_case_mutated(case: &ConformCase, mutation: Option<Mutation>) -> CaseRepor
 /// engine equivalence, not spec conformance) and renders everything the
 /// run exposes into one comparable digest: final cycle, skip totals
 /// folded out, the all-integer stats digest, the audit log, and every
-/// core's shaper grant ledger, live credits, and counters.
+/// core's full shaper state — the trait-level credit audit, stall
+/// counter, and the raw snapshot encoding (which for MITTS includes the
+/// per-bin grant ledger, live credits, and every counter). Works for any
+/// [`CoreShaper`] kind, not just MITTS.
 fn engine_digest(case: &ConformCase, engine: Engine) -> String {
     use std::fmt::Write;
     let cores = case.shapers.len();
@@ -339,13 +477,11 @@ fn engine_digest(case: &ConformCase, engine: Engine) -> String {
     let mut b = SystemBuilder::new(config)
         .scheduler(make_baseline(case.scheduler.name(), cores).expect("known scheduler"))
         .engine(engine);
-    let mut shaper_handles = Vec::with_capacity(cores);
-    for (core, (w, cfg)) in case.workloads.iter().zip(&case.shapers).enumerate() {
-        let shaper = Rc::new(RefCell::new(
-            MittsShaper::new(cfg.clone()).with_method(case.method).with_policy(case.policy),
-        ));
+    let mut shaper_handles: Vec<Rc<RefCell<dyn SourceShaper>>> = Vec::with_capacity(cores);
+    for (core, (w, cs)) in case.workloads.iter().zip(&case.shapers).enumerate() {
+        let shaper = cs.build(case.method, case.policy);
         b = b.trace(core, w.build(core, case.salt));
-        b = b.shaper(core, Rc::clone(&shaper) as Rc<RefCell<dyn mitts_sim::shaper::SourceShaper>>);
+        b = b.shaper(core, Rc::clone(&shaper));
         shaper_handles.push(shaper);
     }
     let mut sys = b.build();
@@ -356,12 +492,15 @@ fn engine_digest(case: &ConformCase, engine: Engine) -> String {
     writeln!(out, "audit={:?}", sys.audit_log()).unwrap();
     for (core, s) in shaper_handles.iter().enumerate() {
         let s = s.borrow();
+        let mut enc = mitts_sim::snapshot::Enc::new();
+        s.save_state(&mut enc);
         writeln!(
             out,
-            "core{core}: grants_per_bin={:?} live_credits={:?} counters={:?}",
-            s.grants_per_bin(),
-            s.live_credits(),
-            s.counters()
+            "core{core}: shaper={} stalls={} audit={:?} state={:02x?}",
+            s.name(),
+            s.stall_cycles(),
+            s.credit_audit().bins,
+            enc.into_bytes()
         )
         .unwrap();
     }
@@ -402,7 +541,8 @@ pub fn engine_differential(case: &ConformCase) -> Result<(), String> {
 /// Outcome of one seeded mutation.
 #[derive(Debug, Clone)]
 pub struct MutationResult {
-    /// Which oracle the mutation targets (`shaper` / `dram` / `sched`).
+    /// Which oracle the mutation targets (`shaper` / `dram` / `sched` /
+    /// `netcalc`).
     pub oracle: &'static str,
     /// Human-readable description of the perturbation.
     pub name: &'static str,
@@ -417,7 +557,9 @@ pub struct MutationResult {
 /// replenish boundaries, bank conflicts, and row hits to all occur.
 fn mutation_case() -> ConformCase {
     let spec = BinSpec::paper_default();
-    let cfg = |credits: Vec<u32>, period| BinConfig::new(spec, credits, period).expect("valid");
+    let cfg = |credits: Vec<u32>, period| {
+        CoreShaper::Mitts(BinConfig::new(spec, credits, period).expect("valid"))
+    };
     ConformCase {
         salt: 11,
         scheduler: SchedulerKind::FrFcfs,
@@ -425,6 +567,29 @@ fn mutation_case() -> ConformCase {
         shapers: vec![
             cfg(vec![3, 2, 1, 1, 1, 1, 1, 1, 1, 4], 2_000),
             cfg(vec![0, 0, 2, 2, 1, 1, 1, 1, 1, 6], 3_000),
+        ],
+        method: FeedbackMethod::DeductThenRefund,
+        policy: CreditPolicy::CheapestEligible,
+        workloads: vec![
+            WorkloadKind::Bench(Benchmark::Libquantum),
+            WorkloadKind::Bench(Benchmark::Mcf),
+        ],
+        cycles: 40_000,
+    }
+}
+
+/// The netcalc twin of [`mutation_case`]: one CBS core and one regulator
+/// core, both tight enough that the memory-heavy workloads bounce off
+/// them constantly — so the run exercises curve conformance, stall
+/// episodes, and outstanding-grant tracking, and a bent spec cannot hide.
+fn netcalc_mutation_case() -> ConformCase {
+    ConformCase {
+        salt: 29,
+        scheduler: SchedulerKind::FrFcfs,
+        llc_bytes: 64 << 10,
+        shapers: vec![
+            CoreShaper::Cbs { idle_slope: 1, send_cost: 40, hi_credit: 80, lo_credit: -40 },
+            CoreShaper::Regulator { budget: 25, window: 2_000 },
         ],
         method: FeedbackMethod::DeductThenRefund,
         policy: CreditPolicy::CheapestEligible,
@@ -455,7 +620,19 @@ pub fn mutation_checks() -> Vec<MutationResult> {
     assert!(baseline.grants_checked > 0 && baseline.denied_cycles_checked > 0);
     assert!(baseline.dispatches_checked > 0 && baseline.picks_checked > 0);
 
-    let mutations: [(&'static str, &'static str, Mutation); 9] = [
+    // The netcalc mutations perturb the CBS/regulator twin case (MITTS
+    // cores have no closed-form curve to bend); its baseline must be
+    // clean and must actually exercise the checks being bent.
+    let netcalc_case = netcalc_mutation_case();
+    let nc_baseline = run_case(&netcalc_case);
+    assert!(
+        nc_baseline.clean(),
+        "netcalc baseline case must be clean before mutating: {:?}",
+        nc_baseline.violations
+    );
+    assert!(nc_baseline.netcalc_grants_checked > 0 && nc_baseline.stall_episodes_checked > 0);
+
+    let mutations: [(&'static str, &'static str, Mutation); 13] = [
         (
             "shaper",
             "coarse-bin credits reduced (K9: 4 -> 1)",
@@ -472,12 +649,30 @@ pub fn mutation_checks() -> Vec<MutationResult> {
         ("sched", "FR-FCFS audited as plain FCFS", Mutation::SchedClaim(PickPolicy::Fcfs)),
         ("sched", "FCFS audited as FR-FCFS", Mutation::SchedClaim(PickPolicy::FrFcfs)),
         ("sched", "broken youngest-first scheduler claiming FR-FCFS", Mutation::SchedBroken),
+        ("netcalc", "arrival rate understated (halved)", Mutation::NetCalc(|s| s.rate_num /= 2)),
+        ("netcalc", "burst allowance zeroed", Mutation::NetCalc(|s| s.burst = 0)),
+        (
+            "netcalc",
+            "delay bound tightened to zero",
+            Mutation::NetCalc(|s| s.delay_bound = Some(0)),
+        ),
+        (
+            "netcalc",
+            "backlog bound tightened to zero",
+            Mutation::NetCalc(|s| s.backlog_bound = Some(0)),
+        ),
     ];
 
     mutations
         .iter()
         .map(|&(oracle, name, m)| {
-            let mut case = case.clone();
+            let mut case = if oracle == "netcalc" {
+                // The curve mutations need cores the netcalc oracle
+                // actually audits.
+                netcalc_case.clone()
+            } else {
+                case.clone()
+            };
             if let Mutation::SchedClaim(PickPolicy::FrFcfs) = m {
                 // This one perturbs the FCFS arm instead.
                 case.scheduler = SchedulerKind::Fcfs;
@@ -504,7 +699,11 @@ pub fn mutation_checks() -> Vec<MutationResult> {
 /// Draws one random-but-valid conformance case.
 pub fn fuzz_case(rng: &mut Rng) -> ConformCase {
     let cores = rng.range(1, 4) as usize;
-    let scheduler = if rng.chance(0.5) { SchedulerKind::FrFcfs } else { SchedulerKind::Fcfs };
+    let scheduler = match rng.below(5) {
+        0 | 1 => SchedulerKind::FrFcfs,
+        2 | 3 => SchedulerKind::Fcfs,
+        _ => SchedulerKind::Bliss,
+    };
     let llc_bytes = [64 << 10, 256 << 10, 1 << 20][rng.below(3) as usize];
     let method = match rng.below(3) {
         0 => FeedbackMethod::DeductThenRefund,
@@ -519,20 +718,44 @@ pub fn fuzz_case(rng: &mut Rng) -> ConformCase {
     let interval = [5, 10, 20][rng.below(3) as usize];
     let spec = BinSpec::new(10, interval);
     let shapers = (0..cores)
-        .map(|_| {
-            let mut credits = vec![0u32; 10];
-            for c in credits.iter_mut() {
-                if rng.chance(0.4) {
-                    *c = rng.below(12) as u32;
+        .map(|_| match rng.below(8) {
+            // Closed-form shapers (audited by the netcalc oracle). The
+            // slope/budget floors keep every draw live — a shaper that
+            // can never recover credit starves its core and the watchdog
+            // would rightly flag the stall.
+            0 => {
+                let send_cost = 8 * rng.range(1, 6);
+                CoreShaper::Cbs {
+                    idle_slope: rng.range(1, 3),
+                    send_cost,
+                    hi_credit: (send_cost * rng.range(1, 3)) as i64,
+                    lo_credit: -((send_cost * rng.range(0, 1)) as i64),
                 }
             }
-            if credits.iter().all(|&c| c == 0) {
-                // A zero-credit shaper starves its core forever; the
-                // watchdog would rightly flag that as a stall.
-                credits[9] = 2;
+            1 => CoreShaper::Regulator {
+                budget: rng.range(4, 40),
+                window: rng.range(800, 4_000),
+            },
+            // MITTS bin/credit configurations (audited by the shaper
+            // oracle).
+            _ => {
+                let mut credits = vec![0u32; 10];
+                for c in credits.iter_mut() {
+                    if rng.chance(0.4) {
+                        *c = rng.below(12) as u32;
+                    }
+                }
+                if credits.iter().all(|&c| c == 0) {
+                    // A zero-credit shaper starves its core forever; the
+                    // watchdog would rightly flag that as a stall.
+                    credits[9] = 2;
+                }
+                let period = rng.range(500, 8_000);
+                CoreShaper::Mitts(
+                    BinConfig::new(spec, credits, period)
+                        .expect("credits < K_MAX by construction"),
+                )
             }
-            let period = rng.range(500, 8_000);
-            BinConfig::new(spec, credits, period).expect("credits < K_MAX by construction")
         })
         .collect();
     let workloads = (0..cores)
@@ -591,6 +814,10 @@ pub struct FuzzStats {
     pub dispatches_checked: u64,
     /// Total scheduler picks legality-checked.
     pub picks_checked: u64,
+    /// Total grants checked against network-calculus arrival curves.
+    pub netcalc_grants_checked: u64,
+    /// Total stall episodes checked against analytical delay bounds.
+    pub stall_episodes_checked: u64,
 }
 
 /// Runs `cases` fuzzed conformance cases from `seed`. Deterministic:
@@ -661,6 +888,8 @@ pub fn run_fuzz(
         stats.denied_cycles_checked += report.denied_cycles_checked;
         stats.dispatches_checked += report.dispatches_checked;
         stats.picks_checked += report.picks_checked;
+        stats.netcalc_grants_checked += report.netcalc_grants_checked;
+        stats.stall_episodes_checked += report.stall_episodes_checked;
         progress(index, &stats);
     }
     Ok(stats)
@@ -718,12 +947,17 @@ pub fn shrink_by(mut case: ConformCase, fails: impl Fn(&ConformCase) -> bool) ->
             }
         }
         // Simpler shapers: open a core's shaper fully (keeps the core but
-        // removes its shaping from the picture).
+        // removes its shaping from the picture). CBS/regulator cores
+        // reduce to an open MITTS config, which also removes them from
+        // the netcalc oracle's jurisdiction.
         for i in 0..case.shapers.len() {
-            let open = BinConfig::unlimited(
-                case.shapers[i].spec(),
-                case.shapers[i].replenish_period(),
-            );
+            let open = match &case.shapers[i] {
+                CoreShaper::Mitts(cfg) => CoreShaper::Mitts(BinConfig::unlimited(
+                    cfg.spec(),
+                    cfg.replenish_period(),
+                )),
+                _ => CoreShaper::Mitts(BinConfig::unlimited(BinSpec::paper_default(), 10_000)),
+            };
             if case.shapers[i] != open {
                 let mut c = case.clone();
                 c.shapers[i] = open;
@@ -756,7 +990,9 @@ pub struct WorkloadCheck {
 /// the scheduler sees real contention, under active shapers.
 fn suite_case(bench: Benchmark, cycles: Cycle) -> ConformCase {
     let spec = BinSpec::paper_default();
-    let shaper = |credits: Vec<u32>, period| BinConfig::new(spec, credits, period).expect("valid");
+    let shaper = |credits: Vec<u32>, period| {
+        CoreShaper::Mitts(BinConfig::new(spec, credits, period).expect("valid"))
+    };
     ConformCase {
         salt: 23,
         scheduler: SchedulerKind::FrFcfs,
@@ -824,9 +1060,21 @@ mod tests {
     }
 
     #[test]
+    fn netcalc_case_baseline_is_clean_and_exercises_every_check() {
+        let report = run_case(&netcalc_mutation_case());
+        assert!(report.clean(), "{:?}", report.violations);
+        // Both closed-form cores grant through the netcalc oracle, and
+        // the shapers are tight enough that stall episodes occur.
+        assert!(report.netcalc_grants_checked > 50, "{report:?}");
+        assert!(report.stall_episodes_checked > 10, "{report:?}");
+        // No MITTS cores in this case, so the bin/credit oracle is idle.
+        assert_eq!(report.grants_checked, 0, "{report:?}");
+    }
+
+    #[test]
     fn every_seeded_mutation_is_detected() {
         let results = mutation_checks();
-        for oracle in ["shaper", "dram", "sched"] {
+        for oracle in ["shaper", "dram", "sched", "netcalc"] {
             assert!(
                 results.iter().filter(|r| r.oracle == oracle).count() >= 3,
                 "need at least three {oracle} mutations"
@@ -851,6 +1099,54 @@ mod tests {
     #[test]
     fn engine_differential_is_clean_on_the_mutation_case() {
         engine_differential(&mutation_case()).expect("engines must agree bit for bit");
+    }
+
+    /// One fixed BLISS + CBS + regulator + MITTS mix, byte-diffed across
+    /// naive/fast/event: the new baseline scheduler and both closed-form
+    /// shapers must be bit-exact in every engine, including the raw
+    /// shaper snapshot bytes in the digest.
+    fn bliss_cbs_case() -> ConformCase {
+        ConformCase {
+            salt: 41,
+            scheduler: SchedulerKind::Bliss,
+            llc_bytes: 256 << 10,
+            shapers: vec![
+                CoreShaper::Cbs { idle_slope: 1, send_cost: 32, hi_credit: 64, lo_credit: -32 },
+                CoreShaper::Regulator { budget: 30, window: 2_500 },
+                CoreShaper::Mitts(
+                    BinConfig::new(
+                        BinSpec::paper_default(),
+                        vec![2, 2, 1, 1, 1, 1, 1, 1, 1, 5],
+                        3_000,
+                    )
+                    .expect("valid"),
+                ),
+            ],
+            method: FeedbackMethod::DeductThenRefund,
+            policy: CreditPolicy::CheapestEligible,
+            workloads: vec![
+                WorkloadKind::Bench(Benchmark::Libquantum),
+                WorkloadKind::Bench(Benchmark::Mcf),
+                WorkloadKind::Bench(Benchmark::Omnetpp),
+            ],
+            cycles: 30_000,
+        }
+    }
+
+    #[test]
+    fn engine_differential_is_clean_on_the_bliss_cbs_case() {
+        engine_differential(&bliss_cbs_case()).expect("engines must agree bit for bit");
+    }
+
+    #[test]
+    fn bliss_cbs_case_is_clean_under_the_oracles() {
+        // BLISS has no declared pick policy (structural checks only), but
+        // the netcalc and DRAM oracles still audit the run fully.
+        let report = run_case(&bliss_cbs_case());
+        assert!(report.clean(), "{:?}", report.violations);
+        assert!(report.netcalc_grants_checked > 0, "{report:?}");
+        assert!(report.grants_checked > 0, "{report:?}");
+        assert!(report.dispatches_checked > 0, "{report:?}");
     }
 
     #[test]

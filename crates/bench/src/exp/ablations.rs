@@ -332,6 +332,25 @@ mod tests {
     }
 
     #[test]
+    fn fifo_depth_changes_smoothing_behaviour() {
+        // §III-C regression: the depth knob must actually bound the
+        // smoothing FIFO. With controller backpressure wired into the
+        // issue stage, a depth-4 and a depth-64 FIFO absorb very
+        // different bursts on the all-cores-bursty workload, so the
+        // shallowest and deepest rows must not be byte-identical.
+        let t = fifo_depths(&Scale::smoke());
+        let rows = t.rows();
+        let (first, last) = (&rows[0], &rows[rows.len() - 1]);
+        assert!(
+            first[1..] != last[1..],
+            "depth {} and depth {} produced identical smoothing results: {:?}",
+            first[0],
+            last[0],
+            first
+        );
+    }
+
+    #[test]
     fn congestion_guard_reduces_queue_pressure() {
         let t = congestion_feedback(&Scale::smoke());
         let base: f64 = t.rows()[0][3].parse().unwrap();

@@ -14,8 +14,8 @@ use mitts_tuner::{GeneticTuner, Objective, OnlineTuner};
 use mitts_workloads::WorkloadId;
 
 use crate::runner::{
-    alone_profiles, build_shared, mitts_fitness, run_shared, s_avg, s_max, slowdowns_vs_alone,
-    AloneProfile, Scale, ShaperSpec, REPLENISH_PERIOD,
+    alone_profiles, build_shared, cbs_1gbs, mitts_fitness, regulator_1gbs, run_shared, s_avg,
+    s_max, slowdowns_vs_alone, AloneProfile, Scale, ShaperSpec, REPLENISH_PERIOD,
 };
 use crate::table::{f3, Table};
 
@@ -165,6 +165,23 @@ pub fn compare_workload(
         });
     }
 
+    // Alternative source shapers (FR-FCFS at the controller, like the
+    // MITTS arms): the TSN credit-based shaper and the window regulator,
+    // both rate-matched to the 1 GB/s static cap. They bound the same
+    // long-run bandwidth as static allocation but with different burst
+    // envelopes, isolating how much of MITTS's edge comes from
+    // distribution shaping rather than rate capping.
+    for (label, spec) in [("CBS-1gbs", cbs_1gbs()), ("REG-1gbs", regulator_1gbs())] {
+        let shapers = vec![spec; cores];
+        let m = run_shared(&benches, llc_bytes, "FR-FCFS", &shapers, salt, scale);
+        let sd = slowdowns_vs_alone(&m, &alone);
+        results.push(PolicyResult {
+            policy: label.to_owned(),
+            s_avg: s_avg(&sd),
+            s_max: s_max(&sd),
+        });
+    }
+
     // MITTS variants (FR-FCFS at the controller, shaped sources).
     for objective in [Objective::Throughput, Objective::Fairness] {
         if variants.offline {
@@ -231,7 +248,10 @@ mod tests {
             MittsVariants::offline_only(),
             &Scale::smoke(),
         );
-        assert!(c.results.len() >= 8, "6 baselines + 2 MITTS rows");
+        assert!(c.results.len() >= 11, "7 baselines + CBS/REG + 2 MITTS rows");
+        for p in ["BLISS", "CBS-1gbs", "REG-1gbs"] {
+            assert!(c.policy(p).is_some(), "missing policy row {p}");
+        }
         for r in &c.results {
             assert!(r.s_avg.is_finite() && r.s_avg >= 0.8, "{:?}", r);
             assert!(r.s_max >= r.s_avg - 1e-9, "{:?}", r);

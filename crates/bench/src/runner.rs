@@ -26,7 +26,7 @@ use std::rc::Rc;
 use mitts_core::{BinConfig, MittsShaper};
 use mitts_sched::make_baseline;
 use mitts_sim::config::{CacheConfig, SystemConfig};
-use mitts_sim::shaper::StaticRateShaper;
+use mitts_sim::shaper::{CbsShaper, RegulatorShaper, StaticRateShaper};
 use mitts_sim::system::{Engine, System, SystemBuilder};
 use mitts_sim::types::Cycle;
 use mitts_sim::StallReport;
@@ -159,6 +159,24 @@ pub enum ShaperSpec {
     },
     /// A MITTS shaper with the given configuration.
     Mitts(BinConfig),
+    /// TSN credit-based shaper (802.1Qav CBS).
+    Cbs {
+        /// Credit units accrued per cycle.
+        idle_slope: u64,
+        /// Credit units spent per grant.
+        send_cost: u64,
+        /// Credit ceiling (banked burst allowance).
+        hi_credit: i64,
+        /// Credit floor (post-grant deficit clamp).
+        lo_credit: i64,
+    },
+    /// ETM2-style per-window bandwidth regulator (MemGuard family).
+    Regulator {
+        /// Grants per regulation window.
+        budget: u64,
+        /// Window length in cycles.
+        window: Cycle,
+    },
 }
 
 /// The replenishment period used throughout the experiments.
@@ -167,6 +185,25 @@ pub const REPLENISH_PERIOD: Cycle = 10_000;
 /// Static interval equivalent to 1 GB/s of 64 B requests at 2.4 GHz
 /// (§IV-C's bandwidth cap): one request per ~154 cycles.
 pub const ONE_GBS_INTERVAL: Cycle = 154;
+
+/// CBS cell matched to the 1 GB/s cap: slope 1 credit/cycle, grant cost
+/// [`ONE_GBS_INTERVAL`], two grants bankable above zero and one grant of
+/// deficit below (burst of 4 per its arrival curve).
+pub fn cbs_1gbs() -> ShaperSpec {
+    ShaperSpec::Cbs {
+        idle_slope: 1,
+        send_cost: ONE_GBS_INTERVAL,
+        hi_credit: 2 * ONE_GBS_INTERVAL as i64,
+        lo_credit: -(ONE_GBS_INTERVAL as i64),
+    }
+}
+
+/// Regulator cell matched to the 1 GB/s cap: the same long-run rate as
+/// [`ONE_GBS_INTERVAL`] delivered as a per-[`REPLENISH_PERIOD`] quota
+/// (maximally bursty within the window).
+pub fn regulator_1gbs() -> ShaperSpec {
+    ShaperSpec::Regulator { budget: REPLENISH_PERIOD / ONE_GBS_INTERVAL, window: REPLENISH_PERIOD }
+}
 
 /// Deterministic trace seed for core `i` of experiment `salt`.
 pub fn seed_for(salt: u64, core: usize) -> u64 {
@@ -328,6 +365,19 @@ pub fn build_shared(
                 b = b.shaper(i, handle);
                 handles.push(Some(s));
             }
+            ShaperSpec::Cbs { idle_slope, send_cost, hi_credit, lo_credit } => {
+                b = b.shaper(
+                    i,
+                    Rc::new(RefCell::new(CbsShaper::new(
+                        *idle_slope, *send_cost, *hi_credit, *lo_credit,
+                    ))),
+                );
+                handles.push(None);
+            }
+            ShaperSpec::Regulator { budget, window } => {
+                b = b.shaper(i, Rc::new(RefCell::new(RegulatorShaper::new(*budget, *window))));
+                handles.push(None);
+            }
         }
     }
     (b.build(), handles)
@@ -345,6 +395,17 @@ pub fn install_shapers(sys: &mut System, shapers: &[ShaperSpec]) {
                 let mut shaper = MittsShaper::new(cfg.clone());
                 shaper.reconfigure(sys.now(), cfg.clone());
                 sys.set_shaper(i, Rc::new(RefCell::new(shaper)));
+            }
+            ShaperSpec::Cbs { idle_slope, send_cost, hi_credit, lo_credit } => {
+                sys.set_shaper(
+                    i,
+                    Rc::new(RefCell::new(CbsShaper::new(
+                        *idle_slope, *send_cost, *hi_credit, *lo_credit,
+                    ))),
+                );
+            }
+            ShaperSpec::Regulator { budget, window } => {
+                sys.set_shaper(i, Rc::new(RefCell::new(RegulatorShaper::new(*budget, *window))));
             }
         }
     }

@@ -21,7 +21,7 @@ use mitts_sim::obs::json::{parse, push_escaped, JsonValue};
 use mitts_sim::obs::{STAGE_COUNT, STAGE_NAMES};
 
 /// Stall-reason labels in display order (matches `StallReason::label`).
-const REASONS: [&str; 4] = ["shaper", "throttle", "fault", "ports"];
+const REASONS: [&str; 5] = ["shaper", "throttle", "fault", "ports", "backpressure"];
 
 /// One closed (or still-open) throttling episode.
 #[derive(Debug, Clone, PartialEq, Eq)]

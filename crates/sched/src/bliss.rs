@@ -1,0 +1,258 @@
+//! The Blacklisting memory scheduler (after Subramanian et al., BLISS).
+//!
+//! BLISS observes that separating *interference-causing* applications
+//! from the rest needs almost no state: the controller counts how many
+//! requests it served **consecutively** from the same application, and
+//! once the streak crosses a threshold that application is *blacklisted*.
+//! Picks prefer non-blacklisted requests (FR-FCFS order within each
+//! class), and the blacklist is cleared wholesale every clearing
+//! interval so nobody starves. Total state: one streak counter plus one
+//! bit per core — the paper's foil to rank-based schedulers like TCM,
+//! and a natural state-light baseline next to MITTS's source shaping.
+
+use mitts_sim::mc::{CoreSignals, DramView, Scheduler, SourceControl, Transaction};
+use mitts_sim::types::Cycle;
+
+use crate::common::ranked_pick;
+
+/// The BLISS policy.
+#[derive(Debug, Clone)]
+pub struct Bliss {
+    cores: usize,
+    /// Consecutive served requests from one core before it is
+    /// blacklisted (the paper uses 4).
+    blacklist_threshold: u32,
+    /// Interval at which every blacklist bit is cleared (the paper uses
+    /// 10 000 cycles).
+    clearing_interval: Cycle,
+    next_clear: Cycle,
+    /// Core of the most recently served request, if any.
+    last_core: Option<usize>,
+    /// Length of the current consecutive-service streak.
+    streak: u32,
+    blacklisted: Vec<bool>,
+}
+
+impl Bliss {
+    /// Creates BLISS for `cores` sharers with the paper's parameters
+    /// (streak threshold 4, 10 k-cycle clearing interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize) -> Self {
+        Bliss::with_params(cores, 4, 10_000)
+    }
+
+    /// Creates BLISS with an explicit streak threshold and clearing
+    /// interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`, `blacklist_threshold == 0`, or
+    /// `clearing_interval == 0`.
+    pub fn with_params(cores: usize, blacklist_threshold: u32, clearing_interval: Cycle) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(blacklist_threshold > 0, "threshold must be positive");
+        assert!(clearing_interval > 0, "clearing interval must be positive");
+        Bliss {
+            cores,
+            blacklist_threshold,
+            clearing_interval,
+            next_clear: clearing_interval,
+            last_core: None,
+            streak: 0,
+            blacklisted: vec![false; cores],
+        }
+    }
+
+    /// Which cores are currently blacklisted. Exposed for tests and
+    /// experiments.
+    pub fn blacklisted(&self) -> &[bool] {
+        &self.blacklisted
+    }
+}
+
+impl Scheduler for Bliss {
+    fn name(&self) -> &str {
+        "BLISS"
+    }
+
+    fn pick(&mut self, _now: Cycle, pending: &[Transaction], view: &DramView<'_>)
+        -> Option<usize> {
+        // Non-blacklisted requests first; FR-FCFS (row hit, then age)
+        // within each class.
+        let blacklisted = &self.blacklisted;
+        ranked_pick(pending, view, |core| usize::from(blacklisted[core.index()]))
+    }
+
+    fn on_complete(&mut self, _now: Cycle, txn: &Transaction, _row_hit: bool) {
+        let core = txn.core.index();
+        if self.last_core == Some(core) {
+            self.streak += 1;
+        } else {
+            self.last_core = Some(core);
+            self.streak = 1;
+        }
+        if self.streak >= self.blacklist_threshold {
+            self.blacklisted[core] = true;
+        }
+    }
+
+    fn tick(&mut self, now: Cycle, _signals: &[CoreSignals], _ctl: &mut SourceControl) {
+        if now >= self.next_clear {
+            self.blacklisted.fill(false);
+            self.next_clear = now + self.clearing_interval;
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Between clearing boundaries every tick is a no-op; streak
+        // updates are event-driven (on_complete) and need no wake-up.
+        Some(self.next_clear.max(now + 1))
+    }
+
+    // `conformance_policy` stays `None` (the default): blacklist
+    // priority deliberately reorders across cores, so only structural
+    // pick legality applies.
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("bliss")
+    }
+
+    fn save_state(&self, enc: &mut mitts_sim::snapshot::Enc) {
+        enc.usize(self.cores);
+        enc.u32(self.blacklist_threshold);
+        enc.u64(self.clearing_interval);
+        enc.u64(self.next_clear);
+        enc.opt_u64(self.last_core.map(|c| c as u64));
+        enc.u32(self.streak);
+        for &b in &self.blacklisted {
+            enc.bool(b);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut mitts_sim::snapshot::Dec<'_>,
+    ) -> Result<(), mitts_sim::snapshot::SnapshotError> {
+        use mitts_sim::snapshot::SnapshotError;
+        let cores = dec.usize()?;
+        let threshold = dec.u32()?;
+        let interval = dec.u64()?;
+        if cores != self.cores
+            || threshold != self.blacklist_threshold
+            || interval != self.clearing_interval
+        {
+            return Err(SnapshotError::mismatch(
+                "BLISS scheduler parameters differ from the snapshotted ones",
+            ));
+        }
+        self.next_clear = dec.u64()?;
+        let last = dec.opt_u64()?;
+        if last.is_some_and(|c| c as usize >= self.cores) {
+            return Err(SnapshotError::corrupt("BLISS last-served core out of range"));
+        }
+        self.last_core = last.map(|c| c as usize);
+        self.streak = dec.u32()?;
+        for b in &mut self.blacklisted {
+            *b = dec.bool()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitts_sim::snapshot::{Dec, Enc};
+    use mitts_sim::types::{CoreId, MemCmd};
+
+    fn txn(id: u64, core: usize) -> Transaction {
+        Transaction {
+            id,
+            core: CoreId::new(core),
+            addr: id * 64,
+            cmd: MemCmd::Read,
+            enqueued_at: 0,
+        }
+    }
+
+    #[test]
+    fn streak_crossing_threshold_blacklists_the_core() {
+        let mut b = Bliss::new(2);
+        for i in 0..3 {
+            b.on_complete(i, &txn(i, 0), false);
+            assert!(!b.blacklisted()[0], "below threshold after {} serves", i + 1);
+        }
+        b.on_complete(3, &txn(3, 0), false);
+        assert!(b.blacklisted()[0], "fourth consecutive serve must blacklist");
+        assert!(!b.blacklisted()[1]);
+    }
+
+    #[test]
+    fn interleaved_service_never_blacklists() {
+        let mut b = Bliss::new(2);
+        for i in 0..40 {
+            b.on_complete(i, &txn(i, (i % 2) as usize), false);
+        }
+        assert_eq!(b.blacklisted(), &[false, false]);
+    }
+
+    #[test]
+    fn clearing_interval_resets_the_blacklist() {
+        let mut b = Bliss::new(2);
+        let mut ctl = SourceControl::new(2);
+        let signals = vec![CoreSignals::default(); 2];
+        for i in 0..4 {
+            b.on_complete(i, &txn(i, 0), false);
+        }
+        assert!(b.blacklisted()[0]);
+        b.tick(9_999, &signals, &mut ctl);
+        assert!(b.blacklisted()[0], "must persist until the boundary");
+        b.tick(10_000, &signals, &mut ctl);
+        assert!(!b.blacklisted()[0], "the boundary clears every bit");
+    }
+
+    #[test]
+    fn next_event_is_the_clearing_boundary() {
+        let b = Bliss::new(4);
+        assert_eq!(b.next_event(0), Some(10_000));
+        assert_eq!(b.next_event(9_999), Some(10_000));
+        // Never in the past: at the boundary itself the estimate must
+        // still be strictly ahead.
+        assert_eq!(b.next_event(10_000), Some(10_001));
+    }
+
+    #[test]
+    fn snapshot_round_trips_all_state() {
+        let mut a = Bliss::new(3);
+        let mut ctl = SourceControl::new(3);
+        let signals = vec![CoreSignals::default(); 3];
+        for i in 0..5 {
+            a.on_complete(i, &txn(i, 1), false);
+        }
+        a.tick(10_000, &signals, &mut ctl);
+        a.on_complete(10_001, &txn(9, 2), false);
+
+        let mut enc = Enc::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut b = Bliss::new(3);
+        b.load_state(&mut Dec::new(&bytes)).expect("round trip");
+        let mut enc2 = Enc::new();
+        b.save_state(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes(), "restored state must re-encode identically");
+    }
+
+    #[test]
+    fn snapshot_rejects_parameter_mismatch() {
+        let a = Bliss::new(2);
+        let mut enc = Enc::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut b = Bliss::with_params(2, 8, 10_000);
+        assert!(b.load_state(&mut Dec::new(&bytes)).is_err());
+    }
+}

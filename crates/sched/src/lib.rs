@@ -9,6 +9,7 @@
 //! | Policy | Idea |
 //! |---|---|
 //! | [`FrFcfs`] | row-buffer hits first, then oldest |
+//! | [`Bliss`] | consecutive-streak blacklisting, cleared on interval |
 //! | [`FairQueue`] | per-thread virtual finish times |
 //! | [`Tcm`] | latency/bandwidth thread clustering + shuffled ranks |
 //! | [`Fst`] | slowdown-driven source throttling |
@@ -37,6 +38,7 @@
 //! }
 //! ```
 
+pub mod bliss;
 pub mod common;
 pub mod congestion;
 pub mod fairqueue;
@@ -46,6 +48,7 @@ pub mod memguard;
 pub mod mise;
 pub mod tcm;
 
+pub use bliss::Bliss;
 pub use congestion::CongestionGuard;
 pub use fairqueue::FairQueue;
 pub use frfcfs::FrFcfs;
@@ -58,7 +61,7 @@ use mitts_sim::mc::{FcfsScheduler, Scheduler};
 
 /// Names of every baseline, in the order the paper's figures list them.
 pub fn baseline_names() -> &'static [&'static str] {
-    &["FR-FCFS", "FairQueue", "TCM", "FST", "MemGuard", "MISE"]
+    &["FR-FCFS", "FairQueue", "TCM", "BLISS", "FST", "MemGuard", "MISE"]
 }
 
 /// Constructs a baseline scheduler by name for a `cores`-core system,
@@ -70,6 +73,7 @@ pub fn make_baseline(name: &str, cores: usize) -> Option<Box<dyn Scheduler>> {
         "FR-FCFS" => Box::new(FrFcfs::new()),
         "FairQueue" => Box::new(FairQueue::new(cores)),
         "TCM" => Box::new(Tcm::new(cores)),
+        "BLISS" => Box::new(Bliss::new(cores)),
         "FST" => Box::new(Fst::new(cores)),
         "MemGuard" => Box::new(MemGuard::default_for(cores, 10_000)),
         "MISE" => Box::new(Mise::new(cores)),

@@ -303,22 +303,6 @@ impl LatencyHistogram {
         self.max as f64
     }
 
-    /// Approximate `p`-th percentile with `p` in `[0, 1]`.
-    ///
-    /// Deprecated: this fraction convention clashed with the 0–100
-    /// convention used by the trace tooling (`percentile(0.99)` on one
-    /// API was `percentile(99.0)` on the other — an easy silent bug).
-    /// Use [`LatencyHistogram::percentile_pct`] instead.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 1]`.
-    #[deprecated(note = "use percentile_pct(p) with p in [0, 100]")]
-    pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
-        self.percentile_pct(p * 100.0)
-    }
-
     /// Clears all recorded values.
     pub fn reset(&mut self) {
         *self = LatencyHistogram::default();
@@ -514,18 +498,6 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(10);
         h.percentile_pct(101.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_fraction_shim_matches_percentile_pct() {
-        let mut h = LatencyHistogram::new();
-        for v in 1..=1000u64 {
-            h.record(v * 3);
-        }
-        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
-            assert_eq!(h.percentile(p), h.percentile_pct(p * 100.0), "p = {p}");
-        }
     }
 
     #[test]

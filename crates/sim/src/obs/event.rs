@@ -25,6 +25,9 @@ pub enum StallReason {
     Fault,
     /// The shared LLC ports were exhausted before this core's turn.
     Ports,
+    /// The memory-controller smoothing FIFO for the head's channel was
+    /// full (backpressure reached the issue stage).
+    Backpressure,
 }
 
 impl StallReason {
@@ -35,6 +38,7 @@ impl StallReason {
             StallReason::Throttle => "throttle",
             StallReason::Fault => "fault",
             StallReason::Ports => "ports",
+            StallReason::Backpressure => "backpressure",
         }
     }
 }

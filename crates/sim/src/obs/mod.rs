@@ -549,6 +549,7 @@ impl Observer {
                         StallReason::Throttle => 1,
                         StallReason::Fault => 2,
                         StallReason::Ports => 3,
+                        StallReason::Backpressure => 4,
                     });
                     enc.u64(*since);
                 }
@@ -636,6 +637,7 @@ impl Observer {
                     1 => StallReason::Throttle,
                     2 => StallReason::Fault,
                     3 => StallReason::Ports,
+                    4 => StallReason::Backpressure,
                     tag => {
                         return Err(SnapshotError::corrupt(format!(
                             "unknown stall reason tag {tag}"

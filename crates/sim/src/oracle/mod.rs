@@ -20,6 +20,12 @@
 //!   dispatch was a legal row-hit-first / oldest-first choice for the
 //!   policy the scheduler claims (see
 //!   [`crate::mc::Scheduler::conformance_policy`]).
+//! * [`NetCalcOracle`] — checks a shaper's *analytical envelope*: its
+//!   grant stream must conform to the token-bucket arrival curve it
+//!   promises, every shaper stall episode must respect the curve's delay
+//!   bound, and grants outstanding at the LLC must stay below the
+//!   network-calculus backlog bound (used for the CBS/regulator shapers,
+//!   whose curves are closed-form).
 //!
 //! Oracles are deliberately *event-driven and stateless about the
 //! simulator's internals*: they see only what an external trace consumer
@@ -29,10 +35,12 @@
 //! the oracles themselves detect divergence).
 
 mod dram;
+mod netcalc;
 mod sched;
 mod shaper;
 
 pub use dram::DramOracle;
+pub use netcalc::{NetCalcOracle, NetCalcSpec};
 pub use sched::{PickOracle, PickPolicy};
 pub use shaper::{ShaperOracle, ShaperSpec, SpecFeedback, SpecPolicy};
 
@@ -47,6 +55,8 @@ pub enum OracleKind {
     Dram,
     /// The scheduler pick-legality oracle.
     Sched,
+    /// The network-calculus arrival-curve/delay/backlog oracle.
+    NetCalc,
 }
 
 impl OracleKind {
@@ -56,6 +66,7 @@ impl OracleKind {
             OracleKind::Shaper => "shaper",
             OracleKind::Dram => "dram",
             OracleKind::Sched => "sched",
+            OracleKind::NetCalc => "netcalc",
         }
     }
 }

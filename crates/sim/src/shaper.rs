@@ -372,6 +372,387 @@ impl SourceShaper for StaticRateShaper {
     }
 }
 
+/// TSN-style credit-based shaper (IEEE 802.1Qav CBS, adapted to the
+/// per-core L1-miss path).
+///
+/// Credit accrues at `idle_slope` units per cycle up to `hi_credit`; a
+/// request may issue whenever credit is non-negative, and each grant
+/// costs `send_cost` units (clamped below at `lo_credit`). Unlike MITTS
+/// this shaper has no notion of inter-arrival *distribution* — it bounds
+/// the long-run rate (`idle_slope / send_cost` requests per cycle) and
+/// the burst (`(hi_credit - lo_credit) / send_cost + 1` requests), which
+/// makes it exactly the kind of curve a network-calculus oracle can
+/// check against.
+///
+/// LLC hit/miss feedback is deliberately ignored: CBS reserves link
+/// bandwidth per frame regardless of what the frame turns out to be, the
+/// honest port of the TSN semantics (and the property the arrival-curve
+/// oracle relies on).
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::shaper::{CbsShaper, SourceShaper};
+/// // 1 credit/cycle, 10 per grant: one request every 10 cycles steady
+/// // state, no burst allowance beyond the running credit.
+/// let mut s = CbsShaper::new(1, 10, 0, -10);
+/// assert!(s.try_issue(0).is_grant());
+/// assert!(!s.try_issue(5).is_grant()); // credit still negative
+/// s.tick(10);
+/// assert!(s.try_issue(10).is_grant());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CbsShaper {
+    idle_slope: u64,
+    send_cost: u64,
+    hi_credit: i64,
+    lo_credit: i64,
+    credit: i64,
+    last_update: Cycle,
+    stalls: u64,
+}
+
+impl CbsShaper {
+    /// Creates a credit-based shaper accruing `idle_slope` credit units
+    /// per cycle, spending `send_cost` per grant, with credit bounded to
+    /// `[lo_credit, hi_credit]`. Credit starts at zero (a request may
+    /// issue immediately, like an idle TSN port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `send_cost == 0`, `hi_credit < 0`, `lo_credit > 0`, or
+    /// `hi_credit <= lo_credit`.
+    pub fn new(idle_slope: u64, send_cost: u64, hi_credit: i64, lo_credit: i64) -> Self {
+        assert!(send_cost > 0, "send cost must be positive");
+        assert!(hi_credit >= 0, "hi credit must admit a grant");
+        assert!(lo_credit <= 0, "lo credit must not exceed the grant threshold");
+        assert!(hi_credit > lo_credit, "credit band must be non-empty");
+        CbsShaper {
+            idle_slope,
+            send_cost,
+            hi_credit,
+            lo_credit,
+            credit: 0,
+            last_update: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Long-run admitted bandwidth in requests per cycle.
+    pub fn requests_per_cycle(&self) -> f64 {
+        self.idle_slope as f64 / self.send_cost as f64
+    }
+
+    /// Token-bucket arrival-curve parameters `(rate_num, rate_den,
+    /// burst)` this shaper guarantees: over any window of `w` cycles it
+    /// grants at most `burst + ceil(w * rate_num / rate_den)` requests.
+    ///
+    /// The floor clamp forgives any part of `send_cost` below
+    /// `lo_credit`, so the *effective* charge per grant — what the curve
+    /// can rely on — is `min(send_cost, |lo_credit|)`: a grant from
+    /// credit 0 lands at `max(-send_cost, lo_credit)` and must recover
+    /// that deficit before the next grant. A zero floor forgives the
+    /// whole cost (the shaper admits every request), leaving only the
+    /// issue stage's one-grant-per-cycle bound.
+    pub fn arrival_curve(&self) -> (u64, u64, u64) {
+        let span = (self.hi_credit - self.lo_credit) as u64;
+        let eff = self.lo_credit.unsigned_abs().min(self.send_cost);
+        if eff == 0 {
+            return (1, 1, 1);
+        }
+        (self.idle_slope, eff, span / eff + 1)
+    }
+
+    /// Upper bound on how long a denied request can wait before credit
+    /// recovers to zero from the deepest deficit, or `None` when the
+    /// slope is zero (waiting never helps).
+    pub fn max_stall_bound(&self) -> Option<Cycle> {
+        if self.idle_slope == 0 {
+            return None;
+        }
+        let deficit = self.lo_credit.unsigned_abs();
+        Some(deficit.div_ceil(self.idle_slope))
+    }
+
+    /// Credit value at `now` (pure: the accrual a catch-up tick would
+    /// apply, without mutating).
+    fn credit_at(&self, now: Cycle) -> i64 {
+        let elapsed = now.saturating_sub(self.last_update);
+        let gained = (self.idle_slope as i64).saturating_mul(elapsed.min(i64::MAX as u64) as i64);
+        self.credit.saturating_add(gained).min(self.hi_credit)
+    }
+
+    fn advance(&mut self, now: Cycle) {
+        if now > self.last_update {
+            self.credit = self.credit_at(now);
+            self.last_update = now;
+        }
+    }
+}
+
+impl SourceShaper for CbsShaper {
+    fn name(&self) -> &str {
+        "cbs"
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // Pure arithmetic catch-up: accrual over a fast-forwarded window
+        // is exactly `elapsed * idle_slope`, capped at `hi_credit`.
+        self.advance(now);
+    }
+
+    fn try_issue(&mut self, now: Cycle) -> ShapeDecision {
+        self.advance(now);
+        if self.credit < 0 {
+            return ShapeDecision::Deny;
+        }
+        self.credit = self.credit.saturating_sub(self.send_cost as i64).max(self.lo_credit);
+        ShapeDecision::Grant(0)
+    }
+
+    fn on_llc_response(&mut self, _now: Cycle, _token: ShapeToken, _hit: bool) {
+        // CBS reserves bandwidth per grant regardless of the LLC outcome;
+        // no refund (see the type-level docs).
+    }
+
+    fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    fn note_stall_cycle(&mut self) {
+        self.stalls += 1;
+    }
+
+    fn note_stall_cycles(&mut self, cycles: u64) {
+        self.stalls += cycles;
+    }
+
+    fn next_grant_event(&self, now: Cycle) -> Option<Cycle> {
+        let credit = self.credit_at(now);
+        if credit >= 0 {
+            return Some(now + 1);
+        }
+        if self.idle_slope == 0 {
+            return None; // deficit never recovers
+        }
+        let deficit = credit.unsigned_abs();
+        Some(now + deficit.div_ceil(self.idle_slope))
+    }
+
+    fn credit_audit(&self) -> CreditAudit {
+        // One bin: live credit above the floor vs the band width. The
+        // stored credit is invariantly in `[lo, hi]`, so live <= max.
+        let span = (self.hi_credit - self.lo_credit).unsigned_abs();
+        let live = (self.credit - self.lo_credit).unsigned_abs();
+        CreditAudit {
+            bins: vec![crate::audit::CreditBin {
+                live: live.try_into().unwrap_or(u32::MAX),
+                max: span.try_into().unwrap_or(u32::MAX),
+            }],
+        }
+    }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("cbs")
+    }
+
+    fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64(self.idle_slope);
+        enc.u64(self.send_cost);
+        enc.i64(self.hi_credit);
+        enc.i64(self.lo_credit);
+        enc.i64(self.credit);
+        enc.u64(self.last_update);
+        enc.u64(self.stalls);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let idle_slope = dec.u64()?;
+        let send_cost = dec.u64()?;
+        let hi = dec.i64()?;
+        let lo = dec.i64()?;
+        if idle_slope != self.idle_slope
+            || send_cost != self.send_cost
+            || hi != self.hi_credit
+            || lo != self.lo_credit
+        {
+            return Err(SnapshotError::mismatch(
+                "CBS shaper configuration differs from the snapshot".to_owned(),
+            ));
+        }
+        let credit = dec.i64()?;
+        if credit < lo || credit > hi {
+            return Err(SnapshotError::corrupt("CBS credit outside its configured band"));
+        }
+        self.credit = credit;
+        self.last_update = dec.u64()?;
+        self.stalls = dec.u64()?;
+        Ok(())
+    }
+}
+
+/// ETM2-style bandwidth regulator: at most `budget` grants per fixed
+/// `window`, replenished wholesale at every window boundary.
+///
+/// This is the classic "memory bandwidth regulator" design (MemGuard /
+/// the ETM2 execution-time-monitor family): no inter-arrival modelling
+/// at all, just a hard request quota per regulation window. Its arrival
+/// curve is a staircase — up to `2 * budget` requests can land
+/// back-to-back across one boundary — which makes it the bursty foil to
+/// CBS in the shaper matrix.
+///
+/// # Examples
+///
+/// ```
+/// use mitts_sim::shaper::{RegulatorShaper, SourceShaper};
+/// let mut s = RegulatorShaper::new(2, 100);
+/// assert!(s.try_issue(0).is_grant());
+/// assert!(s.try_issue(1).is_grant());
+/// assert!(!s.try_issue(2).is_grant()); // quota spent
+/// s.tick(100);
+/// assert!(s.try_issue(100).is_grant()); // boundary replenishes
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegulatorShaper {
+    budget: u64,
+    window: Cycle,
+    remaining: u64,
+    next_refresh: Cycle,
+    stalls: u64,
+}
+
+impl RegulatorShaper {
+    /// Creates a regulator granting at most `budget` requests per
+    /// `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(budget: u64, window: Cycle) -> Self {
+        assert!(window > 0, "window must be positive");
+        RegulatorShaper { budget, window, remaining: budget, next_refresh: window, stalls: 0 }
+    }
+
+    /// Long-run admitted bandwidth in requests per cycle.
+    pub fn requests_per_cycle(&self) -> f64 {
+        self.budget as f64 / self.window as f64
+    }
+
+    /// Token-bucket arrival-curve parameters `(rate_num, rate_den,
+    /// burst)`: rate `budget / window`, burst `2 * budget` (a full quota
+    /// on each side of a window boundary).
+    pub fn arrival_curve(&self) -> (u64, u64, u64) {
+        (self.budget, self.window, self.budget.saturating_mul(2))
+    }
+
+    /// Upper bound on how long a denied request waits for the next
+    /// refresh, or `None` when the budget is zero (waiting never helps).
+    pub fn max_stall_bound(&self) -> Option<Cycle> {
+        if self.budget == 0 {
+            return None;
+        }
+        Some(self.window)
+    }
+}
+
+impl SourceShaper for RegulatorShaper {
+    fn name(&self) -> &str {
+        "regulator"
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // O(1) catch-up over any gap: every elapsed boundary resets the
+        // quota, so only the count of boundaries matters.
+        if now >= self.next_refresh {
+            let periods = (now - self.next_refresh) / self.window + 1;
+            self.next_refresh += periods * self.window;
+            self.remaining = self.budget;
+        }
+    }
+
+    fn try_issue(&mut self, _now: Cycle) -> ShapeDecision {
+        if self.remaining == 0 {
+            return ShapeDecision::Deny;
+        }
+        self.remaining -= 1;
+        ShapeDecision::Grant(0)
+    }
+
+    fn on_llc_response(&mut self, _now: Cycle, _token: ShapeToken, _hit: bool) {
+        // Quota is spent on issue; no refund for LLC hits (the regulator
+        // polices the request stream, not memory bandwidth).
+    }
+
+    fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    fn note_stall_cycle(&mut self) {
+        self.stalls += 1;
+    }
+
+    fn note_stall_cycles(&mut self, cycles: u64) {
+        self.stalls += cycles;
+    }
+
+    fn next_grant_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.remaining > 0 {
+            return Some(now + 1);
+        }
+        if self.budget == 0 {
+            return None; // refresh restores nothing
+        }
+        Some(self.next_refresh.max(now + 1))
+    }
+
+    fn credit_audit(&self) -> CreditAudit {
+        CreditAudit {
+            bins: vec![crate::audit::CreditBin {
+                live: self.remaining.try_into().unwrap_or(u32::MAX),
+                max: self.budget.try_into().unwrap_or(u32::MAX),
+            }],
+        }
+    }
+
+    fn snapshot_kind(&self) -> Option<&'static str> {
+        Some("regulator")
+    }
+
+    fn save_state(&self, enc: &mut crate::snapshot::Enc) {
+        enc.u64(self.budget);
+        enc.u64(self.window);
+        enc.u64(self.remaining);
+        enc.u64(self.next_refresh);
+        enc.u64(self.stalls);
+    }
+
+    fn load_state(
+        &mut self,
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let budget = dec.u64()?;
+        let window = dec.u64()?;
+        if budget != self.budget || window != self.window {
+            return Err(SnapshotError::mismatch(
+                "regulator shaper configuration differs from the snapshot".to_owned(),
+            ));
+        }
+        let remaining = dec.u64()?;
+        if remaining > budget {
+            return Err(SnapshotError::corrupt("regulator quota above its budget"));
+        }
+        self.remaining = remaining;
+        self.next_refresh = dec.u64()?;
+        self.stalls = dec.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,5 +870,218 @@ mod tests {
         s.note_stall_cycle();
         s.note_stall_cycle();
         assert_eq!(s.stall_cycles(), 2);
+    }
+
+    // ---- CBS ------------------------------------------------------------
+
+    #[test]
+    fn cbs_enforces_the_steady_rate() {
+        // 1 credit/cycle, 10 per grant, no surplus band: exactly one
+        // grant every 10 cycles once the initial credit is spent.
+        let mut s = CbsShaper::new(1, 10, 0, -10);
+        let mut grants = Vec::new();
+        for now in 0..50 {
+            s.tick(now);
+            if s.try_issue(now).is_grant() {
+                grants.push(now);
+            }
+        }
+        assert_eq!(grants, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn cbs_hi_credit_allows_a_burst() {
+        // A long idle stretch banks hi_credit; the burst drains it at
+        // one grant per cycle until the credit goes negative.
+        let mut s = CbsShaper::new(1, 10, 30, -10);
+        s.tick(1_000);
+        let mut granted = 0;
+        for now in 1_000..1_010 {
+            s.tick(now);
+            if s.try_issue(now).is_grant() {
+                granted += 1;
+            }
+        }
+        // credit 30 → 21 → 12 → 3 (4 grants, accruing 1/cycle) then
+        // negative until it recovers.
+        assert_eq!(granted, 4);
+    }
+
+    #[test]
+    fn cbs_catch_up_tick_matches_per_cycle_ticks() {
+        let mut naive = CbsShaper::new(3, 10, 25, -20);
+        let mut fast = naive.clone();
+        assert!(naive.try_issue(0).is_grant());
+        assert!(fast.try_issue(0).is_grant());
+        for now in 1..=137 {
+            naive.tick(now);
+        }
+        fast.tick(137);
+        assert_eq!(naive.credit, fast.credit);
+        assert_eq!(naive.try_issue(137), fast.try_issue(137));
+    }
+
+    #[test]
+    fn cbs_next_grant_event_is_exact() {
+        let mut s = CbsShaper::new(2, 10, 0, -10);
+        assert!(s.try_issue(0).is_grant()); // credit now -10
+        assert!(!s.try_issue(1).is_grant());
+        let at = s.next_grant_event(1).unwrap();
+        // Deficit at cycle 1 is 8 (two cycles accrued); ceil(8/2) = 4.
+        assert_eq!(at, 5);
+        for t in 2..at {
+            s.tick(t);
+            assert!(!s.try_issue(t).is_grant(), "no grant before the event at {t}");
+        }
+        s.tick(at);
+        assert!(s.try_issue(at).is_grant());
+    }
+
+    #[test]
+    fn cbs_zero_slope_deficit_is_hopeless() {
+        let mut s = CbsShaper::new(0, 10, 0, -10);
+        assert!(s.try_issue(0).is_grant());
+        assert!(!s.try_issue(1).is_grant());
+        assert_eq!(s.next_grant_event(1), None);
+        assert_eq!(s.max_stall_bound(), None);
+    }
+
+    #[test]
+    fn cbs_ignores_llc_feedback() {
+        let mut s = CbsShaper::new(1, 10, 0, -10);
+        assert!(s.try_issue(0).is_grant());
+        s.on_llc_response(1, 0, true);
+        assert!(!s.try_issue(1).is_grant(), "a hit must not refund credit");
+    }
+
+    #[test]
+    fn cbs_curve_and_stall_bound_math() {
+        let s = CbsShaper::new(3, 10, 25, -20);
+        assert_eq!(s.arrival_curve(), (3, 10, 5)); // (45/10)+1 = 5 burst
+        assert_eq!(s.max_stall_bound(), Some(7)); // ceil(20/3)
+        assert!((s.requests_per_cycle() - 0.3).abs() < 1e-12);
+        let audit = s.credit_audit();
+        assert_eq!(audit.bins.len(), 1);
+        assert_eq!(audit.bins[0].live, 20); // credit 0 above floor -20
+        assert_eq!(audit.bins[0].max, 45);
+    }
+
+    #[test]
+    fn cbs_snapshot_round_trips_all_state() {
+        let mut a = CbsShaper::new(3, 10, 25, -20);
+        assert!(a.try_issue(0).is_grant());
+        a.tick(7);
+        a.note_stall_cycles(4);
+        let mut enc = crate::snapshot::Enc::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut b = CbsShaper::new(3, 10, 25, -20);
+        b.load_state(&mut crate::snapshot::Dec::new(&bytes)).expect("round trip");
+        let mut enc2 = crate::snapshot::Enc::new();
+        b.save_state(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes(), "restored state must re-encode identically");
+    }
+
+    #[test]
+    fn cbs_snapshot_rejects_parameter_mismatch() {
+        let a = CbsShaper::new(3, 10, 25, -20);
+        let mut enc = crate::snapshot::Enc::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut b = CbsShaper::new(3, 10, 30, -20);
+        assert!(b.load_state(&mut crate::snapshot::Dec::new(&bytes)).is_err());
+    }
+
+    // ---- Regulator ------------------------------------------------------
+
+    #[test]
+    fn regulator_caps_each_window() {
+        let mut s = RegulatorShaper::new(3, 100);
+        let mut per_window = [0u32; 3];
+        for now in 0..300 {
+            s.tick(now);
+            if s.try_issue(now).is_grant() {
+                per_window[(now / 100) as usize] += 1;
+            }
+        }
+        assert_eq!(per_window, [3, 3, 3]);
+    }
+
+    #[test]
+    fn regulator_catch_up_tick_matches_per_cycle_ticks() {
+        let mut naive = RegulatorShaper::new(3, 100);
+        let mut fast = naive.clone();
+        for _ in 0..3 {
+            assert!(naive.try_issue(0).is_grant());
+            assert!(fast.try_issue(0).is_grant());
+        }
+        for now in 1..=777 {
+            naive.tick(now);
+        }
+        fast.tick(777);
+        assert_eq!(naive.remaining, fast.remaining);
+        assert_eq!(naive.next_refresh, fast.next_refresh);
+    }
+
+    #[test]
+    fn regulator_next_grant_event_is_the_refresh() {
+        let mut s = RegulatorShaper::new(1, 100);
+        assert!(s.try_issue(0).is_grant());
+        assert!(!s.try_issue(1).is_grant());
+        assert_eq!(s.next_grant_event(1), Some(100));
+        for t in 2..100 {
+            s.tick(t);
+            assert!(!s.try_issue(t).is_grant());
+        }
+        s.tick(100);
+        assert!(s.try_issue(100).is_grant());
+    }
+
+    #[test]
+    fn regulator_zero_budget_is_hopeless() {
+        let mut s = RegulatorShaper::new(0, 100);
+        assert!(!s.try_issue(0).is_grant());
+        assert_eq!(s.next_grant_event(0), None);
+        assert_eq!(s.max_stall_bound(), None);
+    }
+
+    #[test]
+    fn regulator_curve_and_stall_bound_math() {
+        let s = RegulatorShaper::new(3, 100);
+        assert_eq!(s.arrival_curve(), (3, 100, 6));
+        assert_eq!(s.max_stall_bound(), Some(100));
+        assert!((s.requests_per_cycle() - 0.03).abs() < 1e-12);
+        let audit = s.credit_audit();
+        assert_eq!(audit.bins[0].live, 3);
+        assert_eq!(audit.bins[0].max, 3);
+    }
+
+    #[test]
+    fn regulator_snapshot_round_trips_all_state() {
+        let mut a = RegulatorShaper::new(3, 100);
+        assert!(a.try_issue(0).is_grant());
+        a.tick(250);
+        assert!(a.try_issue(250).is_grant());
+        a.note_stall_cycles(9);
+        let mut enc = crate::snapshot::Enc::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut b = RegulatorShaper::new(3, 100);
+        b.load_state(&mut crate::snapshot::Dec::new(&bytes)).expect("round trip");
+        let mut enc2 = crate::snapshot::Enc::new();
+        b.save_state(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes(), "restored state must re-encode identically");
+    }
+
+    #[test]
+    fn regulator_snapshot_rejects_parameter_mismatch() {
+        let a = RegulatorShaper::new(3, 100);
+        let mut enc = crate::snapshot::Enc::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut b = RegulatorShaper::new(3, 200);
+        assert!(b.load_state(&mut crate::snapshot::Dec::new(&bytes)).is_err());
     }
 }

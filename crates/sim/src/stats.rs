@@ -116,14 +116,6 @@ impl CoreStats {
         self.mem_latency.percentile_pct(p)
     }
 
-    /// Approximate `p`-th percentile of the L1-miss-to-fill latency,
-    /// with `p` in `[0, 1]`.
-    #[deprecated(note = "use latency_percentile_pct(p) with p in [0, 100]")]
-    pub fn latency_percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
-        self.mem_latency.percentile_pct(p * 100.0)
-    }
-
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         self.counters.ipc()

@@ -79,6 +79,11 @@ enum IssueOutcome {
     FaultDenied,
     /// The LLC ports were exhausted before this core's turn.
     NoPorts,
+    /// The smoothing FIFO of the head's memory channel was full: the
+    /// controller's backpressure reached the issue stage (§III-C — the
+    /// FIFO depth bounds how much burstiness the controller absorbs
+    /// before stalling the sources).
+    McBackpressure,
 }
 
 impl IssueOutcome {
@@ -91,6 +96,7 @@ impl IssueOutcome {
             IssueOutcome::ThrottleBlocked => 3,
             IssueOutcome::FaultDenied => 4,
             IssueOutcome::NoPorts => 5,
+            IssueOutcome::McBackpressure => 6,
         }
     }
 
@@ -102,6 +108,7 @@ impl IssueOutcome {
             3 => IssueOutcome::ThrottleBlocked,
             4 => IssueOutcome::FaultDenied,
             5 => IssueOutcome::NoPorts,
+            6 => IssueOutcome::McBackpressure,
             t => {
                 return Err(SnapshotError::corrupt(format!("invalid issue-outcome tag {t}")))
             }
@@ -1509,6 +1516,16 @@ impl System {
             } else {
                 CoreThrottle::default()
             };
+            // §III-C backpressure: a full smoothing FIFO on the head's
+            // channel stalls the issue stage before the shaper is
+            // consulted — no port is consumed and no credit is spent, so
+            // the FIFO depth bounds how much burstiness the controller
+            // absorbs before the stall reaches the sources.
+            let backpressured = self.cores[idx].miss_queue.front().is_some_and(|h| {
+                let ch =
+                    Self::channel_of(self.channel_row_bytes, self.channels.len(), h.line_addr);
+                !self.channels[ch].mc.fifo_has_room()
+            });
             let unit = &mut self.cores[idx];
 
             while let Some(&(ready, op)) = unit.hit_pipe.front() {
@@ -1532,7 +1549,9 @@ impl System {
                 let gap_ok = throttle.min_issue_gap.is_none_or(|gap| {
                     unit.last_issue.is_none_or(|last| now >= last + gap as Cycle)
                 });
-                if inflight_ok && gap_ok {
+                if backpressured {
+                    IssueOutcome::McBackpressure
+                } else if inflight_ok && gap_ok {
                     // Fault injection: a zeroed-credit shaper denies
                     // everything.
                     let fault_denied = faults_active && self.faults.deny_issue(now, idx);
@@ -1582,6 +1601,7 @@ impl System {
                     IssueOutcome::ShaperDenied => Some(StallReason::Shaper),
                     IssueOutcome::ThrottleBlocked => Some(StallReason::Throttle),
                     IssueOutcome::FaultDenied => Some(StallReason::Fault),
+                    IssueOutcome::McBackpressure => Some(StallReason::Backpressure),
                     IssueOutcome::NoPorts if !unit.miss_queue.is_empty() => {
                         Some(StallReason::Ports)
                     }
@@ -1790,8 +1810,9 @@ impl System {
                     IssueOutcome::ShaperDenied
                     | IssueOutcome::ThrottleBlocked
                     | IssueOutcome::FaultDenied => {}
-                    // Granted / NoRequest / NoPorts with a pending head:
-                    // the next tick issues with an unpredictable outcome.
+                    // Granted / NoRequest / NoPorts / McBackpressure
+                    // with a pending head: the next tick issues with an
+                    // unpredictable outcome.
                     _ => return Some("core_miss_queue_issue"),
                 }
             }
@@ -1863,8 +1884,9 @@ impl System {
                     // Fault denials never expire on their own; the fault
                     // and watchdog events below bound the wait.
                     IssueOutcome::FaultDenied => {}
-                    // Granted / NoRequest / NoPorts with a pending head:
-                    // the next tick issues with an unpredictable outcome.
+                    // Granted / NoRequest / NoPorts / McBackpressure
+                    // with a pending head: the next tick issues with an
+                    // unpredictable outcome.
                     _ => return false,
                 }
             }
@@ -1983,9 +2005,10 @@ impl System {
                         // Injected faults never expire; the fault-plan and
                         // watchdog events below bound the wait.
                     }
-                    // Granted / NoRequest / NoPorts with a pending head:
-                    // the next tick would attempt an issue whose outcome
-                    // we cannot predict without mutating the shaper.
+                    // Granted / NoRequest / NoPorts / McBackpressure
+                    // with a pending head: the next tick would attempt an
+                    // issue whose outcome we cannot predict without
+                    // mutating the shaper.
                     _ => return None,
                 }
             }
@@ -2053,6 +2076,15 @@ impl System {
                     _ => {}
                 }
             }
+            // A naive run would have ticked the shaper at every skipped
+            // cycle, ending on `last`. Time-driven shaper state (credit
+            // accrual, replenish boundaries crossed inside the window)
+            // must not depend on tick cadence — snapshot bytes are
+            // engine-independent — so replay the final catch-up tick.
+            unit.shaper.borrow_mut().tick(last);
+        }
+        for shaper in self.llc.shapers.iter().flatten() {
+            shaper.borrow_mut().tick(last);
         }
         let n = self.cores.len().max(1);
         self.rr_offset = (self.rr_offset + (k as usize % n)) % n;

@@ -47,12 +47,21 @@ echo "mitts-trace --json: summary parses and crosscheck is ok"
 # Conformance smoke gate: seeded mutation checks (each oracle must catch
 # every perturbation of its constants), a short fuzz campaign (every
 # fuzzed case also byte-diffed naive vs fast vs event), a workload
-# subset under the shaper/DRAM/scheduler oracles, the per-case engine
-# differential, and the capacity-probe differential (engines x metrics
-# on/off). Exits non-zero on any violation, undetected mutation, or
-# engine divergence.
+# subset under the shaper/DRAM/scheduler/network-calculus oracles, the
+# per-case engine differential, and the capacity-probe differential
+# (engines x metrics on/off). Exits non-zero on any violation,
+# undetected mutation, or engine divergence.
 cargo build --release -p mitts-bench --bin mitts-conform
-target/release/mitts-conform --smoke | tail -n 3
+CONFORM_LOG="$GATE_TMP/conform.log"
+target/release/mitts-conform --smoke | tee "$CONFORM_LOG" | tail -n 3
+
+# Network-calculus oracle gate: the mutation phase must exercise the
+# netcalc oracle (CBS/regulator arrival-curve, delay-bound, and backlog
+# perturbations) and catch at least 3 seeded spec mutations.
+netcalc_detected=$(grep -c '\[netcalc\].*detected' "$CONFORM_LOG" || true)
+[ "$netcalc_detected" -ge 3 ] \
+  || { echo "netcalc oracle gate: expected >=3 detected netcalc mutations, saw $netcalc_detected"; exit 1; }
+echo "netcalc oracle gate: $netcalc_detected seeded spec mutations detected"
 
 # Capacity smoke gate: knee-search the 2x2 smoke matrix through the
 # supervised pool and write the frontier CSV + self-contained HTML
