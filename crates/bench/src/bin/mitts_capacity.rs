@@ -43,6 +43,12 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     signal::install_sigint_handler();
+    if let Some(plan) = fsio::init_from_env() {
+        eprintln!(
+            "[storage fault injection armed: seed {} rate {}permille]",
+            plan.seed, plan.rate_permille
+        );
+    }
     let mut smoke = false;
     let mut resume = false;
     let mut out_dir = std::path::PathBuf::from(".");

@@ -72,6 +72,12 @@ fn stop_if_interrupted(after_phase: &str) {
 
 fn main() -> ExitCode {
     signal::install_sigint_handler();
+    if let Some(plan) = mitts_sim::fsio::init_from_env() {
+        eprintln!(
+            "[storage fault injection armed: seed {} rate {}permille]",
+            plan.seed, plan.rate_permille
+        );
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

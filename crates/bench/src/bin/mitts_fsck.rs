@@ -1,0 +1,71 @@
+//! `mitts-fsck` — checks (and repairs) a `MITTS_STATE_DIR`.
+//!
+//! ```text
+//! mitts-fsck [--repair] [state-dir]
+//! ```
+//!
+//! Verifies journal framing and line CRCs, artifact-vs-journal
+//! consistency (including the per-artifact CRC captured at finish
+//! time), snapshot/GA-checkpoint container CRCs, lease liveness, and
+//! orphaned `.tmp.` litter. With `--repair`: truncates torn journal
+//! tails, drops corrupt journal lines, sweeps litter, removes dead
+//! leases, and quarantines corrupt files under `<state>/quarantine/`.
+//!
+//! Exit codes: **0** clean, **1** findings (repaired when `--repair`
+//! was given — rerun to confirm clean), **2** unrecoverable (missing or
+//! unreadable state dir, bad usage).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mitts_bench::fsck;
+
+fn main() -> ExitCode {
+    let mut repair = false;
+    let mut dir: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--help" | "-h" => {
+                println!("usage: mitts-fsck [--repair] [state-dir]");
+                println!("checks (and with --repair, fixes) a MITTS_STATE_DIR");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("mitts-fsck: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir.or_else(mitts_bench::journal::state_dir) else {
+        eprintln!("mitts-fsck: no state dir given and MITTS_STATE_DIR is unset");
+        return ExitCode::from(2);
+    };
+
+    match fsck::check(&dir, repair) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            if report.clean() {
+                println!("[fsck] {}: clean", dir.display());
+            } else {
+                println!(
+                    "[fsck] {}: {} finding(s), {} repaired, {} repairable",
+                    dir.display(),
+                    report.findings.len(),
+                    report.repaired(),
+                    report.repairable(),
+                );
+            }
+            ExitCode::from(report.exit_code() as u8)
+        }
+        Err(e) => {
+            eprintln!("mitts-fsck: unrecoverable: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

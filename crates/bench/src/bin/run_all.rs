@@ -89,6 +89,15 @@ fn single(name: &'static str, f: impl Fn() -> Table + Send + Sync + 'static) -> 
 
 fn main() {
     signal::install_sigint_handler();
+    // Arm seeded storage fault injection (MITTS_FS_FAULTS=<seed>[,permille])
+    // before anything persists: every journal append, lease write, and
+    // artifact rename below goes through the global fsio handle.
+    if let Some(plan) = mitts_sim::fsio::init_from_env() {
+        eprintln!(
+            "[storage fault injection armed: seed {} rate {}permille]",
+            plan.seed, plan.rate_permille
+        );
+    }
     let scale = Scale::from_env();
     // Validate the CSV sink *before* any simulation runs: a bad
     // MITTS_CSV_DIR is a configuration error up front, not a panic after
@@ -181,13 +190,18 @@ fn main() {
                 } else {
                     format!("{name}_{i}.csv")
                 };
-                table.write_csv(&dir.join(file)).expect("write CSV table");
+                // A failed CSV export is a degraded report, not a failed
+                // sweep: the journaled artifact is the durable copy.
+                if let Err(e) = table.write_csv(&dir.join(&file)) {
+                    eprintln!("[CSV export of {file} failed: {e}]");
+                }
             }
         }
     };
 
     let mut statuses: Vec<(String, Status)> = Vec::with_capacity(selected.len());
-    let report = pool::run_sweep(&selected, journal, &completed, &cfg, |_, name, out| {
+    let (report, telemetry) =
+        pool::run_sweep_with_telemetry(&selected, journal, &completed, &cfg, |_, name, out| {
         let status = match out {
             Outcome::Done { tables, wall } => {
                 for (i, table) in tables.iter().enumerate() {
@@ -214,16 +228,41 @@ fn main() {
                 Status::Interrupted
             }
         };
-        statuses.push((name.to_owned(), status));
-    });
+            statuses.push((name.to_owned(), status));
+        });
 
-    // Sweep summary: one row per selected experiment. Written even on
-    // interruption (that is the point), into the state dir when
-    // journaling and the CSV dir otherwise.
+    // Storage failures over the sweep (previously silently discarded
+    // dir-fsync errors, plus injected faults): surfaced on stderr and in
+    // the status table below.
+    if telemetry.storage.any() {
+        eprintln!(
+            "[storage: {} file-sync failure(s), {} dir-fsync failure(s), {} injected fault(s)]",
+            telemetry.storage.file_sync_failures,
+            telemetry.storage.dir_fsync_failures,
+            telemetry.storage.injected_faults,
+        );
+    }
+
+    // Sweep summary: one row per selected experiment plus the sweep's
+    // storage-failure counters. Written even on interruption (that is
+    // the point), into the state dir when journaling and the CSV dir
+    // otherwise.
     let mut summary = Table::new("sweep summary", &["experiment", "status"]);
     for (name, status) in &statuses {
         summary.row(vec![name.clone(), status.label().to_owned()]);
     }
+    summary.row(vec![
+        "storage.file_sync_failures".to_owned(),
+        telemetry.storage.file_sync_failures.to_string(),
+    ]);
+    summary.row(vec![
+        "storage.dir_fsync_failures".to_owned(),
+        telemetry.storage.dir_fsync_failures.to_string(),
+    ]);
+    summary.row(vec![
+        "storage.injected_faults".to_owned(),
+        telemetry.storage.injected_faults.to_string(),
+    ]);
     if report.was_interrupted() {
         summary.print();
     }

@@ -600,13 +600,17 @@ fn telemetry_html(tel: &PoolTelemetry) -> String {
     let mut s = String::new();
     write!(
         s,
-        "<p>{} workers, {} ms wall; {} stale-lease takeovers, {} retried attempts.</p>\
+        "<p>{} workers, {} ms wall; {} stale-lease takeovers, {} retried attempts; \
+         storage: {} file-sync failures, {} dir-fsync failures, {} injected faults.</p>\
          <table><tr><th>worker</th><th>claims</th><th>steals</th><th>retries</th>\
          <th>lease losses</th><th>busy ms</th><th>utilization</th></tr>",
         tel.jobs,
         tel.wall_ms,
         tel.takeovers(),
         tel.retries(),
+        tel.storage.file_sync_failures,
+        tel.storage.dir_fsync_failures,
+        tel.storage.injected_faults,
     )
     .unwrap();
     for (w, t) in tel.workers.iter().enumerate() {
@@ -931,6 +935,7 @@ mod tests {
             wall_ms: 5,
             workers: vec![Default::default()],
             queue_depth: vec![(0, 1), (5, 0)],
+            storage: Default::default(),
         };
         let html = html_report(&cfg, &cells, &points, &artifacts, &tel);
         validate_report(&html, 1).expect("well-formed report");

@@ -6,14 +6,30 @@
 //! 1. `start <name>` is appended (and flushed) to `journal.jsonl`
 //!    *before* an experiment runs;
 //! 2. the finished tables are written to `results/<name>.txt` via
-//!    [`mitts_sim::fsio::write_atomic`] (temp file + fsync + rename), so
-//!    a kill mid-write can never leave a truncated artifact;
-//! 3. `finish <name>` is appended only after the artifact is durable.
+//!    [`mitts_sim::fsio::Fs::write_atomic`] (temp file + fsync +
+//!    rename), so a kill mid-write can never leave a truncated artifact;
+//! 3. `finish <name>` is appended only after the artifact is durable,
+//!    carrying the artifact's CRC-32.
 //!
-//! Recovery ([`Journal::completed`]) trusts an experiment only when both
-//! the `finish` record *and* the artifact exist — a crash between steps
-//! leaves at worst a `start` with no `finish`, which `--resume` simply
-//! reruns.
+//! Recovery ([`Journal::completed`]) trusts an experiment only when the
+//! `finish` record is intact (every journal line carries its own
+//! CRC-32), the artifact exists, *and* the artifact's bytes still match
+//! the CRC the finish record captured — a crash between steps leaves at
+//! worst a `start` with no `finish` (rerun), and at-rest corruption of
+//! an artifact demotes it back to incomplete instead of being served.
+//!
+//! All persistence goes through the [`mitts_sim::fsio`] facade, so the
+//! whole protocol runs under storage fault injection and the
+//! record/replay crash-consistency checker. Storage failure modes are
+//! tolerated, never trusted:
+//!
+//! * a **torn tail** (crash or short write mid-append) is truncated on
+//!   the next `--resume` open and the journal continues from the last
+//!   complete line;
+//! * a **corrupt line** (bitrot, interleaved partial writes) fails its
+//!   CRC and is ignored — `completed()` can under-report (rerun: safe),
+//!   never misparse;
+//! * a **failed append** costs at most a rerun of one experiment.
 //!
 //! Scheduling lives elsewhere: the supervised parallel pool
 //! ([`crate::pool`]) claims experiments through per-worker leases
@@ -24,10 +40,11 @@
 //! whole records, never torn ones.
 
 use std::collections::BTreeSet;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
-use mitts_sim::fsio::write_atomic_str;
+use mitts_sim::fsio::{self, Fs};
+use mitts_sim::snapshot::crc32;
 use mitts_tuner::{GaResult, GeneticTuner, Genome};
 
 /// The sweep state directory from `MITTS_STATE_DIR`, if configured.
@@ -39,33 +56,43 @@ pub fn state_dir() -> Option<PathBuf> {
 #[derive(Debug)]
 pub struct Journal {
     dir: PathBuf,
-    log: std::fs::File,
+    fs: Fs,
 }
 
 impl Journal {
-    /// Opens (creating if needed) the journal under `dir`. With
+    /// Opens (creating if needed) the journal under `dir` on the
+    /// process-global filesystem handle. See [`Journal::open_with`].
+    pub fn open(dir: &Path, resume: bool) -> io::Result<Journal> {
+        Journal::open_with(fsio::global(), dir, resume)
+    }
+
+    /// Opens (creating if needed) the journal under `dir` on `fs`. With
     /// `resume = false` any previous journal is truncated — the sweep
     /// starts from scratch (stale leases included); with `resume = true`
-    /// the existing journal is kept and appended to.
-    pub fn open(dir: &Path, resume: bool) -> io::Result<Journal> {
-        std::fs::create_dir_all(dir.join("results"))?;
-        std::fs::create_dir_all(dir.join("leases"))?;
-        let log = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .truncate(false)
-            .open(dir.join("journal.jsonl"))?;
-        if !resume {
-            log.set_len(0)?;
+    /// the existing journal is kept, its torn tail (if a crash or short
+    /// write left one) truncated back to the last complete line, and
+    /// appended to.
+    pub fn open_with(fs: Fs, dir: &Path, resume: bool) -> io::Result<Journal> {
+        fs.create_dir_all(&dir.join("results"))?;
+        fs.create_dir_all(&dir.join("leases"))?;
+        let journal = Journal { dir: dir.to_path_buf(), fs };
+        if resume {
+            journal.recover_tail()?;
+        } else {
+            journal.fs.truncate(&journal.journal_path(), 0)?;
             // A fresh sweep owns the state dir outright: leases from a
             // previous (possibly crashed) sweep are meaningless now.
-            if let Ok(entries) = std::fs::read_dir(dir.join("leases")) {
-                for e in entries.flatten() {
-                    let _ = std::fs::remove_file(e.path());
+            if let Ok(entries) = journal.fs.read_dir(&dir.join("leases")) {
+                for path in entries {
+                    let _ = journal.fs.remove_file(&path);
                 }
             }
         }
-        Ok(Journal { dir: dir.to_path_buf(), log })
+        // Make the journal itself and the directory skeleton durable, so
+        // a crash immediately after open cannot lose the entries.
+        let _ = journal.fs.append(&journal.journal_path(), b"");
+        journal.fs.fsync_dir_best_effort(dir);
+        Ok(journal)
     }
 
     /// Opens the journal at [`state_dir`], or `None` when
@@ -75,6 +102,16 @@ impl Journal {
             Some(dir) => Journal::open(&dir, resume).map(Some),
             None => Ok(None),
         }
+    }
+
+    /// The filesystem handle this journal persists through.
+    pub fn fs(&self) -> &Fs {
+        &self.fs
+    }
+
+    /// Path of the journal file itself.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
     }
 
     /// Path of the durable result artifact for `name`.
@@ -87,40 +124,75 @@ impl Journal {
         self.dir.join("leases")
     }
 
+    /// Truncates an unterminated tail record (no trailing newline) left
+    /// by a crash or short write mid-append, keeping every complete
+    /// line. Missing journal = nothing to recover.
+    fn recover_tail(&self) -> io::Result<()> {
+        let path = self.journal_path();
+        let Ok(bytes) = self.fs.read(&path) else { return Ok(()) };
+        let keep = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(last_nl) => last_nl + 1,
+            None => 0,
+        };
+        if keep < bytes.len() {
+            self.fs.truncate(&path, keep as u64)?;
+            let _ = self.fs.sync(&path);
+        }
+        Ok(())
+    }
+
     /// Experiments the journal records as finished *and* whose result
-    /// artifact is present — the set `--resume` may skip. Re-reads the
-    /// journal file, so concurrent workers (or a second process sharing
-    /// the state dir) observe each other's completions.
+    /// artifact is present (and matches the CRC captured at finish time)
+    /// — the set `--resume` may skip. Re-reads the journal file, so
+    /// concurrent workers (or a second process sharing the state dir)
+    /// observe each other's completions. Lines that fail their CRC are
+    /// ignored: corruption can demote an experiment to "rerun", never
+    /// promote one to "done".
     pub fn completed(&self) -> BTreeSet<String> {
         let mut done = BTreeSet::new();
-        let Ok(text) = std::fs::read_to_string(self.dir.join("journal.jsonl")) else {
+        let Ok(text) = self.fs.read_to_string_lossy(&self.journal_path()) else {
             return done;
         };
         for line in text.lines() {
-            if json_field(line, "event").as_deref() == Some("finish") {
-                if let Some(name) = json_field(line, "name") {
-                    if self.artifact_path(&name).is_file() {
-                        done.insert(name);
-                    }
-                }
+            if !line_valid(line) {
+                continue;
+            }
+            if json_field(line, "event").as_deref() != Some("finish") {
+                continue;
+            }
+            let Some(name) = json_field(line, "name") else { continue };
+            let path = self.artifact_path(&name);
+            let Ok(bytes) = self.fs.read(&path) else { continue };
+            // Old finish records without an artifact CRC are trusted on
+            // existence alone; new ones must match bit for bit.
+            let crc_ok = match json_field(line, "artifact_crc") {
+                Some(want) => want.parse::<u32>().map(|w| w == crc32(&bytes)).unwrap_or(false),
+                None => true,
+            };
+            if crc_ok {
+                done.insert(name);
             }
         }
         done
     }
 
     fn append(&mut self, event: &str, name: &str, extra: &[(&str, &str)]) {
-        let mut line = format!(
+        let mut body = format!(
             "{{\"event\":\"{}\",\"name\":\"{}\"",
             json_escape(event),
             json_escape(name)
         );
         for (k, v) in extra {
-            line.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            body.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
         }
-        line.push_str("}\n");
+        body.push('}');
+        let line = seal_line(&body);
         // The journal is the crash-safety backbone: flush every record.
-        let _ = self.log.write_all(line.as_bytes());
-        let _ = self.log.sync_data();
+        // Failures are tolerated (worst case: a finished experiment
+        // reruns on resume) and sync failures are counted by the facade.
+        let path = self.journal_path();
+        let _ = self.fs.append(&path, line.as_bytes());
+        let _ = self.fs.sync(&path);
     }
 
     /// Records that an attempt of `name` is beginning on `worker`.
@@ -132,10 +204,12 @@ impl Journal {
         );
     }
 
-    /// Durably writes the result artifact, then records completion.
+    /// Durably writes the result artifact, then records completion with
+    /// the artifact's CRC-32.
     pub fn record_finish(&mut self, name: &str, rendered: &str) -> io::Result<()> {
-        write_atomic_str(&self.artifact_path(name), rendered)?;
-        self.append("finish", name, &[]);
+        self.fs.write_atomic_str(&self.artifact_path(name), rendered)?;
+        let crc = crc32(rendered.as_bytes()).to_string();
+        self.append("finish", name, &[("artifact_crc", &crc)]);
         Ok(())
     }
 
@@ -161,6 +235,32 @@ impl Journal {
     pub fn record_interrupted(&mut self, name: &str) {
         self.append("interrupted", name, &[]);
     }
+}
+
+/// Appends the line CRC to a record body (`{...}` without trailing
+/// newline), producing the on-disk form `{...,"crc":N}\n`. The CRC
+/// covers the body exactly as it would read without the crc member, so
+/// [`line_valid`] can verify by reconstruction.
+pub(crate) fn seal_line(body: &str) -> String {
+    debug_assert!(body.starts_with('{') && body.ends_with('}'));
+    let inner = &body[..body.len() - 1];
+    format!("{inner},\"crc\":{}}}\n", crc32(body.as_bytes()))
+}
+
+/// Whether a journal line is a complete, uncorrupted record: well-formed
+/// framing with a trailing `"crc"` member whose value matches the CRC-32
+/// of the rest of the record. Torn tails, bit flips, and interleaved
+/// partial writes all fail here and are skipped by readers.
+pub(crate) fn line_valid(line: &str) -> bool {
+    let tag = ",\"crc\":";
+    let Some(idx) = line.rfind(tag) else { return false };
+    if !line.ends_with('}') || !line.starts_with('{') {
+        return false;
+    }
+    let digits = &line[idx + tag.len()..line.len() - 1];
+    let Ok(want) = digits.parse::<u32>() else { return false };
+    let body = format!("{}}}", &line[..idx]);
+    crc32(body.as_bytes()) == want
 }
 
 pub(crate) fn json_escape(s: &str) -> String {
@@ -210,10 +310,13 @@ pub(crate) fn json_field(line: &str, key: &str) -> Option<String> {
 /// Runs a GA search with per-generation checkpointing when
 /// `MITTS_STATE_DIR` is set (and a plain [`GeneticTuner::optimize`]
 /// otherwise). The state is persisted atomically to
-/// `<state>/ga/<tag>.gastate` after every generation; an interrupted
-/// search resumed from that file reaches the identical final genome. A
-/// stale or foreign state file (different search parameters, corruption)
-/// is ignored and the search starts over.
+/// `<state>/ga/<tag>.gastate` after every generation, keeping the
+/// previous generation at `<tag>.gastate.prev`; an interrupted search
+/// resumed from either file reaches the identical final genome. Resume
+/// prefers the latest checkpoint and falls back to the previous one when
+/// the latest fails its container CRC (bitrot, short write) — a stale or
+/// foreign state file (different search parameters, corruption in both
+/// generations) is ignored and the search starts over.
 ///
 /// Fitness evaluation inside [`GeneticTuner::optimize_resumable`] runs
 /// on the same `MITTS_JOBS`-sized work-stealing loop as the sweep pool
@@ -227,12 +330,21 @@ where
     let Some(dir) = state_dir() else {
         return ga.optimize(fitness);
     };
+    let fs = fsio::global();
     let ga_dir = dir.join("ga");
-    let _ = std::fs::create_dir_all(&ga_dir);
+    let _ = fs.create_dir_all(&ga_dir);
     let path = ga_dir.join(format!("{tag}.gastate"));
-    let resume = std::fs::read(&path).ok().and_then(|bytes| ga.decode_state(&bytes).ok());
+    let prev = ga_dir.join(format!("{tag}.gastate.prev"));
+    let resume = [&path, &prev]
+        .into_iter()
+        .find_map(|p| fs.read(p).ok().and_then(|bytes| ga.decode_state(&bytes).ok()));
     ga.optimize_resumable(fitness, resume, |tuner, state| {
-        let _ = mitts_sim::fsio::write_atomic(&path, &tuner.encode_state(state));
+        // Keep the previous generation as the fallback before the new
+        // checkpoint replaces the latest.
+        if fs.exists(&path) {
+            let _ = fs.rename(&path, &prev);
+        }
+        let _ = fs.write_atomic(&path, &tuner.encode_state(state));
     })
 }
 
@@ -240,12 +352,16 @@ where
 mod tests {
     use super::*;
 
-    #[test]
-    fn finish_is_trusted_only_with_artifact() {
-        let dir = std::env::temp_dir()
-            .join(format!("mitts-journal-trust-{}", std::process::id()));
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mitts-journal-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn finish_is_trusted_only_with_artifact() {
+        let dir = scratch("trust");
         let mut j = Journal::open(&dir, false).unwrap();
         j.record_start("a", 1, "w0");
         j.record_finish("a", "table a\n").unwrap();
@@ -263,11 +379,27 @@ mod tests {
     }
 
     #[test]
-    fn fresh_open_truncates_and_clears_leases_but_resume_appends() {
-        let dir = std::env::temp_dir()
-            .join(format!("mitts-journal-trunc-{}", std::process::id()));
+    fn corrupted_artifact_is_demoted_to_incomplete() {
+        let dir = scratch("rot");
+        let mut j = Journal::open(&dir, false).unwrap();
+        j.record_finish("a", "pristine table\n").unwrap();
+        assert!(j.completed().contains("a"));
+        // One flipped byte at rest: the finish record's CRC no longer
+        // matches, so resume must rerun instead of serving rot.
+        let path = j.artifact_path("a");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            !j.completed().contains("a"),
+            "an artifact failing its finish-record CRC must not be trusted"
+        );
         let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_open_truncates_and_clears_leases_but_resume_appends() {
+        let dir = scratch("trunc");
         let mut j = Journal::open(&dir, false).unwrap();
         j.record_finish("old", "old table\n").unwrap();
         std::fs::write(j.leases_dir().join("old.lease"), b"{}").unwrap();
@@ -285,11 +417,72 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_is_truncated_on_resume() {
+        let dir = scratch("torn");
+        let mut j = Journal::open(&dir, false).unwrap();
+        j.record_finish("a", "table a\n").unwrap();
+        j.record_finish("b", "table b\n").unwrap();
+        let path = j.journal_path();
+        drop(j);
+        // A crash mid-append leaves an unterminated partial record.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"event\":\"finish\",\"name\":\"gho");
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::open(&dir, true).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "resume truncates the torn tail back to the last complete line"
+        );
+        let done = j.completed();
+        assert!(done.contains("a") && done.contains("b"));
+        assert!(!done.contains("gho"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn line_crc_rejects_bit_flips_and_forgeries() {
+        let sealed = seal_line("{\"event\":\"finish\",\"name\":\"a\"}");
+        let line = sealed.trim_end();
+        assert!(line_valid(line));
+        // Any single-character corruption breaks validity.
+        let flipped = line.replace("finish", "finisj");
+        assert!(!line_valid(&flipped));
+        // A record with no CRC (a torn prefix of a longer line that
+        // happens to end at `}`) is rejected too.
+        assert!(!line_valid("{\"event\":\"finish\",\"name\":\"a\"}"));
+        // Two records merged onto one line (lost newline) fail framing.
+        let merged = format!("{line}{line}");
+        assert!(!line_valid(&merged));
+    }
+
+    #[test]
     fn journal_lines_round_trip_special_characters() {
         let nasty = "quote \" backslash \\ newline \n tab \t";
         let line = format!("{{\"event\":\"fail\",\"reason\":\"{}\"}}", json_escape(nasty));
         assert_eq!(json_field(&line, "reason").as_deref(), Some(nasty));
         assert_eq!(json_field(&line, "event").as_deref(), Some("fail"));
         assert_eq!(json_field(&line, "missing"), None);
+    }
+
+    #[test]
+    fn ga_checkpoint_keeps_previous_generation_as_fallback() {
+        let dir = scratch("gaprev");
+        let fs = fsio::global();
+        let ga_dir = dir.join("ga");
+        fs.create_dir_all(&ga_dir).unwrap();
+        let path = ga_dir.join("t.gastate");
+        let prev = ga_dir.join("t.gastate.prev");
+        // Emulate two checkpoint rounds through the same rename dance
+        // optimize_checkpointed performs.
+        fs.write_atomic(&path, b"gen1").unwrap();
+        if fs.exists(&path) {
+            fs.rename(&path, &prev).unwrap();
+        }
+        fs.write_atomic(&path, b"gen2").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"gen2");
+        assert_eq!(std::fs::read(&prev).unwrap(), b"gen1");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -33,10 +33,18 @@
 //! deterministic, result artifacts are written atomically, and the
 //! journal's first `finish` record wins — a duplicated run can only
 //! produce identical bytes, never a second completion.
+//!
+//! All lease I/O goes through the [`mitts_sim::fsio`] facade, so the
+//! protocol runs under storage fault injection: a short write tears the
+//! claim record, which every reader parses as an empty-owner stale
+//! lease and reclaims; directory-fsync failures are counted by the
+//! facade instead of silently discarded.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
+
+use mitts_sim::fsio::{self, Fs};
 
 use crate::journal::{json_escape, json_field};
 
@@ -126,12 +134,19 @@ pub fn lease_path(leases_dir: &Path, name: &str) -> PathBuf {
     leases_dir.join(format!("{name}.lease"))
 }
 
-/// Reads and parses a lease file. `Ok(None)` means the file does not
-/// exist (the experiment is unclaimed); an unparseable file is reported
-/// as a record with an empty owner and `ts` 0, which every reader treats
-/// as stale — a torn or corrupt claim never wedges the sweep.
+/// Reads and parses a lease file through the process-global filesystem
+/// handle. See [`read_lease_with`].
 pub fn read_lease(path: &Path) -> io::Result<Option<LeaseRecord>> {
-    match std::fs::read_to_string(path) {
+    read_lease_with(&fsio::global(), path)
+}
+
+/// Reads and parses a lease file. `Ok(None)` means the file does not
+/// exist (the experiment is unclaimed); an unparseable file — torn by a
+/// short write, hit by bitrot — is reported as a record with an empty
+/// owner and `ts` 0, which every reader treats as stale — a corrupt
+/// claim never wedges the sweep.
+pub fn read_lease_with(fs: &Fs, path: &Path) -> io::Result<Option<LeaseRecord>> {
+    match fs.read_to_string_lossy(path) {
         Ok(text) => Ok(Some(LeaseRecord::parse(&text).unwrap_or(LeaseRecord {
             owner: String::new(),
             seq: 0,
@@ -162,48 +177,59 @@ pub struct Lease {
     path: PathBuf,
     owner: String,
     seq: u64,
-}
-
-fn fsync_dir(dir: &Path) {
-    // Directory fsync makes the claim's directory entry durable. Best
-    // effort: not every filesystem supports it, and a lost claim record
-    // only costs a rerun, never a lost result.
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
+    fs: Fs,
 }
 
 impl Lease {
-    /// Attempts to claim `name` for `owner`. Creation is atomic
-    /// (`create_new`); an existing fresh lease yields [`Claim::Held`]; a
-    /// stale one is taken over by atomic replacement with read-back
-    /// verification.
+    /// Attempts to claim `name` for `owner` through the process-global
+    /// filesystem handle. See [`Lease::acquire_with`].
     pub fn acquire(
         leases_dir: &Path,
         name: &str,
         owner: &str,
         cfg: &LeaseConfig,
     ) -> io::Result<Claim> {
-        std::fs::create_dir_all(leases_dir)?;
+        Lease::acquire_with(fsio::global(), leases_dir, name, owner, cfg)
+    }
+
+    /// Attempts to claim `name` for `owner` on `fs`. Creation is atomic
+    /// (`create_new`); an existing fresh lease yields [`Claim::Held`]; a
+    /// stale one is taken over by atomic replacement with read-back
+    /// verification.
+    pub fn acquire_with(
+        fs: Fs,
+        leases_dir: &Path,
+        name: &str,
+        owner: &str,
+        cfg: &LeaseConfig,
+    ) -> io::Result<Claim> {
+        fs.create_dir_all(leases_dir)?;
         let path = lease_path(leases_dir, name);
         let record = LeaseRecord { owner: owner.to_owned(), seq: 1, ts_ms: now_ms() };
-        match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
-            Ok(mut f) => {
-                use std::io::Write as _;
-                f.write_all(record.render().as_bytes())?;
-                f.sync_all()?;
-                fsync_dir(leases_dir);
+        match fs.create_new(&path, record.render().as_bytes()) {
+            Ok(()) => {
+                if let Err(e) = fs.sync(&path) {
+                    // The claim may or may not be durable; give it up so
+                    // no worker trusts a maybe-lost record.
+                    let _ = fs.remove_file(&path);
+                    return Err(e);
+                }
+                // Directory durability is best-effort (counted): a claim
+                // whose entry is lost in a crash is simply absent on
+                // restart, which costs a rerun, never a wrong result.
+                fs.fsync_dir_best_effort(leases_dir);
                 Ok(Claim::Acquired(Lease {
                     path,
                     owner: owner.to_owned(),
                     seq: record.seq,
+                    fs,
                 }))
             }
             Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                let Some(current) = read_lease(&path)? else {
+                let Some(current) = read_lease_with(&fs, &path)? else {
                     // Vanished between create_new and read (owner
                     // released): try again from scratch, once.
-                    return Lease::acquire(leases_dir, name, owner, cfg);
+                    return Lease::acquire_with(fs, leases_dir, name, owner, cfg);
                 };
                 let now = now_ms();
                 if !current.is_stale(cfg.ttl, now) {
@@ -218,21 +244,25 @@ impl Lease {
                     seq: current.seq + 1,
                     ts_ms: now,
                 };
-                mitts_sim::fsio::write_atomic_str(&path, &fresh.render())?;
-                fsync_dir(leases_dir);
-                match read_lease(&path)? {
+                fs.write_atomic_str(&path, &fresh.render())?;
+                fs.fsync_dir_best_effort(leases_dir);
+                match read_lease_with(&fs, &path)? {
                     Some(after) if after.owner == owner => Ok(Claim::Acquired(Lease {
                         path,
                         owner: owner.to_owned(),
                         seq: fresh.seq,
+                        fs,
                     })),
                     Some(after) => Ok(Claim::Held {
                         owner: after.owner,
                         age_ms: now_ms().saturating_sub(after.ts_ms),
                     }),
-                    None => Lease::acquire(leases_dir, name, owner, cfg),
+                    None => Lease::acquire_with(fs, leases_dir, name, owner, cfg),
                 }
             }
+            // A short write can leave a torn claim file behind the
+            // error; it parses as an empty-owner stale record and is
+            // reclaimed by the next acquisition attempt.
             Err(e) => Err(e),
         }
     }
@@ -241,7 +271,7 @@ impl Lease {
     /// lease now names another owner (it went stale and was reclaimed);
     /// the caller must abandon the experiment and discard its result.
     pub fn renew(&mut self) -> io::Result<bool> {
-        match read_lease(&self.path)? {
+        match read_lease_with(&self.fs, &self.path)? {
             Some(current) if current.owner == self.owner => {
                 self.seq = current.seq + 1;
                 let record = LeaseRecord {
@@ -249,7 +279,7 @@ impl Lease {
                     seq: self.seq,
                     ts_ms: now_ms(),
                 };
-                mitts_sim::fsio::write_atomic_str(&self.path, &record.render())?;
+                self.fs.write_atomic_str(&self.path, &record.render())?;
                 Ok(true)
             }
             _ => Ok(false),
@@ -258,13 +288,13 @@ impl Lease {
 
     /// Whether the on-disk record still names this owner.
     pub fn still_mine(&self) -> bool {
-        matches!(read_lease(&self.path), Ok(Some(r)) if r.owner == self.owner)
+        matches!(read_lease_with(&self.fs, &self.path), Ok(Some(r)) if r.owner == self.owner)
     }
 
     /// Releases the claim: removes the file iff it is still ours.
     pub fn release(self) {
         if self.still_mine() {
-            let _ = std::fs::remove_file(&self.path);
+            let _ = self.fs.remove_file(&self.path);
         }
     }
 
@@ -310,6 +340,20 @@ mod tests {
             Claim::Acquired(l) => assert_eq!(l.owner(), "me"),
             Claim::Held { .. } => panic!("corrupt lease must be reclaimable"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binary_garbage_lease_reads_as_stale() {
+        // Bitrot can leave invalid UTF-8; the lossy read must degrade to
+        // an unparseable (stale) record, not an error.
+        let dir = tmp("bitrot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = lease_path(&dir, "x");
+        std::fs::write(&path, [0xff, 0xfe, 0x00, 0x9b]).unwrap();
+        let r = read_lease(&path).unwrap().expect("file exists");
+        assert!(r.owner.is_empty());
+        assert!(r.is_stale(Duration::from_secs(3600), now_ms()));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

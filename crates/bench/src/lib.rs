@@ -12,6 +12,7 @@ pub mod capacity;
 pub mod chaos;
 pub mod conform;
 pub mod exp;
+pub mod fsck;
 pub mod journal;
 pub mod lease;
 pub mod pool;

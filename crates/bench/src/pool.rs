@@ -53,6 +53,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use mitts_sim::fsio::{self, Fs, StorageStats};
+
 use crate::chaos::ChaosPlan;
 use crate::journal::Journal;
 use crate::lease::{Claim, Lease, LeaseConfig};
@@ -223,6 +225,10 @@ pub struct PoolTelemetry {
     /// `(ms since sweep start, unresolved experiments)` sampled at every
     /// claim, steal, and publication — the queue-depth-over-time curve.
     pub queue_depth: Vec<(u64, usize)>,
+    /// Storage failures observed through the sweep's filesystem handle
+    /// over this sweep: failed file fsyncs, failed directory fsyncs
+    /// (previously `let _ =` discards), and injected faults.
+    pub storage: StorageStats,
 }
 
 impl PoolTelemetry {
@@ -392,7 +398,7 @@ impl<'a> Shared<'a> {
         let journal = self.journal.as_ref()?;
         let j = journal.lock().unwrap();
         if j.completed().contains(self.name(i)) {
-            std::fs::read_to_string(j.artifact_path(self.name(i))).ok()
+            j.fs().read_to_string_lossy(&j.artifact_path(self.name(i))).ok()
         } else {
             None
         }
@@ -400,9 +406,32 @@ impl<'a> Shared<'a> {
 
     /// Records a durable finish and fires the crash/chaos kill hooks
     /// that must trigger *after* the finish record is on disk.
+    ///
+    /// The artifact write retries transient storage errors (injected
+    /// EIO, ENOSPC) with a short bounded backoff; a persistent failure
+    /// propagates to the caller, which quarantines the experiment as
+    /// `status=failed` instead of aborting the sweep.
     fn record_finish_and_maybe_die(&self, i: usize, rendered: &str) -> std::io::Result<()> {
         if let Some(journal) = &self.journal {
-            journal.lock().unwrap().record_finish(self.name(i), rendered)?;
+            let mut last_err = None;
+            for attempt in 0u32..3 {
+                if attempt > 0 {
+                    let pause = Duration::from_millis(50u64 << attempt);
+                    if signal::sleep_interruptibly(pause) {
+                        break;
+                    }
+                }
+                match journal.lock().unwrap().record_finish(self.name(i), rendered) {
+                    Ok(()) => {
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if let Some(e) = last_err {
+                return Err(e);
+            }
         }
         let finished = self.finishes.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(chaos) = &self.cfg.chaos {
@@ -514,10 +543,13 @@ impl<'a> Shared<'a> {
                     }
                     let rendered = render_tables(&tables);
                     if let Err(e) = self.record_finish_and_maybe_die(i, &rendered) {
-                        self.publish(
-                            i,
-                            Outcome::Failed(format!("result artifact write failed: {e}")),
-                        );
+                        // Persistent storage failure: quarantine this
+                        // experiment and keep sweeping.
+                        let msg = format!("result artifact write failed after retries: {e}");
+                        if let Some(journal) = &self.journal {
+                            journal.lock().unwrap().record_quarantine(&name, &msg);
+                        }
+                        self.publish(i, Outcome::Failed(msg));
                     } else {
                         self.publish(i, Outcome::Done { tables, wall: t0.elapsed() });
                     }
@@ -767,13 +799,19 @@ pub fn run_sweep_with_telemetry(
     mut on_result: impl FnMut(usize, &str, &Outcome),
 ) -> (SweepReport, PoolTelemetry) {
     let n = experiments.len();
+    // Storage counters are read as a delta over this sweep, through the
+    // same handle the journal persists with (clones share counters).
+    let fs: Fs = journal.as_ref().map(|j| j.fs().clone()).unwrap_or_else(fsio::global);
+    let storage0 = fs.stats();
     let mut results: Vec<Option<Outcome>> = vec![None; n];
     // Adopt everything a previous run proved complete before any worker
     // spawns — those experiments are never claimed, never leased.
     if let Some(j) = &journal {
         for (i, e) in experiments.iter().enumerate() {
             if completed.contains(&e.name) {
-                let stored = std::fs::read_to_string(j.artifact_path(&e.name))
+                let stored = j
+                    .fs()
+                    .read_to_string_lossy(&j.artifact_path(&e.name))
                     .unwrap_or_else(|_| format!("[{}: artifact unreadable]\n", e.name));
                 results[i] = Some(Outcome::Skipped(stored));
             }
@@ -856,6 +894,7 @@ pub fn run_sweep_with_telemetry(
         wall_ms: shared.started.elapsed().as_millis() as u64,
         workers: tel.workers,
         queue_depth: tel.queue_depth,
+        storage: fs.stats().since(&storage0),
     };
     (report, telemetry)
 }

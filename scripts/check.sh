@@ -181,3 +181,86 @@ diff -r "$STATE_CHAOS/results" "$STATE_SER/results" \
 diff -r "$STATE_CHAOS/results" "$STATE_NAI/results" \
   || { echo "event-kernel chaos artifacts diverged from the naive-engine reference"; exit 1; }
 echo "chaos gate: campaign converged to byte-identical artifacts (incl. cross-engine)"
+
+# fsck smoke gate: a clean completed sweep must check out clean, and a
+# fixture corrupted with every seeded storage fault class (torn journal
+# tail, artifact bitrot, short-written artifact, dropped rename =
+# missing artifact + tmp litter, torn lease record, corrupt GA
+# checkpoint) must be detected class by class, repaired, resumed to the
+# exact clean result tree, and then check out clean again.
+cargo build --release -p mitts-bench --bin mitts-fsck
+target/release/mitts-fsck "$STATE_SER" >/dev/null \
+  || { echo "mitts-fsck flagged a clean state dir"; exit 1; }
+STATE_FSCK="$GATE_TMP/fsck"
+cp -r "$STATE_SER" "$STATE_FSCK"
+printf '{"event":"finish","na' >> "$STATE_FSCK/journal.jsonl"           # torn tail
+python3 -c 'import sys; p=sys.argv[1]; b=bytearray(open(p,"rb").read()); b[len(b)//2]^=0x40; open(p,"wb").write(bytes(b))' \
+  "$STATE_FSCK/results/area.txt"                                        # bitrot
+python3 -c 'import sys; p=sys.argv[1]; b=open(p,"rb").read(); open(p,"wb").write(b[:len(b)//3])' \
+  "$STATE_FSCK/results/phase.txt"                                       # short write
+rm "$STATE_FSCK/results/scaling.txt"                                    # dropped rename...
+printf 'half-written' > "$STATE_FSCK/results/.scaling.txt.tmp.1.0"      # ...plus its litter
+printf '\x00\xff\x07garbage' > "$STATE_FSCK/leases/ablations.lease"     # torn lease
+python3 -c 'import sys; p=sys.argv[1]; b=bytearray(open(p,"rb").read()); b[len(b)//2]^=0x40; open(p,"wb").write(bytes(b))' \
+  "$(ls "$STATE_FSCK"/ga/*.gastate | head -n 1)"                        # corrupt checkpoint
+FSCK_LOG="$GATE_TMP/fsck.log"
+set +e
+target/release/mitts-fsck "$STATE_FSCK" > "$FSCK_LOG"
+fsck_rc=$?
+set -e
+[ "$fsck_rc" -eq 1 ] || { echo "mitts-fsck: expected exit 1 on corrupted fixture, got $fsck_rc"; cat "$FSCK_LOG"; exit 1; }
+for class in torn-journal-tail artifact-crc-mismatch finish-without-artifact \
+             corrupt-lease tmp-litter corrupt-gastate; do
+  grep -q "\[fsck\] $class:" "$FSCK_LOG" \
+    || { echo "mitts-fsck missed seeded fault class $class"; cat "$FSCK_LOG"; exit 1; }
+done
+set +e
+target/release/mitts-fsck --repair "$STATE_FSCK" >/dev/null
+repair_rc=$?
+set -e
+[ "$repair_rc" -eq 1 ] || { echo "mitts-fsck --repair: expected exit 1, got $repair_rc"; exit 1; }
+MITTS_SCALE=smoke MITTS_STATE_DIR="$STATE_FSCK" \
+  target/release/run_all --resume a >/dev/null \
+  || { echo "resume after fsck repair failed"; exit 1; }
+diff -r "$STATE_FSCK/results" "$STATE_SER/results" \
+  || { echo "repaired+resumed results diverged from the clean reference"; exit 1; }
+target/release/mitts-fsck "$STATE_FSCK" >/dev/null \
+  || { echo "state dir still dirty after repair + resume"; exit 1; }
+echo "fsck smoke: every seeded fault class detected, repaired, and resumed clean"
+
+# Storage-chaos gate: run the sweep under seeded filesystem fault
+# injection (MITTS_FS_FAULTS: short writes, fsync EIO, dropped renames,
+# dropped dir fsyncs, bitrot at the facade layer), fsck-repair the
+# battered state dir, then resume with faults off — the final result
+# tree must be byte-identical to the clean serial reference. Faulty
+# rounds may exit 0 (all absorbed by retries) or 1 (quarantined
+# experiments, rerun on resume); anything else fails.
+STATE_SC="$GATE_TMP/storage-chaos"
+mkdir -p "$STATE_SC"
+for round in 1 2; do
+  resume_flag=""
+  [ "$round" -gt 1 ] && resume_flag="--resume"
+  SC_LOG="$GATE_TMP/storage-chaos-r$round.log"
+  set +e
+  MITTS_SCALE=smoke MITTS_JOBS=2 MITTS_FS_FAULTS=20260809 MITTS_STATE_DIR="$STATE_SC" \
+    target/release/run_all $resume_flag a > "$SC_LOG" 2>&1
+  sc_rc=$?
+  set -e
+  echo "storage-chaos round $round: exit $sc_rc"
+  if [ "$sc_rc" -ne 0 ] && [ "$sc_rc" -ne 1 ]; then
+    echo "storage-chaos: unexpected exit $sc_rc"; cat "$SC_LOG"; exit 1
+  fi
+done
+grep -q "injected fault" "$GATE_TMP"/storage-chaos-r*.log \
+  || { echo "storage-chaos: no faults were injected — campaign is vacuous"; exit 1; }
+set +e
+target/release/mitts-fsck --repair "$STATE_SC" >/dev/null
+set -e
+MITTS_SCALE=smoke MITTS_JOBS=1 MITTS_STATE_DIR="$STATE_SC" \
+  target/release/run_all --resume a >/dev/null \
+  || { echo "faults-off resume after storage chaos failed"; exit 1; }
+diff -r "$STATE_SC/results" "$STATE_SER/results" \
+  || { echo "storage-chaos results diverged from the clean serial reference"; exit 1; }
+target/release/mitts-fsck "$STATE_SC" >/dev/null \
+  || { echo "storage-chaos state dir dirty after repair + clean resume"; exit 1; }
+echo "storage-chaos gate: faulty sweep repaired and resumed to byte-identical results"
